@@ -1,0 +1,50 @@
+# Lateral — build, test, and reproduce.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every experiment table (EXPERIMENTS.md's source of truth).
+experiments:
+	$(GO) run ./cmd/lateralbench
+
+# Full benchmark pass, one iteration per experiment plus the
+# mechanism micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every parser that consumes attacker bytes.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeQuote   -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzServerRespond -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzSessionOpen   -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzVPFSRead      -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzLegacyFSNames -fuzztime=10s -run '^$$' .
+
+examples:
+	$(GO) run ./examples/quickstart -substrate all
+	$(GO) run ./examples/mailclient
+	$(GO) run ./examples/smartmeter
+	$(GO) run ./examples/cloudstore
+	$(GO) run ./examples/dualphone
+
+clean:
+	$(GO) clean ./...
+	rm -rf testdata

@@ -1,0 +1,351 @@
+package lateral
+
+// The benchmark harness: one Benchmark per experiment in DESIGN.md's
+// per-experiment index (regenerating its table each iteration and
+// reporting its headline number as a custom metric), plus micro-benchmarks
+// for the mechanisms underneath (per-substrate invocation, VPFS vs raw
+// legacy storage, attested handshakes, quote generation).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lateral/internal/attack"
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/experiments"
+	"lateral/internal/hw"
+	"lateral/internal/kernel"
+	"lateral/internal/legacy"
+	"lateral/internal/mail"
+	"lateral/internal/securechan"
+	"lateral/internal/vpfs"
+)
+
+// benchExperiment runs one experiment per iteration and reports a named
+// headline metric extracted from its table.
+func benchExperiment(b *testing.B, run func() (experiments.Table, error),
+	metricName string, metric func(experiments.Table) float64) {
+	b.Helper()
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if metric != nil {
+		b.ReportMetric(metric(last), metricName)
+	}
+}
+
+func cellFloat(t experiments.Table, row string, col int) float64 {
+	for _, r := range t.Rows {
+		if r[0] == row {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(r[col], "x"), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func BenchmarkE1Containment(b *testing.B) {
+	benchExperiment(b, experiments.E1Containment, "mean-leak-pola",
+		func(t experiments.Table) float64 { return cellFloat(t, "MEAN", 3) })
+}
+
+func BenchmarkE2Portability(b *testing.B) {
+	benchExperiment(b, experiments.E2Portability, "substrates",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE3SmartMeter(b *testing.B) {
+	benchExperiment(b, experiments.E3SmartMeter, "scenarios-pass",
+		func(t experiments.Table) float64 {
+			pass := 0
+			for _, r := range t.Rows {
+				if r[3] == "PASS" {
+					pass++
+				}
+			}
+			return float64(pass)
+		})
+}
+
+func BenchmarkE4Invocation(b *testing.B) {
+	benchExperiment(b, experiments.E4Invocation, "substrates",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE5TCB(b *testing.B) {
+	benchExperiment(b, experiments.E5TCB, "mean-reduction-x",
+		func(t experiments.Table) float64 { return cellFloat(t, "MEAN", 3) })
+}
+
+func BenchmarkE6Covert(b *testing.B) {
+	benchExperiment(b, experiments.E6Covert, "tdma-bits/frame",
+		func(t experiments.Table) float64 { return cellFloat(t, "microkernel/time-partitioned", 5) })
+}
+
+func BenchmarkE7VPFS(b *testing.B) {
+	benchExperiment(b, experiments.E7VPFS, "attacks",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE8Deputy(b *testing.B) {
+	benchExperiment(b, experiments.E8Deputy, "modes",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE9Phishing(b *testing.B) {
+	benchExperiment(b, experiments.E9Phishing, "hw-compromised",
+		func(t experiments.Table) float64 { return cellFloat(t, "hardware-key", 3) })
+}
+
+func BenchmarkE10Gateway(b *testing.B) {
+	benchExperiment(b, experiments.E10Gateway, "gated-victim-pkts",
+		func(t experiments.Table) float64 { return cellFloat(t, "yes", 2) })
+}
+
+func BenchmarkE11Boot(b *testing.B) {
+	benchExperiment(b, experiments.E11Boot, "chains",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE12BusTap(b *testing.B) {
+	benchExperiment(b, experiments.E12BusTap, "substrates",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE13GUI(b *testing.B) {
+	benchExperiment(b, experiments.E13GUI, "paths",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE14Concurrency(b *testing.B) {
+	benchExperiment(b, experiments.E14Concurrency, "latelaunch-rel-x",
+		func(t experiments.Table) float64 { return cellFloat(t, "tpm-latelaunch", 5) })
+}
+
+// --- mechanism micro-benchmarks ---
+
+// BenchmarkInvocation measures the simulator's cross-domain call latency
+// per substrate (the "sim-ns/call" column of E4, under the Go benchmark
+// harness).
+func BenchmarkInvocation(b *testing.B) {
+	for _, name := range experiments.SubstrateNames() {
+		b.Run(name, func(b *testing.B) {
+			sub, err := experiments.NewSubstrate(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, _, err := mail.Build(sub, mail.HorizontalManifest())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mail.FetchMail(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sub.Properties().InvokeCostNs), "modeled-ns/call")
+		})
+	}
+}
+
+// BenchmarkContainmentSweep measures a full E1-style sweep over the mail
+// app (8 fresh systems, compromise, leak scoring).
+func BenchmarkContainmentSweep(b *testing.B) {
+	build := func() (*core.System, map[string][]byte, error) {
+		return mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+	}
+	targets := mail.ComponentNames()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.ContainmentSweep(build, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorage compares write+read throughput of the raw legacy FS
+// with VPFS in both modes — the overhead the trusted wrapper costs.
+func BenchmarkStorage(b *testing.B) {
+	payload := cryptoutil.NewPRNG("bench").Bytes(vpfs.MaxFileSize)
+	b.Run("legacy-raw", func(b *testing.B) {
+		dev := hw.NewBlockDevice("bench", 256)
+		fs, err := legacy.Format(dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fs.WriteFile("f", payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fs.ReadFile("f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mode := range []vpfs.Mode{vpfs.ModeMACOnly, vpfs.ModeFull} {
+		b.Run("vpfs-"+mode.String(), func(b *testing.B) {
+			dev := hw.NewBlockDevice("bench", 256)
+			fs, err := legacy.Format(dev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := vpfs.New(fs, cryptoutil.KeyFromSeed("bench"), mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := payload[:vpfs.MaxFileSize]
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := v.WriteFile("f", data); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := v.ReadFile("f"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSecureChannel measures the attested handshake and the
+// per-record cost on an established session.
+func BenchmarkSecureChannel(b *testing.B) {
+	id := cryptoutil.NewSigner("bench-server")
+	b.Run("handshake", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			client, err := securechan.NewClient(securechan.ClientConfig{
+				Rand:         cryptoutil.NewPRNG(fmt.Sprintf("c%d", i)),
+				VerifyServer: func(ed25519.PublicKey, [32]byte, []byte) error { return nil },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			server, err := securechan.NewServer(securechan.ServerConfig{
+				Rand: cryptoutil.NewPRNG(fmt.Sprintf("s%d", i)), Identity: id,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, pending, err := server.Respond(client.Hello())
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, finish, err := client.Finish(resp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pending.Complete(finish); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("record-4k", func(b *testing.B) {
+		client, _ := securechan.NewClient(securechan.ClientConfig{
+			Rand:         cryptoutil.NewPRNG("rc"),
+			VerifyServer: func(ed25519.PublicKey, [32]byte, []byte) error { return nil },
+		})
+		server, _ := securechan.NewServer(securechan.ServerConfig{
+			Rand: cryptoutil.NewPRNG("rs"), Identity: id,
+		})
+		resp, pending, err := server.Respond(client.Hello())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs, finish, err := client.Finish(resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := pending.Complete(finish)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := cryptoutil.NewPRNG("payload").Bytes(4096)
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec, err := cs.Seal(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ss.Open(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuote measures attestation evidence generation + verification
+// via the SGX quoting enclave path.
+func BenchmarkQuote(b *testing.B) {
+	vendor := cryptoutil.NewSigner("intel")
+	device := cryptoutil.NewSigner("cpu")
+	cert := core.IssueVendorCert(vendor, device.Public())
+	meas := cryptoutil.Hash([]byte("enclave"))
+	nonce := []byte("bench-nonce")
+	for i := 0; i < b.N; i++ {
+		q := core.SignQuote("sgx-qe", meas, nonce, device, cert)
+		decoded, err := core.DecodeQuote(q.Encode())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.VerifyQuote(decoded, nonce, vendor.Public(), meas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCovertChannel measures the deterministic scheduler simulation
+// itself (128 bits, 100-tick frames).
+func BenchmarkCovertChannel(b *testing.B) {
+	bits := make([]bool, 128)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	for _, p := range []kernel.Policy{kernel.BestEffort, kernel.TimePartitioned} {
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := kernel.MeasureCovertChannel(p, 100, bits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE15Interchangeability(b *testing.B) {
+	benchExperiment(b, experiments.E15Interchangeability, "rows",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE16IOMMU(b *testing.B) {
+	benchExperiment(b, experiments.E16IOMMU, "rows",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE17Distributed(b *testing.B) {
+	benchExperiment(b, experiments.E17Distributed, "rows",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}
+
+func BenchmarkE18AutoPartition(b *testing.B) {
+	benchExperiment(b, experiments.E18AutoPartition, "rows",
+		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
+}

@@ -1,0 +1,161 @@
+// lateralctl inspects the trusted-component ecosystem: substrate property
+// matrices, manifest analysis, component graphs, and TCB reports.
+//
+//	go run ./cmd/lateralctl substrates        # §II property matrix
+//	go run ./cmd/lateralctl analyze           # static analysis of the mail manifests
+//	go run ./cmd/lateralctl dot [vertical]    # Graphviz graph of a mail manifest
+//	go run ./cmd/lateralctl tcb               # per-component TCB report
+//	go run ./cmd/lateralctl prune             # POLA pruning of the broad mail manifest
+//	go run ./cmd/lateralctl partition         # auto-partition an annotated monolith
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"lateral/internal/experiments"
+	"lateral/internal/kernel"
+	"lateral/internal/mail"
+	"lateral/internal/manifest"
+	"lateral/internal/metrics"
+	"lateral/internal/partition"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition")
+	}
+	switch args[0] {
+	case "substrates":
+		table, err := experiments.E2Portability()
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+		return nil
+	case "analyze":
+		for _, m := range []struct {
+			name string
+			m    *manifest.Manifest
+		}{
+			{"horizontal (POLA)", mail.HorizontalManifest()},
+			{"horizontal (broad mesh)", mail.BroadManifest()},
+			{"vertical (colocated)", mail.VerticalManifest()},
+		} {
+			fmt.Printf("--- %s ---\n", m.name)
+			findings := m.m.Analyze()
+			if len(findings) == 0 {
+				fmt.Println("  no findings")
+			}
+			for _, f := range findings {
+				fmt.Println(" ", f)
+			}
+			fmt.Println()
+		}
+		return nil
+	case "dot":
+		m := mail.HorizontalManifest()
+		if len(args) > 1 && args[1] == "vertical" {
+			m = mail.VerticalManifest()
+		}
+		fmt.Print(m.DOT())
+		return nil
+	case "tcb":
+		units := make(map[string]int, len(metrics.DefaultUnits))
+		for k, v := range metrics.DefaultUnits {
+			units[k] = v
+		}
+		units["abook"] = metrics.DefaultUnits["addressbook"]
+		sys, _, err := mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+		if err != nil {
+			return err
+		}
+		reports, err := metrics.TCBReport(sys, units)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-12s %10s %8s %10s %8s\n", "component", "domain", "substrate", "own", "colocated", "total")
+		for _, r := range reports {
+			fmt.Printf("%-12s %-12s %10d %8d %10d %8d\n",
+				r.Component, r.Domain, r.SubstrateUnits, r.OwnUnits, r.ColocatedUnits, r.Total())
+		}
+		s := metrics.Summarize(reports)
+		fmt.Printf("\n%d components, TCB min/mean/max = %d / %.0f / %d kLoC units\n",
+			s.Components, s.MinTCB, s.MeanTCB, s.MaxTCB)
+		return nil
+	case "prune":
+		// Deploy the sloppy full-mesh manifest, run the representative
+		// workload, then let the tool report every grant the workload
+		// never needed — the §IV road from "it works" to POLA.
+		m := mail.BroadManifest()
+		sys, _, err := mail.Build(kernel.New(kernel.Config{}), m)
+		if err != nil {
+			return err
+		}
+		if _, err := mail.FetchMail(sys); err != nil {
+			return err
+		}
+		if _, err := mail.Compose(sys, "draft"); err != nil {
+			return err
+		}
+		sugg := m.SuggestPruning(sys.ChannelUsage())
+		fmt.Printf("broad manifest: %d grants, workload used %d, pruning %d:\n",
+			len(m.Channels), len(m.Channels)-len(sugg), len(sugg))
+		for _, s := range sugg {
+			fmt.Println(" ", s)
+		}
+		pruned := m.Pruned(sugg)
+		fmt.Printf("\npruned manifest has %d channels (POLA manifest has %d)\n",
+			len(pruned.Channels), len(mail.HorizontalManifest().Channels))
+		return nil
+	case "partition":
+		prog := &partition.Program{Functions: []partition.Function{
+			{Name: "ui", Calls: []string{"fetch", "suggest", "lookup"}},
+			{Name: "fetch", Exposed: true, Calls: []string{"tls_recv", "parse"}},
+			{Name: "parse", Exposed: true, Calls: []string{"render_html"}},
+			{Name: "render_html", Exposed: true, Calls: []string{"archive_save"}},
+			{Name: "tls_recv", Assets: []string{"tls-key"}},
+			{Name: "tls_send", Assets: []string{"tls-key", "password"}},
+			{Name: "login", Assets: []string{"password"}, Calls: []string{"tls_send"}},
+			{Name: "suggest", Assets: []string{"dictionary"}},
+			{Name: "lookup", Assets: []string{"contacts"}},
+			{Name: "archive_save", Assets: []string{"archive"}},
+			{Name: "archive_load", Assets: []string{"archive"}},
+		}}
+		res, err := partition.Partition(prog)
+		if err != nil {
+			return err
+		}
+		st := res.Summarize()
+		fmt.Printf("%d functions → %d domains, %d channels (%d exposed functions evicted):\n\n",
+			st.Functions, st.Domains, st.Channels, st.Exposed)
+		byDomain := map[string][]string{}
+		for fn, dom := range res.DomainOf {
+			byDomain[dom] = append(byDomain[dom], fn)
+		}
+		doms := make([]string, 0, len(byDomain))
+		for d := range byDomain {
+			doms = append(doms, d)
+		}
+		sort.Strings(doms)
+		for _, d := range doms {
+			sort.Strings(byDomain[d])
+			fmt.Printf("  domain %-14s %v  assets=%v\n", d, byDomain[d], res.Manifest.AssetsInDomain(byDomain[d][0]))
+		}
+		fmt.Println("\nderived channels:")
+		for _, ch := range res.Manifest.Channels {
+			fmt.Printf("  %s → %s (badge %d)\n", ch.From, ch.To, ch.Badge)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,15 @@
+// Package lateral is the root of a full reproduction of "Lateral Thinking
+// for Trustworthy Apps" (Härtig, Roitzsch, Weinhold, Lackorzyński, ICDCS
+// 2017): a unified isolation interface over five simulated hardware
+// substrates, a horizontal component programming model with manifests and
+// capabilities, the paper's worked examples (decomposed mail client, smart
+// meter ↔ utility server), and an experiment harness validating every
+// claim the paper makes.
+//
+// Start with README.md, DESIGN.md (system inventory + per-experiment
+// index), and EXPERIMENTS.md (paper-vs-measured). The library lives under
+// internal/; runnable entry points are examples/quickstart,
+// examples/mailclient, examples/smartmeter, cmd/lateralbench, and
+// cmd/lateralctl. The benchmarks in bench_test.go regenerate every
+// experiment table.
+package lateral

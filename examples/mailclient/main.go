@@ -1,0 +1,83 @@
+// Mailclient: the paper's §III-C email client example, deployed in both
+// architectures of Figure 1 and then attacked through the HTML renderer.
+//
+//	go run ./examples/mailclient          # run the demo
+//	go run ./examples/mailclient -dot     # print the component graph (Graphviz)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lateral/internal/attack"
+	"lateral/internal/core"
+	"lateral/internal/kernel"
+	"lateral/internal/mail"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "print the horizontal manifest as Graphviz DOT and exit")
+	flag.Parse()
+	if *dot {
+		fmt.Print(mail.HorizontalManifest().DOT())
+		return
+	}
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Normal operation works identically in both architectures.
+	fmt.Println("--- normal operation ---")
+	for _, arch := range []struct {
+		name  string
+		build attack.BuildFunc
+	}{
+		{"vertical (one process on a commodity OS)", func() (*core.System, map[string][]byte, error) {
+			return mail.Build(core.NewMonolith(0), mail.VerticalManifest())
+		}},
+		{"horizontal (one domain per component on a microkernel)", func() (*core.System, map[string][]byte, error) {
+			return mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+		}},
+	} {
+		sys, _, err := arch.build()
+		if err != nil {
+			return err
+		}
+		rendered, err := mail.FetchMail(sys)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n  fetched: %q\n", arch.name, rendered)
+	}
+
+	// 2. A malicious HTML mail exploits the renderer.
+	fmt.Println("\n--- renderer exploited by malicious mail ---")
+	vertBuild := func() (*core.System, map[string][]byte, error) {
+		return mail.Build(core.NewMonolith(0), mail.VerticalManifest())
+	}
+	horizBuild := func() (*core.System, map[string][]byte, error) {
+		return mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+	}
+	vr, err := attack.MeasureContainment(vertBuild, "render")
+	if err != nil {
+		return err
+	}
+	hr, err := attack.MeasureContainment(horizBuild, "render")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vertical:   %d/%d assets leaked: %v\n", len(vr.Leaked), vr.AssetsTotal, vr.Leaked)
+	fmt.Printf("horizontal: %d/%d assets leaked: %v\n", len(hr.Leaked), hr.AssetsTotal, hr.Leaked)
+
+	// 3. The manifest analyzer reports the attack surface up front.
+	fmt.Println("\n--- static analysis of the horizontal manifest ---")
+	for _, f := range mail.HorizontalManifest().Analyze() {
+		fmt.Println(" ", f)
+	}
+	fmt.Println("\nThe paper's Fig. 1 claim, reproduced: the same exploit that owns the")
+	fmt.Println("entire vertical mailbox is contained to an assetless renderer domain.")
+	return nil
+}

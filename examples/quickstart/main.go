@@ -1,0 +1,110 @@
+// Quickstart: write one component against the unified isolation interface
+// and run it, unmodified, on any of the six substrates.
+//
+//	go run ./examples/quickstart            # default: microkernel
+//	go run ./examples/quickstart -substrate sgx
+//	go run ./examples/quickstart -substrate all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lateral/internal/core"
+	"lateral/internal/experiments"
+)
+
+// secretService is a trusted component: it keeps a secret in its isolated
+// domain and serves only capability-identified callers.
+type secretService struct {
+	ctx *core.Ctx
+}
+
+func (s *secretService) CompName() string    { return "secret-service" }
+func (s *secretService) CompVersion() string { return "1.0" }
+
+func (s *secretService) Init(ctx *core.Ctx) error {
+	s.ctx = ctx
+	return ctx.StoreAsset("motto", []byte("lateral thinking for trustworthy apps"))
+}
+
+func (s *secretService) Handle(env core.Envelope) (core.Message, error) {
+	if env.Badge == 0 {
+		return core.Message{}, core.ErrRefused // anonymous callers get nothing
+	}
+	motto, err := s.ctx.LoadAsset("motto")
+	if err != nil {
+		return core.Message{}, err
+	}
+	return core.Message{Op: "motto", Data: motto}, nil
+}
+
+// app is the untrusted client component.
+type app struct {
+	ctx *core.Ctx
+}
+
+func (a *app) CompName() string         { return "app" }
+func (a *app) CompVersion() string      { return "1.0" }
+func (a *app) Init(ctx *core.Ctx) error { a.ctx = ctx; return nil }
+
+func (a *app) Handle(env core.Envelope) (core.Message, error) {
+	return a.ctx.Call("service", env.Msg)
+}
+
+func runOn(name string) error {
+	sub, err := experiments.NewSubstrate(name)
+	if err != nil {
+		return err
+	}
+	sys := core.NewSystem(sub)
+	if err := sys.Launch(&secretService{}, true, 1); err != nil {
+		return err
+	}
+	if err := sys.Launch(&app{}, false, 1); err != nil {
+		return err
+	}
+	if err := sys.Grant(core.ChannelSpec{Name: "service", From: "app", To: "secret-service", Badge: 7}); err != nil {
+		return err
+	}
+	if err := sys.InitAll(); err != nil {
+		return err
+	}
+	reply, err := sys.Deliver("app", core.Message{Op: "get"})
+	if err != nil {
+		return err
+	}
+	props := sys.Properties()
+	fmt.Printf("[%s] reply: %q\n", name, reply.Data)
+	fmt.Printf("[%s] spatial=%v physmem=%v attestation=%v invoke=%dns tcb=%dk\n",
+		name, props.SpatialIsolation, props.PhysicalMemoryProtection,
+		props.Attestation, props.InvokeCostNs, props.TCBUnits)
+	if sub.Anchor() != nil {
+		ctx, err := sys.CtxOf("secret-service")
+		if err != nil {
+			return err
+		}
+		q, err := ctx.Quote([]byte("quickstart-nonce"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%s] attested by %s anchor, measurement %x...\n", name, q.AnchorKind, q.Measurement[:6])
+	}
+	return nil
+}
+
+func main() {
+	substrate := flag.String("substrate", "microkernel",
+		"monolith|microkernel|trustzone|sgx|sep|tpm-latelaunch|all")
+	flag.Parse()
+	names := []string{*substrate}
+	if *substrate == "all" {
+		names = experiments.SubstrateNames()
+	}
+	for _, n := range names {
+		if err := runOn(n); err != nil {
+			log.Fatalf("%s: %v", n, err)
+		}
+	}
+}

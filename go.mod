@@ -1,0 +1,3 @@
+module lateral
+
+go 1.22

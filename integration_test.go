@@ -1,0 +1,298 @@
+package lateral
+
+// Cross-cutting integration tests: whole-application flows across every
+// substrate, concurrency stress under the race detector, and end-to-end
+// attack scenarios that span multiple subsystems.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"lateral/internal/attack"
+	"lateral/internal/core"
+	"lateral/internal/experiments"
+	"lateral/internal/kernel"
+	"lateral/internal/mail"
+	"lateral/internal/manifest"
+	"lateral/internal/meter"
+	"lateral/internal/netsim"
+)
+
+// TestMailOnEverySubstrate runs the complete mail application (8
+// components, POLA manifest, fetch + compose flows) on all seven
+// substrates — the strongest form of the E2 portability claim.
+func TestMailOnEverySubstrate(t *testing.T) {
+	for _, name := range experiments.SubstrateNames() {
+		t.Run(name, func(t *testing.T) {
+			sub, err := experiments.NewSubstrate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, _, err := mail.Build(sub, mail.HorizontalManifest())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := mail.FetchMail(sys)
+			if err != nil {
+				t.Fatalf("fetch: %v", err)
+			}
+			if !strings.Contains(out, "Quarterly report") {
+				t.Errorf("rendered = %q", out)
+			}
+			if _, err := mail.Compose(sys, "hello"); err != nil {
+				t.Fatalf("compose: %v", err)
+			}
+		})
+	}
+}
+
+// TestVerticalMailOnEverySubstrate also exercises the colocated variant
+// everywhere (one fat domain per substrate).
+func TestVerticalMailOnEverySubstrate(t *testing.T) {
+	for _, name := range experiments.SubstrateNames() {
+		t.Run(name, func(t *testing.T) {
+			sub, err := experiments.NewSubstrate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, _, err := mail.Build(sub, mail.VerticalManifest())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mail.FetchMail(sys); err != nil {
+				t.Fatalf("fetch: %v", err)
+			}
+		})
+	}
+}
+
+// TestConcurrentInvocations hammers one system from many goroutines; run
+// with -race this validates the locking discipline of core + substrates.
+func TestConcurrentInvocations(t *testing.T) {
+	sys, _, err := mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := mail.FetchMail(sys); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent fetch: %v", err)
+	}
+	st := sys.Stats()
+	if st.Invocations != 8*25*6 {
+		t.Errorf("invocations = %d, want %d", st.Invocations, 8*25*6)
+	}
+}
+
+// TestConcurrentCompromiseAndTraffic races an attacker compromising a
+// domain against ongoing traffic; no panics, no deadlocks, and afterwards
+// the compromise is fully in effect.
+func TestConcurrentCompromiseAndTraffic(t *testing.T) {
+	sys, assets, err := mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := attack.New()
+	sys.SetObserver(adv)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_, _ = mail.FetchMail(sys)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		_ = sys.Compromise("tls")
+	}()
+	wg.Wait()
+	if !sys.IsCompromised("tls") {
+		t.Fatal("compromise lost")
+	}
+	if !adv.Saw(assets["tls-key"]) {
+		t.Error("tls compromise did not expose the tls key")
+	}
+	if adv.Saw(assets["contacts"]) {
+		t.Error("tls compromise exposed an unrelated domain's asset")
+	}
+}
+
+// TestMeterUnderEveryWireAdversary sweeps the Fig. 3 deployment against
+// each stock network adversary; the system must either work correctly or
+// fail closed — never deliver wrong results silently.
+func TestMeterUnderEveryWireAdversary(t *testing.T) {
+	cases := []struct {
+		name string
+		adv  netsim.Adversary
+		// wantWork: the deployment should complete and bill correctly.
+		wantWork bool
+	}{
+		{"clean", nil, true},
+		{"passive recorder", &netsim.Recorder{}, true},
+		{"tamperer", netsim.Tamperer{}, false},
+		{"dropper", netsim.Dropper{}, false},
+		// The replayer duplicates every flight; stale duplicates desync
+		// the datagram-level handshake, which fails closed. (Record-level
+		// replays on an established session are discarded by sequence
+		// checks — see securechan's replay tests.)
+		{"replayer", netsim.Replayer{}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := meter.Deploy(meter.Options{WireAdversary: tc.adv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = d.Connect()
+			if err == nil {
+				err = d.SendReading(10)
+			}
+			if tc.wantWork {
+				if err != nil {
+					t.Fatalf("should work under %s: %v", tc.name, err)
+				}
+				total, err := d.BillingTotal()
+				if err != nil || total != 10 {
+					t.Errorf("billing = %d, %v", total, err)
+				}
+			} else if err == nil {
+				// Active attackers must cause a loud failure somewhere.
+				if total, terr := d.BillingTotal(); terr == nil && total != 10 {
+					t.Errorf("silent corruption: billed %d", total)
+				}
+			}
+		})
+	}
+}
+
+// TestPrunedBroadManifestStillServesWorkload closes the POLA loop: deploy
+// broad, observe, prune, redeploy pruned, verify both the workload and the
+// improved containment.
+func TestPrunedBroadManifestStillServesWorkload(t *testing.T) {
+	m := mail.BroadManifest()
+	sys, _, err := mail.Build(kernel.New(kernel.Config{}), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mail.FetchMail(sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mail.Compose(sys, "d"); err != nil {
+		t.Fatal(err)
+	}
+	sugg := m.SuggestPruning(sys.ChannelUsage())
+	if len(sugg) == 0 {
+		t.Fatal("broad manifest produced no pruning suggestions")
+	}
+	pruned := m.Pruned(sugg)
+	if err := pruned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys2, _, err := mail.Build(kernel.New(kernel.Config{}), pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mail.FetchMail(sys2); err != nil {
+		t.Errorf("workload broke after pruning: %v", err)
+	}
+	// Containment of the renderer exploit improves from broad to pruned.
+	buildPruned := func() (*core.System, map[string][]byte, error) {
+		return mail.Build(kernel.New(kernel.Config{}), pruned)
+	}
+	buildBroad := func() (*core.System, map[string][]byte, error) {
+		return mail.Build(kernel.New(kernel.Config{}), mail.BroadManifest())
+	}
+	rp, err := attack.MeasureContainment(buildPruned, "render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := attack.MeasureContainment(buildBroad, "render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Leaked) >= len(rb.Leaked) && len(rb.Leaked) > 0 {
+		t.Errorf("pruning did not improve containment: pruned %v vs broad %v", rp.Leaked, rb.Leaked)
+	}
+}
+
+// TestManifestAnalysisOnBroadManifest: the §IV analyzer must flag the
+// broad manifest's deputies-with-many-clients situation is fine (all
+// badged) but exposure explodes relative to POLA.
+func TestManifestAnalysisOnBroadManifest(t *testing.T) {
+	count := func(m *manifest.Manifest, kind string) int {
+		n := 0
+		for _, f := range m.Analyze() {
+			if f.Kind == kind {
+				n++
+			}
+		}
+		return n
+	}
+	broadExposure := count(mail.BroadManifest(), "exposure")
+	polaExposure := count(mail.HorizontalManifest(), "exposure")
+	if broadExposure <= polaExposure {
+		t.Errorf("broad exposure (%d) should exceed POLA exposure (%d)", broadExposure, polaExposure)
+	}
+}
+
+// TestCompromisedMeterComponentStillCannotForgeQuotes: even with the
+// trusted meter component compromised at RUNTIME, its launch measurement
+// is unchanged — attestation honestly reports the code that was loaded.
+// (What attestation cannot see is exactly the paper's residual risk.)
+func TestCompromisedMeterComponentStillCannotForgeQuotes(t *testing.T) {
+	d, err := meter.Deploy(meter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.Appliance.HandleOf("meter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.Measurement()
+	if err := d.Appliance.Compromise("meter"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Measurement() != before {
+		t.Error("runtime compromise changed the launch measurement")
+	}
+	// The connection still succeeds — a truthful but insufficient
+	// attestation, as §II-D warns.
+	if err := d.Connect(); err != nil {
+		t.Errorf("connect after runtime compromise: %v (launch attestation cannot detect runtime subversion)", err)
+	}
+}
+
+// TestSystemErrorsSurfaceNotPanic feeds hostile inputs everywhere and
+// requires errors, never panics.
+func TestSystemErrorsSurfaceNotPanic(t *testing.T) {
+	sys, _, err := mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Deliver("no-such-component", core.Message{}); !errors.Is(err, core.ErrNoDomain) {
+		t.Errorf("unknown target: %v", err)
+	}
+	if err := sys.Compromise("no-such-component"); !errors.Is(err, core.ErrNoDomain) {
+		t.Errorf("unknown compromise: %v", err)
+	}
+	if _, err := sys.Deliver("render", core.Message{Op: strings.Repeat("x", 1<<16)}); err == nil {
+		t.Error("absurd op accepted")
+	}
+}

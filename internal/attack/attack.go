@@ -1,0 +1,192 @@
+// Package attack is the adversary framework: a single observation sink
+// that collects everything an attacker could see across all channels —
+// compromised-domain memory dumps, traffic through compromised components,
+// DRAM bus taps, and network wiretaps — plus the campaign drivers the
+// experiments use to score outcomes.
+//
+// The central judgment call is byte-level: an asset counts as LEAKED when
+// its secret value appears anywhere in the adversary's accumulated
+// transcript. Isolation is therefore scored by what the substrate actually
+// let the attacker read, not by what components promised.
+package attack
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/hw"
+	"lateral/internal/netsim"
+)
+
+// Adversary accumulates everything the attacker observed.
+type Adversary struct {
+	mu         sync.Mutex
+	transcript []byte
+	contexts   []string
+}
+
+var _ core.Observer = (*Adversary)(nil)
+
+// New creates an empty adversary.
+func New() *Adversary {
+	return &Adversary{}
+}
+
+// Observe implements core.Observer.
+func (a *Adversary) Observe(context string, data []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.contexts = append(a.contexts, context)
+	a.transcript = append(a.transcript, data...)
+	a.transcript = append(a.transcript, 0)
+}
+
+// Saw reports whether the needle appeared anywhere in the transcript.
+func (a *Adversary) Saw(needle []byte) bool {
+	if len(needle) == 0 {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return bytes.Contains(a.transcript, needle)
+}
+
+// SawString is Saw for string needles.
+func (a *Adversary) SawString(s string) bool { return a.Saw([]byte(s)) }
+
+// Contexts returns the labels of all observations, in order.
+func (a *Adversary) Contexts() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.contexts...)
+}
+
+// TranscriptSize returns the number of observed bytes.
+func (a *Adversary) TranscriptSize() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.transcript)
+}
+
+// Reset clears all observations.
+func (a *Adversary) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.transcript = nil
+	a.contexts = nil
+}
+
+// BusTap returns a hw.BusTap that feeds the physical attacker's view of
+// DRAM traffic into this adversary (experiment E12).
+func (a *Adversary) BusTap() hw.BusTap {
+	return busTap{a: a}
+}
+
+type busTap struct{ a *Adversary }
+
+func (t busTap) OnRead(addr hw.PhysAddr, data []byte) []byte {
+	t.a.Observe("bus-read", data)
+	return nil
+}
+
+func (t busTap) OnWrite(addr hw.PhysAddr, data []byte) []byte {
+	t.a.Observe("bus-write", data)
+	return nil
+}
+
+// WireTap returns a netsim.Adversary that passively feeds network traffic
+// into this adversary.
+func (a *Adversary) WireTap() netsim.Adversary {
+	return wireTap{a: a}
+}
+
+type wireTap struct{ a *Adversary }
+
+func (t wireTap) Intercept(d netsim.Datagram) []netsim.Datagram {
+	t.a.Observe("wire:"+d.From+"->"+d.To, d.Payload)
+	return []netsim.Datagram{d}
+}
+
+// ContainmentResult scores one compromise trial (experiment E1).
+type ContainmentResult struct {
+	// Compromised is the component the exploit landed in.
+	Compromised string
+
+	// AssetsTotal is the number of assets in the system.
+	AssetsTotal int
+
+	// Leaked lists the assets whose values reached the adversary.
+	Leaked []string
+}
+
+// LeakFraction is |Leaked| / AssetsTotal.
+func (r ContainmentResult) LeakFraction() float64 {
+	if r.AssetsTotal == 0 {
+		return 0
+	}
+	return float64(len(r.Leaked)) / float64(r.AssetsTotal)
+}
+
+// BuildFunc constructs a fresh system under test together with its asset
+// map (asset name → secret value). Each compromise trial gets a fresh
+// build, because compromise is sticky.
+type BuildFunc func() (*core.System, map[string][]byte, error)
+
+// MeasureContainment compromises one component in a fresh system, triggers
+// the compromised behaviour once per granted channel (by delivering a
+// probe), and scores which assets leaked.
+func MeasureContainment(build BuildFunc, target string) (ContainmentResult, error) {
+	sys, assets, err := build()
+	if err != nil {
+		return ContainmentResult{}, err
+	}
+	adv := New()
+	sys.SetObserver(adv)
+	if err := sys.Compromise(target); err != nil {
+		return ContainmentResult{}, err
+	}
+	// Give the implanted payload a chance to act (exfiltrate via its
+	// channels); errors are the payload's problem, not the experiment's.
+	_, _ = sys.Deliver(target, core.Message{Op: "attacker-trigger"})
+
+	res := ContainmentResult{Compromised: target, AssetsTotal: len(assets)}
+	names := make([]string, 0, len(assets))
+	for name := range assets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if adv.Saw(assets[name]) {
+			res.Leaked = append(res.Leaked, name)
+		}
+	}
+	return res, nil
+}
+
+// ContainmentSweep runs MeasureContainment once per target and returns the
+// per-target results in target order.
+func ContainmentSweep(build BuildFunc, targets []string) ([]ContainmentResult, error) {
+	out := make([]ContainmentResult, 0, len(targets))
+	for _, target := range targets {
+		r, err := MeasureContainment(build, target)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MeanLeakFraction averages the leak fraction over a sweep.
+func MeanLeakFraction(results []ContainmentResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.LeakFraction()
+	}
+	return sum / float64(len(results))
+}

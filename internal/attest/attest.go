@@ -1,0 +1,194 @@
+// Package attest implements launch policies and remote attestation
+// (§II-D): secure booting ("the machine will refuse to run improperly
+// signed software"), authenticated booting ("no signature checks are
+// performed and no code is rejected. The TPM registers merely form a
+// cryptographic boot log that can later be verified"), and the
+// challenge-response protocol remote verifiers run against a trust
+// anchor's quotes.
+package attest
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/tpm"
+)
+
+// Errors.
+var (
+	// ErrRefusedBoot is returned by secure boot when a stage's signature
+	// fails: the machine refuses to run it.
+	ErrRefusedBoot = errors.New("attest: secure boot refused unsigned or tampered stage")
+
+	// ErrUnknownMeasurement is returned when a verifier sees a quote for
+	// code it has no golden measurement for.
+	ErrUnknownMeasurement = errors.New("attest: measurement not in verifier policy")
+)
+
+// Stage is one element of a boot chain: boot loader, kernel, system
+// services, and so on.
+type Stage struct {
+	Name string
+	Code []byte
+	// Signature is the platform vendor's signature over Code; secure boot
+	// demands it, authenticated boot ignores it.
+	Signature []byte
+}
+
+// Measurement returns the stage's code hash.
+func (s Stage) Measurement() [32]byte {
+	return cryptoutil.Hash(s.Code)
+}
+
+// SignStage produces a vendor-signed stage.
+func SignStage(vendor *cryptoutil.Signer, name string, code []byte) Stage {
+	return Stage{Name: name, Code: append([]byte(nil), code...), Signature: vendor.Sign(code)}
+}
+
+// SecureBoot runs the secure-boot launch policy: starting from the
+// unchangeable ROM, each stage's signature is verified against the vendor
+// key before it executes. The returned slice lists the stages that ran;
+// on failure it stops at (and excludes) the first bad stage.
+func SecureBoot(vendorPub ed25519.PublicKey, chain []Stage) ([]string, error) {
+	booted := make([]string, 0, len(chain))
+	for _, st := range chain {
+		if !cryptoutil.Verify(vendorPub, st.Code, st.Signature) {
+			return booted, fmt.Errorf("stage %q: %w", st.Name, ErrRefusedBoot)
+		}
+		booted = append(booted, st.Name)
+	}
+	return booted, nil
+}
+
+// BootLogEntry is one measured stage in an authenticated boot.
+type BootLogEntry struct {
+	Name        string
+	Measurement [32]byte
+}
+
+// BootLog is the measurement log an authenticated boot leaves behind. It
+// is untrusted data; the TPM quote over the PCR is what authenticates it.
+type BootLog struct {
+	PCR     int
+	Entries []BootLogEntry
+}
+
+// AuthenticatedBoot runs the authenticated-boot launch policy: the CRTM
+// measures every stage into the given PCR and the machine runs everything
+// — "users have the freedom to run arbitrary code on their hardware".
+func AuthenticatedBoot(t *tpm.TPM, pcr int, chain []Stage) (BootLog, error) {
+	log := BootLog{PCR: pcr}
+	for _, st := range chain {
+		m := st.Measurement()
+		if err := t.Extend(pcr, m); err != nil {
+			return log, fmt.Errorf("measure stage %q: %w", st.Name, err)
+		}
+		log.Entries = append(log.Entries, BootLogEntry{Name: st.Name, Measurement: m})
+	}
+	return log, nil
+}
+
+// ReplayLog recomputes the PCR value the log's entries should have
+// produced, starting from a reset register. A verifier compares this to a
+// quoted PCR value to authenticate the log.
+func ReplayLog(log BootLog) [32]byte {
+	var pcr [32]byte
+	for _, e := range log.Entries {
+		pcr = cryptoutil.Hash(pcr[:], e.Measurement[:])
+	}
+	return pcr
+}
+
+// VerifyBootLog checks a quote over the boot-log PCR against the log: the
+// quote must be fresh and signed by a genuine TPM, and the log replay must
+// reproduce the quoted value. On success the verifier knows exactly which
+// software stack booted.
+func VerifyBootLog(q tpm.PCRQuote, nonce []byte, manufacturerPub ed25519.PublicKey, log BootLog) error {
+	want := ReplayLog(log)
+	return tpm.VerifyPCRQuote(q, nonce, manufacturerPub, map[int][32]byte{log.PCR: want})
+}
+
+// Verifier is the remote end of the attestation protocol: it holds vendor
+// keys it trusts and golden measurements it accepts. It issues single-use
+// nonces and checks quotes against both.
+type Verifier struct {
+	mu      sync.Mutex
+	vendors map[string]ed25519.PublicKey // anchor kind -> vendor key
+	golden  map[[32]byte]string          // measurement -> friendly name
+	nonces  map[string]bool              // outstanding nonces
+	prng    *cryptoutil.PRNG
+}
+
+// NewVerifier creates a verifier with a deterministic nonce source (seeded
+// for reproducible experiments; a production verifier would use real
+// randomness).
+func NewVerifier(seed string) *Verifier {
+	return &Verifier{
+		vendors: make(map[string]ed25519.PublicKey),
+		golden:  make(map[[32]byte]string),
+		nonces:  make(map[string]bool),
+		prng:    cryptoutil.NewPRNG("verifier:" + seed),
+	}
+}
+
+// TrustVendor registers a vendor key for an anchor kind (e.g. "sgx-qe" →
+// Intel's key).
+func (v *Verifier) TrustVendor(anchorKind string, pub ed25519.PublicKey) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.vendors[anchorKind] = append(ed25519.PublicKey(nil), pub...)
+}
+
+// AllowMeasurement registers a golden measurement (e.g. the audited
+// anonymizer build the utility published, §III-C).
+func (v *Verifier) AllowMeasurement(meas [32]byte, name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.golden[meas] = name
+}
+
+// AllowCode is AllowMeasurement for a raw code image.
+func (v *Verifier) AllowCode(code []byte, name string) {
+	v.AllowMeasurement(cryptoutil.Hash(code), name)
+}
+
+// Challenge issues a fresh single-use nonce.
+func (v *Verifier) Challenge() []byte {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := v.prng.Bytes(16)
+	v.nonces[string(n)] = true
+	return n
+}
+
+// Check verifies a quote end to end: known vendor for its anchor kind,
+// valid signature chain, our outstanding nonce (consumed — replays fail),
+// and a measurement on the allow list. It returns the friendly name of
+// the attested code.
+func (v *Verifier) Check(q core.Quote) (string, error) {
+	v.mu.Lock()
+	vendor, okV := v.vendors[q.AnchorKind]
+	name, okM := v.golden[q.Measurement]
+	okN := v.nonces[string(q.Nonce)]
+	if okN {
+		delete(v.nonces, string(q.Nonce)) // single use
+	}
+	v.mu.Unlock()
+	if !okV {
+		return "", fmt.Errorf("anchor kind %q: no trusted vendor: %w", q.AnchorKind, core.ErrQuote)
+	}
+	if !okN {
+		return "", fmt.Errorf("nonce not outstanding (replay?): %w", core.ErrQuote)
+	}
+	if err := core.VerifyQuote(q, q.Nonce, vendor, q.Measurement); err != nil {
+		return "", err
+	}
+	if !okM {
+		return "", fmt.Errorf("measurement %x: %w", q.Measurement[:4], ErrUnknownMeasurement)
+	}
+	return name, nil
+}

@@ -1,0 +1,209 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/tpm"
+)
+
+func chainOf(vendor *cryptoutil.Signer) []Stage {
+	return []Stage{
+		SignStage(vendor, "bootloader", []byte("bl-1.0")),
+		SignStage(vendor, "kernel", []byte("krn-5.4")),
+		SignStage(vendor, "system", []byte("sys-2.1")),
+	}
+}
+
+func TestSecureBootAcceptsSignedChain(t *testing.T) {
+	vendor := cryptoutil.NewSigner("platform-vendor")
+	booted, err := SecureBoot(vendor.Public(), chainOf(vendor))
+	if err != nil {
+		t.Fatalf("signed chain refused: %v", err)
+	}
+	if len(booted) != 3 || booted[2] != "system" {
+		t.Errorf("booted = %v", booted)
+	}
+}
+
+func TestSecureBootRefusesTamperedStage(t *testing.T) {
+	vendor := cryptoutil.NewSigner("platform-vendor")
+	chain := chainOf(vendor)
+	chain[1].Code = []byte("krn-5.4-ROOTKIT")
+	booted, err := SecureBoot(vendor.Public(), chain)
+	if !errors.Is(err, ErrRefusedBoot) {
+		t.Fatalf("tampered stage: got %v, want ErrRefusedBoot", err)
+	}
+	// The machine stops exactly at the bad stage.
+	if len(booted) != 1 || booted[0] != "bootloader" {
+		t.Errorf("booted before refusal = %v", booted)
+	}
+}
+
+func TestSecureBootRefusesUnsigned(t *testing.T) {
+	vendor := cryptoutil.NewSigner("platform-vendor")
+	chain := []Stage{{Name: "custom-os", Code: []byte("my-hobby-kernel")}}
+	if _, err := SecureBoot(vendor.Public(), chain); !errors.Is(err, ErrRefusedBoot) {
+		t.Errorf("unsigned stage: got %v", err)
+	}
+}
+
+func TestAuthenticatedBootRunsEverythingAndLogs(t *testing.T) {
+	vendor := cryptoutil.NewSigner("platform-vendor")
+	mfr := cryptoutil.NewSigner("tpm-mfr")
+	tp := tpm.New("dev", mfr)
+	chain := chainOf(vendor)
+	chain[1].Code = []byte("my-custom-kernel") // unsigned/modified: still boots
+	chain[1].Signature = nil
+	log, err := AuthenticatedBoot(tp, 0, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Entries) != 3 {
+		t.Fatalf("log entries = %d", len(log.Entries))
+	}
+	// The log replay matches the PCR, so the quote verifies truthfully.
+	nonce := []byte("n")
+	q, err := tp.Quote([]int{0}, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBootLog(q, nonce, mfr.Public(), log); err != nil {
+		t.Errorf("truthful log rejected: %v", err)
+	}
+	// A doctored log (hide the custom kernel) fails verification.
+	forged := log
+	forged.Entries = append([]BootLogEntry(nil), log.Entries...)
+	forged.Entries[1].Measurement = Stage{Code: []byte("krn-5.4")}.Measurement()
+	if err := VerifyBootLog(q, nonce, mfr.Public(), forged); !errors.Is(err, core.ErrQuote) {
+		t.Error("doctored boot log accepted")
+	}
+}
+
+func TestAuthenticatedBootBadPCR(t *testing.T) {
+	mfr := cryptoutil.NewSigner("tpm-mfr")
+	tp := tpm.New("dev", mfr)
+	if _, err := AuthenticatedBoot(tp, 99, chainOf(cryptoutil.NewSigner("v"))); !errors.Is(err, tpm.ErrBadPCR) {
+		t.Errorf("bad pcr: got %v", err)
+	}
+}
+
+func TestReplayLogMatchesExtendSemantics(t *testing.T) {
+	mfr := cryptoutil.NewSigner("tpm-mfr")
+	tp := tpm.New("dev", mfr)
+	chain := chainOf(cryptoutil.NewSigner("v"))
+	log, err := AuthenticatedBoot(tp, 3, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcr, _ := tp.PCRValue(3)
+	if ReplayLog(log) != pcr {
+		t.Error("log replay does not reproduce the PCR")
+	}
+}
+
+// quoteFixture builds a verifier plus a genuine quote for "good-code".
+func quoteFixture(t *testing.T) (*Verifier, core.Quote, *cryptoutil.Signer, []byte) {
+	t.Helper()
+	vendor := cryptoutil.NewSigner("intel")
+	device := cryptoutil.NewSigner("cpu-7")
+	cert := core.IssueVendorCert(vendor, device.Public())
+	v := NewVerifier("test")
+	v.TrustVendor("sgx-qe", vendor.Public())
+	v.AllowCode([]byte("good-code"), "anonymizer-v1")
+	nonce := v.Challenge()
+	q := core.SignQuote("sgx-qe", cryptoutil.Hash([]byte("good-code")), nonce, device, cert)
+	return v, q, device, nonce
+}
+
+func TestVerifierAcceptsGenuineQuote(t *testing.T) {
+	v, q, _, _ := quoteFixture(t)
+	name, err := v.Check(q)
+	if err != nil {
+		t.Fatalf("genuine quote rejected: %v", err)
+	}
+	if name != "anonymizer-v1" {
+		t.Errorf("name = %q", name)
+	}
+}
+
+func TestVerifierRejectsReplay(t *testing.T) {
+	v, q, _, _ := quoteFixture(t)
+	if _, err := v.Check(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Check(q); !errors.Is(err, core.ErrQuote) {
+		t.Errorf("replayed quote: got %v", err)
+	}
+}
+
+func TestVerifierRejectsUnknownVendorAndMeasurement(t *testing.T) {
+	v, q, device, _ := quoteFixture(t)
+	// Unknown anchor kind.
+	q2 := q
+	q2.AnchorKind = "mystery"
+	if _, err := v.Check(q2); !errors.Is(err, core.ErrQuote) {
+		t.Errorf("unknown anchor kind: got %v", err)
+	}
+	// Unknown measurement: valid chain, but not on the allow list.
+	vendor := cryptoutil.NewSigner("intel")
+	cert := core.IssueVendorCert(vendor, device.Public())
+	nonce := v.Challenge()
+	qEvil := core.SignQuote("sgx-qe", cryptoutil.Hash([]byte("TAMPERED")), nonce, device, cert)
+	if _, err := v.Check(qEvil); !errors.Is(err, ErrUnknownMeasurement) {
+		t.Errorf("unknown measurement: got %v", err)
+	}
+}
+
+func TestVerifierRejectsEmulation(t *testing.T) {
+	// The paper: "Without a secret, everything about the platform is
+	// known, so a complete software emulation is possible. ... But if the
+	// secret is only available to trusted components ... proof of access
+	// to the secret could not be provided by an imposter."
+	v, _, _, _ := quoteFixture(t)
+	imposter := cryptoutil.NewSigner("emulator")
+	nonce := v.Challenge()
+	forged := core.SignQuote("sgx-qe", cryptoutil.Hash([]byte("good-code")), nonce, imposter,
+		core.IssueVendorCert(imposter, imposter.Public()))
+	if _, err := v.Check(forged); !errors.Is(err, core.ErrQuote) {
+		t.Errorf("software emulation accepted: got %v", err)
+	}
+}
+
+func TestVerifierStaleNonce(t *testing.T) {
+	v, q, device, _ := quoteFixture(t)
+	_ = q
+	vendor := cryptoutil.NewSigner("intel")
+	cert := core.IssueVendorCert(vendor, device.Public())
+	// Nonce the verifier never issued.
+	forged := core.SignQuote("sgx-qe", cryptoutil.Hash([]byte("good-code")), []byte("made-up"), device, cert)
+	if _, err := v.Check(forged); !errors.Is(err, core.ErrQuote) {
+		t.Errorf("unissued nonce: got %v", err)
+	}
+}
+
+func TestEndToEndWithSubstrateAnchors(t *testing.T) {
+	// The same Verifier handles quotes from ALL substrate anchor kinds —
+	// the unified-interface property applied to attestation.
+	mfr := cryptoutil.NewSigner("tpm-mfr")
+	tp := tpm.New("dev", mfr)
+	sub := tpm.NewSubstrate(tp)
+	pal, err := sub.CreateDomain(core.DomainSpec{Name: "pal", Code: []byte("pal-code"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier("e2e")
+	v.TrustVendor("tpm", mfr.Public())
+	v.AllowMeasurement(pal.Measurement(), "pal-v1")
+	nonce := v.Challenge()
+	q, err := sub.Anchor().Quote(pal, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := v.Check(q)
+	if err != nil || name != "pal-v1" {
+		t.Errorf("end-to-end = %q, %v", name, err)
+	}
+}

@@ -1,0 +1,49 @@
+package attest_test
+
+import (
+	"errors"
+	"fmt"
+
+	"lateral/internal/attest"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/tpm"
+)
+
+// Example contrasts the two launch policies of §II-D on the same tampered
+// boot chain: secure boot refuses to run it; authenticated boot runs it
+// and produces a truthful, verifiable log.
+func Example() {
+	vendor := cryptoutil.NewSigner("platform-vendor")
+	mfr := cryptoutil.NewSigner("tpm-manufacturer")
+	chain := []attest.Stage{
+		attest.SignStage(vendor, "bootloader", []byte("bl-1.0")),
+		{Name: "kernel", Code: []byte("my-custom-kernel")}, // unsigned
+	}
+
+	// Secure boot: the machine refuses unsigned software.
+	_, err := attest.SecureBoot(vendor.Public(), chain)
+	fmt.Println("secure boot refused:", errors.Is(err, attest.ErrRefusedBoot))
+
+	// Authenticated boot: everything runs; the TPM records what did.
+	t := tpm.New("example-device", mfr)
+	log, err := attest.AuthenticatedBoot(t, 0, chain)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	nonce := []byte("verifier-nonce")
+	quote, err := t.Quote([]int{0}, nonce)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("truthful log verifies:", attest.VerifyBootLog(quote, nonce, mfr.Public(), log) == nil)
+
+	// Lying about the custom kernel fails verification.
+	log.Entries[1].Measurement = attest.Stage{Code: []byte("stock-kernel")}.Measurement()
+	fmt.Println("doctored log verifies:", attest.VerifyBootLog(quote, nonce, mfr.Public(), log) == nil)
+	// Output:
+	// secure boot refused: true
+	// truthful log verifies: true
+	// doctored log verifies: false
+}

@@ -1,0 +1,233 @@
+// Package cap implements a capability system in the L4/seL4 tradition:
+// unforgeable references that bundle a communication right with a context
+// identity. Per §III-D of the paper, "capabilities bundle communication
+// right and context identification in one entity and are therefore an
+// important programming tool to prevent confused deputy issues."
+//
+// The package provides capability spaces (per-component tables), rights
+// diminution on transfer (a capability can only ever be minted weaker),
+// badges for context identification, and recursive revocation along the
+// derivation tree — the operations a capability kernel exports.
+package cap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Rights is the access bit mask carried by a capability.
+type Rights uint8
+
+// Right bits.
+const (
+	Read Rights = 1 << iota
+	Write
+	Invoke
+	Grant // may mint derived capabilities for others
+)
+
+// Has reports whether all bits in r2 are present in r.
+func (r Rights) Has(r2 Rights) bool { return r&r2 == r2 }
+
+func (r Rights) String() string {
+	buf := []byte("----")
+	if r.Has(Read) {
+		buf[0] = 'r'
+	}
+	if r.Has(Write) {
+		buf[1] = 'w'
+	}
+	if r.Has(Invoke) {
+		buf[2] = 'i'
+	}
+	if r.Has(Grant) {
+		buf[3] = 'g'
+	}
+	return string(buf)
+}
+
+// Errors.
+var (
+	// ErrRevoked is returned when using a revoked capability.
+	ErrRevoked = errors.New("cap: capability revoked")
+
+	// ErrRights is returned when an operation exceeds the capability's
+	// rights, including attempts to mint a stronger child.
+	ErrRights = errors.New("cap: insufficient rights")
+
+	// ErrNoCap is returned when a slot holds no capability.
+	ErrNoCap = errors.New("cap: empty slot")
+)
+
+// Object is anything a capability can designate (an IPC gate, a file, a
+// session). The capability system treats it opaquely.
+type Object interface {
+	ObjectName() string
+}
+
+// Cap is one unforgeable reference. Values of this type are only created
+// by NewRoot and Mint, never by composite literal from outside the
+// package — Go's unexported fields enforce the unforgeability.
+type Cap struct {
+	obj    Object
+	rights Rights
+	badge  uint64
+
+	mu       sync.Mutex
+	revoked  bool
+	children []*Cap
+}
+
+// NewRoot creates the original, full-rights capability to an object. Only
+// the substrate (or whoever legitimately creates the object) should call
+// this.
+func NewRoot(obj Object, rights Rights) *Cap {
+	return &Cap{obj: obj, rights: rights}
+}
+
+// Object returns the designated object, failing if the capability has been
+// revoked.
+func (c *Cap) Object() (Object, error) {
+	if c.isRevoked() {
+		return nil, fmt.Errorf("cap to %s: %w", c.obj.ObjectName(), ErrRevoked)
+	}
+	return c.obj, nil
+}
+
+// Rights returns the capability's rights mask.
+func (c *Cap) Rights() Rights { return c.rights }
+
+// Badge returns the context identity stamped onto this capability at mint
+// time. The HOLDER cannot change it — that is what makes it trustworthy
+// for the receiver.
+func (c *Cap) Badge() uint64 { return c.badge }
+
+// Demand verifies the capability is live and carries the needed rights.
+func (c *Cap) Demand(need Rights) error {
+	if c.isRevoked() {
+		return fmt.Errorf("cap to %s: %w", c.obj.ObjectName(), ErrRevoked)
+	}
+	if !c.rights.Has(need) {
+		return fmt.Errorf("cap to %s: need %v, have %v: %w", c.obj.ObjectName(), need, c.rights, ErrRights)
+	}
+	return nil
+}
+
+// Mint derives a child capability with a subset of this capability's
+// rights and a new badge. Minting requires Grant; rights can only shrink.
+// Revoking the parent revokes every mint transitively.
+func (c *Cap) Mint(rights Rights, badge uint64) (*Cap, error) {
+	if c.isRevoked() {
+		return nil, fmt.Errorf("mint from %s: %w", c.obj.ObjectName(), ErrRevoked)
+	}
+	if !c.rights.Has(Grant) {
+		return nil, fmt.Errorf("mint from %s: %w", c.obj.ObjectName(), ErrRights)
+	}
+	if !c.rights.Has(rights) {
+		return nil, fmt.Errorf("mint from %s: child rights %v exceed parent %v: %w",
+			c.obj.ObjectName(), rights, c.rights, ErrRights)
+	}
+	child := &Cap{obj: c.obj, rights: rights, badge: badge}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.revoked {
+		return nil, fmt.Errorf("mint from %s: %w", c.obj.ObjectName(), ErrRevoked)
+	}
+	c.children = append(c.children, child)
+	return child, nil
+}
+
+// Revoke invalidates this capability and, recursively, everything minted
+// from it.
+func (c *Cap) Revoke() {
+	c.mu.Lock()
+	if c.revoked {
+		c.mu.Unlock()
+		return
+	}
+	c.revoked = true
+	children := c.children
+	c.children = nil
+	c.mu.Unlock()
+	for _, ch := range children {
+		ch.Revoke()
+	}
+}
+
+func (c *Cap) isRevoked() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.revoked
+}
+
+// Space is one component's capability table, indexed by slot name. A
+// component can only ever use what sits in its space; there is no ambient
+// namespace to escalate through.
+type Space struct {
+	owner string
+
+	mu    sync.Mutex
+	slots map[string]*Cap
+}
+
+// NewSpace creates an empty capability space for a component.
+func NewSpace(owner string) *Space {
+	return &Space{owner: owner, slots: make(map[string]*Cap)}
+}
+
+// Owner returns the component the space belongs to.
+func (s *Space) Owner() string { return s.owner }
+
+// Insert places a capability into a named slot, replacing any previous
+// occupant.
+func (s *Space) Insert(slot string, c *Cap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slots[slot] = c
+}
+
+// Lookup fetches the capability in a slot.
+func (s *Space) Lookup(slot string) (*Cap, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.slots[slot]
+	if !ok {
+		return nil, fmt.Errorf("space %s slot %q: %w", s.owner, slot, ErrNoCap)
+	}
+	return c, nil
+}
+
+// Delete removes a slot (the capability itself stays valid elsewhere).
+func (s *Space) Delete(slot string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.slots, slot)
+}
+
+// Slots lists occupied slot names.
+func (s *Space) Slots() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.slots))
+	for k := range s.slots {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Transfer moves a capability from one space to another under a (possibly
+// diminished) rights mask, enforcing Grant on the source capability.
+// This models capability delegation over IPC.
+func Transfer(from *Space, fromSlot string, to *Space, toSlot string, rights Rights, badge uint64) error {
+	c, err := from.Lookup(fromSlot)
+	if err != nil {
+		return err
+	}
+	child, err := c.Mint(rights, badge)
+	if err != nil {
+		return fmt.Errorf("transfer %s→%s: %w", from.owner, to.owner, err)
+	}
+	to.Insert(toSlot, child)
+	return nil
+}

@@ -1,0 +1,196 @@
+package cap
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+type obj string
+
+func (o obj) ObjectName() string { return string(o) }
+
+func TestRightsHasAndString(t *testing.T) {
+	r := Read | Invoke
+	if !r.Has(Read) || !r.Has(Invoke) || r.Has(Write) || r.Has(Grant) {
+		t.Error("Has wrong")
+	}
+	if !r.Has(Read | Invoke) {
+		t.Error("Has of combined mask wrong")
+	}
+	if got := (Read | Write | Invoke | Grant).String(); got != "rwig" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Rights(0).String(); got != "----" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRootCapAndDemand(t *testing.T) {
+	c := NewRoot(obj("gate"), Read|Invoke)
+	if err := c.Demand(Invoke); err != nil {
+		t.Errorf("Demand(Invoke): %v", err)
+	}
+	if err := c.Demand(Write); !errors.Is(err, ErrRights) {
+		t.Errorf("Demand(Write): got %v, want ErrRights", err)
+	}
+	o, err := c.Object()
+	if err != nil || o.ObjectName() != "gate" {
+		t.Errorf("Object = %v, %v", o, err)
+	}
+	if c.Badge() != 0 {
+		t.Errorf("root badge = %d", c.Badge())
+	}
+}
+
+func TestMintDiminishesOnly(t *testing.T) {
+	root := NewRoot(obj("file"), Read|Write|Grant)
+	child, err := root.Mint(Read, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Badge() != 7 || child.Rights() != Read {
+		t.Errorf("child = %v badge %d", child.Rights(), child.Badge())
+	}
+	// Amplification must fail.
+	if _, err := root.Mint(Read|Write|Grant|Invoke, 1); !errors.Is(err, ErrRights) {
+		t.Errorf("amplifying mint: got %v", err)
+	}
+	// A child without Grant cannot mint at all.
+	if _, err := child.Mint(Read, 9); !errors.Is(err, ErrRights) {
+		t.Errorf("grant-less mint: got %v", err)
+	}
+	// A child WITH grant can re-delegate a subset.
+	g, err := root.Mint(Read|Grant, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := g.Mint(Read, 3)
+	if err != nil {
+		t.Fatalf("re-delegation failed: %v", err)
+	}
+	if gc.Rights() != Read {
+		t.Errorf("re-delegated rights = %v", gc.Rights())
+	}
+}
+
+func TestRevocationIsRecursive(t *testing.T) {
+	root := NewRoot(obj("session"), Read|Write|Grant)
+	c1, _ := root.Mint(Read|Grant, 1)
+	c2, _ := c1.Mint(Read, 2)
+	sibling, _ := root.Mint(Read, 3)
+
+	c1.Revoke()
+	if err := c2.Demand(Read); !errors.Is(err, ErrRevoked) {
+		t.Errorf("grandchild after revoke: got %v", err)
+	}
+	if _, err := c2.Object(); !errors.Is(err, ErrRevoked) {
+		t.Errorf("Object after revoke: got %v", err)
+	}
+	if _, err := c1.Mint(Read, 9); !errors.Is(err, ErrRevoked) {
+		t.Errorf("mint from revoked: got %v", err)
+	}
+	// Sibling unaffected.
+	if err := sibling.Demand(Read); err != nil {
+		t.Errorf("sibling after unrelated revoke: %v", err)
+	}
+	// Root revoke kills everything.
+	root.Revoke()
+	if err := sibling.Demand(Read); !errors.Is(err, ErrRevoked) {
+		t.Errorf("sibling after root revoke: got %v", err)
+	}
+	root.Revoke() // idempotent
+}
+
+func TestSpaceOperations(t *testing.T) {
+	s := NewSpace("alice")
+	if s.Owner() != "alice" {
+		t.Errorf("owner = %q", s.Owner())
+	}
+	if _, err := s.Lookup("x"); !errors.Is(err, ErrNoCap) {
+		t.Errorf("empty slot: got %v", err)
+	}
+	c := NewRoot(obj("o"), Read)
+	s.Insert("x", c)
+	got, err := s.Lookup("x")
+	if err != nil || got != c {
+		t.Errorf("lookup = %v, %v", got, err)
+	}
+	if slots := s.Slots(); len(slots) != 1 || slots[0] != "x" {
+		t.Errorf("slots = %v", slots)
+	}
+	s.Delete("x")
+	if _, err := s.Lookup("x"); !errors.Is(err, ErrNoCap) {
+		t.Error("slot survived delete")
+	}
+}
+
+func TestTransferDelegationChain(t *testing.T) {
+	server := NewSpace("server")
+	alice := NewSpace("alice")
+	mallory := NewSpace("mallory")
+	server.Insert("svc", NewRoot(obj("svc"), Read|Write|Invoke|Grant))
+
+	if err := Transfer(server, "svc", alice, "svc", Invoke, 101); err != nil {
+		t.Fatal(err)
+	}
+	ac, _ := alice.Lookup("svc")
+	if ac.Badge() != 101 || ac.Rights() != Invoke {
+		t.Errorf("alice's cap = %v badge %d", ac.Rights(), ac.Badge())
+	}
+	// Alice (no Grant) cannot re-delegate to Mallory.
+	if err := Transfer(alice, "svc", mallory, "svc", Invoke, 102); !errors.Is(err, ErrRights) {
+		t.Errorf("grant-less transfer: got %v", err)
+	}
+	// Transfer from an empty slot fails cleanly.
+	if err := Transfer(alice, "nothing", mallory, "x", Read, 1); !errors.Is(err, ErrNoCap) {
+		t.Errorf("empty transfer: got %v", err)
+	}
+	// Server revokes its root: alice's delegated cap dies with it.
+	sc, _ := server.Lookup("svc")
+	sc.Revoke()
+	if err := ac.Demand(Invoke); !errors.Is(err, ErrRevoked) {
+		t.Errorf("delegated cap after server revoke: got %v", err)
+	}
+}
+
+func TestSessionTable(t *testing.T) {
+	tbl := NewSessionTable[string]()
+	tbl.Register(101, "alice-mailbox")
+	tbl.Register(102, "mallory-mailbox")
+	if tbl.Len() != 2 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+	s, err := tbl.ForBadge(101)
+	if err != nil || s != "alice-mailbox" {
+		t.Errorf("ForBadge(101) = %q, %v", s, err)
+	}
+	// Ambient (badge 0) is always refused — this is the anti-confused-
+	// deputy rule.
+	if _, err := tbl.ForBadge(0); !errors.Is(err, ErrNoSession) {
+		t.Errorf("badge 0: got %v", err)
+	}
+	if _, err := tbl.ForBadge(999); !errors.Is(err, ErrNoSession) {
+		t.Errorf("unknown badge: got %v", err)
+	}
+	tbl.Drop(101)
+	if _, err := tbl.ForBadge(101); !errors.Is(err, ErrNoSession) {
+		t.Error("dropped session still resolves")
+	}
+}
+
+// Property: a minted child's rights are always a subset of the parent's.
+func TestQuickMintSubset(t *testing.T) {
+	f := func(parentBits, childBits uint8) bool {
+		parent := NewRoot(obj("o"), Rights(parentBits)|Grant)
+		child, err := parent.Mint(Rights(childBits), 1)
+		if err != nil {
+			// Mint failed: acceptable only if child exceeds parent.
+			return !(Rights(parentBits) | Grant).Has(Rights(childBits))
+		}
+		return (Rights(parentBits) | Grant).Has(child.Rights())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package cap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file provides the deputy-side toolkit of §III-D: a service that
+// "may serve multiple clients and thereby handle multiple trust domains
+// within itself" keys every piece of client state by the BADGE the kernel
+// stamped on the invocation, never by any identity claim in the payload.
+// Experiment E8 contrasts this with an ambient-authority deputy.
+
+// ErrNoSession is returned when an invocation arrives under a badge no
+// session was registered for.
+var ErrNoSession = errors.New("cap: no session for badge")
+
+// SessionTable maps badges to per-client session state inside a deputy.
+type SessionTable[T any] struct {
+	mu       sync.Mutex
+	sessions map[uint64]T
+}
+
+// NewSessionTable creates an empty table.
+func NewSessionTable[T any]() *SessionTable[T] {
+	return &SessionTable[T]{sessions: make(map[uint64]T)}
+}
+
+// Register installs the session state for a badge (at capability mint
+// time, i.e. when the client relationship is established).
+func (t *SessionTable[T]) Register(badge uint64, state T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sessions[badge] = state
+}
+
+// ForBadge resolves the session for an invocation. Badge 0 (ambient
+// invocation) never resolves: a capability deputy refuses anonymous
+// callers rather than guessing.
+func (t *SessionTable[T]) ForBadge(badge uint64) (T, error) {
+	var zero T
+	if badge == 0 {
+		return zero, fmt.Errorf("ambient invocation: %w", ErrNoSession)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[badge]
+	if !ok {
+		return zero, fmt.Errorf("badge %d: %w", badge, ErrNoSession)
+	}
+	return s, nil
+}
+
+// Drop removes a badge's session (revocation of the client relationship).
+func (t *SessionTable[T]) Drop(badge uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.sessions, badge)
+}
+
+// Len reports the number of live sessions.
+func (t *SessionTable[T]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}

@@ -1,0 +1,43 @@
+package cap_test
+
+import (
+	"errors"
+	"fmt"
+
+	"lateral/internal/cap"
+)
+
+type gate string
+
+func (g gate) ObjectName() string { return string(g) }
+
+// Example shows the capability lifecycle the paper's §III-D builds on:
+// mint diminished, badge-stamped capabilities for clients, resolve
+// sessions by badge (never by payload claims), and revoke transitively.
+func Example() {
+	// The file server owns the root capability to its service gate.
+	root := cap.NewRoot(gate("file-service"), cap.Read|cap.Write|cap.Invoke|cap.Grant)
+
+	// Each client receives an invoke-only capability with its own badge.
+	aliceCap, _ := root.Mint(cap.Invoke, 101)
+	malloryCap, _ := root.Mint(cap.Invoke, 102)
+
+	// The deputy keys sessions by badge — unforgeable context identity.
+	sessions := cap.NewSessionTable[string]()
+	sessions.Register(101, "alice's files")
+	sessions.Register(102, "mallory's files")
+
+	for _, c := range []*cap.Cap{aliceCap, malloryCap} {
+		s, _ := sessions.ForBadge(c.Badge())
+		fmt.Printf("badge %d → %s\n", c.Badge(), s)
+	}
+
+	// Revoking the root cuts off every client at once.
+	root.Revoke()
+	err := aliceCap.Demand(cap.Invoke)
+	fmt.Println("after revoke:", errors.Is(err, cap.ErrRevoked))
+	// Output:
+	// badge 101 → alice's files
+	// badge 102 → mallory's files
+	// after revoke: true
+}

@@ -1,0 +1,129 @@
+package cap
+
+// This file models CHERI-style memory capabilities (§III-D: "The research
+// community even discusses architectures with hardware capabilities to
+// enable even more fine-grained disaggregation of authority. The CHERI
+// capability system is implemented as a modified MIPS CPU, using guarded
+// pointers as capabilities.")
+//
+// A MemCap is a guarded pointer into a domain's memory: base, length, and
+// permissions travel with the reference, every access is bounds- and
+// rights-checked, and derivation can only narrow. It lets a component hand
+// a collaborator access to ONE buffer instead of its whole address space —
+// sub-domain disaggregation of authority.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemTarget is the memory a MemCap can point into. core.DomainHandle
+// satisfies it; the indirection keeps cap free of a core dependency.
+type MemTarget interface {
+	Write(off int, p []byte) error
+	Read(off, n int) ([]byte, error)
+	MemSize() int
+}
+
+// MemCap is a guarded pointer: an unforgeable, bounds-carrying,
+// rights-carrying reference to a memory region.
+type MemCap struct {
+	target MemTarget
+	base   int
+	length int
+	rights Rights
+
+	mu       sync.Mutex
+	revoked  bool
+	children []*MemCap
+}
+
+// NewMemCap creates the root guarded pointer over [base, base+length) of
+// the target. Only whoever owns the memory should call this.
+func NewMemCap(target MemTarget, base, length int, rights Rights) (*MemCap, error) {
+	if base < 0 || length < 0 || base+length > target.MemSize() {
+		return nil, fmt.Errorf("memcap [%d,%d) exceeds target size %d: %w",
+			base, base+length, target.MemSize(), ErrRights)
+	}
+	return &MemCap{target: target, base: base, length: length, rights: rights}, nil
+}
+
+// Bounds returns the referenced region.
+func (c *MemCap) Bounds() (base, length int) { return c.base, c.length }
+
+// Rights returns the permission mask.
+func (c *MemCap) Rights() Rights { return c.rights }
+
+// Load reads n bytes at offset off WITHIN the capability's bounds.
+func (c *MemCap) Load(off, n int) ([]byte, error) {
+	if err := c.check(Read, off, n); err != nil {
+		return nil, err
+	}
+	return c.target.Read(c.base+off, n)
+}
+
+// Store writes p at offset off within bounds.
+func (c *MemCap) Store(off int, p []byte) error {
+	if err := c.check(Write, off, len(p)); err != nil {
+		return err
+	}
+	return c.target.Write(c.base+off, p)
+}
+
+// check validates liveness, rights, and bounds.
+func (c *MemCap) check(need Rights, off, n int) error {
+	c.mu.Lock()
+	revoked := c.revoked
+	c.mu.Unlock()
+	if revoked {
+		return fmt.Errorf("memcap: %w", ErrRevoked)
+	}
+	if !c.rights.Has(need) {
+		return fmt.Errorf("memcap: need %v, have %v: %w", need, c.rights, ErrRights)
+	}
+	if off < 0 || n < 0 || off+n > c.length {
+		return fmt.Errorf("memcap: access [%d,%d) outside [0,%d): %w", off, off+n, c.length, ErrRights)
+	}
+	return nil
+}
+
+// Narrow derives a child capability over a sub-range with a subset of the
+// rights — the CHERI monotonicity rule: bounds and permissions only ever
+// shrink. Revoking the parent revokes all derivations.
+func (c *MemCap) Narrow(off, length int, rights Rights) (*MemCap, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.revoked {
+		return nil, fmt.Errorf("memcap narrow: %w", ErrRevoked)
+	}
+	if !c.rights.Has(rights) {
+		return nil, fmt.Errorf("memcap narrow: rights %v exceed %v: %w", rights, c.rights, ErrRights)
+	}
+	if off < 0 || length < 0 || off+length > c.length {
+		return nil, fmt.Errorf("memcap narrow: [%d,%d) outside [0,%d): %w", off, off+length, c.length, ErrRights)
+	}
+	child := &MemCap{
+		target: c.target,
+		base:   c.base + off,
+		length: length,
+		rights: rights,
+	}
+	c.children = append(c.children, child)
+	return child, nil
+}
+
+// Revoke invalidates this guarded pointer and every derivation.
+func (c *MemCap) Revoke() {
+	c.mu.Lock()
+	if c.revoked {
+		c.mu.Unlock()
+		return
+	}
+	c.revoked = true
+	children := c.children
+	c.children = nil
+	c.mu.Unlock()
+	for _, ch := range children {
+		ch.Revoke()
+	}
+}

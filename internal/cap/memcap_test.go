@@ -1,0 +1,178 @@
+package cap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lateral/internal/core"
+	"lateral/internal/kernel"
+)
+
+// memBuf is an in-package MemTarget for unit tests.
+type memBuf struct{ b []byte }
+
+func (m *memBuf) Write(off int, p []byte) error {
+	if off < 0 || off+len(p) > len(m.b) {
+		return errors.New("oob")
+	}
+	copy(m.b[off:], p)
+	return nil
+}
+
+func (m *memBuf) Read(off, n int) ([]byte, error) {
+	if off < 0 || off+n > len(m.b) {
+		return nil, errors.New("oob")
+	}
+	out := make([]byte, n)
+	copy(out, m.b[off:])
+	return out, nil
+}
+
+func (m *memBuf) MemSize() int { return len(m.b) }
+
+func TestMemCapBoundsAndRights(t *testing.T) {
+	buf := &memBuf{b: make([]byte, 256)}
+	c, err := NewMemCap(buf, 64, 64, Read|Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base, length := c.Bounds(); base != 64 || length != 64 {
+		t.Errorf("bounds = %d,%d", base, length)
+	}
+	if err := c.Store(0, []byte("guarded")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Load(0, 7)
+	if err != nil || string(got) != "guarded" {
+		t.Fatalf("load = %q, %v", got, err)
+	}
+	// The write landed at target offset 64, not 0.
+	if !bytes.Equal(buf.b[64:71], []byte("guarded")) {
+		t.Error("store did not translate through the base")
+	}
+	// Out-of-bounds via the capability is refused even though the target
+	// is larger.
+	if err := c.Store(60, []byte("overflow!")); !errors.Is(err, ErrRights) {
+		t.Errorf("oob store: %v", err)
+	}
+	if _, err := c.Load(-1, 2); !errors.Is(err, ErrRights) {
+		t.Errorf("negative load: %v", err)
+	}
+	// A read-only view cannot store.
+	ro, err := c.Narrow(0, 64, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Store(0, []byte("x")); !errors.Is(err, ErrRights) {
+		t.Errorf("ro store: %v", err)
+	}
+	if _, err := ro.Load(0, 7); err != nil {
+		t.Errorf("ro load: %v", err)
+	}
+}
+
+func TestMemCapConstructionValidation(t *testing.T) {
+	buf := &memBuf{b: make([]byte, 16)}
+	if _, err := NewMemCap(buf, 8, 16, Read); !errors.Is(err, ErrRights) {
+		t.Errorf("oversized cap: %v", err)
+	}
+	if _, err := NewMemCap(buf, -1, 4, Read); !errors.Is(err, ErrRights) {
+		t.Errorf("negative base: %v", err)
+	}
+}
+
+func TestMemCapMonotonicNarrowing(t *testing.T) {
+	buf := &memBuf{b: make([]byte, 128)}
+	root, _ := NewMemCap(buf, 0, 128, Read|Write)
+	child, err := root.Narrow(32, 32, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base, length := child.Bounds(); base != 32 || length != 32 {
+		t.Errorf("child bounds = %d,%d", base, length)
+	}
+	// Amplification attempts fail.
+	if _, err := child.Narrow(0, 32, Read|Write); !errors.Is(err, ErrRights) {
+		t.Errorf("rights amplification: %v", err)
+	}
+	if _, err := root.Narrow(100, 64, Read); !errors.Is(err, ErrRights) {
+		t.Errorf("bounds amplification: %v", err)
+	}
+	// Grandchild within child works.
+	gc, err := child.Narrow(8, 8, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base, _ := gc.Bounds(); base != 40 {
+		t.Errorf("grandchild base = %d", base)
+	}
+}
+
+func TestMemCapRevocationCascades(t *testing.T) {
+	buf := &memBuf{b: make([]byte, 64)}
+	root, _ := NewMemCap(buf, 0, 64, Read|Write)
+	child, _ := root.Narrow(0, 32, Read)
+	root.Revoke()
+	root.Revoke() // idempotent
+	if _, err := child.Load(0, 1); !errors.Is(err, ErrRevoked) {
+		t.Errorf("child after revoke: %v", err)
+	}
+	if _, err := root.Narrow(0, 8, Read); !errors.Is(err, ErrRevoked) {
+		t.Errorf("narrow after revoke: %v", err)
+	}
+	if err := root.Store(0, []byte("x")); !errors.Is(err, ErrRevoked) {
+		t.Errorf("store after revoke: %v", err)
+	}
+}
+
+func TestMemCapOverRealDomain(t *testing.T) {
+	// The disaggregation scenario: a component shares ONE buffer of its
+	// domain with a collaborator instead of the whole domain.
+	sub := kernel.New(kernel.Config{})
+	d, err := sub.CreateDomain(core.DomainSpec{Name: "owner", Code: []byte("o"), MemPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, []byte("PRIVATE-HEADER")); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewMemCap(d, 256, 128, Read|Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Store(0, []byte("shared buffer content")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := shared.Load(0, 21)
+	if err != nil || string(got) != "shared buffer content" {
+		t.Fatalf("shared load = %q, %v", got, err)
+	}
+	// The collaborator's capability cannot reach the private header.
+	if _, err := shared.Load(-256, 14); !errors.Is(err, ErrRights) {
+		t.Errorf("escape below base: %v", err)
+	}
+}
+
+// Property: no sequence of valid Narrow calls can widen bounds or rights.
+func TestQuickNarrowMonotone(t *testing.T) {
+	buf := &memBuf{b: make([]byte, 256)}
+	root, _ := NewMemCap(buf, 0, 256, Read|Write|Invoke|Grant)
+	f := func(off1, len1, off2, len2 uint8, r1, r2 uint8) bool {
+		c1, err := root.Narrow(int(off1), int(len1), Rights(r1)&(Read|Write|Invoke|Grant))
+		if err != nil {
+			return true // invalid first step: nothing to check
+		}
+		c2, err := c1.Narrow(int(off2), int(len2), Rights(r2)&(Read|Write|Invoke|Grant))
+		if err != nil {
+			return true
+		}
+		b2, l2 := c2.Bounds()
+		b1, l1 := c1.Bounds()
+		return b2 >= b1 && b2+l2 <= b1+l1 && c1.Rights().Has(c2.Rights())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

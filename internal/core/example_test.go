@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"lateral/internal/core"
+)
+
+// greeter is a minimal trusted component.
+type greeter struct{ ctx *core.Ctx }
+
+func (g *greeter) CompName() string         { return "greeter" }
+func (g *greeter) CompVersion() string      { return "1.0" }
+func (g *greeter) Init(ctx *core.Ctx) error { g.ctx = ctx; return nil }
+
+func (g *greeter) Handle(env core.Envelope) (core.Message, error) {
+	if env.Badge == 0 {
+		return core.Message{}, core.ErrRefused
+	}
+	return core.Message{Op: "greeting", Data: append([]byte("hello, "), env.Msg.Data...)}, nil
+}
+
+// caller invokes the greeter over its granted channel.
+type caller struct{ ctx *core.Ctx }
+
+func (c *caller) CompName() string         { return "caller" }
+func (c *caller) CompVersion() string      { return "1.0" }
+func (c *caller) Init(ctx *core.Ctx) error { c.ctx = ctx; return nil }
+
+func (c *caller) Handle(env core.Envelope) (core.Message, error) {
+	return c.ctx.Call("greet", env.Msg)
+}
+
+// Example shows the minimal lifecycle: create a system on a substrate,
+// load two components, grant one channel, invoke.
+func Example() {
+	sys := core.NewSystem(core.NewMonolith(0))
+	if err := sys.Launch(&greeter{}, true, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.Launch(&caller{}, false, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.Grant(core.ChannelSpec{Name: "greet", From: "caller", To: "greeter", Badge: 1}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.InitAll(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	reply, err := sys.Deliver("caller", core.Message{Op: "hi", Data: []byte("world")})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(string(reply.Data))
+	// Output: hello, world
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lateral/internal/cryptoutil"
+)
+
+// Monolith is the deliberate NON-substrate: every "domain" lives in one
+// shared address space with no isolation whatsoever. It models the paper's
+// vertical application design — "monolithic blobs of vertically stacked
+// frameworks ... in one running process" — and serves as the baseline the
+// horizontal design is compared against in experiment E1.
+//
+// Monolith implements Substrate so the same components and the same
+// experiment code run on it unmodified; only the isolation outcome differs.
+type Monolith struct {
+	mu      sync.Mutex
+	arena   []byte
+	nextOff int
+	domains []*monoDomain
+}
+
+var _ Substrate = (*Monolith)(nil)
+
+// NewMonolith creates a shared arena of the given size (default 1 MiB).
+func NewMonolith(arenaSize int) *Monolith {
+	if arenaSize <= 0 {
+		arenaSize = 1 << 20
+	}
+	return &Monolith{arena: make([]byte, arenaSize)}
+}
+
+// Name returns "monolith".
+func (m *Monolith) Name() string { return "monolith" }
+
+// Properties reports no protection at all: one process, direct calls.
+func (m *Monolith) Properties() Properties {
+	return Properties{
+		Substrate:         "monolith",
+		ConcurrentTrusted: true,
+		InvokeCostNs:      2, // a plain function call
+		// A monolithic process trusts the entire commodity OS beneath it
+		// (§III-D: "code bases comprise in the order of tens of thousands
+		// of lines of code" for single services; a full OS is ~20 MLoC).
+		// Units are kLoC-scale, so 20000 ≈ a commodity OS kernel+stack.
+		TCBUnits: 20000,
+	}
+}
+
+// Anchor returns nil: a monolithic process has no trust anchor.
+func (m *Monolith) Anchor() TrustAnchor { return nil }
+
+// CreateDomain carves a slice out of the shared arena. "Trusted" placement
+// is accepted and silently meaningless — there is nowhere safer to be.
+func (m *Monolith) CreateDomain(spec DomainSpec) (DomainHandle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pages := spec.MemPages
+	if pages <= 0 {
+		pages = 1
+	}
+	size := pages * 4096
+	if m.nextOff+size > len(m.arena) {
+		return nil, fmt.Errorf("monolith: arena exhausted loading %s", spec.Name)
+	}
+	d := &monoDomain{
+		m:    m,
+		name: spec.Name,
+		meas: cryptoutil.Hash(spec.Code),
+		off:  m.nextOff,
+		size: size,
+	}
+	m.nextOff += size
+	m.domains = append(m.domains, d)
+	return d, nil
+}
+
+type monoDomain struct {
+	m     *Monolith
+	name  string
+	meas  [32]byte
+	off   int
+	size  int
+	freed bool
+}
+
+var _ DomainHandle = (*monoDomain)(nil)
+
+func (d *monoDomain) DomainName() string    { return d.name }
+func (d *monoDomain) Measurement() [32]byte { return d.meas }
+func (d *monoDomain) Trusted() bool         { return false }
+func (d *monoDomain) MemSize() int          { return d.size }
+
+func (d *monoDomain) Write(off int, p []byte) error {
+	d.m.mu.Lock()
+	defer d.m.mu.Unlock()
+	if d.freed || off < 0 || off+len(p) > d.size {
+		return fmt.Errorf("monolith %s: write %d@%d out of range", d.name, len(p), off)
+	}
+	copy(d.m.arena[d.off+off:], p)
+	return nil
+}
+
+func (d *monoDomain) Read(off, n int) ([]byte, error) {
+	d.m.mu.Lock()
+	defer d.m.mu.Unlock()
+	if d.freed || off < 0 || off+n > d.size {
+		return nil, fmt.Errorf("monolith %s: read %d@%d out of range", d.name, n, off)
+	}
+	out := make([]byte, n)
+	copy(out, d.m.arena[d.off+off:])
+	return out, nil
+}
+
+// CompromiseView is the whole point of Monolith: a compromise anywhere in
+// the process reads the ENTIRE arena — every other "domain" included.
+func (d *monoDomain) CompromiseView() [][]byte {
+	d.m.mu.Lock()
+	defer d.m.mu.Unlock()
+	all := make([]byte, len(d.m.arena))
+	copy(all, d.m.arena)
+	return [][]byte{all}
+}
+
+func (d *monoDomain) Destroy() error {
+	d.m.mu.Lock()
+	defer d.m.mu.Unlock()
+	d.freed = true
+	return nil
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ChannelSpec declares one communication channel between components, as a
+// manifest grants it. Channels are unidirectional request/reply paths: the
+// From component may invoke the To component; replies flow back on the
+// same invocation. Anything not granted is blocked by the substrate.
+type ChannelSpec struct {
+	// Name is how the sender addresses the channel (unique per sender).
+	Name string
+
+	// From and To are component names.
+	From string
+	To   string
+
+	// Badge, when nonzero, makes this a capability-style channel: the
+	// receiver sees the substrate-established sender identity and badge.
+	// A zero badge models ambient authority: the receiver learns nothing
+	// about who invoked it beyond what the payload claims.
+	Badge uint64
+
+	// Declassify marks data flowing here as deliberately released to a
+	// less-trusted receiver; the manifest analyzer will not flag it.
+	Declassify bool
+}
+
+type channel struct {
+	spec ChannelSpec
+	to   *node
+	uses int64
+}
+
+// ChannelUse reports how often one granted channel was actually invoked —
+// the raw material for POLA pruning (§IV: tooling to tighten manifests).
+type ChannelUse struct {
+	Name  string
+	From  string
+	To    string
+	Badge uint64
+	Uses  int64
+}
+
+type assetRef struct {
+	off int
+	n   int
+}
+
+// domainState tracks one substrate domain and the components living in it.
+type domainState struct {
+	handle      DomainHandle
+	comps       []*node
+	compromised bool
+	allocOff    int
+}
+
+// node is one loaded component.
+type node struct {
+	comp       Component
+	domainName string
+	dom        *domainState
+	out        map[string]*channel
+	assets     map[string]assetRef
+
+	// handleMu serializes invocations of this component, upholding the
+	// Component contract ("Handle is never invoked concurrently for the
+	// same component"). Like synchronous IPC on a real microkernel, a
+	// CYCLE of calls (A→B→A) therefore deadlocks; manifests must keep the
+	// call graph acyclic.
+	handleMu sync.Mutex
+}
+
+// Stats are the system's virtual cost counters, used by the experiment
+// harness to compare substrates.
+type Stats struct {
+	// Invocations counts cross-domain calls (including external Deliver).
+	Invocations int64
+
+	// TrustedInvocations counts calls whose target domain is trusted.
+	TrustedInvocations int64
+
+	// VirtualNs is the accumulated modeled time: one InvokeCostNs per
+	// invocation.
+	VirtualNs int64
+}
+
+// System loads components onto one substrate and runs the horizontal
+// component model over it.
+type System struct {
+	mu       sync.Mutex
+	sub      Substrate
+	props    Properties
+	nodes    map[string]*node
+	domains  map[string]*domainState
+	order    []*node // init order
+	observer Observer
+	stats    Stats
+}
+
+// NewSystem creates an empty system on the given substrate.
+func NewSystem(sub Substrate) *System {
+	return &System{
+		sub:     sub,
+		props:   sub.Properties(),
+		nodes:   make(map[string]*node),
+		domains: make(map[string]*domainState),
+	}
+}
+
+// Substrate returns the substrate the system runs on.
+func (s *System) Substrate() Substrate { return s.sub }
+
+// Properties returns the substrate properties.
+func (s *System) Properties() Properties { return s.props }
+
+// SetObserver installs the adversary's observation sink. Passing nil
+// removes it.
+func (s *System) SetObserver(o Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = o
+}
+
+// Stats returns a snapshot of the cost counters.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the cost counters (used between benchmark phases).
+func (s *System) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// Launch loads a component into its own fresh domain (the horizontal
+// design: one component, one protection domain).
+func (s *System) Launch(c Component, trusted bool, memPages int) error {
+	return s.Colocate(c.CompName(), trusted, memPages, c)
+}
+
+// Colocate loads several components into ONE shared domain — the vertical
+// design of Fig. 1. The domain's code image is the concatenation of all
+// component images (a single monolithic binary). A compromise of any
+// colocated component compromises them all; that consequence is enforced
+// by System, not assumed.
+func (s *System) Colocate(domainName string, trusted bool, memPages int, comps ...Component) error {
+	if len(comps) == 0 {
+		return fmt.Errorf("colocate %s: no components", domainName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.domains[domainName]; ok {
+		return fmt.Errorf("colocate %s: %w", domainName, ErrDomainExists)
+	}
+	for _, c := range comps {
+		if _, ok := s.nodes[c.CompName()]; ok {
+			return fmt.Errorf("component %s: %w", c.CompName(), ErrDomainExists)
+		}
+	}
+	code := DomainImage(comps...)
+	if memPages <= 0 {
+		memPages = 1
+	}
+	h, err := s.sub.CreateDomain(DomainSpec{
+		Name:     domainName,
+		Code:     code,
+		Trusted:  trusted,
+		MemPages: memPages,
+	})
+	if err != nil {
+		return fmt.Errorf("create domain %s: %w", domainName, err)
+	}
+	dom := &domainState{handle: h}
+	s.domains[domainName] = dom
+	for _, c := range comps {
+		n := &node{
+			comp:       c,
+			domainName: domainName,
+			dom:        dom,
+			out:        make(map[string]*channel),
+			assets:     make(map[string]assetRef),
+		}
+		dom.comps = append(dom.comps, n)
+		s.nodes[c.CompName()] = n
+		s.order = append(s.order, n)
+	}
+	return nil
+}
+
+// Grant wires one channel. Both endpoints must already be loaded.
+func (s *System) Grant(spec ChannelSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from, ok := s.nodes[spec.From]
+	if !ok {
+		return fmt.Errorf("grant %s: from %s: %w", spec.Name, spec.From, ErrNoDomain)
+	}
+	to, ok := s.nodes[spec.To]
+	if !ok {
+		return fmt.Errorf("grant %s: to %s: %w", spec.Name, spec.To, ErrNoDomain)
+	}
+	if _, dup := from.out[spec.Name]; dup {
+		return fmt.Errorf("grant %s from %s: channel name already granted", spec.Name, spec.From)
+	}
+	from.out[spec.Name] = &channel{spec: spec, to: to}
+	return nil
+}
+
+// InitAll initializes every component in load order.
+func (s *System) InitAll() error {
+	s.mu.Lock()
+	order := make([]*node, len(s.order))
+	copy(order, s.order)
+	s.mu.Unlock()
+	for _, n := range order {
+		if err := n.comp.Init(&Ctx{sys: s, node: n}); err != nil {
+			return fmt.Errorf("init %s: %w", n.comp.CompName(), err)
+		}
+	}
+	return nil
+}
+
+// Deliver injects an external stimulus (network input, user action) into a
+// component, as if from the outside world. External input has no channel
+// identity.
+func (s *System) Deliver(target string, msg Message) (Message, error) {
+	s.mu.Lock()
+	n, ok := s.nodes[target]
+	if !ok {
+		s.mu.Unlock()
+		return Message{}, fmt.Errorf("deliver to %s: %w", target, ErrNoDomain)
+	}
+	s.account(n)
+	s.mu.Unlock()
+	return s.dispatch(n, Envelope{Msg: msg.Clone()})
+}
+
+// call implements Ctx.Call.
+func (s *System) call(from *node, channelName string, msg Message) (Message, error) {
+	s.mu.Lock()
+	ch, ok := from.out[channelName]
+	if !ok {
+		s.mu.Unlock()
+		return Message{}, fmt.Errorf("%s calling %q: %w", from.comp.CompName(), channelName, ErrNoChannel)
+	}
+	ch.uses++
+	s.account(ch.to)
+	fromCompromised := from.dom.compromised
+	obs := s.observer
+	s.mu.Unlock()
+
+	env := Envelope{Msg: msg.Clone()}
+	if ch.spec.Badge != 0 {
+		env.From = from.comp.CompName()
+		env.Badge = ch.spec.Badge
+	}
+	if fromCompromised && obs != nil {
+		// The adversary inside the sender knows what it sent.
+		obs.Observe("send:"+from.comp.CompName()+"->"+ch.to.comp.CompName(), msg.Data)
+	}
+	reply, err := s.dispatch(ch.to, env)
+	if fromCompromised && obs != nil && err == nil {
+		// ... and reads the reply.
+		obs.Observe("reply:"+ch.to.comp.CompName()+"->"+from.comp.CompName(), reply.Data)
+	}
+	return reply, err
+}
+
+// account updates cost counters for an invocation into node n.
+// Caller holds s.mu.
+func (s *System) account(n *node) {
+	s.stats.Invocations++
+	s.stats.VirtualNs += s.props.InvokeCostNs
+	if n.dom.handle.Trusted() {
+		s.stats.TrustedInvocations++
+	}
+}
+
+// dispatch routes an envelope to the node's benign or compromised behavior.
+// Invocations of one component are serialized (see node.handleMu).
+func (s *System) dispatch(n *node, env Envelope) (Message, error) {
+	s.mu.Lock()
+	compromised := n.dom.compromised
+	obs := s.observer
+	s.mu.Unlock()
+
+	n.handleMu.Lock()
+	defer n.handleMu.Unlock()
+
+	if compromised {
+		// The adversary controls the whole domain: it reads the incoming
+		// message no matter which colocated component it addressed.
+		if obs != nil {
+			obs.Observe("recv:"+n.comp.CompName(), env.Msg.Data)
+		}
+		if sub, ok := n.comp.(Subvertible); ok {
+			reply, err := sub.HandleCompromised(env)
+			if obs != nil && err == nil {
+				obs.Observe("emit:"+n.comp.CompName(), reply.Data)
+			}
+			return reply, err
+		}
+		// Component has no modeled exploit payload; it limps on, but the
+		// adversary already observed the traffic above.
+	}
+	return n.comp.Handle(env)
+}
+
+// Compromise marks the domain hosting the named component as attacker
+// controlled. Everything the domain can read — per the SUBSTRATE's
+// compromise view, not the component's — is immediately exposed to the
+// observer. All colocated components fall together.
+func (s *System) Compromise(component string) error {
+	s.mu.Lock()
+	n, ok := s.nodes[component]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("compromise %s: %w", component, ErrNoDomain)
+	}
+	dom := n.dom
+	dom.compromised = true
+	obs := s.observer
+	s.mu.Unlock()
+	if obs != nil {
+		for i, view := range dom.handle.CompromiseView() {
+			obs.Observe(fmt.Sprintf("memdump:%s:%d", n.domainName, i), view)
+		}
+	}
+	return nil
+}
+
+// IsCompromised reports whether the named component's domain is attacker
+// controlled.
+func (s *System) IsCompromised(component string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[component]
+	return ok && n.dom.compromised
+}
+
+// Components returns all loaded component names in load order.
+func (s *System) Components() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, n.comp.CompName())
+	}
+	return out
+}
+
+// DomainOf returns the name of the domain hosting a component.
+func (s *System) DomainOf(component string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[component]
+	if !ok {
+		return "", fmt.Errorf("domain of %s: %w", component, ErrNoDomain)
+	}
+	return n.domainName, nil
+}
+
+// HandleOf returns the substrate handle of a component's domain, for
+// packages (attestation, metrics) that need direct substrate access.
+func (s *System) HandleOf(component string) (DomainHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[component]
+	if !ok {
+		return nil, fmt.Errorf("handle of %s: %w", component, ErrNoDomain)
+	}
+	return n.dom.handle, nil
+}
+
+// AssetNames returns the names of assets a component has stored.
+func (s *System) AssetNames(component string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[component]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(n.assets))
+	for name := range n.assets {
+		out = append(out, name)
+	}
+	return out
+}
+
+// storeAsset implements Ctx.StoreAsset: the secret is physically written
+// into the domain's memory, where compromise views and bus taps can (or
+// cannot) reach it.
+func (s *System) storeAsset(n *node, name string, secret []byte) error {
+	s.mu.Lock()
+	dom := n.dom
+	if ref, ok := n.assets[name]; ok && ref.n >= len(secret) {
+		s.mu.Unlock()
+		if err := dom.handle.Write(ref.off, secret); err != nil {
+			return fmt.Errorf("asset %s/%s: %w", n.comp.CompName(), name, err)
+		}
+		s.mu.Lock()
+		n.assets[name] = assetRef{off: ref.off, n: len(secret)}
+		s.mu.Unlock()
+		return nil
+	}
+	off := dom.allocOff
+	if off+len(secret) > dom.handle.MemSize() {
+		s.mu.Unlock()
+		return fmt.Errorf("asset %s/%s: domain memory exhausted (%d + %d > %d)",
+			n.comp.CompName(), name, off, len(secret), dom.handle.MemSize())
+	}
+	dom.allocOff += len(secret)
+	n.assets[name] = assetRef{off: off, n: len(secret)}
+	s.mu.Unlock()
+	if err := dom.handle.Write(off, secret); err != nil {
+		return fmt.Errorf("asset %s/%s: %w", n.comp.CompName(), name, err)
+	}
+	return nil
+}
+
+// loadAsset implements Ctx.LoadAsset.
+func (s *System) loadAsset(n *node, name string) ([]byte, error) {
+	s.mu.Lock()
+	ref, ok := n.assets[name]
+	dom := n.dom
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("asset %s/%s: not stored", n.comp.CompName(), name)
+	}
+	return dom.handle.Read(ref.off, ref.n)
+}
+
+// ChannelUsage returns per-channel invocation counts for every grant in
+// the system, including channels that were never used.
+func (s *System) ChannelUsage() []ChannelUse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ChannelUse
+	for _, n := range s.order {
+		for name, ch := range n.out {
+			out = append(out, ChannelUse{
+				Name:  name,
+				From:  ch.spec.From,
+				To:    ch.spec.To,
+				Badge: ch.spec.Badge,
+				Uses:  ch.uses,
+			})
+		}
+	}
+	return out
+}
+
+// CtxOf builds a Ctx for a loaded component, for packages that drive
+// components directly (the experiment harness).
+func (s *System) CtxOf(component string) (*Ctx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[component]
+	if !ok {
+		return nil, fmt.Errorf("ctx of %s: %w", component, ErrNoDomain)
+	}
+	return &Ctx{sys: s, node: n}, nil
+}

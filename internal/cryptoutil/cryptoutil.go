@@ -1,0 +1,249 @@
+// Package cryptoutil bundles the cryptographic primitives shared by the
+// isolation substrates, the attestation stack, VPFS, and the attested
+// secure-channel protocol. Everything is built on the Go standard library.
+//
+// Determinism matters for this repository: experiments must be
+// reproducible, so key generation takes explicit seeds and AEAD nonces are
+// derived per message rather than drawn from a global RNG.
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Common errors.
+var (
+	// ErrAuth is returned when an AEAD open, MAC verification, or
+	// signature verification fails.
+	ErrAuth = errors.New("cryptoutil: authentication failed")
+)
+
+// Hash returns the SHA-256 digest over the concatenation of the parts.
+func Hash(parts ...[]byte) [32]byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// HashString is Hash for string input; convenient for code measurements.
+func HashString(s string) [32]byte {
+	return Hash([]byte(s))
+}
+
+// MAC returns HMAC-SHA-256 of msg under key.
+func MAC(key, msg []byte) [32]byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(msg)
+	var out [32]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// VerifyMAC reports whether mac is a valid HMAC-SHA-256 of msg under key,
+// in constant time.
+func VerifyMAC(key, msg []byte, mac [32]byte) bool {
+	want := MAC(key, msg)
+	return hmac.Equal(want[:], mac[:])
+}
+
+// HKDF derives n bytes from secret, salt, and info using the extract-and-
+// expand construction of RFC 5869 over HMAC-SHA-256.
+func HKDF(secret, salt, info []byte, n int) []byte {
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	prk := MAC(salt, secret)
+	var (
+		out  []byte
+		prev []byte
+	)
+	for counter := byte(1); len(out) < n; counter++ {
+		m := hmac.New(sha256.New, prk[:])
+		m.Write(prev)
+		m.Write(info)
+		m.Write([]byte{counter})
+		prev = m.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:n]
+}
+
+// KeySize is the AEAD key size in bytes (AES-256).
+const KeySize = 32
+
+// NonceSize is the AES-GCM nonce size in bytes.
+const NonceSize = 12
+
+// Seal encrypts plaintext under key with AES-256-GCM using the given nonce
+// and additional data. The nonce is prepended to the returned ciphertext.
+func Seal(key []byte, nonce [NonceSize]byte, plaintext, ad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+aead.Overhead())
+	copy(out, nonce[:])
+	return aead.Seal(out, nonce[:], plaintext, ad), nil
+}
+
+// Open decrypts a ciphertext produced by Seal, verifying the tag and the
+// additional data.
+func Open(key, sealed, ad []byte) ([]byte, error) {
+	if len(sealed) < NonceSize {
+		return nil, fmt.Errorf("open: ciphertext too short: %w", ErrAuth)
+	}
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, sealed[:NonceSize], sealed[NonceSize:], ad)
+	if err != nil {
+		return nil, fmt.Errorf("open: %w", ErrAuth)
+	}
+	return pt, nil
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aead key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// DeriveNonce deterministically derives an AEAD nonce from a key-scoped
+// counter and context string. Safe as long as (key, context, counter)
+// triples never repeat, which the callers guarantee by construction.
+func DeriveNonce(context string, counter uint64) [NonceSize]byte {
+	var out [NonceSize]byte
+	d := Hash([]byte(context))
+	copy(out[:4], d[:4])
+	binary.BigEndian.PutUint64(out[4:], counter)
+	return out
+}
+
+// CTRKeystream XORs data with an AES-256-CTR keystream bound to a physical
+// address, for memory-encryption engines. Encrypt and decrypt are the same
+// operation. Note: this provides confidentiality only; memory integrity is
+// modeled separately where an experiment needs it.
+func CTRKeystream(key []byte, tweak uint64, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, aes.BlockSize)
+	binary.BigEndian.PutUint64(iv, tweak)
+	stream := cipher.NewCTR(block, iv)
+	out := make([]byte, len(data))
+	stream.XORKeyStream(out, data)
+	return out, nil
+}
+
+// Signer is an Ed25519 identity key. Trust anchors (TPM endorsement keys,
+// SGX quoting keys, SEP device keys) and protocol identities all use it.
+type Signer struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewSigner derives a signer deterministically from a seed string. The
+// seed plays the role of the hardware entropy a real device is keyed with
+// at manufacture.
+func NewSigner(seed string) *Signer {
+	d := Hash([]byte("lateral-ed25519-seed"), []byte(seed))
+	priv := ed25519.NewKeyFromSeed(d[:])
+	return &Signer{priv: priv, pub: priv.Public().(ed25519.PublicKey)}
+}
+
+// Public returns the verifying key.
+func (s *Signer) Public() ed25519.PublicKey {
+	out := make(ed25519.PublicKey, len(s.pub))
+	copy(out, s.pub)
+	return out
+}
+
+// Sign signs msg.
+func (s *Signer) Sign(msg []byte) []byte {
+	return ed25519.Sign(s.priv, msg)
+}
+
+// Verify reports whether sig is a valid signature on msg under pub.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// KeyFromSeed derives an AEAD key from a seed string.
+func KeyFromSeed(seed string) []byte {
+	d := Hash([]byte("lateral-aead-key"), []byte(seed))
+	return d[:]
+}
+
+// PRNG is a small deterministic pseudo-random generator (SHA-256 in counter
+// mode). It is NOT cryptographically fresh — it exists so workload
+// generators and adversaries are reproducible across runs.
+type PRNG struct {
+	state   [32]byte
+	buf     []byte
+	counter uint64
+}
+
+// NewPRNG seeds a deterministic generator.
+func NewPRNG(seed string) *PRNG {
+	return &PRNG{state: Hash([]byte("lateral-prng"), []byte(seed))}
+}
+
+// Bytes returns n pseudo-random bytes.
+func (p *PRNG) Bytes(n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		if len(p.buf) == 0 {
+			var ctr [8]byte
+			binary.BigEndian.PutUint64(ctr[:], p.counter)
+			p.counter++
+			d := Hash(p.state[:], ctr[:])
+			p.buf = d[:]
+		}
+		take := n - len(out)
+		if take > len(p.buf) {
+			take = len(p.buf)
+		}
+		out = append(out, p.buf[:take]...)
+		p.buf = p.buf[take:]
+	}
+	return out
+}
+
+// Uint64 returns a pseudo-random 64-bit value.
+func (p *PRNG) Uint64() uint64 {
+	return binary.BigEndian.Uint64(p.Bytes(8))
+}
+
+// Intn returns a pseudo-random int in [0, n).
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(p.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (p *PRNG) Float64() float64 {
+	return float64(p.Uint64()>>11) / float64(1<<53)
+}

@@ -1,0 +1,246 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministicAndDistinct(t *testing.T) {
+	a := Hash([]byte("hello"))
+	b := Hash([]byte("hello"))
+	c := Hash([]byte("world"))
+	if a != b {
+		t.Error("same input hashed differently")
+	}
+	if a == c {
+		t.Error("different input hashed identically")
+	}
+	if Hash([]byte("he"), []byte("llo")) != a {
+		t.Error("multi-part hash differs from concatenated hash")
+	}
+	if HashString("hello") != a {
+		t.Error("HashString differs from Hash")
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	key := []byte("mac key")
+	msg := []byte("the message")
+	m := MAC(key, msg)
+	if !VerifyMAC(key, msg, m) {
+		t.Error("valid MAC rejected")
+	}
+	if VerifyMAC(key, []byte("tampered"), m) {
+		t.Error("MAC over different message accepted")
+	}
+	if VerifyMAC([]byte("other key"), msg, m) {
+		t.Error("MAC under different key accepted")
+	}
+}
+
+func TestHKDFProperties(t *testing.T) {
+	k1 := HKDF([]byte("secret"), []byte("salt"), []byte("info"), 64)
+	k2 := HKDF([]byte("secret"), []byte("salt"), []byte("info"), 64)
+	if !bytes.Equal(k1, k2) {
+		t.Error("HKDF not deterministic")
+	}
+	if len(k1) != 64 {
+		t.Errorf("HKDF length = %d, want 64", len(k1))
+	}
+	k3 := HKDF([]byte("secret"), []byte("salt"), []byte("other"), 64)
+	if bytes.Equal(k1, k3) {
+		t.Error("different info produced identical keys")
+	}
+	k4 := HKDF([]byte("secret"), nil, []byte("info"), 16)
+	if len(k4) != 16 {
+		t.Errorf("nil-salt HKDF length = %d", len(k4))
+	}
+	// Prefix property: shorter output is a prefix of longer output.
+	if !bytes.Equal(HKDF([]byte("s"), []byte("x"), []byte("i"), 16),
+		HKDF([]byte("s"), []byte("x"), []byte("i"), 48)[:16]) {
+		t.Error("HKDF output is not prefix-stable")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := KeyFromSeed("k1")
+	nonce := DeriveNonce("test", 1)
+	ct, err := Seal(key, nonce, []byte("plaintext"), []byte("ad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Open(key, ct, []byte("ad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "plaintext" {
+		t.Errorf("round trip = %q", pt)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := KeyFromSeed("k1")
+	ct, err := Seal(key, DeriveNonce("t", 1), []byte("data"), []byte("ad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := make([]byte, len(ct))
+	copy(flip, ct)
+	flip[len(flip)-1] ^= 1
+	if _, err := Open(key, flip, []byte("ad")); !errors.Is(err, ErrAuth) {
+		t.Errorf("tampered ciphertext: got %v, want ErrAuth", err)
+	}
+	if _, err := Open(key, ct, []byte("wrong-ad")); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong AD: got %v, want ErrAuth", err)
+	}
+	if _, err := Open(KeyFromSeed("k2"), ct, []byte("ad")); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong key: got %v, want ErrAuth", err)
+	}
+	if _, err := Open(key, []byte("short"), nil); !errors.Is(err, ErrAuth) {
+		t.Errorf("short ciphertext: got %v, want ErrAuth", err)
+	}
+}
+
+func TestSealRejectsBadKeySize(t *testing.T) {
+	if _, err := Seal([]byte("short"), DeriveNonce("x", 0), []byte("p"), nil); err == nil {
+		t.Error("Seal accepted short key")
+	}
+	if _, err := Open([]byte("short"), make([]byte, 64), nil); err == nil {
+		t.Error("Open accepted short key")
+	}
+}
+
+func TestDeriveNonceDistinct(t *testing.T) {
+	a := DeriveNonce("ctx", 1)
+	b := DeriveNonce("ctx", 2)
+	c := DeriveNonce("other", 1)
+	if a == b || a == c {
+		t.Error("nonces collide across counter or context")
+	}
+	if a != DeriveNonce("ctx", 1) {
+		t.Error("nonce not deterministic")
+	}
+}
+
+func TestCTRKeystreamInvolution(t *testing.T) {
+	key := KeyFromSeed("mee")
+	data := []byte("memory line contents here")
+	ct, err := CTRKeystream(key, 0x1000, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct, data) {
+		t.Error("CTR produced identity transform")
+	}
+	pt, err := CTRKeystream(key, 0x1000, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, data) {
+		t.Error("CTR decrypt did not restore plaintext")
+	}
+	other, _ := CTRKeystream(key, 0x2000, data)
+	if bytes.Equal(other, ct) {
+		t.Error("different tweak produced identical ciphertext")
+	}
+}
+
+func TestSignerDeterministicIdentity(t *testing.T) {
+	s1 := NewSigner("device-42")
+	s2 := NewSigner("device-42")
+	s3 := NewSigner("device-43")
+	if !bytes.Equal(s1.Public(), s2.Public()) {
+		t.Error("same seed produced different keys")
+	}
+	if bytes.Equal(s1.Public(), s3.Public()) {
+		t.Error("different seeds produced identical keys")
+	}
+	msg := []byte("attest this")
+	sig := s1.Sign(msg)
+	if !Verify(s1.Public(), msg, sig) {
+		t.Error("valid signature rejected")
+	}
+	if Verify(s1.Public(), []byte("other"), sig) {
+		t.Error("signature over different message accepted")
+	}
+	if Verify(s3.Public(), msg, sig) {
+		t.Error("signature accepted under wrong key")
+	}
+	if Verify([]byte("not a key"), msg, sig) {
+		t.Error("malformed public key accepted")
+	}
+	pub := s1.Public()
+	pub[0] ^= 1
+	if bytes.Equal(pub, s1.Public()) {
+		t.Error("Public returned aliased storage")
+	}
+}
+
+func TestPRNGDeterminismAndRanges(t *testing.T) {
+	p1 := NewPRNG("seed")
+	p2 := NewPRNG("seed")
+	if !bytes.Equal(p1.Bytes(100), p2.Bytes(100)) {
+		t.Error("PRNG not deterministic")
+	}
+	p := NewPRNG("ranges")
+	for i := 0; i < 1000; i++ {
+		if v := p.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := p.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	if p.Intn(0) != 0 {
+		t.Error("Intn(0) != 0")
+	}
+	// Odd-sized reads must still be stable and non-repeating in bulk.
+	q := NewPRNG("odd")
+	a := q.Bytes(3)
+	b := q.Bytes(3)
+	if bytes.Equal(a, b) {
+		t.Error("consecutive PRNG blocks identical")
+	}
+}
+
+// Property: Seal/Open is the identity for all plaintext and AD.
+func TestQuickSealOpen(t *testing.T) {
+	key := KeyFromSeed("quick")
+	var counter uint64
+	f := func(pt, ad []byte) bool {
+		counter++
+		ct, err := Seal(key, DeriveNonce("quick", counter), pt, ad)
+		if err != nil {
+			return false
+		}
+		got, err := Open(key, ct, ad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping any single ciphertext bit makes Open fail.
+func TestQuickBitFlipDetected(t *testing.T) {
+	key := KeyFromSeed("flip")
+	ct, err := Seal(key, DeriveNonce("flip", 1), []byte("sixteen byte msg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct {
+		for bit := 0; bit < 8; bit++ {
+			mod := make([]byte, len(ct))
+			copy(mod, ct)
+			mod[i] ^= 1 << bit
+			if _, err := Open(key, mod, nil); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d not detected", i, bit)
+			}
+		}
+	}
+}

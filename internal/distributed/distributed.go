@@ -1,0 +1,365 @@
+// Package distributed extends the component model across machine
+// boundaries, realizing §III-D: "Applications are no longer monolithic
+// blobs of co-located functionality, but aggregates of individually
+// reusable components that can even form distributed confidence domains
+// across machine boundaries."
+//
+// The mechanism: an Exporter publishes a local component's service on the
+// untrusted network behind an attested secure channel; a Stub is a local
+// core.Component that proxies invocations to the remote side. To the
+// caller, Ctx.Call("store", …) looks identical whether the store is a
+// neighbouring domain or an SGX enclave in someone else's data center —
+// the manifest changes, the component code does not.
+//
+// Trust is established exactly as the paper prescribes: the importer pins
+// the expected code measurement of the remote component and the vendor key
+// of its substrate's trust anchor; connection setup fails closed when the
+// remote evidence does not match.
+package distributed
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/netsim"
+	"lateral/internal/securechan"
+)
+
+// Errors.
+var (
+	// ErrNotConnected is returned when invoking a stub before Connect.
+	ErrNotConnected = errors.New("distributed: not connected")
+
+	// ErrRemote wraps failures reported by the remote component.
+	ErrRemote = errors.New("distributed: remote error")
+
+	// ErrTransport is returned when the network loses or mangles a flight.
+	ErrTransport = errors.New("distributed: transport failure")
+)
+
+// encodeCall serializes (op, data); decodeCall parses it.
+func encodeCall(op string, data []byte) []byte {
+	out := make([]byte, 0, 2+len(op)+len(data))
+	out = append(out, byte(len(op)>>8), byte(len(op)))
+	out = append(out, op...)
+	out = append(out, data...)
+	return out
+}
+
+func decodeCall(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("short call frame: %w", ErrTransport)
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("truncated op: %w", ErrTransport)
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// reply frames: status byte + payload (op or error text).
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Exporter publishes one component of a local system on the network.
+type Exporter struct {
+	sys      *core.System
+	target   string
+	ep       *netsim.Endpoint
+	identity *cryptoutil.Signer
+	rand     *cryptoutil.PRNG
+
+	mu       sync.Mutex
+	sessions map[string]*securechan.Session // peer endpoint -> session
+	pendings map[string]*securechan.Pending
+}
+
+// ExportConfig configures an Exporter.
+type ExportConfig struct {
+	// System hosts the exported component.
+	System *core.System
+
+	// Component is the exported component's name.
+	Component string
+
+	// Endpoint is this machine's network attachment.
+	Endpoint *netsim.Endpoint
+
+	// Identity signs handshakes (the service's TLS identity).
+	Identity *cryptoutil.Signer
+
+	// Rand seeds handshake randomness.
+	Rand *cryptoutil.PRNG
+}
+
+// NewExporter validates the config and builds the exporter. Evidence for
+// remote verifiers is produced from the hosting substrate's trust anchor,
+// quoting the exported component's domain bound to each handshake.
+func NewExporter(cfg ExportConfig) (*Exporter, error) {
+	if cfg.System == nil || cfg.Endpoint == nil || cfg.Identity == nil || cfg.Rand == nil {
+		return nil, fmt.Errorf("distributed: exporter config incomplete")
+	}
+	if _, err := cfg.System.HandleOf(cfg.Component); err != nil {
+		return nil, err
+	}
+	return &Exporter{
+		sys:      cfg.System,
+		target:   cfg.Component,
+		ep:       cfg.Endpoint,
+		identity: cfg.Identity,
+		rand:     cfg.Rand,
+		sessions: make(map[string]*securechan.Session),
+		pendings: make(map[string]*securechan.Pending),
+	}, nil
+}
+
+// evidence quotes the exported component's domain, bound to the handshake
+// transcript.
+func (e *Exporter) evidence(transcript [32]byte) ([]byte, error) {
+	anchor := e.sys.Substrate().Anchor()
+	if anchor == nil {
+		return nil, nil // substrate cannot attest; importers may still pin the identity key
+	}
+	h, err := e.sys.HandleOf(e.target)
+	if err != nil {
+		return nil, err
+	}
+	q, err := anchor.Quote(h, transcript[:])
+	if err != nil {
+		return nil, err
+	}
+	return q.Encode(), nil
+}
+
+// Serve processes every pending datagram on the endpoint once: handshake
+// flights establish sessions, record flights carry invocations. Tests and
+// the examples call it after each client step; a real deployment would
+// loop it.
+func (e *Exporter) Serve() error {
+	for {
+		dg, ok := e.ep.Recv()
+		if !ok {
+			return nil
+		}
+		if err := e.handle(dg); err != nil {
+			// A hostile or garbled frame must not kill the service; drop
+			// it and keep serving (fail closed per connection).
+			continue
+		}
+	}
+}
+
+func (e *Exporter) handle(dg netsim.Datagram) error {
+	e.mu.Lock()
+	sess := e.sessions[dg.From]
+	pending := e.pendings[dg.From]
+	e.mu.Unlock()
+
+	switch {
+	case sess != nil:
+		// Established: decrypt, invoke, reply.
+		plain, err := sess.Open(dg.Payload)
+		if err != nil {
+			return err
+		}
+		op, data, err := decodeCall(plain)
+		if err != nil {
+			return err
+		}
+		reply, herr := e.sys.Deliver(e.target, core.Message{Op: op, Data: data})
+		var frame []byte
+		if herr != nil {
+			frame = append([]byte{statusErr}, []byte(herr.Error())...)
+		} else {
+			frame = append([]byte{statusOK}, encodeCall(reply.Op, reply.Data)...)
+		}
+		rec, err := sess.Seal(frame)
+		if err != nil {
+			return err
+		}
+		return e.ep.Send(dg.From, rec)
+	case pending != nil:
+		// Client finish flight.
+		s, err := pending.Complete(dg.Payload)
+		if err != nil {
+			e.mu.Lock()
+			delete(e.pendings, dg.From)
+			e.mu.Unlock()
+			return err
+		}
+		e.mu.Lock()
+		e.sessions[dg.From] = s
+		delete(e.pendings, dg.From)
+		e.mu.Unlock()
+		return nil
+	default:
+		// New connection: client hello.
+		server, err := securechan.NewServer(securechan.ServerConfig{
+			Rand:     e.rand,
+			Identity: e.identity,
+			Evidence: e.evidence,
+		})
+		if err != nil {
+			return err
+		}
+		resp, p, err := server.Respond(dg.Payload)
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		e.pendings[dg.From] = p
+		e.mu.Unlock()
+		return e.ep.Send(dg.From, resp)
+	}
+}
+
+// Stub is the local proxy component. Load it into the importing system
+// under the remote component's name; calls flow across the attested
+// channel.
+type Stub struct {
+	name string
+	cfg  StubConfig
+	mu   sync.Mutex
+	sess *securechan.Session
+	pump func() error // drives the remote exporter (test/network loop)
+}
+
+// StubConfig configures a Stub.
+type StubConfig struct {
+	// RemoteName is the exported component's name (also the stub's local
+	// component name so manifests read naturally).
+	RemoteName string
+
+	// RemoteEndpoint is the server machine's endpoint name.
+	RemoteEndpoint string
+
+	// Endpoint is this machine's network attachment.
+	Endpoint *netsim.Endpoint
+
+	// Rand seeds handshake randomness.
+	Rand *cryptoutil.PRNG
+
+	// VerifyServer authenticates the remote side: identity key,
+	// transcript, attestation evidence. Required — distributed trust is
+	// explicit, never assumed.
+	VerifyServer func(idPub ed25519.PublicKey, transcript [32]byte, evidence []byte) error
+
+	// Pump, when set, is called whenever the stub expects the remote side
+	// to make progress (deliver + serve). The in-process tests wire it to
+	// the exporter's Serve; a real deployment has independent processes.
+	Pump func() error
+}
+
+// NewStub validates the config.
+func NewStub(cfg StubConfig) (*Stub, error) {
+	if cfg.RemoteName == "" || cfg.Endpoint == nil || cfg.Rand == nil || cfg.VerifyServer == nil {
+		return nil, fmt.Errorf("distributed: stub config incomplete")
+	}
+	return &Stub{name: cfg.RemoteName, cfg: cfg, pump: cfg.Pump}, nil
+}
+
+var _ core.Component = (*Stub)(nil)
+
+// CompName returns the remote component's name.
+func (s *Stub) CompName() string { return s.name }
+
+// CompVersion marks the stub as a proxy.
+func (s *Stub) CompVersion() string { return "stub-1.0" }
+
+// Init is a no-op; Connect establishes the channel.
+func (s *Stub) Init(*core.Ctx) error { return nil }
+
+// step lets the remote side run, if a pump is wired.
+func (s *Stub) step() error {
+	if s.pump == nil {
+		return nil
+	}
+	return s.pump()
+}
+
+// recvOne fetches the next datagram from the configured remote, pumping as
+// needed.
+func (s *Stub) recvOne() (netsim.Datagram, error) {
+	if err := s.step(); err != nil {
+		return netsim.Datagram{}, err
+	}
+	dg, ok := s.cfg.Endpoint.Recv()
+	if !ok {
+		return netsim.Datagram{}, fmt.Errorf("no response from %s: %w", s.cfg.RemoteEndpoint, ErrTransport)
+	}
+	return dg, nil
+}
+
+// Connect runs the attested handshake with the remote exporter.
+func (s *Stub) Connect() error {
+	client, err := securechan.NewClient(securechan.ClientConfig{
+		Rand:         s.cfg.Rand,
+		VerifyServer: s.cfg.VerifyServer,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Endpoint.Send(s.cfg.RemoteEndpoint, client.Hello()); err != nil {
+		return err
+	}
+	dg, err := s.recvOne()
+	if err != nil {
+		return err
+	}
+	sess, finish, err := client.Finish(dg.Payload)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Endpoint.Send(s.cfg.RemoteEndpoint, finish); err != nil {
+		return err
+	}
+	if err := s.step(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sess = sess
+	s.mu.Unlock()
+	return nil
+}
+
+// Handle proxies one invocation across the channel.
+func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	if sess == nil {
+		return core.Message{}, fmt.Errorf("stub %s: %w", s.name, ErrNotConnected)
+	}
+	rec, err := sess.Seal(encodeCall(env.Msg.Op, env.Msg.Data))
+	if err != nil {
+		return core.Message{}, err
+	}
+	if err := s.cfg.Endpoint.Send(s.cfg.RemoteEndpoint, rec); err != nil {
+		return core.Message{}, err
+	}
+	dg, err := s.recvOne()
+	if err != nil {
+		return core.Message{}, err
+	}
+	plain, err := sess.Open(dg.Payload)
+	if err != nil {
+		return core.Message{}, err
+	}
+	if len(plain) < 1 {
+		return core.Message{}, fmt.Errorf("empty reply frame: %w", ErrTransport)
+	}
+	if plain[0] == statusErr {
+		return core.Message{}, fmt.Errorf("%w: %s", ErrRemote, plain[1:])
+	}
+	op, data, err := decodeCall(plain[1:])
+	if err != nil {
+		return core.Message{}, err
+	}
+	return core.Message{Op: op, Data: data}, nil
+}

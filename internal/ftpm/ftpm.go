@@ -1,0 +1,250 @@
+// Package ftpm implements a firmware TPM: the full TPM service (PCR bank,
+// extend, quote, seal) realized as a trusted component inside the
+// TrustZone secure world instead of a discrete security chip.
+//
+// It reproduces §II-C's interchangeability observation: "isolation
+// technologies are partially interchangeable: Microsoft Surface tablets
+// implement TPM functionality not using dedicated TPM security chips, but
+// as software running within TrustZone." The endorsement identity is
+// rooted in the SoC's fused device key (readable only at secure-world
+// privilege), so fTPM quotes chain to the SoC vendor exactly as discrete
+// TPM quotes chain to the TPM manufacturer — a verifier built for one
+// accepts the other unchanged (experiment E15).
+package ftpm
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+	"lateral/internal/tpm"
+	"lateral/internal/trustzone"
+)
+
+// Service is the TPM interface surfaced by the firmware implementation.
+// It deliberately mirrors *tpm.TPM's method set so callers (the attest
+// package, boot chains) work against either.
+type Service interface {
+	Extend(pcr int, measurement [32]byte) error
+	PCRValue(pcr int) ([32]byte, error)
+	Quote(pcrs []int, nonce []byte) (tpm.PCRQuote, error)
+	Seal(pcrs []int, plaintext []byte) ([]byte, error)
+	Unseal(blob []byte) ([]byte, error)
+	Reset()
+	EKPublic() ed25519.PublicKey
+}
+
+// Both implementations satisfy the common interface.
+var (
+	_ Service = (*tpm.TPM)(nil)
+	_ Service = (*FTPM)(nil)
+)
+
+// FTPM is the firmware TPM state, living in a secure-world domain. All
+// persistent state (PCRs are volatile; the monotonic seal counter is not)
+// is held in the domain's isolated memory.
+type FTPM struct {
+	mu       sync.Mutex
+	pcrs     [tpm.NumPCRs][32]byte
+	ek       *cryptoutil.Signer
+	ekCert   []byte
+	sealRoot []byte
+	nonceCtr uint64
+	dom      core.DomainHandle
+}
+
+// New instantiates the firmware TPM inside the given TrustZone substrate:
+// it creates a secure-world domain for the service and derives the
+// endorsement key and seal root from the fused device key.
+func New(tz *trustzone.Substrate, vendor *cryptoutil.Signer) (*FTPM, error) {
+	fuse, err := tz.DeviceKey(hw.PrivSecureWorld)
+	if err != nil {
+		return nil, fmt.Errorf("ftpm: fused key: %w", err)
+	}
+	dom, err := tz.CreateDomain(core.DomainSpec{
+		Name:    "ftpm-service",
+		Code:    []byte("ftpm@1.0"),
+		Trusted: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ftpm: secure-world domain: %w", err)
+	}
+	ekSeed := cryptoutil.HKDF(fuse, nil, []byte("ftpm-ek"), 32)
+	ek := cryptoutil.NewSigner("ftpm-ek:" + string(ekSeed))
+	f := &FTPM{
+		ek:       ek,
+		ekCert:   core.IssueVendorCert(vendor, ek.Public()),
+		sealRoot: cryptoutil.HKDF(fuse, nil, []byte("ftpm-srk"), cryptoutil.KeySize),
+		dom:      dom,
+	}
+	// Persist the (zeroed) PCR bank into the isolated domain memory so
+	// that compromise-view experiments see fTPM state living in the
+	// secure world, not in ordinary heap.
+	if err := f.persist(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// persist mirrors the PCR bank into secure-world memory. Caller holds mu
+// (or runs before concurrent use).
+func (f *FTPM) persist() error {
+	buf := make([]byte, 0, tpm.NumPCRs*32)
+	for i := range f.pcrs {
+		buf = append(buf, f.pcrs[i][:]...)
+	}
+	return f.dom.Write(0, buf)
+}
+
+// EKPublic returns the endorsement public key (rooted in the fuse).
+func (f *FTPM) EKPublic() ed25519.PublicKey { return f.ek.Public() }
+
+// EKCert returns the SoC vendor's certificate over the endorsement key.
+func (f *FTPM) EKCert() []byte { return append([]byte(nil), f.ekCert...) }
+
+// Reset clears all PCRs (platform reboot).
+func (f *FTPM) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.pcrs {
+		f.pcrs[i] = [32]byte{}
+	}
+	_ = f.persist()
+}
+
+// Extend folds a measurement into a PCR, identical semantics to the
+// discrete chip.
+func (f *FTPM) Extend(pcr int, measurement [32]byte) error {
+	if pcr < 0 || pcr >= tpm.NumPCRs {
+		return fmt.Errorf("ftpm extend pcr %d: %w", pcr, tpm.ErrBadPCR)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pcrs[pcr] = cryptoutil.Hash(f.pcrs[pcr][:], measurement[:])
+	return f.persist()
+}
+
+// PCRValue reads a register.
+func (f *FTPM) PCRValue(pcr int) ([32]byte, error) {
+	if pcr < 0 || pcr >= tpm.NumPCRs {
+		return [32]byte{}, fmt.Errorf("ftpm read pcr %d: %w", pcr, tpm.ErrBadPCR)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pcrs[pcr], nil
+}
+
+// Quote signs selected PCR values with the fuse-rooted endorsement key,
+// producing the SAME wire format as the discrete chip.
+func (f *FTPM) Quote(pcrs []int, nonce []byte) (tpm.PCRQuote, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	sel := append([]int(nil), pcrs...)
+	sort.Ints(sel)
+	values := make([][32]byte, 0, len(sel))
+	for _, i := range sel {
+		if i < 0 || i >= tpm.NumPCRs {
+			return tpm.PCRQuote{}, fmt.Errorf("ftpm quote pcr %d: %w", i, tpm.ErrBadPCR)
+		}
+		values = append(values, f.pcrs[i])
+	}
+	return tpm.PCRQuote{
+		PCRs:      sel,
+		Values:    values,
+		Nonce:     append([]byte(nil), nonce...),
+		EKPub:     f.ek.Public(),
+		Signature: f.ek.Sign(quoteBody(sel, values, nonce)),
+		EKCert:    append([]byte(nil), f.ekCert...),
+	}, nil
+}
+
+// quoteBody mirrors the discrete TPM's signed encoding so verification is
+// shared.
+func quoteBody(pcrs []int, values [][32]byte, nonce []byte) []byte {
+	var out []byte
+	for i, p := range pcrs {
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(p))
+		out = append(out, idx[:]...)
+		out = append(out, values[i][:]...)
+	}
+	out = append(out, nonce...)
+	return out
+}
+
+// Seal binds plaintext to current PCR state, blob-compatible with the
+// discrete chip's layout (count | indices | ciphertext) though keyed from
+// the fuse-derived root.
+func (f *FTPM) Seal(pcrs []int, plaintext []byte) ([]byte, error) {
+	f.mu.Lock()
+	comp, err := f.composite(pcrs)
+	if err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	f.nonceCtr++
+	ctr := f.nonceCtr
+	f.mu.Unlock()
+	key := cryptoutil.HKDF(f.sealRoot, comp[:], []byte("tpm-seal"), cryptoutil.KeySize)
+	sel := append([]int(nil), pcrs...)
+	sort.Ints(sel)
+	hdr := make([]byte, 1+len(sel))
+	hdr[0] = byte(len(sel))
+	for i, p := range sel {
+		hdr[1+i] = byte(p)
+	}
+	ct, err := cryptoutil.Seal(key, cryptoutil.DeriveNonce("ftpm-seal", ctr), plaintext, hdr)
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, ct...), nil
+}
+
+// Unseal recovers a blob if the PCR state matches.
+func (f *FTPM) Unseal(blob []byte) ([]byte, error) {
+	if len(blob) < 1 {
+		return nil, fmt.Errorf("ftpm unseal: empty blob: %w", tpm.ErrUnseal)
+	}
+	n := int(blob[0])
+	if len(blob) < 1+n {
+		return nil, fmt.Errorf("ftpm unseal: truncated blob: %w", tpm.ErrUnseal)
+	}
+	pcrs := make([]int, n)
+	for i := 0; i < n; i++ {
+		pcrs[i] = int(blob[1+i])
+	}
+	f.mu.Lock()
+	comp, err := f.composite(pcrs)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	key := cryptoutil.HKDF(f.sealRoot, comp[:], []byte("tpm-seal"), cryptoutil.KeySize)
+	pt, err := cryptoutil.Open(key, blob[1+n:], blob[:1+n])
+	if err != nil {
+		return nil, fmt.Errorf("ftpm unseal: %w", tpm.ErrUnseal)
+	}
+	return pt, nil
+}
+
+// composite hashes the selected PCRs like the discrete chip. Caller holds mu.
+func (f *FTPM) composite(pcrs []int) ([32]byte, error) {
+	sel := append([]int(nil), pcrs...)
+	sort.Ints(sel)
+	parts := make([]byte, 0, len(sel)*36)
+	for _, i := range sel {
+		if i < 0 || i >= tpm.NumPCRs {
+			return [32]byte{}, fmt.Errorf("ftpm composite pcr %d: %w", i, tpm.ErrBadPCR)
+		}
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		parts = append(parts, idx[:]...)
+		parts = append(parts, f.pcrs[i][:]...)
+	}
+	return cryptoutil.Hash(parts), nil
+}

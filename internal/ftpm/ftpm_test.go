@@ -1,0 +1,189 @@
+package ftpm
+
+import (
+	"errors"
+	"testing"
+
+	"lateral/internal/attest"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/tpm"
+	"lateral/internal/trustzone"
+)
+
+func newFTPM(t *testing.T) (*FTPM, *cryptoutil.Signer) {
+	t.Helper()
+	vendor := cryptoutil.NewSigner("soc-vendor")
+	tz, err := trustzone.New(trustzone.Config{DeviceSeed: "surface-1", Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(tz, vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, vendor
+}
+
+func TestExtendQuoteMatchesDiscreteSemantics(t *testing.T) {
+	f, vendor := newFTPM(t)
+	m1 := cryptoutil.Hash([]byte("bootloader"))
+	m2 := cryptoutil.Hash([]byte("kernel"))
+	if err := f.Extend(0, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Extend(0, m2); err != nil {
+		t.Fatal(err)
+	}
+	// Same extend sequence on a discrete chip yields the same PCR value —
+	// the semantics are identical, only the anchor differs.
+	discrete := tpm.New("chip", cryptoutil.NewSigner("tpm-mfr"))
+	_ = discrete.Extend(0, m1)
+	_ = discrete.Extend(0, m2)
+	fv, _ := f.PCRValue(0)
+	dv, _ := discrete.PCRValue(0)
+	if fv != dv {
+		t.Error("fTPM and discrete TPM disagree on extend semantics")
+	}
+	// The discrete verifier code path accepts the fTPM quote unchanged.
+	nonce := []byte("n")
+	q, err := f.Quote([]int{0}, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpm.VerifyPCRQuote(q, nonce, vendor.Public(), map[int][32]byte{0: fv}); err != nil {
+		t.Errorf("discrete verifier rejected fTPM quote: %v", err)
+	}
+}
+
+func TestBadPCRIndices(t *testing.T) {
+	f, _ := newFTPM(t)
+	if err := f.Extend(tpm.NumPCRs, [32]byte{}); !errors.Is(err, tpm.ErrBadPCR) {
+		t.Errorf("extend: %v", err)
+	}
+	if _, err := f.PCRValue(-1); !errors.Is(err, tpm.ErrBadPCR) {
+		t.Errorf("read: %v", err)
+	}
+	if _, err := f.Quote([]int{99}, nil); !errors.Is(err, tpm.ErrBadPCR) {
+		t.Errorf("quote: %v", err)
+	}
+	if _, err := f.Seal([]int{99}, nil); !errors.Is(err, tpm.ErrBadPCR) {
+		t.Errorf("seal: %v", err)
+	}
+}
+
+func TestSealUnsealBoundToPCRs(t *testing.T) {
+	f, _ := newFTPM(t)
+	_ = f.Extend(7, cryptoutil.Hash([]byte("good-os")))
+	blob, err := f.Seal([]int{7}, []byte("disk-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Unseal(blob)
+	if err != nil || string(got) != "disk-key" {
+		t.Fatalf("unseal = %q, %v", got, err)
+	}
+	_ = f.Extend(7, cryptoutil.Hash([]byte("evil-os")))
+	if _, err := f.Unseal(blob); !errors.Is(err, tpm.ErrUnseal) {
+		t.Errorf("unseal after extend: got %v", err)
+	}
+	if _, err := f.Unseal(nil); !errors.Is(err, tpm.ErrUnseal) {
+		t.Errorf("empty blob: %v", err)
+	}
+	if _, err := f.Unseal([]byte{3, 1}); !errors.Is(err, tpm.ErrUnseal) {
+		t.Errorf("truncated blob: %v", err)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	f, _ := newFTPM(t)
+	_ = f.Extend(3, cryptoutil.Hash([]byte("x")))
+	f.Reset()
+	v, _ := f.PCRValue(3)
+	if v != ([32]byte{}) {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestAuthenticatedBootWorksAgainstService(t *testing.T) {
+	// The attest package's boot-chain code runs against the Service
+	// interface: firmware and discrete TPMs are drop-in replacements.
+	f, vendor := newFTPM(t)
+	chain := []attest.Stage{
+		{Name: "bl", Code: []byte("bl-1")},
+		{Name: "krn", Code: []byte("krn-1")},
+	}
+	var log attest.BootLog
+	log.PCR = 0
+	for _, st := range chain {
+		m := st.Measurement()
+		if err := f.Extend(0, m); err != nil {
+			t.Fatal(err)
+		}
+		log.Entries = append(log.Entries, attest.BootLogEntry{Name: st.Name, Measurement: m})
+	}
+	nonce := []byte("boot")
+	q, err := f.Quote([]int{0}, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attest.VerifyBootLog(q, nonce, vendor.Public(), log); err != nil {
+		t.Errorf("boot log over fTPM failed: %v", err)
+	}
+}
+
+func TestEKRootedInFuseDeterministically(t *testing.T) {
+	// The same SoC (same fused key) reproduces the same endorsement
+	// identity across instantiations — it is hardware-rooted, not random.
+	vendor := cryptoutil.NewSigner("soc-vendor")
+	tz1, err := trustzone.New(trustzone.Config{DeviceSeed: "same-soc", Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := New(tz1, vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tz2, err := trustzone.New(trustzone.Config{DeviceSeed: "same-soc", Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(tz2, vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f1.EKPublic()) != string(f2.EKPublic()) {
+		t.Error("same SoC produced different EKs")
+	}
+	tz3, err := trustzone.New(trustzone.Config{DeviceSeed: "other-soc", Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := New(tz3, vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f1.EKPublic()) == string(f3.EKPublic()) {
+		t.Error("different SoCs share an EK")
+	}
+}
+
+func TestCrossImplementationSealIsolation(t *testing.T) {
+	// A blob sealed by the discrete chip must not unseal on the fTPM and
+	// vice versa: different roots, same interface.
+	f, _ := newFTPM(t)
+	d := tpm.New("chip", cryptoutil.NewSigner("tpm-mfr"))
+	fb, err := f.Seal([]int{0}, []byte("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := d.Seal([]int{0}, []byte("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Unseal(fb); err == nil {
+		t.Error("discrete chip unsealed an fTPM blob")
+	}
+	if _, err := f.Unseal(db); err == nil {
+		t.Error("fTPM unsealed a discrete-chip blob")
+	}
+}

@@ -1,0 +1,212 @@
+// Package gui implements a minimal-complexity secure GUI multiplexer in
+// the spirit of Nitpicker (§III-D "Secure Path to the User"): a single
+// trusted component owns the display and input hardware; clients get
+// views whose identity labels are drawn BY THE MULTIPLEXER, not by the
+// client; input is routed only to the focused view; and a reserved
+// indicator region truthfully shows who is focused — the paper's "very
+// obvious indication of a secure mode, like a simple traffic-light
+// display".
+//
+// The contrast case is a raw framebuffer: any client can draw anything,
+// including a pixel-perfect fake of another application's login dialog,
+// and read input it should never see. Experiment E13 runs the same
+// phishing overlay against both paths.
+package gui
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lateral/internal/hw"
+)
+
+// IndicatorOwner is the reserved origin name of the trusted indicator.
+const IndicatorOwner = "nitpicker"
+
+// Errors.
+var (
+	// ErrNoView is returned when a client has no registered view.
+	ErrNoView = errors.New("gui: no such view")
+
+	// ErrReserved is returned when a client tries to register the
+	// multiplexer's reserved identity.
+	ErrReserved = errors.New("gui: reserved name")
+)
+
+// view is one client's window.
+type view struct {
+	owner   string
+	trusted bool
+	content string
+	inbox   []string
+}
+
+// Mux is the secure GUI multiplexer. It must be the EXCLUSIVE owner of the
+// display and input devices (enforce with kernel.AssignDevice).
+type Mux struct {
+	display *hw.Display
+	input   *hw.InputDevice
+
+	mu      sync.Mutex
+	views   map[string]*view
+	order   []string
+	focused string
+}
+
+// NewMux takes ownership of a display and input device.
+func NewMux(display *hw.Display, input *hw.InputDevice) *Mux {
+	return &Mux{
+		display: display,
+		input:   input,
+		views:   make(map[string]*view),
+	}
+}
+
+// CreateView registers a client window. The trusted flag is established at
+// registration (by the system integrator), not claimable at draw time.
+func (m *Mux) CreateView(owner string, trusted bool) error {
+	if owner == IndicatorOwner {
+		return fmt.Errorf("view %q: %w", owner, ErrReserved)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.views[owner]; !ok {
+		m.order = append(m.order, owner)
+	}
+	m.views[owner] = &view{owner: owner, trusted: trusted}
+	return nil
+}
+
+// Draw updates a client's view content. The origin and label on screen are
+// set by the multiplexer from the registered identity — whatever identity
+// claims the CONTENT makes, the label next to it tells the truth.
+func (m *Mux) Draw(owner, content string) error {
+	m.mu.Lock()
+	v, ok := m.views[owner]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("draw by %q: %w", owner, ErrNoView)
+	}
+	v.content = content
+	m.mu.Unlock()
+	m.compose()
+	return nil
+}
+
+// Focus gives a view the input focus and refreshes the indicator.
+func (m *Mux) Focus(owner string) error {
+	m.mu.Lock()
+	if _, ok := m.views[owner]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("focus %q: %w", owner, ErrNoView)
+	}
+	m.focused = owner
+	m.mu.Unlock()
+	m.compose()
+	return nil
+}
+
+// Focused returns the owner of the focused view ("" if none).
+func (m *Mux) Focused() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.focused
+}
+
+// compose redraws the entire screen: the trusted indicator first, then
+// every view with its mux-assigned label.
+func (m *Mux) compose() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.display.Clear()
+	indicator := "focus:none trust:none"
+	if v, ok := m.views[m.focused]; ok {
+		light := "RED"
+		if v.trusted {
+			light = "GREEN"
+		}
+		indicator = fmt.Sprintf("focus:%s trust:%s", v.owner, light)
+	}
+	m.display.Draw(hw.DisplayRegion{
+		Origin:  IndicatorOwner,
+		Label:   IndicatorOwner,
+		Content: indicator,
+	})
+	for _, owner := range m.order {
+		v := m.views[owner]
+		m.display.Draw(hw.DisplayRegion{
+			Origin:  v.owner,
+			Label:   v.owner, // assigned by the mux, not the client
+			Content: v.content,
+		})
+	}
+}
+
+// PumpInput drains pending hardware input events and routes each to the
+// FOCUSED view only. Unfocused views never see a keystroke.
+func (m *Mux) PumpInput() int {
+	n := 0
+	for {
+		ev, ok := m.input.Next()
+		if !ok {
+			return n
+		}
+		m.mu.Lock()
+		if v, ok := m.views[m.focused]; ok {
+			v.inbox = append(v.inbox, ev)
+		}
+		m.mu.Unlock()
+		n++
+	}
+}
+
+// ReadInput pops the oldest input event routed to the client's view.
+func (m *Mux) ReadInput(owner string) (string, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.views[owner]
+	if !ok {
+		return "", false, fmt.Errorf("input for %q: %w", owner, ErrNoView)
+	}
+	if len(v.inbox) == 0 {
+		return "", false, nil
+	}
+	ev := v.inbox[0]
+	v.inbox = v.inbox[1:]
+	return ev, true, nil
+}
+
+// User simulates the paper's careful human: before typing a secret they
+// glance at the trusted indicator (on the mux path) or at whatever the
+// screen claims (on a raw framebuffer, where there is nothing better).
+type User struct {
+	// TrustPolicy names the application the user intends to give the
+	// secret to.
+	TrustPolicy string
+}
+
+// WouldTypeSecretMux decides whether the user types, given a mux-composed
+// screen: they check the indicator's focus line — which the mux
+// guarantees truthful — and type only if focus is on the intended app
+// with a GREEN light.
+func (u User) WouldTypeSecretMux(regions []hw.DisplayRegion) bool {
+	for _, r := range regions {
+		if r.Origin == IndicatorOwner {
+			return r.Content == fmt.Sprintf("focus:%s trust:GREEN", u.TrustPolicy)
+		}
+	}
+	return false
+}
+
+// WouldTypeSecretRaw decides on a raw framebuffer: the user can only judge
+// by what the screen CLAIMS — a region that says it is the intended app.
+// This is exactly the judgment phishing exploits.
+func (u User) WouldTypeSecretRaw(regions []hw.DisplayRegion) bool {
+	for _, r := range regions {
+		if r.Origin == u.TrustPolicy {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package gui
+
+import (
+	"errors"
+	"testing"
+
+	"lateral/internal/hw"
+)
+
+func newMux(t *testing.T) (*Mux, *hw.Display, *hw.InputDevice) {
+	t.Helper()
+	d := hw.NewDisplay("fb0")
+	in := hw.NewInputDevice("kbd0")
+	return NewMux(d, in), d, in
+}
+
+func TestCreateViewAndReservedName(t *testing.T) {
+	m, _, _ := newMux(t)
+	if err := m.CreateView("bank", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateView(IndicatorOwner, true); !errors.Is(err, ErrReserved) {
+		t.Errorf("reserved name: got %v", err)
+	}
+	if err := m.Draw("ghost", "x"); !errors.Is(err, ErrNoView) {
+		t.Errorf("draw without view: got %v", err)
+	}
+	if err := m.Focus("ghost"); !errors.Is(err, ErrNoView) {
+		t.Errorf("focus without view: got %v", err)
+	}
+}
+
+func TestLabelsAreMuxAssigned(t *testing.T) {
+	m, d, _ := newMux(t)
+	if err := m.CreateView("evil-app", false); err != nil {
+		t.Fatal(err)
+	}
+	// The client draws content CLAIMING to be the bank.
+	if err := m.Draw("evil-app", "== BANK LOGIN == enter password:"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Regions() {
+		if r.Origin == "evil-app" && r.Label != "evil-app" {
+			t.Errorf("mux let a client control its label: %q", r.Label)
+		}
+		if r.Origin == "bank" {
+			t.Error("a region with forged origin appeared")
+		}
+	}
+}
+
+func TestIndicatorTracksFocusAndTrust(t *testing.T) {
+	m, d, _ := newMux(t)
+	if err := m.CreateView("bank", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateView("game", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Focus("bank"); err != nil {
+		t.Fatal(err)
+	}
+	if got := indicatorContent(d); got != "focus:bank trust:GREEN" {
+		t.Errorf("indicator = %q", got)
+	}
+	if err := m.Focus("game"); err != nil {
+		t.Fatal(err)
+	}
+	if got := indicatorContent(d); got != "focus:game trust:RED" {
+		t.Errorf("indicator = %q", got)
+	}
+	if m.Focused() != "game" {
+		t.Errorf("Focused = %q", m.Focused())
+	}
+}
+
+func indicatorContent(d *hw.Display) string {
+	for _, r := range d.Regions() {
+		if r.Origin == IndicatorOwner {
+			return r.Content
+		}
+	}
+	return ""
+}
+
+func TestInputRoutedToFocusedViewOnly(t *testing.T) {
+	m, _, in := newMux(t)
+	if err := m.CreateView("bank", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateView("spy", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Focus("bank"); err != nil {
+		t.Fatal(err)
+	}
+	in.Inject("key:p")
+	in.Inject("key:w")
+	if n := m.PumpInput(); n != 2 {
+		t.Errorf("pumped %d events", n)
+	}
+	if ev, ok, _ := m.ReadInput("bank"); !ok || ev != "key:p" {
+		t.Errorf("bank input = %q, %v", ev, ok)
+	}
+	if _, ok, _ := m.ReadInput("spy"); ok {
+		t.Error("unfocused view received input")
+	}
+	if _, _, err := m.ReadInput("ghost"); !errors.Is(err, ErrNoView) {
+		t.Errorf("input for unknown view: got %v", err)
+	}
+}
+
+func TestInputWithNoFocusIsDropped(t *testing.T) {
+	m, _, in := newMux(t)
+	if err := m.CreateView("a", false); err != nil {
+		t.Fatal(err)
+	}
+	in.Inject("key:x")
+	m.PumpInput()
+	if ev, ok, _ := m.ReadInput("a"); ok {
+		t.Errorf("unfocused system delivered input %q", ev)
+	}
+}
+
+func TestPhishingOverlayDefeatedByMux(t *testing.T) {
+	// The E13 scenario. A compromised app draws a fake bank login and
+	// grabs focus. On the mux path the indicator exposes it.
+	m, d, in := newMux(t)
+	if err := m.CreateView("bank", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateView("evil", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Draw("evil", "== BANK LOGIN == password:"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Focus("evil"); err != nil {
+		t.Fatal(err)
+	}
+	user := User{TrustPolicy: "bank"}
+	if user.WouldTypeSecretMux(d.Regions()) {
+		t.Error("user typed the secret despite the indicator showing evil/RED")
+	}
+	// Legitimate case still works: focus the real bank.
+	if err := m.Draw("bank", "enter password:"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Focus("bank"); err != nil {
+		t.Fatal(err)
+	}
+	if !user.WouldTypeSecretMux(d.Regions()) {
+		t.Error("user refused to type in the legitimate dialog")
+	}
+	in.Inject("key:hunter2")
+	m.PumpInput()
+	if ev, ok, _ := m.ReadInput("bank"); !ok || ev != "key:hunter2" {
+		t.Errorf("bank did not get the password: %q %v", ev, ok)
+	}
+	if _, ok, _ := m.ReadInput("evil"); ok {
+		t.Error("evil app captured input while bank was focused")
+	}
+}
+
+func TestPhishingOverlaySucceedsOnRawDisplay(t *testing.T) {
+	// Same attack on a raw framebuffer: the forged origin fools the user.
+	d := hw.NewDisplay("fb0")
+	d.Draw(hw.DisplayRegion{Origin: "bank", Content: "== BANK LOGIN == password:"}) // forged by evil
+	user := User{TrustPolicy: "bank"}
+	if !user.WouldTypeSecretRaw(d.Regions()) {
+		t.Error("raw-display phishing should succeed (that is the point of the mux)")
+	}
+}

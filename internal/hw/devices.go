@@ -1,0 +1,309 @@
+package hw
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Device is the common behaviour of simulated peripherals. Every device has
+// a stable name used for IOMMU attachment and manifest declarations.
+type Device interface {
+	DeviceName() string
+}
+
+// NIC is a simulated network interface with transmit and receive queues.
+// The netsim package wires NICs of different machines together; here the
+// NIC is only the machine-local queue pair plus an exclusive-owner latch so
+// substrates can grant it to exactly one component (the paper's "if only
+// the TLS component can access the device driver of the network card ...").
+type NIC struct {
+	name string
+
+	mu    sync.Mutex
+	owner string
+	tx    [][]byte
+	rx    [][]byte
+}
+
+var _ Device = (*NIC)(nil)
+
+// NewNIC creates a NIC with the given name.
+func NewNIC(name string) *NIC {
+	return &NIC{name: name}
+}
+
+// DeviceName returns the device name.
+func (n *NIC) DeviceName() string { return n.name }
+
+// Claim makes owner the exclusive user of the NIC. A second claim by a
+// different owner fails, modeling exclusive device capability assignment.
+func (n *NIC) Claim(owner string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.owner != "" && n.owner != owner {
+		return fmt.Errorf("nic %s: already claimed by %s", n.name, n.owner)
+	}
+	n.owner = owner
+	return nil
+}
+
+// Owner returns the current exclusive owner, or "" if unclaimed.
+func (n *NIC) Owner() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.owner
+}
+
+// Send enqueues a frame for transmission. Only the owner may send when the
+// NIC is claimed.
+func (n *NIC) Send(from string, frame []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.owner != "" && n.owner != from {
+		return fmt.Errorf("nic %s: %s is not the owner (%s)", n.name, from, n.owner)
+	}
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	n.tx = append(n.tx, f)
+	return nil
+}
+
+// PopTx removes and returns the oldest transmitted frame (used by the
+// network simulator acting as the wire).
+func (n *NIC) PopTx() ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.tx) == 0 {
+		return nil, false
+	}
+	f := n.tx[0]
+	n.tx = n.tx[1:]
+	return f, true
+}
+
+// Deliver enqueues a frame on the receive side (called by the wire).
+func (n *NIC) Deliver(frame []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f := make([]byte, len(frame))
+	copy(f, frame)
+	n.rx = append(n.rx, f)
+}
+
+// Recv removes and returns the oldest received frame. Only the owner may
+// receive when the NIC is claimed.
+func (n *NIC) Recv(from string) ([]byte, bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.owner != "" && n.owner != from {
+		return nil, false, fmt.Errorf("nic %s: %s is not the owner (%s)", n.name, from, n.owner)
+	}
+	if len(n.rx) == 0 {
+		return nil, false, nil
+	}
+	f := n.rx[0]
+	n.rx = n.rx[1:]
+	return f, true, nil
+}
+
+// SectorSize is the block device sector size in bytes.
+const SectorSize = 512
+
+// BlockDevice is a simulated persistent store addressed in sectors. The
+// physical attacker (and the untrusted legacy storage stack) may tamper
+// with it freely via TamperSector; VPFS must detect that.
+type BlockDevice struct {
+	name string
+
+	mu      sync.Mutex
+	sectors [][]byte
+	reads   int
+	writes  int
+}
+
+var _ Device = (*BlockDevice)(nil)
+
+// NewBlockDevice creates a device with n sectors, all zeroed.
+func NewBlockDevice(name string, n int) *BlockDevice {
+	s := make([][]byte, n)
+	for i := range s {
+		s[i] = make([]byte, SectorSize)
+	}
+	return &BlockDevice{name: name, sectors: s}
+}
+
+// DeviceName returns the device name.
+func (d *BlockDevice) DeviceName() string { return d.name }
+
+// NumSectors returns the device capacity in sectors.
+func (d *BlockDevice) NumSectors() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sectors)
+}
+
+// ReadSector copies out sector i.
+func (d *BlockDevice) ReadSector(i int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.sectors) {
+		return nil, fmt.Errorf("blk %s: read sector %d out of range", d.name, i)
+	}
+	d.reads++
+	out := make([]byte, SectorSize)
+	copy(out, d.sectors[i])
+	return out, nil
+}
+
+// WriteSector overwrites sector i with p (padded/truncated to SectorSize).
+func (d *BlockDevice) WriteSector(i int, p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.sectors) {
+		return fmt.Errorf("blk %s: write sector %d out of range", d.name, i)
+	}
+	d.writes++
+	buf := make([]byte, SectorSize)
+	copy(buf, p)
+	d.sectors[i] = buf
+	return nil
+}
+
+// TamperSector lets an attacker mutate a sector byte-by-byte, bypassing any
+// driver stack. fn receives the live sector contents.
+func (d *BlockDevice) TamperSector(i int, fn func(sector []byte)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if i < 0 || i >= len(d.sectors) {
+		return fmt.Errorf("blk %s: tamper sector %d out of range", d.name, i)
+	}
+	fn(d.sectors[i])
+	return nil
+}
+
+// Stats returns the cumulative read and write counts.
+func (d *BlockDevice) Stats() (reads, writes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}
+
+// Snapshot copies the full device contents; RestoreSnapshot writes them
+// back. Together they model a rollback (replay) attack on storage.
+func (d *BlockDevice) Snapshot() [][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([][]byte, len(d.sectors))
+	for i, s := range d.sectors {
+		c := make([]byte, SectorSize)
+		copy(c, s)
+		out[i] = c
+	}
+	return out
+}
+
+// RestoreSnapshot replaces device contents with a previously taken snapshot.
+func (d *BlockDevice) RestoreSnapshot(snap [][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(snap) != len(d.sectors) {
+		return fmt.Errorf("blk %s: snapshot has %d sectors, device has %d", d.name, len(snap), len(d.sectors))
+	}
+	for i, s := range snap {
+		c := make([]byte, SectorSize)
+		copy(c, s)
+		d.sectors[i] = c
+	}
+	return nil
+}
+
+// Display is a simulated framebuffer organized as labeled text regions.
+// The gui package multiplexes it; a raw (non-multiplexed) display lets any
+// client draw anything, which is what the secure-GUI experiment attacks.
+type Display struct {
+	name string
+
+	mu      sync.Mutex
+	regions []DisplayRegion
+}
+
+// DisplayRegion is one drawn element with the identity the drawing path
+// attached to it. For the secure GUI, Origin is assigned by the
+// multiplexer and cannot be chosen by the client.
+type DisplayRegion struct {
+	Origin  string // who drew it, as established by the display path
+	Label   string // trusted label rendered by the mux ("" on a raw display)
+	Content string
+}
+
+var _ Device = (*Display)(nil)
+
+// NewDisplay creates a display.
+func NewDisplay(name string) *Display {
+	return &Display{name: name}
+}
+
+// DeviceName returns the device name.
+func (d *Display) DeviceName() string { return d.name }
+
+// Draw appends a region. On a raw display the client controls every field,
+// including Origin — that is the vulnerability the GUI mux removes.
+func (d *Display) Draw(r DisplayRegion) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.regions = append(d.regions, r)
+}
+
+// Clear removes all regions.
+func (d *Display) Clear() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.regions = nil
+}
+
+// Regions returns a copy of the current screen contents.
+func (d *Display) Regions() []DisplayRegion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DisplayRegion, len(d.regions))
+	copy(out, d.regions)
+	return out
+}
+
+// InputDevice is a simulated keyboard/touch source. Events are routed to
+// whoever reads the queue; the GUI mux imposes focus-based routing.
+type InputDevice struct {
+	name string
+
+	mu     sync.Mutex
+	events []string
+}
+
+var _ Device = (*InputDevice)(nil)
+
+// NewInputDevice creates an input source.
+func NewInputDevice(name string) *InputDevice {
+	return &InputDevice{name: name}
+}
+
+// DeviceName returns the device name.
+func (d *InputDevice) DeviceName() string { return d.name }
+
+// Inject adds a user input event (the test harness plays the user).
+func (d *InputDevice) Inject(event string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.events = append(d.events, event)
+}
+
+// Next pops the oldest pending event.
+func (d *InputDevice) Next() (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.events) == 0 {
+		return "", false
+	}
+	e := d.events[0]
+	d.events = d.events[1:]
+	return e, true
+}

@@ -1,0 +1,388 @@
+// Package hw simulates the hardware platform underneath every isolation
+// substrate in this repository: physical DRAM behind a memory controller,
+// on-chip SRAM that never leaves the package, an MMU and IOMMU, one-time
+// programmable fuses, an immutable boot ROM, and a pluggable DRAM bus tap
+// that models the physical attacker of the paper's Section II-D.
+//
+// The simulation is deliberately behavioural, not cycle accurate: it
+// preserves exactly the properties the paper reasons about — who can read
+// or write which bytes, what a probe on the memory bus observes, and which
+// keys are reachable from which privilege level.
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of a physical frame and of a virtual page.
+const PageSize = 4096
+
+// PhysAddr is an address in simulated physical memory.
+type PhysAddr uint32
+
+// Access describes the kind of memory access being performed.
+type Access int
+
+// Access kinds.
+const (
+	Read Access = iota + 1
+	Write
+	Execute
+)
+
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Execute:
+		return "execute"
+	default:
+		return fmt.Sprintf("access(%d)", int(a))
+	}
+}
+
+// Perm is a permission bit mask for page mappings.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExecute
+)
+
+// Allows reports whether the permission mask admits the given access.
+func (p Perm) Allows(a Access) bool {
+	switch a {
+	case Read:
+		return p&PermRead != 0
+	case Write:
+		return p&PermWrite != 0
+	case Execute:
+		return p&PermExecute != 0
+	default:
+		return false
+	}
+}
+
+var (
+	// ErrFault is returned for accesses that violate translation or
+	// protection rules. Substrates convert it into their own fault
+	// handling.
+	ErrFault = errors.New("hw: memory fault")
+
+	// ErrFuseBlown is returned when writing an already-programmed fuse.
+	ErrFuseBlown = errors.New("hw: fuse already programmed")
+
+	// ErrFuseDenied is returned when the caller's privilege does not
+	// satisfy the fuse's access predicate.
+	ErrFuseDenied = errors.New("hw: fuse access denied")
+
+	// ErrNoMemory is returned when physical frame allocation fails.
+	ErrNoMemory = errors.New("hw: out of physical memory")
+
+	// ErrIntegrity is returned when an authenticated protected range
+	// detects that DRAM contents were modified behind the controller's
+	// back (an active bus attacker or cold-boot write).
+	ErrIntegrity = errors.New("hw: memory integrity violation")
+)
+
+// BusTap observes (and may modify) traffic on the external DRAM bus. It
+// models the paper's physical attacker: "off-chip wires are assumed to be
+// accessible to attackers, but on-chip processing and memory such as caches
+// can be shielded". A tap sees exactly the bytes that travel on the bus —
+// ciphertext if a memory-encryption engine protects the range, plaintext
+// otherwise.
+type BusTap interface {
+	// OnRead is called with the bytes leaving the DRAM on a read. The
+	// tap may return a replacement to model active tampering; returning
+	// nil leaves the data unchanged.
+	OnRead(addr PhysAddr, data []byte) []byte
+
+	// OnWrite is called with the bytes entering the DRAM on a write.
+	// The tap may return a replacement; returning nil leaves the data
+	// unchanged.
+	OnWrite(addr PhysAddr, data []byte) []byte
+}
+
+// Cipher transforms data between the on-chip and DRAM representations for
+// one protected range. SGX-style memory-encryption engines and SEP-style
+// inline DRAM crypto both plug in here.
+type Cipher interface {
+	// Encrypt converts on-chip plaintext into the bus representation.
+	Encrypt(addr PhysAddr, plaintext []byte) []byte
+	// Decrypt converts the bus representation back into plaintext.
+	Decrypt(addr PhysAddr, ciphertext []byte) []byte
+}
+
+// protRange is a range of physical memory covered by an encryption engine.
+// Authenticated ranges additionally keep an on-chip shadow of the range's
+// expected bus representation — the simulation stand-in for a real MEE's
+// integrity tree — so any modification that did not come through the
+// controller (active bus tampering, cold-boot writes) is detected on read.
+type protRange struct {
+	start         PhysAddr
+	end           PhysAddr // exclusive
+	cipher        Cipher
+	authenticated bool
+	expected      []byte // on-chip integrity state; taps cannot see or fix it
+}
+
+// Memory is the simulated DRAM behind the memory controller. All substrate
+// memory ultimately lives here (except on-chip SRAM, see Machine.SRAM).
+// Reads and writes pass the bus tap; ranges registered with Protect are
+// encrypted before they reach the bus.
+type Memory struct {
+	mu     sync.Mutex
+	dram   []byte
+	taps   []BusTap
+	ranges []protRange
+}
+
+// NewMemory creates DRAM of the given size in bytes (rounded up to a whole
+// number of pages).
+func NewMemory(size int) *Memory {
+	if r := size % PageSize; r != 0 {
+		size += PageSize - r
+	}
+	return &Memory{dram: make([]byte, size)}
+}
+
+// Size returns the DRAM size in bytes.
+func (m *Memory) Size() int {
+	return len(m.dram)
+}
+
+// AttachTap registers a bus tap. Multiple taps compose in attach order.
+func (m *Memory) AttachTap(t BusTap) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.taps = append(m.taps, t)
+}
+
+// Protect registers an encryption engine over [start, start+size). The
+// range contents currently in DRAM are re-written through the cipher so
+// that the bus representation is consistent from this point on.
+func (m *Memory) Protect(start PhysAddr, size int, c Cipher) error {
+	return m.protect(start, size, c, false)
+}
+
+// ProtectAuthenticated is Protect plus memory integrity: the controller
+// keeps on-chip integrity state for the range, and any DRAM modification
+// that bypassed it — an active bus attacker, a cold-boot write — makes the
+// next CPU-side read fail with ErrIntegrity. This is the full MEE design
+// of SGX and the SEP, as opposed to confidentiality-only encryption.
+func (m *Memory) ProtectAuthenticated(start PhysAddr, size int, c Cipher) error {
+	return m.protect(start, size, c, true)
+}
+
+func (m *Memory) protect(start PhysAddr, size int, c Cipher, authenticated bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := start + PhysAddr(size)
+	if int(end) > len(m.dram) || end < start {
+		return fmt.Errorf("protect [%#x,%#x): %w", start, end, ErrFault)
+	}
+	for _, r := range m.ranges {
+		if start < r.end && r.start < end {
+			return fmt.Errorf("protect [%#x,%#x): overlaps existing protected range", start, end)
+		}
+	}
+	// Re-encrypt the existing plaintext contents in place.
+	plain := make([]byte, size)
+	copy(plain, m.dram[start:end])
+	enc := c.Encrypt(start, plain)
+	copy(m.dram[start:end], enc)
+	r := protRange{start: start, end: end, cipher: c, authenticated: authenticated}
+	if authenticated {
+		r.expected = make([]byte, size)
+		copy(r.expected, enc)
+	}
+	m.ranges = append(m.ranges, r)
+	return nil
+}
+
+// Unprotect removes the encryption engine covering start, decrypting the
+// range contents back to plaintext. Used when enclave memory is reclaimed.
+func (m *Memory) Unprotect(start PhysAddr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.ranges {
+		if r.start == start {
+			ct := make([]byte, r.end-r.start)
+			copy(ct, m.dram[r.start:r.end])
+			copy(m.dram[r.start:r.end], r.cipher.Decrypt(r.start, ct))
+			m.ranges = append(m.ranges[:i], m.ranges[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("unprotect %#x: no protected range", start)
+}
+
+// rangeFor returns the protected range covering addr, if any. Caller holds mu.
+func (m *Memory) rangeFor(addr PhysAddr) *protRange {
+	for i := range m.ranges {
+		if addr >= m.ranges[i].start && addr < m.ranges[i].end {
+			return &m.ranges[i]
+		}
+	}
+	return nil
+}
+
+// checkStraddle rejects accesses that cross a protected-range boundary:
+// real memory-encryption engines operate on whole protected regions, and a
+// single access half-in, half-out has no coherent representation.
+// Caller holds mu.
+func (m *Memory) checkStraddle(addr PhysAddr, n int) error {
+	end := addr + PhysAddr(n)
+	for i := range m.ranges {
+		r := &m.ranges[i]
+		if addr < r.end && r.start < end { // overlaps the range
+			if addr < r.start || end > r.end { // ... but not contained
+				return fmt.Errorf("access [%#x,%#x) straddles protected range [%#x,%#x): %w",
+					addr, end, r.start, r.end, ErrFault)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadPhys reads n bytes at addr as seen by the CPU side: data travels over
+// the bus (visible to taps, possibly tampered) and is decrypted by the
+// range's engine if one is registered.
+func (m *Memory) ReadPhys(addr PhysAddr, n int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(addr)+n > len(m.dram) {
+		return nil, fmt.Errorf("read %d@%#x: %w", n, addr, ErrFault)
+	}
+	if err := m.checkStraddle(addr, n); err != nil {
+		return nil, err
+	}
+	bus := make([]byte, n)
+	copy(bus, m.dram[addr:int(addr)+n])
+	for _, t := range m.taps {
+		if repl := t.OnRead(addr, bus); repl != nil {
+			bus = repl
+		}
+	}
+	if r := m.rangeFor(addr); r != nil {
+		if r.authenticated {
+			want := r.expected[addr-r.start : int(addr-r.start)+n]
+			if !bytesEqual(bus, want) {
+				return nil, fmt.Errorf("read %d@%#x: %w", n, addr, ErrIntegrity)
+			}
+		}
+		return r.cipher.Decrypt(addr, bus), nil
+	}
+	return bus, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WritePhys writes p at addr from the CPU side: the range's engine (if any)
+// encrypts first, then the bus carries the data past the taps into DRAM.
+func (m *Memory) WritePhys(addr PhysAddr, p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(addr)+len(p) > len(m.dram) {
+		return fmt.Errorf("write %d@%#x: %w", len(p), addr, ErrFault)
+	}
+	if err := m.checkStraddle(addr, len(p)); err != nil {
+		return err
+	}
+	bus := p
+	r := m.rangeFor(addr)
+	if r != nil {
+		bus = r.cipher.Encrypt(addr, p)
+		if r.authenticated {
+			// The controller's integrity state records what it SENT;
+			// whatever a tap does to the wire is caught on read-back.
+			copy(r.expected[addr-r.start:], bus)
+		}
+	}
+	for _, t := range m.taps {
+		if repl := t.OnWrite(addr, bus); repl != nil {
+			bus = repl
+		}
+	}
+	copy(m.dram[addr:int(addr)+len(bus)], bus)
+	return nil
+}
+
+// PeekRaw returns the raw DRAM contents without involving the bus or any
+// decryption. Tests use it to assert what is physically resident.
+func (m *Memory) PeekRaw(addr PhysAddr, n int) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]byte, n)
+	copy(out, m.dram[addr:int(addr)+n])
+	return out
+}
+
+// PokeRaw overwrites raw DRAM contents, bypassing the controller entirely.
+// It models cold-boot style physical manipulation of DRAM.
+func (m *Memory) PokeRaw(addr PhysAddr, p []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copy(m.dram[addr:int(addr)+len(p)], p)
+}
+
+// FrameAllocator hands out physical frames from DRAM.
+type FrameAllocator struct {
+	mu    sync.Mutex
+	start PhysAddr
+	next  PhysAddr
+	limit PhysAddr
+	free  []PhysAddr
+}
+
+// NewFrameAllocator creates an allocator over [start, start+size).
+func NewFrameAllocator(start PhysAddr, size int) *FrameAllocator {
+	return &FrameAllocator{start: start, next: start, limit: start + PhysAddr(size)}
+}
+
+// Alloc returns the base address of a fresh frame.
+func (f *FrameAllocator) Alloc() (PhysAddr, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.free); n > 0 {
+		a := f.free[n-1]
+		f.free = f.free[:n-1]
+		return a, nil
+	}
+	if f.next+PageSize > f.limit {
+		return 0, ErrNoMemory
+	}
+	a := f.next
+	f.next += PageSize
+	return a, nil
+}
+
+// Free returns a frame to the allocator.
+func (f *FrameAllocator) Free(a PhysAddr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.free = append(f.free, a)
+}
+
+// InUse reports how many frames are currently handed out.
+func (f *FrameAllocator) InUse() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(f.next-f.start)/PageSize - len(f.free)
+}

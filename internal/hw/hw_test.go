@@ -1,0 +1,686 @@
+package hw
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory(2 * PageSize)
+	want := []byte("hello physical world")
+	if err := m.WritePhys(100, want); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	got, err := m.ReadPhys(100, len(want))
+	if err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("round trip got %q, want %q", got, want)
+	}
+}
+
+func TestMemoryOutOfRange(t *testing.T) {
+	m := NewMemory(PageSize)
+	if err := m.WritePhys(PhysAddr(PageSize-2), []byte("abcd")); !errors.Is(err, ErrFault) {
+		t.Errorf("write past end: got %v, want ErrFault", err)
+	}
+	if _, err := m.ReadPhys(PhysAddr(PageSize-1), 8); !errors.Is(err, ErrFault) {
+		t.Errorf("read past end: got %v, want ErrFault", err)
+	}
+}
+
+func TestMemorySizeRoundsUpToPage(t *testing.T) {
+	m := NewMemory(PageSize + 1)
+	if m.Size() != 2*PageSize {
+		t.Errorf("size = %d, want %d", m.Size(), 2*PageSize)
+	}
+}
+
+// recordingTap records all plaintext it sees on the bus.
+type recordingTap struct {
+	seen []byte
+}
+
+func (r *recordingTap) OnRead(_ PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+
+func (r *recordingTap) OnWrite(_ PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+
+func TestBusTapSeesPlaintextWrites(t *testing.T) {
+	m := NewMemory(PageSize)
+	tap := &recordingTap{}
+	m.AttachTap(tap)
+	secret := []byte("TOP-SECRET-DATA")
+	if err := m.WritePhys(0, secret); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if !bytes.Contains(tap.seen, secret) {
+		t.Error("bus tap did not observe plaintext write; it must on unprotected DRAM")
+	}
+}
+
+// xorCipher is a toy memory-encryption engine for tests.
+type xorCipher struct{ key byte }
+
+func (c xorCipher) Encrypt(_ PhysAddr, p []byte) []byte { return xorBytes(p, c.key) }
+func (c xorCipher) Decrypt(_ PhysAddr, p []byte) []byte { return xorBytes(p, c.key) }
+
+func xorBytes(p []byte, k byte) []byte {
+	out := make([]byte, len(p))
+	for i, b := range p {
+		out[i] = b ^ k
+	}
+	return out
+}
+
+func TestProtectedRangeHidesPlaintextFromTap(t *testing.T) {
+	m := NewMemory(2 * PageSize)
+	if err := m.Protect(0, PageSize, xorCipher{key: 0x5a}); err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	tap := &recordingTap{}
+	m.AttachTap(tap)
+	secret := []byte("ENCLAVE-SECRET-VALUE")
+	if err := m.WritePhys(16, secret); err != nil {
+		t.Fatalf("WritePhys: %v", err)
+	}
+	if bytes.Contains(tap.seen, secret) {
+		t.Error("bus tap observed plaintext inside protected range")
+	}
+	got, err := m.ReadPhys(16, len(secret))
+	if err != nil {
+		t.Fatalf("ReadPhys: %v", err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Errorf("CPU-side read got %q, want %q", got, secret)
+	}
+	if raw := m.PeekRaw(16, len(secret)); bytes.Equal(raw, secret) {
+		t.Error("raw DRAM holds plaintext inside protected range")
+	}
+}
+
+func TestProtectRejectsOverlapAndOutOfRange(t *testing.T) {
+	m := NewMemory(4 * PageSize)
+	if err := m.Protect(0, 2*PageSize, xorCipher{1}); err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	if err := m.Protect(PageSize, PageSize, xorCipher{2}); err == nil {
+		t.Error("overlapping Protect succeeded, want error")
+	}
+	if err := m.Protect(3*PageSize, 2*PageSize, xorCipher{3}); err == nil {
+		t.Error("out-of-range Protect succeeded, want error")
+	}
+}
+
+func TestUnprotectRestoresPlaintext(t *testing.T) {
+	m := NewMemory(PageSize)
+	secret := []byte("persisted")
+	if err := m.WritePhys(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(0, PageSize, xorCipher{0x33}); err != nil {
+		t.Fatal(err)
+	}
+	if raw := m.PeekRaw(0, len(secret)); bytes.Equal(raw, secret) {
+		t.Fatal("Protect did not re-encrypt existing contents")
+	}
+	if err := m.Unprotect(0); err != nil {
+		t.Fatal(err)
+	}
+	if raw := m.PeekRaw(0, len(secret)); !bytes.Equal(raw, secret) {
+		t.Errorf("Unprotect left %q, want %q", raw, secret)
+	}
+	if err := m.Unprotect(0); err == nil {
+		t.Error("double Unprotect succeeded, want error")
+	}
+}
+
+func TestTamperingTapCorruptsData(t *testing.T) {
+	m := NewMemory(PageSize)
+	m.AttachTap(flipTap{})
+	if err := m.WritePhys(0, []byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadPhys(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write flipped once (stored 0xFE), read flips again (returns 0x01^0xff^0xff... ).
+	// flipTap flips on both write and read: stored = ^0x01 = 0xfe, read returns ^0xfe = 0x01.
+	// To observe corruption use PeekRaw.
+	if raw := m.PeekRaw(0, 1); raw[0] != 0xfe {
+		t.Errorf("raw DRAM = %#x, want 0xfe (tampered)", raw[0])
+	}
+	_ = got
+}
+
+type flipTap struct{}
+
+func (flipTap) OnRead(_ PhysAddr, data []byte) []byte  { return xorBytes(data, 0xff) }
+func (flipTap) OnWrite(_ PhysAddr, data []byte) []byte { return xorBytes(data, 0xff) }
+
+func TestFrameAllocator(t *testing.T) {
+	f := NewFrameAllocator(0, 3*PageSize)
+	a1, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Error("allocator returned the same frame twice")
+	}
+	if got := f.InUse(); got != 2 {
+		t.Errorf("InUse = %d, want 2", got)
+	}
+	f.Free(a1)
+	if got := f.InUse(); got != 1 {
+		t.Errorf("InUse after free = %d, want 1", got)
+	}
+	a3, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 != a1 {
+		t.Errorf("expected freed frame %#x to be reused, got %#x", a1, a3)
+	}
+	if _, err := f.Alloc(); err != nil {
+		t.Fatalf("third distinct frame should fit: %v", err)
+	}
+	if _, err := f.Alloc(); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("exhausted allocator returned %v, want ErrNoMemory", err)
+	}
+}
+
+func TestPermAllows(t *testing.T) {
+	cases := []struct {
+		perm Perm
+		acc  Access
+		want bool
+	}{
+		{PermRead, Read, true},
+		{PermRead, Write, false},
+		{PermRead | PermWrite, Write, true},
+		{PermExecute, Execute, true},
+		{PermExecute, Read, false},
+		{0, Read, false},
+	}
+	for _, c := range cases {
+		if got := c.perm.Allows(c.acc); got != c.want {
+			t.Errorf("Perm(%b).Allows(%v) = %v, want %v", c.perm, c.acc, got, c.want)
+		}
+	}
+}
+
+func TestMMUTranslateAndFaults(t *testing.T) {
+	m := NewMemory(8 * PageSize)
+	mmu := NewMMU(m)
+	pt := NewPageTable()
+	pt.Map(0x1000, 0x3000, PermRead|PermWrite)
+
+	pa, err := mmu.Translate(pt, 0x1234, Read)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if pa != 0x3234 {
+		t.Errorf("Translate = %#x, want 0x3234", pa)
+	}
+	if _, err := mmu.Translate(pt, 0x2000, Read); !errors.Is(err, ErrFault) {
+		t.Errorf("unmapped page: got %v, want ErrFault", err)
+	}
+	if _, err := mmu.Translate(pt, 0x1000, Execute); !errors.Is(err, ErrFault) {
+		t.Errorf("exec on rw page: got %v, want ErrFault", err)
+	}
+	var fe *FaultError
+	_, err = mmu.Translate(pt, 0x2000, Write)
+	if !errors.As(err, &fe) {
+		t.Fatalf("expected *FaultError, got %T", err)
+	}
+	if fe.VA != 0x2000 || fe.Access != Write {
+		t.Errorf("fault details = %+v", fe)
+	}
+}
+
+func TestMMUCrossPageReadWrite(t *testing.T) {
+	m := NewMemory(8 * PageSize)
+	mmu := NewMMU(m)
+	pt := NewPageTable()
+	// Two virtually adjacent pages backed by non-adjacent frames.
+	pt.Map(0x1000, 0x5000, PermRead|PermWrite)
+	pt.Map(0x2000, 0x3000, PermRead|PermWrite)
+
+	data := bytes.Repeat([]byte("xy"), PageSize/2+8)
+	if err := mmu.Write(pt, 0x1000+VirtAddr(PageSize-8), data[:16]); err != nil {
+		t.Fatalf("cross-page write: %v", err)
+	}
+	got, err := mmu.Read(pt, 0x1000+VirtAddr(PageSize-8), 16)
+	if err != nil {
+		t.Fatalf("cross-page read: %v", err)
+	}
+	if !bytes.Equal(got, data[:16]) {
+		t.Errorf("cross-page round trip got %q, want %q", got, data[:16])
+	}
+}
+
+func TestMMUIsolationBetweenTables(t *testing.T) {
+	m := NewMemory(8 * PageSize)
+	mmu := NewMMU(m)
+	ptA := NewPageTable()
+	ptB := NewPageTable()
+	ptA.Map(0, 0x1000, PermRead|PermWrite)
+	ptB.Map(0, 0x2000, PermRead|PermWrite)
+
+	if err := mmu.Write(ptA, 0, []byte("A-secret")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mmu.Read(ptB, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte("A-secret")) {
+		t.Error("address space B read A's data at the same virtual address")
+	}
+}
+
+func TestPageTableMappingsSortedAndUnmap(t *testing.T) {
+	pt := NewPageTable()
+	pt.Map(0x3000, 0x1000, PermRead)
+	pt.Map(0x1000, 0x2000, PermRead)
+	pt.Map(0x2000, 0x3000, PermRead)
+	ms := pt.Mappings()
+	if len(ms) != 3 {
+		t.Fatalf("got %d mappings, want 3", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].VPage >= ms[i].VPage {
+			t.Errorf("mappings not sorted: %#x before %#x", ms[i-1].VPage, ms[i].VPage)
+		}
+	}
+	pt.Unmap(0x2000)
+	if _, ok := pt.Lookup(0x2000); ok {
+		t.Error("lookup succeeded after unmap")
+	}
+}
+
+func TestIOMMUBlocksUnattachedDevice(t *testing.T) {
+	m := NewMemory(4 * PageSize)
+	io := NewIOMMU(m)
+	if _, err := io.DMARead("nic0", 0, 4); !errors.Is(err, ErrFault) {
+		t.Errorf("unattached DMA read: got %v, want ErrFault", err)
+	}
+	if err := io.DMAWrite("nic0", 0, []byte{1}); !errors.Is(err, ErrFault) {
+		t.Errorf("unattached DMA write: got %v, want ErrFault", err)
+	}
+}
+
+func TestIOMMURestrictsDeviceToItsMapping(t *testing.T) {
+	m := NewMemory(4 * PageSize)
+	io := NewIOMMU(m)
+	pt := NewPageTable()
+	pt.Map(0, 0x1000, PermRead|PermWrite)
+	io.Attach("nic0", pt)
+
+	if err := io.DMAWrite("nic0", 0, []byte("dma ok")); err != nil {
+		t.Fatalf("permitted DMA write: %v", err)
+	}
+	got, err := io.DMARead("nic0", 0, 6)
+	if err != nil {
+		t.Fatalf("permitted DMA read: %v", err)
+	}
+	if string(got) != "dma ok" {
+		t.Errorf("DMA read = %q", got)
+	}
+	// Attempt to reach a page the IOMMU never mapped (e.g. page tables).
+	if err := io.DMAWrite("nic0", 0x2000, []byte("evil")); !errors.Is(err, ErrFault) {
+		t.Errorf("out-of-map DMA write: got %v, want ErrFault", err)
+	}
+	io.Attach("nic0", nil)
+	if _, err := io.DMARead("nic0", 0, 1); !errors.Is(err, ErrFault) {
+		t.Errorf("detached DMA read: got %v, want ErrFault", err)
+	}
+}
+
+func TestFuseBank(t *testing.T) {
+	b := NewFuseBank()
+	key := []byte{1, 2, 3, 4}
+	if err := b.Program("device-key", key, PrivSecureWorld); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Program("device-key", []byte{9}, PrivUser); !errors.Is(err, ErrFuseBlown) {
+		t.Errorf("reprogram: got %v, want ErrFuseBlown", err)
+	}
+	if _, err := b.Read("device-key", PrivKernel); !errors.Is(err, ErrFuseDenied) {
+		t.Errorf("kernel read of secure-world fuse: got %v, want ErrFuseDenied", err)
+	}
+	got, err := b.Read("device-key", PrivSecureWorld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, key) {
+		t.Errorf("fuse value = %v, want %v", got, key)
+	}
+	got[0] = 0xff // mutation must not write through
+	again, _ := b.Read("device-key", PrivSecureWorld)
+	if again[0] == 0xff {
+		t.Error("fuse Read returned aliased storage")
+	}
+	if _, err := b.Read("missing", PrivSecureWorld); err == nil {
+		t.Error("read of unprogrammed fuse succeeded")
+	}
+}
+
+func TestSRAMBoundsAndRoundTrip(t *testing.T) {
+	s := NewSRAM(128)
+	if err := s.Write(120, []byte("123456789")); !errors.Is(err, ErrFault) {
+		t.Errorf("overflow write: got %v, want ErrFault", err)
+	}
+	if err := s.Write(8, []byte("on-chip")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "on-chip" {
+		t.Errorf("sram read = %q", got)
+	}
+	if _, err := s.Read(-1, 2); !errors.Is(err, ErrFault) {
+		t.Errorf("negative read: got %v, want ErrFault", err)
+	}
+}
+
+func TestBootROMImmutability(t *testing.T) {
+	rom := NewBootROM([]byte("stage0"))
+	c := rom.Code()
+	c[0] = 'X'
+	if string(rom.Code()) != "stage0" {
+		t.Error("ROM contents changed via returned slice")
+	}
+	m1 := rom.Measurement()
+	m2 := NewBootROM([]byte("stage0")).Measurement()
+	if m1 != m2 {
+		t.Error("identical ROM code produced different measurements")
+	}
+	if m1 == NewBootROM([]byte("stageX")).Measurement() {
+		t.Error("different ROM code produced identical measurements")
+	}
+}
+
+func TestMachineDefaultsAndAllocRegion(t *testing.T) {
+	m := NewMachine(MachineConfig{Name: "test"})
+	if m.Mem.Size() != 4<<20 {
+		t.Errorf("default DRAM = %d", m.Mem.Size())
+	}
+	if m.SRAM.Size() != 64<<10 {
+		t.Errorf("default SRAM = %d", m.SRAM.Size())
+	}
+	base, err := m.AllocRegion(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := m.AllocRegion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base2 != base+4*PageSize {
+		t.Errorf("regions not contiguous: %#x then %#x", base, base2)
+	}
+	if _, err := m.AllocRegion(0); err == nil {
+		t.Error("AllocRegion(0) succeeded")
+	}
+}
+
+func TestNICExclusiveOwnership(t *testing.T) {
+	n := NewNIC("eth0")
+	if err := n.Claim("tls"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Claim("tls"); err != nil {
+		t.Errorf("re-claim by same owner failed: %v", err)
+	}
+	if err := n.Claim("malware"); err == nil {
+		t.Error("second owner claimed an owned NIC")
+	}
+	if err := n.Send("malware", []byte("exfil")); err == nil {
+		t.Error("non-owner sent on claimed NIC")
+	}
+	if err := n.Send("tls", []byte("frame1")); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := n.PopTx()
+	if !ok || string(f) != "frame1" {
+		t.Errorf("PopTx = %q, %v", f, ok)
+	}
+	n.Deliver([]byte("frame2"))
+	if _, _, err := n.Recv("malware"); err == nil {
+		t.Error("non-owner received on claimed NIC")
+	}
+	g, ok, err := n.Recv("tls")
+	if err != nil || !ok || string(g) != "frame2" {
+		t.Errorf("Recv = %q, %v, %v", g, ok, err)
+	}
+	if _, ok, _ := n.Recv("tls"); ok {
+		t.Error("Recv on empty queue reported a frame")
+	}
+}
+
+func TestBlockDeviceTamperAndSnapshot(t *testing.T) {
+	d := NewBlockDevice("disk0", 4)
+	if err := d.WriteSector(1, []byte("ledger v1")); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := d.WriteSector(1, []byte("ledger v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TamperSector(1, func(s []byte) { s[0] ^= 0xff }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadSector(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 'l' {
+		t.Error("tamper did not change sector")
+	}
+	if err := d.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.ReadSector(1)
+	if !bytes.HasPrefix(got, []byte("ledger v1")) {
+		t.Errorf("rollback failed: sector = %q", got[:9])
+	}
+	if err := d.RestoreSnapshot(snap[:1]); err == nil {
+		t.Error("mismatched snapshot restore succeeded")
+	}
+	if _, err := d.ReadSector(99); err == nil {
+		t.Error("out-of-range read succeeded")
+	}
+	r, w := d.Stats()
+	if r == 0 || w == 0 {
+		t.Errorf("stats not counted: r=%d w=%d", r, w)
+	}
+}
+
+func TestDisplayAndInput(t *testing.T) {
+	disp := NewDisplay("fb0")
+	disp.Draw(DisplayRegion{Origin: "app", Content: "hello"})
+	if got := disp.Regions(); len(got) != 1 || got[0].Content != "hello" {
+		t.Errorf("regions = %+v", got)
+	}
+	disp.Clear()
+	if got := disp.Regions(); len(got) != 0 {
+		t.Errorf("regions after clear = %+v", got)
+	}
+	in := NewInputDevice("kbd0")
+	if _, ok := in.Next(); ok {
+		t.Error("empty input returned event")
+	}
+	in.Inject("key:a")
+	in.Inject("key:b")
+	if e, _ := in.Next(); e != "key:a" {
+		t.Errorf("first event = %q", e)
+	}
+	if e, _ := in.Next(); e != "key:b" {
+		t.Errorf("second event = %q", e)
+	}
+}
+
+// Property: for any data and any in-range offset, a memory write followed
+// by a read returns the same bytes (no tap, no protection).
+func TestQuickMemoryRoundTrip(t *testing.T) {
+	m := NewMemory(16 * PageSize)
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := PhysAddr(off) % PhysAddr(m.Size()-len(data))
+		if err := m.WritePhys(addr, data); err != nil {
+			return false
+		}
+		got, err := m.ReadPhys(addr, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encrypt/decrypt through a protected range is the identity for
+// the CPU view, and the raw DRAM never equals the plaintext for non-trivial
+// data.
+func TestQuickProtectedRangeIdentity(t *testing.T) {
+	m := NewMemory(4 * PageSize)
+	if err := m.Protect(0, 2*PageSize, xorCipher{key: 0xa7}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		if len(data) == 0 || len(data) > PageSize {
+			return true
+		}
+		if err := m.WritePhys(64, data); err != nil {
+			return false
+		}
+		got, err := m.ReadPhys(64, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuthenticatedRangeDetectsColdBootWrite(t *testing.T) {
+	m := NewMemory(2 * PageSize)
+	if err := m.ProtectAuthenticated(0, PageSize, xorCipher{key: 0x5a}); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("mee-protected-line")
+	if err := m.WritePhys(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	// Legitimate read works.
+	if got, err := m.ReadPhys(0, len(secret)); err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	// Physical write behind the controller's back: detected on next read.
+	m.PokeRaw(4, []byte{0xff})
+	if _, err := m.ReadPhys(0, len(secret)); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("cold-boot write: got %v, want ErrIntegrity", err)
+	}
+	// Reads outside the poked span (different bytes) also verify against
+	// the shadow — the poked byte is inside, so this read fails too.
+	if _, err := m.ReadPhys(4, 1); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("direct poked read: got %v", err)
+	}
+	// Untouched spans still verify.
+	if _, err := m.ReadPhys(64, 8); err != nil {
+		t.Errorf("untouched span: %v", err)
+	}
+}
+
+func TestAuthenticatedRangeDetectsActiveBusTamper(t *testing.T) {
+	m := NewMemory(PageSize)
+	if err := m.ProtectAuthenticated(0, PageSize, xorCipher{key: 0x11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePhys(0, []byte("target")); err != nil {
+		t.Fatal(err)
+	}
+	// An active attacker flips wires on the READ path.
+	m.AttachTap(flipTap{})
+	if _, err := m.ReadPhys(0, 6); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("read-path tamper: got %v, want ErrIntegrity", err)
+	}
+}
+
+func TestAuthenticatedWritePathTamperCaughtOnRead(t *testing.T) {
+	m := NewMemory(PageSize)
+	m.AttachTap(flipTap{})
+	if err := m.ProtectAuthenticated(0, PageSize, xorCipher{key: 0x22}); err != nil {
+		t.Fatal(err)
+	}
+	// Writes pass the flipping tap, so what lands differs from what the
+	// controller recorded... and the read-path flip undoes the write-path
+	// flip, so the BUS bytes match again. Detection is about what the
+	// controller observes; a symmetric in-path flip is transparent. Use an
+	// asymmetric tamperer instead: corrupt only writes.
+	m2 := NewMemory(PageSize)
+	m2.AttachTap(writeOnlyFlip{})
+	if err := m2.ProtectAuthenticated(0, PageSize, xorCipher{key: 0x22}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WritePhys(0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.ReadPhys(0, 7); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("write-path tamper: got %v, want ErrIntegrity", err)
+	}
+	_ = m
+}
+
+type writeOnlyFlip struct{}
+
+func (writeOnlyFlip) OnRead(_ PhysAddr, data []byte) []byte  { return nil }
+func (writeOnlyFlip) OnWrite(_ PhysAddr, data []byte) []byte { return xorBytes(data, 0xff) }
+
+func TestStraddlingProtectedBoundaryFaults(t *testing.T) {
+	m := NewMemory(4 * PageSize)
+	if err := m.Protect(PageSize, PageSize, xorCipher{key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Fully inside: fine.
+	if err := m.WritePhys(PhysAddr(PageSize+10), []byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	// Fully outside: fine.
+	if err := m.WritePhys(0, []byte("out")); err != nil {
+		t.Fatal(err)
+	}
+	// Crossing the front boundary: fault, not silent corruption.
+	if err := m.WritePhys(PhysAddr(PageSize-2), []byte("abcd")); !errors.Is(err, ErrFault) {
+		t.Errorf("front straddle write: got %v", err)
+	}
+	if _, err := m.ReadPhys(PhysAddr(PageSize-2), 4); !errors.Is(err, ErrFault) {
+		t.Errorf("front straddle read: got %v", err)
+	}
+	// Crossing the back boundary.
+	if _, err := m.ReadPhys(PhysAddr(2*PageSize-2), 4); !errors.Is(err, ErrFault) {
+		t.Errorf("back straddle read: got %v", err)
+	}
+}

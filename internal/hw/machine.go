@@ -1,0 +1,221 @@
+package hw
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// PrivLevel identifies the hardware privilege of the code issuing an access
+// to privileged resources (fuses, SRAM regions, ROM launch). It models the
+// paper's observation that "two separate CPU privilege modes are required to
+// separate software that can program the MMU from software that cannot",
+// extended with the TrustZone secure/normal distinction.
+type PrivLevel int
+
+// Privilege levels, strongest first.
+const (
+	PrivSecureWorld PrivLevel = iota + 1 // TrustZone secure world / SEP firmware
+	PrivKernel                           // kernel mode (can program MMU)
+	PrivUser                             // user mode
+)
+
+func (p PrivLevel) String() string {
+	switch p {
+	case PrivSecureWorld:
+		return "secure-world"
+	case PrivKernel:
+		return "kernel"
+	case PrivUser:
+		return "user"
+	default:
+		return fmt.Sprintf("priv(%d)", int(p))
+	}
+}
+
+// Fuse is a one-time-programmable hardware secret (e.g. the per-device AES
+// key the paper's smart meter manufacturer fuses into the chip). Reading is
+// gated by a minimum privilege level fixed at programming time.
+type Fuse struct {
+	value   []byte
+	minPriv PrivLevel
+}
+
+// FuseBank is the set of fuses on one chip.
+type FuseBank struct {
+	mu    sync.RWMutex
+	fuses map[string]Fuse
+}
+
+// NewFuseBank creates an empty fuse bank.
+func NewFuseBank() *FuseBank {
+	return &FuseBank{fuses: make(map[string]Fuse)}
+}
+
+// Program burns a named fuse. It fails if the fuse is already programmed;
+// fuses are write-once by construction.
+func (b *FuseBank) Program(name string, value []byte, minPriv PrivLevel) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.fuses[name]; ok {
+		return fmt.Errorf("fuse %q: %w", name, ErrFuseBlown)
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	b.fuses[name] = Fuse{value: v, minPriv: minPriv}
+	return nil
+}
+
+// Read returns the fuse value if the caller's privilege satisfies the
+// fuse's access predicate. Lower PrivLevel values are stronger.
+func (b *FuseBank) Read(name string, priv PrivLevel) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	f, ok := b.fuses[name]
+	if !ok {
+		return nil, fmt.Errorf("fuse %q: not programmed", name)
+	}
+	if priv > f.minPriv {
+		return nil, fmt.Errorf("fuse %q from %s: %w", name, priv, ErrFuseDenied)
+	}
+	out := make([]byte, len(f.value))
+	copy(out, f.value)
+	return out, nil
+}
+
+// SRAM is on-chip scratchpad memory. It is not reachable from the DRAM bus,
+// so bus taps never see its contents — the paper's "on-chip scratchpad
+// memory" from which a software SGX could be built.
+type SRAM struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewSRAM creates on-chip SRAM of the given size.
+func NewSRAM(size int) *SRAM {
+	return &SRAM{data: make([]byte, size)}
+}
+
+// Size returns the SRAM size in bytes.
+func (s *SRAM) Size() int { return len(s.data) }
+
+// Read copies n bytes at off out of the SRAM.
+func (s *SRAM) Read(off, n int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off+n > len(s.data) {
+		return nil, fmt.Errorf("sram read %d@%d: %w", n, off, ErrFault)
+	}
+	out := make([]byte, n)
+	copy(out, s.data[off:off+n])
+	return out, nil
+}
+
+// Write copies p into the SRAM at off.
+func (s *SRAM) Write(off int, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off+len(p) > len(s.data) {
+		return fmt.Errorf("sram write %d@%d: %w", len(p), off, ErrFault)
+	}
+	copy(s.data[off:], p)
+	return nil
+}
+
+// BootROM is the immutable first-stage code of the machine. Its measurement
+// is what trust anchors root the launch chain in; it cannot be rewritten
+// after manufacture.
+type BootROM struct {
+	code []byte
+	hash [32]byte
+}
+
+// NewBootROM manufactures a ROM with the given code image.
+func NewBootROM(code []byte) *BootROM {
+	c := make([]byte, len(code))
+	copy(c, code)
+	return &BootROM{code: c, hash: sha256.Sum256(c)}
+}
+
+// Code returns a copy of the ROM image.
+func (r *BootROM) Code() []byte {
+	out := make([]byte, len(r.code))
+	copy(out, r.code)
+	return out
+}
+
+// Measurement returns the SHA-256 of the ROM image.
+func (r *BootROM) Measurement() [32]byte { return r.hash }
+
+// Machine bundles one simulated hardware platform: DRAM + controller,
+// frame allocator, MMU, IOMMU, on-chip SRAM, fuse bank, and boot ROM.
+type Machine struct {
+	Name   string
+	Mem    *Memory
+	Frames *FrameAllocator
+	MMU    *MMU
+	IOMMU  *IOMMU
+	SRAM   *SRAM
+	Fuses  *FuseBank
+	ROM    *BootROM
+}
+
+// MachineConfig sizes a simulated machine.
+type MachineConfig struct {
+	Name     string
+	DRAMSize int    // bytes of DRAM; default 4 MiB
+	SRAMSize int    // bytes of on-chip SRAM; default 64 KiB
+	ROMCode  []byte // boot ROM image; default a fixed vendor stub
+}
+
+// NewMachine assembles a machine from the config, applying defaults for
+// zero fields.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.DRAMSize == 0 {
+		cfg.DRAMSize = 4 << 20
+	}
+	if cfg.SRAMSize == 0 {
+		cfg.SRAMSize = 64 << 10
+	}
+	if cfg.ROMCode == nil {
+		cfg.ROMCode = []byte("lateral boot rom v1")
+	}
+	mem := NewMemory(cfg.DRAMSize)
+	return &Machine{
+		Name:   cfg.Name,
+		Mem:    mem,
+		Frames: NewFrameAllocator(0, cfg.DRAMSize),
+		MMU:    NewMMU(mem),
+		IOMMU:  NewIOMMU(mem),
+		SRAM:   NewSRAM(cfg.SRAMSize),
+		Fuses:  NewFuseBank(),
+		ROM:    NewBootROM(cfg.ROMCode),
+	}
+}
+
+// AllocRegion allocates a contiguous run of nPages frames and returns the
+// base address of the first frame. Contiguity holds because the allocator
+// is a bump allocator over fresh frames; callers that free individual
+// frames lose the contiguity guarantee for future calls, which is
+// acceptable for the fixed-layout substrates built here.
+func (m *Machine) AllocRegion(nPages int) (PhysAddr, error) {
+	if nPages <= 0 {
+		return 0, fmt.Errorf("alloc region: need positive page count, got %d", nPages)
+	}
+	base, err := m.Frames.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	prev := base
+	for i := 1; i < nPages; i++ {
+		a, err := m.Frames.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		if a != prev+PageSize {
+			return 0, fmt.Errorf("alloc region: non-contiguous frames (%#x after %#x): %w", a, prev, ErrNoMemory)
+		}
+		prev = a
+	}
+	return base, nil
+}

@@ -1,0 +1,198 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VirtAddr is an address in a virtual address space.
+type VirtAddr uint32
+
+// Mapping is one virtual-to-physical page mapping.
+type Mapping struct {
+	VPage VirtAddr // page-aligned virtual address
+	Frame PhysAddr // page-aligned physical address
+	Perm  Perm
+}
+
+// PageTable is the software-visible structure the MMU walks. In the paper's
+// terms, whoever can write a page table is part of the isolation substrate;
+// the kernel package is the only writer in this repository.
+type PageTable struct {
+	mu    sync.RWMutex
+	pages map[VirtAddr]Mapping
+}
+
+// NewPageTable creates an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{pages: make(map[VirtAddr]Mapping)}
+}
+
+// Map installs a mapping for the page containing va.
+func (pt *PageTable) Map(va VirtAddr, frame PhysAddr, perm Perm) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	vp := va &^ (PageSize - 1)
+	pt.pages[vp] = Mapping{VPage: vp, Frame: frame &^ (PageSize - 1), Perm: perm}
+}
+
+// Unmap removes the mapping for the page containing va.
+func (pt *PageTable) Unmap(va VirtAddr) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	delete(pt.pages, va&^(PageSize-1))
+}
+
+// Lookup returns the mapping for the page containing va.
+func (pt *PageTable) Lookup(va VirtAddr) (Mapping, bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	m, ok := pt.pages[va&^(PageSize-1)]
+	return m, ok
+}
+
+// Mappings returns all mappings sorted by virtual page. The returned slice
+// is a copy; mutating it does not affect the table.
+func (pt *PageTable) Mappings() []Mapping {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	out := make([]Mapping, 0, len(pt.pages))
+	for _, m := range pt.pages {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VPage < out[j].VPage })
+	return out
+}
+
+// FaultError carries the details of a translation or protection fault.
+type FaultError struct {
+	VA     VirtAddr
+	Access Access
+	Reason string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("hw: %s fault at %#x: %s", e.Access, e.VA, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrFault) match FaultError values.
+func (e *FaultError) Unwrap() error { return ErrFault }
+
+// MMU translates virtual accesses issued under a page table into physical
+// accesses. It is stateless; the page table is the per-address-space state.
+type MMU struct {
+	mem *Memory
+}
+
+// NewMMU creates an MMU in front of the given memory.
+func NewMMU(mem *Memory) *MMU {
+	return &MMU{mem: mem}
+}
+
+// Translate converts va into a physical address for the given access kind,
+// faulting on missing mappings and permission violations.
+func (u *MMU) Translate(pt *PageTable, va VirtAddr, a Access) (PhysAddr, error) {
+	m, ok := pt.Lookup(va)
+	if !ok {
+		return 0, &FaultError{VA: va, Access: a, Reason: "no mapping"}
+	}
+	if !m.Perm.Allows(a) {
+		return 0, &FaultError{VA: va, Access: a, Reason: "permission denied"}
+	}
+	return m.Frame + PhysAddr(va-m.VPage), nil
+}
+
+// Read performs a virtual read of n bytes at va, honoring page boundaries.
+func (u *MMU) Read(pt *PageTable, va VirtAddr, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		pa, err := u.Translate(pt, va, Read)
+		if err != nil {
+			return nil, err
+		}
+		chunk := PageSize - int(va)%PageSize
+		if chunk > n {
+			chunk = n
+		}
+		b, err := u.mem.ReadPhys(pa, chunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		va += VirtAddr(chunk)
+		n -= chunk
+	}
+	return out, nil
+}
+
+// Write performs a virtual write of p at va, honoring page boundaries.
+func (u *MMU) Write(pt *PageTable, va VirtAddr, p []byte) error {
+	for len(p) > 0 {
+		pa, err := u.Translate(pt, va, Write)
+		if err != nil {
+			return err
+		}
+		chunk := PageSize - int(va)%PageSize
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		if err := u.mem.WritePhys(pa, p[:chunk]); err != nil {
+			return err
+		}
+		va += VirtAddr(chunk)
+		p = p[chunk:]
+	}
+	return nil
+}
+
+// IOMMU filters DMA issued by devices, mapping device-visible addresses to
+// physical frames exactly as the MMU does for the CPU. Without an entry, a
+// device access faults — this is the paper's defense against malicious
+// devices and drivers.
+type IOMMU struct {
+	mu     sync.RWMutex
+	mem    *Memory
+	tables map[string]*PageTable // device name -> table
+}
+
+// NewIOMMU creates an IOMMU in front of the given memory.
+func NewIOMMU(mem *Memory) *IOMMU {
+	return &IOMMU{mem: mem, tables: make(map[string]*PageTable)}
+}
+
+// Attach installs (or replaces) the translation table for a device. A nil
+// table detaches the device, making all of its DMA fault.
+func (io *IOMMU) Attach(device string, pt *PageTable) {
+	io.mu.Lock()
+	defer io.mu.Unlock()
+	if pt == nil {
+		delete(io.tables, device)
+		return
+	}
+	io.tables[device] = pt
+}
+
+// DMARead performs a device-initiated read through the IOMMU.
+func (io *IOMMU) DMARead(device string, va VirtAddr, n int) ([]byte, error) {
+	pt := io.table(device)
+	if pt == nil {
+		return nil, &FaultError{VA: va, Access: Read, Reason: "device " + device + " not attached to IOMMU"}
+	}
+	return NewMMU(io.mem).Read(pt, va, n)
+}
+
+// DMAWrite performs a device-initiated write through the IOMMU.
+func (io *IOMMU) DMAWrite(device string, va VirtAddr, p []byte) error {
+	pt := io.table(device)
+	if pt == nil {
+		return &FaultError{VA: va, Access: Write, Reason: "device " + device + " not attached to IOMMU"}
+	}
+	return NewMMU(io.mem).Write(pt, va, p)
+}
+
+func (io *IOMMU) table(device string) *PageTable {
+	io.mu.RLock()
+	defer io.mu.RUnlock()
+	return io.tables[device]
+}

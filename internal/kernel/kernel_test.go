@@ -1,0 +1,402 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lateral/internal/core"
+	"lateral/internal/hw"
+)
+
+func TestCreateDomainAndMemoryRoundTrip(t *testing.T) {
+	s := New(Config{})
+	d, err := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("code-a"), MemPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemSize() != 2*hw.PageSize {
+		t.Errorf("MemSize = %d", d.MemSize())
+	}
+	if d.Measurement() == [32]byte{} {
+		t.Error("zero measurement")
+	}
+	if err := d.Write(hw.PageSize-4, []byte("crosses-page")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(hw.PageSize-4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "crosses-page" {
+		t.Errorf("round trip = %q", got)
+	}
+	if err := d.Write(2*hw.PageSize-2, []byte("abcd")); err == nil {
+		t.Error("out-of-domain write succeeded")
+	}
+	if _, err := d.Read(-4, 2); err == nil {
+		t.Error("negative read succeeded")
+	}
+}
+
+func TestDuplicateDomainRejected(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "x"}); !errors.Is(err, core.ErrDomainExists) {
+		t.Errorf("duplicate: got %v", err)
+	}
+}
+
+func TestSpatialIsolationBetweenDomains(t *testing.T) {
+	s := New(Config{})
+	a, err := s.CreateDomain(core.DomainSpec{Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.CreateDomain(core.DomainSpec{Name: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("A-ONLY-SECRET")
+	if err := a.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	// b's compromise view must not contain a's secret.
+	for _, view := range b.CompromiseView() {
+		if bytes.Contains(view, secret) {
+			t.Error("domain b can read domain a's memory")
+		}
+	}
+	// a's own compromise view does contain it.
+	found := false
+	for _, view := range a.CompromiseView() {
+		if bytes.Contains(view, secret) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("domain a's compromise view missing its own memory")
+	}
+}
+
+func TestDestroyFreesFramesAndBlocksAccess(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	s := New(Config{Machine: m})
+	before := m.Frames.InUse()
+	d, err := s.CreateDomain(core.DomainSpec{Name: "tmp", MemPages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Frames.InUse() != before+3 {
+		t.Errorf("frames in use = %d, want %d", m.Frames.InUse(), before+3)
+	}
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Frames.InUse() != before {
+		t.Errorf("frames not freed: %d, want %d", m.Frames.InUse(), before)
+	}
+	if err := d.Write(0, []byte("x")); err == nil {
+		t.Error("write to destroyed domain succeeded")
+	}
+	if _, err := d.Read(0, 1); err == nil {
+		t.Error("read from destroyed domain succeeded")
+	}
+	if v := d.CompromiseView(); v != nil {
+		t.Error("destroyed domain still has a compromise view")
+	}
+	if err := d.Destroy(); err != nil {
+		t.Errorf("double destroy: %v", err)
+	}
+	// The name is free again.
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "tmp"}); err != nil {
+		t.Errorf("recreate after destroy: %v", err)
+	}
+}
+
+func TestBusTapSeesKernelDomainPlaintext(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	s := New(Config{Machine: m})
+	tap := &recordTap{}
+	m.Mem.AttachTap(tap)
+	d, err := s.CreateDomain(core.DomainSpec{Name: "victim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("MMU-DOES-NOT-ENCRYPT")
+	if err := d.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tap.seen, secret) {
+		t.Error("bus tap should see plaintext of MMU-only domains (no PhysicalMemoryProtection)")
+	}
+	if s.Properties().PhysicalMemoryProtection {
+		t.Error("microkernel must not claim physical memory protection")
+	}
+}
+
+type recordTap struct{ seen []byte }
+
+func (r *recordTap) OnRead(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+func (r *recordTap) OnWrite(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+
+func TestAssignDeviceRestrictsDMA(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	s := New(Config{Machine: m})
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "driver", MemPages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.CreateDomain(core.DomainSpec{Name: "victim", MemPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Write(0, []byte("victim-data")); err != nil {
+		t.Fatal(err)
+	}
+	nic := hw.NewNIC("nic0")
+	if err := s.AssignDevice("driver", nic); err != nil {
+		t.Fatal(err)
+	}
+	if nic.Owner() != "driver" {
+		t.Errorf("nic owner = %q", nic.Owner())
+	}
+	// DMA within the driver's one page works.
+	if err := m.IOMMU.DMAWrite("nic0", 0, []byte("rx-frame")); err != nil {
+		t.Fatalf("in-bounds DMA: %v", err)
+	}
+	// DMA beyond it faults: the IOMMU protects the victim.
+	if err := m.IOMMU.DMAWrite("nic0", hw.VirtAddr(hw.PageSize), []byte("evil")); !errors.Is(err, hw.ErrFault) {
+		t.Errorf("out-of-bounds DMA: got %v, want fault", err)
+	}
+	if err := s.AssignDevice("ghost", nic); !errors.Is(err, core.ErrNoDomain) {
+		t.Errorf("assign to missing domain: got %v", err)
+	}
+}
+
+func TestSubstrateHostsCoreSystem(t *testing.T) {
+	s := New(Config{})
+	sys := core.NewSystem(s)
+	if err := sys.Launch(&pingComp{}, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InitAll(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := sys.Deliver("ping", core.Message{Op: "ping"})
+	if err != nil || reply.Op != "pong" {
+		t.Fatalf("reply = %+v, %v", reply, err)
+	}
+	if s.Anchor() != nil {
+		t.Error("microkernel should have no built-in trust anchor")
+	}
+}
+
+type pingComp struct{}
+
+func (p *pingComp) CompName() string     { return "ping" }
+func (p *pingComp) CompVersion() string  { return "1" }
+func (p *pingComp) Init(*core.Ctx) error { return nil }
+func (p *pingComp) Handle(core.Envelope) (core.Message, error) {
+	return core.Message{Op: "pong"}, nil
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	s := NewScheduler(TimePartitioned, 10)
+	if _, err := s.Run(1); err == nil {
+		t.Error("empty scheduler ran")
+	}
+	s.AddTask(&Task{Name: "a", Demand: func(int64) bool { return true }, Slots: 0})
+	if _, err := s.Run(1); err == nil {
+		t.Error("zero-slot task under TDMA ran")
+	}
+	s2 := NewScheduler(TimePartitioned, 10)
+	s2.AddTask(&Task{Name: "a", Demand: func(int64) bool { return true }, Slots: 6})
+	s2.AddTask(&Task{Name: "b", Demand: func(int64) bool { return true }, Slots: 6})
+	if _, err := s2.Run(1); err == nil {
+		t.Error("over-committed TDMA ran")
+	}
+}
+
+func TestBestEffortIsWorkConserving(t *testing.T) {
+	s := NewScheduler(BestEffort, 10)
+	s.AddTask(&Task{Name: "idle", Demand: func(int64) bool { return false }})
+	s.AddTask(&Task{Name: "busy", Demand: func(int64) bool { return true }})
+	usage, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 3; f++ {
+		if usage[1].Grants[f] != 10 {
+			t.Errorf("frame %d: busy task got %d/10 ticks despite idle peer", f, usage[1].Grants[f])
+		}
+		if usage[0].Grants[f] != 0 {
+			t.Errorf("frame %d: idle task got %d ticks", f, usage[0].Grants[f])
+		}
+	}
+}
+
+func TestBestEffortSharesFairlyUnderContention(t *testing.T) {
+	s := NewScheduler(BestEffort, 10)
+	s.AddTask(&Task{Name: "a", Demand: func(int64) bool { return true }})
+	s.AddTask(&Task{Name: "b", Demand: func(int64) bool { return true }})
+	usage, err := s.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage[0].Grants[0] != 5 || usage[1].Grants[0] != 5 {
+		t.Errorf("contended split = %d/%d, want 5/5", usage[0].Grants[0], usage[1].Grants[0])
+	}
+}
+
+func TestTDMAGrantsAreDemandIndependent(t *testing.T) {
+	// The receiver's grant must be identical whether the other task is
+	// hungry or idle — that is the definition of temporal isolation.
+	run := func(senderHungry bool) int {
+		s := NewScheduler(TimePartitioned, 10)
+		s.AddTask(&Task{Name: "sender", Demand: func(int64) bool { return senderHungry }, Slots: 5})
+		s.AddTask(&Task{Name: "receiver", Demand: func(int64) bool { return true }, Slots: 5})
+		usage, err := s.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return usage[1].Grants[0]
+	}
+	if hungry, idle := run(true), run(false); hungry != idle {
+		t.Errorf("receiver grant depends on sender demand under TDMA: %d vs %d", hungry, idle)
+	}
+}
+
+func TestCovertChannelOpenUnderBestEffort(t *testing.T) {
+	bits := patternBits(64)
+	res, err := MeasureCovertChannel(BestEffort, 100, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() < 0.95 {
+		t.Errorf("best-effort covert channel accuracy = %.2f, want ≥0.95 (channel should be wide open)", res.Accuracy())
+	}
+	if res.BitsPerFrame <= 0.5 {
+		t.Errorf("best-effort covert bandwidth = %.2f bits/frame, want >0.5", res.BitsPerFrame)
+	}
+}
+
+func TestCovertChannelClosedUnderTDMA(t *testing.T) {
+	bits := patternBits(64)
+	res, err := MeasureCovertChannel(TimePartitioned, 100, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsPerFrame != 0 {
+		t.Errorf("TDMA covert bandwidth = %.2f bits/frame, want 0", res.BitsPerFrame)
+	}
+	if res.Accuracy() > 0.6 {
+		t.Errorf("TDMA decode accuracy = %.2f, should be at or below guessing", res.Accuracy())
+	}
+}
+
+// patternBits makes a deterministic, non-periodic, roughly balanced bit
+// pattern.
+func patternBits(n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = (i*i+i/3)%2 == 0
+	}
+	return bits
+}
+
+func TestPolicyString(t *testing.T) {
+	if BestEffort.String() != "best-effort" || TimePartitioned.String() != "time-partitioned" {
+		t.Error("policy strings wrong")
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy has empty string")
+	}
+}
+
+func TestPropertiesReflectPartitioning(t *testing.T) {
+	if New(Config{}).Properties().TemporalIsolation {
+		t.Error("default kernel claims temporal isolation")
+	}
+	if !New(Config{TimePartitioned: true}).Properties().TemporalIsolation {
+		t.Error("partitioned kernel lacks temporal isolation")
+	}
+}
+
+func TestInterferenceAnalysisTDMA(t *testing.T) {
+	s := NewScheduler(TimePartitioned, 100)
+	s.AddTask(&Task{Name: "a", Demand: func(int64) bool { return true }, Slots: 30})
+	s.AddTask(&Task{Name: "b", Demand: func(int64) bool { return true }, Slots: 70})
+	bounds, err := s.AnalyzeInterference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bounds {
+		if b.DependsOnPeers {
+			t.Errorf("%s: TDMA progress must not depend on peers", b.Task)
+		}
+	}
+	if bounds[0].MaxWaitTicks != 70 || bounds[0].GuaranteedPerFrame != 30 {
+		t.Errorf("task a bounds = %+v", bounds[0])
+	}
+	if bounds[1].MaxWaitTicks != 30 || bounds[1].GuaranteedPerFrame != 70 {
+		t.Errorf("task b bounds = %+v", bounds[1])
+	}
+	// The analysis must agree with the measured schedule: a's grant per
+	// frame equals its guarantee exactly.
+	usage, err := s.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 5; f++ {
+		if usage[0].Grants[f] != 30 {
+			t.Errorf("frame %d: measured %d, analyzed 30", f, usage[0].Grants[f])
+		}
+	}
+}
+
+func TestInterferenceAnalysisBestEffort(t *testing.T) {
+	s := NewScheduler(BestEffort, 100)
+	s.AddTask(&Task{Name: "a", Demand: func(int64) bool { return true }})
+	s.AddTask(&Task{Name: "b", Demand: func(int64) bool { return true }})
+	bounds, err := s.AnalyzeInterference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bounds {
+		if !b.DependsOnPeers {
+			t.Errorf("%s: best-effort progress depends on peers", b.Task)
+		}
+		if b.GuaranteedPerFrame != 50 {
+			t.Errorf("%s: fair-share floor = %d, want 50", b.Task, b.GuaranteedPerFrame)
+		}
+	}
+	// Single task: no peers, no dependence.
+	s1 := NewScheduler(BestEffort, 100)
+	s1.AddTask(&Task{Name: "solo", Demand: func(int64) bool { return true }})
+	b1, err := s1.AnalyzeInterference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1[0].DependsOnPeers {
+		t.Error("solo task depends on peers")
+	}
+}
+
+func TestInterferenceAnalysisValidation(t *testing.T) {
+	s := NewScheduler(TimePartitioned, 10)
+	if _, err := s.AnalyzeInterference(); err == nil {
+		t.Error("empty analysis succeeded")
+	}
+	s.AddTask(&Task{Name: "a", Demand: func(int64) bool { return true }, Slots: 20})
+	if _, err := s.AnalyzeInterference(); err == nil {
+		t.Error("over-committed analysis succeeded")
+	}
+}

@@ -1,0 +1,244 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects how the scheduler arbitrates CPU time between tasks.
+type Policy int
+
+// Scheduling policies.
+const (
+	// BestEffort is a work-conserving round robin: an idle task's unused
+	// time immediately benefits the others. Efficient, but each task's
+	// progress observably depends on the others' demand — a timing covert
+	// channel (§II-C).
+	BestEffort Policy = iota + 1
+
+	// TimePartitioned is a fixed TDMA schedule: each task owns a fixed
+	// slice of every frame whether it uses it or not. Unused time is
+	// wasted, but no task's progress depends on any other task — the
+	// covert channel is closed ("interference-free scheduling").
+	TimePartitioned
+)
+
+func (p Policy) String() string {
+	switch p {
+	case BestEffort:
+		return "best-effort"
+	case TimePartitioned:
+		return "time-partitioned"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// DemandFunc reports whether the task wants the CPU at the given virtual
+// tick. Tasks modulate demand to do work — or, adversarially, to signal.
+type DemandFunc func(tick int64) bool
+
+// Task is one schedulable entity.
+type Task struct {
+	Name   string
+	Demand DemandFunc
+	// Slots is the number of ticks per frame this task owns under
+	// TimePartitioned (ignored under BestEffort).
+	Slots int
+}
+
+// Scheduler runs tasks on a deterministic virtual clock. One tick is the
+// scheduling quantum; FrameLen ticks form one major frame.
+type Scheduler struct {
+	policy   Policy
+	frameLen int
+	tasks    []*Task
+}
+
+// NewScheduler creates a scheduler with the given policy and frame length.
+func NewScheduler(policy Policy, frameLen int) *Scheduler {
+	if frameLen <= 0 {
+		frameLen = 100
+	}
+	return &Scheduler{policy: policy, frameLen: frameLen}
+}
+
+// Policy returns the configured policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// AddTask registers a task. Under TimePartitioned the per-frame slot
+// counts of all tasks must not exceed the frame length; Run validates.
+func (s *Scheduler) AddTask(t *Task) {
+	s.tasks = append(s.tasks, t)
+}
+
+// FrameUsage is one task's granted ticks in each frame.
+type FrameUsage struct {
+	Task   string
+	Grants []int // grants[f] = ticks granted in frame f
+}
+
+// Run executes the schedule for the given number of frames and returns the
+// per-frame tick grants for every task. The result is fully deterministic.
+func (s *Scheduler) Run(frames int) ([]FrameUsage, error) {
+	if len(s.tasks) == 0 {
+		return nil, fmt.Errorf("scheduler: no tasks")
+	}
+	if s.policy == TimePartitioned {
+		total := 0
+		for _, t := range s.tasks {
+			if t.Slots <= 0 {
+				return nil, fmt.Errorf("scheduler: task %s has no slots under time partitioning", t.Name)
+			}
+			total += t.Slots
+		}
+		if total > s.frameLen {
+			return nil, fmt.Errorf("scheduler: %d slots exceed frame length %d", total, s.frameLen)
+		}
+	}
+	usage := make([]FrameUsage, len(s.tasks))
+	for i, t := range s.tasks {
+		usage[i] = FrameUsage{Task: t.Name, Grants: make([]int, frames)}
+	}
+	switch s.policy {
+	case TimePartitioned:
+		s.runTDMA(frames, usage)
+	default:
+		s.runBestEffort(frames, usage)
+	}
+	return usage, nil
+}
+
+// runTDMA grants each task exactly its slots each frame, independent of
+// demand elsewhere. A task only *uses* a granted tick if it demands CPU,
+// but whether it gets the opportunity never depends on other tasks.
+func (s *Scheduler) runTDMA(frames int, usage []FrameUsage) {
+	for f := 0; f < frames; f++ {
+		tick := int64(f * s.frameLen)
+		for i, t := range s.tasks {
+			for k := 0; k < t.Slots; k++ {
+				if t.Demand(tick) {
+					usage[i].Grants[f]++
+				}
+				tick++
+			}
+		}
+	}
+}
+
+// runBestEffort is work-conserving round robin: each tick goes to the next
+// demanding task in rotation; if nobody demands, the tick idles.
+func (s *Scheduler) runBestEffort(frames int, usage []FrameUsage) {
+	rr := 0
+	n := len(s.tasks)
+	for f := 0; f < frames; f++ {
+		for k := 0; k < s.frameLen; k++ {
+			tick := int64(f*s.frameLen + k)
+			for probe := 0; probe < n; probe++ {
+				i := (rr + probe) % n
+				if s.tasks[i].Demand(tick) {
+					usage[i].Grants[f]++
+					rr = (i + 1) % n
+					break
+				}
+			}
+		}
+	}
+}
+
+// CovertChannelResult summarizes a covert-channel measurement (E6): a
+// sender modulates CPU demand to encode bits; a receiver with constant
+// demand infers them from its own per-frame progress.
+type CovertChannelResult struct {
+	Policy        Policy
+	Bits          []bool // bits the sender transmitted
+	Decoded       []bool // bits the receiver recovered
+	CorrectBits   int
+	Frames        int
+	BitsPerFrame  float64 // useful covert bandwidth (correct beyond guessing)
+	ReceiverGrant []int   // receiver throughput per frame (for inspection)
+}
+
+// Accuracy is the fraction of correctly decoded bits.
+func (r CovertChannelResult) Accuracy() float64 {
+	if len(r.Bits) == 0 {
+		return 0
+	}
+	return float64(r.CorrectBits) / float64(len(r.Bits))
+}
+
+// MeasureCovertChannel runs the paper's §II-C scenario: under the given
+// policy, a sender transmits the bit string by being CPU-hungry (1) or
+// idle (0) for a whole frame; the receiver demands CPU always and decodes
+// by thresholding its per-frame progress against the median.
+func MeasureCovertChannel(policy Policy, frameLen int, bits []bool) (CovertChannelResult, error) {
+	s := NewScheduler(policy, frameLen)
+	half := frameLen / 2
+	sender := &Task{
+		Name: "sender",
+		Demand: func(tick int64) bool {
+			frame := int(tick) / frameLen
+			return frame < len(bits) && bits[frame]
+		},
+		Slots: half,
+	}
+	receiver := &Task{
+		Name:   "receiver",
+		Demand: func(int64) bool { return true },
+		Slots:  frameLen - half,
+	}
+	s.AddTask(sender)
+	s.AddTask(receiver)
+	usage, err := s.Run(len(bits))
+	if err != nil {
+		return CovertChannelResult{}, err
+	}
+	recv := usage[1].Grants
+	threshold := medianThreshold(recv)
+	res := CovertChannelResult{
+		Policy:        policy,
+		Bits:          bits,
+		Frames:        len(bits),
+		ReceiverGrant: recv,
+	}
+	for f, b := range bits {
+		decoded := recv[f] < threshold // sender hungry → receiver starved → bit 1
+		res.Decoded = append(res.Decoded, decoded)
+		if decoded == b {
+			res.CorrectBits++
+		}
+	}
+	// Useful bandwidth: accuracy beyond the best CONSTANT guesser (which
+	// achieves the majority-class frequency without any channel at all),
+	// scaled to [0,1] bits per frame.
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	baseline := float64(ones) / float64(len(bits))
+	if baseline < 0.5 {
+		baseline = 1 - baseline
+	}
+	if acc := res.Accuracy(); acc > baseline && baseline < 1 {
+		res.BitsPerFrame = (acc - baseline) / (1 - baseline)
+	}
+	return res, nil
+}
+
+func medianThreshold(v []int) int {
+	if len(v) == 0 {
+		return 0
+	}
+	c := make([]int, len(v))
+	copy(c, v)
+	sort.Ints(c)
+	lo, hi := c[0], c[len(c)-1]
+	if lo == hi {
+		// Constant throughput: pick a threshold nothing falls below, so
+		// every frame decodes as 0 (no signal).
+		return lo
+	}
+	return (lo + hi + 1) / 2
+}

@@ -1,0 +1,341 @@
+// Package legacy implements an untrusted legacy storage stack: a small
+// inode-based file system over a simulated block device. It is the §III-D
+// stand-in for "the file system stack, including the storage device layer,
+// [which] is one of the most complex OS services ... likely to contain
+// exploitable weaknesses."
+//
+// By design it offers NO integrity or confidentiality: data is stored in
+// plaintext, nothing is authenticated, and the underlying block device can
+// be tampered with at will. The VPFS trusted wrapper (internal/vpfs) is
+// what makes reuse of this stack safe.
+package legacy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lateral/internal/hw"
+)
+
+// File system geometry.
+const (
+	magic          = "LFS1"
+	superSector    = 0
+	bitmapSector   = 1
+	inodeStart     = 2
+	inodesPerSec   = 8 // 64-byte inodes
+	inodeSectors   = 8 // 64 inodes total
+	dataStart      = inodeStart + inodeSectors
+	MaxFiles       = inodesPerSec * inodeSectors
+	MaxNameLen     = 31
+	blocksPerInode = 12
+	// MaxFileSize is the largest file the legacy FS can hold.
+	MaxFileSize = blocksPerInode * hw.SectorSize
+)
+
+// Errors.
+var (
+	// ErrNotFormatted is returned when the superblock is missing.
+	ErrNotFormatted = errors.New("legacy: device not formatted")
+
+	// ErrNotFound is returned for missing files.
+	ErrNotFound = errors.New("legacy: file not found")
+
+	// ErrExists is returned when creating an existing file.
+	ErrExists = errors.New("legacy: file exists")
+
+	// ErrTooLarge is returned for files or names over the limits.
+	ErrTooLarge = errors.New("legacy: too large")
+
+	// ErrFull is returned when inodes or data blocks run out.
+	ErrFull = errors.New("legacy: file system full")
+)
+
+// FS is one mounted legacy file system.
+type FS struct {
+	mu  sync.Mutex
+	dev *hw.BlockDevice
+}
+
+// Format writes a fresh file system onto the device and mounts it.
+func Format(dev *hw.BlockDevice) (*FS, error) {
+	if dev.NumSectors() < dataStart+1 {
+		return nil, fmt.Errorf("legacy: device too small (%d sectors)", dev.NumSectors())
+	}
+	super := make([]byte, hw.SectorSize)
+	copy(super, magic)
+	if err := dev.WriteSector(superSector, super); err != nil {
+		return nil, err
+	}
+	if err := dev.WriteSector(bitmapSector, make([]byte, hw.SectorSize)); err != nil {
+		return nil, err
+	}
+	for i := 0; i < inodeSectors; i++ {
+		if err := dev.WriteSector(inodeStart+i, make([]byte, hw.SectorSize)); err != nil {
+			return nil, err
+		}
+	}
+	return &FS{dev: dev}, nil
+}
+
+// Mount opens an already formatted device.
+func Mount(dev *hw.BlockDevice) (*FS, error) {
+	super, err := dev.ReadSector(superSector)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(super, []byte(magic)) {
+		return nil, ErrNotFormatted
+	}
+	return &FS{dev: dev}, nil
+}
+
+// Device returns the backing device (the attacker's tamper target).
+func (f *FS) Device() *hw.BlockDevice { return f.dev }
+
+// inode is the on-disk file record.
+type inode struct {
+	used   bool
+	name   string
+	size   uint32
+	blocks [blocksPerInode]uint16
+}
+
+func (in *inode) encode() []byte {
+	out := make([]byte, 64)
+	if in.used {
+		out[0] = 1
+	}
+	copy(out[1:1+MaxNameLen], in.name)
+	binary.BigEndian.PutUint32(out[32:36], in.size)
+	for i, b := range in.blocks {
+		binary.BigEndian.PutUint16(out[36+2*i:], b)
+	}
+	return out
+}
+
+func decodeInode(b []byte) inode {
+	var in inode
+	in.used = b[0] == 1
+	in.name = string(bytes.TrimRight(b[1:1+MaxNameLen], "\x00"))
+	in.size = binary.BigEndian.Uint32(b[32:36])
+	for i := range in.blocks {
+		in.blocks[i] = binary.BigEndian.Uint16(b[36+2*i:])
+	}
+	return in
+}
+
+// readInode loads inode slot i. Caller holds f.mu.
+func (f *FS) readInode(i int) (inode, error) {
+	sec, err := f.dev.ReadSector(inodeStart + i/inodesPerSec)
+	if err != nil {
+		return inode{}, err
+	}
+	off := (i % inodesPerSec) * 64
+	return decodeInode(sec[off : off+64]), nil
+}
+
+// writeInode stores inode slot i. Caller holds f.mu.
+func (f *FS) writeInode(i int, in inode) error {
+	secIdx := inodeStart + i/inodesPerSec
+	sec, err := f.dev.ReadSector(secIdx)
+	if err != nil {
+		return err
+	}
+	off := (i % inodesPerSec) * 64
+	copy(sec[off:off+64], in.encode())
+	return f.dev.WriteSector(secIdx, sec)
+}
+
+// findInode returns (slot, inode) for name, or slot -1. Caller holds f.mu.
+func (f *FS) findInode(name string) (int, inode, error) {
+	for i := 0; i < MaxFiles; i++ {
+		in, err := f.readInode(i)
+		if err != nil {
+			return -1, inode{}, err
+		}
+		if in.used && in.name == name {
+			return i, in, nil
+		}
+	}
+	return -1, inode{}, nil
+}
+
+// allocBlock finds and marks a free data block. Caller holds f.mu.
+func (f *FS) allocBlock() (uint16, error) {
+	bm, err := f.dev.ReadSector(bitmapSector)
+	if err != nil {
+		return 0, err
+	}
+	limit := f.dev.NumSectors() - dataStart
+	for b := 0; b < limit && b < hw.SectorSize*8; b++ {
+		if bm[b/8]&(1<<(b%8)) == 0 {
+			bm[b/8] |= 1 << (b % 8)
+			if err := f.dev.WriteSector(bitmapSector, bm); err != nil {
+				return 0, err
+			}
+			return uint16(b), nil
+		}
+	}
+	return 0, ErrFull
+}
+
+// freeBlocks clears bitmap bits. Caller holds f.mu.
+func (f *FS) freeBlocks(blocks []uint16) error {
+	bm, err := f.dev.ReadSector(bitmapSector)
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		bm[b/8] &^= 1 << (b % 8)
+	}
+	return f.dev.WriteSector(bitmapSector, bm)
+}
+
+// WriteFile creates or replaces a file.
+func (f *FS) WriteFile(name string, data []byte) error {
+	if len(name) == 0 || len(name) > MaxNameLen {
+		return fmt.Errorf("name %q: %w", name, ErrTooLarge)
+	}
+	// Names are stored NUL-padded on disk, so embedded NULs would decode
+	// to a different name (found by FuzzLegacyFSNames).
+	if bytes.IndexByte([]byte(name), 0) >= 0 {
+		return fmt.Errorf("name %q contains NUL: %w", name, ErrTooLarge)
+	}
+	if len(data) > MaxFileSize {
+		return fmt.Errorf("file %q is %d bytes (max %d): %w", name, len(data), MaxFileSize, ErrTooLarge)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	slot, old, err := f.findInode(name)
+	if err != nil {
+		return err
+	}
+	if slot >= 0 {
+		// Replace: free old blocks first.
+		n := int(old.size+hw.SectorSize-1) / hw.SectorSize
+		if err := f.freeBlocks(old.blocks[:n]); err != nil {
+			return err
+		}
+	} else {
+		for i := 0; i < MaxFiles; i++ {
+			in, err := f.readInode(i)
+			if err != nil {
+				return err
+			}
+			if !in.used {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			return fmt.Errorf("no free inode for %q: %w", name, ErrFull)
+		}
+	}
+	in := inode{used: true, name: name, size: uint32(len(data))}
+	nBlocks := (len(data) + hw.SectorSize - 1) / hw.SectorSize
+	for i := 0; i < nBlocks; i++ {
+		b, err := f.allocBlock()
+		if err != nil {
+			return err
+		}
+		in.blocks[i] = b
+		chunk := data[i*hw.SectorSize:]
+		if len(chunk) > hw.SectorSize {
+			chunk = chunk[:hw.SectorSize]
+		}
+		if err := f.dev.WriteSector(dataStart+int(b), chunk); err != nil {
+			return err
+		}
+	}
+	return f.writeInode(slot, in)
+}
+
+// ReadFile returns a file's contents. No integrity checking whatsoever:
+// whatever is on the (tamperable) device is what you get.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	slot, in, err := f.findInode(name)
+	if err != nil {
+		return nil, err
+	}
+	if slot < 0 {
+		return nil, fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	out := make([]byte, 0, in.size)
+	remaining := int(in.size)
+	for i := 0; remaining > 0; i++ {
+		sec, err := f.dev.ReadSector(dataStart + int(in.blocks[i]))
+		if err != nil {
+			return nil, err
+		}
+		take := remaining
+		if take > hw.SectorSize {
+			take = hw.SectorSize
+		}
+		out = append(out, sec[:take]...)
+		remaining -= take
+	}
+	return out, nil
+}
+
+// DeleteFile removes a file.
+func (f *FS) DeleteFile(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	slot, in, err := f.findInode(name)
+	if err != nil {
+		return err
+	}
+	if slot < 0 {
+		return fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	n := int(in.size+hw.SectorSize-1) / hw.SectorSize
+	if err := f.freeBlocks(in.blocks[:n]); err != nil {
+		return err
+	}
+	return f.writeInode(slot, inode{})
+}
+
+// List returns all file names, sorted.
+func (f *FS) List() ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for i := 0; i < MaxFiles; i++ {
+		in, err := f.readInode(i)
+		if err != nil {
+			return nil, err
+		}
+		if in.used {
+			out = append(out, in.name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TamperFileData flips bits inside a file's first data sector by driving
+// the block device directly — the storage attacker of experiment E7.
+func (f *FS) TamperFileData(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	slot, in, err := f.findInode(name)
+	if err != nil {
+		return err
+	}
+	if slot < 0 {
+		return fmt.Errorf("%q: %w", name, ErrNotFound)
+	}
+	if in.size == 0 {
+		return fmt.Errorf("%q is empty", name)
+	}
+	return f.dev.TamperSector(dataStart+int(in.blocks[0]), func(sec []byte) {
+		sec[0] ^= 0xff
+	})
+}

@@ -1,0 +1,211 @@
+package legacy
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lateral/internal/hw"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	dev := hw.NewBlockDevice("disk0", 256)
+	fs, err := Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFormatAndMount(t *testing.T) {
+	dev := hw.NewBlockDevice("disk0", 64)
+	if _, err := Mount(dev); !errors.Is(err, ErrNotFormatted) {
+		t.Errorf("mount of blank device: got %v", err)
+	}
+	if _, err := Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mount(dev); err != nil {
+		t.Errorf("mount after format: %v", err)
+	}
+	tiny := hw.NewBlockDevice("tiny", 4)
+	if _, err := Format(tiny); err == nil {
+		t.Error("format of too-small device succeeded")
+	}
+}
+
+func TestWriteReadDeleteList(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.WriteFile("inbox", []byte("mail contents")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("drafts", []byte("wip")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("inbox")
+	if err != nil || string(got) != "mail contents" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	names, err := fs.List()
+	if err != nil || len(names) != 2 || names[0] != "drafts" || names[1] != "inbox" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	if err := fs.DeleteFile("inbox"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("inbox"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("read deleted: got %v", err)
+	}
+	if err := fs.DeleteFile("inbox"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("delete missing: got %v", err)
+	}
+}
+
+func TestOverwriteReleasesBlocks(t *testing.T) {
+	fs := newFS(t)
+	big := bytes.Repeat([]byte("x"), MaxFileSize)
+	// The 256-sector device has 256-10=246 data blocks; each max file
+	// takes 12. Repeated overwrite must not leak blocks.
+	for i := 0; i < 50; i++ {
+		if err := fs.WriteFile("f", big); err != nil {
+			t.Fatalf("overwrite %d: %v", i, err)
+		}
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("read after overwrites: %v", err)
+	}
+}
+
+func TestLimits(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.WriteFile("", []byte("x")); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("empty name: got %v", err)
+	}
+	longName := string(bytes.Repeat([]byte("n"), MaxNameLen+1))
+	if err := fs.WriteFile(longName, []byte("x")); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("long name: got %v", err)
+	}
+	if err := fs.WriteFile("big", make([]byte, MaxFileSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize file: got %v", err)
+	}
+	// Exactly max size works.
+	if err := fs.WriteFile("max", make([]byte, MaxFileSize)); err != nil {
+		t.Errorf("max-size file: %v", err)
+	}
+	// Zero-length file works.
+	if err := fs.WriteFile("empty", nil); err != nil {
+		t.Errorf("empty file: %v", err)
+	}
+	if got, err := fs.ReadFile("empty"); err != nil || len(got) != 0 {
+		t.Errorf("empty read = %v, %v", got, err)
+	}
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	dev := hw.NewBlockDevice("disk0", 1024)
+	fs, err := Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < MaxFiles; i++ {
+		name := "f" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		if err := fs.WriteFile(name, []byte("x")); err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+	}
+	if err := fs.WriteFile("one-too-many", []byte("x")); !errors.Is(err, ErrFull) {
+		t.Errorf("inode exhaustion: got %v", err)
+	}
+}
+
+func TestBlockExhaustion(t *testing.T) {
+	dev := hw.NewBlockDevice("disk0", dataStart+3) // 3 data blocks only
+	fs, err := Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("a", make([]byte, 3*hw.SectorSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("b", []byte("x")); !errors.Is(err, ErrFull) {
+		t.Errorf("block exhaustion: got %v", err)
+	}
+	// Deleting frees space again.
+	if err := fs.DeleteFile("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("b", []byte("x")); err != nil {
+		t.Errorf("write after free: %v", err)
+	}
+}
+
+func TestNoIntegrityAgainstTampering(t *testing.T) {
+	// The defining weakness: tampering is silent. (VPFS fixes this.)
+	fs := newFS(t)
+	if err := fs.WriteFile("ledger", []byte("balance=100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.TamperFileData("ledger"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("ledger")
+	if err != nil {
+		t.Fatalf("legacy FS must NOT detect tampering, got error %v", err)
+	}
+	if bytes.Equal(got, []byte("balance=100")) {
+		t.Error("tamper had no effect")
+	}
+	if err := fs.TamperFileData("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("tamper missing: got %v", err)
+	}
+	if err := fs.WriteFile("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.TamperFileData("empty"); err == nil {
+		t.Error("tamper of empty file succeeded")
+	}
+}
+
+func TestPlaintextOnDevice(t *testing.T) {
+	fs := newFS(t)
+	secret := []byte("SECRET-MAIL-BODY")
+	if err := fs.WriteFile("mail", secret); err != nil {
+		t.Fatal(err)
+	}
+	// Scan raw sectors: the plaintext is right there.
+	found := false
+	for i := 0; i < fs.Device().NumSectors(); i++ {
+		sec, _ := fs.Device().ReadSector(i)
+		if bytes.Contains(sec, secret) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("legacy FS should store plaintext (confidentiality is VPFS's job)")
+	}
+}
+
+// Property: write/read round-trips for arbitrary contents within limits.
+func TestQuickRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	f := func(data []byte) bool {
+		if len(data) > MaxFileSize {
+			data = data[:MaxFileSize]
+		}
+		if err := fs.WriteFile("q", data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("q")
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

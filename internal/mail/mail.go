@@ -1,0 +1,413 @@
+// Package mail implements the paper's §III-C email client example in both
+// architectures of Figure 1:
+//
+//   - VERTICAL: all subsystems colocated in one protection domain, the way
+//     "applications are currently constructed as monolithic blobs of
+//     vertically stacked frameworks".
+//   - HORIZONTAL: "applications [as] horizontal aggregates of communicating
+//     components, individually isolated from one another and mutually
+//     distrusting" — network protocol handling, TLS, parsing, rendering,
+//     input methods, the address book, and storage each in their own
+//     domain, wired by a manifest.
+//
+// The same component implementations serve both variants; only the
+// manifest placement differs. Components that handle data from the
+// Internet (protocol handler, parser, renderer) model exploitable bugs via
+// core.Subvertible.
+package mail
+
+import (
+	"bytes"
+	"fmt"
+
+	"lateral/internal/core"
+	"lateral/internal/manifest"
+)
+
+// Asset names and their secret values. The values are what the
+// containment experiment greps the adversary transcript for.
+func freshAssets() map[string][]byte {
+	return map[string][]byte{
+		"tls-key":          []byte("ASSET-TLS-PRIVATE-KEY-7f3a91"),
+		"account-password": []byte("ASSET-IMAP-PASSWORD-hunter2x"),
+		"user-dictionary":  []byte("ASSET-DICTIONARY-medical-terms"),
+		"contacts":         []byte("ASSET-ADDRESSBOOK-entries-vip"),
+		"mail-archive":     []byte("ASSET-ARCHIVE-old-love-letters"),
+	}
+}
+
+// exfiltrate is the shared adversarial payload: on every granted channel,
+// try the operations that return data (the attacker knows the component
+// API) so the observer sees every reply the manifest lets it reach.
+func exfiltrate(ctx *core.Ctx, env core.Envelope) (core.Message, error) {
+	for _, ch := range ctx.Channels() {
+		for _, op := range []string{"probe", "load", "recv", "export", "suggest"} {
+			_, _ = ctx.Call(ch, core.Message{Op: op, Data: env.Msg.Data})
+		}
+	}
+	return core.Message{Op: "pwned"}, nil
+}
+
+// uiComp is the user-facing composition/display component. It drives the
+// mail-fetch flow.
+type uiComp struct {
+	ctx *core.Ctx
+}
+
+func (u *uiComp) CompName() string         { return "ui" }
+func (u *uiComp) CompVersion() string      { return "1.0" }
+func (u *uiComp) Init(ctx *core.Ctx) error { u.ctx = ctx; return nil }
+
+func (u *uiComp) Handle(env core.Envelope) (core.Message, error) {
+	switch env.Msg.Op {
+	case "fetch-mail":
+		return u.ctx.Call("net", core.Message{Op: "fetch"})
+	case "compose":
+		// Ask the input method for a completion, the address book for a
+		// recipient, then send.
+		sugg, err := u.ctx.Call("input", core.Message{Op: "suggest", Data: env.Msg.Data})
+		if err != nil {
+			return core.Message{}, err
+		}
+		rcpt, err := u.ctx.Call("abook", core.Message{Op: "lookup", Data: []byte("boss")})
+		if err != nil {
+			return core.Message{}, err
+		}
+		body := fmt.Sprintf("To: %s\n%s", rcpt.Data, sugg.Data)
+		return u.ctx.Call("net", core.Message{Op: "send", Data: []byte(body)})
+	default:
+		return core.Message{}, fmt.Errorf("ui: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+}
+
+// netComp speaks the application-level protocol (IMAP/SMTP framing). It is
+// exposed to the network and exploitable.
+type netComp struct {
+	ctx *core.Ctx
+}
+
+func (n *netComp) CompName() string         { return "net" }
+func (n *netComp) CompVersion() string      { return "1.0" }
+func (n *netComp) Init(ctx *core.Ctx) error { n.ctx = ctx; return nil }
+
+func (n *netComp) Handle(env core.Envelope) (core.Message, error) {
+	switch env.Msg.Op {
+	case "fetch":
+		raw, err := n.ctx.Call("tls", core.Message{Op: "recv"})
+		if err != nil {
+			return core.Message{}, err
+		}
+		parsed, err := n.ctx.Call("parser", core.Message{Op: "parse", Data: raw.Data})
+		if err != nil {
+			return core.Message{}, err
+		}
+		rendered, err := n.ctx.Call("render", core.Message{Op: "render", Data: parsed.Data})
+		if err != nil {
+			return core.Message{}, err
+		}
+		if _, err := n.ctx.Call("store", core.Message{Op: "save", Data: rendered.Data}); err != nil {
+			return core.Message{}, err
+		}
+		return rendered, nil
+	case "send":
+		return n.ctx.Call("tls", core.Message{Op: "send", Data: env.Msg.Data})
+	default:
+		return core.Message{}, fmt.Errorf("net: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+}
+
+func (n *netComp) HandleCompromised(env core.Envelope) (core.Message, error) {
+	return exfiltrate(n.ctx, env)
+}
+
+// tlsComp owns the transport security material: the TLS key and the
+// account password. "Cryptographic keys and the user's account passwords
+// are shielded from all other components."
+type tlsComp struct {
+	ctx    *core.Ctx
+	assets map[string][]byte
+}
+
+func (t *tlsComp) CompName() string    { return "tls" }
+func (t *tlsComp) CompVersion() string { return "1.0" }
+
+func (t *tlsComp) Init(ctx *core.Ctx) error {
+	t.ctx = ctx
+	if err := ctx.StoreAsset("tls-key", t.assets["tls-key"]); err != nil {
+		return err
+	}
+	return ctx.StoreAsset("account-password", t.assets["account-password"])
+}
+
+func (t *tlsComp) Handle(env core.Envelope) (core.Message, error) {
+	switch env.Msg.Op {
+	case "recv":
+		// A canned MIME message "received" over the secure transport.
+		msg := "From: alice@example.org\nContent-Type: text/html\n\n<b>Quarterly report attached</b>"
+		return core.Message{Op: "mail", Data: []byte(msg)}, nil
+	case "send":
+		// The message leaves encrypted; the reply confirms delivery
+		// without echoing secrets.
+		return core.Message{Op: "sent", Data: []byte(fmt.Sprintf("delivered %d bytes", len(env.Msg.Data)))}, nil
+	default:
+		return core.Message{}, fmt.Errorf("tls: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+}
+
+// parserComp does MIME parsing and format detection on untrusted input.
+type parserComp struct {
+	ctx *core.Ctx
+}
+
+func (p *parserComp) CompName() string         { return "parser" }
+func (p *parserComp) CompVersion() string      { return "1.0" }
+func (p *parserComp) Init(ctx *core.Ctx) error { p.ctx = ctx; return nil }
+
+func (p *parserComp) Handle(env core.Envelope) (core.Message, error) {
+	if env.Msg.Op != "parse" {
+		return core.Message{}, fmt.Errorf("parser: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+	// Split headers from body at the first blank line.
+	if i := bytes.Index(env.Msg.Data, []byte("\n\n")); i >= 0 {
+		return core.Message{Op: "body", Data: env.Msg.Data[i+2:]}, nil
+	}
+	return core.Message{Op: "body", Data: env.Msg.Data}, nil
+}
+
+func (p *parserComp) HandleCompromised(env core.Envelope) (core.Message, error) {
+	return exfiltrate(p.ctx, env)
+}
+
+// renderComp renders HTML — the paper's canonical exploit entry point.
+type renderComp struct {
+	ctx *core.Ctx
+}
+
+func (r *renderComp) CompName() string         { return "render" }
+func (r *renderComp) CompVersion() string      { return "1.0" }
+func (r *renderComp) Init(ctx *core.Ctx) error { r.ctx = ctx; return nil }
+
+func (r *renderComp) Handle(env core.Envelope) (core.Message, error) {
+	if env.Msg.Op != "render" {
+		return core.Message{}, fmt.Errorf("render: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+	out := bytes.ReplaceAll(env.Msg.Data, []byte("<b>"), []byte("*"))
+	out = bytes.ReplaceAll(out, []byte("</b>"), []byte("*"))
+	return core.Message{Op: "rendered", Data: out}, nil
+}
+
+func (r *renderComp) HandleCompromised(env core.Envelope) (core.Message, error) {
+	return exfiltrate(r.ctx, env)
+}
+
+// inputComp is the input method holding "highly personal data such as user
+// dictionaries".
+type inputComp struct {
+	ctx    *core.Ctx
+	assets map[string][]byte
+}
+
+func (i *inputComp) CompName() string    { return "input" }
+func (i *inputComp) CompVersion() string { return "1.0" }
+
+func (i *inputComp) Init(ctx *core.Ctx) error {
+	i.ctx = ctx
+	return ctx.StoreAsset("user-dictionary", i.assets["user-dictionary"])
+}
+
+func (i *inputComp) Handle(env core.Envelope) (core.Message, error) {
+	if env.Msg.Op != "suggest" {
+		return core.Message{}, fmt.Errorf("input: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+	// Auto-completion informed by (but not revealing) the dictionary.
+	return core.Message{Op: "suggestion", Data: append(env.Msg.Data, []byte(" [autocompleted]")...)}, nil
+}
+
+// abookComp is the address book.
+type abookComp struct {
+	ctx    *core.Ctx
+	assets map[string][]byte
+}
+
+func (a *abookComp) CompName() string    { return "abook" }
+func (a *abookComp) CompVersion() string { return "1.0" }
+
+func (a *abookComp) Init(ctx *core.Ctx) error {
+	a.ctx = ctx
+	return ctx.StoreAsset("contacts", a.assets["contacts"])
+}
+
+func (a *abookComp) Handle(env core.Envelope) (core.Message, error) {
+	switch env.Msg.Op {
+	case "lookup":
+		return core.Message{Op: "contact", Data: append(env.Msg.Data, []byte("@example.org")...)}, nil
+	case "export":
+		// Full export for synchronization. Deliberately gated by the
+		// MANIFEST alone (whoever has a channel may export) — the
+		// paper's channel-POLA design. A sloppy manifest turns this into
+		// a leak; the A1 ablation measures exactly that.
+		contacts, err := a.ctx.LoadAsset("contacts")
+		if err != nil {
+			return core.Message{}, err
+		}
+		return core.Message{Op: "contacts", Data: contacts}, nil
+	default:
+		return core.Message{}, fmt.Errorf("abook: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+}
+
+// storeComp archives mail. Only badge-identified clients may save.
+type storeComp struct {
+	ctx    *core.Ctx
+	assets map[string][]byte
+}
+
+func (s *storeComp) CompName() string    { return "store" }
+func (s *storeComp) CompVersion() string { return "1.0" }
+
+func (s *storeComp) Init(ctx *core.Ctx) error {
+	s.ctx = ctx
+	return ctx.StoreAsset("mail-archive", s.assets["mail-archive"])
+}
+
+func (s *storeComp) Handle(env core.Envelope) (core.Message, error) {
+	switch env.Msg.Op {
+	case "save":
+		return core.Message{Op: "saved"}, nil
+	case "load":
+		// Only the UI may read the archive back; the network path can
+		// save incoming mail but never exfiltrate the mailbox. The check
+		// uses the channel-established identity, not payload claims.
+		if env.From != "ui" {
+			return core.Message{}, fmt.Errorf("store: load by %q: %w", env.From, core.ErrRefused)
+		}
+		archive, err := s.ctx.LoadAsset("mail-archive")
+		if err != nil {
+			return core.Message{}, err
+		}
+		return core.Message{Op: "archive", Data: archive}, nil
+	default:
+		return core.Message{}, fmt.Errorf("store: op %q: %w", env.Msg.Op, core.ErrRefused)
+	}
+}
+
+// componentDecls is the single source of truth for the mail app's parts.
+func componentDecls() []manifest.ComponentDecl {
+	return []manifest.ComponentDecl{
+		{Name: "ui", MemPages: 1},
+		{Name: "net", MemPages: 1, Exposed: true},
+		{Name: "tls", MemPages: 1, Assets: []string{"tls-key", "account-password"}},
+		{Name: "parser", MemPages: 1},
+		{Name: "render", MemPages: 1},
+		{Name: "input", MemPages: 1, Assets: []string{"user-dictionary"}},
+		{Name: "abook", MemPages: 1, Assets: []string{"contacts"}},
+		{Name: "store", MemPages: 1, Assets: []string{"mail-archive"}},
+	}
+}
+
+func channelDecls() []manifest.ChannelDecl {
+	return []manifest.ChannelDecl{
+		{Name: "net", From: "ui", To: "net", Badge: 1},
+		{Name: "input", From: "ui", To: "input", Badge: 2},
+		{Name: "abook", From: "ui", To: "abook", Badge: 3},
+		{Name: "store", From: "ui", To: "store", Badge: 8},
+		{Name: "tls", From: "net", To: "tls", Badge: 4},
+		{Name: "parser", From: "net", To: "parser", Badge: 5},
+		{Name: "render", From: "net", To: "render", Badge: 6},
+		{Name: "store", From: "net", To: "store", Badge: 7},
+	}
+}
+
+// HorizontalManifest places every component in its own domain (Fig. 1
+// right).
+func HorizontalManifest() *manifest.Manifest {
+	return &manifest.Manifest{Components: componentDecls(), Channels: channelDecls()}
+}
+
+// VerticalManifest colocates everything in one "mailapp" domain (Fig. 1
+// left) with identical channels — the only difference is placement.
+func VerticalManifest() *manifest.Manifest {
+	comps := componentDecls()
+	for i := range comps {
+		comps[i].Domain = "mailapp"
+		comps[i].MemPages = 8
+	}
+	return &manifest.Manifest{Components: comps, Channels: channelDecls()}
+}
+
+// BroadManifest is the A1 ablation: separate domains (like the horizontal
+// design) but a sloppy manifest that grants every component a channel to
+// every other. Isolation without least authority — the substrate walls
+// stand, yet a compromised component can simply ASK its peers for their
+// data.
+func BroadManifest() *manifest.Manifest {
+	comps := componentDecls()
+	var chans []manifest.ChannelDecl
+	badge := uint64(1)
+	for _, from := range comps {
+		for _, to := range comps {
+			if from.Name == to.Name {
+				continue
+			}
+			chans = append(chans, manifest.ChannelDecl{
+				Name:  to.Name,
+				From:  from.Name,
+				To:    to.Name,
+				Badge: badge,
+			})
+			badge++
+		}
+	}
+	return &manifest.Manifest{Components: comps, Channels: chans}
+}
+
+// ComponentNames lists the mail app's components (sweep targets for E1).
+func ComponentNames() []string {
+	decls := componentDecls()
+	out := make([]string, len(decls))
+	for i, d := range decls {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Build loads the mail application described by m onto the substrate and
+// returns the running system plus the asset map for leak scoring.
+func Build(sub core.Substrate, m *manifest.Manifest) (*core.System, map[string][]byte, error) {
+	assets := freshAssets()
+	reg := manifest.Registry{
+		"ui":     &uiComp{},
+		"net":    &netComp{},
+		"tls":    &tlsComp{assets: assets},
+		"parser": &parserComp{},
+		"render": &renderComp{},
+		"input":  &inputComp{assets: assets},
+		"abook":  &abookComp{assets: assets},
+		"store":  &storeComp{assets: assets},
+	}
+	sys := core.NewSystem(sub)
+	if err := m.Apply(sys, reg); err != nil {
+		return nil, nil, err
+	}
+	return sys, assets, nil
+}
+
+// FetchMail drives the end-to-end mail-fetch flow (the E4 macro
+// benchmark unit of work) and returns the rendered message.
+func FetchMail(sys *core.System) (string, error) {
+	reply, err := sys.Deliver("ui", core.Message{Op: "fetch-mail"})
+	if err != nil {
+		return "", err
+	}
+	return string(reply.Data), nil
+}
+
+// Compose drives the compose-and-send flow, exercising the input method
+// and address book.
+func Compose(sys *core.System, draft string) (string, error) {
+	reply, err := sys.Deliver("ui", core.Message{Op: "compose", Data: []byte(draft)})
+	if err != nil {
+		return "", err
+	}
+	return string(reply.Data), nil
+}

@@ -1,0 +1,272 @@
+package mail
+
+import (
+	"strings"
+	"testing"
+
+	"lateral/internal/attack"
+	"lateral/internal/core"
+	"lateral/internal/kernel"
+)
+
+func buildHorizontal(t *testing.T) (*core.System, map[string][]byte) {
+	t.Helper()
+	sys, assets, err := Build(kernel.New(kernel.Config{}), HorizontalManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, assets
+}
+
+func buildVertical(t *testing.T) (*core.System, map[string][]byte) {
+	t.Helper()
+	sys, assets, err := Build(core.NewMonolith(0), VerticalManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, assets
+}
+
+func TestManifestsValidate(t *testing.T) {
+	if err := HorizontalManifest().Validate(); err != nil {
+		t.Errorf("horizontal: %v", err)
+	}
+	if err := VerticalManifest().Validate(); err != nil {
+		t.Errorf("vertical: %v", err)
+	}
+}
+
+func TestFetchMailFlowBothArchitectures(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(*testing.T) (*core.System, map[string][]byte)
+	}{
+		{"horizontal", buildHorizontal},
+		{"vertical", buildVertical},
+	} {
+		sys, _ := tc.build(t)
+		out, err := FetchMail(sys)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(out, "*Quarterly report attached*") {
+			t.Errorf("%s: rendered = %q", tc.name, out)
+		}
+	}
+}
+
+func TestComposeFlow(t *testing.T) {
+	sys, _ := buildHorizontal(t)
+	out, err := Compose(sys, "dear all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "delivered") {
+		t.Errorf("compose reply = %q", out)
+	}
+}
+
+func TestDomainPlacementDiffers(t *testing.T) {
+	h, _ := buildHorizontal(t)
+	v, _ := buildVertical(t)
+	hd, _ := h.DomainOf("render")
+	vd, _ := v.DomainOf("render")
+	if hd != "render" {
+		t.Errorf("horizontal render domain = %q", hd)
+	}
+	if vd != "mailapp" {
+		t.Errorf("vertical render domain = %q", vd)
+	}
+}
+
+func TestRendererCompromiseContainment(t *testing.T) {
+	// The paper's headline scenario: the renderer is exploited by a
+	// malicious HTML mail.
+	vertBuild := func() (*core.System, map[string][]byte, error) {
+		return Build(core.NewMonolith(0), VerticalManifest())
+	}
+	horizBuild := func() (*core.System, map[string][]byte, error) {
+		return Build(kernel.New(kernel.Config{}), HorizontalManifest())
+	}
+	vr, err := attack.MeasureContainment(vertBuild, "render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := attack.MeasureContainment(horizBuild, "render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.LeakFraction() != 1.0 {
+		t.Errorf("vertical renderer exploit leaked %.2f, want 1.0", vr.LeakFraction())
+	}
+	if hr.LeakFraction() != 0.0 {
+		t.Errorf("horizontal renderer exploit leaked %v, want nothing", hr.Leaked)
+	}
+}
+
+func TestFullContainmentSweep(t *testing.T) {
+	horizBuild := func() (*core.System, map[string][]byte, error) {
+		return Build(kernel.New(kernel.Config{}), HorizontalManifest())
+	}
+	results, err := attack.ContainmentSweep(horizBuild, ComponentNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each horizontal compromise leaks at most what POLA grants: asset
+	// holders leak their own assets; components without a modeled exploit
+	// payload (ui) or without assets and read rights (net, parser,
+	// render) leak nothing.
+	wantMax := map[string]int{
+		"ui": 0, "net": 0, "parser": 0, "render": 0,
+		"tls": 2, "input": 1, "abook": 1, "store": 1,
+	}
+	for _, r := range results {
+		if len(r.Leaked) != wantMax[r.Compromised] {
+			t.Errorf("compromise of %s leaked %v, want %d assets",
+				r.Compromised, r.Leaked, wantMax[r.Compromised])
+		}
+	}
+}
+
+func TestManifestAnalysisFindsExposure(t *testing.T) {
+	findings := HorizontalManifest().Analyze()
+	var exposure, deputy int
+	for _, f := range findings {
+		switch f.Kind {
+		case "exposure":
+			exposure++
+		case "confused-deputy":
+			deputy++
+		}
+	}
+	// net (exposed) reaches tls and store → at least 2 exposure findings.
+	if exposure < 2 {
+		t.Errorf("exposure findings = %d, want ≥2", exposure)
+	}
+	// All channels are badged, so no confused-deputy findings.
+	if deputy != 0 {
+		t.Errorf("confused-deputy findings = %d, want 0", deputy)
+	}
+}
+
+func TestUngrantedCrossTalkBlocked(t *testing.T) {
+	// POLA check: the renderer has NO channel to tls; even benignly it
+	// cannot invoke it.
+	sys, _ := buildHorizontal(t)
+	ctx, err := sys.CtxOf("render")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.HasChannel("tls") {
+		t.Fatal("render was granted a tls channel")
+	}
+	if _, err := ctx.Call("tls", core.Message{Op: "recv"}); err == nil {
+		t.Error("render invoked tls without a grant")
+	}
+}
+
+func TestBadOpsRefused(t *testing.T) {
+	sys, _ := buildHorizontal(t)
+	for _, target := range []string{"ui", "net", "parser", "render", "input", "abook", "store"} {
+		if _, err := sys.Deliver(target, core.Message{Op: "bogus-op"}); err == nil {
+			t.Errorf("%s accepted bogus op", target)
+		}
+	}
+}
+
+func TestVerticalManifestIsSingleDomain(t *testing.T) {
+	m := VerticalManifest()
+	domains := map[string]bool{}
+	for _, c := range m.Components {
+		domains[c.EffectiveDomain()] = true
+	}
+	if len(domains) != 1 {
+		t.Errorf("vertical domains = %v", domains)
+	}
+	// Static analysis agrees: compromising anything reaches all assets.
+	if got := len(m.AssetsInDomain("render")); got != 5 {
+		t.Errorf("vertical colocated assets = %d, want 5", got)
+	}
+	if got := len(HorizontalManifest().AssetsInDomain("render")); got != 0 {
+		t.Errorf("horizontal render colocated assets = %d, want 0", got)
+	}
+}
+
+func TestStoreLoadRestrictedToUI(t *testing.T) {
+	sys, assets := buildHorizontal(t)
+	// The UI legitimately loads the archive through its badged channel.
+	ctx, err := sys.CtxOf("ui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ctx.Call("store", core.Message{Op: "load"})
+	if err != nil {
+		t.Fatalf("ui load: %v", err)
+	}
+	if string(reply.Data) != string(assets["mail-archive"]) {
+		t.Errorf("archive = %q", reply.Data)
+	}
+	// net can save but never load.
+	nctx, err := sys.CtxOf("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nctx.Call("store", core.Message{Op: "save", Data: []byte("m")}); err != nil {
+		t.Errorf("net save: %v", err)
+	}
+	if _, err := nctx.Call("store", core.Message{Op: "load"}); err == nil {
+		t.Error("net loaded the archive")
+	}
+}
+
+func TestAbookLookupAndExport(t *testing.T) {
+	sys, assets := buildHorizontal(t)
+	ctx, err := sys.CtxOf("ui")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ctx.Call("abook", core.Message{Op: "lookup", Data: []byte("bob")})
+	if err != nil || string(reply.Data) != "bob@example.org" {
+		t.Errorf("lookup = %q, %v", reply.Data, err)
+	}
+	reply, err = ctx.Call("abook", core.Message{Op: "export"})
+	if err != nil || string(reply.Data) != string(assets["contacts"]) {
+		t.Errorf("export = %q, %v", reply.Data, err)
+	}
+}
+
+func TestBroadManifestValidatesAndWorks(t *testing.T) {
+	m := BroadManifest()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys, _, err := Build(kernel.New(kernel.Config{}), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FetchMail(sys); err != nil {
+		t.Errorf("fetch under broad manifest: %v", err)
+	}
+	// Full mesh: n*(n-1) channels over 8 components.
+	if len(m.Channels) != 8*7 {
+		t.Errorf("broad channels = %d, want 56", len(m.Channels))
+	}
+}
+
+func TestTLSSendPath(t *testing.T) {
+	sys, assets := buildHorizontal(t)
+	nctx, err := sys.CtxOf("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := nctx.Call("tls", core.Message{Op: "send", Data: []byte("outbound mail")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(reply.Data), "delivered 13 bytes") {
+		t.Errorf("send reply = %q", reply.Data)
+	}
+	if strings.Contains(string(reply.Data), string(assets["tls-key"])) {
+		t.Error("tls reply echoed key material")
+	}
+}

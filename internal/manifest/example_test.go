@@ -1,0 +1,38 @@
+package manifest_test
+
+import (
+	"fmt"
+
+	"lateral/internal/manifest"
+)
+
+// Example shows declaring a small system and running the §IV analysis:
+// the deputy serving two clients over an ambient channel is flagged, and
+// the TLS component's non-declassified channel into legacy code is
+// reported as a potential leak.
+func Example() {
+	m := &manifest.Manifest{
+		Components: []manifest.ComponentDecl{
+			{Name: "browser", Exposed: true},
+			{Name: "editor"},
+			{Name: "printer"}, // deputy with two clients
+			{Name: "tls", Trusted: true, Assets: []string{"session-key"}},
+			{Name: "legacy-os"},
+		},
+		Channels: []manifest.ChannelDecl{
+			{Name: "print", From: "browser", To: "printer"}, // ambient!
+			{Name: "print", From: "editor", To: "printer", Badge: 2},
+			{Name: "reuse", From: "tls", To: "legacy-os"}, // not declassified
+		},
+	}
+	if err := m.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, f := range m.Analyze() {
+		fmt.Println(f)
+	}
+	// Output:
+	// [confused-deputy] printer: serves 2 clients (browser, editor) with 1 ambient channel(s); use badges
+	// [leak] tls: holds assets and has non-declassified channel "reuse" to untrusted "legacy-os"
+}

@@ -1,0 +1,371 @@
+// Package manifest implements the paper's §III-A programming-framework
+// layer: "developers can describe the required communication channels to
+// other components. Such a manifest enables the isolation substrate to
+// establish just the needed channels and block all other communication,
+// thereby promoting a POLA design mentality for the entire system.
+// Furthermore, a map of communication relationships allows to reason about
+// the required message protection if tampering is assumed."
+//
+// Besides declaring and applying a component graph, the package provides
+// the §IV analysis tooling: reachability from exposed components,
+// confused-deputy detection ("tools to uncover confused deputy problems
+// are crucial"), and secret-leak detection.
+package manifest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lateral/internal/core"
+)
+
+// Errors.
+var (
+	// ErrInvalid is returned for manifests that fail validation.
+	ErrInvalid = errors.New("manifest: invalid")
+)
+
+// ComponentDecl declares one component placement.
+type ComponentDecl struct {
+	// Name of the component (must match the implementation's CompName).
+	Name string
+
+	// Domain places the component; components sharing a Domain are
+	// colocated in one protection domain (the vertical design). Empty
+	// means a private domain named after the component.
+	Domain string
+
+	// Trusted requests the substrate's protected environment.
+	Trusted bool
+
+	// MemPages sizes the domain (the largest request among colocated
+	// components wins).
+	MemPages int
+
+	// Exposed marks components that receive input from the outside world
+	// (network payloads, user input) — the attack surface.
+	Exposed bool
+
+	// Assets names the secrets this component holds.
+	Assets []string
+}
+
+// EffectiveDomain returns the domain the component lands in.
+func (c ComponentDecl) EffectiveDomain() string {
+	if c.Domain != "" {
+		return c.Domain
+	}
+	return c.Name
+}
+
+// ChannelDecl declares one granted channel (see core.ChannelSpec).
+type ChannelDecl struct {
+	Name       string
+	From       string
+	To         string
+	Badge      uint64
+	Declassify bool
+}
+
+// Manifest is a complete system description.
+type Manifest struct {
+	Components []ComponentDecl
+	Channels   []ChannelDecl
+}
+
+// Validate checks structural consistency: unique component names, channel
+// endpoints that exist, unique channel names per sender, and unambiguous
+// badges per receiver.
+func (m *Manifest) Validate() error {
+	comps := make(map[string]ComponentDecl, len(m.Components))
+	for _, c := range m.Components {
+		if c.Name == "" {
+			return fmt.Errorf("%w: component with empty name", ErrInvalid)
+		}
+		if _, dup := comps[c.Name]; dup {
+			return fmt.Errorf("%w: duplicate component %q", ErrInvalid, c.Name)
+		}
+		comps[c.Name] = c
+	}
+	// Colocated components must agree on trust placement.
+	domTrust := make(map[string]bool)
+	for _, c := range m.Components {
+		d := c.EffectiveDomain()
+		if prev, ok := domTrust[d]; ok && prev != c.Trusted {
+			return fmt.Errorf("%w: domain %q mixes trusted and untrusted components", ErrInvalid, d)
+		}
+		domTrust[d] = c.Trusted
+	}
+	chNames := make(map[string]bool)
+	badges := make(map[string]map[uint64]string) // receiver -> badge -> sender
+	for _, ch := range m.Channels {
+		if _, ok := comps[ch.From]; !ok {
+			return fmt.Errorf("%w: channel %q from unknown component %q", ErrInvalid, ch.Name, ch.From)
+		}
+		if _, ok := comps[ch.To]; !ok {
+			return fmt.Errorf("%w: channel %q to unknown component %q", ErrInvalid, ch.Name, ch.To)
+		}
+		key := ch.From + "/" + ch.Name
+		if chNames[key] {
+			return fmt.Errorf("%w: duplicate channel name %q from %q", ErrInvalid, ch.Name, ch.From)
+		}
+		chNames[key] = true
+		if ch.Badge != 0 {
+			if badges[ch.To] == nil {
+				badges[ch.To] = make(map[uint64]string)
+			}
+			if prev, ok := badges[ch.To][ch.Badge]; ok && prev != ch.From {
+				return fmt.Errorf("%w: badge %d into %q used by both %q and %q",
+					ErrInvalid, ch.Badge, ch.To, prev, ch.From)
+			}
+			badges[ch.To][ch.Badge] = ch.From
+		}
+	}
+	return nil
+}
+
+// Registry maps component names to implementations when applying a
+// manifest.
+type Registry map[string]core.Component
+
+// Apply validates the manifest, loads every component into the system per
+// its placement, grants the declared channels, and initializes everything.
+func (m *Manifest) Apply(sys *core.System, reg Registry) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	// Group components by effective domain, preserving declaration order.
+	type domGroup struct {
+		trusted bool
+		pages   int
+		comps   []core.Component
+	}
+	groups := make(map[string]*domGroup)
+	var order []string
+	for _, decl := range m.Components {
+		impl, ok := reg[decl.Name]
+		if !ok {
+			return fmt.Errorf("%w: no implementation registered for %q", ErrInvalid, decl.Name)
+		}
+		if impl.CompName() != decl.Name {
+			return fmt.Errorf("%w: implementation %q registered under %q", ErrInvalid, impl.CompName(), decl.Name)
+		}
+		d := decl.EffectiveDomain()
+		g, ok := groups[d]
+		if !ok {
+			g = &domGroup{trusted: decl.Trusted}
+			groups[d] = g
+			order = append(order, d)
+		}
+		if decl.MemPages > g.pages {
+			g.pages = decl.MemPages
+		}
+		g.comps = append(g.comps, impl)
+	}
+	for _, d := range order {
+		g := groups[d]
+		if err := sys.Colocate(d, g.trusted, g.pages, g.comps...); err != nil {
+			return err
+		}
+	}
+	for _, ch := range m.Channels {
+		if err := sys.Grant(core.ChannelSpec{
+			Name:       ch.Name,
+			From:       ch.From,
+			To:         ch.To,
+			Badge:      ch.Badge,
+			Declassify: ch.Declassify,
+		}); err != nil {
+			return err
+		}
+	}
+	return sys.InitAll()
+}
+
+// Reachable returns the set of components reachable from start by
+// following channels forward (including start itself).
+func (m *Manifest) Reachable(start string) map[string]bool {
+	seen := map[string]bool{start: true}
+	frontier := []string{start}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, ch := range m.Channels {
+			if ch.From == cur && !seen[ch.To] {
+				seen[ch.To] = true
+				frontier = append(frontier, ch.To)
+			}
+		}
+	}
+	return seen
+}
+
+// Finding is one analysis result.
+type Finding struct {
+	Kind      string // "confused-deputy", "leak", "exposure"
+	Component string
+	Detail    string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s: %s", f.Kind, f.Component, f.Detail)
+}
+
+// Analyze runs the §IV tool suite and returns findings sorted by kind then
+// component.
+func (m *Manifest) Analyze() []Finding {
+	var out []Finding
+	out = append(out, m.findConfusedDeputies()...)
+	out = append(out, m.findLeaks()...)
+	out = append(out, m.findExposedAssets()...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// findConfusedDeputies flags components invoked by two or more distinct
+// clients where at least one inbound channel is ambient (badge 0): the
+// deputy cannot reliably tell its clients apart.
+func (m *Manifest) findConfusedDeputies() []Finding {
+	inbound := make(map[string][]ChannelDecl)
+	for _, ch := range m.Channels {
+		inbound[ch.To] = append(inbound[ch.To], ch)
+	}
+	var out []Finding
+	for to, chans := range inbound {
+		senders := make(map[string]bool)
+		ambient := 0
+		for _, ch := range chans {
+			senders[ch.From] = true
+			if ch.Badge == 0 {
+				ambient++
+			}
+		}
+		if len(senders) >= 2 && ambient > 0 {
+			names := make([]string, 0, len(senders))
+			for s := range senders {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			out = append(out, Finding{
+				Kind:      "confused-deputy",
+				Component: to,
+				Detail: fmt.Sprintf("serves %d clients (%s) with %d ambient channel(s); use badges",
+					len(senders), strings.Join(names, ", "), ambient),
+			})
+		}
+	}
+	return out
+}
+
+// findLeaks flags asset-holding components with a non-declassified channel
+// into an untrusted domain: secrets one hop from legacy code.
+func (m *Manifest) findLeaks() []Finding {
+	trusted := make(map[string]bool)
+	hasAssets := make(map[string]bool)
+	for _, c := range m.Components {
+		trusted[c.Name] = c.Trusted
+		hasAssets[c.Name] = len(c.Assets) > 0
+	}
+	var out []Finding
+	for _, ch := range m.Channels {
+		if hasAssets[ch.From] && !trusted[ch.To] && !ch.Declassify {
+			out = append(out, Finding{
+				Kind:      "leak",
+				Component: ch.From,
+				Detail: fmt.Sprintf("holds assets and has non-declassified channel %q to untrusted %q",
+					ch.Name, ch.To),
+			})
+		}
+	}
+	return out
+}
+
+// findExposedAssets flags assets reachable (through any channel path) from
+// an exposed component — the attack path the containment experiment walks.
+func (m *Manifest) findExposedAssets() []Finding {
+	var out []Finding
+	for _, c := range m.Components {
+		if !c.Exposed {
+			continue
+		}
+		reach := m.Reachable(c.Name)
+		for _, target := range m.Components {
+			if len(target.Assets) == 0 || !reach[target.Name] || target.Name == c.Name {
+				continue
+			}
+			out = append(out, Finding{
+				Kind:      "exposure",
+				Component: target.Name,
+				Detail: fmt.Sprintf("assets %v reachable from exposed %q",
+					target.Assets, c.Name),
+			})
+		}
+	}
+	return out
+}
+
+// AssetsInDomain returns the assets that share a protection domain with
+// the given component — what a compromise of that component leaks under
+// this manifest, statically.
+func (m *Manifest) AssetsInDomain(component string) []string {
+	var dom string
+	for _, c := range m.Components {
+		if c.Name == component {
+			dom = c.EffectiveDomain()
+			break
+		}
+	}
+	if dom == "" {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range m.Components {
+		if c.EffectiveDomain() != dom {
+			continue
+		}
+		for _, a := range c.Assets {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DOT renders the component graph in Graphviz format: trusted components
+// as boxes, untrusted as ellipses, badge channels as solid edges, ambient
+// channels dashed.
+func (m *Manifest) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph manifest {\n  rankdir=LR;\n")
+	for _, c := range m.Components {
+		shape := "ellipse"
+		if c.Trusted {
+			shape = "box"
+		}
+		label := c.Name
+		if len(c.Assets) > 0 {
+			label += "\\n[" + strings.Join(c.Assets, ",") + "]"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s,label=%q];\n", c.Name, shape, label)
+	}
+	for _, ch := range m.Channels {
+		style := "dashed"
+		if ch.Badge != 0 {
+			style = "solid"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q,style=%s];\n", ch.From, ch.To, ch.Name, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package manifest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lateral/internal/core"
+)
+
+func validManifest() *Manifest {
+	return &Manifest{
+		Components: []ComponentDecl{
+			{Name: "net", Exposed: true},
+			{Name: "tls", Trusted: true, Assets: []string{"tls-key"}},
+			{Name: "render"},
+			{Name: "store", Assets: []string{"mail-archive"}},
+		},
+		Channels: []ChannelDecl{
+			{Name: "to-tls", From: "net", To: "tls", Badge: 1},
+			{Name: "to-render", From: "net", To: "render"},
+			{Name: "to-store", From: "render", To: "store", Badge: 2},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodManifest(t *testing.T) {
+	if err := validManifest().Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Manifest)
+	}{
+		{"empty component name", func(m *Manifest) { m.Components[0].Name = "" }},
+		{"duplicate component", func(m *Manifest) { m.Components[1].Name = "net" }},
+		{"unknown channel source", func(m *Manifest) { m.Channels[0].From = "ghost" }},
+		{"unknown channel target", func(m *Manifest) { m.Channels[0].To = "ghost" }},
+		{"duplicate channel name per sender", func(m *Manifest) {
+			m.Channels = append(m.Channels, ChannelDecl{Name: "to-tls", From: "net", To: "render"})
+		}},
+		{"ambiguous badge", func(m *Manifest) {
+			m.Channels = append(m.Channels, ChannelDecl{Name: "x", From: "render", To: "tls", Badge: 1})
+		}},
+		{"mixed trust in one domain", func(m *Manifest) {
+			m.Components[0].Domain = "d"
+			m.Components[1].Domain = "d"
+		}},
+	}
+	for _, c := range cases {
+		m := validManifest()
+		c.mut(m)
+		if err := m.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: got %v, want ErrInvalid", c.name, err)
+		}
+	}
+}
+
+func TestEffectiveDomain(t *testing.T) {
+	if (ComponentDecl{Name: "x"}).EffectiveDomain() != "x" {
+		t.Error("default domain should be component name")
+	}
+	if (ComponentDecl{Name: "x", Domain: "app"}).EffectiveDomain() != "app" {
+		t.Error("explicit domain ignored")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	m := validManifest()
+	r := m.Reachable("net")
+	for _, want := range []string{"net", "tls", "render", "store"} {
+		if !r[want] {
+			t.Errorf("%s not reachable from net", want)
+		}
+	}
+	r2 := m.Reachable("store")
+	if len(r2) != 1 || !r2["store"] {
+		t.Errorf("store should reach only itself, got %v", r2)
+	}
+}
+
+func TestAnalyzeConfusedDeputy(t *testing.T) {
+	m := &Manifest{
+		Components: []ComponentDecl{{Name: "a"}, {Name: "b"}, {Name: "deputy"}},
+		Channels: []ChannelDecl{
+			{Name: "x", From: "a", To: "deputy"}, // ambient
+			{Name: "y", From: "b", To: "deputy", Badge: 2},
+		},
+	}
+	findings := m.Analyze()
+	found := false
+	for _, f := range findings {
+		if f.Kind == "confused-deputy" && f.Component == "deputy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("multi-client ambient deputy not flagged: %v", findings)
+	}
+	// All-badged deputy is clean.
+	m.Channels[0].Badge = 1
+	for _, f := range m.Analyze() {
+		if f.Kind == "confused-deputy" {
+			t.Errorf("fully badged deputy flagged: %v", f)
+		}
+	}
+}
+
+func TestAnalyzeLeak(t *testing.T) {
+	m := &Manifest{
+		Components: []ComponentDecl{
+			{Name: "tls", Trusted: true, Assets: []string{"key"}},
+			{Name: "legacy"},
+		},
+		Channels: []ChannelDecl{{Name: "reuse", From: "tls", To: "legacy"}},
+	}
+	var leak bool
+	for _, f := range m.Analyze() {
+		if f.Kind == "leak" && f.Component == "tls" {
+			leak = true
+		}
+	}
+	if !leak {
+		t.Error("asset holder with channel to untrusted not flagged")
+	}
+	m.Channels[0].Declassify = true
+	for _, f := range m.Analyze() {
+		if f.Kind == "leak" {
+			t.Errorf("declassified channel flagged: %v", f)
+		}
+	}
+}
+
+func TestAnalyzeExposure(t *testing.T) {
+	m := validManifest()
+	var exposedAssets []string
+	for _, f := range m.Analyze() {
+		if f.Kind == "exposure" {
+			exposedAssets = append(exposedAssets, f.Component)
+		}
+	}
+	// net reaches tls and store (both hold assets).
+	if len(exposedAssets) != 2 {
+		t.Errorf("exposure findings = %v, want tls and store", exposedAssets)
+	}
+}
+
+func TestAssetsInDomain(t *testing.T) {
+	m := &Manifest{
+		Components: []ComponentDecl{
+			{Name: "a", Domain: "app", Assets: []string{"a1"}},
+			{Name: "b", Domain: "app", Assets: []string{"b1", "b2"}},
+			{Name: "c", Assets: []string{"c1"}},
+		},
+	}
+	got := m.AssetsInDomain("a")
+	if len(got) != 3 {
+		t.Errorf("colocated assets = %v, want a1,b1,b2", got)
+	}
+	got = m.AssetsInDomain("c")
+	if len(got) != 1 || got[0] != "c1" {
+		t.Errorf("isolated assets = %v", got)
+	}
+	if m.AssetsInDomain("ghost") != nil {
+		t.Error("unknown component returned assets")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	dot := validManifest().DOT()
+	for _, want := range []string{"digraph", `"net" -> "tls"`, "shape=box", "shape=ellipse", "style=dashed", "style=solid"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// stub is a minimal component for Apply tests.
+type stub struct{ name string }
+
+func (s *stub) CompName() string     { return s.name }
+func (s *stub) CompVersion() string  { return "1" }
+func (s *stub) Init(*core.Ctx) error { return nil }
+func (s *stub) Handle(core.Envelope) (core.Message, error) {
+	return core.Message{Op: "ok"}, nil
+}
+
+func TestApplyBuildsSystem(t *testing.T) {
+	m := &Manifest{
+		Components: []ComponentDecl{
+			{Name: "a", Domain: "shared", MemPages: 2},
+			{Name: "b", Domain: "shared", MemPages: 1},
+			{Name: "c"},
+		},
+		Channels: []ChannelDecl{{Name: "x", From: "a", To: "c", Badge: 1}},
+	}
+	sys := core.NewSystem(core.NewMonolith(0))
+	reg := Registry{"a": &stub{"a"}, "b": &stub{"b"}, "c": &stub{"c"}}
+	if err := m.Apply(sys, reg); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := sys.DomainOf("a")
+	db, _ := sys.DomainOf("b")
+	dc, _ := sys.DomainOf("c")
+	if da != "shared" || db != "shared" || dc != "c" {
+		t.Errorf("domains = %s,%s,%s", da, db, dc)
+	}
+	ctx, err := sys.CtxOf("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.HasChannel("x") {
+		t.Error("channel not granted by Apply")
+	}
+	// Colocated domain must take the max page request.
+	h, _ := sys.HandleOf("a")
+	if h.MemSize() != 2*4096 {
+		t.Errorf("shared domain size = %d", h.MemSize())
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	m := validManifest()
+	sys := core.NewSystem(core.NewMonolith(0))
+	err := m.Apply(sys, Registry{})
+	if !errors.Is(err, ErrInvalid) {
+		t.Errorf("missing registry entry: got %v", err)
+	}
+	// Wrong registration name.
+	reg := Registry{"net": &stub{"other"}, "tls": &stub{"tls"}, "render": &stub{"render"}, "store": &stub{"store"}}
+	if err := m.Apply(core.NewSystem(core.NewMonolith(0)), reg); !errors.Is(err, ErrInvalid) {
+		t.Errorf("mismatched registration: got %v", err)
+	}
+	// Invalid manifest surfaces from Apply.
+	bad := validManifest()
+	bad.Components[0].Name = ""
+	if err := bad.Apply(core.NewSystem(core.NewMonolith(0)), reg); !errors.Is(err, ErrInvalid) {
+		t.Errorf("invalid manifest applied: got %v", err)
+	}
+}

@@ -1,0 +1,66 @@
+package manifest
+
+import (
+	"fmt"
+	"sort"
+
+	"lateral/internal/core"
+)
+
+// This file implements POLA pruning, part of the §IV tool suite: after
+// observing a representative workload, every granted-but-never-used
+// channel is a standing violation of the Principle of Least Authority —
+// authority a compromised component could abuse but the application never
+// needed. The tool proposes the tightened manifest.
+
+// PruneSuggestion is one grant the workload never exercised.
+type PruneSuggestion struct {
+	Channel ChannelDecl
+	Reason  string
+}
+
+func (p PruneSuggestion) String() string {
+	return fmt.Sprintf("drop %s→%s (%q): %s", p.Channel.From, p.Channel.To, p.Channel.Name, p.Reason)
+}
+
+// SuggestPruning compares the manifest's grants with observed channel
+// usage and returns the grants to drop, sorted by sender then name.
+func (m *Manifest) SuggestPruning(usage []core.ChannelUse) []PruneSuggestion {
+	used := make(map[string]bool, len(usage))
+	for _, u := range usage {
+		if u.Uses > 0 {
+			used[u.From+"/"+u.Name] = true
+		}
+	}
+	var out []PruneSuggestion
+	for _, ch := range m.Channels {
+		if !used[ch.From+"/"+ch.Name] {
+			out = append(out, PruneSuggestion{
+				Channel: ch,
+				Reason:  "never invoked under the observed workload",
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Channel.From != out[j].Channel.From {
+			return out[i].Channel.From < out[j].Channel.From
+		}
+		return out[i].Channel.Name < out[j].Channel.Name
+	})
+	return out
+}
+
+// Pruned returns a copy of the manifest with the suggested grants removed.
+func (m *Manifest) Pruned(suggestions []PruneSuggestion) *Manifest {
+	drop := make(map[string]bool, len(suggestions))
+	for _, s := range suggestions {
+		drop[s.Channel.From+"/"+s.Channel.Name] = true
+	}
+	out := &Manifest{Components: append([]ComponentDecl(nil), m.Components...)}
+	for _, ch := range m.Channels {
+		if !drop[ch.From+"/"+ch.Name] {
+			out.Channels = append(out.Channels, ch)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package manifest
+
+import (
+	"testing"
+
+	"lateral/internal/core"
+)
+
+func TestSuggestPruningFlagsUnusedGrants(t *testing.T) {
+	m := &Manifest{
+		Components: []ComponentDecl{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		Channels: []ChannelDecl{
+			{Name: "used", From: "a", To: "b", Badge: 1},
+			{Name: "dusty", From: "a", To: "c", Badge: 2},
+			{Name: "dead", From: "b", To: "c", Badge: 3},
+		},
+	}
+	usage := []core.ChannelUse{
+		{Name: "used", From: "a", To: "b", Uses: 7},
+		{Name: "dusty", From: "a", To: "c", Uses: 0},
+		{Name: "dead", From: "b", To: "c", Uses: 0},
+	}
+	sugg := m.SuggestPruning(usage)
+	if len(sugg) != 2 {
+		t.Fatalf("suggestions = %v", sugg)
+	}
+	if sugg[0].Channel.Name != "dusty" || sugg[1].Channel.Name != "dead" {
+		t.Errorf("order/content = %v", sugg)
+	}
+	if sugg[0].String() == "" {
+		t.Error("empty suggestion string")
+	}
+	pruned := m.Pruned(sugg)
+	if len(pruned.Channels) != 1 || pruned.Channels[0].Name != "used" {
+		t.Errorf("pruned channels = %v", pruned.Channels)
+	}
+	if len(pruned.Components) != 3 {
+		t.Errorf("pruned components = %v", pruned.Components)
+	}
+	// Pruning with no suggestions is the identity.
+	same := m.Pruned(nil)
+	if len(same.Channels) != 3 {
+		t.Errorf("identity prune = %v", same.Channels)
+	}
+}
+
+// liveStub counts indirect usage through a real system.
+type liveStub struct {
+	name string
+	call string
+	ctx  *core.Ctx
+}
+
+func (s *liveStub) CompName() string         { return s.name }
+func (s *liveStub) CompVersion() string      { return "1" }
+func (s *liveStub) Init(ctx *core.Ctx) error { s.ctx = ctx; return nil }
+func (s *liveStub) Handle(env core.Envelope) (core.Message, error) {
+	if s.call != "" {
+		return s.ctx.Call(s.call, env.Msg)
+	}
+	return core.Message{Op: "ok"}, nil
+}
+
+func TestPruningAgainstLiveSystemUsage(t *testing.T) {
+	m := &Manifest{
+		Components: []ComponentDecl{{Name: "front"}, {Name: "back"}, {Name: "idle"}},
+		Channels: []ChannelDecl{
+			{Name: "back", From: "front", To: "back", Badge: 1},
+			{Name: "idle", From: "front", To: "idle", Badge: 2},
+		},
+	}
+	sys := core.NewSystem(core.NewMonolith(0))
+	reg := Registry{
+		"front": &liveStub{name: "front", call: "back"},
+		"back":  &liveStub{name: "back"},
+		"idle":  &liveStub{name: "idle"},
+	}
+	if err := m.Apply(sys, reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Deliver("front", core.Message{Op: "go"}); err != nil {
+		t.Fatal(err)
+	}
+	sugg := m.SuggestPruning(sys.ChannelUsage())
+	if len(sugg) != 1 || sugg[0].Channel.Name != "idle" {
+		t.Errorf("live-system suggestions = %v", sugg)
+	}
+	// The pruned manifest still validates and still serves the workload.
+	pruned := m.Pruned(sugg)
+	if err := pruned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := core.NewSystem(core.NewMonolith(0))
+	reg2 := Registry{
+		"front": &liveStub{name: "front", call: "back"},
+		"back":  &liveStub{name: "back"},
+		"idle":  &liveStub{name: "idle"},
+	}
+	if err := pruned.Apply(sys2, reg2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.Deliver("front", core.Message{Op: "go"}); err != nil {
+		t.Errorf("workload broke after pruning: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package manifest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genManifest builds a structurally valid manifest from fuzz-ish inputs:
+// nComps components (bounded), edges selected by the bit patterns.
+func genManifest(nComps uint8, edges []uint16, colocate, expose, badge uint8) *Manifest {
+	n := int(nComps%6) + 2
+	m := &Manifest{}
+	for i := 0; i < n; i++ {
+		c := ComponentDecl{Name: fmt.Sprintf("c%d", i)}
+		if colocate&(1<<uint(i%8)) != 0 {
+			c.Domain = "shared"
+		}
+		if expose&(1<<uint(i%8)) != 0 {
+			c.Exposed = true
+		}
+		if i%2 == 0 {
+			c.Assets = []string{fmt.Sprintf("asset%d", i)}
+		}
+		m.Components = append(m.Components, c)
+	}
+	for k, e := range edges {
+		if k > 12 {
+			break
+		}
+		from := int(e) % n
+		to := int(e>>4) % n
+		if from == to {
+			continue
+		}
+		var b uint64
+		if badge&(1<<uint(k%8)) != 0 {
+			b = uint64(k + 1)
+		}
+		m.Channels = append(m.Channels, ChannelDecl{
+			Name:  fmt.Sprintf("ch%d", k),
+			From:  fmt.Sprintf("c%d", from),
+			To:    fmt.Sprintf("c%d", to),
+			Badge: b,
+		})
+	}
+	return m
+}
+
+// Property: generated manifests validate, and Analyze/DOT/Reachable never
+// panic and obey basic laws (reachability is reflexive and monotone in the
+// channel set; pruning with no suggestions is the identity).
+func TestQuickManifestLaws(t *testing.T) {
+	f := func(nComps uint8, edges []uint16, colocate, expose, badge uint8) bool {
+		m := genManifest(nComps, edges, colocate, expose, badge)
+		if err := m.Validate(); err != nil {
+			// The generator can produce duplicate badge assignments into
+			// one receiver from different senders; that rejection is
+			// correct, not a law violation.
+			return strings.Contains(err.Error(), "badge")
+		}
+		_ = m.Analyze()
+		if !strings.Contains(m.DOT(), "digraph") {
+			return false
+		}
+		for _, c := range m.Components {
+			r := m.Reachable(c.Name)
+			if !r[c.Name] {
+				return false // reflexivity
+			}
+		}
+		// Monotonicity: removing all channels can only shrink reach sets.
+		bare := &Manifest{Components: m.Components}
+		for _, c := range m.Components {
+			full := m.Reachable(c.Name)
+			for name := range bare.Reachable(c.Name) {
+				if !full[name] {
+					return false
+				}
+			}
+		}
+		// Identity pruning.
+		if len(m.Pruned(nil).Channels) != len(m.Channels) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AssetsInDomain returns each asset at most once, and the union
+// over all domains equals the set of declared assets.
+func TestQuickAssetsInDomainPartition(t *testing.T) {
+	f := func(nComps uint8, colocate uint8) bool {
+		m := genManifest(nComps, nil, colocate, 0, 0)
+		seen := map[string]int{}
+		domains := map[string]bool{}
+		for _, c := range m.Components {
+			domains[c.EffectiveDomain()] = true
+		}
+		for _, c := range m.Components {
+			if domains[c.EffectiveDomain()] {
+				// count each domain once
+			}
+		}
+		counted := map[string]bool{}
+		for _, c := range m.Components {
+			d := c.EffectiveDomain()
+			if counted[d] {
+				continue
+			}
+			counted[d] = true
+			for _, a := range m.AssetsInDomain(c.Name) {
+				seen[a]++
+			}
+		}
+		for _, c := range m.Components {
+			for _, a := range c.Assets {
+				if seen[a] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

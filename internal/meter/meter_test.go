@@ -1,0 +1,302 @@
+package meter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lateral/internal/attack"
+	"lateral/internal/core"
+	"lateral/internal/netsim"
+)
+
+func TestHappyPathEndToEnd(t *testing.T) {
+	d, err := Deploy(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(); err != nil {
+		t.Fatalf("genuine connect failed: %v", err)
+	}
+	for _, kwh := range []int{10, 5, 7} {
+		if err := d.SendReading(kwh); err != nil {
+			t.Fatalf("send reading: %v", err)
+		}
+	}
+	total, err := d.BillingTotal()
+	if err != nil || total != 22 {
+		t.Errorf("billing total = %d, %v, want 22", total, err)
+	}
+	// The Android UI shows the billing summary without any credential.
+	summary, err := d.ShowBillingOnAndroid()
+	if err != nil || !strings.Contains(summary, "billed:22") {
+		t.Errorf("android summary = %q, %v", summary, err)
+	}
+}
+
+func TestDatabaseSeesOnlyAnonymizedAggregates(t *testing.T) {
+	d, err := Deploy(Options{CustomerID: "customer-SECRETID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendReading(9); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := d.DatabaseContents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(dump, "SECRETID") {
+		t.Errorf("customer identity reached the untrusted database: %q", dump)
+	}
+	if !strings.Contains(dump, "aggregate-total:9") {
+		t.Errorf("anonymized aggregate missing: %q", dump)
+	}
+}
+
+func TestTamperedAnonymizerRefusedByMeter(t *testing.T) {
+	d, err := Deploy(Options{TamperAnonymizer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(); !errors.Is(err, ErrRefusedPeer) {
+		t.Errorf("tampered anonymizer: got %v, want ErrRefusedPeer", err)
+	}
+	// No readings can flow after a refused connect.
+	if err := d.SendReading(5); err == nil {
+		t.Error("reading sent without an attested channel")
+	}
+}
+
+func TestEmulatedMeterRefusedByUtility(t *testing.T) {
+	d, err := Deploy(Options{EmulateMeter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(); err == nil {
+		t.Error("software meter emulation connected; fused-key attestation should refuse it")
+	}
+}
+
+func TestWireAdversaryLearnsNoReadings(t *testing.T) {
+	rec := &netsim.Recorder{}
+	d, err := Deploy(Options{CustomerID: "customer-EAVESDROP", WireAdversary: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendReading(1234); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Saw([]byte("customer-EAVESDROP")) {
+		t.Error("customer identity visible on the wire")
+	}
+	if rec.Saw([]byte("1234")) {
+		t.Error("reading visible on the wire")
+	}
+}
+
+func TestWireTampererDetected(t *testing.T) {
+	d, err := Deploy(Options{WireAdversary: netsim.Tamperer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either the handshake or the first record must fail — silently
+	// accepting tampered data is the only wrong outcome.
+	if err := d.Connect(); err != nil {
+		return
+	}
+	if err := d.SendReading(5); err == nil {
+		t.Error("tampered traffic accepted end to end")
+	}
+}
+
+func TestCompromisedAndroidCannotReadMeterIdentity(t *testing.T) {
+	d, err := Deploy(Options{CustomerID: "customer-HIDDEN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := attack.New()
+	d.Appliance.SetObserver(adv)
+	if err := d.Appliance.Compromise("android"); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = d.Appliance.Deliver("android", core.Message{Op: "trigger"})
+	if adv.Saw([]byte("customer-HIDDEN")) {
+		t.Error("compromised Android read the meter's customer identity across the TrustZone boundary")
+	}
+}
+
+func TestGatewayPolicies(t *testing.T) {
+	net := netsim.New()
+	ep := net.Attach("appliance")
+	net.Attach("utility")
+	net.Attach("victim")
+	gw := NewGateway(ep, []string{"utility"}, 2)
+	if err := gw.Forward("victim", []byte("x")); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("non-whitelisted forward: got %v", err)
+	}
+	if err := gw.Forward("utility", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Forward("utility", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Forward("utility", []byte("c")); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("over-budget forward: got %v", err)
+	}
+	gw.Tick()
+	if err := gw.Forward("utility", []byte("d")); err != nil {
+		t.Errorf("forward after refill: %v", err)
+	}
+	fwd, bd, br := gw.Stats()
+	if fwd != 3 || bd != 1 || br != 1 {
+		t.Errorf("stats = %d,%d,%d", fwd, bd, br)
+	}
+}
+
+func TestFloodContainment(t *testing.T) {
+	off := Flood(1000, 10, false)
+	on := Flood(1000, 10, true)
+	if off.DeliveredVictim != 1000 {
+		t.Errorf("ungated flood delivered %d/1000 to victim", off.DeliveredVictim)
+	}
+	if on.DeliveredVictim != 0 {
+		t.Errorf("gated flood delivered %d to victim, want 0 (whitelist)", on.DeliveredVictim)
+	}
+	// Legitimate telemetry still flows, rate-limited.
+	if on.DeliveredUtility == 0 {
+		t.Error("gateway blocked all legitimate traffic")
+	}
+	if on.DeliveredUtility >= off.DeliveredUtility {
+		t.Errorf("token bucket did not limit egress: %d vs %d", on.DeliveredUtility, off.DeliveredUtility)
+	}
+}
+
+func TestPhishingCampaignOutcomes(t *testing.T) {
+	pw, err := PhishingCampaign(40, 0.4, false, "trial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := PhishingCampaign(40, 0.4, true, "trial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Lured == 0 {
+		t.Fatal("no users lured; lure rate broken")
+	}
+	if pw.Compromised != pw.Lured {
+		t.Errorf("password auth: %d lured but %d compromised (every captured password should work)",
+			pw.Lured, pw.Compromised)
+	}
+	if hw.Compromised != 0 {
+		t.Errorf("hardware auth: %d accounts compromised, want 0", hw.Compromised)
+	}
+	if hw.Lured != pw.Lured {
+		t.Errorf("same seed should lure the same users: %d vs %d", hw.Lured, pw.Lured)
+	}
+}
+
+func TestMeasurementsDistinguishBuilds(t *testing.T) {
+	if GoodAnonymizerMeasurement() == ([32]byte{}) {
+		t.Error("zero measurement")
+	}
+	evil := &anonymizerComp{evil: true}
+	good := &anonymizerComp{}
+	if core.CodeOf(evil)[0] == 0 {
+		t.Error("bad code")
+	}
+	if string(core.CodeOf(evil)) == string(core.CodeOf(good)) {
+		t.Error("evil and good builds share a measurement")
+	}
+}
+
+func TestSendReadingRequiresConnect(t *testing.T) {
+	d, err := Deploy(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendReading(5); !errors.Is(err, ErrRefusedPeer) {
+		t.Errorf("unconnected reading: %v", err)
+	}
+}
+
+func TestMeterRefusesGarbageOps(t *testing.T) {
+	d, err := Deploy(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Appliance.Deliver("meter", core.Message{Op: "tick-usage", Data: []byte("not-a-number")}); err == nil {
+		t.Error("non-numeric usage accepted")
+	}
+	if _, err := d.Appliance.Deliver("meter", core.Message{Op: "weird"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := d.Server.Deliver("anonymizer", core.Message{Op: "reading", Data: []byte("malformed")}); err == nil {
+		t.Error("malformed reading accepted")
+	}
+	if _, err := d.Server.Deliver("anonymizer", core.Message{Op: "reading", Data: []byte("c|NaN")}); err == nil {
+		t.Error("non-numeric kwh accepted")
+	}
+	if _, err := d.Server.Deliver("database", core.Message{Op: "drop-tables"}); err == nil {
+		t.Error("unknown db op accepted")
+	}
+}
+
+func TestAndroidRefusesUnknownOps(t *testing.T) {
+	d, err := Deploy(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Appliance.Deliver("android", core.Message{Op: "install-malware"}); err == nil {
+		t.Error("unknown android op accepted")
+	}
+}
+
+func TestEvilAnonymizerWouldLeakIfTrusted(t *testing.T) {
+	// Bypass attestation deliberately (a naive deployment): the unaudited
+	// build annotates database records with the customer identity — the
+	// exact failure the measurement check prevents.
+	d, err := Deploy(Options{CustomerID: "customer-NAIVE", TamperAnonymizer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Server.Deliver("anonymizer", core.Message{Op: "reading", Data: []byte("customer-NAIVE|7")}); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := d.DatabaseContents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump, "customer-NAIVE") {
+		t.Error("evil anonymizer should leak identities when not kept out by attestation")
+	}
+}
+
+func TestFloodAccounting(t *testing.T) {
+	res := Flood(100, 10, true)
+	if res.Attempted != 200 {
+		t.Errorf("attempted = %d", res.Attempted)
+	}
+	if res.DeliveredVictim != 0 {
+		t.Errorf("victim = %d", res.DeliveredVictim)
+	}
+	if res.DeliveredUtility <= 0 || res.DeliveredUtility > 100 {
+		t.Errorf("utility = %d", res.DeliveredUtility)
+	}
+}
+
+func TestPhishingZeroLureRate(t *testing.T) {
+	res, err := PhishingCampaign(20, 0, false, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lured != 0 || res.Compromised != 0 {
+		t.Errorf("zero lure rate: %+v", res)
+	}
+}

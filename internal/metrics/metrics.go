@@ -1,0 +1,125 @@
+// Package metrics computes trusted-computing-base sizes for loaded
+// systems, supporting experiment E5. The paper's yardstick: "we say that
+// the isolation substrate constitutes the component's Trusted Computing
+// Base", plus everything sharing the component's protection domain — a
+// colocated subsystem can stomp your memory, so you trust it whether you
+// like it or not.
+//
+// Units are kLoC-scale integers (1 unit ≈ 1000 lines of code): a verified
+// microkernel is ~10, TrustZone's monitor + secure OS ~25, SGX's microcode
+// ~40, and a commodity OS ~20000. Component complexities are supplied by
+// the caller, typically from the catalog in this package.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"lateral/internal/core"
+)
+
+// DefaultUnits catalogs rough complexity (kLoC) for the component roles
+// used across the examples and experiments. The absolute numbers are
+// order-of-magnitude estimates from the paper's citations; the experiments
+// only depend on their relative size.
+var DefaultUnits = map[string]int{
+	"net":         30,   // protocol handling (IMAP/SMTP framing)
+	"tls":         80,   // TLS library scale
+	"render":      1500, // HTML/CSS rendering engine scale
+	"parser":      200,  // MIME + format detection
+	"input":       50,   // input methods + dictionaries
+	"addressbook": 20,
+	"store":       40, // file system client
+	"vpfs":        5,  // the paper: VPFS has a small TCB
+	"ui":          100,
+	"meter":       8,
+	"attestation": 3,
+	"gateway":     10,
+	"anonymizer":  12,
+	"database":    300,
+	"android":     15000, // full legacy stack
+}
+
+// Report is one component's TCB breakdown.
+type Report struct {
+	Component      string
+	Domain         string
+	SubstrateUnits int // the isolation substrate beneath the component
+	OwnUnits       int // the component itself
+	ColocatedUnits int // other components sharing the protection domain
+}
+
+// Total is the component's full TCB size.
+func (r Report) Total() int {
+	return r.SubstrateUnits + r.OwnUnits + r.ColocatedUnits
+}
+
+// TCBReport computes per-component TCB sizes for a loaded system. unitOf
+// maps component names to complexity units; missing components default to
+// 10 units.
+func TCBReport(sys *core.System, unitOf map[string]int) ([]Report, error) {
+	units := func(name string) int {
+		if u, ok := unitOf[name]; ok {
+			return u
+		}
+		return 10
+	}
+	comps := sys.Components()
+	byDomain := make(map[string][]string)
+	domainOf := make(map[string]string, len(comps))
+	for _, c := range comps {
+		d, err := sys.DomainOf(c)
+		if err != nil {
+			return nil, fmt.Errorf("tcb report: %w", err)
+		}
+		domainOf[c] = d
+		byDomain[d] = append(byDomain[d], c)
+	}
+	substrate := sys.Properties().TCBUnits
+	out := make([]Report, 0, len(comps))
+	for _, c := range comps {
+		r := Report{
+			Component:      c,
+			Domain:         domainOf[c],
+			SubstrateUnits: substrate,
+			OwnUnits:       units(c),
+		}
+		for _, sibling := range byDomain[domainOf[c]] {
+			if sibling != c {
+				r.ColocatedUnits += units(sibling)
+			}
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Component < out[j].Component })
+	return out, nil
+}
+
+// Summary aggregates a report set.
+type Summary struct {
+	Components int
+	MinTCB     int
+	MaxTCB     int
+	MeanTCB    float64
+}
+
+// Summarize computes min/max/mean TCB over a report set.
+func Summarize(reports []Report) Summary {
+	if len(reports) == 0 {
+		return Summary{}
+	}
+	s := Summary{Components: len(reports), MinTCB: reports[0].Total(), MaxTCB: reports[0].Total()}
+	var sum int
+	for _, r := range reports {
+		t := r.Total()
+		sum += t
+		if t < s.MinTCB {
+			s.MinTCB = t
+		}
+		if t > s.MaxTCB {
+			s.MaxTCB = t
+		}
+	}
+	s.MeanTCB = float64(sum) / float64(len(reports))
+	return s
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"testing"
+
+	"lateral/internal/core"
+	"lateral/internal/kernel"
+)
+
+type stub struct{ name string }
+
+func (s *stub) CompName() string     { return s.name }
+func (s *stub) CompVersion() string  { return "1" }
+func (s *stub) Init(*core.Ctx) error { return nil }
+func (s *stub) Handle(core.Envelope) (core.Message, error) {
+	return core.Message{}, nil
+}
+
+func TestTCBReportHorizontalVsVertical(t *testing.T) {
+	units := map[string]int{"tls": 80, "render": 1500, "store": 40}
+
+	// Vertical: everything colocated on the monolith (commodity OS).
+	vert := core.NewSystem(core.NewMonolith(0))
+	if err := vert.Colocate("app", false, 4, &stub{"tls"}, &stub{"render"}, &stub{"store"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vert.InitAll(); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := TCBReport(vert, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Horizontal: one domain each on the microkernel.
+	horiz := core.NewSystem(kernel.New(kernel.Config{}))
+	for _, n := range []string{"tls", "render", "store"} {
+		if err := horiz.Launch(&stub{n}, false, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := horiz.InitAll(); err != nil {
+		t.Fatal(err)
+	}
+	hr, err := TCBReport(horiz, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := func(rs []Report, n string) Report {
+		for _, r := range rs {
+			if r.Component == n {
+				return r
+			}
+		}
+		t.Fatalf("no report for %s", n)
+		return Report{}
+	}
+	vTLS := byName(vr, "tls")
+	hTLS := byName(hr, "tls")
+	// Vertical TLS trusts the OS (20000) + itself + render + store.
+	if vTLS.Total() != 20000+80+1500+40 {
+		t.Errorf("vertical tls TCB = %d", vTLS.Total())
+	}
+	// Horizontal TLS trusts the microkernel (10) + itself.
+	if hTLS.Total() != 10+80 {
+		t.Errorf("horizontal tls TCB = %d", hTLS.Total())
+	}
+	if hTLS.Total() >= vTLS.Total() {
+		t.Error("horizontal TCB not smaller than vertical")
+	}
+	// The ratio should be two-plus orders of magnitude — the paper's
+	// whole argument for decomposition on a small substrate.
+	if ratio := float64(vTLS.Total()) / float64(hTLS.Total()); ratio < 100 {
+		t.Errorf("TCB reduction ratio = %.0fx, want ≥100x", ratio)
+	}
+}
+
+func TestTCBReportDefaultsAndSorting(t *testing.T) {
+	sys := core.NewSystem(kernel.New(kernel.Config{}))
+	for _, n := range []string{"zeta", "alpha"} {
+		if err := sys.Launch(&stub{n}, false, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.InitAll(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := TCBReport(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Component != "alpha" || rs[1].Component != "zeta" {
+		t.Errorf("not sorted: %v", rs)
+	}
+	if rs[0].OwnUnits != 10 {
+		t.Errorf("default units = %d, want 10", rs[0].OwnUnits)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rs := []Report{
+		{SubstrateUnits: 10, OwnUnits: 5},
+		{SubstrateUnits: 10, OwnUnits: 25},
+		{SubstrateUnits: 10, OwnUnits: 15},
+	}
+	s := Summarize(rs)
+	if s.Components != 3 || s.MinTCB != 15 || s.MaxTCB != 35 || s.MeanTCB != 25 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.Components != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestDefaultUnitsCatalogSanity(t *testing.T) {
+	// The catalog encodes the paper's relative complexity claims.
+	if DefaultUnits["render"] <= DefaultUnits["tls"] {
+		t.Error("a rendering engine should dwarf a TLS stack")
+	}
+	if DefaultUnits["vpfs"] >= DefaultUnits["store"] {
+		t.Error("VPFS's TCB should be smaller than a legacy FS client")
+	}
+	if DefaultUnits["attestation"] >= DefaultUnits["android"] {
+		t.Error("attestation component should be tiny next to Android")
+	}
+}

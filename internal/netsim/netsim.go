@@ -1,0 +1,296 @@
+// Package netsim simulates the untrusted network between machines — and,
+// per §II-D, between processors: "communication busses within a system
+// must be considered untrusted networks as well, the difference merely is
+// the length of the wires."
+//
+// The network delivers datagrams between named endpoints through an
+// optional active adversary in the Dolev-Yao style: it sees every message
+// and may record, drop, modify, redirect, or inject traffic. Secure
+// channels (internal/securechan) must survive all of that.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoEndpoint is returned when sending to or from an unknown endpoint.
+var ErrNoEndpoint = errors.New("netsim: no such endpoint")
+
+// Datagram is one message on the wire.
+type Datagram struct {
+	From    string
+	To      string
+	Payload []byte
+}
+
+// clone deep-copies a datagram.
+func (d Datagram) clone() Datagram {
+	p := make([]byte, len(d.Payload))
+	copy(p, d.Payload)
+	return Datagram{From: d.From, To: d.To, Payload: p}
+}
+
+// Adversary intercepts every datagram in flight. It returns the datagrams
+// to actually deliver: return the input unchanged for a passive attacker,
+// nothing to drop, something else to tamper or redirect, or extras to
+// inject.
+type Adversary interface {
+	Intercept(d Datagram) []Datagram
+}
+
+// Stats counts traffic per endpoint.
+type Stats struct {
+	Sent      int64
+	SentBytes int64
+	Received  int64
+	RecvBytes int64
+}
+
+// Network connects endpoints.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	adversary Adversary
+	stats     map[string]*Stats
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{
+		endpoints: make(map[string]*Endpoint),
+		stats:     make(map[string]*Stats),
+	}
+}
+
+// SetAdversary installs (or removes, with nil) the in-path attacker.
+func (n *Network) SetAdversary(a Adversary) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.adversary = a
+}
+
+// Attach creates a named endpoint. Attaching an existing name returns the
+// same endpoint.
+func (n *Network) Attach(name string) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		return ep
+	}
+	ep := &Endpoint{net: n, name: name}
+	n.endpoints[name] = ep
+	n.stats[name] = &Stats{}
+	return ep
+}
+
+// StatsFor returns a snapshot of an endpoint's traffic counters.
+func (n *Network) StatsFor(name string) Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.stats[name]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// Inject places a forged datagram on the wire as if the adversary sent it.
+// It bypasses the Intercept hook (the adversary does not attack itself).
+func (n *Network) Inject(d Datagram) error {
+	return n.deliver(d.clone())
+}
+
+// send routes one datagram from an endpoint through the adversary.
+func (n *Network) send(d Datagram) error {
+	n.mu.Lock()
+	if s, ok := n.stats[d.From]; ok {
+		s.Sent++
+		s.SentBytes += int64(len(d.Payload))
+	}
+	adv := n.adversary
+	n.mu.Unlock()
+
+	outs := []Datagram{d}
+	if adv != nil {
+		outs = adv.Intercept(d.clone())
+	}
+	var firstErr error
+	for _, out := range outs {
+		if err := n.deliver(out); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (n *Network) deliver(d Datagram) error {
+	n.mu.Lock()
+	ep, ok := n.endpoints[d.To]
+	if ok {
+		if s, k := n.stats[d.To]; k {
+			s.Received++
+			s.RecvBytes += int64(len(d.Payload))
+		}
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("deliver to %q: %w", d.To, ErrNoEndpoint)
+	}
+	ep.mu.Lock()
+	ep.inbox = append(ep.inbox, d)
+	ep.mu.Unlock()
+	return nil
+}
+
+// Endpoint is one attachment point (a machine's NIC, logically).
+type Endpoint struct {
+	net  *Network
+	name string
+
+	mu    sync.Mutex
+	inbox []Datagram
+}
+
+// Name returns the endpoint name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Send transmits payload to a peer endpoint.
+func (e *Endpoint) Send(to string, payload []byte) error {
+	return e.net.send(Datagram{From: e.name, To: to, Payload: append([]byte(nil), payload...)})
+}
+
+// Recv pops the oldest pending datagram, reporting false when the inbox is
+// empty.
+func (e *Endpoint) Recv() (Datagram, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.inbox) == 0 {
+		return Datagram{}, false
+	}
+	d := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return d, true
+}
+
+// Pending reports the inbox depth — the DDoS experiment's victim-load
+// metric.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.inbox)
+}
+
+// Drain discards and returns all pending datagrams.
+func (e *Endpoint) Drain() []Datagram {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.inbox
+	e.inbox = nil
+	return out
+}
+
+// --- stock adversaries ---
+
+// Recorder is a passive eavesdropper: it lets everything through and keeps
+// a transcript of all payload bytes.
+type Recorder struct {
+	mu   sync.Mutex
+	data []byte
+	msgs []Datagram
+}
+
+var _ Adversary = (*Recorder)(nil)
+
+// Intercept records and forwards.
+func (r *Recorder) Intercept(d Datagram) []Datagram {
+	r.mu.Lock()
+	r.data = append(r.data, d.Payload...)
+	r.data = append(r.data, 0)
+	r.msgs = append(r.msgs, d.clone())
+	r.mu.Unlock()
+	return []Datagram{d}
+}
+
+// Saw reports whether the needle appeared anywhere in recorded traffic.
+func (r *Recorder) Saw(needle []byte) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return contains(r.data, needle)
+}
+
+// Messages returns copies of all recorded datagrams.
+func (r *Recorder) Messages() []Datagram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Datagram, len(r.msgs))
+	for i, m := range r.msgs {
+		out[i] = m.clone()
+	}
+	return out
+}
+
+// Tamperer flips a byte in every datagram's payload.
+type Tamperer struct{}
+
+var _ Adversary = Tamperer{}
+
+// Intercept corrupts and forwards.
+func (Tamperer) Intercept(d Datagram) []Datagram {
+	if len(d.Payload) > 0 {
+		d.Payload[len(d.Payload)/2] ^= 0xff
+	}
+	return []Datagram{d}
+}
+
+// Dropper silently discards everything (denial of service on the path).
+type Dropper struct{}
+
+var _ Adversary = Dropper{}
+
+// Intercept drops.
+func (Dropper) Intercept(Datagram) []Datagram { return nil }
+
+// Replayer forwards everything and additionally re-sends every datagram a
+// second time — the classic replay attack.
+type Replayer struct{}
+
+var _ Adversary = Replayer{}
+
+// Intercept duplicates.
+func (Replayer) Intercept(d Datagram) []Datagram {
+	return []Datagram{d, d.clone()}
+}
+
+// Redirector diverts traffic addressed to Victim toward Attacker instead —
+// the routing half of a man-in-the-middle.
+type Redirector struct {
+	Victim   string
+	Attacker string
+}
+
+var _ Adversary = (*Redirector)(nil)
+
+// Intercept reroutes.
+func (r *Redirector) Intercept(d Datagram) []Datagram {
+	if d.To == r.Victim {
+		d.To = r.Attacker
+	}
+	return []Datagram{d}
+}
+
+func contains(haystack, needle []byte) bool {
+	if len(needle) == 0 || len(haystack) < len(needle) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := b.Recv()
+	if !ok || string(d.Payload) != "hello" || d.From != "a" {
+		t.Errorf("recv = %+v, %v", d, ok)
+	}
+	if _, ok := b.Recv(); ok {
+		t.Error("empty inbox returned datagram")
+	}
+}
+
+func TestSendToUnknownEndpoint(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	if err := a.Send("ghost", []byte("x")); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("unknown target: got %v", err)
+	}
+}
+
+func TestAttachIsIdempotent(t *testing.T) {
+	n := New()
+	if n.Attach("x") != n.Attach("x") {
+		t.Error("re-attach returned a different endpoint")
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	buf := []byte("original")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	d, _ := b.Recv()
+	if string(d.Payload) != "original" {
+		t.Error("payload aliased sender's buffer")
+	}
+}
+
+func TestStatsAndPending(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	n.Attach("b")
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", []byte("xx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa := n.StatsFor("a")
+	sb := n.StatsFor("b")
+	if sa.Sent != 3 || sa.SentBytes != 6 {
+		t.Errorf("sender stats = %+v", sa)
+	}
+	if sb.Received != 3 || sb.RecvBytes != 6 {
+		t.Errorf("receiver stats = %+v", sb)
+	}
+	if n.Attach("b").Pending() != 3 {
+		t.Errorf("pending = %d", n.Attach("b").Pending())
+	}
+	if got := n.Attach("b").Drain(); len(got) != 3 {
+		t.Errorf("drain = %d", len(got))
+	}
+	if n.Attach("b").Pending() != 0 {
+		t.Error("pending after drain != 0")
+	}
+	if s := n.StatsFor("ghost"); s.Sent != 0 {
+		t.Error("unknown endpoint has stats")
+	}
+}
+
+func TestRecorderSeesEverything(t *testing.T) {
+	n := New()
+	rec := &Recorder{}
+	n.SetAdversary(rec)
+	a := n.Attach("a")
+	b := n.Attach("b")
+	secret := []byte("PLAINTEXT-PASSWORD")
+	if err := a.Send("b", secret); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Saw(secret) {
+		t.Error("passive adversary missed plaintext")
+	}
+	if d, ok := b.Recv(); !ok || !bytes.Equal(d.Payload, secret) {
+		t.Error("recorder must not disturb delivery")
+	}
+	if msgs := rec.Messages(); len(msgs) != 1 || msgs[0].From != "a" {
+		t.Errorf("messages = %+v", msgs)
+	}
+	if rec.Saw([]byte("never-sent")) {
+		t.Error("Saw false positive")
+	}
+	if rec.Saw(nil) {
+		t.Error("Saw(nil) = true")
+	}
+}
+
+func TestTampererCorrupts(t *testing.T) {
+	n := New()
+	n.SetAdversary(Tamperer{})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if err := a.Send("b", []byte("ledger=100")); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := b.Recv()
+	if string(d.Payload) == "ledger=100" {
+		t.Error("tamperer did not modify payload")
+	}
+}
+
+func TestDropperDrops(t *testing.T) {
+	n := New()
+	n.SetAdversary(Dropper{})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatalf("drop should be silent: %v", err)
+	}
+	if _, ok := b.Recv(); ok {
+		t.Error("dropped datagram delivered")
+	}
+}
+
+func TestReplayerDuplicates(t *testing.T) {
+	n := New()
+	n.SetAdversary(Replayer{})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if err := a.Send("b", []byte("pay $5")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 2 {
+		t.Errorf("pending = %d, want 2 (original + replay)", b.Pending())
+	}
+}
+
+func TestRedirectorMITM(t *testing.T) {
+	n := New()
+	n.SetAdversary(&Redirector{Victim: "server", Attacker: "mallory"})
+	a := n.Attach("client")
+	n.Attach("server")
+	m := n.Attach("mallory")
+	if err := a.Send("server", []byte("login")); err != nil {
+		t.Fatal(err)
+	}
+	if n.Attach("server").Pending() != 0 {
+		t.Error("victim still received the datagram")
+	}
+	d, ok := m.Recv()
+	if !ok || string(d.Payload) != "login" {
+		t.Error("attacker did not receive redirected traffic")
+	}
+}
+
+func TestInjectBypassesAdversary(t *testing.T) {
+	n := New()
+	n.SetAdversary(Dropper{})
+	b := n.Attach("b")
+	if err := n.Inject(Datagram{From: "forged", To: "b", Payload: []byte("spoof")}); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := b.Recv()
+	if !ok || d.From != "forged" {
+		t.Error("injected datagram not delivered")
+	}
+	if err := n.Inject(Datagram{To: "ghost"}); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("inject to unknown: got %v", err)
+	}
+}
+
+// Property: without an adversary, every sent datagram is delivered exactly
+// once, in order, and byte-identical — netsim conserves traffic.
+func TestQuickDeliveryConservation(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		n := New()
+		a := n.Attach("a")
+		b := n.Attach("b")
+		for _, p := range payloads {
+			if err := a.Send("b", p); err != nil {
+				return false
+			}
+		}
+		for _, p := range payloads {
+			d, ok := b.Recv()
+			if !ok || !bytes.Equal(d.Payload, p) || d.From != "a" {
+				return false
+			}
+		}
+		_, extra := b.Recv()
+		return !extra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+package noc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lateral/internal/core"
+)
+
+func TestTileAllocationAndExhaustion(t *testing.T) {
+	s := New(Config{Tiles: 2})
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "a"}); !errors.Is(err, core.ErrDomainExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "b", Code: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "c"}); !errors.Is(err, ErrNoTile) {
+		t.Errorf("exhausted mesh: %v", err)
+	}
+}
+
+func TestOversizedDomainRefused(t *testing.T) {
+	s := New(Config{SPMBytes: 4096})
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "big", MemPages: 2}); err == nil {
+		t.Error("domain larger than a tile SPM accepted")
+	}
+}
+
+func TestScratchpadIsolation(t *testing.T) {
+	s := New(Config{})
+	a, _ := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("a")})
+	b, _ := s.CreateDomain(core.DomainSpec{Name: "b", Code: []byte("b")})
+	secret := []byte("TILE-A-SECRET")
+	if err := a.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b.CompromiseView() {
+		if bytes.Contains(v, secret) {
+			t.Error("tile b can read tile a's scratchpad")
+		}
+	}
+	got, err := a.Read(0, len(secret))
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Errorf("self-read = %q, %v", got, err)
+	}
+	if err := a.Write(4090, []byte("12345678")); err == nil {
+		t.Error("out-of-SPM write accepted")
+	}
+}
+
+func TestDTUConnectivityIsKernelGranted(t *testing.T) {
+	s := New(Config{})
+	ta, _ := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("a")})
+	tb, _ := s.CreateDomain(core.DomainSpec{Name: "b", Code: []byte("b")})
+	tileA := ta.(*Tile)
+	tileB := tb.(*Tile)
+	// Without kernel configuration, a cannot reach b at all.
+	if err := tileA.SendMessage("to-b", []byte("hi")); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("unconfigured send: %v", err)
+	}
+	if err := s.ConfigureEndpoint("a", "b", "to-b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tileA.SendMessage("to-b", []byte("msg1")); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := tileB.RecvMessage()
+	if !ok || string(m) != "msg1" {
+		t.Errorf("recv = %q, %v", m, ok)
+	}
+	if _, ok := tileB.RecvMessage(); ok {
+		t.Error("empty inbox returned message")
+	}
+}
+
+func TestCreditFlowControl(t *testing.T) {
+	s := New(Config{})
+	s.CreateDomain(core.DomainSpec{Name: "a"}) //nolint:errcheck
+	s.CreateDomain(core.DomainSpec{Name: "b"}) //nolint:errcheck
+	if err := s.ConfigureEndpoint("a", "b", "ep", 1); err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := s.TileOf("a")
+	if err := ta.SendMessage("ep", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.SendMessage("ep", []byte("2")); !errors.Is(err, ErrNoCredits) {
+		t.Errorf("over-credit send: %v", err)
+	}
+	if err := s.Refill("a", "ep", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.SendMessage("ep", []byte("3")); err != nil {
+		t.Errorf("send after refill: %v", err)
+	}
+	if err := s.Refill("a", "ghost-ep", 1); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("refill unknown ep: %v", err)
+	}
+	if err := s.ConfigureEndpoint("ghost", "b", "x", 1); !errors.Is(err, core.ErrNoDomain) {
+		t.Errorf("configure from unknown: %v", err)
+	}
+}
+
+func TestDestroyZeroesAndRecycles(t *testing.T) {
+	s := New(Config{Tiles: 1})
+	d, _ := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("a")})
+	if err := d.Write(0, []byte("LEFTOVER-SECRET")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Destroy(); err != nil {
+		t.Errorf("double destroy: %v", err)
+	}
+	// The next occupant of the tile must see zeroed memory.
+	d2, err := s.CreateDomain(core.DomainSpec{Name: "b", Code: []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.Read(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(got, []byte("LEFTOVER")) {
+		t.Error("recycled tile leaked previous occupant's data")
+	}
+	if _, err := d.Read(0, 1); err == nil {
+		t.Error("read on destroyed handle succeeded")
+	}
+	if d.CompromiseView() != nil {
+		t.Error("destroyed tile has a compromise view")
+	}
+}
+
+func TestHostsCoreSystemAndProperties(t *testing.T) {
+	s := New(Config{})
+	p := s.Properties()
+	if !p.SpatialIsolation || !p.TemporalIsolation || !p.PhysicalMemoryProtection {
+		t.Errorf("properties = %+v", p)
+	}
+	if p.Attestation || s.Anchor() != nil {
+		t.Error("base NoC should have no trust anchor")
+	}
+	sys := core.NewSystem(s)
+	if err := sys.Launch(&stub{}, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := sys.Deliver("stub", core.Message{Op: "ping"}); err != nil || reply.Op != "pong" {
+		t.Errorf("reply = %+v, %v", reply, err)
+	}
+}
+
+type stub struct{}
+
+func (*stub) CompName() string     { return "stub" }
+func (*stub) CompVersion() string  { return "1" }
+func (*stub) Init(*core.Ctx) error { return nil }
+func (*stub) Handle(core.Envelope) (core.Message, error) {
+	return core.Message{Op: "pong"}, nil
+}
+
+// Property: messages delivered never exceed credits granted, and every
+// delivered message is byte-identical to one sent.
+func TestQuickCreditConservation(t *testing.T) {
+	f := func(credits uint8, sends uint8) bool {
+		s := New(Config{Tiles: 2})
+		if _, err := s.CreateDomain(core.DomainSpec{Name: "a"}); err != nil {
+			return false
+		}
+		if _, err := s.CreateDomain(core.DomainSpec{Name: "b"}); err != nil {
+			return false
+		}
+		c := int(credits % 32)
+		if err := s.ConfigureEndpoint("a", "b", "ep", c); err != nil {
+			return false
+		}
+		ta, _ := s.TileOf("a")
+		tb, _ := s.TileOf("b")
+		sent := 0
+		for i := 0; i < int(sends%64); i++ {
+			if err := ta.SendMessage("ep", []byte{byte(i)}); err == nil {
+				sent++
+			}
+		}
+		if sent > c {
+			return false // more deliveries than credits
+		}
+		got := 0
+		for {
+			m, ok := tb.RecvMessage()
+			if !ok {
+				break
+			}
+			if len(m) != 1 || int(m[0]) != got {
+				return false // order/content violated
+			}
+			got++
+		}
+		return got == sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"fmt"
+
+	"lateral/internal/core"
+	"lateral/internal/manifest"
+)
+
+// This file turns an annotated Program into a RUNNING system: each
+// function becomes a generic component that stores its assets, forwards
+// the call graph over granted channels, and carries the standard
+// adversarial payload. The attack framework can then measure containment
+// of the auto-partitioned layout directly (experiment E18), rather than
+// arguing about it statically.
+
+// funcComp is the generic executable stand-in for one Function.
+type funcComp struct {
+	fn     Function
+	secret map[string][]byte
+	ctx    *core.Ctx
+}
+
+func (f *funcComp) CompName() string    { return f.fn.Name }
+func (f *funcComp) CompVersion() string { return "1.0" }
+
+func (f *funcComp) Init(ctx *core.Ctx) error {
+	f.ctx = ctx
+	for _, a := range f.fn.Assets {
+		if err := ctx.StoreAsset(a, f.secret[a]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handle models "execute this function": touch the assets, then invoke
+// every callee (cross-domain callees via channels; intra-domain callees
+// are plain calls, modeled as no-ops since they share fate anyway).
+func (f *funcComp) Handle(env core.Envelope) (core.Message, error) {
+	for _, a := range f.fn.Assets {
+		if _, err := f.ctx.LoadAsset(a); err != nil {
+			return core.Message{}, err
+		}
+	}
+	for _, callee := range f.fn.Calls {
+		if f.ctx.HasChannel(callee) {
+			if _, err := f.ctx.Call(callee, core.Message{Op: "run"}); err != nil {
+				return core.Message{}, fmt.Errorf("%s→%s: %w", f.fn.Name, callee, err)
+			}
+		}
+	}
+	return core.Message{Op: "done"}, nil
+}
+
+// HandleCompromised is the standard exploit payload: read everything
+// reachable, probe every granted channel.
+func (f *funcComp) HandleCompromised(core.Envelope) (core.Message, error) {
+	for _, ch := range f.ctx.Channels() {
+		_, _ = f.ctx.Call(ch, core.Message{Op: "run"})
+	}
+	return core.Message{Op: "pwned"}, nil
+}
+
+// Instantiate loads the program onto a substrate under the given manifest
+// (use Partition(...).Manifest or MonolithicManifest). It returns the
+// running system and the asset map for leak scoring.
+func Instantiate(p *Program, sub core.Substrate, m *manifest.Manifest) (*core.System, map[string][]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	assets := make(map[string][]byte)
+	for _, f := range p.Functions {
+		for _, a := range f.Assets {
+			if _, ok := assets[a]; !ok {
+				assets[a] = []byte("ASSET-" + a + "-value")
+			}
+		}
+	}
+	reg := manifest.Registry{}
+	for _, f := range p.Functions {
+		reg[f.Name] = &funcComp{fn: f, secret: assets}
+	}
+	sys := core.NewSystem(sub)
+	if err := m.Apply(sys, reg); err != nil {
+		return nil, nil, err
+	}
+	return sys, assets, nil
+}
+
+// FunctionNames lists the program's functions (sweep targets).
+func (p *Program) FunctionNames() []string {
+	out := make([]string, len(p.Functions))
+	for i, f := range p.Functions {
+		out[i] = f.Name
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+)
+
+// mailProgram is the §III-C mail client described as an annotated
+// monolith — what a Privtrans-style tool would extract from source.
+func mailProgram() *Program {
+	return &Program{Functions: []Function{
+		{Name: "ui", Calls: []string{"fetch", "suggest", "lookup"}},
+		{Name: "fetch", Exposed: true, Calls: []string{"tls_recv", "parse"}},
+		{Name: "parse", Exposed: true, Calls: []string{"render_html"}},
+		{Name: "render_html", Exposed: true, Calls: []string{"archive_save"}},
+		{Name: "tls_recv", Assets: []string{"tls-key"}},
+		{Name: "tls_send", Assets: []string{"tls-key", "password"}},
+		{Name: "login", Assets: []string{"password"}, Calls: []string{"tls_send"}},
+		{Name: "suggest", Assets: []string{"dictionary"}},
+		{Name: "lookup", Assets: []string{"contacts"}},
+		{Name: "archive_save", Assets: []string{"archive"}},
+		{Name: "archive_load", Assets: []string{"archive"}},
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := mailProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Program{Functions: []Function{{Name: ""}}}
+	if err := bad.Validate(); !errors.Is(err, ErrProgram) {
+		t.Errorf("empty name: %v", err)
+	}
+	dup := &Program{Functions: []Function{{Name: "a"}, {Name: "a"}}}
+	if err := dup.Validate(); !errors.Is(err, ErrProgram) {
+		t.Errorf("duplicate: %v", err)
+	}
+	dangling := &Program{Functions: []Function{{Name: "a", Calls: []string{"ghost"}}}}
+	if err := dangling.Validate(); !errors.Is(err, ErrProgram) {
+		t.Errorf("dangling call: %v", err)
+	}
+	if _, err := Partition(dangling); !errors.Is(err, ErrProgram) {
+		t.Errorf("partition of invalid program: %v", err)
+	}
+	if _, err := MonolithicManifest(dangling); !errors.Is(err, ErrProgram) {
+		t.Errorf("monolith of invalid program: %v", err)
+	}
+}
+
+func TestAssetAffinityClustering(t *testing.T) {
+	r, err := Partition(mailProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tls_recv, tls_send, login share assets transitively (tls-key,
+	// password) → one domain.
+	if r.DomainOf["tls_recv"] != r.DomainOf["tls_send"] ||
+		r.DomainOf["tls_send"] != r.DomainOf["login"] {
+		t.Errorf("tls cluster split: %v %v %v",
+			r.DomainOf["tls_recv"], r.DomainOf["tls_send"], r.DomainOf["login"])
+	}
+	// archive_save and archive_load share the archive.
+	if r.DomainOf["archive_save"] != r.DomainOf["archive_load"] {
+		t.Error("archive cluster split")
+	}
+	// Distinct asset clusters must not merge.
+	if r.DomainOf["suggest"] == r.DomainOf["lookup"] {
+		t.Error("dictionary and contacts merged")
+	}
+	if r.DomainOf["tls_recv"] == r.DomainOf["archive_save"] {
+		t.Error("tls and archive merged")
+	}
+}
+
+func TestExposedFunctionsStandAlone(t *testing.T) {
+	r, err := Partition(mailProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fetch", "parse", "render_html"} {
+		if r.DomainOf[name] != name {
+			t.Errorf("exposed %s placed in %s, want its own domain", name, r.DomainOf[name])
+		}
+	}
+	// Exposed functions never share a domain with asset holders.
+	for _, name := range []string{"fetch", "parse", "render_html"} {
+		for _, holder := range []string{"tls_recv", "suggest", "lookup", "archive_save"} {
+			if r.DomainOf[name] == r.DomainOf[holder] {
+				t.Errorf("exposed %s colocated with asset holder %s", name, holder)
+			}
+		}
+	}
+}
+
+func TestChannelsFollowCallGraph(t *testing.T) {
+	r, err := Partition(mailProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(from, to string) bool {
+		for _, ch := range r.Manifest.Channels {
+			if ch.From == from && ch.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	// Cross-domain edges become channels.
+	if !has("fetch", "tls_recv") || !has("render_html", "archive_save") {
+		t.Error("cross-domain call edges missing channels")
+	}
+	// Intra-domain edges (login → tls_send, same cluster) do not.
+	if has("login", "tls_send") {
+		t.Error("intra-domain call got a channel")
+	}
+	// Every channel is badged (capability identification by default).
+	for _, ch := range r.Manifest.Channels {
+		if ch.Badge == 0 {
+			t.Errorf("ambient channel %s→%s", ch.From, ch.To)
+		}
+	}
+}
+
+func TestPartitionImprovesStaticContainment(t *testing.T) {
+	p := mailProgram()
+	r, err := Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := MonolithicManifest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static containment: a renderer compromise reaches everything in the
+	// monolith and nothing in the partitioned layout.
+	if got := len(mono.AssetsInDomain("render_html")); got != 5 {
+		t.Errorf("monolithic colocated assets = %d, want 5", got)
+	}
+	if got := len(r.Manifest.AssetsInDomain("render_html")); got != 0 {
+		t.Errorf("partitioned renderer colocated assets = %d, want 0", got)
+	}
+	// The tls cluster risks exactly its own two unique assets.
+	got := r.Manifest.AssetsInDomain("login")
+	if len(got) != 2 {
+		t.Errorf("tls cluster assets = %v, want [password tls-key]", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r, err := Partition(mailProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summarize()
+	if s.Functions != 11 {
+		t.Errorf("functions = %d", s.Functions)
+	}
+	if s.Exposed != 3 {
+		t.Errorf("exposed = %d", s.Exposed)
+	}
+	// ui, fetch, parse, render_html each alone (4) + tls cluster +
+	// archive cluster + suggest + lookup = 8 domains.
+	if s.Domains != 8 {
+		t.Errorf("domains = %d, want 8", s.Domains)
+	}
+	if s.Channels == 0 {
+		t.Error("no channels derived")
+	}
+}
+
+func TestManifestsValidate(t *testing.T) {
+	p := mailProgram()
+	r, err := Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Manifest.Validate(); err != nil {
+		t.Errorf("partitioned manifest invalid: %v", err)
+	}
+	mono, err := MonolithicManifest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.Validate(); err != nil {
+		t.Errorf("monolithic manifest invalid: %v", err)
+	}
+}
+
+func TestProgramWithoutAssetsOrCalls(t *testing.T) {
+	p := &Program{Functions: []Function{{Name: "solo"}}}
+	r, err := Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DomainOf["solo"] != "solo" {
+		t.Errorf("solo domain = %s", r.DomainOf["solo"])
+	}
+	if len(r.Manifest.Channels) != 0 {
+		t.Error("channels from nowhere")
+	}
+}

@@ -1,0 +1,369 @@
+// Package securechan implements an attested secure channel over the
+// untrusted network: an authenticated key exchange (X25519 + Ed25519)
+// whose handshake transcript can carry trust-anchor quotes in both
+// directions.
+//
+// This is the glue of the paper's distributed scenarios: the smart meter
+// "would verify the code identity of the data anonymizer component before
+// sending it any readings" (server attestation bound to the channel), and
+// "the appliance is authenticating itself using a secret hardware key"
+// (client attestation — password-less, phishing-resistant).
+//
+// Channel binding: quotes embed the transcript hash as their nonce, so
+// evidence cannot be cut-and-pasted from another connection, and a
+// man-in-the-middle cannot splice two half-channels together.
+package securechan
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"lateral/internal/cryptoutil"
+)
+
+// Errors.
+var (
+	// ErrHandshake is returned for malformed or unauthentic handshake
+	// messages.
+	ErrHandshake = errors.New("securechan: handshake failed")
+
+	// ErrReplay is returned when a record's sequence number goes
+	// backwards or repeats.
+	ErrReplay = errors.New("securechan: replay detected")
+)
+
+const (
+	nonceLen = 16
+	protoTag = "lateral-hs-v1"
+)
+
+// randReader adapts the deterministic PRNG to io.Reader for key
+// generation.
+type randReader struct{ p *cryptoutil.PRNG }
+
+func (r randReader) Read(p []byte) (int, error) {
+	copy(p, r.p.Bytes(len(p)))
+	return len(p), nil
+}
+
+// lv encodes a length-prefixed field.
+func lv(b []byte) []byte {
+	out := make([]byte, 2, 2+len(b))
+	out[0] = byte(len(b) >> 8)
+	out[1] = byte(len(b))
+	return append(out, b...)
+}
+
+// splitLV parses consecutive length-prefixed fields.
+func splitLV(b []byte, n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("truncated field %d: %w", i, ErrHandshake)
+		}
+		l := int(b[0])<<8 | int(b[1])
+		b = b[2:]
+		if len(b) < l {
+			return nil, fmt.Errorf("short field %d: %w", i, ErrHandshake)
+		}
+		out = append(out, b[:l])
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("trailing bytes: %w", ErrHandshake)
+	}
+	return out, nil
+}
+
+// ClientConfig configures the initiating side.
+type ClientConfig struct {
+	// Rand provides handshake randomness (deterministic in experiments).
+	Rand *cryptoutil.PRNG
+
+	// VerifyServer authenticates the responder. It receives the server's
+	// long-term identity key, the transcript hash, and the server's
+	// attestation evidence (empty if the server attached none). Returning
+	// an error aborts the handshake. Required.
+	VerifyServer func(idPub ed25519.PublicKey, transcript [32]byte, evidence []byte) error
+
+	// Evidence, when non-nil, produces the client's own attestation
+	// evidence bound to the transcript (password-less client auth).
+	Evidence func(transcript [32]byte) ([]byte, error)
+}
+
+// ServerConfig configures the responding side.
+type ServerConfig struct {
+	// Rand provides handshake randomness.
+	Rand *cryptoutil.PRNG
+
+	// Identity signs the handshake; its public half is what clients pin
+	// or check against attestation evidence. Required.
+	Identity *cryptoutil.Signer
+
+	// Evidence, when non-nil, produces attestation evidence bound to the
+	// transcript (e.g. an SGX quote of the anonymizer enclave).
+	Evidence func(transcript [32]byte) ([]byte, error)
+
+	// VerifyClient, when non-nil, demands and checks client evidence —
+	// connections without acceptable evidence fail.
+	VerifyClient func(evidence []byte, transcript [32]byte) error
+}
+
+// Client is an in-flight initiator handshake.
+type Client struct {
+	cfg   ClientConfig
+	priv  *ecdh.PrivateKey
+	nonce []byte
+	hello []byte
+}
+
+// NewClient starts a handshake and returns the initiator state.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Rand == nil || cfg.VerifyServer == nil {
+		return nil, fmt.Errorf("securechan: client needs Rand and VerifyServer: %w", ErrHandshake)
+	}
+	priv, err := ecdh.X25519().GenerateKey(randReader{cfg.Rand})
+	if err != nil {
+		return nil, fmt.Errorf("securechan: keygen: %w", err)
+	}
+	c := &Client{cfg: cfg, priv: priv, nonce: cfg.Rand.Bytes(nonceLen)}
+	c.hello = append(lv(priv.PublicKey().Bytes()), lv(c.nonce)...)
+	return c, nil
+}
+
+// Hello returns the first handshake message (client → server).
+func (c *Client) Hello() []byte {
+	return append([]byte(nil), c.hello...)
+}
+
+// Server accepts handshakes.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer creates a responder.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Rand == nil || cfg.Identity == nil {
+		return nil, fmt.Errorf("securechan: server needs Rand and Identity: %w", ErrHandshake)
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Pending is a server-side handshake awaiting the client's Finish.
+type Pending struct {
+	srv        *Server
+	transcript [32]byte
+	sess       *Session
+}
+
+// Respond consumes a ClientHello and produces the second message
+// (server → client) plus the pending state.
+func (s *Server) Respond(hello []byte) ([]byte, *Pending, error) {
+	fields, err := splitLV(hello, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	clientPub, err := ecdh.X25519().NewPublicKey(fields[0])
+	if err != nil {
+		return nil, nil, fmt.Errorf("client key: %w", ErrHandshake)
+	}
+	clientNonce := fields[1]
+	priv, err := ecdh.X25519().GenerateKey(randReader{s.cfg.Rand})
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechan: keygen: %w", err)
+	}
+	serverNonce := s.cfg.Rand.Bytes(nonceLen)
+	idPub := s.cfg.Identity.Public()
+
+	transcript := cryptoutil.Hash([]byte(protoTag), hello,
+		priv.PublicKey().Bytes(), serverNonce, idPub)
+	sig := s.cfg.Identity.Sign(transcript[:])
+	var evidence []byte
+	if s.cfg.Evidence != nil {
+		evidence, err = s.cfg.Evidence(transcript)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server evidence: %w", err)
+		}
+	}
+	resp := append(lv(priv.PublicKey().Bytes()), lv(serverNonce)...)
+	resp = append(resp, lv(idPub)...)
+	resp = append(resp, lv(sig)...)
+	resp = append(resp, lv(evidence)...)
+
+	shared, err := priv.ECDH(clientPub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ecdh: %w", ErrHandshake)
+	}
+	sess := deriveSession(shared, clientNonce, serverNonce, false)
+	return resp, &Pending{srv: s, transcript: transcript, sess: sess}, nil
+}
+
+// Finish consumes the server's response, authenticates it, and returns the
+// client session plus the third message (client → server).
+func (c *Client) Finish(resp []byte) (*Session, []byte, error) {
+	fields, err := splitLV(resp, 5)
+	if err != nil {
+		return nil, nil, err
+	}
+	serverPub, err := ecdh.X25519().NewPublicKey(fields[0])
+	if err != nil {
+		return nil, nil, fmt.Errorf("server key: %w", ErrHandshake)
+	}
+	serverNonce, idPubRaw, sig, evidence := fields[1], fields[2], fields[3], fields[4]
+	if len(idPubRaw) != ed25519.PublicKeySize {
+		return nil, nil, fmt.Errorf("identity key size: %w", ErrHandshake)
+	}
+	idPub := ed25519.PublicKey(idPubRaw)
+	transcript := cryptoutil.Hash([]byte(protoTag), c.hello,
+		fields[0], serverNonce, idPubRaw)
+	if !cryptoutil.Verify(idPub, transcript[:], sig) {
+		return nil, nil, fmt.Errorf("server signature: %w", ErrHandshake)
+	}
+	if err := c.cfg.VerifyServer(idPub, transcript, evidence); err != nil {
+		return nil, nil, fmt.Errorf("server rejected by policy: %w", err)
+	}
+	shared, err := c.priv.ECDH(serverPub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ecdh: %w", ErrHandshake)
+	}
+	sess := deriveSession(shared, c.nonce, serverNonce, true)
+
+	var clientEvidence []byte
+	if c.cfg.Evidence != nil {
+		clientEvidence, err = c.cfg.Evidence(transcript)
+		if err != nil {
+			return nil, nil, fmt.Errorf("client evidence: %w", err)
+		}
+	}
+	// The finish message doubles as key confirmation: it is sealed under
+	// the fresh session key.
+	finish, err := sess.Seal(clientEvidence)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, finish, nil
+}
+
+// Complete consumes the client's finish message, enforcing client
+// attestation when the server demands it, and returns the server session.
+func (p *Pending) Complete(finish []byte) (*Session, error) {
+	evidence, err := p.sess.Open(finish)
+	if err != nil {
+		return nil, fmt.Errorf("finish: %w", err)
+	}
+	if p.srv.cfg.VerifyClient != nil {
+		if err := p.srv.cfg.VerifyClient(evidence, p.transcript); err != nil {
+			return nil, fmt.Errorf("client rejected by policy: %w", err)
+		}
+	}
+	return p.sess, nil
+}
+
+// Transcript returns the handshake transcript hash (for binding
+// application data to the channel).
+func (p *Pending) Transcript() [32]byte { return p.transcript }
+
+// RatchetInterval is the number of records after which each direction's
+// key is ratcheted forward automatically. Ratcheting is one-way (HKDF), so
+// a key compromised later cannot decrypt earlier traffic — forward secrecy
+// within the session, not just across sessions.
+const RatchetInterval = 64
+
+// Session is one direction-aware record channel endpoint.
+type Session struct {
+	initiator bool
+	sendKey   []byte
+	recvKey   []byte
+	sendSeq   uint64
+	recvSeq   uint64
+	sendEpoch uint64
+	recvEpoch uint64
+}
+
+func deriveSession(shared, clientNonce, serverNonce []byte, initiator bool) *Session {
+	salt := append(append([]byte(nil), clientNonce...), serverNonce...)
+	keys := cryptoutil.HKDF(shared, salt, []byte("lateral-record-keys"), 2*cryptoutil.KeySize)
+	c2s, s2c := keys[:cryptoutil.KeySize], keys[cryptoutil.KeySize:]
+	if initiator {
+		return &Session{initiator: true, sendKey: c2s, recvKey: s2c}
+	}
+	return &Session{sendKey: s2c, recvKey: c2s}
+}
+
+func (s *Session) dir(sending bool) string {
+	if s.initiator == sending {
+		return "c2s"
+	}
+	return "s2c"
+}
+
+// ratchet advances a key one epoch: k' = HKDF(k). The old key is
+// overwritten; there is no way back.
+func ratchet(key []byte, epoch uint64) []byte {
+	var e [8]byte
+	for i := 0; i < 8; i++ {
+		e[7-i] = byte(epoch >> (8 * i))
+	}
+	return cryptoutil.HKDF(key, e[:], []byte("lateral-ratchet"), cryptoutil.KeySize)
+}
+
+// epochFor returns the ratchet epoch a sequence number belongs to.
+func epochFor(seq uint64) uint64 {
+	return (seq - 1) / RatchetInterval
+}
+
+// Seal encrypts one record with the next sequence number, ratcheting the
+// send key at epoch boundaries.
+func (s *Session) Seal(plaintext []byte) ([]byte, error) {
+	s.sendSeq++
+	seq := s.sendSeq
+	for s.sendEpoch < epochFor(seq) {
+		s.sendEpoch++
+		s.sendKey = ratchet(s.sendKey, s.sendEpoch)
+	}
+	ad := fmt.Sprintf("%s:%d", s.dir(true), seq)
+	ct, err := cryptoutil.Seal(s.sendKey, cryptoutil.DeriveNonce(s.dir(true), seq), plaintext, []byte(ad))
+	if err != nil {
+		return nil, err
+	}
+	hdr := []byte{byte(seq >> 56), byte(seq >> 48), byte(seq >> 40), byte(seq >> 32),
+		byte(seq >> 24), byte(seq >> 16), byte(seq >> 8), byte(seq)}
+	return append(hdr, ct...), nil
+}
+
+// Open decrypts one record, enforcing strictly increasing sequence
+// numbers: replays and reordering are rejected.
+func (s *Session) Open(record []byte) ([]byte, error) {
+	if len(record) < 8 {
+		return nil, fmt.Errorf("short record: %w", ErrHandshake)
+	}
+	var seq uint64
+	for _, b := range record[:8] {
+		seq = seq<<8 | uint64(b)
+	}
+	if seq <= s.recvSeq {
+		return nil, fmt.Errorf("sequence %d after %d: %w", seq, s.recvSeq, ErrReplay)
+	}
+	// Trial-ratchet to the record's epoch WITHOUT committing: a forged
+	// record claiming a far-future sequence must not advance (and thereby
+	// destroy) the receive key. maxEpochSkip caps the attacker-driven work.
+	const maxEpochSkip = 1 << 14
+	key, epoch := s.recvKey, s.recvEpoch
+	target := epochFor(seq)
+	if target > epoch+maxEpochSkip {
+		return nil, fmt.Errorf("sequence %d skips %d epochs: %w", seq, target-epoch, ErrReplay)
+	}
+	for epoch < target {
+		epoch++
+		key = ratchet(key, epoch)
+	}
+	ad := fmt.Sprintf("%s:%d", s.dir(false), seq)
+	pt, err := cryptoutil.Open(key, record[8:], []byte(ad))
+	if err != nil {
+		return nil, err
+	}
+	s.recvKey, s.recvEpoch, s.recvSeq = key, epoch, seq
+	return pt, nil
+}

@@ -1,0 +1,326 @@
+// Package sep simulates the Apple Secure Enclave Processor substrate
+// (§II-B): "The SEP is separated from the main application CPU, accesses
+// DRAM with inline encryption and runs an L4-style microkernel. ... The
+// hardware separation and the communication bus between SEP and CPU thus
+// form the isolation substrate. ... By using a dedicated processor, this
+// construction offers strong isolation with reduced side channel
+// opportunities compared to shared-hardware solutions. But similar to
+// TrustZone, SEP is inflexible and offers only two separated execution
+// environments."
+//
+// Modeled structure: the application processor's domains live in the main
+// machine's DRAM (plaintext, one legacy system). The SEP has its own small
+// memory, ALL of it behind an inline encryption engine keyed from a fused
+// UID, reachable from the AP only through a mailbox. Trusted domains run
+// on the SEP, sub-isolated by its internal L4 kernel.
+package sep
+
+import (
+	"fmt"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+)
+
+// Config tunes the substrate.
+type Config struct {
+	// Machine is the application-processor hardware; defaults to a fresh
+	// machine.
+	Machine *hw.Machine
+
+	// DeviceSeed keys the SEP's fused UID.
+	DeviceSeed string
+
+	// Vendor certifies the SEP device identity ("Apple").
+	Vendor *cryptoutil.Signer
+
+	// SEPMemPages is the SEP-private memory size (default 32 pages).
+	SEPMemPages int
+}
+
+// Substrate is one SoC with application processor + SEP.
+type Substrate struct {
+	cfg     Config
+	machine *hw.Machine // AP-side hardware
+	sepMem  *hw.Memory  // SEP-private memory, inline-encrypted end to end
+	device  *cryptoutil.Signer
+	cert    []byte
+	uid     []byte
+
+	mu      sync.Mutex
+	domains map[string]*sepDomain
+	legacy  []*sepDomain
+	sepOff  int
+	sepEnd  int
+	sealCtr uint64
+	// mailboxCalls counts AP↔SEP transitions for cost accounting.
+	mailboxCalls int64
+}
+
+var _ core.Substrate = (*Substrate)(nil)
+
+// New powers on the SoC: allocates SEP memory, fuses the UID, and covers
+// the entire SEP memory with the inline encryption engine.
+func New(cfg Config) (*Substrate, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = hw.NewMachine(hw.MachineConfig{Name: "sep-soc"})
+	}
+	if cfg.DeviceSeed == "" {
+		return nil, fmt.Errorf("sep: DeviceSeed required")
+	}
+	if cfg.Vendor == nil {
+		return nil, fmt.Errorf("sep: Vendor required")
+	}
+	if cfg.SEPMemPages <= 0 {
+		cfg.SEPMemPages = 32
+	}
+	device := cryptoutil.NewSigner("sep-device:" + cfg.DeviceSeed)
+	uid := cryptoutil.KeyFromSeed("sep-uid:" + cfg.DeviceSeed)
+	sepMem := hw.NewMemory(cfg.SEPMemPages * hw.PageSize)
+	// Inline encryption over the WHOLE SEP memory: nothing leaves the SEP
+	// package in plaintext.
+	mee := inlineCipher{key: cryptoutil.HKDF(uid, nil, []byte("sep-inline-mee"), cryptoutil.KeySize)}
+	if err := sepMem.ProtectAuthenticated(0, cfg.SEPMemPages*hw.PageSize, mee); err != nil {
+		return nil, fmt.Errorf("sep: inline mee: %w", err)
+	}
+	if err := cfg.Machine.Fuses.Program("sep-uid", uid, hw.PrivSecureWorld); err != nil {
+		return nil, fmt.Errorf("sep: fuse: %w", err)
+	}
+	return &Substrate{
+		cfg:     cfg,
+		machine: cfg.Machine,
+		sepMem:  sepMem,
+		device:  device,
+		cert:    core.IssueVendorCert(cfg.Vendor, device.Public()),
+		uid:     uid,
+		domains: make(map[string]*sepDomain),
+		sepEnd:  cfg.SEPMemPages * hw.PageSize,
+	}, nil
+}
+
+type inlineCipher struct{ key []byte }
+
+func (c inlineCipher) Encrypt(addr hw.PhysAddr, p []byte) []byte {
+	out, err := cryptoutil.CTRKeystream(c.key, uint64(addr), p)
+	if err != nil {
+		return p
+	}
+	return out
+}
+func (c inlineCipher) Decrypt(addr hw.PhysAddr, p []byte) []byte { return c.Encrypt(addr, p) }
+
+// Name returns "sep".
+func (s *Substrate) Name() string { return "sep" }
+
+// Machine exposes the AP-side hardware for experiments.
+func (s *Substrate) Machine() *hw.Machine { return s.machine }
+
+// SEPMemory exposes the SEP-private memory so experiments can tap ITS bus
+// too — and find only ciphertext.
+func (s *Substrate) SEPMemory() *hw.Memory { return s.sepMem }
+
+// MailboxCalls reports the number of AP↔SEP transitions.
+func (s *Substrate) MailboxCalls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mailboxCalls
+}
+
+// Properties per the paper's analysis of the SEP.
+func (s *Substrate) Properties() core.Properties {
+	return core.Properties{
+		Substrate:                "sep",
+		SpatialIsolation:         true,
+		PhysicalMemoryProtection: true, // inline DRAM encryption
+		SecureLaunch:             true, // SEP boot ROM
+		Attestation:              true, // fused UID + device cert
+		MaxTrustedDomains:        0,    // SEP-internal L4 kernel multiplexes
+		ConcurrentTrusted:        true,
+		SecondaryIsolation:       true,    // components share the one SEP
+		SideChannelLeaky:         false,   // dedicated processor
+		InvokeCostNs:             100_000, // mailbox round trip
+		TCBUnits:                 20,      // SEP ROM + L4 kernel + firmware
+	}
+}
+
+// Anchor returns the UID-rooted trust anchor.
+func (s *Substrate) Anchor() core.TrustAnchor { return &anchor{sub: s} }
+
+// CreateDomain places trusted domains in SEP memory and untrusted domains
+// in AP DRAM.
+func (s *Substrate) CreateDomain(spec core.DomainSpec) (core.DomainHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.domains[spec.Name]; ok {
+		return nil, fmt.Errorf("sep: %s: %w", spec.Name, core.ErrDomainExists)
+	}
+	pages := spec.MemPages
+	if pages <= 0 {
+		pages = 1
+	}
+	size := pages * hw.PageSize
+	d := &sepDomain{
+		sub:     s,
+		name:    spec.Name,
+		trusted: spec.Trusted,
+		meas:    cryptoutil.Hash(spec.Code),
+		size:    size,
+	}
+	if spec.Trusted {
+		if s.sepOff+size > s.sepEnd {
+			return nil, fmt.Errorf("sep: SEP memory exhausted for %s: %w", spec.Name, core.ErrTooManyTrusted)
+		}
+		d.base = hw.PhysAddr(s.sepOff)
+		s.sepOff += size
+	} else {
+		base, err := s.machine.AllocRegion(pages)
+		if err != nil {
+			return nil, fmt.Errorf("sep: %s: %w", spec.Name, err)
+		}
+		d.base = base
+		s.legacy = append(s.legacy, d)
+	}
+	s.domains[spec.Name] = d
+	return d, nil
+}
+
+// sepDomain is one domain on either processor.
+type sepDomain struct {
+	sub     *Substrate
+	name    string
+	trusted bool
+	meas    [32]byte
+	base    hw.PhysAddr
+	size    int
+
+	mu    sync.Mutex
+	freed bool
+}
+
+var _ core.DomainHandle = (*sepDomain)(nil)
+
+func (d *sepDomain) DomainName() string    { return d.name }
+func (d *sepDomain) Measurement() [32]byte { return d.meas }
+func (d *sepDomain) Trusted() bool         { return d.trusted }
+func (d *sepDomain) MemSize() int          { return d.size }
+
+func (d *sepDomain) mem() *hw.Memory {
+	if d.trusted {
+		return d.sub.sepMem
+	}
+	return d.sub.machine.Mem
+}
+
+func (d *sepDomain) Write(off int, p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.freed || off < 0 || off+len(p) > d.size {
+		return fmt.Errorf("sep %s: write %d@%d out of range", d.name, len(p), off)
+	}
+	if d.trusted {
+		d.sub.mu.Lock()
+		d.sub.mailboxCalls++
+		d.sub.mu.Unlock()
+	}
+	return d.mem().WritePhys(d.base+hw.PhysAddr(off), p)
+}
+
+func (d *sepDomain) Read(off, n int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.freed || off < 0 || off+n > d.size {
+		return nil, fmt.Errorf("sep %s: read %d@%d out of range", d.name, n, off)
+	}
+	if d.trusted {
+		d.sub.mu.Lock()
+		d.sub.mailboxCalls++
+		d.sub.mu.Unlock()
+	}
+	return d.mem().ReadPhys(d.base+hw.PhysAddr(off), n)
+}
+
+// CompromiseView: a compromised AP domain reads the whole AP system but
+// nothing on the SEP (physically separate). A compromised SEP service
+// reads its own slice only — the SEP's internal kernel sub-isolates, and
+// the SEP never maps AP DRAM wholesale.
+func (d *sepDomain) CompromiseView() [][]byte {
+	d.mu.Lock()
+	if d.freed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+	var views [][]byte
+	if b, err := d.Read(0, d.size); err == nil {
+		views = append(views, b)
+	}
+	if d.trusted {
+		return views
+	}
+	d.sub.mu.Lock()
+	legacy := append([]*sepDomain(nil), d.sub.legacy...)
+	d.sub.mu.Unlock()
+	for _, l := range legacy {
+		if l == d {
+			continue
+		}
+		if b, err := l.Read(0, l.size); err == nil {
+			views = append(views, b)
+		}
+	}
+	return views
+}
+
+func (d *sepDomain) Destroy() error {
+	d.mu.Lock()
+	d.freed = true
+	d.mu.Unlock()
+	d.sub.mu.Lock()
+	delete(d.sub.domains, d.name)
+	d.sub.mu.Unlock()
+	return nil
+}
+
+// anchor signs with the SEP device key rooted in the fused UID.
+type anchor struct {
+	sub *Substrate
+}
+
+var _ core.TrustAnchor = (*anchor)(nil)
+
+func (a *anchor) AnchorKind() string { return "sep" }
+
+func (a *anchor) Quote(d core.DomainHandle, nonce []byte) (core.Quote, error) {
+	if !d.Trusted() {
+		return core.Quote{}, fmt.Errorf("sep anchor: %s runs on the AP: %w", d.DomainName(), core.ErrRefused)
+	}
+	return core.SignQuote("sep", d.Measurement(), nonce, a.sub.device, a.sub.cert), nil
+}
+
+func (a *anchor) Seal(d core.DomainHandle, plaintext []byte) ([]byte, error) {
+	if !d.Trusted() {
+		return nil, fmt.Errorf("sep anchor: seal for AP code: %w", core.ErrRefused)
+	}
+	meas := d.Measurement()
+	key := cryptoutil.HKDF(a.sub.uid, meas[:], []byte("sep-seal"), cryptoutil.KeySize)
+	a.sub.mu.Lock()
+	a.sub.sealCtr++
+	ctr := a.sub.sealCtr
+	a.sub.mu.Unlock()
+	return cryptoutil.Seal(key, cryptoutil.DeriveNonce("sep-seal", ctr), plaintext, meas[:])
+}
+
+func (a *anchor) Unseal(d core.DomainHandle, sealed []byte) ([]byte, error) {
+	if !d.Trusted() {
+		return nil, fmt.Errorf("sep anchor: unseal for AP code: %w", core.ErrRefused)
+	}
+	meas := d.Measurement()
+	key := cryptoutil.HKDF(a.sub.uid, meas[:], []byte("sep-seal"), cryptoutil.KeySize)
+	pt, err := cryptoutil.Open(key, sealed, meas[:])
+	if err != nil {
+		return nil, fmt.Errorf("sep unseal %s: %w", d.DomainName(), err)
+	}
+	return pt, nil
+}

@@ -1,0 +1,229 @@
+package sep
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+)
+
+func newSEP(t *testing.T, m *hw.Machine) (*Substrate, *cryptoutil.Signer) {
+	t.Helper()
+	vendor := cryptoutil.NewSigner("apple")
+	s, err := New(Config{Machine: m, DeviceSeed: "iphone-1", Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, vendor
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Vendor: cryptoutil.NewSigner("v")}); err == nil {
+		t.Error("missing DeviceSeed accepted")
+	}
+	if _, err := New(Config{DeviceSeed: "d"}); err == nil {
+		t.Error("missing Vendor accepted")
+	}
+}
+
+func TestSEPMemoryAlwaysCiphertextOnItsBus(t *testing.T) {
+	s, _ := newSEP(t, nil)
+	tap := &recordTap{}
+	s.SEPMemory().AttachTap(tap)
+	d, err := s.CreateDomain(core.DomainSpec{Name: "keystore", Code: []byte("k"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("BIOMETRIC-TEMPLATE-DATA")
+	if err := d.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(tap.seen, secret) {
+		t.Error("SEP bus carried plaintext; inline encryption must cover everything")
+	}
+	got, err := d.Read(0, len(secret))
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Errorf("SEP-side read = %q, %v", got, err)
+	}
+	if raw := s.SEPMemory().PeekRaw(0, len(secret)); bytes.Equal(raw, secret) {
+		t.Error("raw SEP DRAM holds plaintext")
+	}
+}
+
+func TestAPCannotReachSEPMemory(t *testing.T) {
+	s, _ := newSEP(t, nil)
+	sepSvc, _ := s.CreateDomain(core.DomainSpec{Name: "keystore", Code: []byte("k"), Trusted: true})
+	ap1, _ := s.CreateDomain(core.DomainSpec{Name: "ios", Code: []byte("i")})
+	ap2, _ := s.CreateDomain(core.DomainSpec{Name: "app", Code: []byte("a")})
+	sepSecret := []byte("SEP-PRIVATE-KEY")
+	apSecret := []byte("AP-APP-DATA")
+	if err := sepSvc.Write(0, sepSecret); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap1.Write(0, apSecret); err != nil {
+		t.Fatal(err)
+	}
+	var view []byte
+	for _, v := range ap2.CompromiseView() {
+		view = append(view, v...)
+	}
+	if !bytes.Contains(view, apSecret) {
+		t.Error("AP compromise view missing sibling AP memory (one legacy system)")
+	}
+	if bytes.Contains(view, sepSecret) {
+		t.Error("AP compromise view contains SEP memory; processors are physically separate")
+	}
+	// SEP service compromise: own slice only.
+	var sview []byte
+	for _, v := range sepSvc.CompromiseView() {
+		sview = append(sview, v...)
+	}
+	if !bytes.Contains(sview, sepSecret) {
+		t.Error("SEP compromise view missing own memory")
+	}
+	if bytes.Contains(sview, apSecret) {
+		t.Error("SEP compromise view contains AP memory")
+	}
+}
+
+func TestSEPInternalSecondaryIsolation(t *testing.T) {
+	s, _ := newSEP(t, nil)
+	a, _ := s.CreateDomain(core.DomainSpec{Name: "touchid", Code: []byte("t"), Trusted: true})
+	b, _ := s.CreateDomain(core.DomainSpec{Name: "crypto", Code: []byte("c"), Trusted: true})
+	secret := []byte("FINGERPRINT-DB")
+	if err := a.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b.CompromiseView() {
+		if bytes.Contains(v, secret) {
+			t.Error("SEP L4 kernel should sub-isolate SEP services")
+		}
+	}
+	if !s.Properties().SecondaryIsolation {
+		t.Error("SEP should declare secondary isolation")
+	}
+}
+
+func TestSEPMemoryExhaustion(t *testing.T) {
+	vendor := cryptoutil.NewSigner("apple")
+	s, err := New(Config{DeviceSeed: "x", Vendor: vendor, SEPMemPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "a", Trusted: true, MemPages: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "b", Trusted: true}); !errors.Is(err, core.ErrTooManyTrusted) {
+		t.Errorf("exhausted SEP memory: got %v", err)
+	}
+}
+
+func TestMailboxAccounting(t *testing.T) {
+	s, _ := newSEP(t, nil)
+	d, _ := s.CreateDomain(core.DomainSpec{Name: "svc", Code: []byte("s"), Trusted: true})
+	ap, _ := s.CreateDomain(core.DomainSpec{Name: "ios", Code: []byte("i")})
+	before := s.MailboxCalls()
+	_ = d.Write(0, []byte("x"))
+	_, _ = d.Read(0, 1)
+	if got := s.MailboxCalls(); got != before+2 {
+		t.Errorf("mailbox calls = %d, want %d", got, before+2)
+	}
+	// AP-local access does not cross the mailbox.
+	_ = ap.Write(0, []byte("y"))
+	if got := s.MailboxCalls(); got != before+2 {
+		t.Errorf("AP access counted as mailbox call")
+	}
+}
+
+func TestAnchorQuoteSealUnseal(t *testing.T) {
+	s, vendor := newSEP(t, nil)
+	svc, _ := s.CreateDomain(core.DomainSpec{Name: "svc", Code: []byte("good"), Trusted: true})
+	evil, _ := s.CreateDomain(core.DomainSpec{Name: "evil", Code: []byte("bad"), Trusted: true})
+	ap, _ := s.CreateDomain(core.DomainSpec{Name: "ios", Code: []byte("l")})
+	an := s.Anchor()
+	if an.AnchorKind() != "sep" {
+		t.Errorf("kind = %q", an.AnchorKind())
+	}
+	nonce := []byte("n")
+	q, err := an.Quote(svc, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyQuote(q, nonce, vendor.Public(), svc.Measurement()); err != nil {
+		t.Errorf("valid quote rejected: %v", err)
+	}
+	if _, err := an.Quote(ap, nonce); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("AP quote: got %v", err)
+	}
+	blob, err := an.Seal(svc, []byte("uid-bound"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := an.Unseal(svc, blob)
+	if err != nil || string(got) != "uid-bound" {
+		t.Fatalf("unseal = %q, %v", got, err)
+	}
+	if _, err := an.Unseal(evil, blob); err == nil {
+		t.Error("different SEP service unsealed the blob")
+	}
+	if _, err := an.Seal(ap, nil); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("AP seal: got %v", err)
+	}
+	if _, err := an.Unseal(ap, blob); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("AP unseal: got %v", err)
+	}
+}
+
+func TestPropertiesAndLifecycle(t *testing.T) {
+	s, _ := newSEP(t, nil)
+	p := s.Properties()
+	if !p.PhysicalMemoryProtection || p.SideChannelLeaky {
+		t.Error("SEP must have physical memory protection and reduced side channels")
+	}
+	d, _ := s.CreateDomain(core.DomainSpec{Name: "d", Code: []byte("c")})
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "d"}); !errors.Is(err, core.ErrDomainExists) {
+		t.Errorf("duplicate: got %v", err)
+	}
+	if err := d.Write(5000, []byte("x")); err == nil {
+		t.Error("out-of-range write succeeded")
+	}
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(0, 1); err == nil {
+		t.Error("read after destroy succeeded")
+	}
+	if d.CompromiseView() != nil {
+		t.Error("destroyed domain has compromise view")
+	}
+}
+
+type recordTap struct{ seen []byte }
+
+func (r *recordTap) OnRead(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+func (r *recordTap) OnWrite(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+
+func TestSEPMemoryIntegrityAgainstPhysicalWrite(t *testing.T) {
+	s, _ := newSEP(t, nil)
+	d, err := s.CreateDomain(core.DomainSpec{Name: "keys", Code: []byte("k"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, []byte("uid-wrapped-key")); err != nil {
+		t.Fatal(err)
+	}
+	raw := s.SEPMemory().PeekRaw(0, 1)
+	s.SEPMemory().PokeRaw(0, []byte{raw[0] ^ 1})
+	if _, err := d.Read(0, 15); !errors.Is(err, hw.ErrIntegrity) {
+		t.Errorf("tampered SEP memory: got %v, want hw.ErrIntegrity", err)
+	}
+}

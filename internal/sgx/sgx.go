@@ -1,0 +1,372 @@
+// Package sgx simulates the Intel SGX isolation substrate (§II-B):
+// "independent trusted components can run concurrently in their own fully
+// isolated enclaves ... only the code running inside an enclave can see and
+// manipulate the memory that has been allocated to it. SGX hardware in the
+// CPU transparently encrypts and decrypts the enclave memory, which is
+// backed by DRAM."
+//
+// Faithfully modeled limitations:
+//
+//   - Attestation goes "through a specially endowed quoting enclave" whose
+//     key the manufacturer certifies; a software emulation without that key
+//     cannot produce acceptable quotes.
+//   - The paper's §II-C caveat — "SGX suffer[s] from starvation issues and
+//     cache side-channel attacks" — is modeled as an access-pattern side
+//     channel: AccessTrace exposes which enclave memory offsets were
+//     recently touched, at cache-line granularity. Contents stay hidden;
+//     patterns do not.
+//   - Microcode TCB: Properties.TCBUnits reflects §II-C's "an SGX-CPU
+//     therefore adds the equivalent of likely many thousands of lines of
+//     code to the TCB".
+package sgx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+)
+
+// CacheLineSize is the granularity of the modeled access-pattern side
+// channel.
+const CacheLineSize = 64
+
+// ErrStarved is returned when the untrusted host has suspended an enclave.
+// §II-C: "even high-profile security technologies such as SGX suffer from
+// starvation issues" — the OS schedules enclaves "similarly to how it
+// assigns CPU time to threads", so a hostile OS can deny them service.
+// Confidentiality and integrity survive; availability does not.
+var ErrStarved = errors.New("sgx: enclave starved by host scheduler")
+
+// Config tunes the substrate.
+type Config struct {
+	// Machine is the hardware; defaults to a fresh machine.
+	Machine *hw.Machine
+
+	// DeviceSeed keys the CPU's fused secrets (quoting key, seal root).
+	DeviceSeed string
+
+	// Vendor is the CPU manufacturer certifying the quoting key ("Intel").
+	Vendor *cryptoutil.Signer
+}
+
+// Substrate is one SGX-capable CPU.
+type Substrate struct {
+	cfg     Config
+	machine *hw.Machine
+	qeKey   *cryptoutil.Signer // quoting-enclave key, fused + vendor-certified
+	qeCert  []byte
+	sealKey []byte // per-CPU seal root
+
+	mu       sync.Mutex
+	domains  map[string]*enclave
+	legacy   []*enclave
+	enclaves []*enclave
+	sealCtr  uint64
+}
+
+var _ core.Substrate = (*Substrate)(nil)
+
+// New initializes the CPU: fuses the quoting key and seal root.
+func New(cfg Config) (*Substrate, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = hw.NewMachine(hw.MachineConfig{Name: "sgx-host"})
+	}
+	if cfg.DeviceSeed == "" {
+		return nil, fmt.Errorf("sgx: DeviceSeed required")
+	}
+	if cfg.Vendor == nil {
+		return nil, fmt.Errorf("sgx: Vendor required")
+	}
+	qe := cryptoutil.NewSigner("sgx-qe:" + cfg.DeviceSeed)
+	return &Substrate{
+		cfg:     cfg,
+		machine: cfg.Machine,
+		qeKey:   qe,
+		qeCert:  core.IssueVendorCert(cfg.Vendor, qe.Public()),
+		sealKey: cryptoutil.KeyFromSeed("sgx-seal:" + cfg.DeviceSeed),
+		domains: make(map[string]*enclave),
+	}, nil
+}
+
+// Name returns "sgx".
+func (s *Substrate) Name() string { return "sgx" }
+
+// Machine exposes the hardware for experiments (bus taps).
+func (s *Substrate) Machine() *hw.Machine { return s.machine }
+
+// Properties per the paper's analysis of SGX.
+func (s *Substrate) Properties() core.Properties {
+	return core.Properties{
+		Substrate:                "sgx",
+		SpatialIsolation:         true,
+		PhysicalMemoryProtection: true, // memory-encryption engine
+		SecureLaunch:             true, // EINIT measurement
+		Attestation:              true, // quoting enclave
+		ConcurrentTrusted:        true, // enclaves schedule like threads
+		SideChannelLeaky:         true, // §II-C cache attacks
+		InvokeCostNs:             8000, // EENTER/EEXIT transition round trip
+		TCBUnits:                 40,   // microcode + ME per §II-C
+	}
+}
+
+// Anchor returns the quoting-enclave-backed trust anchor.
+func (s *Substrate) Anchor() core.TrustAnchor { return &quotingEnclave{sub: s} }
+
+// Starve models the hostile host scheduler refusing an enclave CPU time.
+// The enclave's state stays confidential and intact; it just cannot run.
+func (s *Substrate) Starve(enclaveName string, starved bool) error {
+	s.mu.Lock()
+	e, ok := s.domains[enclaveName]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("sgx: starve %s: %w", enclaveName, core.ErrNoDomain)
+	}
+	if !e.trusted {
+		return fmt.Errorf("sgx: starve %s: not an enclave: %w", enclaveName, core.ErrRefused)
+	}
+	e.mu.Lock()
+	e.suspended = starved
+	e.mu.Unlock()
+	return nil
+}
+
+// meeCipher is the per-enclave memory-encryption engine.
+type meeCipher struct {
+	key []byte
+}
+
+func (c meeCipher) Encrypt(addr hw.PhysAddr, p []byte) []byte {
+	out, err := cryptoutil.CTRKeystream(c.key, uint64(addr), p)
+	if err != nil {
+		return p
+	}
+	return out
+}
+
+func (c meeCipher) Decrypt(addr hw.PhysAddr, p []byte) []byte {
+	return c.Encrypt(addr, p) // CTR is an involution
+}
+
+// CreateDomain creates an enclave (trusted) or a slice of the untrusted
+// host system. Enclave memory is registered with the memory controller as
+// a protected (encrypted) range.
+func (s *Substrate) CreateDomain(spec core.DomainSpec) (core.DomainHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.domains[spec.Name]; ok {
+		return nil, fmt.Errorf("sgx: %s: %w", spec.Name, core.ErrDomainExists)
+	}
+	pages := spec.MemPages
+	if pages <= 0 {
+		pages = 1
+	}
+	size := pages * hw.PageSize
+	base, err := s.machine.AllocRegion(pages)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: %s: %w", spec.Name, err)
+	}
+	e := &enclave{
+		sub:     s,
+		name:    spec.Name,
+		trusted: spec.Trusted,
+		meas:    cryptoutil.Hash(spec.Code),
+		base:    base,
+		size:    size,
+	}
+	if spec.Trusted {
+		// Per-enclave MEE key derived from the CPU secret and a unique id.
+		key := cryptoutil.HKDF(s.sealKey, []byte(spec.Name), []byte("sgx-mee"), cryptoutil.KeySize)
+		// SGX's MEE provides integrity and replay protection, not just
+		// confidentiality: tampered enclave ciphertext faults on access.
+		if err := s.machine.Mem.ProtectAuthenticated(base, size, meeCipher{key: key}); err != nil {
+			return nil, fmt.Errorf("sgx: %s: %w", spec.Name, err)
+		}
+		s.enclaves = append(s.enclaves, e)
+	} else {
+		s.legacy = append(s.legacy, e)
+	}
+	s.domains[spec.Name] = e
+	return e, nil
+}
+
+// enclave is one enclave or untrusted-host domain.
+type enclave struct {
+	sub     *Substrate
+	name    string
+	trusted bool
+	meas    [32]byte
+	base    hw.PhysAddr
+	size    int
+
+	mu        sync.Mutex
+	freed     bool
+	suspended bool
+	trace     []int // recently touched cache lines (the side channel)
+}
+
+var _ core.DomainHandle = (*enclave)(nil)
+
+func (e *enclave) DomainName() string    { return e.name }
+func (e *enclave) Measurement() [32]byte { return e.meas }
+func (e *enclave) Trusted() bool         { return e.trusted }
+func (e *enclave) MemSize() int          { return e.size }
+
+// recordAccess notes the cache lines an access touched. Caller holds e.mu.
+func (e *enclave) recordAccess(off, n int) {
+	first := off / CacheLineSize
+	last := (off + n - 1) / CacheLineSize
+	for l := first; l <= last; l++ {
+		e.trace = append(e.trace, l)
+	}
+	if len(e.trace) > 4096 {
+		e.trace = e.trace[len(e.trace)-4096:]
+	}
+}
+
+func (e *enclave) Write(off int, p []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.suspended {
+		return fmt.Errorf("sgx %s: %w", e.name, ErrStarved)
+	}
+	if e.freed || off < 0 || off+len(p) > e.size {
+		return fmt.Errorf("sgx %s: write %d@%d out of range", e.name, len(p), off)
+	}
+	e.recordAccess(off, len(p))
+	return e.sub.machine.Mem.WritePhys(e.base+hw.PhysAddr(off), p)
+}
+
+func (e *enclave) Read(off, n int) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.suspended {
+		return nil, fmt.Errorf("sgx %s: %w", e.name, ErrStarved)
+	}
+	if e.freed || off < 0 || off+n > e.size {
+		return nil, fmt.Errorf("sgx %s: read %d@%d out of range", e.name, n, off)
+	}
+	e.recordAccess(off, n)
+	return e.sub.machine.Mem.ReadPhys(e.base+hw.PhysAddr(off), n)
+}
+
+// AccessTrace is the modeled cache side channel: an attacker sharing the
+// CPU observes WHICH cache lines the enclave touched (never their
+// contents). This is the §II-C leak that distinguishes SGX from physically
+// separate designs like the SEP.
+func (e *enclave) AccessTrace() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.trace))
+	copy(out, e.trace)
+	return out
+}
+
+// ClearTrace resets the side-channel history (e.g. after a context switch).
+func (e *enclave) ClearTrace() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.trace = nil
+}
+
+// CompromiseView: a compromised enclave reads its own plaintext and all of
+// the untrusted host (enclaves may access their host's memory); a
+// compromised host domain reads the whole untrusted system but sees only
+// ciphertext of enclaves — which the view deliberately omits, since the
+// attacker gains no information from it.
+func (e *enclave) CompromiseView() [][]byte {
+	e.mu.Lock()
+	if e.freed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Unlock()
+
+	var views [][]byte
+	self, err := e.Read(0, e.size)
+	if err == nil {
+		views = append(views, self)
+	}
+	e.sub.mu.Lock()
+	legacy := append([]*enclave(nil), e.sub.legacy...)
+	e.sub.mu.Unlock()
+	for _, l := range legacy {
+		if l == e {
+			continue
+		}
+		if b, err := l.Read(0, l.size); err == nil {
+			views = append(views, b)
+		}
+	}
+	return views
+}
+
+func (e *enclave) Destroy() error {
+	e.mu.Lock()
+	if e.freed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.freed = true
+	e.mu.Unlock()
+	if e.trusted {
+		if err := e.sub.machine.Mem.Unprotect(e.base); err != nil {
+			return fmt.Errorf("sgx destroy %s: %w", e.name, err)
+		}
+	}
+	e.sub.mu.Lock()
+	delete(e.sub.domains, e.name)
+	e.sub.mu.Unlock()
+	return nil
+}
+
+// quotingEnclave implements attestation: "SGX provides attestation through
+// a specially endowed quoting enclave that Intel provides."
+type quotingEnclave struct {
+	sub *Substrate
+}
+
+var _ core.TrustAnchor = (*quotingEnclave)(nil)
+
+func (q *quotingEnclave) AnchorKind() string { return "sgx-qe" }
+
+// Quote signs an enclave's measurement; untrusted host code cannot be
+// quoted.
+func (q *quotingEnclave) Quote(d core.DomainHandle, nonce []byte) (core.Quote, error) {
+	if !d.Trusted() {
+		return core.Quote{}, fmt.Errorf("sgx qe: %s is not an enclave: %w", d.DomainName(), core.ErrRefused)
+	}
+	return core.SignQuote("sgx-qe", d.Measurement(), nonce, q.sub.qeKey, q.sub.qeCert), nil
+}
+
+// Seal binds data to the enclave measurement under the CPU seal root
+// (MRENCLAVE policy).
+func (q *quotingEnclave) Seal(d core.DomainHandle, plaintext []byte) ([]byte, error) {
+	if !d.Trusted() {
+		return nil, fmt.Errorf("sgx qe: seal for host code: %w", core.ErrRefused)
+	}
+	meas := d.Measurement()
+	key := cryptoutil.HKDF(q.sub.sealKey, meas[:], []byte("sgx-seal"), cryptoutil.KeySize)
+	q.sub.mu.Lock()
+	q.sub.sealCtr++
+	ctr := q.sub.sealCtr
+	q.sub.mu.Unlock()
+	return cryptoutil.Seal(key, cryptoutil.DeriveNonce("sgx-seal", ctr), plaintext, meas[:])
+}
+
+// Unseal recovers data sealed to the same enclave identity on the same CPU.
+func (q *quotingEnclave) Unseal(d core.DomainHandle, sealed []byte) ([]byte, error) {
+	if !d.Trusted() {
+		return nil, fmt.Errorf("sgx qe: unseal for host code: %w", core.ErrRefused)
+	}
+	meas := d.Measurement()
+	key := cryptoutil.HKDF(q.sub.sealKey, meas[:], []byte("sgx-seal"), cryptoutil.KeySize)
+	pt, err := cryptoutil.Open(key, sealed, meas[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx unseal %s: %w", d.DomainName(), err)
+	}
+	return pt, nil
+}

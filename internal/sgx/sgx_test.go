@@ -1,0 +1,339 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+)
+
+func newSGX(t *testing.T, m *hw.Machine) (*Substrate, *cryptoutil.Signer) {
+	t.Helper()
+	vendor := cryptoutil.NewSigner("intel")
+	s, err := New(Config{Machine: m, DeviceSeed: "cpu-0", Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, vendor
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Vendor: cryptoutil.NewSigner("v")}); err == nil {
+		t.Error("missing DeviceSeed accepted")
+	}
+	if _, err := New(Config{DeviceSeed: "d"}); err == nil {
+		t.Error("missing Vendor accepted")
+	}
+}
+
+func TestEnclaveMemoryEncryptedOnBus(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	tap := &recordTap{}
+	m.Mem.AttachTap(tap)
+	s, _ := newSGX(t, m)
+	enc, err := s.CreateDomain(core.DomainSpec{Name: "anonymizer", Code: []byte("anon-v1"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("CUSTOMER-RECORDS-PLAINTEXT")
+	if err := enc.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(tap.seen, secret) {
+		t.Error("bus tap saw enclave plaintext; MEE must encrypt")
+	}
+	got, err := enc.Read(0, len(secret))
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Errorf("enclave self-read = %q, %v", got, err)
+	}
+	// Raw DRAM holds ciphertext.
+	// (Find it via the machine: enclave base is the first allocated region.)
+	if raw := m.Mem.PeekRaw(0, len(secret)); bytes.Equal(raw, secret) {
+		t.Error("raw DRAM holds enclave plaintext")
+	}
+}
+
+func TestUntrustedHostIsPlaintextAndShared(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	tap := &recordTap{}
+	m.Mem.AttachTap(tap)
+	s, _ := newSGX(t, m)
+	os1, _ := s.CreateDomain(core.DomainSpec{Name: "os", Code: []byte("linux")})
+	os2, _ := s.CreateDomain(core.DomainSpec{Name: "daemon", Code: []byte("d")})
+	enc, _ := s.CreateDomain(core.DomainSpec{Name: "enc", Code: []byte("e"), Trusted: true})
+
+	hostSecret := []byte("HOST-FS-CONTENTS")
+	encSecret := []byte("ENCLAVE-ONLY-DATA")
+	if err := os1.Write(0, hostSecret); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Write(0, encSecret); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tap.seen, hostSecret) {
+		t.Error("host memory should be plaintext on the bus")
+	}
+	// Host compromise: sees all host memory, no enclave plaintext.
+	var view []byte
+	for _, v := range os2.CompromiseView() {
+		view = append(view, v...)
+	}
+	if !bytes.Contains(view, hostSecret) {
+		t.Error("host compromise view missing sibling host memory")
+	}
+	if bytes.Contains(view, encSecret) {
+		t.Error("host compromise view contains enclave plaintext")
+	}
+	// Enclave compromise: own plaintext + host memory (not other enclaves).
+	enc2, _ := s.CreateDomain(core.DomainSpec{Name: "enc2", Code: []byte("e2"), Trusted: true})
+	enc2Secret := []byte("SIBLING-ENCLAVE-DATA")
+	if err := enc2.Write(0, enc2Secret); err != nil {
+		t.Fatal(err)
+	}
+	view = nil
+	for _, v := range enc.CompromiseView() {
+		view = append(view, v...)
+	}
+	if !bytes.Contains(view, encSecret) || !bytes.Contains(view, hostSecret) {
+		t.Error("enclave compromise view missing own or host memory")
+	}
+	if bytes.Contains(view, enc2Secret) {
+		t.Error("enclave compromise view contains sibling enclave plaintext")
+	}
+}
+
+func TestConcurrentEnclavesAllowed(t *testing.T) {
+	s, _ := newSGX(t, nil)
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		if _, err := s.CreateDomain(core.DomainSpec{Name: name, Code: []byte(name), Trusted: true}); err != nil {
+			t.Fatalf("enclave %d: %v", i, err)
+		}
+	}
+	if !s.Properties().ConcurrentTrusted {
+		t.Error("SGX must claim concurrent trusted domains")
+	}
+}
+
+func TestAccessTraceSideChannel(t *testing.T) {
+	s, _ := newSGX(t, nil)
+	d, _ := s.CreateDomain(core.DomainSpec{Name: "leaky", Code: []byte("l"), Trusted: true, MemPages: 2})
+	enc, ok := d.(*enclave)
+	if !ok {
+		t.Fatal("unexpected handle type")
+	}
+	enc.ClearTrace()
+	// Secret-dependent access: touch line 0 for bit 0, line 16 for bit 1.
+	secretBits := []bool{true, false, true, true, false}
+	for _, b := range secretBits {
+		off := 0
+		if b {
+			off = 16 * CacheLineSize
+		}
+		if _, err := d.Read(off, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := enc.AccessTrace()
+	if len(trace) != len(secretBits) {
+		t.Fatalf("trace length = %d, want %d", len(trace), len(secretBits))
+	}
+	for i, b := range secretBits {
+		decoded := trace[i] == 16
+		if decoded != b {
+			t.Errorf("bit %d: trace line %d decodes %v, want %v", i, trace[i], decoded, b)
+		}
+	}
+	if !s.Properties().SideChannelLeaky {
+		t.Error("SGX must be marked side-channel leaky (§II-C)")
+	}
+}
+
+func TestQuotingEnclave(t *testing.T) {
+	s, vendor := newSGX(t, nil)
+	enc, _ := s.CreateDomain(core.DomainSpec{Name: "anon", Code: []byte("anon-v1"), Trusted: true})
+	host, _ := s.CreateDomain(core.DomainSpec{Name: "os", Code: []byte("linux")})
+	qe := s.Anchor()
+	if qe.AnchorKind() != "sgx-qe" {
+		t.Errorf("kind = %q", qe.AnchorKind())
+	}
+	nonce := []byte("verifier-nonce")
+	q, err := qe.Quote(enc, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyQuote(q, nonce, vendor.Public(), enc.Measurement()); err != nil {
+		t.Errorf("valid quote rejected: %v", err)
+	}
+	if _, err := qe.Quote(host, nonce); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("host quote: got %v", err)
+	}
+	// Tampered enclave binary → different measurement → verifier refuses.
+	evil, _ := s.CreateDomain(core.DomainSpec{Name: "anon-evil", Code: []byte("anon-v1-TAMPERED"), Trusted: true})
+	qEvil, err := qe.Quote(evil, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyQuote(qEvil, nonce, vendor.Public(), enc.Measurement()); !errors.Is(err, core.ErrQuote) {
+		t.Error("tampered enclave quote accepted against good measurement")
+	}
+}
+
+func TestSealingPolicies(t *testing.T) {
+	s, _ := newSGX(t, nil)
+	a, _ := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("v1"), Trusted: true})
+	b, _ := s.CreateDomain(core.DomainSpec{Name: "b", Code: []byte("v2"), Trusted: true})
+	host, _ := s.CreateDomain(core.DomainSpec{Name: "os", Code: []byte("l")})
+	qe := s.Anchor()
+	blob, err := qe.Seal(a, []byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := qe.Unseal(a, blob)
+	if err != nil || string(got) != "state" {
+		t.Fatalf("unseal = %q, %v", got, err)
+	}
+	if _, err := qe.Unseal(b, blob); err == nil {
+		t.Error("different enclave unsealed the blob")
+	}
+	if _, err := qe.Seal(host, []byte("x")); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("host seal: got %v", err)
+	}
+	if _, err := qe.Unseal(host, blob); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("host unseal: got %v", err)
+	}
+	// Same measurement on a DIFFERENT CPU cannot unseal (seal root differs).
+	s2, err := New(Config{DeviceSeed: "cpu-1", Vendor: cryptoutil.NewSigner("intel")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := s2.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("v1"), Trusted: true})
+	if _, err := s2.Anchor().Unseal(a2, blob); err == nil {
+		t.Error("blob unsealed on a different CPU")
+	}
+}
+
+func TestDestroyReleasesProtectedRange(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	s, _ := newSGX(t, m)
+	d, err := s.CreateDomain(core.DomainSpec{Name: "tmp", Code: []byte("t"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Destroy(); err != nil {
+		t.Errorf("double destroy: %v", err)
+	}
+	if _, err := d.Read(0, 1); err == nil {
+		t.Error("read after destroy succeeded")
+	}
+	if d.CompromiseView() != nil {
+		t.Error("destroyed enclave has a compromise view")
+	}
+	// The name and the physical range are reusable.
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "tmp", Code: []byte("t2"), Trusted: true}); err != nil {
+		t.Errorf("recreate after destroy: %v", err)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	s, _ := newSGX(t, nil)
+	d, _ := s.CreateDomain(core.DomainSpec{Name: "d", Code: []byte("c")})
+	if err := d.Write(4090, []byte("12345678")); err == nil {
+		t.Error("out-of-range write succeeded")
+	}
+	if _, err := d.Read(-1, 4); err == nil {
+		t.Error("negative read succeeded")
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "d"}); !errors.Is(err, core.ErrDomainExists) {
+		t.Errorf("duplicate: got %v", err)
+	}
+}
+
+type recordTap struct{ seen []byte }
+
+func (r *recordTap) OnRead(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+func (r *recordTap) OnWrite(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+
+func TestEnclaveIntegrityAgainstActiveBusAttack(t *testing.T) {
+	// The MEE is authenticated: an attacker who WRITES enclave ciphertext
+	// in DRAM (cold boot, bus master) causes a fault on next access, not
+	// silent corruption.
+	m := hw.NewMachine(hw.MachineConfig{})
+	s, _ := newSGX(t, m)
+	enc, err := s.CreateDomain(core.DomainSpec{Name: "bank", Code: []byte("b"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Write(0, []byte("account=1000")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one ciphertext bit in raw DRAM (the enclave's region starts at 0).
+	raw := m.Mem.PeekRaw(0, 1)
+	m.Mem.PokeRaw(0, []byte{raw[0] ^ 0x80})
+	if _, err := enc.Read(0, 12); !errors.Is(err, hw.ErrIntegrity) {
+		t.Errorf("tampered enclave memory: got %v, want hw.ErrIntegrity", err)
+	}
+	// Untampered sibling enclaves still work.
+	enc2, err := s.CreateDomain(core.DomainSpec{Name: "other", Code: []byte("o"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc2.Write(0, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := enc2.Read(0, 4); err != nil || string(got) != "fine" {
+		t.Errorf("sibling enclave = %q, %v", got, err)
+	}
+}
+
+func TestHostCanStarveEnclaveButNotReadIt(t *testing.T) {
+	// §II-C starvation: the untrusted OS controls scheduling. It can deny
+	// the enclave service — but gains no access by doing so.
+	s, _ := newSGX(t, nil)
+	enc, err := s.CreateDomain(core.DomainSpec{Name: "victim", Code: []byte("v"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Write(0, []byte("still-confidential")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Starve("victim", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Read(0, 4); !errors.Is(err, ErrStarved) {
+		t.Errorf("starved read: got %v", err)
+	}
+	if err := enc.Write(0, []byte("x")); !errors.Is(err, ErrStarved) {
+		t.Errorf("starved write: got %v", err)
+	}
+	// Resume: everything intact.
+	if err := s.Starve("victim", false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := enc.Read(0, 18)
+	if err != nil || string(got) != "still-confidential" {
+		t.Errorf("after resume = %q, %v", got, err)
+	}
+	// Host code cannot be starved (it IS the scheduler), and unknown
+	// names error.
+	host, _ := s.CreateDomain(core.DomainSpec{Name: "os", Code: []byte("l")})
+	_ = host
+	if err := s.Starve("os", true); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("starve host: got %v", err)
+	}
+	if err := s.Starve("ghost", true); !errors.Is(err, core.ErrNoDomain) {
+		t.Errorf("starve unknown: got %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package tpm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NVCounter is a monotonic counter in the TPM's non-volatile storage. Real
+// TPMs expose these as NV indices with the COUNTER attribute; trusted
+// wrappers use them to anchor freshness of state kept on untrusted storage
+// (see internal/vpfs's journal, which takes exactly this interface).
+//
+// The counter can only ever move forward; there is no reset short of
+// physically replacing the TPM — which changes the seal root and destroys
+// the protected state anyway.
+type NVCounter struct {
+	mu    sync.Mutex
+	tpm   *TPM
+	index string
+	value uint64
+}
+
+// NVCounter returns the named monotonic counter, creating it at zero on
+// first use. Counters are per-TPM persistent state.
+func (t *TPM) NVCounter(index string) *NVCounter {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nvCounters == nil {
+		t.nvCounters = make(map[string]*NVCounter)
+	}
+	if c, ok := t.nvCounters[index]; ok {
+		return c
+	}
+	c := &NVCounter{tpm: t, index: index}
+	t.nvCounters[index] = c
+	return c
+}
+
+// Increment advances the counter and returns the new value.
+func (c *NVCounter) Increment() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.value == ^uint64(0) {
+		return 0, fmt.Errorf("tpm: nv counter %q exhausted", c.index)
+	}
+	c.value++
+	return c.value, nil
+}
+
+// Value returns the current count.
+func (c *NVCounter) Value() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value, nil
+}

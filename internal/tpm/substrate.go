@@ -1,0 +1,251 @@
+package tpm
+
+import (
+	"fmt"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+)
+
+// Substrate is the Flicker-style late-launch substrate: trusted domains are
+// PALs (pieces of application logic) executed one at a time via TPM late
+// launch out of a running legacy system; untrusted domains together form
+// that legacy system and share one protection (non-)domain.
+type Substrate struct {
+	tpm *TPM
+
+	mu         sync.Mutex
+	domains    map[string]*palDomain
+	legacy     []*palDomain // untrusted domains: mutually unprotected
+	active     string       // currently launched PAL ("" if none)
+	sessions   int64        // total late-launch sessions
+	serialized int64        // sessions that had to wait for another PAL
+}
+
+var _ core.Substrate = (*Substrate)(nil)
+
+// NewSubstrate builds a late-launch substrate over the given TPM.
+func NewSubstrate(t *TPM) *Substrate {
+	return &Substrate{tpm: t, domains: make(map[string]*palDomain)}
+}
+
+// Name returns "tpm-latelaunch".
+func (s *Substrate) Name() string { return "tpm-latelaunch" }
+
+// TPM exposes the underlying module (the attest package drives boot chains
+// against it).
+func (s *Substrate) TPM() *TPM { return s.tpm }
+
+// Properties: strong launch and attestation (that is what TPMs are for),
+// spatial isolation only while a PAL runs, NO concurrency between trusted
+// components, and a very expensive invocation — a late launch stops the
+// whole machine.
+func (s *Substrate) Properties() core.Properties {
+	return core.Properties{
+		Substrate:         "tpm-latelaunch",
+		SpatialIsolation:  true,
+		SecureLaunch:      true,
+		Attestation:       true,
+		ConcurrentTrusted: false,
+		InvokeCostNs:      100_000_000, // ~100 ms per Flicker session (McCune et al.)
+		TCBUnits:          15,          // CPU+chipset launch microcode, TPM firmware, PAL shim
+	}
+}
+
+// Anchor returns the TPM-backed trust anchor.
+func (s *Substrate) Anchor() core.TrustAnchor { return &anchor{sub: s} }
+
+// CreateDomain loads a PAL (trusted) or a slice of the legacy system
+// (untrusted).
+func (s *Substrate) CreateDomain(spec core.DomainSpec) (core.DomainHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.domains[spec.Name]; ok {
+		return nil, fmt.Errorf("tpm-latelaunch: %s: %w", spec.Name, core.ErrDomainExists)
+	}
+	pages := spec.MemPages
+	if pages <= 0 {
+		pages = 1
+	}
+	d := &palDomain{
+		sub:     s,
+		name:    spec.Name,
+		trusted: spec.Trusted,
+		meas:    cryptoutil.Hash(spec.Code),
+		mem:     make([]byte, pages*4096),
+	}
+	s.domains[spec.Name] = d
+	if !spec.Trusted {
+		s.legacy = append(s.legacy, d)
+	}
+	return d, nil
+}
+
+// Sessions reports (total late-launch sessions, sessions serialized behind
+// another PAL). The concurrency experiment E14 reads these.
+func (s *Substrate) Sessions() (total, serialized int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions, s.serialized
+}
+
+// beginSession marks a PAL active; if another PAL is active the session is
+// recorded as serialized (Flicker cannot run PALs concurrently).
+func (s *Substrate) beginSession(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions++
+	if s.active != "" && s.active != name {
+		s.serialized++
+	}
+	s.active = name
+}
+
+func (s *Substrate) endSession(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == name {
+		s.active = ""
+	}
+}
+
+// palDomain is one PAL or one slice of the legacy system.
+type palDomain struct {
+	sub     *Substrate
+	name    string
+	trusted bool
+	meas    [32]byte
+
+	mu    sync.Mutex
+	mem   []byte
+	freed bool
+}
+
+var _ core.DomainHandle = (*palDomain)(nil)
+
+func (d *palDomain) DomainName() string    { return d.name }
+func (d *palDomain) Measurement() [32]byte { return d.meas }
+func (d *palDomain) Trusted() bool         { return d.trusted }
+func (d *palDomain) MemSize() int          { return len(d.mem) }
+
+func (d *palDomain) Write(off int, p []byte) error {
+	if d.trusted {
+		d.sub.beginSession(d.name)
+		defer d.sub.endSession(d.name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.freed || off < 0 || off+len(p) > len(d.mem) {
+		return fmt.Errorf("tpm-latelaunch %s: write %d@%d out of range", d.name, len(p), off)
+	}
+	copy(d.mem[off:], p)
+	return nil
+}
+
+func (d *palDomain) Read(off, n int) ([]byte, error) {
+	if d.trusted {
+		d.sub.beginSession(d.name)
+		defer d.sub.endSession(d.name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.freed || off < 0 || off+n > len(d.mem) {
+		return nil, fmt.Errorf("tpm-latelaunch %s: read %d@%d out of range", d.name, n, off)
+	}
+	out := make([]byte, n)
+	copy(out, d.mem[off:])
+	return out, nil
+}
+
+// CompromiseView: a compromised PAL sees its own memory. A compromised
+// legacy domain sees the ENTIRE legacy system — all untrusted domains are
+// one codebase ("any security vulnerability within any subsystem can lead
+// to a complete takeover of the entire legacy application") — but no PAL
+// memory: Flicker's whole point is that PAL state survives a hostile OS.
+func (d *palDomain) CompromiseView() [][]byte {
+	if d.trusted {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.freed {
+			return nil
+		}
+		out := make([]byte, len(d.mem))
+		copy(out, d.mem)
+		return [][]byte{out}
+	}
+	d.sub.mu.Lock()
+	legacy := append([]*palDomain(nil), d.sub.legacy...)
+	d.sub.mu.Unlock()
+	var views [][]byte
+	for _, l := range legacy {
+		l.mu.Lock()
+		if !l.freed {
+			c := make([]byte, len(l.mem))
+			copy(c, l.mem)
+			views = append(views, c)
+		}
+		l.mu.Unlock()
+	}
+	return views
+}
+
+func (d *palDomain) Destroy() error {
+	d.mu.Lock()
+	d.freed = true
+	d.mu.Unlock()
+	d.sub.mu.Lock()
+	delete(d.sub.domains, d.name)
+	d.sub.mu.Unlock()
+	return nil
+}
+
+// anchor adapts the TPM to the unified core.TrustAnchor interface. A PAL's
+// identity is its late-launch PCR value; quoting runs a late launch of the
+// PAL and quotes PCR 17.
+type anchor struct {
+	sub *Substrate
+}
+
+var _ core.TrustAnchor = (*anchor)(nil)
+
+func (a *anchor) AnchorKind() string { return "tpm" }
+
+// Quote late-launches the domain's code identity and signs it with the EK.
+// The unified Quote carries the domain measurement; the TPM binding is the
+// EK signature chain.
+func (a *anchor) Quote(d core.DomainHandle, nonce []byte) (core.Quote, error) {
+	if !d.Trusted() {
+		return core.Quote{}, fmt.Errorf("tpm anchor: %s is not a PAL: %w", d.DomainName(), core.ErrRefused)
+	}
+	a.sub.beginSession(d.DomainName())
+	defer a.sub.endSession(d.DomainName())
+	meas := d.Measurement()
+	if _, err := a.sub.tpm.LateLaunch(meas[:]); err != nil {
+		return core.Quote{}, err
+	}
+	return core.SignQuote("tpm", meas, nonce, a.sub.tpm.ek, a.sub.tpm.ekCert), nil
+}
+
+// Seal binds data to the PAL's code identity via the TPM seal root.
+func (a *anchor) Seal(d core.DomainHandle, plaintext []byte) ([]byte, error) {
+	meas := d.Measurement()
+	key := cryptoutil.HKDF(a.sub.tpm.sealRoot, meas[:], []byte("pal-seal"), cryptoutil.KeySize)
+	a.sub.mu.Lock()
+	a.sub.tpm.nonceCtr++
+	ctr := a.sub.tpm.nonceCtr
+	a.sub.mu.Unlock()
+	return cryptoutil.Seal(key, cryptoutil.DeriveNonce("pal-seal", ctr), plaintext, meas[:])
+}
+
+// Unseal recovers data sealed to this PAL's identity; a different PAL (or
+// modified code) derives a different key and fails.
+func (a *anchor) Unseal(d core.DomainHandle, sealed []byte) ([]byte, error) {
+	meas := d.Measurement()
+	key := cryptoutil.HKDF(a.sub.tpm.sealRoot, meas[:], []byte("pal-seal"), cryptoutil.KeySize)
+	pt, err := cryptoutil.Open(key, sealed, meas[:])
+	if err != nil {
+		return nil, fmt.Errorf("tpm anchor unseal %s: %w", d.DomainName(), ErrUnseal)
+	}
+	return pt, nil
+}

@@ -1,0 +1,282 @@
+// Package tpm simulates a Trusted Platform Module and the Flicker-style
+// late-launch isolation substrate built on it (§II-B).
+//
+// The TPM device provides the paper's three purposes: it "stores
+// cryptographic keys ... in hardware, where they cannot be leaked or stolen
+// by software running on the main processor", it "provides means to
+// restrict access to these keys to specific software stacks" (sealing to
+// PCR state), and it "can digitally sign this checksum in order to attest
+// to a remote party, which software stack has been booted" (quoting).
+//
+// The Substrate models Flicker: "late launch can be used as an isolation
+// mechanism to execute trusted components from within legacy code. Flicker
+// even allows multiple trusted components that are mutually isolated by way
+// of the TPM assigning them different cryptographic identities, but they
+// cannot run concurrently."
+package tpm
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+)
+
+// NumPCRs is the number of platform configuration registers.
+const NumPCRs = 24
+
+// LateLaunchPCR is the register a late launch resets and measures into
+// (PCR 17 on real hardware).
+const LateLaunchPCR = 17
+
+// Errors.
+var (
+	// ErrBadPCR is returned for PCR indices outside the bank.
+	ErrBadPCR = errors.New("tpm: invalid PCR index")
+
+	// ErrUnseal is returned when unsealing under a non-matching platform
+	// configuration.
+	ErrUnseal = errors.New("tpm: unseal denied (PCR mismatch)")
+)
+
+// TPM is one simulated module. The endorsement key never leaves the
+// struct; software only ever sees signatures.
+type TPM struct {
+	mu         sync.Mutex
+	pcrs       [NumPCRs][32]byte
+	ek         *cryptoutil.Signer
+	ekCert     []byte
+	sealRoot   []byte
+	nonceCtr   uint64
+	nvCounters map[string]*NVCounter
+}
+
+// New manufactures a TPM keyed from deviceSeed, with its endorsement key
+// certified by the manufacturer.
+func New(deviceSeed string, manufacturer *cryptoutil.Signer) *TPM {
+	ek := cryptoutil.NewSigner("tpm-ek:" + deviceSeed)
+	return &TPM{
+		ek:       ek,
+		ekCert:   core.IssueVendorCert(manufacturer, ek.Public()),
+		sealRoot: cryptoutil.KeyFromSeed("tpm-srk:" + deviceSeed),
+	}
+}
+
+// EKPublic returns the endorsement public key.
+func (t *TPM) EKPublic() ed25519.PublicKey { return t.ek.Public() }
+
+// EKCert returns the manufacturer's certificate over the endorsement key.
+func (t *TPM) EKCert() []byte { return append([]byte(nil), t.ekCert...) }
+
+// Reset models a platform reboot: all PCRs return to zero.
+func (t *TPM) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.pcrs {
+		t.pcrs[i] = [32]byte{}
+	}
+}
+
+// Extend folds a measurement into a PCR: pcr = H(pcr || measurement).
+// This is the only way PCR values move forward; they can never be set.
+func (t *TPM) Extend(pcr int, measurement [32]byte) error {
+	if pcr < 0 || pcr >= NumPCRs {
+		return fmt.Errorf("extend pcr %d: %w", pcr, ErrBadPCR)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pcrs[pcr] = cryptoutil.Hash(t.pcrs[pcr][:], measurement[:])
+	return nil
+}
+
+// PCRValue reads a register.
+func (t *TPM) PCRValue(pcr int) ([32]byte, error) {
+	if pcr < 0 || pcr >= NumPCRs {
+		return [32]byte{}, fmt.Errorf("read pcr %d: %w", pcr, ErrBadPCR)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pcrs[pcr], nil
+}
+
+// composite hashes the selected PCR values in ascending index order.
+// Caller holds t.mu.
+func (t *TPM) composite(pcrs []int) ([32]byte, error) {
+	sel := append([]int(nil), pcrs...)
+	sort.Ints(sel)
+	parts := make([]byte, 0, len(sel)*36)
+	for _, i := range sel {
+		if i < 0 || i >= NumPCRs {
+			return [32]byte{}, fmt.Errorf("composite pcr %d: %w", i, ErrBadPCR)
+		}
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		parts = append(parts, idx[:]...)
+		parts = append(parts, t.pcrs[i][:]...)
+	}
+	return cryptoutil.Hash(parts), nil
+}
+
+// PCRQuote is a signed statement of selected PCR contents.
+type PCRQuote struct {
+	PCRs      []int
+	Values    [][32]byte
+	Nonce     []byte
+	EKPub     ed25519.PublicKey
+	Signature []byte
+	EKCert    []byte
+}
+
+func pcrQuoteBody(pcrs []int, values [][32]byte, nonce []byte) []byte {
+	var out []byte
+	for i, p := range pcrs {
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(p))
+		out = append(out, idx[:]...)
+		out = append(out, values[i][:]...)
+	}
+	out = append(out, nonce...)
+	return out
+}
+
+// Quote signs the current values of the selected PCRs together with the
+// verifier's nonce.
+func (t *TPM) Quote(pcrs []int, nonce []byte) (PCRQuote, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sel := append([]int(nil), pcrs...)
+	sort.Ints(sel)
+	values := make([][32]byte, 0, len(sel))
+	for _, i := range sel {
+		if i < 0 || i >= NumPCRs {
+			return PCRQuote{}, fmt.Errorf("quote pcr %d: %w", i, ErrBadPCR)
+		}
+		values = append(values, t.pcrs[i])
+	}
+	return PCRQuote{
+		PCRs:      sel,
+		Values:    values,
+		Nonce:     append([]byte(nil), nonce...),
+		EKPub:     t.ek.Public(),
+		Signature: t.ek.Sign(pcrQuoteBody(sel, values, nonce)),
+		EKCert:    append([]byte(nil), t.ekCert...),
+	}, nil
+}
+
+// VerifyPCRQuote checks a quote's trust chain (manufacturer → EK →
+// signature), its freshness, and — when expected is non-nil — that each
+// quoted PCR has the expected value.
+func VerifyPCRQuote(q PCRQuote, nonce []byte, manufacturerPub ed25519.PublicKey, expected map[int][32]byte) error {
+	if !cryptoutil.Verify(manufacturerPub, q.EKPub, q.EKCert) {
+		return fmt.Errorf("ek certificate invalid: %w", core.ErrQuote)
+	}
+	if !cryptoutil.Verify(q.EKPub, pcrQuoteBody(q.PCRs, q.Values, q.Nonce), q.Signature) {
+		return fmt.Errorf("quote signature invalid: %w", core.ErrQuote)
+	}
+	if string(q.Nonce) != string(nonce) {
+		return fmt.Errorf("quote nonce mismatch: %w", core.ErrQuote)
+	}
+	if len(q.PCRs) != len(q.Values) {
+		return fmt.Errorf("quote malformed: %w", core.ErrQuote)
+	}
+	for i, p := range q.PCRs {
+		want, ok := expected[p]
+		if !ok {
+			continue
+		}
+		if q.Values[i] != want {
+			return fmt.Errorf("pcr %d mismatch: %w", p, core.ErrQuote)
+		}
+	}
+	return nil
+}
+
+// Seal encrypts plaintext bound to the CURRENT values of the selected
+// PCRs. Only a platform in the same configuration can unseal — this is
+// how BitLocker "releases the full-disk-encryption key ... only to a
+// correct version of Windows that has not been tampered with".
+func (t *TPM) Seal(pcrs []int, plaintext []byte) ([]byte, error) {
+	t.mu.Lock()
+	comp, err := t.composite(pcrs)
+	if err != nil {
+		t.mu.Unlock()
+		return nil, err
+	}
+	t.nonceCtr++
+	ctr := t.nonceCtr
+	t.mu.Unlock()
+
+	key := cryptoutil.HKDF(t.sealRoot, comp[:], []byte("tpm-seal"), cryptoutil.KeySize)
+	// Blob layout: count | pcr indices | ciphertext.
+	hdr := make([]byte, 1+len(pcrs))
+	sel := append([]int(nil), pcrs...)
+	sort.Ints(sel)
+	hdr[0] = byte(len(sel))
+	for i, p := range sel {
+		hdr[1+i] = byte(p)
+	}
+	ct, err := cryptoutil.Seal(key, cryptoutil.DeriveNonce("tpm-seal", ctr), plaintext, hdr)
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, ct...), nil
+}
+
+// Unseal decrypts a sealed blob if the platform's current PCR values match
+// those at sealing time.
+func (t *TPM) Unseal(blob []byte) ([]byte, error) {
+	if len(blob) < 1 {
+		return nil, fmt.Errorf("unseal: empty blob: %w", ErrUnseal)
+	}
+	n := int(blob[0])
+	if len(blob) < 1+n {
+		return nil, fmt.Errorf("unseal: truncated blob: %w", ErrUnseal)
+	}
+	pcrs := make([]int, n)
+	for i := 0; i < n; i++ {
+		pcrs[i] = int(blob[1+i])
+	}
+	t.mu.Lock()
+	comp, err := t.composite(pcrs)
+	t.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	key := cryptoutil.HKDF(t.sealRoot, comp[:], []byte("tpm-seal"), cryptoutil.KeySize)
+	pt, err := cryptoutil.Open(key, blob[1+n:], blob[:1+n])
+	if err != nil {
+		return nil, fmt.Errorf("unseal: %w", ErrUnseal)
+	}
+	return pt, nil
+}
+
+// LateLaunch executes the special CPU instruction of §II-B: "all currently
+// running software including the kernel [is] stopped, before a small piece
+// of code is given full control ... the CPU and chipset report the
+// cryptographic hash of this piece of code to the TPM". It resets the
+// late-launch PCR to a well-known value and extends it with the code hash,
+// giving the launched code a fresh cryptographic identity independent of
+// the boot chain.
+func (t *TPM) LateLaunch(code []byte) ([32]byte, error) {
+	meas := cryptoutil.Hash(code)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Dynamic-launch reset: the PCR returns to a distinguished value only
+	// the late-launch instruction can produce, then measures the payload.
+	t.pcrs[LateLaunchPCR] = cryptoutil.Hash([]byte("dynamic-launch-event"))
+	t.pcrs[LateLaunchPCR] = cryptoutil.Hash(t.pcrs[LateLaunchPCR][:], meas[:])
+	return t.pcrs[LateLaunchPCR], nil
+}
+
+// ExpectedLateLaunchPCR computes the PCR17 value a verifier expects for a
+// given payload, without access to a TPM.
+func ExpectedLateLaunchPCR(code []byte) [32]byte {
+	meas := cryptoutil.Hash(code)
+	v := cryptoutil.Hash([]byte("dynamic-launch-event"))
+	return cryptoutil.Hash(v[:], meas[:])
+}

@@ -1,0 +1,321 @@
+package tpm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+)
+
+func newTestTPM() (*TPM, *cryptoutil.Signer) {
+	mfr := cryptoutil.NewSigner("tpm-manufacturer")
+	return New("unit-device", mfr), mfr
+}
+
+func TestExtendIsOrderedAndIrreversible(t *testing.T) {
+	tp, _ := newTestTPM()
+	m1 := cryptoutil.Hash([]byte("bootloader"))
+	m2 := cryptoutil.Hash([]byte("kernel"))
+	if err := tp.Extend(0, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Extend(0, m2); err != nil {
+		t.Fatal(err)
+	}
+	v12, _ := tp.PCRValue(0)
+
+	tp2, _ := newTestTPM()
+	_ = tp2.Extend(0, m2)
+	_ = tp2.Extend(0, m1)
+	v21, _ := tp2.PCRValue(0)
+	if v12 == v21 {
+		t.Error("PCR extend is order-insensitive; must not be")
+	}
+	// Same sequence reproduces the same value.
+	tp3, _ := newTestTPM()
+	_ = tp3.Extend(0, m1)
+	_ = tp3.Extend(0, m2)
+	v3, _ := tp3.PCRValue(0)
+	if v12 != v3 {
+		t.Error("identical extend sequence gave different PCR")
+	}
+	if err := tp.Extend(NumPCRs, m1); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("bad pcr: got %v", err)
+	}
+	if _, err := tp.PCRValue(-1); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("bad pcr read: got %v", err)
+	}
+}
+
+func TestResetClearsPCRs(t *testing.T) {
+	tp, _ := newTestTPM()
+	_ = tp.Extend(5, cryptoutil.Hash([]byte("x")))
+	tp.Reset()
+	v, _ := tp.PCRValue(5)
+	if v != ([32]byte{}) {
+		t.Error("reset did not clear PCR")
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	tp, mfr := newTestTPM()
+	_ = tp.Extend(0, cryptoutil.Hash([]byte("stage1")))
+	_ = tp.Extend(1, cryptoutil.Hash([]byte("stage2")))
+	nonce := []byte("fresh")
+	q, err := tp.Quote([]int{1, 0}, nonce) // unsorted selection is fine
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := tp.PCRValue(0)
+	v1, _ := tp.PCRValue(1)
+	expected := map[int][32]byte{0: v0, 1: v1}
+	if err := VerifyPCRQuote(q, nonce, mfr.Public(), expected); err != nil {
+		t.Errorf("valid quote rejected: %v", err)
+	}
+	if err := VerifyPCRQuote(q, []byte("stale"), mfr.Public(), expected); !errors.Is(err, core.ErrQuote) {
+		t.Error("stale nonce accepted")
+	}
+	bad := map[int][32]byte{0: cryptoutil.Hash([]byte("evil"))}
+	if err := VerifyPCRQuote(q, nonce, mfr.Public(), bad); !errors.Is(err, core.ErrQuote) {
+		t.Error("wrong PCR value accepted")
+	}
+	other := cryptoutil.NewSigner("other-mfr")
+	if err := VerifyPCRQuote(q, nonce, other.Public(), expected); !errors.Is(err, core.ErrQuote) {
+		t.Error("wrong manufacturer accepted")
+	}
+	if _, err := tp.Quote([]int{99}, nonce); !errors.Is(err, ErrBadPCR) {
+		t.Errorf("quote of bad pcr: got %v", err)
+	}
+	// Tampered value list.
+	q.Values[0] = cryptoutil.Hash([]byte("forged"))
+	if err := VerifyPCRQuote(q, nonce, mfr.Public(), nil); !errors.Is(err, core.ErrQuote) {
+		t.Error("tampered quote accepted")
+	}
+}
+
+func TestSealUnsealBoundToPCRState(t *testing.T) {
+	tp, _ := newTestTPM()
+	_ = tp.Extend(7, cryptoutil.Hash([]byte("good-os")))
+	blob, err := tp.Seal([]int{7}, []byte("disk-encryption-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.Unseal(blob)
+	if err != nil {
+		t.Fatalf("unseal in same config: %v", err)
+	}
+	if string(got) != "disk-encryption-key" {
+		t.Errorf("unseal = %q", got)
+	}
+	// Boot a different OS: PCR changes, unseal must fail (BitLocker).
+	_ = tp.Extend(7, cryptoutil.Hash([]byte("evil-os")))
+	if _, err := tp.Unseal(blob); !errors.Is(err, ErrUnseal) {
+		t.Errorf("unseal after PCR change: got %v, want ErrUnseal", err)
+	}
+	if _, err := tp.Unseal(nil); !errors.Is(err, ErrUnseal) {
+		t.Errorf("empty blob: got %v", err)
+	}
+	if _, err := tp.Unseal([]byte{5, 1}); !errors.Is(err, ErrUnseal) {
+		t.Errorf("truncated blob: got %v", err)
+	}
+}
+
+func TestSealDifferentTPMsDoNotShareSecrets(t *testing.T) {
+	tp1, _ := newTestTPM()
+	mfr := cryptoutil.NewSigner("tpm-manufacturer")
+	tp2 := New("other-device", mfr)
+	blob, err := tp1.Seal([]int{0}, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp2.Unseal(blob); err == nil {
+		t.Error("blob sealed on one TPM unsealed on another")
+	}
+}
+
+func TestLateLaunchIdentity(t *testing.T) {
+	tp, _ := newTestTPM()
+	code := []byte("pal-code")
+	got, err := tp.LateLaunch(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ExpectedLateLaunchPCR(code) {
+		t.Error("late-launch PCR differs from verifier expectation")
+	}
+	v, _ := tp.PCRValue(LateLaunchPCR)
+	if v != got {
+		t.Error("PCR17 not updated")
+	}
+	// A legacy OS cannot reproduce the value by plain extends from zero.
+	tp2, _ := newTestTPM()
+	_ = tp2.Extend(LateLaunchPCR, cryptoutil.Hash(code))
+	v2, _ := tp2.PCRValue(LateLaunchPCR)
+	if v2 == got {
+		t.Error("plain extend reproduced the dynamic-launch value")
+	}
+}
+
+// --- substrate tests ---
+
+func newTestSubstrate() (*Substrate, *cryptoutil.Signer) {
+	tp, mfr := newTestTPM()
+	return NewSubstrate(tp), mfr
+}
+
+func TestSubstrateProperties(t *testing.T) {
+	s, _ := newTestSubstrate()
+	p := s.Properties()
+	if p.ConcurrentTrusted {
+		t.Error("late launch must not claim concurrent trusted domains")
+	}
+	if !p.SecureLaunch || !p.Attestation {
+		t.Error("TPM substrate must claim launch + attestation")
+	}
+	if s.Name() != "tpm-latelaunch" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+func TestPALIsolationFromLegacy(t *testing.T) {
+	s, _ := newTestSubstrate()
+	pal, err := s.CreateDomain(core.DomainSpec{Name: "pal", Code: []byte("p"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os1, err := s.CreateDomain(core.DomainSpec{Name: "os1", Code: []byte("o1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os2, err := s.CreateDomain(core.DomainSpec{Name: "os2", Code: []byte("o2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "pal"}); !errors.Is(err, core.ErrDomainExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	palSecret := []byte("PAL-KEY-MATERIAL")
+	osSecret := []byte("OS1-BROWSER-COOKIES")
+	if err := pal.Write(0, palSecret); err != nil {
+		t.Fatal(err)
+	}
+	if err := os1.Write(0, osSecret); err != nil {
+		t.Fatal(err)
+	}
+	// Legacy compromise sees all legacy memory but never PAL memory.
+	var all []byte
+	for _, v := range os2.CompromiseView() {
+		all = append(all, v...)
+	}
+	if !bytes.Contains(all, osSecret) {
+		t.Error("legacy compromise view missing sibling legacy memory")
+	}
+	if bytes.Contains(all, palSecret) {
+		t.Error("legacy compromise view contains PAL memory")
+	}
+	// PAL compromise sees only itself.
+	var palView []byte
+	for _, v := range pal.CompromiseView() {
+		palView = append(palView, v...)
+	}
+	if !bytes.Contains(palView, palSecret) || bytes.Contains(palView, osSecret) {
+		t.Error("PAL compromise view wrong")
+	}
+}
+
+func TestSessionSerializationAccounting(t *testing.T) {
+	s, _ := newTestSubstrate()
+	a, _ := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("a"), Trusted: true})
+	b, _ := s.CreateDomain(core.DomainSpec{Name: "b", Code: []byte("b"), Trusted: true})
+	_ = a.Write(0, []byte("x"))
+	_ = b.Write(0, []byte("y")) // would preempt a's session if still open
+	total, _ := s.Sessions()
+	if total != 2 {
+		t.Errorf("sessions = %d, want 2", total)
+	}
+}
+
+func TestAnchorQuoteAndSeal(t *testing.T) {
+	s, mfr := newTestSubstrate()
+	pal, _ := s.CreateDomain(core.DomainSpec{Name: "pal", Code: []byte("good"), Trusted: true})
+	osd, _ := s.CreateDomain(core.DomainSpec{Name: "os", Code: []byte("legacy")})
+	anchor := s.Anchor()
+	if anchor.AnchorKind() != "tpm" {
+		t.Errorf("kind = %q", anchor.AnchorKind())
+	}
+	nonce := []byte("n1")
+	q, err := anchor.Quote(pal, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyQuote(q, nonce, mfr.Public(), pal.Measurement()); err != nil {
+		t.Errorf("PAL quote invalid: %v", err)
+	}
+	if _, err := anchor.Quote(osd, nonce); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("quoting legacy domain: got %v", err)
+	}
+	// Seal to PAL identity; a different PAL cannot unseal.
+	blob, err := anchor.Seal(pal, []byte("pal-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := anchor.Unseal(pal, blob)
+	if err != nil || string(got) != "pal-secret" {
+		t.Fatalf("unseal = %q, %v", got, err)
+	}
+	other, _ := s.CreateDomain(core.DomainSpec{Name: "pal2", Code: []byte("evil"), Trusted: true})
+	if _, err := anchor.Unseal(other, blob); !errors.Is(err, ErrUnseal) {
+		t.Errorf("cross-PAL unseal: got %v", err)
+	}
+}
+
+func TestSubstrateDomainLifecycle(t *testing.T) {
+	s, _ := newTestSubstrate()
+	d, _ := s.CreateDomain(core.DomainSpec{Name: "d", Code: []byte("c"), MemPages: 2})
+	if d.MemSize() != 8192 {
+		t.Errorf("MemSize = %d", d.MemSize())
+	}
+	if err := d.Write(8190, []byte("abc")); err == nil {
+		t.Error("out-of-range write succeeded")
+	}
+	if err := d.Write(10, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(10, 5)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(0, 1); err == nil {
+		t.Error("read after destroy succeeded")
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "d"}); err != nil {
+		t.Errorf("recreate after destroy: %v", err)
+	}
+}
+
+func TestNVCounterMonotonicAndNamed(t *testing.T) {
+	tp, _ := newTestTPM()
+	a := tp.NVCounter("vpfs-root")
+	b := tp.NVCounter("other")
+	if again := tp.NVCounter("vpfs-root"); again != a {
+		t.Error("same index returned a different counter")
+	}
+	v, err := a.Increment()
+	if err != nil || v != 1 {
+		t.Fatalf("increment = %d, %v", v, err)
+	}
+	if v, _ := a.Increment(); v != 2 {
+		t.Errorf("second increment = %d", v)
+	}
+	if v, _ := b.Value(); v != 0 {
+		t.Errorf("independent counter moved: %d", v)
+	}
+	if v, _ := a.Value(); v != 2 {
+		t.Errorf("value = %d", v)
+	}
+}

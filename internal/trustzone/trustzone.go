@@ -1,0 +1,380 @@
+// Package trustzone simulates the ARM TrustZone isolation substrate
+// (§II-B): a secure world that "completely controls the software running in
+// the normal world", invoked through secure monitor calls, with access to
+// hardware keys fused into the chip.
+//
+// Structural facts the simulation preserves:
+//
+//   - "TrustZone itself offers only a single secure world. Multiple trusted
+//     components may share the secure world, but then they rely on
+//     secondary isolation by the secure world operating system."
+//   - "The normal world can host exactly one legacy codebase, because
+//     TrustZone itself does not support multiplexing. However, TrustZone
+//     can be combined with virtualization techniques to host multiple
+//     normal world operating systems" (Config.Hypervisor).
+//   - The worlds are asymmetric: a fully compromised secure world can read
+//     all of the normal world, never the reverse.
+//   - DRAM is NOT encrypted: a physical bus tap reads both worlds, unless
+//     Config.ScratchpadCrypto enables the paper's §II-D software variant
+//     ("a software implementation of such memory encryption is conceivable
+//     using on-chip scratchpad memory"), which keeps secure-world working
+//     keys in SRAM and spills only ciphertext to DRAM.
+package trustzone
+
+import (
+	"fmt"
+	"sync"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+)
+
+// FuseKeyName is the fuse holding the per-device secret only the secure
+// world can read (the smart meter's "per-device AES key ... fused into the
+// chip by the manufacturer").
+const FuseKeyName = "tz-device-key"
+
+// Config tunes the substrate.
+type Config struct {
+	// Machine is the hardware; defaults to a fresh 4 MiB machine.
+	Machine *hw.Machine
+
+	// DeviceSeed keys the fused per-device secret; required.
+	DeviceSeed string
+
+	// Vendor certifies the device identity (the SoC manufacturer).
+	Vendor *cryptoutil.Signer
+
+	// Hypervisor, when true, adds a normal-world hypervisor so several
+	// legacy operating systems can coexist (the Simko3 "Merkel-Phone"
+	// configuration). Without it, only one untrusted domain is allowed.
+	Hypervisor bool
+
+	// ScratchpadCrypto enables software memory encryption for secure-world
+	// domains: contents in DRAM are ciphertext keyed from SRAM-resident
+	// keys, so a bus tap learns nothing.
+	ScratchpadCrypto bool
+
+	// SecurePages is the size of the secure world region (default 64).
+	SecurePages int
+}
+
+// Substrate is one TrustZone-enabled SoC.
+type Substrate struct {
+	cfg     Config
+	machine *hw.Machine
+	device  *cryptoutil.Signer
+	cert    []byte
+
+	mu         sync.Mutex
+	secureBase hw.PhysAddr
+	secureOff  int // bump allocator inside the secure region
+	secureEnd  int
+	normal     []*world
+	secure     []*world
+	domains    map[string]*world
+	memKey     []byte // scratchpad-held key when ScratchpadCrypto
+	sealCtr    uint64
+}
+
+var _ core.Substrate = (*Substrate)(nil)
+
+// New powers on a TrustZone SoC: it fuses the device key (readable only at
+// secure-world privilege) and reserves the secure memory region.
+func New(cfg Config) (*Substrate, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = hw.NewMachine(hw.MachineConfig{Name: "tz-soc"})
+	}
+	if cfg.DeviceSeed == "" {
+		return nil, fmt.Errorf("trustzone: DeviceSeed required")
+	}
+	if cfg.Vendor == nil {
+		return nil, fmt.Errorf("trustzone: Vendor required")
+	}
+	if cfg.SecurePages <= 0 {
+		cfg.SecurePages = 64
+	}
+	device := cryptoutil.NewSigner("tz-device:" + cfg.DeviceSeed)
+	s := &Substrate{
+		cfg:     cfg,
+		machine: cfg.Machine,
+		device:  device,
+		cert:    core.IssueVendorCert(cfg.Vendor, device.Public()),
+		domains: make(map[string]*world),
+	}
+	base, err := cfg.Machine.AllocRegion(cfg.SecurePages)
+	if err != nil {
+		return nil, fmt.Errorf("trustzone: secure region: %w", err)
+	}
+	s.secureBase = base
+	s.secureEnd = cfg.SecurePages * hw.PageSize
+	// Fuse the device key; only secure-world privilege may read it.
+	raw := cryptoutil.KeyFromSeed("tz-fuse:" + cfg.DeviceSeed)
+	if err := cfg.Machine.Fuses.Program(FuseKeyName, raw, hw.PrivSecureWorld); err != nil {
+		return nil, fmt.Errorf("trustzone: fuse: %w", err)
+	}
+	if cfg.ScratchpadCrypto {
+		// The memory-encryption key lives in on-chip SRAM, derived from
+		// the fused secret — never in DRAM.
+		s.memKey = cryptoutil.HKDF(raw, nil, []byte("tz-scratchpad-mee"), cryptoutil.KeySize)
+		if err := cfg.Machine.SRAM.Write(0, s.memKey); err != nil {
+			return nil, fmt.Errorf("trustzone: sram: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Name returns "trustzone".
+func (s *Substrate) Name() string { return "trustzone" }
+
+// Machine exposes the hardware for experiments (bus taps).
+func (s *Substrate) Machine() *hw.Machine { return s.machine }
+
+// Properties per the paper's analysis of TrustZone.
+func (s *Substrate) Properties() core.Properties {
+	return core.Properties{
+		Substrate:                "trustzone",
+		SpatialIsolation:         true,
+		PhysicalMemoryProtection: s.cfg.ScratchpadCrypto,
+		SecureLaunch:             true, // boot ROM + secure-world boot chain
+		Attestation:              true, // software attestation with fused key
+		MaxTrustedDomains:        0,    // secure-world OS multiplexes
+		ConcurrentTrusted:        true,
+		SecondaryIsolation:       true, // trusted components share the secure world
+		InvokeCostNs:             4000, // SMC world switch round trip
+		TCBUnits:                 25,   // monitor + secure world OS (+ hypervisor)
+	}
+}
+
+// Anchor returns the ROM-rooted software attestation anchor.
+func (s *Substrate) Anchor() core.TrustAnchor { return &anchor{sub: s} }
+
+// DeviceKey returns the fused per-device secret, enforcing the privilege
+// gate: only secure-world callers succeed.
+func (s *Substrate) DeviceKey(priv hw.PrivLevel) ([]byte, error) {
+	return s.machine.Fuses.Read(FuseKeyName, priv)
+}
+
+// CreateDomain places trusted domains in the secure region (sub-isolated
+// by the secure-world OS) and untrusted domains in normal-world memory.
+func (s *Substrate) CreateDomain(spec core.DomainSpec) (core.DomainHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.domains[spec.Name]; ok {
+		return nil, fmt.Errorf("trustzone: %s: %w", spec.Name, core.ErrDomainExists)
+	}
+	pages := spec.MemPages
+	if pages <= 0 {
+		pages = 1
+	}
+	size := pages * hw.PageSize
+	w := &world{
+		sub:     s,
+		name:    spec.Name,
+		trusted: spec.Trusted,
+		meas:    cryptoutil.Hash(spec.Code),
+		size:    size,
+	}
+	if spec.Trusted {
+		if s.secureOff+size > s.secureEnd {
+			return nil, fmt.Errorf("trustzone: secure region exhausted for %s: %w",
+				spec.Name, core.ErrTooManyTrusted)
+		}
+		w.base = s.secureBase + hw.PhysAddr(s.secureOff)
+		s.secureOff += size
+		s.secure = append(s.secure, w)
+	} else {
+		if len(s.normal) >= 1 && !s.cfg.Hypervisor {
+			return nil, fmt.Errorf("trustzone: normal world hosts exactly one legacy codebase (enable Hypervisor to multiplex): %w",
+				core.ErrTooManyTrusted)
+		}
+		base, err := s.machine.AllocRegion(pages)
+		if err != nil {
+			return nil, fmt.Errorf("trustzone: %s: %w", spec.Name, err)
+		}
+		w.base = base
+		s.normal = append(s.normal, w)
+	}
+	s.domains[spec.Name] = w
+	return w, nil
+}
+
+// world is one domain in either world.
+type world struct {
+	sub     *Substrate
+	name    string
+	trusted bool
+	meas    [32]byte
+	base    hw.PhysAddr
+	size    int
+
+	mu    sync.Mutex
+	freed bool
+}
+
+var _ core.DomainHandle = (*world)(nil)
+
+func (w *world) DomainName() string    { return w.name }
+func (w *world) Measurement() [32]byte { return w.meas }
+func (w *world) Trusted() bool         { return w.trusted }
+func (w *world) MemSize() int          { return w.size }
+
+// encrypted reports whether this domain's DRAM contents are ciphertext
+// under the scratchpad MEE.
+func (w *world) encrypted() bool {
+	return w.trusted && w.sub.cfg.ScratchpadCrypto
+}
+
+func (w *world) Write(off int, p []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.freed || off < 0 || off+len(p) > w.size {
+		return fmt.Errorf("trustzone %s: write %d@%d out of range", w.name, len(p), off)
+	}
+	data := p
+	if w.encrypted() {
+		ct, err := cryptoutil.CTRKeystream(w.sub.memKey, uint64(w.base)+uint64(off), p)
+		if err != nil {
+			return err
+		}
+		data = ct
+	}
+	return w.sub.machine.Mem.WritePhys(w.base+hw.PhysAddr(off), data)
+}
+
+func (w *world) Read(off, n int) ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.freed || off < 0 || off+n > w.size {
+		return nil, fmt.Errorf("trustzone %s: read %d@%d out of range", w.name, n, off)
+	}
+	data, err := w.sub.machine.Mem.ReadPhys(w.base+hw.PhysAddr(off), n)
+	if err != nil {
+		return nil, err
+	}
+	if w.encrypted() {
+		return cryptoutil.CTRKeystream(w.sub.memKey, uint64(w.base)+uint64(off), data)
+	}
+	return data, nil
+}
+
+// CompromiseView implements the worlds' asymmetry:
+//
+//   - A compromised NORMAL-world domain reads all normal-world memory (one
+//     legacy codebase; under a hypervisor each VM reads only itself) but
+//     never secure memory — the NS bit blocks it.
+//   - A compromised SECURE-world domain reads its own slice (secondary
+//     isolation shields siblings) plus the ENTIRE normal world, because
+//     "the secure world exercises control over the normal world".
+func (w *world) CompromiseView() [][]byte {
+	w.mu.Lock()
+	if w.freed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+
+	var views [][]byte
+	readPlain := func(d *world) {
+		if b, err := d.Read(0, d.size); err == nil {
+			views = append(views, b)
+		}
+	}
+	readPlain(w)
+	w.sub.mu.Lock()
+	normals := append([]*world(nil), w.sub.normal...)
+	hyp := w.sub.cfg.Hypervisor
+	w.sub.mu.Unlock()
+	if w.trusted {
+		for _, n := range normals {
+			if n != w {
+				readPlain(n)
+			}
+		}
+		return views
+	}
+	if !hyp {
+		for _, n := range normals {
+			if n != w {
+				readPlain(n)
+			}
+		}
+	}
+	return views
+}
+
+func (w *world) Destroy() error {
+	w.mu.Lock()
+	w.freed = true
+	w.mu.Unlock()
+	w.sub.mu.Lock()
+	delete(w.sub.domains, w.name)
+	w.sub.mu.Unlock()
+	return nil
+}
+
+// anchor implements software attestation run inside the secure world,
+// booted from ROM, signing with the fused device identity — the smart
+// meter design of §III-C: "The attestation component is booted from
+// read-only memory within the smart meter system-on-chip."
+type anchor struct {
+	sub *Substrate
+}
+
+var _ core.TrustAnchor = (*anchor)(nil)
+
+func (a *anchor) AnchorKind() string { return "tz-rom" }
+
+// Quote attests a SECURE-world domain. Normal-world code cannot be quoted:
+// the anchor has no visibility into what the legacy OS mutated at runtime.
+func (a *anchor) Quote(d core.DomainHandle, nonce []byte) (core.Quote, error) {
+	if !d.Trusted() {
+		return core.Quote{}, fmt.Errorf("tz anchor: %s is normal-world: %w", d.DomainName(), core.ErrRefused)
+	}
+	return core.SignQuote("tz-rom", d.Measurement(), nonce, a.sub.device, a.sub.cert), nil
+}
+
+// Seal binds data to a secure-world domain's measurement under a key
+// derived from the fused secret.
+func (a *anchor) Seal(d core.DomainHandle, plaintext []byte) ([]byte, error) {
+	if !d.Trusted() {
+		return nil, fmt.Errorf("tz anchor: seal for normal world: %w", core.ErrRefused)
+	}
+	key, err := a.sealKey(d)
+	if err != nil {
+		return nil, err
+	}
+	meas := d.Measurement()
+	a.sub.mu.Lock()
+	a.sub.sealCtr++
+	ctr := a.sub.sealCtr
+	a.sub.mu.Unlock()
+	return cryptoutil.Seal(key, cryptoutil.DeriveNonce("tz-seal", ctr), plaintext, meas[:])
+}
+
+// Unseal recovers data sealed to the same measurement.
+func (a *anchor) Unseal(d core.DomainHandle, sealed []byte) ([]byte, error) {
+	if !d.Trusted() {
+		return nil, fmt.Errorf("tz anchor: unseal for normal world: %w", core.ErrRefused)
+	}
+	key, err := a.sealKey(d)
+	if err != nil {
+		return nil, err
+	}
+	meas := d.Measurement()
+	pt, err := cryptoutil.Open(key, sealed, meas[:])
+	if err != nil {
+		return nil, fmt.Errorf("tz anchor unseal %s: %w", d.DomainName(), err)
+	}
+	return pt, nil
+}
+
+func (a *anchor) sealKey(d core.DomainHandle) ([]byte, error) {
+	fuse, err := a.sub.DeviceKey(hw.PrivSecureWorld)
+	if err != nil {
+		return nil, err
+	}
+	meas := d.Measurement()
+	return cryptoutil.HKDF(fuse, meas[:], []byte("tz-seal"), cryptoutil.KeySize), nil
+}

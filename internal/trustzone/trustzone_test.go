@@ -1,0 +1,321 @@
+package trustzone
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+)
+
+func newTZ(t *testing.T, cfg Config) (*Substrate, *cryptoutil.Signer) {
+	t.Helper()
+	vendor := cryptoutil.NewSigner("soc-vendor")
+	if cfg.DeviceSeed == "" {
+		cfg.DeviceSeed = "meter-001"
+	}
+	cfg.Vendor = vendor
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, vendor
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Vendor: cryptoutil.NewSigner("v")}); err == nil {
+		t.Error("missing DeviceSeed accepted")
+	}
+	if _, err := New(Config{DeviceSeed: "d"}); err == nil {
+		t.Error("missing Vendor accepted")
+	}
+}
+
+func TestSingleNormalWorldWithoutHypervisor(t *testing.T) {
+	s, _ := newTZ(t, Config{})
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "android", Code: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.CreateDomain(core.DomainSpec{Name: "second-os", Code: []byte("b")})
+	if !errors.Is(err, core.ErrTooManyTrusted) {
+		t.Errorf("second normal-world domain: got %v, want ErrTooManyTrusted", err)
+	}
+}
+
+func TestHypervisorMultiplexesNormalWorld(t *testing.T) {
+	s, _ := newTZ(t, Config{Hypervisor: true})
+	a, err := s.CreateDomain(core.DomainSpec{Name: "android-private", Code: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.CreateDomain(core.DomainSpec{Name: "android-business", Code: []byte("b")})
+	if err != nil {
+		t.Fatalf("hypervisor config rejected second OS: %v", err)
+	}
+	// The Simko3 property: the two Androids cannot read each other.
+	secret := []byte("PRIVATE-PHONE-DATA")
+	if err := a.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b.CompromiseView() {
+		if bytes.Contains(v, secret) {
+			t.Error("business VM read private VM memory despite hypervisor")
+		}
+	}
+}
+
+func TestWorldAsymmetry(t *testing.T) {
+	s, _ := newTZ(t, Config{})
+	normal, err := s.CreateDomain(core.DomainSpec{Name: "android", Code: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secureA, err := s.CreateDomain(core.DomainSpec{Name: "keystore", Code: []byte("k"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secureB, err := s.CreateDomain(core.DomainSpec{Name: "drm", Code: []byte("d"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSecret := []byte("NORMAL-WORLD-DATA")
+	sSecretA := []byte("SECURE-KEYSTORE-KEY")
+	sSecretB := []byte("SECURE-DRM-LICENSE")
+	if err := normal.Write(0, nSecret); err != nil {
+		t.Fatal(err)
+	}
+	if err := secureA.Write(0, sSecretA); err != nil {
+		t.Fatal(err)
+	}
+	if err := secureB.Write(0, sSecretB); err != nil {
+		t.Fatal(err)
+	}
+	// Compromised normal world: sees itself, never secure world.
+	var nv []byte
+	for _, v := range normal.CompromiseView() {
+		nv = append(nv, v...)
+	}
+	if !bytes.Contains(nv, nSecret) {
+		t.Error("normal world cannot read itself")
+	}
+	if bytes.Contains(nv, sSecretA) || bytes.Contains(nv, sSecretB) {
+		t.Error("normal world read secure world memory")
+	}
+	// Compromised secure component: itself + all of normal world, but not
+	// its secure sibling (secondary isolation).
+	var sv []byte
+	for _, v := range secureA.CompromiseView() {
+		sv = append(sv, v...)
+	}
+	if !bytes.Contains(sv, sSecretA) || !bytes.Contains(sv, nSecret) {
+		t.Error("secure world compromise view missing own or normal memory")
+	}
+	if bytes.Contains(sv, sSecretB) {
+		t.Error("secure component read sibling despite secondary isolation")
+	}
+}
+
+func TestFusedKeyPrivilegeGate(t *testing.T) {
+	s, _ := newTZ(t, Config{})
+	if _, err := s.DeviceKey(hw.PrivUser); !errors.Is(err, hw.ErrFuseDenied) {
+		t.Errorf("user read of fuse: got %v", err)
+	}
+	if _, err := s.DeviceKey(hw.PrivKernel); !errors.Is(err, hw.ErrFuseDenied) {
+		t.Errorf("kernel (normal world) read of fuse: got %v", err)
+	}
+	k, err := s.DeviceKey(hw.PrivSecureWorld)
+	if err != nil || len(k) == 0 {
+		t.Errorf("secure world read of fuse: %v", err)
+	}
+}
+
+func TestBusTapReadsBothWorldsWithoutScratchpadCrypto(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	tap := &recordTap{}
+	m.Mem.AttachTap(tap)
+	s, _ := newTZ(t, Config{Machine: m})
+	sec, err := s.CreateDomain(core.DomainSpec{Name: "keystore", Code: []byte("k"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("TZ-PLAINTEXT-IN-DRAM")
+	if err := sec.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tap.seen, secret) {
+		t.Error("paper: TrustZone does not encrypt DRAM; tap must see plaintext")
+	}
+	if s.Properties().PhysicalMemoryProtection {
+		t.Error("plain TrustZone must not claim physical memory protection")
+	}
+}
+
+func TestScratchpadCryptoHidesSecureWorldFromTap(t *testing.T) {
+	m := hw.NewMachine(hw.MachineConfig{})
+	tap := &recordTap{}
+	m.Mem.AttachTap(tap)
+	s, _ := newTZ(t, Config{Machine: m, ScratchpadCrypto: true})
+	sec, err := s.CreateDomain(core.DomainSpec{Name: "keystore", Code: []byte("k"), Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("SOFTWARE-MEE-PROTECTED")
+	if err := sec.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(tap.seen, secret) {
+		t.Error("scratchpad crypto leaked plaintext to the bus")
+	}
+	got, err := sec.Read(0, len(secret))
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Errorf("CPU-side read = %q, %v", got, err)
+	}
+	if !s.Properties().PhysicalMemoryProtection {
+		t.Error("scratchpad-crypto TrustZone should claim physical memory protection")
+	}
+	// Normal world stays plaintext even with scratchpad crypto.
+	norm, err := s.CreateDomain(core.DomainSpec{Name: "android", Code: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("NORMAL-STILL-PLAIN")
+	if err := norm.Write(0, plain); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(tap.seen, plain) {
+		t.Error("normal world should remain unencrypted")
+	}
+}
+
+type recordTap struct{ seen []byte }
+
+func (r *recordTap) OnRead(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+func (r *recordTap) OnWrite(_ hw.PhysAddr, data []byte) []byte {
+	r.seen = append(r.seen, data...)
+	return nil
+}
+
+func TestAnchorQuoteOnlySecureWorld(t *testing.T) {
+	s, vendor := newTZ(t, Config{})
+	sec, _ := s.CreateDomain(core.DomainSpec{Name: "attest", Code: []byte("attest-v1"), Trusted: true})
+	norm, _ := s.CreateDomain(core.DomainSpec{Name: "android", Code: []byte("a")})
+	anchor := s.Anchor()
+	nonce := []byte("n")
+	q, err := anchor.Quote(sec, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyQuote(q, nonce, vendor.Public(), sec.Measurement()); err != nil {
+		t.Errorf("valid quote rejected: %v", err)
+	}
+	if _, err := anchor.Quote(norm, nonce); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("normal-world quote: got %v", err)
+	}
+	// A software emulation (no fused key) cannot produce a valid quote.
+	fake := cryptoutil.NewSigner("emulator")
+	forged := core.SignQuote("tz-rom", sec.Measurement(), nonce, fake, core.IssueVendorCert(fake, fake.Public()))
+	if err := core.VerifyQuote(forged, nonce, vendor.Public(), sec.Measurement()); !errors.Is(err, core.ErrQuote) {
+		t.Error("emulated quote accepted")
+	}
+}
+
+func TestAnchorSealUnseal(t *testing.T) {
+	s, _ := newTZ(t, Config{})
+	secA, _ := s.CreateDomain(core.DomainSpec{Name: "a", Code: []byte("good"), Trusted: true})
+	secB, _ := s.CreateDomain(core.DomainSpec{Name: "b", Code: []byte("evil"), Trusted: true})
+	norm, _ := s.CreateDomain(core.DomainSpec{Name: "android", Code: []byte("l")})
+	anchor := s.Anchor()
+	blob, err := anchor.Seal(secA, []byte("meter-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := anchor.Unseal(secA, blob)
+	if err != nil || string(got) != "meter-key" {
+		t.Fatalf("unseal = %q, %v", got, err)
+	}
+	if _, err := anchor.Unseal(secB, blob); err == nil {
+		t.Error("different measurement unsealed the blob")
+	}
+	if _, err := anchor.Seal(norm, []byte("x")); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("seal for normal world: got %v", err)
+	}
+	if _, err := anchor.Unseal(norm, blob); !errors.Is(err, core.ErrRefused) {
+		t.Errorf("unseal for normal world: got %v", err)
+	}
+	// Two seals of the same plaintext must differ (fresh nonces).
+	blob2, err := anchor.Seal(secA, []byte("meter-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(blob, blob2) {
+		t.Error("seal is deterministic across calls: nonce reuse")
+	}
+}
+
+func TestSecureRegionExhaustion(t *testing.T) {
+	s, _ := newTZ(t, Config{SecurePages: 2})
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "a", Trusted: true, MemPages: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "b", Trusted: true, MemPages: 1}); !errors.Is(err, core.ErrTooManyTrusted) {
+		t.Errorf("exhausted secure region: got %v", err)
+	}
+}
+
+func TestDomainLifecycleAndBounds(t *testing.T) {
+	s, _ := newTZ(t, Config{})
+	d, err := s.CreateDomain(core.DomainSpec{Name: "x", Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(4094, []byte("abcd")); err == nil {
+		t.Error("out-of-range write succeeded")
+	}
+	if _, err := d.Read(0, 5000); err == nil {
+		t.Error("out-of-range read succeeded")
+	}
+	if err := d.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, []byte("x")); err == nil {
+		t.Error("write after destroy succeeded")
+	}
+	if d.CompromiseView() != nil {
+		t.Error("destroyed domain has compromise view")
+	}
+	if _, err := s.CreateDomain(core.DomainSpec{Name: "x", Trusted: true}); err != nil {
+		t.Errorf("recreate after destroy: %v", err)
+	}
+}
+
+func TestHostsCoreSystem(t *testing.T) {
+	s, _ := newTZ(t, Config{})
+	sys := core.NewSystem(s)
+	if err := sys.Launch(&stub{}, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InitAll(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := sys.CtxOf("stub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Quote([]byte("n")); err != nil {
+		t.Errorf("component-level quote failed: %v", err)
+	}
+}
+
+type stub struct{}
+
+func (*stub) CompName() string     { return "stub" }
+func (*stub) CompVersion() string  { return "1" }
+func (*stub) Init(*core.Ctx) error { return nil }
+func (*stub) Handle(core.Envelope) (core.Message, error) {
+	return core.Message{}, nil
+}

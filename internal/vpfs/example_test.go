@@ -1,0 +1,49 @@
+package vpfs_test
+
+import (
+	"errors"
+	"fmt"
+
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+	"lateral/internal/legacy"
+	"lateral/internal/vpfs"
+)
+
+// Example shows the trusted-wrapper pattern: the legacy stack stores the
+// bytes, VPFS guarantees confidentiality and integrity, and tampering on
+// the untrusted device is detected instead of silently accepted.
+func Example() {
+	dev := hw.NewBlockDevice("disk0", 128)
+	fs, err := legacy.Format(dev)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	v, err := vpfs.New(fs, cryptoutil.KeyFromSeed("example-master"), vpfs.ModeFull)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := v.WriteFile("ledger", []byte("balance=100")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	got, err := v.ReadFile("ledger")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("read back: %s\n", got)
+
+	// The storage attacker flips bits on the raw device.
+	if err := fs.TamperFileData("ledger"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, err = v.ReadFile("ledger")
+	fmt.Printf("after tampering: detected=%v\n", errors.Is(err, vpfs.ErrIntegrity))
+	// Output:
+	// read back: balance=100
+	// after tampering: detected=true
+}

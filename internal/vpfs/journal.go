@@ -1,0 +1,189 @@
+package vpfs
+
+// This file adds jVPFS-style robustness (the paper's reference [44],
+// "jVPFS: Adding robustness to a secure stacked file system with untrusted
+// local storage components"): the trusted freshness state survives crashes
+// WITHOUT trusting the storage, by journaling sealed state snapshots to
+// the untrusted backing store while anchoring freshness in a tiny trusted
+// monotonic counter (in real systems: TPM NV counters or sealed SEP
+// storage; here: the Counter interface).
+//
+// The attacker controls the journal file completely. What the design
+// guarantees:
+//
+//   - Crash at any point: Recover rebuilds the exact committed state.
+//   - Journal tampering: detected (sealed + MACed records).
+//   - Journal rollback/truncation: detected, because the record sequence
+//     must reach the trusted counter's current value.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lateral/internal/cryptoutil"
+	"lateral/internal/legacy"
+)
+
+// ErrJournal is returned for corrupted, rolled-back, or truncated journals.
+var ErrJournal = errors.New("vpfs: journal integrity violation")
+
+// Counter is the tiny piece of trusted, persistent, monotonic state the
+// journal anchors to. Implementations: TPM NV counters, SEP sealed
+// storage, or (in tests) an in-memory counter standing in for them.
+type Counter interface {
+	// Increment advances and returns the new value. Monotonic, durable.
+	Increment() (uint64, error)
+	// Value returns the current value.
+	Value() (uint64, error)
+}
+
+// MemCounter is an in-memory Counter for tests and simulations.
+type MemCounter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Increment implements Counter.
+func (c *MemCounter) Increment() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v++
+	return c.v, nil
+}
+
+// Value implements Counter.
+func (c *MemCounter) Value() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v, nil
+}
+
+// journalName is the backing-store file holding the latest sealed state.
+const journalName = "vpfs.journal"
+
+// Journal binds a VPFS to a trusted counter and persists sealed state
+// snapshots on the untrusted store after every mutation.
+type Journal struct {
+	v       *VPFS
+	counter Counter
+	key     []byte
+}
+
+// NewJournal wraps an existing VPFS (ModeFull is required — journaling
+// exists to persist the freshness table).
+func NewJournal(v *VPFS, counter Counter) (*Journal, error) {
+	if v.Mode() != ModeFull {
+		return nil, fmt.Errorf("vpfs: journaling requires ModeFull, have %v", v.Mode())
+	}
+	return &Journal{
+		v:       v,
+		counter: counter,
+		key:     cryptoutil.HKDF(v.master, nil, []byte("vpfs-journal"), cryptoutil.KeySize),
+	}, nil
+}
+
+// Commit seals the current trusted state under the NEXT counter value,
+// writes it to the untrusted store, then bumps the counter. A crash
+// between the write and the bump re-commits on recovery (the stale record
+// with seq == counter+1 is simply overwritten); a crash before the write
+// leaves the previous committed state intact.
+func (j *Journal) Commit() error {
+	cur, err := j.counter.Value()
+	if err != nil {
+		return err
+	}
+	seq := cur + 1
+	state := j.v.SaveState()
+	var seqB [8]byte
+	binary.BigEndian.PutUint64(seqB[:], seq)
+	// The nonce is bound to the state contents as well as the sequence:
+	// a crash between write and counter bump re-commits the SAME seq with
+	// possibly different state, which must not reuse a nonce.
+	stateDigest := cryptoutil.Hash(state)
+	nonce := cryptoutil.DeriveNonce("vpfs-journal:"+string(stateDigest[:8]), seq)
+	sealed, err := cryptoutil.Seal(j.key, nonce, state, seqB[:])
+	if err != nil {
+		return err
+	}
+	record := append(seqB[:], sealed...)
+	if err := j.v.backing.WriteFile(journalName, record); err != nil {
+		return fmt.Errorf("vpfs journal: %w", err)
+	}
+	if _, err := j.counter.Increment(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteFile mutates and commits atomically (from the caller's view).
+func (j *Journal) WriteFile(name string, data []byte) error {
+	if err := j.v.WriteFile(name, data); err != nil {
+		return err
+	}
+	return j.Commit()
+}
+
+// DeleteFile mutates and commits.
+func (j *Journal) DeleteFile(name string) error {
+	if err := j.v.DeleteFile(name); err != nil {
+		return err
+	}
+	return j.Commit()
+}
+
+// ReadFile delegates to the underlying VPFS.
+func (j *Journal) ReadFile(name string) ([]byte, error) {
+	return j.v.ReadFile(name)
+}
+
+// List delegates to the underlying VPFS.
+func (j *Journal) List() ([]string, error) {
+	return j.v.List()
+}
+
+// Recover mounts a journaled VPFS after a crash or reboot: it loads the
+// sealed state record from the untrusted store and accepts it only if its
+// sequence number matches the trusted counter. A rolled-back or truncated
+// journal (attacker restored an old record, or deleted it while the
+// counter says state exists) is detected, not silently accepted.
+func Recover(backing *legacy.FS, masterKey []byte, counter Counter) (*Journal, error) {
+	v, err := New(backing, masterKey, ModeFull)
+	if err != nil {
+		return nil, err
+	}
+	j, err := NewJournal(v, counter)
+	if err != nil {
+		return nil, err
+	}
+	want, err := counter.Value()
+	if err != nil {
+		return nil, err
+	}
+	if want == 0 {
+		// Nothing ever committed: fresh file system.
+		return j, nil
+	}
+	record, err := backing.ReadFile(journalName)
+	if err != nil {
+		return nil, fmt.Errorf("journal missing with counter=%d: %w", want, ErrJournal)
+	}
+	if len(record) < 8 {
+		return nil, fmt.Errorf("journal truncated: %w", ErrJournal)
+	}
+	seq := binary.BigEndian.Uint64(record[:8])
+	if seq != want {
+		return nil, fmt.Errorf("journal seq %d, trusted counter %d (rollback?): %w", seq, want, ErrJournal)
+	}
+	var seqB [8]byte
+	binary.BigEndian.PutUint64(seqB[:], seq)
+	state, err := cryptoutil.Open(j.key, record[8:], seqB[:])
+	if err != nil {
+		return nil, fmt.Errorf("journal unseal: %w", ErrJournal)
+	}
+	if err := v.LoadState(state); err != nil {
+		return nil, fmt.Errorf("journal state: %w", err)
+	}
+	return j, nil
+}

@@ -1,0 +1,284 @@
+// Package vpfs implements the Virtual Private File System trusted wrapper
+// of §III-D: "a trusted wrapper allowing secure reuse of a legacy file
+// system stack. The legacy stack takes care of actually storing file
+// contents and managing the storage medium, but it never handles plaintext
+// data. Instead, the VPFS wrapper guarantees confidentiality and integrity
+// of all file system data and metadata by means of encryption and message
+// authentication codes."
+//
+// Two modes exist for the A4 ablation:
+//
+//   - ModeMACOnly authenticates each file individually (AEAD with the file
+//     name and version bound as additional data). It detects corruption
+//     and cross-file swaps, but NOT rollback: an attacker replaying an old,
+//     validly-MACed version goes unnoticed.
+//   - ModeFull additionally keeps a freshness table (name → version +
+//     whole-blob hash) in trusted memory, detecting rollback, deletion
+//     resurrections, and any divergence of untrusted storage from the last
+//     acknowledged state. The table can be sealed and persisted via the
+//     substrate's trust anchor (SaveState/LoadState).
+package vpfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lateral/internal/cryptoutil"
+	"lateral/internal/legacy"
+)
+
+// Mode selects the protection level.
+type Mode int
+
+// Modes.
+const (
+	// ModeMACOnly protects confidentiality + per-file integrity.
+	ModeMACOnly Mode = iota + 1
+
+	// ModeFull adds freshness (anti-rollback) via a trusted-memory table.
+	ModeFull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeMACOnly:
+		return "mac-only"
+	case ModeFull:
+		return "full"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Overhead is the per-file storage overhead in bytes (version prefix +
+// AEAD nonce + tag).
+const Overhead = 8 + cryptoutil.NonceSize + 16
+
+// MaxFileSize is the largest plaintext a VPFS file can hold.
+const MaxFileSize = legacy.MaxFileSize - Overhead
+
+// Errors.
+var (
+	// ErrIntegrity is returned when stored data fails authentication.
+	ErrIntegrity = errors.New("vpfs: integrity violation")
+
+	// ErrRollback is returned (ModeFull) when storage presents an older,
+	// validly-authenticated version — a replay of stale state.
+	ErrRollback = errors.New("vpfs: rollback detected")
+
+	// ErrNotFound mirrors the backing store's not-found for files VPFS
+	// has never seen (or has deleted).
+	ErrNotFound = errors.New("vpfs: file not found")
+
+	// ErrTooLarge is returned for plaintexts over MaxFileSize.
+	ErrTooLarge = errors.New("vpfs: file too large")
+)
+
+type entry struct {
+	Version uint64
+	Mac     [32]byte
+}
+
+// VPFS is one mounted private file system over an untrusted backing store.
+type VPFS struct {
+	mu      sync.Mutex
+	backing *legacy.FS
+	master  []byte
+	mode    Mode
+	seq     uint64
+	table   map[string]entry // trusted state (ModeFull)
+}
+
+// New mounts a VPFS with the given master key (typically unsealed from the
+// substrate's trust anchor) over a legacy file system.
+func New(backing *legacy.FS, masterKey []byte, mode Mode) (*VPFS, error) {
+	if len(masterKey) != cryptoutil.KeySize {
+		return nil, fmt.Errorf("vpfs: master key must be %d bytes, got %d", cryptoutil.KeySize, len(masterKey))
+	}
+	if mode != ModeMACOnly && mode != ModeFull {
+		return nil, fmt.Errorf("vpfs: invalid mode %d", mode)
+	}
+	return &VPFS{
+		backing: backing,
+		master:  append([]byte(nil), masterKey...),
+		mode:    mode,
+		table:   make(map[string]entry),
+	}, nil
+}
+
+// Mode returns the protection mode.
+func (v *VPFS) Mode() Mode { return v.mode }
+
+// fileKey derives the per-file AEAD key.
+func (v *VPFS) fileKey(name string) []byte {
+	return cryptoutil.HKDF(v.master, []byte(name), []byte("vpfs-file"), cryptoutil.KeySize)
+}
+
+func ad(name string, version uint64) []byte {
+	out := make([]byte, 8+len(name))
+	binary.BigEndian.PutUint64(out, version)
+	copy(out[8:], name)
+	return out
+}
+
+// WriteFile encrypts-then-stores a file on the untrusted backing store.
+func (v *VPFS) WriteFile(name string, data []byte) error {
+	if len(data) > MaxFileSize {
+		return fmt.Errorf("%q is %d bytes (max %d): %w", name, len(data), MaxFileSize, ErrTooLarge)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.seq++
+	version := v.seq
+	sealed, err := cryptoutil.Seal(v.fileKey(name),
+		cryptoutil.DeriveNonce("vpfs:"+name, version), data, ad(name, version))
+	if err != nil {
+		return fmt.Errorf("vpfs seal %q: %w", name, err)
+	}
+	blob := make([]byte, 8, 8+len(sealed))
+	binary.BigEndian.PutUint64(blob, version)
+	blob = append(blob, sealed...)
+	if err := v.backing.WriteFile(name, blob); err != nil {
+		return fmt.Errorf("vpfs store %q: %w", name, err)
+	}
+	if v.mode == ModeFull {
+		v.table[name] = entry{Version: version, Mac: cryptoutil.Hash(blob)}
+	}
+	return nil
+}
+
+// ReadFile loads, authenticates, and decrypts a file. In ModeFull any
+// divergence from the freshness table is reported as ErrRollback (stale
+// but authentic data) or ErrIntegrity (corrupted data).
+func (v *VPFS) ReadFile(name string) ([]byte, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.mode == ModeFull {
+		if _, ok := v.table[name]; !ok {
+			return nil, fmt.Errorf("%q: %w", name, ErrNotFound)
+		}
+	}
+	blob, err := v.backing.ReadFile(name)
+	if err != nil {
+		if errors.Is(err, legacy.ErrNotFound) {
+			return nil, fmt.Errorf("%q: %w", name, ErrNotFound)
+		}
+		return nil, err
+	}
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("%q: truncated blob: %w", name, ErrIntegrity)
+	}
+	version := binary.BigEndian.Uint64(blob[:8])
+	pt, aeadErr := cryptoutil.Open(v.fileKey(name), blob[8:], ad(name, version))
+	if v.mode == ModeFull {
+		want := v.table[name]
+		if cryptoutil.Hash(blob) != want.Mac {
+			if aeadErr == nil && version < want.Version {
+				return nil, fmt.Errorf("%q: version %d < %d: %w", name, version, want.Version, ErrRollback)
+			}
+			return nil, fmt.Errorf("%q: %w", name, ErrIntegrity)
+		}
+	}
+	if aeadErr != nil {
+		return nil, fmt.Errorf("%q: %w", name, ErrIntegrity)
+	}
+	return pt, nil
+}
+
+// DeleteFile removes a file from backing storage and, in ModeFull, from
+// the freshness table — a resurrected copy will NOT be accepted back.
+func (v *VPFS) DeleteFile(name string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.mode == ModeFull {
+		if _, ok := v.table[name]; !ok {
+			return fmt.Errorf("%q: %w", name, ErrNotFound)
+		}
+		delete(v.table, name)
+	}
+	if err := v.backing.DeleteFile(name); err != nil && !errors.Is(err, legacy.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// List returns the file names VPFS vouches for. In ModeFull this is the
+// freshness table (storage cannot forge directory entries); in ModeMACOnly
+// it falls back to the backing store's listing.
+func (v *VPFS) List() ([]string, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.mode == ModeFull {
+		out := make([]string, 0, len(v.table))
+		for name := range v.table {
+			out = append(out, name)
+		}
+		sort.Strings(out)
+		return out, nil
+	}
+	return v.backing.List()
+}
+
+// SaveState serializes the trusted state (sequence counter + freshness
+// table) for sealing to the platform's trust anchor across reboots.
+func (v *VPFS) SaveState() []byte {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	names := make([]string, 0, len(v.table))
+	for n := range v.table {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []byte
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], v.seq)
+	out = append(out, b8[:]...)
+	binary.BigEndian.PutUint64(b8[:], uint64(len(names)))
+	out = append(out, b8[:]...)
+	for _, n := range names {
+		e := v.table[n]
+		out = append(out, byte(len(n)))
+		out = append(out, n...)
+		binary.BigEndian.PutUint64(b8[:], e.Version)
+		out = append(out, b8[:]...)
+		out = append(out, e.Mac[:]...)
+	}
+	return out
+}
+
+// LoadState restores trusted state saved by SaveState.
+func (v *VPFS) LoadState(state []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(state) < 16 {
+		return fmt.Errorf("vpfs: truncated state: %w", ErrIntegrity)
+	}
+	seq := binary.BigEndian.Uint64(state[:8])
+	n := binary.BigEndian.Uint64(state[8:16])
+	state = state[16:]
+	table := make(map[string]entry, n)
+	for i := uint64(0); i < n; i++ {
+		if len(state) < 1 {
+			return fmt.Errorf("vpfs: truncated state entry: %w", ErrIntegrity)
+		}
+		l := int(state[0])
+		state = state[1:]
+		if len(state) < l+8+32 {
+			return fmt.Errorf("vpfs: truncated state entry: %w", ErrIntegrity)
+		}
+		name := string(state[:l])
+		state = state[l:]
+		var e entry
+		e.Version = binary.BigEndian.Uint64(state[:8])
+		state = state[8:]
+		copy(e.Mac[:], state[:32])
+		state = state[32:]
+		table[name] = e
+	}
+	v.seq = seq
+	v.table = table
+	return nil
+}

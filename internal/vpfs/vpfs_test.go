@@ -1,0 +1,285 @@
+package vpfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lateral/internal/cryptoutil"
+	"lateral/internal/hw"
+	"lateral/internal/legacy"
+)
+
+func newVPFS(t *testing.T, mode Mode) (*VPFS, *legacy.FS) {
+	t.Helper()
+	dev := hw.NewBlockDevice("disk0", 256)
+	fs, err := legacy.Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(fs, cryptoutil.KeyFromSeed("vpfs-master"), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, fs
+}
+
+func TestNewValidation(t *testing.T) {
+	dev := hw.NewBlockDevice("d", 64)
+	fs, _ := legacy.Format(dev)
+	if _, err := New(fs, []byte("short"), ModeFull); err == nil {
+		t.Error("short master key accepted")
+	}
+	if _, err := New(fs, cryptoutil.KeyFromSeed("k"), Mode(9)); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestWriteReadDeleteRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeMACOnly, ModeFull} {
+		v, _ := newVPFS(t, mode)
+		if err := v.WriteFile("inbox", []byte("private mail")); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		got, err := v.ReadFile("inbox")
+		if err != nil || string(got) != "private mail" {
+			t.Fatalf("%v: read = %q, %v", mode, got, err)
+		}
+		if err := v.DeleteFile("inbox"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.ReadFile("inbox"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%v: read deleted: got %v", mode, err)
+		}
+	}
+}
+
+func TestConfidentialityOnDevice(t *testing.T) {
+	v, fs := newVPFS(t, ModeFull)
+	secret := []byte("VPFS-CONFIDENTIAL-PAYLOAD")
+	if err := v.WriteFile("mail", secret); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fs.Device().NumSectors(); i++ {
+		sec, _ := fs.Device().ReadSector(i)
+		if bytes.Contains(sec, secret) {
+			t.Fatal("plaintext found on untrusted device")
+		}
+	}
+}
+
+func TestTamperDetectedBothModes(t *testing.T) {
+	for _, mode := range []Mode{ModeMACOnly, ModeFull} {
+		v, fs := newVPFS(t, mode)
+		if err := v.WriteFile("ledger", []byte("balance=100")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.TamperFileData("ledger"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.ReadFile("ledger"); !errors.Is(err, ErrIntegrity) {
+			t.Errorf("%v: tampered read: got %v, want ErrIntegrity", mode, err)
+		}
+	}
+}
+
+func TestRollbackDetectedOnlyInFullMode(t *testing.T) {
+	// The A4 ablation: replay an old (authentic) file version.
+	run := func(mode Mode) error {
+		v, fs := newVPFS(t, mode)
+		if err := v.WriteFile("state", []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+		snap := fs.Device().Snapshot()
+		if err := v.WriteFile("state", []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Device().RestoreSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		_, err := v.ReadFile("state")
+		return err
+	}
+	if err := run(ModeFull); !errors.Is(err, ErrRollback) {
+		t.Errorf("full mode: got %v, want ErrRollback", err)
+	}
+	// MAC-only: the stale version is authentic per-file, so it is
+	// silently accepted — the documented weakness.
+	if err := run(ModeMACOnly); err != nil {
+		t.Errorf("mac-only mode should MISS the rollback, got %v", err)
+	}
+}
+
+func TestCrossFileSwapDetected(t *testing.T) {
+	// Swap two files' blobs at the backing layer; the name in the AD
+	// catches it even in MAC-only mode.
+	v, fs := newVPFS(t, ModeMACOnly)
+	if err := v.WriteFile("a", []byte("content-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteFile("b", []byte("content-b")); err != nil {
+		t.Fatal(err)
+	}
+	blobA, _ := fs.ReadFile("a")
+	blobB, _ := fs.ReadFile("b")
+	if err := fs.WriteFile("a", blobB); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("b", blobA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadFile("a"); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("swapped file accepted: %v", err)
+	}
+}
+
+func TestResurrectionDetectedInFullMode(t *testing.T) {
+	v, fs := newVPFS(t, ModeFull)
+	if err := v.WriteFile("token", []byte("revoked-credential")); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := fs.ReadFile("token")
+	if err := v.DeleteFile("token"); err != nil {
+		t.Fatal(err)
+	}
+	// Attacker restores the deleted file on the backing store.
+	if err := fs.WriteFile("token", blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadFile("token"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("resurrected file accepted: %v", err)
+	}
+	// MAC-only mode is fooled.
+	v2, fs2 := newVPFS(t, ModeMACOnly)
+	if err := v2.WriteFile("token", []byte("revoked-credential")); err != nil {
+		t.Fatal(err)
+	}
+	blob2, _ := fs2.ReadFile("token")
+	if err := v2.DeleteFile("token"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.WriteFile("token", blob2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v2.ReadFile("token"); err != nil {
+		t.Errorf("mac-only should miss resurrection, got %v", err)
+	}
+}
+
+func TestListModes(t *testing.T) {
+	v, fs := newVPFS(t, ModeFull)
+	if err := v.WriteFile("b", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WriteFile("a", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Storage forges an extra directory entry; ModeFull ignores it.
+	if err := fs.WriteFile("forged", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := v.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("full list = %v", names)
+	}
+}
+
+func TestTruncatedBlobRejected(t *testing.T) {
+	v, fs := newVPFS(t, ModeMACOnly)
+	if err := fs.WriteFile("stub", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadFile("stub"); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("truncated blob: got %v", err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	v, _ := newVPFS(t, ModeFull)
+	if err := v.WriteFile("big", make([]byte, MaxFileSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize: got %v", err)
+	}
+	if err := v.WriteFile("max", make([]byte, MaxFileSize)); err != nil {
+		t.Errorf("max size rejected: %v", err)
+	}
+}
+
+func TestSaveLoadStateAcrossRemount(t *testing.T) {
+	dev := hw.NewBlockDevice("disk0", 256)
+	fs, _ := legacy.Format(dev)
+	key := cryptoutil.KeyFromSeed("vpfs-master")
+	v1, _ := New(fs, key, ModeFull)
+	if err := v1.WriteFile("persist", []byte("across reboot")); err != nil {
+		t.Fatal(err)
+	}
+	state := v1.SaveState()
+
+	// "Reboot": fresh VPFS instance over the same device.
+	v2, _ := New(fs, key, ModeFull)
+	if _, err := v2.ReadFile("persist"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("fresh instance should not trust old files yet: %v", err)
+	}
+	if err := v2.LoadState(state); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.ReadFile("persist")
+	if err != nil || string(got) != "across reboot" {
+		t.Fatalf("after state load = %q, %v", got, err)
+	}
+	// Sequence continues: a new write after reload must not reuse an old
+	// version number (rollback window).
+	if err := v2.WriteFile("persist", []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = v2.ReadFile("persist")
+	if err != nil || string(got) != "new content" {
+		t.Fatalf("after rewrite = %q, %v", got, err)
+	}
+	if err := v2.LoadState([]byte("short")); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("truncated state: got %v", err)
+	}
+	if err := v2.LoadState(state[:20]); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("cut state: got %v", err)
+	}
+}
+
+func TestWrongMasterKeyCannotRead(t *testing.T) {
+	dev := hw.NewBlockDevice("disk0", 256)
+	fs, _ := legacy.Format(dev)
+	v1, _ := New(fs, cryptoutil.KeyFromSeed("right"), ModeMACOnly)
+	if err := v1.WriteFile("f", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := New(fs, cryptoutil.KeyFromSeed("wrong"), ModeMACOnly)
+	if _, err := v2.ReadFile("f"); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("wrong key read: got %v", err)
+	}
+}
+
+// Property: round trip for arbitrary data under both modes.
+func TestQuickRoundTrip(t *testing.T) {
+	vFull, _ := newVPFS(t, ModeFull)
+	vMac, _ := newVPFS(t, ModeMACOnly)
+	f := func(data []byte) bool {
+		if len(data) > MaxFileSize {
+			data = data[:MaxFileSize]
+		}
+		for _, v := range []*VPFS{vFull, vMac} {
+			if err := v.WriteFile("q", data); err != nil {
+				return false
+			}
+			got, err := v.ReadFile("q")
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
