@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz examples clean
+.PHONY: all build vet test race-hotpath race cover bench experiments fuzz examples clean
 
-all: build vet test
+all: build vet test race-hotpath
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The tracing hot path is lock-sensitive: run the instrumented packages
+# under the race detector on every tier-1 pass.
+race-hotpath:
+	$(GO) test -race ./internal/telemetry ./internal/core
 
 race:
 	$(GO) test -race ./...

@@ -26,6 +26,7 @@ import (
 	"lateral/internal/legacy"
 	"lateral/internal/mail"
 	"lateral/internal/securechan"
+	"lateral/internal/telemetry"
 	"lateral/internal/vpfs"
 )
 
@@ -161,6 +162,81 @@ func BenchmarkInvocation(b *testing.B) {
 			}
 			b.ReportMetric(float64(sub.Properties().InvokeCostNs), "modeled-ns/call")
 		})
+	}
+}
+
+// benchMailSystem builds the horizontal mail system used by the tracing
+// overhead pair below.
+func benchMailSystem(b *testing.B) *core.System {
+	b.Helper()
+	sys, _, err := mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkUntracedInvocation is the baseline for the tracing overhead
+// claim: the full fetch-mail flow with no Tracer installed.
+func BenchmarkUntracedInvocation(b *testing.B) {
+	sys := benchMailSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mail.FetchMail(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracedInvocation is the same flow with the telemetry.Metrics
+// collector installed in the production configuration: head sampling at
+// 1-in-512 requests (the same order as Dapper's production 1-in-1024), so
+// steady-state delivers run the untraced fast path and only the sampled
+// ones pay for span IDs, clock reads, and histogram updates — an amortized
+// cost of a few ns per request. Compare ns/op against
+// BenchmarkUntracedInvocation; the design budget is <5% overhead
+// (EXPERIMENTS.md records the measured ratio).
+func BenchmarkTracedInvocation(b *testing.B) {
+	sys := benchMailSystem(b)
+	met := telemetry.NewMetrics()
+	sys.SetTracer(met)
+	sys.SetTraceSampling(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mail.FetchMail(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullyTracedInvocation traces every request (no sampling) — the
+// worst-case fidelity/overhead point, reported alongside the sampled
+// number in EXPERIMENTS.md.
+func BenchmarkFullyTracedInvocation(b *testing.B) {
+	sys := benchMailSystem(b)
+	met := telemetry.NewMetrics()
+	sys.SetTracer(met)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mail.FetchMail(sys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracedRecorderInvocation measures the full-fidelity span
+// recorder instead of the aggregating collector (bounded buffer, reset
+// each iteration so it never overflows).
+func BenchmarkTracedRecorderInvocation(b *testing.B) {
+	sys := benchMailSystem(b)
+	rec := telemetry.NewRecorder(0)
+	sys.SetTracer(rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mail.FetchMail(sys); err != nil {
+			b.Fatal(err)
+		}
+		rec.Reset()
 	}
 }
 

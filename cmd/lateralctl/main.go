@@ -7,6 +7,9 @@
 //	go run ./cmd/lateralctl tcb               # per-component TCB report
 //	go run ./cmd/lateralctl prune             # POLA pruning of the broad mail manifest
 //	go run ./cmd/lateralctl partition         # auto-partition an annotated monolith
+//	go run ./cmd/lateralctl trace [mail|smartmeter|distributed] [json|flame]
+//	                                          # causal span tree of a scenario workload
+//	go run ./cmd/lateralctl metrics [summary] # Prometheus text (or table) for all scenarios
 package main
 
 import (
@@ -14,12 +17,16 @@ import (
 	"os"
 	"sort"
 
+	"lateral/internal/core"
 	"lateral/internal/experiments"
 	"lateral/internal/kernel"
 	"lateral/internal/mail"
 	"lateral/internal/manifest"
+	"lateral/internal/meter"
 	"lateral/internal/metrics"
+	"lateral/internal/netsim"
 	"lateral/internal/partition"
+	"lateral/internal/telemetry"
 )
 
 func main() {
@@ -31,7 +38,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition")
+		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition|trace|metrics")
 	}
 	switch args[0] {
 	case "substrates":
@@ -155,7 +162,108 @@ func run(args []string) error {
 			fmt.Printf("  %s → %s (badge %d)\n", ch.From, ch.To, ch.Badge)
 		}
 		return nil
+	case "trace":
+		scenario := "mail"
+		format := "tree"
+		for _, a := range args[1:] {
+			switch a {
+			case "mail", "smartmeter", "distributed":
+				scenario = a
+			case "json", "flame", "tree":
+				format = a
+			default:
+				return fmt.Errorf("trace: unknown argument %q", a)
+			}
+		}
+		rec := telemetry.NewRecorder(0)
+		if err := runScenario(scenario, rec, nil); err != nil {
+			return err
+		}
+		roots := rec.Trees()
+		switch format {
+		case "json":
+			return telemetry.WriteJSON(os.Stdout, roots)
+		case "flame":
+			telemetry.WriteFlame(os.Stdout, roots)
+		default:
+			telemetry.WriteTree(os.Stdout, roots)
+		}
+		if n := rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d spans dropped (recorder full)\n", n)
+		}
+		return nil
+	case "metrics":
+		met := telemetry.NewMetrics()
+		for _, sc := range []string{"mail", "smartmeter", "distributed"} {
+			if err := runScenario(sc, met, met); err != nil {
+				return err
+			}
+		}
+		if len(args) > 1 && args[1] == "summary" {
+			met.WriteSummary(os.Stdout)
+			return nil
+		}
+		return met.WritePrometheus(os.Stdout)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// runScenario drives one instrumented workload: every involved system gets
+// the tracer, and (when mon is non-nil) the simulated network reports its
+// traffic too.
+func runScenario(scenario string, tr core.Tracer, mon netsim.Monitor) error {
+	switch scenario {
+	case "mail":
+		sys, _, err := mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+		if err != nil {
+			return err
+		}
+		sys.SetTracer(tr)
+		if _, err := mail.FetchMail(sys); err != nil {
+			return err
+		}
+		_, err = mail.Compose(sys, "status report draft")
+		return err
+	case "smartmeter":
+		d, err := meter.Deploy(meter.Options{})
+		if err != nil {
+			return err
+		}
+		d.Appliance.SetTracer(tr)
+		d.Server.SetTracer(tr)
+		if mon != nil {
+			d.Net.SetMonitor(mon)
+		}
+		if err := d.Connect(); err != nil {
+			return err
+		}
+		for _, kwh := range []int{3, 5, 2} {
+			if err := d.SendReading(kwh); err != nil {
+				return err
+			}
+		}
+		_, err = d.ShowBillingOnAndroid()
+		return err
+	case "distributed":
+		demo, err := experiments.BuildDistributedDemo()
+		if err != nil {
+			return err
+		}
+		demo.Laptop.SetTracer(tr)
+		demo.Cloud.SetTracer(tr)
+		if mon != nil {
+			demo.Net.SetMonitor(mon)
+		}
+		if err := demo.Stub.Connect(); err != nil {
+			return err
+		}
+		if _, err := demo.Laptop.Deliver("client", core.Message{Op: "put", Data: []byte("traced-doc")}); err != nil {
+			return err
+		}
+		_, err = demo.Laptop.Deliver("client", core.Message{Op: "get"})
+		return err
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
 	}
 }

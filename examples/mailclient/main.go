@@ -3,21 +3,25 @@
 //
 //	go run ./examples/mailclient          # run the demo
 //	go run ./examples/mailclient -dot     # print the component graph (Graphviz)
+//	go run ./examples/mailclient -trace   # append a causal span tree of the fetch flow
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"lateral/internal/attack"
 	"lateral/internal/core"
 	"lateral/internal/kernel"
 	"lateral/internal/mail"
+	"lateral/internal/telemetry"
 )
 
 func main() {
 	dot := flag.Bool("dot", false, "print the horizontal manifest as Graphviz DOT and exit")
+	trace := flag.Bool("trace", false, "trace the horizontal fetch-mail flow and print the span tree")
 	flag.Parse()
 	if *dot {
 		fmt.Print(mail.HorizontalManifest().DOT())
@@ -26,6 +30,28 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+	if *trace {
+		if err := runTraced(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runTraced re-runs the horizontal fetch flow with telemetry installed and
+// dumps the causal span tree — the operator's view of Figure 1.
+func runTraced() error {
+	fmt.Println("\n--- traced horizontal fetch-mail flow ---")
+	sys, _, err := mail.Build(kernel.New(kernel.Config{}), mail.HorizontalManifest())
+	if err != nil {
+		return err
+	}
+	rec := telemetry.NewRecorder(0)
+	sys.SetTracer(rec)
+	if _, err := mail.FetchMail(sys); err != nil {
+		return err
+	}
+	telemetry.WriteTree(os.Stdout, rec.Trees())
+	return nil
 }
 
 func run() error {

@@ -3,19 +3,26 @@
 // network — including every attack variant the paper discusses.
 //
 //	go run ./examples/smartmeter
+//	go run ./examples/smartmeter -metrics   # append Prometheus metrics for the genuine run
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"lateral/internal/attack"
 	"lateral/internal/core"
 	"lateral/internal/meter"
 	"lateral/internal/netsim"
+	"lateral/internal/telemetry"
 )
 
+var metricsFlag = flag.Bool("metrics", false, "dump Prometheus metrics for the genuine deployment")
+
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -27,6 +34,13 @@ func run() error {
 	d, err := meter.Deploy(meter.Options{CustomerID: "customer-4711", WireAdversary: rec})
 	if err != nil {
 		return err
+	}
+	var met *telemetry.Metrics
+	if *metricsFlag {
+		met = telemetry.NewMetrics()
+		d.Appliance.SetTracer(met)
+		d.Server.SetTracer(met)
+		d.Net.SetMonitor(met)
 	}
 	if err := d.Connect(); err != nil {
 		return fmt.Errorf("mutual attestation: %w", err)
@@ -56,6 +70,12 @@ func run() error {
 	}
 	fmt.Printf("operator's database sees only:    %q\n", dump)
 	fmt.Printf("eavesdropper saw customer id:     %v\n", rec.Saw([]byte("customer-4711")))
+	if met != nil {
+		fmt.Println("\n--- telemetry for the genuine deployment ---")
+		if err := met.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 
 	fmt.Println("\n--- attack: utility deploys a tampered anonymizer ---")
 	d2, err := meter.Deploy(meter.Options{TamperAnonymizer: true})

@@ -75,6 +75,12 @@ type Envelope struct {
 	Msg   Message
 	From  string // channel-established sender identity; "" on ambient channels
 	Badge uint64 // capability badge; 0 on ambient channels
+
+	// Span is the telemetry span of the invocation carrying this envelope
+	// (zero when no Tracer is installed). It propagates the causal trace
+	// across domains — and, via the distributed stub/exporter pair, across
+	// machines. Components may read it but never need to.
+	Span Span
 }
 
 // Component is the unit of horizontal application design. Implementations
@@ -125,7 +131,10 @@ func DomainImage(comps ...Component) []byte {
 }
 
 // Observer receives everything an adversary can see. The attack package
-// provides the implementation; core only reports.
+// provides the implementation; core only reports. Observer is the
+// adversary-facing twin of the operator-facing Tracer (trace.go): an
+// Observer sees payload bytes from compromised domains, a Tracer sees
+// timing and topology of every crossing but never payloads.
 type Observer interface {
 	// Observe records that the adversary saw data in the given context.
 	Observe(context string, data []byte)

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 )
 
 // ChannelSpec declares one communication channel between components, as a
@@ -71,6 +73,13 @@ type node struct {
 	// CYCLE of calls (A→B→A) therefore deadlocks; manifests must keep the
 	// call graph acyclic.
 	handleMu sync.Mutex
+
+	// span is the handler span the component is currently executing,
+	// guarded by System.mu. Outbound calls parent to it. Handle is
+	// serialized per component, so by the time a handler runs its span is
+	// current; concurrent Delivers to one component may briefly attribute
+	// a call to a sibling span, but never tear or race.
+	span Span
 }
 
 // Stats are the system's virtual cost counters, used by the experiment
@@ -98,15 +107,32 @@ type System struct {
 	order    []*node // init order
 	observer Observer
 	stats    Stats
+
+	// tracer is the telemetry hook (see trace.go); nil means the
+	// uninstrumented fast path. spanSeq and traceSeq allocate IDs under
+	// mu, starting from a per-system base so several systems can share
+	// one tracer.
+	tracer   Tracer
+	spanSeq  uint64
+	traceSeq uint64
+
+	// sampleEvery enables head sampling: only one in every sampleEvery
+	// externally delivered requests is traced (0 or 1 = trace all).
+	// sampleCtr counts root delivers under mu.
+	sampleEvery uint64
+	sampleCtr   uint64
 }
 
 // NewSystem creates an empty system on the given substrate.
 func NewSystem(sub Substrate) *System {
+	base := spanBase()
 	return &System{
-		sub:     sub,
-		props:   sub.Properties(),
-		nodes:   make(map[string]*node),
-		domains: make(map[string]*domainState),
+		sub:      sub,
+		props:    sub.Properties(),
+		nodes:    make(map[string]*node),
+		domains:  make(map[string]*domainState),
+		spanSeq:  base,
+		traceSeq: base,
 	}
 }
 
@@ -230,6 +256,14 @@ func (s *System) InitAll() error {
 // component, as if from the outside world. External input has no channel
 // identity.
 func (s *System) Deliver(target string, msg Message) (Message, error) {
+	return s.DeliverSpan(target, msg, Span{})
+}
+
+// DeliverSpan injects an external stimulus while continuing a causal trace
+// started elsewhere — the distributed exporter uses it to stitch the
+// importing machine's trace onto the machine hosting the exported
+// component. A zero parent starts a fresh trace (Deliver's behavior).
+func (s *System) DeliverSpan(target string, msg Message, parent Span) (Message, error) {
 	s.mu.Lock()
 	n, ok := s.nodes[target]
 	if !ok {
@@ -237,8 +271,40 @@ func (s *System) Deliver(target string, msg Message) (Message, error) {
 		return Message{}, fmt.Errorf("deliver to %s: %w", target, ErrNoDomain)
 	}
 	s.account(n)
+	tr := s.tracer
+	if tr != nil && parent == (Span{}) && s.sampleEvery > 1 {
+		// Head sampling: decide once at the trace root. An unsampled
+		// request runs the untraced fast path end to end; continuations
+		// of a remote trace (non-zero parent) always honor the upstream
+		// decision instead of rolling their own.
+		s.sampleCtr++
+		if s.sampleCtr%s.sampleEvery != 0 {
+			tr = nil
+		}
+	}
+	var sp Span
+	var info SpanInfo
+	if tr != nil {
+		sp = s.newSpan(parent)
+		info = SpanInfo{
+			Kind:    SpanDeliver,
+			To:      target,
+			Domain:  n.domainName,
+			Trusted: n.dom.handle.Trusted(),
+			Op:      msg.Op,
+			Bytes:   len(msg.Data),
+		}
+	}
 	s.mu.Unlock()
-	return s.dispatch(n, Envelope{Msg: msg.Clone()})
+	env := Envelope{Msg: msg.Clone(), Span: sp}
+	if tr == nil {
+		return s.dispatch(n, env)
+	}
+	start := time.Now()
+	tr.SpanStart(sp, info, start)
+	reply, err := s.dispatch(n, env)
+	tr.SpanEnd(sp, info, start, time.Since(start), err)
+	return reply, err
 }
 
 // call implements Ctx.Call.
@@ -253,9 +319,30 @@ func (s *System) call(from *node, channelName string, msg Message) (Message, err
 	s.account(ch.to)
 	fromCompromised := from.dom.compromised
 	obs := s.observer
+	tr := s.tracer
+	if tr != nil && from.span == (Span{}) {
+		// Caller is executing outside a traced request (sampled out, or
+		// running at Init time): keep the whole subtree untraced.
+		tr = nil
+	}
+	var sp Span
+	var info SpanInfo
+	if tr != nil {
+		sp = s.newSpan(from.span)
+		info = SpanInfo{
+			Kind:    SpanCall,
+			Channel: channelName,
+			From:    from.comp.CompName(),
+			To:      ch.to.comp.CompName(),
+			Domain:  ch.to.domainName,
+			Trusted: ch.to.dom.handle.Trusted(),
+			Op:      msg.Op,
+			Bytes:   len(msg.Data),
+		}
+	}
 	s.mu.Unlock()
 
-	env := Envelope{Msg: msg.Clone()}
+	env := Envelope{Msg: msg.Clone(), Span: sp}
 	if ch.spec.Badge != 0 {
 		env.From = from.comp.CompName()
 		env.Badge = ch.spec.Badge
@@ -264,7 +351,15 @@ func (s *System) call(from *node, channelName string, msg Message) (Message, err
 		// The adversary inside the sender knows what it sent.
 		obs.Observe("send:"+from.comp.CompName()+"->"+ch.to.comp.CompName(), msg.Data)
 	}
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+		tr.SpanStart(sp, info, start)
+	}
 	reply, err := s.dispatch(ch.to, env)
+	if tr != nil {
+		tr.SpanEnd(sp, info, start, time.Since(start), err)
+	}
 	if fromCompromised && obs != nil && err == nil {
 		// ... and reads the reply.
 		obs.Observe("reply:"+ch.to.comp.CompName()+"->"+from.comp.CompName(), reply.Data)
@@ -282,14 +377,54 @@ func (s *System) account(n *node) {
 	}
 }
 
-// dispatch routes an envelope to the node's benign or compromised behavior.
-// Invocations of one component are serialized (see node.handleMu).
+// dispatch routes an envelope to the node's benign or compromised behavior,
+// wrapping the execution in a handler span when tracing is on.
 func (s *System) dispatch(n *node, env Envelope) (Message, error) {
 	s.mu.Lock()
 	compromised := n.dom.compromised
 	obs := s.observer
+	tr := s.tracer
+	var sp Span
+	var info SpanInfo
+	if tr != nil && env.Span == (Span{}) {
+		// The enclosing request was sampled out (or predates the tracer):
+		// stay on the fast path, and clear any stale handler span so this
+		// handler's outbound calls don't attach to an old trace. The store
+		// is conditional to keep the steady unsampled path read-only.
+		if n.span != (Span{}) {
+			n.span = Span{}
+		}
+		tr = nil
+	}
+	if tr != nil {
+		sp = s.newSpan(env.Span)
+		n.span = sp   // outbound calls the handler makes parent here
+		env.Span = sp // proxies forwarding the envelope propagate the handler span
+		info = SpanInfo{
+			Kind:    SpanHandle,
+			From:    env.From,
+			To:      n.comp.CompName(),
+			Domain:  n.domainName,
+			Trusted: n.dom.handle.Trusted(),
+			Op:      env.Msg.Op,
+			Bytes:   len(env.Msg.Data),
+		}
+	}
 	s.mu.Unlock()
 
+	if tr == nil {
+		return s.invoke(n, env, compromised, obs)
+	}
+	start := time.Now()
+	tr.SpanStart(sp, info, start)
+	reply, err := s.invoke(n, env, compromised, obs)
+	tr.SpanEnd(sp, info, start, time.Since(start), err)
+	return reply, err
+}
+
+// invoke runs the component's benign or compromised behavior. Invocations
+// of one component are serialized (see node.handleMu).
+func (s *System) invoke(n *node, env Envelope, compromised bool, obs Observer) (Message, error) {
 	n.handleMu.Lock()
 	defer n.handleMu.Unlock()
 
@@ -397,6 +532,15 @@ func (s *System) AssetNames(component string) []string {
 // into the domain's memory, where compromise views and bus taps can (or
 // cannot) reach it.
 func (s *System) storeAsset(n *node, name string, secret []byte) error {
+	tr, sp, info, start := s.beginAssetSpan(n, SpanAssetStore, name, len(secret))
+	err := s.doStoreAsset(n, name, secret)
+	if tr != nil {
+		tr.SpanEnd(sp, info, start, time.Since(start), err)
+	}
+	return err
+}
+
+func (s *System) doStoreAsset(n *node, name string, secret []byte) error {
 	s.mu.Lock()
 	dom := n.dom
 	if ref, ok := n.assets[name]; ok && ref.n >= len(secret) {
@@ -426,6 +570,16 @@ func (s *System) storeAsset(n *node, name string, secret []byte) error {
 
 // loadAsset implements Ctx.LoadAsset.
 func (s *System) loadAsset(n *node, name string) ([]byte, error) {
+	tr, sp, info, start := s.beginAssetSpan(n, SpanAssetLoad, name, 0)
+	data, err := s.doLoadAsset(n, name)
+	if tr != nil {
+		info.Bytes = len(data)
+		tr.SpanEnd(sp, info, start, time.Since(start), err)
+	}
+	return data, err
+}
+
+func (s *System) doLoadAsset(n *node, name string) ([]byte, error) {
 	s.mu.Lock()
 	ref, ok := n.assets[name]
 	dom := n.dom
@@ -437,7 +591,9 @@ func (s *System) loadAsset(n *node, name string) ([]byte, error) {
 }
 
 // ChannelUsage returns per-channel invocation counts for every grant in
-// the system, including channels that were never used.
+// the system, including channels that were never used. The result is
+// deterministically ordered by (From, Name) so tooling built on it
+// (pruning reports, metrics exposition) emits stable output.
 func (s *System) ChannelUsage() []ChannelUse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -453,6 +609,12 @@ func (s *System) ChannelUsage() []ChannelUse {
 			})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

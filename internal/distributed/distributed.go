@@ -19,6 +19,7 @@ package distributed
 
 import (
 	"crypto/ed25519"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -59,6 +60,43 @@ func decodeCall(b []byte) (string, []byte, error) {
 		return "", nil, fmt.Errorf("truncated op: %w", ErrTransport)
 	}
 	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// Request frames wrap encodeCall with a flags byte; when frameTraced is
+// set, 16 bytes of telemetry span context (trace ID, span ID, both
+// big-endian) follow so a trace crossing the wire reassembles into one
+// causal tree on a shared recorder. The context is metadata only — it
+// rides inside the sealed channel and carries no payload information.
+const frameTraced = 1 << 0
+
+func encodeRequest(sp core.Span, op string, data []byte) []byte {
+	call := encodeCall(op, data)
+	if sp == (core.Span{}) {
+		return append([]byte{0}, call...)
+	}
+	out := make([]byte, 0, 1+16+len(call))
+	out = append(out, frameTraced)
+	out = binary.BigEndian.AppendUint64(out, sp.Trace)
+	out = binary.BigEndian.AppendUint64(out, sp.ID)
+	return append(out, call...)
+}
+
+func decodeRequest(b []byte) (core.Span, string, []byte, error) {
+	if len(b) < 1 {
+		return core.Span{}, "", nil, fmt.Errorf("empty request frame: %w", ErrTransport)
+	}
+	flags, b := b[0], b[1:]
+	var parent core.Span
+	if flags&frameTraced != 0 {
+		if len(b) < 16 {
+			return core.Span{}, "", nil, fmt.Errorf("truncated span context: %w", ErrTransport)
+		}
+		parent.Trace = binary.BigEndian.Uint64(b)
+		parent.ID = binary.BigEndian.Uint64(b[8:])
+		b = b[16:]
+	}
+	op, data, err := decodeCall(b)
+	return parent, op, data, err
 }
 
 // reply frames: status byte + payload (op or error text).
@@ -168,11 +206,11 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 		if err != nil {
 			return err
 		}
-		op, data, err := decodeCall(plain)
+		parent, op, data, err := decodeRequest(plain)
 		if err != nil {
 			return err
 		}
-		reply, herr := e.sys.Deliver(e.target, core.Message{Op: op, Data: data})
+		reply, herr := e.sys.DeliverSpan(e.target, core.Message{Op: op, Data: data}, parent)
 		var frame []byte
 		if herr != nil {
 			frame = append([]byte{statusErr}, []byte(herr.Error())...)
@@ -336,7 +374,7 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	if sess == nil {
 		return core.Message{}, fmt.Errorf("stub %s: %w", s.name, ErrNotConnected)
 	}
-	rec, err := sess.Seal(encodeCall(env.Msg.Op, env.Msg.Data))
+	rec, err := sess.Seal(encodeRequest(env.Span, env.Msg.Op, env.Msg.Data))
 	if err != nil {
 		return core.Message{}, err
 	}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
@@ -275,5 +277,106 @@ func TestGarbledHelloDoesNotKillExporter(t *testing.T) {
 	}
 	if err := f.stub.Connect(); err != nil {
 		t.Fatalf("connect after garbage: %v", err)
+	}
+}
+
+// spanSink collects completed spans from both machines; it lives here
+// rather than importing internal/telemetry to keep this package's test
+// dependencies minimal.
+type spanSink struct {
+	mu    sync.Mutex
+	spans []core.Span
+	kinds []core.SpanKind
+}
+
+func (s *spanSink) SpanStart(core.Span, core.SpanInfo, time.Time) {}
+
+func (s *spanSink) SpanEnd(sp core.Span, info core.SpanInfo, _ time.Time, _ time.Duration, _ error) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.kinds = append(s.kinds, info.Kind)
+	s.mu.Unlock()
+}
+
+// TestTraceStitchesAcrossMachines proves the wire frames propagate span
+// context: with one tracer shared by both systems, the cloud-side deliver
+// span is a descendant of the laptop-side call span, in the same trace.
+func TestTraceStitchesAcrossMachines(t *testing.T) {
+	f := newFixture(t, nil, false)
+	sink := &spanSink{}
+	f.clientSys.SetTracer(sink)
+	f.cloudSys.SetTracer(sink)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.clientSys.Deliver("client", core.Message{Op: "put", Data: []byte("k=v")}); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	byID := make(map[uint64]core.Span, len(sink.spans))
+	var rootTrace uint64
+	var remoteDeliver core.Span
+	for i, sp := range sink.spans {
+		byID[sp.ID] = sp
+		if sink.kinds[i] == core.SpanDeliver && sp.Parent != 0 {
+			remoteDeliver = sp // the cloud-side deliver adopted a wire parent
+		}
+		if sink.kinds[i] == core.SpanDeliver && sp.Parent == 0 {
+			rootTrace = sp.Trace
+		}
+	}
+	if remoteDeliver.ID == 0 {
+		t.Fatal("no cloud-side deliver span with a wire-propagated parent")
+	}
+	if rootTrace == 0 {
+		t.Fatal("no root deliver span")
+	}
+	if remoteDeliver.Trace != rootTrace {
+		t.Errorf("remote deliver in trace %#x, root trace %#x", remoteDeliver.Trace, rootTrace)
+	}
+	// Walking parents from the remote deliver must reach the root (depth
+	// bounds the walk against cycles).
+	cur := remoteDeliver
+	reachedRoot := false
+	for depth := 0; depth < 20; depth++ {
+		if cur.Parent == 0 {
+			reachedRoot = true
+			break
+		}
+		next, ok := byID[cur.Parent]
+		if !ok {
+			t.Fatalf("span %#x has unrecorded parent %#x", cur.ID, cur.Parent)
+		}
+		cur = next
+	}
+	if !reachedRoot {
+		t.Error("parent walk from remote deliver never reached the root")
+	}
+}
+
+// TestRequestFrameRoundTrip covers the trace-context framing both with and
+// without span context, plus truncation handling.
+func TestRequestFrameRoundTrip(t *testing.T) {
+	sp := core.Span{Trace: 0xdead, ID: 0xbeef}
+	parent, op, data, err := decodeRequest(encodeRequest(sp, "put", []byte("k=v")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent != sp || op != "put" || string(data) != "k=v" {
+		t.Errorf("round trip = %+v %q %q", parent, op, data)
+	}
+	parent, op, _, err = decodeRequest(encodeRequest(core.Span{}, "get", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent != (core.Span{}) || op != "get" {
+		t.Errorf("untraced round trip = %+v %q", parent, op)
+	}
+	if _, _, _, err := decodeRequest(nil); !errors.Is(err, ErrTransport) {
+		t.Errorf("empty frame err = %v", err)
+	}
+	if _, _, _, err := decodeRequest([]byte{frameTraced, 1, 2, 3}); !errors.Is(err, ErrTransport) {
+		t.Errorf("truncated span context err = %v", err)
 	}
 }

@@ -47,16 +47,41 @@ func (c *e17Client) Handle(env core.Envelope) (core.Message, error) {
 	return c.ctx.Call("vault", env.Msg)
 }
 
-// e17Remote wires a client system to a cloud-hosted vault and returns the
-// client system plus the wire recorder.
-func e17Remote(tampered bool) (*core.System, *distributed.Stub, *netsim.Recorder, error) {
+// DistributedDemo is the laptop+cloud deployment of E17, exposed so
+// tooling (lateralctl trace distributed) can instrument both systems and
+// drive the client.
+type DistributedDemo struct {
+	// Laptop hosts the client and the vault stub.
+	Laptop *core.System
+	// Cloud hosts the real vault behind the attested exporter.
+	Cloud *core.System
+	// Stub is the laptop-side proxy; Connect before delivering.
+	Stub *distributed.Stub
+	// Wire records every datagram the adversary saw.
+	Wire *netsim.Recorder
+	// Net is the simulated network between the machines.
+	Net *netsim.Network
+}
+
+// BuildDistributedDemo constructs the honest-cloud E17 deployment.
+func BuildDistributedDemo() (*DistributedDemo, error) {
+	laptop, cloud, stub, rec, net, err := e17Remote(false)
+	if err != nil {
+		return nil, err
+	}
+	return &DistributedDemo{Laptop: laptop, Cloud: cloud, Stub: stub, Wire: rec, Net: net}, nil
+}
+
+// e17Remote wires a client system to a cloud-hosted vault and returns both
+// systems plus the wire recorder.
+func e17Remote(tampered bool) (*core.System, *core.System, *distributed.Stub, *netsim.Recorder, *netsim.Network, error) {
 	net := netsim.New()
 	rec := &netsim.Recorder{}
 	net.SetAdversary(rec)
 	vendor := cryptoutil.NewSigner("intel")
 	cloudCPU, err := sgx.New(sgx.Config{DeviceSeed: "e17-cloud", Vendor: vendor})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	cloud := core.NewSystem(cloudCPU)
 	var remote core.Component = &e17Vault{}
@@ -64,10 +89,10 @@ func e17Remote(tampered bool) (*core.System, *distributed.Stub, *netsim.Recorder
 		remote = &e17TamperedVault{}
 	}
 	if err := cloud.Launch(remote, true, 1); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	if err := cloud.InitAll(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	exporter, err := distributed.NewExporter(distributed.ExportConfig{
 		System:    cloud,
@@ -77,7 +102,7 @@ func e17Remote(tampered bool) (*core.System, *distributed.Stub, *netsim.Recorder
 		Rand:      cryptoutil.NewPRNG("e17-cloud"),
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	audited := cryptoutil.Hash(core.DomainImage(&e17Vault{}))
 	stub, err := distributed.NewStub(distributed.StubConfig{
@@ -95,22 +120,22 @@ func e17Remote(tampered bool) (*core.System, *distributed.Stub, *netsim.Recorder
 		Pump: exporter.Serve,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	laptop := core.NewSystem(kernel.New(kernel.Config{}))
 	if err := laptop.Launch(&e17Client{}, false, 1); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	if err := laptop.Launch(stub, false, 1); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	if err := laptop.Grant(core.ChannelSpec{Name: "vault", From: "client", To: "vault", Badge: 1}); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	if err := laptop.InitAll(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
-	return laptop, stub, rec, nil
+	return laptop, cloud, stub, rec, net, nil
 }
 
 type e17TamperedVault struct{ e17Vault }
@@ -154,7 +179,7 @@ func E17Distributed() (Table, error) {
 	t.AddRow("local (same microkernel)", boolCell(ok), "n/a", passFail(ok))
 
 	// (b) Remote: vault in a cloud enclave, attested channel.
-	laptop, stub, rec, err := e17Remote(false)
+	laptop, _, stub, rec, _, err := e17Remote(false)
 	if err != nil {
 		return t, err
 	}
@@ -170,7 +195,7 @@ func E17Distributed() (Table, error) {
 	t.AddRow("remote (cloud SGX enclave)", boolCell(ok), boolCell(leak), passFail(ok && !leak))
 
 	// (c) Tampered cloud build: connect must fail.
-	_, stub2, _, err := e17Remote(true)
+	_, _, stub2, _, _, err := e17Remote(true)
 	if err != nil {
 		return t, err
 	}

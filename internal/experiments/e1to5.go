@@ -12,6 +12,7 @@ import (
 	"lateral/internal/meter"
 	"lateral/internal/metrics"
 	"lateral/internal/netsim"
+	"lateral/internal/telemetry"
 )
 
 // E1Containment reproduces Figure 1 quantitatively: the same mail client
@@ -263,7 +264,7 @@ func E4Invocation() (Table, error) {
 		ID:     "E4",
 		Title:  "cross-domain invocation cost",
 		Anchor: "§III-E decomposition cost; §II-B mechanism costs",
-		Header: []string{"substrate", "modeled-ns/call", "sim-ns/call", "fetchmail-calls", "fetchmail-modeled-us"},
+		Header: []string{"substrate", "modeled-ns/call", "sim-ns/call", "fetchmail-calls", "fetchmail-modeled-us", "sim-p50-ns", "sim-p99-ns"},
 	}
 	for _, name := range SubstrateNames() {
 		sub, err := NewSubstrate(name)
@@ -292,6 +293,25 @@ func E4Invocation() (Table, error) {
 		}
 		simNs := time.Since(start).Nanoseconds() / (2 * iters) // 2 calls per iter
 
+		// Percentiles: re-run the micro loop with telemetry installed and
+		// read the caller→keeper latency distribution off the histogram.
+		// Separate from the untraced loop above so tracing overhead never
+		// pollutes the sim-ns/call figure.
+		met := telemetry.NewMetrics()
+		sys.SetTracer(met)
+		for i := 0; i < iters; i++ {
+			if _, err := sys.Deliver("caller", core.Message{Op: "get"}); err != nil {
+				return t, err
+			}
+		}
+		sys.SetTracer(nil)
+		var p50, p99 int64
+		for _, c := range met.Channels() {
+			if c.From == "caller" && c.Channel == "keeper" {
+				p50, p99 = c.P50.Nanoseconds(), c.P99.Nanoseconds()
+			}
+		}
+
 		// Macro: the mail-fetch flow on a fresh substrate of this kind.
 		sub2, err := NewSubstrate(name)
 		if err != nil {
@@ -307,11 +327,12 @@ func E4Invocation() (Table, error) {
 		}
 		st := msys.Stats()
 		t.AddRow(name, sub.Properties().InvokeCostNs, simNs,
-			st.Invocations, fmt.Sprintf("%.1f", float64(st.VirtualNs)/1000))
+			st.Invocations, fmt.Sprintf("%.1f", float64(st.VirtualNs)/1000), p50, p99)
 	}
 	t.Notes = append(t.Notes,
 		"modeled = published order of magnitude for the mechanism; sim = this simulator's Go overhead",
-		"fetchmail = ui→net→tls→parser→render→store end-to-end flow")
+		"fetchmail = ui→net→tls→parser→render→store end-to-end flow",
+		"sim-p50/p99 = caller→keeper channel latency percentiles from the telemetry histogram (traced run)")
 	return t, nil
 }
 

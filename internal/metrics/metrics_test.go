@@ -125,3 +125,61 @@ func TestDefaultUnitsCatalogSanity(t *testing.T) {
 		t.Error("attestation component should be tiny next to Android")
 	}
 }
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	// Empty non-nil slice behaves exactly like nil: the zero Summary.
+	if z := Summarize([]Report{}); z != (Summary{}) {
+		t.Errorf("empty-slice summary = %+v", z)
+	}
+	// A single component: min, max, and mean all collapse to its total.
+	one := Summarize([]Report{{SubstrateUnits: 10, OwnUnits: 7, ColocatedUnits: 3}})
+	if one.Components != 1 || one.MinTCB != 20 || one.MaxTCB != 20 || one.MeanTCB != 20 {
+		t.Errorf("single summary = %+v", one)
+	}
+}
+
+func TestSummarizeColocatedAccounting(t *testing.T) {
+	// Two components colocated in one domain, one isolated: the colocated
+	// pair must each carry the other's units, and Summarize must see those
+	// inflated totals.
+	sys := core.NewSystem(kernel.New(kernel.Config{}))
+	if err := sys.Colocate("blob", false, 1, &stub{name: "a"}, &stub{name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Launch(&stub{name: "c"}, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	units := map[string]int{"a": 100, "b": 50, "c": 10}
+	reports, err := TCBReport(sys, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := sys.Properties().TCBUnits
+	byName := map[string]Report{}
+	for _, r := range reports {
+		byName[r.Component] = r
+	}
+	if got := byName["a"].ColocatedUnits; got != 50 {
+		t.Errorf("a colocated units = %d, want 50", got)
+	}
+	if got := byName["b"].ColocatedUnits; got != 100 {
+		t.Errorf("b colocated units = %d, want 100", got)
+	}
+	if got := byName["c"].ColocatedUnits; got != 0 {
+		t.Errorf("c colocated units = %d, want 0", got)
+	}
+	s := Summarize(reports)
+	if s.Components != 3 {
+		t.Fatalf("components = %d", s.Components)
+	}
+	if s.MinTCB != sub+10 {
+		t.Errorf("min = %d, want isolated c at %d", s.MinTCB, sub+10)
+	}
+	if s.MaxTCB != sub+150 {
+		t.Errorf("max = %d, want colocated pair at %d", s.MaxTCB, sub+150)
+	}
+	wantMean := float64(3*sub+150+150+10) / 3
+	if s.MeanTCB != wantMean {
+		t.Errorf("mean = %g, want %g", s.MeanTCB, wantMean)
+	}
+}

@@ -48,11 +48,19 @@ type Stats struct {
 	RecvBytes int64
 }
 
+// Monitor observes every datagram offered to the network (before the
+// adversary touches it) — the telemetry tap. Unlike an Adversary it sees
+// only metadata: endpoints and size, never payload bytes.
+type Monitor interface {
+	Datagram(from, to string, bytes int)
+}
+
 // Network connects endpoints.
 type Network struct {
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
 	adversary Adversary
+	monitor   Monitor
 	stats     map[string]*Stats
 }
 
@@ -69,6 +77,13 @@ func (n *Network) SetAdversary(a Adversary) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.adversary = a
+}
+
+// SetMonitor installs (or removes, with nil) the traffic telemetry tap.
+func (n *Network) SetMonitor(m Monitor) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.monitor = m
 }
 
 // Attach creates a named endpoint. Attaching an existing name returns the
@@ -109,8 +124,12 @@ func (n *Network) send(d Datagram) error {
 		s.SentBytes += int64(len(d.Payload))
 	}
 	adv := n.adversary
+	mon := n.monitor
 	n.mu.Unlock()
 
+	if mon != nil {
+		mon.Datagram(d.From, d.To, len(d.Payload))
+	}
 	outs := []Datagram{d}
 	if adv != nil {
 		outs = adv.Intercept(d.clone())

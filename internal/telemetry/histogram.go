@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram geometry: HDR-style fixed buckets. Values below subCount ns
+// are recorded exactly; above that, each power-of-two octave is split into
+// subCount linear sub-buckets, bounding the relative quantization error at
+// 1/subCount (12.5%). The layout covers the full int64 nanosecond range
+// with no allocation and no configuration.
+const (
+	histShards = 8 // independent counter banks to spread write contention
+	subBits    = 3 // log2 sub-buckets per octave
+	subCount   = 1 << subBits
+	// Largest index bucketOf can produce: e=63 → (63-subBits+1)*subCount
+	// + (subCount-1); size the array one past it.
+	numBuckets = (63-subBits+1)*subCount + subCount
+)
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+// Indices are monotone in the value.
+func bucketOf(ns uint64) int {
+	if ns < subCount {
+		return int(ns)
+	}
+	e := bits.Len64(ns) - 1 // position of the leading bit, >= subBits
+	sub := int((ns >> (uint(e) - subBits)) & (subCount - 1))
+	return (e-subBits+1)*subCount + sub
+}
+
+// bucketBound returns the inclusive upper bound (in ns) of a bucket.
+func bucketBound(idx int) uint64 {
+	if idx < subCount {
+		return uint64(idx)
+	}
+	e := idx/subCount + subBits - 1
+	sub := uint64(idx % subCount)
+	return 1<<uint(e) + (sub+1)<<(uint(e)-subBits) - 1
+}
+
+// histShard is one independent bank of counters. Writers pick a shard from
+// a per-event hint, so concurrent recorders rarely contend on the same
+// cache lines; readers merge all shards.
+type histShard struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Histogram is a lock-free fixed-bucket latency histogram. The zero value
+// is ready to use.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// Record adds one duration. hint selects the counter shard — pass anything
+// that varies per event (a span ID works well); correctness does not
+// depend on it, only write contention does.
+func (h *Histogram) Record(d time.Duration, hint uint64) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	s := &h.shards[hint&(histShards-1)]
+	s.buckets[bucketOf(ns)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(ns)
+	for {
+		cur := s.max.Load()
+		if ns <= cur || s.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	BoundNs uint64 // inclusive upper bound
+	Count   uint64
+}
+
+// Snapshot is a merged, immutable view of a histogram.
+type Snapshot struct {
+	Count   uint64
+	SumNs   uint64
+	MaxNs   uint64
+	Buckets []Bucket // ascending by bound, non-empty buckets only
+}
+
+// Snapshot merges all shards. Concurrent recording may be torn across
+// buckets by at most the number of in-flight events; totals are monotone.
+func (h *Histogram) Snapshot() Snapshot {
+	var merged [numBuckets]uint64
+	var out Snapshot
+	for i := range h.shards {
+		s := &h.shards[i]
+		out.Count += s.count.Load()
+		out.SumNs += s.sum.Load()
+		if m := s.max.Load(); m > out.MaxNs {
+			out.MaxNs = m
+		}
+		for b := range s.buckets {
+			merged[b] += s.buckets[b].Load()
+		}
+	}
+	for b, c := range merged {
+		if c != 0 {
+			out.Buckets = append(out.Buckets, Bucket{BoundNs: bucketBound(b), Count: c})
+		}
+	}
+	return out
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 <= q <= 1), in nanoseconds. Zero for an empty histogram.
+func (s Snapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen > rank {
+			return b.BoundNs
+		}
+	}
+	return s.MaxNs
+}
+
+// Mean returns the arithmetic mean in nanoseconds (0 when empty).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}

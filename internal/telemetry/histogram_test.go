@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBucketOfBoundRoundTrip(t *testing.T) {
+	// Every bucket's bound must map back into that bucket, and bounds must
+	// be strictly increasing.
+	prev := uint64(0)
+	for idx := 0; idx < numBuckets; idx++ {
+		bound := bucketBound(idx)
+		if idx > 0 && bound <= prev {
+			t.Fatalf("bucket %d bound %d not increasing over %d", idx, bound, prev)
+		}
+		prev = bound
+		if bound == math.MaxUint64 {
+			continue // saturated top bucket
+		}
+		if got := bucketOf(bound); got != idx {
+			t.Errorf("bucketOf(bucketBound(%d)=%d) = %d", idx, bound, got)
+		}
+	}
+}
+
+func TestBucketOfEdges(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{7, 7}, // exact region
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if got := bucketOf(math.MaxUint64); got != numBuckets-1 {
+		t.Errorf("bucketOf(max) = %d, want %d", got, numBuckets-1)
+	}
+	// Monotone: larger values never land in smaller buckets.
+	prev := 0
+	for _, ns := range []uint64{1, 5, 8, 9, 100, 1000, 1 << 20, 1 << 40, 1 << 62} {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", ns, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistogramRecordAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 samples of 1µs, 10 of 1ms: p50 ≈ 1µs, p99.9 region reaches 1ms.
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Microsecond, uint64(i)) // spread over all shards
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond, uint64(i))
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1010 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	wantSum := uint64(1000*time.Microsecond + 10*time.Millisecond)
+	if snap.SumNs != wantSum {
+		t.Errorf("sum = %d, want %d", snap.SumNs, wantSum)
+	}
+	if snap.MaxNs < uint64(time.Millisecond) {
+		t.Errorf("max = %d, want >= 1ms", snap.MaxNs)
+	}
+	p50 := snap.Quantile(0.5)
+	if p50 < 500 || p50 > 2000 {
+		t.Errorf("p50 = %dns, want ~1µs", p50)
+	}
+	p999 := snap.Quantile(0.999)
+	if p999 < 500_000 {
+		t.Errorf("p99.9 = %dns, want ~1ms", p999)
+	}
+	if m := snap.Mean(); m <= 0 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	var h Histogram
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.SumNs != 0 {
+		t.Errorf("empty snapshot = %+v", snap)
+	}
+	if q := snap.Quantile(0.99); q != 0 {
+		t.Errorf("quantile of empty = %v", q)
+	}
+	if m := snap.Mean(); m != 0 {
+		t.Errorf("mean of empty = %v", m)
+	}
+}
+
+func TestHistogramNegativeDurationClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second, 0)
+	snap := h.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.SumNs != 0 {
+		t.Errorf("negative duration contributed %d to sum", snap.SumNs)
+	}
+}

@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lateral/internal/core"
+)
+
+// Metrics is the per-channel / per-domain metrics collector: a core.Tracer
+// that aggregates every substrate crossing into latency histograms and
+// counters, plus a netsim.Monitor aggregating wire traffic per link.
+//
+// The write path is lock-cheap: a read-locked two-level map lookup
+// (allocation-free — no key strings are built per event) followed by
+// sharded atomic counter updates. Only the first event on a new channel,
+// domain, or link takes the write lock.
+type Metrics struct {
+	mu       sync.RWMutex
+	channels map[string]map[string]*ChannelStats // sender → channel key
+	domains  map[string]*DomainStats
+	links    map[string]map[string]*LinkStats // from endpoint → to endpoint
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		channels: make(map[string]map[string]*ChannelStats),
+		domains:  make(map[string]*DomainStats),
+		links:    make(map[string]map[string]*LinkStats),
+	}
+}
+
+// ChannelStats aggregates one invocation edge. External Deliver stimuli
+// are kept as their own edges with From "" and Channel "(deliver)".
+type ChannelStats struct {
+	From    string // sender component; "" for external stimuli
+	Channel string // granted channel name; "(deliver)" for external
+	To      string // target component
+	Domain  string // target domain
+	Trusted bool
+
+	Hist   Histogram
+	Errors atomic.Int64
+}
+
+// DomainStats aggregates per-domain handler executions and asset traffic.
+type DomainStats struct {
+	Name    string
+	Trusted bool
+
+	Invocations atomic.Int64 // handler executions inside the domain
+	Faults      atomic.Int64 // handler executions that returned an error
+	AssetStores atomic.Int64
+	AssetLoads  atomic.Int64
+	AssetBytes  atomic.Int64 // bytes moved to/from domain memory
+}
+
+// LinkStats aggregates netsim traffic on one directed endpoint pair.
+type LinkStats struct {
+	From, To  string
+	Datagrams atomic.Int64
+	Bytes     atomic.Int64
+}
+
+// DeliverChannel is the channel label used for external stimuli edges.
+const DeliverChannel = "(deliver)"
+
+var _ core.Tracer = (*Metrics)(nil)
+
+// SpanStart is a no-op: all aggregation happens at span end, where the
+// duration is known.
+func (m *Metrics) SpanStart(core.Span, core.SpanInfo, time.Time) {}
+
+// SpanEnd aggregates one completed span.
+func (m *Metrics) SpanEnd(sp core.Span, info core.SpanInfo, _ time.Time, elapsed time.Duration, err error) {
+	switch info.Kind {
+	case core.SpanCall:
+		cs := m.channel(info.From, info.Channel, info)
+		cs.Hist.Record(elapsed, sp.ID)
+		if err != nil {
+			cs.Errors.Add(1)
+		}
+	case core.SpanDeliver:
+		cs := m.channel(info.From, info.To, info)
+		cs.Hist.Record(elapsed, sp.ID)
+		if err != nil {
+			cs.Errors.Add(1)
+		}
+	case core.SpanHandle:
+		ds := m.domain(info)
+		ds.Invocations.Add(1)
+		if err != nil {
+			ds.Faults.Add(1)
+		}
+	case core.SpanAssetStore:
+		ds := m.domain(info)
+		ds.AssetStores.Add(1)
+		ds.AssetBytes.Add(int64(info.Bytes))
+	case core.SpanAssetLoad:
+		ds := m.domain(info)
+		ds.AssetLoads.Add(1)
+		ds.AssetBytes.Add(int64(info.Bytes))
+	}
+}
+
+// channel finds or creates the stats cell for an edge. The lookup keys are
+// strings the caller already holds, so the hot path allocates nothing.
+func (m *Metrics) channel(from, key string, info core.SpanInfo) *ChannelStats {
+	m.mu.RLock()
+	cs := m.channels[from][key]
+	m.mu.RUnlock()
+	if cs != nil {
+		return cs
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bySender := m.channels[from]
+	if bySender == nil {
+		bySender = make(map[string]*ChannelStats)
+		m.channels[from] = bySender
+	}
+	if cs = bySender[key]; cs != nil {
+		return cs
+	}
+	cs = &ChannelStats{
+		From:    info.From,
+		Channel: info.Channel,
+		To:      info.To,
+		Domain:  info.Domain,
+		Trusted: info.Trusted,
+	}
+	if info.Kind == core.SpanDeliver {
+		cs.Channel = DeliverChannel
+	}
+	bySender[key] = cs
+	return cs
+}
+
+func (m *Metrics) domain(info core.SpanInfo) *DomainStats {
+	m.mu.RLock()
+	ds := m.domains[info.Domain]
+	m.mu.RUnlock()
+	if ds != nil {
+		return ds
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ds = m.domains[info.Domain]; ds != nil {
+		return ds
+	}
+	ds = &DomainStats{Name: info.Domain, Trusted: info.Trusted}
+	m.domains[info.Domain] = ds
+	return ds
+}
+
+// Datagram implements netsim.Monitor: it aggregates offered wire traffic
+// per directed link.
+func (m *Metrics) Datagram(from, to string, bytes int) {
+	m.mu.RLock()
+	ls := m.links[from][to]
+	m.mu.RUnlock()
+	if ls == nil {
+		m.mu.Lock()
+		byFrom := m.links[from]
+		if byFrom == nil {
+			byFrom = make(map[string]*LinkStats)
+			m.links[from] = byFrom
+		}
+		if ls = byFrom[to]; ls == nil {
+			ls = &LinkStats{From: from, To: to}
+			byFrom[to] = ls
+		}
+		m.mu.Unlock()
+	}
+	ls.Datagrams.Add(1)
+	ls.Bytes.Add(int64(bytes))
+}
+
+// ChannelSummary is one edge's aggregate view.
+type ChannelSummary struct {
+	From, Channel, To string
+	Trusted           bool
+	Count             uint64
+	Errors            int64
+	Mean              time.Duration
+	P50, P90, P99     time.Duration
+	Max               time.Duration
+}
+
+// Channels returns per-edge summaries, sorted by (From, Channel, To).
+func (m *Metrics) Channels() []ChannelSummary {
+	m.mu.RLock()
+	var cells []*ChannelStats
+	for _, bySender := range m.channels {
+		for _, cs := range bySender {
+			cells = append(cells, cs)
+		}
+	}
+	m.mu.RUnlock()
+	out := make([]ChannelSummary, 0, len(cells))
+	for _, cs := range cells {
+		snap := cs.Hist.Snapshot()
+		out = append(out, ChannelSummary{
+			From:    cs.From,
+			Channel: cs.Channel,
+			To:      cs.To,
+			Trusted: cs.Trusted,
+			Count:   snap.Count,
+			Errors:  cs.Errors.Load(),
+			Mean:    time.Duration(snap.Mean()),
+			P50:     time.Duration(snap.Quantile(0.50)),
+			P90:     time.Duration(snap.Quantile(0.90)),
+			P99:     time.Duration(snap.Quantile(0.99)),
+			Max:     time.Duration(snap.MaxNs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].Channel != out[j].Channel {
+			return out[i].Channel < out[j].Channel
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// DomainSummary is one domain's aggregate view.
+type DomainSummary struct {
+	Name        string
+	Trusted     bool
+	Invocations int64
+	Faults      int64
+	AssetStores int64
+	AssetLoads  int64
+	AssetBytes  int64
+}
+
+// Domains returns per-domain summaries, sorted by name.
+func (m *Metrics) Domains() []DomainSummary {
+	m.mu.RLock()
+	var cells []*DomainStats
+	for _, ds := range m.domains {
+		cells = append(cells, ds)
+	}
+	m.mu.RUnlock()
+	out := make([]DomainSummary, 0, len(cells))
+	for _, ds := range cells {
+		out = append(out, DomainSummary{
+			Name:        ds.Name,
+			Trusted:     ds.Trusted,
+			Invocations: ds.Invocations.Load(),
+			Faults:      ds.Faults.Load(),
+			AssetStores: ds.AssetStores.Load(),
+			AssetLoads:  ds.AssetLoads.Load(),
+			AssetBytes:  ds.AssetBytes.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LinkSummary is one wire link's aggregate view.
+type LinkSummary struct {
+	From, To  string
+	Datagrams int64
+	Bytes     int64
+}
+
+// Links returns per-link wire traffic, sorted by (From, To).
+func (m *Metrics) Links() []LinkSummary {
+	m.mu.RLock()
+	var cells []*LinkStats
+	for _, byFrom := range m.links {
+		for _, ls := range byFrom {
+			cells = append(cells, ls)
+		}
+	}
+	m.mu.RUnlock()
+	out := make([]LinkSummary, 0, len(cells))
+	for _, ls := range cells {
+		out = append(out, LinkSummary{From: ls.From, To: ls.To, Datagrams: ls.Datagrams.Load(), Bytes: ls.Bytes.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

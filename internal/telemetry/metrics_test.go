@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lateral/internal/core"
+)
+
+func endSpan(m *Metrics, id uint64, info core.SpanInfo, d time.Duration, err error) {
+	m.SpanEnd(core.Span{Trace: 1, ID: id}, info, time.Time{}, d, err)
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+	callInfo := core.SpanInfo{
+		Kind: core.SpanCall, Channel: "net", From: "ui", To: "net",
+		Domain: "net", Op: "fetch",
+	}
+	for i := 0; i < 5; i++ {
+		endSpan(m, uint64(i), callInfo, time.Microsecond, nil)
+	}
+	endSpan(m, 9, callInfo, 10*time.Microsecond, errors.New("boom"))
+	endSpan(m, 10, core.SpanInfo{Kind: core.SpanDeliver, To: "ui", Domain: "ui", Op: "fetch-mail"},
+		2*time.Microsecond, nil)
+	endSpan(m, 11, core.SpanInfo{Kind: core.SpanHandle, To: "net", Domain: "net"}, time.Microsecond, nil)
+	endSpan(m, 12, core.SpanInfo{Kind: core.SpanHandle, To: "net", Domain: "net"}, time.Microsecond, errors.New("fault"))
+	endSpan(m, 13, core.SpanInfo{Kind: core.SpanAssetStore, To: "tls", Domain: "tls", Op: "key", Bytes: 32}, 0, nil)
+	endSpan(m, 14, core.SpanInfo{Kind: core.SpanAssetLoad, To: "tls", Domain: "tls", Op: "key", Bytes: 32}, 0, nil)
+
+	chans := m.Channels()
+	if len(chans) != 2 {
+		t.Fatalf("channels = %d, want 2 (call edge + deliver edge): %+v", len(chans), chans)
+	}
+	// Sorted by From: "" (deliver) before "ui".
+	if chans[0].Channel != DeliverChannel || chans[0].To != "ui" || chans[0].Count != 1 {
+		t.Errorf("deliver edge = %+v", chans[0])
+	}
+	call := chans[1]
+	if call.From != "ui" || call.Channel != "net" || call.Count != 6 || call.Errors != 1 {
+		t.Errorf("call edge = %+v", call)
+	}
+	if call.Max < 10*time.Microsecond {
+		t.Errorf("call max = %v", call.Max)
+	}
+
+	doms := m.Domains()
+	if len(doms) != 2 {
+		t.Fatalf("domains = %+v", doms)
+	}
+	net := doms[0]
+	if net.Name != "net" || net.Invocations != 2 || net.Faults != 1 {
+		t.Errorf("net domain = %+v", net)
+	}
+	tls := doms[1]
+	if tls.AssetStores != 1 || tls.AssetLoads != 1 || tls.AssetBytes != 64 {
+		t.Errorf("tls domain = %+v", tls)
+	}
+}
+
+func TestMetricsDatagramLinks(t *testing.T) {
+	m := NewMetrics()
+	m.Datagram("laptop", "cloud", 100)
+	m.Datagram("laptop", "cloud", 50)
+	m.Datagram("cloud", "laptop", 20)
+	links := m.Links()
+	if len(links) != 2 {
+		t.Fatalf("links = %+v", links)
+	}
+	if links[0].From != "cloud" || links[0].Datagrams != 1 || links[0].Bytes != 20 {
+		t.Errorf("link 0 = %+v", links[0])
+	}
+	if links[1].From != "laptop" || links[1].Datagrams != 2 || links[1].Bytes != 150 {
+		t.Errorf("link 1 = %+v", links[1])
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	endSpan(m, 1, core.SpanInfo{
+		Kind: core.SpanCall, Channel: "net", From: "ui", To: "net", Domain: "net", Op: "fetch",
+	}, time.Microsecond, nil)
+	endSpan(m, 2, core.SpanInfo{Kind: core.SpanHandle, To: "net", Domain: "net"}, time.Microsecond, nil)
+	m.Datagram("laptop", "cloud", 64)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Structural validity of the text exposition format: every non-comment
+	// line is `name{labels} value`, every TYPEd family appears.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "lateral_") {
+			t.Errorf("metric line without lateral_ prefix: %q", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed metric line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE lateral_domain_invocations_total counter",
+		"# TYPE lateral_channel_latency_seconds histogram",
+		`lateral_domain_invocations_total{domain="net",trusted="false"} 1`,
+		`lateral_channel_latency_seconds_count{channel="ui->net/net"} 1`,
+		`lateral_channel_latency_seconds_bucket{channel="ui->net/net",le="+Inf"} 1`,
+		`lateral_channel_errors_total{channel="ui->net/net"} 0`,
+		`lateral_net_datagrams_total{link="laptop->cloud"} 1`,
+		`lateral_net_bytes_total{link="laptop->cloud"} 64`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets must be cumulative and end at the total count.
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lateral_channel_latency_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+
+	// Determinism: a second write is byte-identical.
+	var buf2 bytes.Buffer
+	if err := m.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("prometheus output is not deterministic")
+	}
+}
+
+func TestWriteSummaryRenders(t *testing.T) {
+	m := NewMetrics()
+	endSpan(m, 1, core.SpanInfo{
+		Kind: core.SpanCall, Channel: "net", From: "ui", To: "net", Domain: "net", Op: "fetch",
+	}, time.Microsecond, nil)
+	endSpan(m, 2, core.SpanInfo{Kind: core.SpanHandle, To: "net", Domain: "net"}, time.Microsecond, nil)
+	var buf bytes.Buffer
+	m.WriteSummary(&buf)
+	for _, want := range []string{"ui->net/net", "channel", "domain"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	if Fanout() != nil || Fanout(nil, nil) != nil {
+		t.Error("empty fanout should be nil")
+	}
+	r := NewRecorder(0)
+	if Fanout(nil, r) != core.Tracer(r) {
+		t.Error("single survivor should be returned undecorated")
+	}
+	m := NewMetrics()
+	both := Fanout(r, m)
+	both.SpanStart(core.Span{}, core.SpanInfo{}, time.Time{})
+	both.SpanEnd(core.Span{Trace: 1, ID: 2}, core.SpanInfo{Kind: core.SpanHandle, To: "x", Domain: "x"},
+		time.Time{}, time.Microsecond, nil)
+	if len(r.Spans()) != 1 {
+		t.Error("fanout did not reach recorder")
+	}
+	if len(m.Domains()) != 1 {
+		t.Error("fanout did not reach metrics")
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// escapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// edgeLabel renders a channel edge as a single label value:
+// "ui->net/net" for calls, "->ui/(deliver)" for external stimuli.
+func edgeLabel(c ChannelSummary) string {
+	return c.From + "->" + c.To + "/" + c.Channel
+}
+
+// WritePrometheus emits the collector's state in the Prometheus text
+// exposition format (version 0.0.4): per-domain invocation/fault/asset
+// counters, per-channel latency histograms (cumulative le buckets), and
+// per-link wire traffic. Output ordering is deterministic.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	// Domain counters.
+	domains := m.Domains()
+	if _, err := fmt.Fprint(w,
+		"# HELP lateral_domain_invocations_total Handler executions per protection domain.\n",
+		"# TYPE lateral_domain_invocations_total counter\n"); err != nil {
+		return err
+	}
+	for _, d := range domains {
+		fmt.Fprintf(w, "lateral_domain_invocations_total{domain=%q,trusted=%q} %d\n",
+			escapeLabel(d.Name), boolLabel(d.Trusted), d.Invocations)
+	}
+	fmt.Fprint(w,
+		"# HELP lateral_domain_faults_total Handler executions that returned an error.\n",
+		"# TYPE lateral_domain_faults_total counter\n")
+	for _, d := range domains {
+		fmt.Fprintf(w, "lateral_domain_faults_total{domain=%q} %d\n", escapeLabel(d.Name), d.Faults)
+	}
+	fmt.Fprint(w,
+		"# HELP lateral_asset_ops_total Asset accesses in domain memory.\n",
+		"# TYPE lateral_asset_ops_total counter\n")
+	for _, d := range domains {
+		fmt.Fprintf(w, "lateral_asset_ops_total{domain=%q,op=\"store\"} %d\n", escapeLabel(d.Name), d.AssetStores)
+		fmt.Fprintf(w, "lateral_asset_ops_total{domain=%q,op=\"load\"} %d\n", escapeLabel(d.Name), d.AssetLoads)
+	}
+	fmt.Fprint(w,
+		"# HELP lateral_asset_bytes_total Bytes moved to or from domain memory by asset accesses.\n",
+		"# TYPE lateral_asset_bytes_total counter\n")
+	for _, d := range domains {
+		fmt.Fprintf(w, "lateral_asset_bytes_total{domain=%q} %d\n", escapeLabel(d.Name), d.AssetBytes)
+	}
+
+	// Per-channel latency histograms.
+	fmt.Fprint(w,
+		"# HELP lateral_channel_latency_seconds Cross-domain invocation latency per channel.\n",
+		"# TYPE lateral_channel_latency_seconds histogram\n")
+	chans := m.Channels()
+	cells := m.channelCells()
+	for _, c := range chans {
+		cs := cells[edgeLabel(c)]
+		if cs == nil {
+			continue
+		}
+		snap := cs.Hist.Snapshot()
+		label := escapeLabel(edgeLabel(c))
+		var cum uint64
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "lateral_channel_latency_seconds_bucket{channel=%q,le=\"%g\"} %d\n",
+				label, float64(b.BoundNs)/1e9, cum)
+		}
+		fmt.Fprintf(w, "lateral_channel_latency_seconds_bucket{channel=%q,le=\"+Inf\"} %d\n", label, snap.Count)
+		fmt.Fprintf(w, "lateral_channel_latency_seconds_sum{channel=%q} %g\n", label, float64(snap.SumNs)/1e9)
+		fmt.Fprintf(w, "lateral_channel_latency_seconds_count{channel=%q} %d\n", label, snap.Count)
+	}
+	fmt.Fprint(w,
+		"# HELP lateral_channel_errors_total Invocations that returned an error, per channel.\n",
+		"# TYPE lateral_channel_errors_total counter\n")
+	for _, c := range chans {
+		fmt.Fprintf(w, "lateral_channel_errors_total{channel=%q} %d\n", escapeLabel(edgeLabel(c)), c.Errors)
+	}
+
+	// Wire traffic.
+	links := m.Links()
+	fmt.Fprint(w,
+		"# HELP lateral_net_datagrams_total Datagrams offered on the simulated network, per directed link.\n",
+		"# TYPE lateral_net_datagrams_total counter\n")
+	for _, l := range links {
+		fmt.Fprintf(w, "lateral_net_datagrams_total{link=%q} %d\n",
+			escapeLabel(l.From+"->"+l.To), l.Datagrams)
+	}
+	fmt.Fprint(w,
+		"# HELP lateral_net_bytes_total Payload bytes offered on the simulated network, per directed link.\n",
+		"# TYPE lateral_net_bytes_total counter\n")
+	for _, l := range links {
+		_, err := fmt.Fprintf(w, "lateral_net_bytes_total{link=%q} %d\n",
+			escapeLabel(l.From+"->"+l.To), l.Bytes)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// channelCells returns the live stats cells keyed by edge label, so the
+// exposition writer can reach raw histograms for the summaries it prints.
+func (m *Metrics) channelCells() map[string]*ChannelStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]*ChannelStats)
+	for _, bySender := range m.channels {
+		for _, cs := range bySender {
+			out[cs.From+"->"+cs.To+"/"+cs.Channel] = cs
+		}
+	}
+	return out
+}
+
+// WriteSummary prints a human-readable per-channel latency table, sorted
+// like Channels().
+func (m *Metrics) WriteSummary(w io.Writer) {
+	chans := m.Channels()
+	fmt.Fprintf(w, "%-28s %8s %6s %10s %10s %10s %10s\n",
+		"channel", "count", "errs", "mean", "p50", "p99", "max")
+	for _, c := range chans {
+		fmt.Fprintf(w, "%-28s %8d %6d %10s %10s %10s %10s\n",
+			edgeLabel(c), c.Count, c.Errors, c.Mean, c.P50, c.P99, c.Max)
+	}
+	doms := m.Domains()
+	if len(doms) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-16s %8s %7s %7s %7s %11s %8s\n",
+		"domain", "invocs", "faults", "stores", "loads", "asset-bytes", "trusted")
+	for _, d := range doms {
+		fmt.Fprintf(w, "%-16s %8d %7d %7d %7d %11d %8s\n",
+			d.Name, d.Invocations, d.Faults, d.AssetStores, d.AssetLoads, d.AssetBytes, boolLabel(d.Trusted))
+	}
+}
+
+func boolLabel(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"lateral/internal/core"
+)
+
+// SpanRecord is one completed span as the Recorder keeps it.
+type SpanRecord struct {
+	Trace  uint64 `json:"trace"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+
+	Kind    string `json:"kind"`
+	Channel string `json:"channel,omitempty"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to"`
+	Domain  string `json:"domain,omitempty"`
+	Trusted bool   `json:"trusted,omitempty"`
+	Op      string `json:"op,omitempty"`
+	Bytes   int    `json:"bytes"`
+
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Recorder is a core.Tracer that keeps every completed span for offline
+// inspection: causal trees, JSON dumps, and flame views. It is bounded;
+// once full, further spans are counted but dropped.
+//
+// One Recorder may serve several systems at once (SetTracer the same
+// instance everywhere): span IDs are globally unique, so traces that hop
+// machines — through the distributed stub/exporter pair — reassemble into
+// a single tree.
+type Recorder struct {
+	mu      sync.Mutex
+	limit   int
+	spans   []SpanRecord
+	dropped int
+}
+
+// DefaultRecorderLimit bounds an unconfigured Recorder.
+const DefaultRecorderLimit = 1 << 16
+
+// NewRecorder returns a Recorder keeping at most limit spans (0 means
+// DefaultRecorderLimit).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultRecorderLimit
+	}
+	return &Recorder{limit: limit}
+}
+
+var _ core.Tracer = (*Recorder)(nil)
+
+// SpanStart is a no-op; the Recorder stores completed spans only.
+func (r *Recorder) SpanStart(core.Span, core.SpanInfo, time.Time) {}
+
+// SpanEnd records one completed span.
+func (r *Recorder) SpanEnd(sp core.Span, info core.SpanInfo, start time.Time, elapsed time.Duration, err error) {
+	rec := SpanRecord{
+		Trace:    sp.Trace,
+		ID:       sp.ID,
+		Parent:   sp.Parent,
+		Kind:     info.Kind.String(),
+		Channel:  info.Channel,
+		From:     info.From,
+		To:       info.To,
+		Domain:   info.Domain,
+		Trusted:  info.Trusted,
+		Op:       info.Op,
+		Bytes:    info.Bytes,
+		Start:    start,
+		Duration: elapsed,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	r.mu.Lock()
+	if len(r.spans) < r.limit {
+		r.spans = append(r.spans, rec)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of all recorded spans, in completion order.
+func (r *Recorder) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Dropped reports how many spans the bound discarded.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset discards all recorded spans.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.spans = nil
+	r.dropped = 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lateral/internal/core"
+)
+
+// record appends one finished span with explicit causality and timing.
+func record(r *Recorder, trace, id, parent uint64, kind core.SpanKind, to string, startNs int64, d time.Duration) {
+	r.SpanEnd(
+		core.Span{Trace: trace, ID: id, Parent: parent},
+		core.SpanInfo{Kind: kind, To: to, From: "src", Channel: "ch", Op: "op"},
+		time.Unix(0, startNs), d, nil,
+	)
+}
+
+func TestRecorderTrees(t *testing.T) {
+	r := NewRecorder(0)
+	// Out-of-order completion: children finish before parents.
+	record(r, 7, 3, 2, core.SpanHandle, "b", 30, 5)
+	record(r, 7, 2, 1, core.SpanCall, "b", 20, 10)
+	record(r, 7, 1, 0, core.SpanDeliver, "a", 10, 30)
+	// An orphan (parent never recorded) becomes its own root.
+	record(r, 7, 9, 1000, core.SpanHandle, "lost", 40, 1)
+
+	roots := r.Trees()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	if roots[0].ID != 1 || roots[1].ID != 9 {
+		t.Fatalf("root order = %d, %d (want 1, 9 by start time)", roots[0].ID, roots[1].ID)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].ID != 2 {
+		t.Fatalf("deliver child = %+v", roots[0].Children)
+	}
+	if len(roots[0].Children[0].Children) != 1 || roots[0].Children[0].Children[0].ID != 3 {
+		t.Fatalf("call child = %+v", roots[0].Children[0].Children)
+	}
+}
+
+func TestRecorderLimitAndReset(t *testing.T) {
+	r := NewRecorder(2)
+	for i := uint64(1); i <= 5; i++ {
+		record(r, 1, i, 0, core.SpanHandle, "x", int64(i), 1)
+	}
+	if got := len(r.Spans()); got != 2 {
+		t.Errorf("kept %d spans, want 2", got)
+	}
+	if r.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", r.Dropped())
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 || r.Dropped() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestRecorderErrCaptured(t *testing.T) {
+	r := NewRecorder(0)
+	r.SpanEnd(core.Span{Trace: 1, ID: 1}, core.SpanInfo{Kind: core.SpanCall, To: "x"},
+		time.Unix(0, 0), time.Microsecond, errors.New("refused"))
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Err != "refused" {
+		t.Errorf("spans = %+v", spans)
+	}
+}
+
+func TestWriteTreeRendersNesting(t *testing.T) {
+	r := NewRecorder(0)
+	record(r, 0xbeef, 1, 0, core.SpanDeliver, "ui", 10, 100)
+	record(r, 0xbeef, 2, 1, core.SpanHandle, "ui", 20, 80)
+	record(r, 0xbeef, 3, 2, core.SpanCall, "net", 30, 50)
+	var buf bytes.Buffer
+	WriteTree(&buf, r.Trees())
+	out := buf.String()
+	if !strings.Contains(out, "trace 0xbeef") {
+		t.Errorf("missing trace header:\n%s", out)
+	}
+	// Three nesting levels: root at column 0, children indented with
+	// box-drawing connectors.
+	if !strings.Contains(out, "deliver →ui") ||
+		!strings.Contains(out, "└─ handle ui") ||
+		!strings.Contains(out, "   └─ call src→net") {
+		t.Errorf("tree structure wrong:\n%s", out)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRecorder(0)
+	record(r, 1, 1, 0, core.SpanDeliver, "ui", 10, 100)
+	record(r, 1, 2, 1, core.SpanHandle, "ui", 20, 80)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r.Trees()); err != nil {
+		t.Fatal(err)
+	}
+	var back []TraceNode
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back) != 1 || back[0].ID != 1 || len(back[0].Children) != 1 {
+		t.Errorf("round-trip = %+v", back)
+	}
+}
+
+func TestWriteFlameSelfTime(t *testing.T) {
+	r := NewRecorder(0)
+	record(r, 1, 1, 0, core.SpanDeliver, "ui", 10, 100)
+	record(r, 1, 2, 1, core.SpanHandle, "ui", 20, 80)
+	var buf bytes.Buffer
+	WriteFlame(&buf, r.Trees())
+	out := buf.String()
+	// Root self time = 100 - 80 = 20; leaf keeps its full 80.
+	if !strings.Contains(out, "deliver:ui 20\n") {
+		t.Errorf("root self time wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "deliver:ui;handle:ui 80\n") {
+		t.Errorf("leaf stack wrong:\n%s", out)
+	}
+}

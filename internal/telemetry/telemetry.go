@@ -1,0 +1,61 @@
+// Package telemetry is the observability layer over the core component
+// runtime: it instruments the substrate-crossing hot path (invocation and
+// reuse — the two communication edges of the paper's Fig. 2 cost model)
+// and turns the firehose into per-channel latency histograms, per-domain
+// counters, Prometheus text exposition, and causal trace trees.
+//
+// Two core.Tracer implementations cover the two consumption styles:
+//
+//   - Metrics — always-on aggregation. Lock-cheap sharded histogram
+//     counters keep the traced hot path within a few percent of the
+//     untraced one (see BenchmarkTracedInvocation).
+//   - Recorder — bounded full-fidelity span capture for `lateralctl
+//     trace`, reassembled into causal trees that follow a request through
+//     every domain it crosses, machines included.
+//
+// Fanout composes them when both are wanted at once. The package never
+// sees payload bytes: telemetry is the operator's view, which is exactly
+// the distinction between core.Tracer and the adversary-facing
+// core.Observer.
+package telemetry
+
+import (
+	"time"
+
+	"lateral/internal/core"
+)
+
+// multiTracer fans one event stream out to several tracers.
+type multiTracer []core.Tracer
+
+func (m multiTracer) SpanStart(sp core.Span, info core.SpanInfo, start time.Time) {
+	for _, t := range m {
+		t.SpanStart(sp, info, start)
+	}
+}
+
+func (m multiTracer) SpanEnd(sp core.Span, info core.SpanInfo, start time.Time, elapsed time.Duration, err error) {
+	for _, t := range m {
+		t.SpanEnd(sp, info, start, elapsed, err)
+	}
+}
+
+// Fanout composes tracers: every span event goes to each of them. Nil
+// entries are skipped; Fanout() of nothing returns nil (tracing off), and
+// a single survivor is returned undecorated.
+func Fanout(tracers ...core.Tracer) core.Tracer {
+	var live multiTracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TraceNode is one span with its causal children, as assembled by Trees.
+type TraceNode struct {
+	SpanRecord
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// Trees assembles the recorded spans into causal trees: one root per
+// Deliver (or per span whose parent was never recorded — e.g. the remote
+// half of a distributed trace when only one machine was recorded). Roots
+// and children are ordered by start time, ties broken by span ID.
+func (r *Recorder) Trees() []*TraceNode {
+	spans := r.Spans()
+	nodes := make(map[uint64]*TraceNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &TraceNode{SpanRecord: spans[i]}
+	}
+	var roots []*TraceNode
+	for _, n := range nodes {
+		if p := nodes[n.Parent]; n.Parent != 0 && p != nil {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortNodes func([]*TraceNode)
+	sortNodes = func(ns []*TraceNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if !ns[i].Start.Equal(ns[j].Start) {
+				return ns[i].Start.Before(ns[j].Start)
+			}
+			return ns[i].ID < ns[j].ID
+		})
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(roots)
+	return roots
+}
+
+// label renders one span for the text tree.
+func (n *TraceNode) label() string {
+	var b strings.Builder
+	switch n.Kind {
+	case "call":
+		fmt.Fprintf(&b, "call %s→%s via %q", n.From, n.To, n.Channel)
+	case "deliver":
+		fmt.Fprintf(&b, "deliver →%s", n.To)
+	case "handle":
+		fmt.Fprintf(&b, "handle %s [%s]", n.To, n.Domain)
+	case "asset-store", "asset-load":
+		fmt.Fprintf(&b, "%s %s/%s (%d B)", n.Kind, n.To, n.Op, n.Bytes)
+	default:
+		fmt.Fprintf(&b, "%s %s", n.Kind, n.To)
+	}
+	if n.Kind == "call" || n.Kind == "deliver" {
+		fmt.Fprintf(&b, " op=%s (%d B)", n.Op, n.Bytes)
+	}
+	fmt.Fprintf(&b, "  %s", n.Duration)
+	if n.Err != "" {
+		fmt.Fprintf(&b, "  ERR=%s", n.Err)
+	}
+	return b.String()
+}
+
+// WriteTree renders the trees as an indented causal view with per-span
+// durations — the human-readable trace dump.
+func WriteTree(w io.Writer, roots []*TraceNode) {
+	byTrace := map[uint64]bool{}
+	for _, root := range roots {
+		if !byTrace[root.Trace] {
+			byTrace[root.Trace] = true
+			fmt.Fprintf(w, "trace %#x\n", root.Trace)
+		}
+		writeNode(w, root, "", "")
+	}
+}
+
+func writeNode(w io.Writer, n *TraceNode, prefix, childPrefix string) {
+	fmt.Fprintf(w, "%s%s\n", prefix, n.label())
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			writeNode(w, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			writeNode(w, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// WriteJSON dumps the trees as a JSON document.
+func WriteJSON(w io.Writer, roots []*TraceNode) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(roots)
+}
+
+// WriteFlame renders the trees in collapsed-stack format — one
+// "frame;frame;frame duration_ns" line per span path, the input format of
+// standard flamegraph tooling, readable standalone as a weighted call
+// index.
+func WriteFlame(w io.Writer, roots []*TraceNode) {
+	var walk func(n *TraceNode, path string)
+	walk = func(n *TraceNode, path string) {
+		frame := n.Kind + ":" + n.To
+		if n.Kind == "call" {
+			frame = "call:" + n.From + "→" + n.To
+		}
+		if path != "" {
+			path = path + ";" + frame
+		} else {
+			path = frame
+		}
+		// Emit self time: total minus traced children, so stacked frames
+		// sum to the root duration like a real flamegraph.
+		self := n.Duration
+		for _, c := range n.Children {
+			self -= c.Duration
+		}
+		if self < 0 {
+			self = 0
+		}
+		fmt.Fprintf(w, "%s %d\n", path, self.Nanoseconds())
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	for _, root := range roots {
+		walk(root, "")
+	}
+}
