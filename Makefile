@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race-hotpath race cover bench experiments fuzz examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench experiments fuzz cluster-soak examples clean
 
 all: build vet test race-hotpath
+
+# Tier-1 verify chain (ROADMAP.md): what must stay green on every change.
+verify: build vet test
 
 build:
 	$(GO) build ./...
@@ -42,6 +45,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzSessionOpen   -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzVPFSRead      -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzLegacyFSNames -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzDistributedFrame -fuzztime=10s -run '^$$' .
+
+# Short soak of the attested replica fleet under the race detector:
+# concurrent callers, repeated crash/heal cycles, plus the full E19 chaos
+# experiment (crash + tampered build) with -race.
+cluster-soak:
+	$(GO) test -race -count=5 -run TestSoakUnderChaos ./internal/cluster
+	$(GO) test -race -run TestE19ClusterScalesAndSurvivesChaos ./internal/experiments
 
 examples:
 	$(GO) run ./examples/quickstart -substrate all

@@ -425,3 +425,11 @@ func BenchmarkE18AutoPartition(b *testing.B) {
 	benchExperiment(b, experiments.E18AutoPartition, "rows",
 		func(t experiments.Table) float64 { return float64(len(t.Rows)) })
 }
+
+// BenchmarkE19Cluster regenerates the fleet-scaling table each iteration
+// (four fleet sizes plus the chaos run) and reports the 8-replica speedup
+// over a single replica as the headline metric.
+func BenchmarkE19Cluster(b *testing.B) {
+	benchExperiment(b, experiments.E19Cluster, "8-replica-speedup-x",
+		func(t experiments.Table) float64 { return cellFloat(t, "8 replicas", 4) })
+}

@@ -7,9 +7,10 @@
 //	go run ./cmd/lateralctl tcb               # per-component TCB report
 //	go run ./cmd/lateralctl prune             # POLA pruning of the broad mail manifest
 //	go run ./cmd/lateralctl partition         # auto-partition an annotated monolith
-//	go run ./cmd/lateralctl trace [mail|smartmeter|distributed] [json|flame]
+//	go run ./cmd/lateralctl trace [mail|smartmeter|distributed|cluster] [json|flame]
 //	                                          # causal span tree of a scenario workload
 //	go run ./cmd/lateralctl metrics [summary] # Prometheus text (or table) for all scenarios
+//	go run ./cmd/lateralctl cluster           # attested replica fleet demo (crash + tampered build)
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"lateral/internal/cluster"
 	"lateral/internal/core"
 	"lateral/internal/experiments"
 	"lateral/internal/kernel"
@@ -38,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition|trace|metrics")
+		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition|trace|metrics|cluster")
 	}
 	switch args[0] {
 	case "substrates":
@@ -167,7 +169,7 @@ func run(args []string) error {
 		format := "tree"
 		for _, a := range args[1:] {
 			switch a {
-			case "mail", "smartmeter", "distributed":
+			case "mail", "smartmeter", "distributed", "cluster":
 				scenario = a
 			case "json", "flame", "tree":
 				format = a
@@ -194,7 +196,7 @@ func run(args []string) error {
 		return nil
 	case "metrics":
 		met := telemetry.NewMetrics()
-		for _, sc := range []string{"mail", "smartmeter", "distributed"} {
+		for _, sc := range []string{"mail", "smartmeter", "distributed", "cluster"} {
 			if err := runScenario(sc, met, met); err != nil {
 				return err
 			}
@@ -204,6 +206,46 @@ func run(args []string) error {
 			return nil
 		}
 		return met.WritePrometheus(os.Stdout)
+	case "cluster":
+		// The E19 deployment, narrated: an attested anonymizer fleet that
+		// loses one replica mid-run (and gets it back after re-attestation)
+		// while a tampered build never makes it past admission.
+		met := telemetry.NewMetrics()
+		demo, err := experiments.BuildFleetDemo(5, 5, met)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deployed 5 anonymizer replicas: %d healthy, %d quarantined (tampered build refused at admission: %v)\n",
+			demo.Pool.Healthy(), demo.Pool.Quarantined(), demo.TamperedAdmitErr != nil)
+		const meters, rounds = 120, 2
+		accepted, i := 0, 0
+		for r := 0; r < rounds; r++ {
+			for m := 0; m < meters; m++ {
+				switch i {
+				case 80:
+					fmt.Println("... crashing anon-2 mid-run (partition)")
+					demo.Part.Isolate("anon-2")
+				case 160:
+					fmt.Println("... anon-2 restarts: health check re-attests and re-admits it")
+					demo.Part.Heal("anon-2")
+					demo.Pool.CheckNow()
+				}
+				if err := demo.Send(fmt.Sprintf("meter-%03d", m), 1+m%9); err == nil {
+					accepted++
+				}
+				i++
+			}
+		}
+		fmt.Printf("%d/%d readings accepted; fleet processed %d (makespan %.2f ms of modeled enclave time)\n\n",
+			accepted, meters*rounds, demo.ProcessedTotal(), float64(demo.MakespanNs())/1e6)
+		fmt.Printf("%-8s %-12s %7s %6s %8s %10s\n", "replica", "state", "calls", "errs", "retries", "failovers")
+		for _, ri := range demo.Pool.Replicas() {
+			fmt.Printf("%-8s %-12s %7d %6d %8d %10d\n",
+				ri.Name, ri.State, ri.Calls, ri.Errors, ri.Retries, ri.Failovers)
+		}
+		fmt.Println()
+		met.WriteSummary(os.Stdout)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -263,6 +305,30 @@ func runScenario(scenario string, tr core.Tracer, mon netsim.Monitor) error {
 		}
 		_, err = demo.Laptop.Deliver("client", core.Message{Op: "get"})
 		return err
+	case "cluster":
+		var cm cluster.Monitor
+		if m, ok := tr.(cluster.Monitor); ok {
+			cm = m
+		}
+		demo, err := experiments.BuildFleetDemo(3, 0, cm)
+		if err != nil {
+			return err
+		}
+		demo.SetTracer(tr)
+		if mon != nil {
+			demo.Net.SetMonitor(mon)
+		}
+		for i := 0; i < 9; i++ {
+			if i == 4 {
+				demo.Part.Isolate("anon-3")
+			}
+			if err := demo.Send(fmt.Sprintf("meter-%02d", i%3), 2+i%5); err != nil {
+				return err
+			}
+		}
+		demo.Part.Heal("anon-3")
+		demo.Pool.CheckNow()
+		return nil
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
+	"lateral/internal/distributed"
 	"lateral/internal/hw"
 	"lateral/internal/legacy"
 	"lateral/internal/securechan"
@@ -112,6 +113,37 @@ func FuzzSessionOpen(f *testing.F) {
 		pt, err := ss.Open(data)
 		if err == nil && !bytes.Equal(pt, []byte("genuine record")) {
 			t.Fatalf("forged record opened: %q", pt)
+		}
+	})
+}
+
+// FuzzDistributedFrame covers the call-frame decoder behind the attested
+// channel: the plaintext the exporter parses after a record opens. The
+// invariant is no panic, and whatever decodes must re-encode to bytes that
+// decode to the same (span, op, data) triple.
+func FuzzDistributedFrame(f *testing.F) {
+	untraced := distributed.EncodeRequest(core.Span{}, "put", []byte("doc"))
+	traced := distributed.EncodeRequest(core.Span{Trace: 7, ID: 9}, "get", nil)
+	f.Add(untraced)
+	f.Add(traced)
+	f.Add([]byte{})
+	f.Add(untraced[:1])          // flags only
+	f.Add(traced[:9])            // truncated span context
+	f.Add([]byte{0, 0, 9, 'o'})  // op length beyond frame
+	f.Add([]byte{1, 0, 0, 0, 0}) // traced flag, short span
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, op, payload, err := distributed.DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		again := distributed.EncodeRequest(sp, op, payload)
+		sp2, op2, payload2, err := distributed.DecodeRequest(again)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if sp2 != sp || op2 != op || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip unstable: (%v,%q,%q) vs (%v,%q,%q)",
+				sp, op, payload, sp2, op2, payload2)
 		}
 	})
 }

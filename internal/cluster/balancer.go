@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Balancer picks a replica for one call from the currently healthy
+// candidates. Pick is always called with at least one candidate, under the
+// pool's lock — implementations may keep unsynchronized state. Returning
+// nil makes the call fail with ErrNoReplicas.
+type Balancer interface {
+	// Name identifies the policy in logs and experiment tables.
+	Name() string
+
+	// Pick chooses a replica. key is the caller identity (or any affinity
+	// key); policies that don't shard may ignore it.
+	Pick(key string, candidates []*Replica) *Replica
+}
+
+// RoundRobin cycles through healthy replicas in admission order. The
+// cursor advances globally, not per candidate set, so the rotation stays
+// fair as replicas fail and recover.
+type RoundRobin struct {
+	next uint64
+}
+
+// NewRoundRobin returns a fresh round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Balancer.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Balancer.
+func (b *RoundRobin) Pick(_ string, candidates []*Replica) *Replica {
+	r := candidates[b.next%uint64(len(candidates))]
+	b.next++
+	return r
+}
+
+// LeastInflight picks the replica with the fewest outstanding calls,
+// breaking ties with a rotating cursor so equal replicas share load
+// instead of the first always winning.
+type LeastInflight struct {
+	tie uint64
+}
+
+// NewLeastInflight returns a fresh least-inflight policy.
+func NewLeastInflight() *LeastInflight { return &LeastInflight{} }
+
+// Name implements Balancer.
+func (*LeastInflight) Name() string { return "least-inflight" }
+
+// Pick implements Balancer.
+func (b *LeastInflight) Pick(_ string, candidates []*Replica) *Replica {
+	min := candidates[0].InflightCount()
+	for _, r := range candidates[1:] {
+		if n := r.InflightCount(); n < min {
+			min = n
+		}
+	}
+	var tied []*Replica
+	for _, r := range candidates {
+		if r.InflightCount() == min {
+			tied = append(tied, r)
+		}
+	}
+	r := tied[b.tie%uint64(len(tied))]
+	b.tie++
+	return r
+}
+
+// ConsistentHash shards calls by key on a hash ring of virtual nodes, so
+// one caller's traffic sticks to one replica (cache affinity, per-caller
+// rate state) yet redistributes minimally when a replica fails: only the
+// keys owned by the lost replica move.
+type ConsistentHash struct {
+	// Vnodes is the number of ring points per replica (default 64).
+	Vnodes int
+}
+
+// NewConsistentHash returns a consistent-hash policy with the default
+// virtual-node count.
+func NewConsistentHash() *ConsistentHash { return &ConsistentHash{Vnodes: 64} }
+
+// Name implements Balancer.
+func (*ConsistentHash) Name() string { return "consistent-hash" }
+
+// Pick implements Balancer. The ring is rebuilt from the candidate set on
+// every call: candidate churn is exactly the failover case where ring
+// membership must change, and fleet sizes here are small enough that the
+// rebuild is cheap and keeps the policy stateless and deterministic.
+func (b *ConsistentHash) Pick(key string, candidates []*Replica) *Replica {
+	vnodes := b.Vnodes
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	type point struct {
+		h uint64
+		r *Replica
+	}
+	ring := make([]point, 0, len(candidates)*vnodes)
+	for _, r := range candidates {
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, point{hash64(r.Name() + "#" + strconv.Itoa(v)), r})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].h < ring[j].h })
+	kh := hash64(key)
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].h >= kh })
+	if i == len(ring) {
+		i = 0
+	}
+	return ring[i].r
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. The finalizer matters:
+// raw FNV of near-identical short keys ("meter-001", "meter-002", …)
+// clusters in the high bits, which would drop every key into the same ring
+// gap and defeat the sharding entirely.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,517 @@
+// Package cluster turns a single exported trusted component into an
+// attested replica fleet: health-checked, load-balanced, and
+// failover-capable. It extends §III-D's "distributed confidence domains
+// across machine boundaries" from one Exporter/Stub pair to N of them —
+// the shape a Fig. 3 anonymizer must take to serve heavy traffic from
+// millions of meters.
+//
+// Trust model: every replica is admitted only after an independent
+// attested handshake against the SAME pinned code measurement and vendor
+// key. A replica whose evidence mismatches — a tampered build, a software
+// emulation without the fused key — is rejected at admission, recorded as
+// quarantined, and never retried into the pool. Crashes and partitions,
+// by contrast, are operational failures: the replica is marked down,
+// in-flight calls transparently fail over to a sibling (bounded retries
+// with exponential backoff and deterministic jitter), and periodic health
+// checks re-admit it once a fresh handshake — including re-attestation —
+// succeeds. Recovery and re-admission share one gate: the measurement.
+package cluster
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/distributed"
+	"lateral/internal/netsim"
+)
+
+// Errors.
+var (
+	// ErrAttestation marks evidence that failed verification against the
+	// pinned measurement or vendor key. It is permanent: the pool
+	// quarantines the replica and never dials it again.
+	ErrAttestation = errors.New("cluster: attestation refused")
+
+	// ErrNoReplicas is returned when no healthy replica is available.
+	ErrNoReplicas = errors.New("cluster: no healthy replicas")
+
+	// ErrExhausted wraps the last failure after bounded failover gave up.
+	ErrExhausted = errors.New("cluster: retry attempts exhausted")
+)
+
+// State is a replica's admission state.
+type State int
+
+// Replica states.
+const (
+	// StateHealthy: admitted, attested, passing health checks.
+	StateHealthy State = iota
+	// StateDown: operationally unreachable (crash, partition); health
+	// checks keep trying to reconnect and re-attest it.
+	StateDown
+	// StateQuarantined: attestation failed; permanently expelled.
+	StateQuarantined
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDown:
+		return "down"
+	case StateQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Monitor receives fleet telemetry. telemetry.Metrics implements it
+// structurally (the same pattern as netsim.Monitor); a nil Monitor is
+// silently replaced by a no-op.
+type Monitor interface {
+	ReplicaState(fleet, replica string, healthy, quarantined bool)
+	ReplicaInflight(fleet, replica string, delta int)
+	ReplicaCall(fleet, replica string, failed bool)
+	ReplicaRetry(fleet, replica string)
+	ReplicaFailover(fleet, replica string)
+}
+
+type nopMonitor struct{}
+
+func (nopMonitor) ReplicaState(string, string, bool, bool) {}
+func (nopMonitor) ReplicaInflight(string, string, int)     {}
+func (nopMonitor) ReplicaCall(string, string, bool)        {}
+func (nopMonitor) ReplicaRetry(string, string)             {}
+func (nopMonitor) ReplicaFailover(string, string)          {}
+
+// Replica is one fleet member.
+type Replica struct {
+	name string
+	stub *distributed.Stub
+
+	// mu serializes use of the stub (one request/reply in flight per
+	// replica, like node.handleMu serializes a component).
+	mu sync.Mutex
+
+	// state is guarded by the owning pool's mutex.
+	state State
+
+	inflight  atomic.Int64
+	calls     atomic.Int64
+	errors    atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+}
+
+// Name returns the replica's fleet-unique name.
+func (r *Replica) Name() string { return r.name }
+
+// InflightCount returns the outstanding-call gauge (balancer input).
+func (r *Replica) InflightCount() int64 { return r.inflight.Load() }
+
+// ReplicaInfo is a point-in-time snapshot of one replica.
+type ReplicaInfo struct {
+	Name      string
+	State     State
+	Inflight  int64
+	Calls     int64
+	Errors    int64
+	Retries   int64
+	Failovers int64
+}
+
+// Config configures a Pool.
+type Config struct {
+	// Fleet names the fleet in telemetry.
+	Fleet string
+
+	// RemoteName is the exported component's name, identical on every
+	// replica (it is the same audited binary).
+	RemoteName string
+
+	// VendorKey is the trust anchor vendor all replica substrates must
+	// chain to.
+	VendorKey ed25519.PublicKey
+
+	// Measurement is the pinned audited build; every replica must quote
+	// exactly this.
+	Measurement [32]byte
+
+	// Balancer picks among healthy replicas (default: round-robin).
+	Balancer Balancer
+
+	// MaxAttempts bounds tries per call, first attempt included
+	// (default 3).
+	MaxAttempts int
+
+	// BackoffBase is the first retry delay; it doubles per retry up to
+	// BackoffMax, plus jitter in [0, BackoffBase) (defaults 200µs / 20ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// JitterSeed makes backoff jitter reproducible (default "cluster").
+	JitterSeed string
+
+	// HealthInterval runs a health round when this much time has passed
+	// since the last one, piggybacked on Do (0 = only explicit CheckNow).
+	HealthInterval time.Duration
+
+	// PingTimeout fails a health probe that took longer than this
+	// (0 = only probe errors fail).
+	PingTimeout time.Duration
+
+	// Sleep and Clock are test seams (defaults time.Sleep / time.Now).
+	Sleep func(time.Duration)
+	Clock func() time.Time
+
+	// Monitor receives fleet telemetry (default: discard).
+	Monitor Monitor
+}
+
+// ReplicaSpec describes one replica to admit.
+type ReplicaSpec struct {
+	// Name is the replica's fleet-unique name (metrics label).
+	Name string
+
+	// RemoteEndpoint is the replica machine's netsim endpoint.
+	RemoteEndpoint string
+
+	// Endpoint is the pool's own attachment for dialing this replica —
+	// one per replica, so reply flights never interleave.
+	Endpoint *netsim.Endpoint
+
+	// Rand seeds the handshake (required).
+	Rand *cryptoutil.PRNG
+
+	// Pump drives the remote exporter, as in distributed.StubConfig.
+	Pump func() error
+}
+
+// Pool is the attested replica fleet.
+type Pool struct {
+	cfg Config
+
+	mu        sync.Mutex
+	replicas  []*Replica
+	byName    map[string]*Replica
+	rng       *cryptoutil.PRNG
+	lastCheck time.Time
+}
+
+// New validates the config and builds an empty pool; Admit adds replicas.
+func New(cfg Config) (*Pool, error) {
+	if cfg.RemoteName == "" || len(cfg.VendorKey) == 0 {
+		return nil, fmt.Errorf("cluster: config needs RemoteName and VendorKey")
+	}
+	if cfg.Fleet == "" {
+		cfg.Fleet = cfg.RemoteName
+	}
+	if cfg.Balancer == nil {
+		cfg.Balancer = NewRoundRobin()
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 200 * time.Microsecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 20 * time.Millisecond
+	}
+	if cfg.JitterSeed == "" {
+		cfg.JitterSeed = "cluster"
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Monitor == nil {
+		cfg.Monitor = nopMonitor{}
+	}
+	p := &Pool{
+		cfg:    cfg,
+		byName: make(map[string]*Replica),
+		rng:    cryptoutil.NewPRNG("cluster-jitter-" + cfg.JitterSeed),
+	}
+	p.lastCheck = cfg.Clock()
+	return p, nil
+}
+
+// verifier pins the fleet measurement: the admission (and re-admission)
+// gate every replica handshake must pass.
+func (p *Pool) verifier() func(ed25519.PublicKey, [32]byte, []byte) error {
+	return func(_ ed25519.PublicKey, tr [32]byte, evidence []byte) error {
+		q, err := core.DecodeQuote(evidence)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrAttestation, err)
+		}
+		if err := core.VerifyQuote(q, tr[:], p.cfg.VendorKey, p.cfg.Measurement); err != nil {
+			return fmt.Errorf("%w: %v", ErrAttestation, err)
+		}
+		return nil
+	}
+}
+
+// Admit dials one replica with a full attested handshake. Evidence
+// mismatch quarantines the replica permanently and returns ErrAttestation;
+// operational failures admit it as down (health checks will keep trying);
+// success admits it healthy. The replica is recorded — and visible in
+// telemetry — in all three cases.
+func (p *Pool) Admit(spec ReplicaSpec) error {
+	if spec.Name == "" || spec.Endpoint == nil || spec.Rand == nil {
+		return fmt.Errorf("cluster: replica spec needs Name, Endpoint, Rand")
+	}
+	stub, err := distributed.NewStub(distributed.StubConfig{
+		RemoteName:     p.cfg.RemoteName,
+		RemoteEndpoint: spec.RemoteEndpoint,
+		Endpoint:       spec.Endpoint,
+		Rand:           spec.Rand,
+		VerifyServer:   p.verifier(),
+		Pump:           spec.Pump,
+	})
+	if err != nil {
+		return err
+	}
+	r := &Replica{name: spec.Name, stub: stub}
+	p.mu.Lock()
+	if _, dup := p.byName[spec.Name]; dup {
+		p.mu.Unlock()
+		return fmt.Errorf("cluster: replica %q already admitted", spec.Name)
+	}
+	p.replicas = append(p.replicas, r)
+	p.byName[spec.Name] = r
+	p.mu.Unlock()
+
+	err = stub.Connect()
+	switch {
+	case err == nil:
+		p.setState(r, StateHealthy)
+		return nil
+	case errors.Is(err, ErrAttestation):
+		p.setState(r, StateQuarantined)
+		return fmt.Errorf("admit %s: %w", spec.Name, err)
+	default:
+		p.setState(r, StateDown)
+		return fmt.Errorf("admit %s: %w", spec.Name, err)
+	}
+}
+
+// setState transitions a replica and reports it to telemetry. Quarantine
+// is absorbing: no transition leaves it.
+func (p *Pool) setState(r *Replica, s State) {
+	p.mu.Lock()
+	if r.state == StateQuarantined {
+		p.mu.Unlock()
+		return
+	}
+	r.state = s
+	p.mu.Unlock()
+	p.cfg.Monitor.ReplicaState(p.cfg.Fleet, r.name, s == StateHealthy, s == StateQuarantined)
+}
+
+// healthy returns the currently dispatchable replicas.
+func (p *Pool) healthySnapshot() []*Replica {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Replica, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		if r.state == StateHealthy {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Do routes one call into the fleet. key is the caller identity (or any
+// affinity key) the balancer may shard on. Transport failures fail over to
+// a sibling replica under bounded retry with exponential backoff and
+// jitter; remote application errors (distributed.ErrRemote) are returned
+// as-is — the call reached an attested replica and was refused, so
+// retrying elsewhere would duplicate work, not fix anything.
+func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
+	p.maybeCheck()
+	var lastErr error
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		candidates := p.healthySnapshot()
+		if len(candidates) == 0 {
+			if lastErr != nil {
+				return core.Message{}, fmt.Errorf("%w after %d attempt(s): %v", ErrNoReplicas, attempt, lastErr)
+			}
+			return core.Message{}, ErrNoReplicas
+		}
+		p.mu.Lock()
+		r := p.cfg.Balancer.Pick(key, candidates)
+		p.mu.Unlock()
+		if r == nil {
+			return core.Message{}, ErrNoReplicas
+		}
+		reply, err := p.callReplica(r, msg)
+		if err == nil {
+			return reply, nil
+		}
+		if errors.Is(err, distributed.ErrRemote) {
+			return reply, err
+		}
+		// Operational failure: the replica is down until a health check
+		// re-attests it. Fail the call over.
+		p.setState(r, StateDown)
+		r.stub.Close()
+		r.failovers.Add(1)
+		p.cfg.Monitor.ReplicaFailover(p.cfg.Fleet, r.name)
+		lastErr = err
+		if attempt+1 < p.cfg.MaxAttempts {
+			r.retries.Add(1)
+			p.cfg.Monitor.ReplicaRetry(p.cfg.Fleet, r.name)
+			p.cfg.Sleep(p.backoff(attempt))
+		}
+	}
+	return core.Message{}, fmt.Errorf("%w (%d): %v", ErrExhausted, p.cfg.MaxAttempts, lastErr)
+}
+
+// callReplica runs one request/reply against one replica, maintaining the
+// inflight gauge and call counters.
+func (p *Pool) callReplica(r *Replica, msg core.Message) (core.Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inflight.Add(1)
+	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, 1)
+	reply, err := r.stub.Handle(core.Envelope{Msg: msg})
+	r.inflight.Add(-1)
+	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, -1)
+	r.calls.Add(1)
+	if err != nil {
+		r.errors.Add(1)
+	}
+	p.cfg.Monitor.ReplicaCall(p.cfg.Fleet, r.name, err != nil)
+	return reply, err
+}
+
+// backoff computes the delay before retry attempt+1: BackoffBase doubling
+// per attempt, capped at BackoffMax, plus jitter in [0, BackoffBase) from
+// the seeded PRNG so concurrent retriers desynchronize reproducibly.
+func (p *Pool) backoff(attempt int) time.Duration {
+	d := p.cfg.BackoffBase << uint(attempt)
+	if d > p.cfg.BackoffMax || d <= 0 {
+		d = p.cfg.BackoffMax
+	}
+	p.mu.Lock()
+	j := time.Duration(p.rng.Intn(int(p.cfg.BackoffBase)))
+	p.mu.Unlock()
+	return d + j
+}
+
+// maybeCheck piggybacks a health round on Do when HealthInterval elapsed.
+func (p *Pool) maybeCheck() {
+	if p.cfg.HealthInterval <= 0 {
+		return
+	}
+	now := p.cfg.Clock()
+	p.mu.Lock()
+	due := now.Sub(p.lastCheck) >= p.cfg.HealthInterval
+	if due {
+		p.lastCheck = now
+	}
+	p.mu.Unlock()
+	if due {
+		p.CheckNow()
+	}
+}
+
+// CheckNow runs one health round: healthy replicas are pinged (a probe
+// error or a probe slower than PingTimeout marks them down); down replicas
+// get a full reconnect — handshake AND re-attestation — and are re-admitted
+// only if both succeed. A down replica that comes back with the wrong
+// measurement (restarted as a tampered build) is quarantined for good.
+// Quarantined replicas are never touched.
+func (p *Pool) CheckNow() {
+	p.mu.Lock()
+	replicas := make([]*Replica, len(p.replicas))
+	copy(replicas, p.replicas)
+	p.mu.Unlock()
+	for _, r := range replicas {
+		p.mu.Lock()
+		state := r.state
+		p.mu.Unlock()
+		switch state {
+		case StateQuarantined:
+			continue
+		case StateHealthy:
+			r.mu.Lock()
+			start := p.cfg.Clock()
+			err := r.stub.Ping()
+			elapsed := p.cfg.Clock().Sub(start)
+			r.mu.Unlock()
+			if err != nil || (p.cfg.PingTimeout > 0 && elapsed > p.cfg.PingTimeout) {
+				p.setState(r, StateDown)
+				r.stub.Close()
+			}
+		case StateDown:
+			r.mu.Lock()
+			err := r.stub.Connect()
+			r.mu.Unlock()
+			switch {
+			case err == nil:
+				p.setState(r, StateHealthy)
+			case errors.Is(err, ErrAttestation):
+				p.setState(r, StateQuarantined)
+				// else: still down; next round tries again.
+			}
+		}
+	}
+}
+
+// Replicas returns a snapshot of every admitted replica, in admission
+// order.
+func (p *Pool) Replicas() []ReplicaInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ReplicaInfo, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		out = append(out, ReplicaInfo{
+			Name:      r.name,
+			State:     r.state,
+			Inflight:  r.inflight.Load(),
+			Calls:     r.calls.Load(),
+			Errors:    r.errors.Load(),
+			Retries:   r.retries.Load(),
+			Failovers: r.failovers.Load(),
+		})
+	}
+	return out
+}
+
+// Healthy counts replicas currently in StateHealthy.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, r := range p.replicas {
+		if r.state == StateHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Quarantined counts permanently expelled replicas.
+func (p *Pool) Quarantined() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, r := range p.replicas {
+		if r.state == StateQuarantined {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,632 @@
+package cluster
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/distributed"
+	"lateral/internal/netsim"
+	"lateral/internal/sgx"
+	"lateral/internal/telemetry"
+)
+
+// The telemetry collector must satisfy the fleet monitor hook without
+// either package importing the other.
+var _ Monitor = (*telemetry.Metrics)(nil)
+
+// fleetStore is the replicated trusted component under test: it counts
+// bumps per key so tests can see exactly which replica served which call.
+type fleetStore struct {
+	mu     sync.Mutex
+	perKey map[string]int
+	total  int
+}
+
+func (s *fleetStore) CompName() string     { return "anon" }
+func (s *fleetStore) CompVersion() string  { return "1.0" }
+func (s *fleetStore) Init(*core.Ctx) error { return nil }
+
+func (s *fleetStore) Handle(env core.Envelope) (core.Message, error) {
+	switch env.Msg.Op {
+	case "bump":
+		s.mu.Lock()
+		if s.perKey == nil {
+			s.perKey = make(map[string]int)
+		}
+		s.perKey[string(env.Msg.Data)]++
+		n := s.perKey[string(env.Msg.Data)]
+		s.total++
+		s.mu.Unlock()
+		return core.Message{Op: "ok", Data: []byte(fmt.Sprint(n))}, nil
+	default:
+		return core.Message{}, core.ErrRefused
+	}
+}
+
+func (s *fleetStore) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+func (s *fleetStore) Count(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.perKey[key]
+}
+
+// tamperedStore is the same component with one modified line — a different
+// measurement, which admission must refuse.
+type tamperedStore struct{ fleetStore }
+
+func (t *tamperedStore) CompVersion() string { return "1.0-evil" }
+
+type fixture struct {
+	t      *testing.T
+	net    *netsim.Network
+	part   *netsim.Partitioner
+	pool   *Pool
+	stores map[string]*fleetStore
+}
+
+func replicaName(i int) string { return fmt.Sprintf("anon-%d", i) }
+
+// newFleet builds an n-replica attested fleet. Replica indices in tampered
+// are deployed as the modified build, and their admission is asserted to
+// fail with ErrAttestation.
+func newFleet(t *testing.T, n int, tampered map[int]bool, mutate func(*Config)) *fixture {
+	t.Helper()
+	net := netsim.New()
+	part := netsim.NewPartitioner()
+	net.SetAdversary(part)
+	vendor := cryptoutil.NewSigner("intel")
+	cfg := Config{
+		Fleet:       "anon",
+		RemoteName:  "anon",
+		VendorKey:   vendor.Public(),
+		Measurement: cryptoutil.Hash(core.DomainImage(&fleetStore{})),
+		Sleep:       func(time.Duration) {},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	pool, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{t: t, net: net, part: part, pool: pool, stores: make(map[string]*fleetStore)}
+	for i := 1; i <= n; i++ {
+		name := replicaName(i)
+		cpu, err := sgx.New(sgx.Config{DeviceSeed: "fleet-" + name, Vendor: vendor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := core.NewSystem(cpu)
+		store := &fleetStore{}
+		var comp core.Component = store
+		if tampered[i] {
+			comp = &tamperedStore{}
+		}
+		if err := sys.Launch(comp, true, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.InitAll(); err != nil {
+			t.Fatal(err)
+		}
+		exp, err := distributed.NewExporter(distributed.ExportConfig{
+			System:    sys,
+			Component: "anon",
+			Endpoint:  net.Attach(name),
+			Identity:  cryptoutil.NewSigner(name + "-tls"),
+			Rand:      cryptoutil.NewPRNG(name + "-srv"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = pool.Admit(ReplicaSpec{
+			Name:           name,
+			RemoteEndpoint: name,
+			Endpoint:       net.Attach("lb-" + name),
+			Rand:           cryptoutil.NewPRNG(name + "-cli"),
+			Pump:           exp.Serve,
+		})
+		if tampered[i] {
+			if !errors.Is(err, ErrAttestation) {
+				t.Fatalf("tampered %s admitted: %v", name, err)
+			}
+		} else {
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.stores[name] = store
+		}
+	}
+	return f
+}
+
+func (f *fixture) bump(key string) error {
+	_, err := f.pool.Do(key, core.Message{Op: "bump", Data: []byte(key)})
+	return err
+}
+
+func (f *fixture) mustBump(key string) {
+	f.t.Helper()
+	if err := f.bump(key); err != nil {
+		f.t.Fatalf("bump %q: %v", key, err)
+	}
+}
+
+func (f *fixture) info(name string) ReplicaInfo {
+	f.t.Helper()
+	for _, ri := range f.pool.Replicas() {
+		if ri.Name == name {
+			return ri
+		}
+	}
+	f.t.Fatalf("replica %s not in pool", name)
+	return ReplicaInfo{}
+}
+
+func (f *fixture) fleetTotal() int {
+	n := 0
+	for _, s := range f.stores {
+		n += s.Total()
+	}
+	return n
+}
+
+func TestAdmissionAndRoundRobin(t *testing.T) {
+	f := newFleet(t, 3, nil, nil)
+	if got := f.pool.Healthy(); got != 3 {
+		t.Fatalf("healthy = %d, want 3", got)
+	}
+	for i := 0; i < 9; i++ {
+		f.mustBump(fmt.Sprintf("meter-%d", i))
+	}
+	// Round-robin spreads exactly evenly.
+	for name, s := range f.stores {
+		if s.Total() != 3 {
+			t.Errorf("%s served %d calls, want 3", name, s.Total())
+		}
+	}
+}
+
+func TestTamperedReplicaQuarantinedAtAdmission(t *testing.T) {
+	f := newFleet(t, 3, map[int]bool{2: true}, nil)
+	if got := f.pool.Quarantined(); got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	if got := f.pool.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d, want 2", got)
+	}
+	for i := 0; i < 6; i++ {
+		f.mustBump(fmt.Sprintf("meter-%d", i))
+	}
+	// Quarantine is permanent: health rounds never re-dial the replica.
+	f.pool.CheckNow()
+	f.pool.CheckNow()
+	ri := f.info("anon-2")
+	if ri.State != StateQuarantined {
+		t.Errorf("anon-2 state = %v after health rounds, want quarantined", ri.State)
+	}
+	if ri.Calls != 0 {
+		t.Errorf("quarantined replica served %d calls, want 0", ri.Calls)
+	}
+	if f.fleetTotal() != 6 {
+		t.Errorf("fleet served %d, want 6", f.fleetTotal())
+	}
+}
+
+func TestRemoteErrorsDoNotFailOver(t *testing.T) {
+	f := newFleet(t, 2, nil, nil)
+	_, err := f.pool.Do("m", core.Message{Op: "no-such-op"})
+	if !errors.Is(err, distributed.ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	// The call reached an attested replica and was refused: retrying on a
+	// sibling would duplicate work, so the fleet stays intact.
+	if got := f.pool.Healthy(); got != 2 {
+		t.Errorf("healthy = %d after remote refusal, want 2", got)
+	}
+	for _, ri := range f.pool.Replicas() {
+		if ri.Failovers != 0 || ri.Retries != 0 {
+			t.Errorf("%s failovers=%d retries=%d, want 0/0", ri.Name, ri.Failovers, ri.Retries)
+		}
+	}
+}
+
+func TestFailoverOnCrashAndRecovery(t *testing.T) {
+	f := newFleet(t, 3, nil, nil)
+	for i := 0; i < 3; i++ {
+		f.mustBump(fmt.Sprintf("warm-%d", i))
+	}
+	// Crash anon-2: every datagram to or from it vanishes.
+	f.part.Isolate("anon-2")
+	for i := 0; i < 9; i++ {
+		f.mustBump(fmt.Sprintf("meter-%d", i)) // caller sees zero failures
+	}
+	ri := f.info("anon-2")
+	if ri.State != StateDown {
+		t.Errorf("anon-2 state = %v, want down", ri.State)
+	}
+	if ri.Failovers == 0 {
+		t.Error("crash produced no failovers")
+	}
+	served := f.stores["anon-1"].Total() + f.stores["anon-3"].Total()
+	if served < 9 {
+		t.Errorf("survivors served %d, want >= 9", served)
+	}
+	// The replica restarts: a health round re-attests and re-admits it.
+	f.part.Heal("anon-2")
+	f.pool.CheckNow()
+	if got := f.pool.Healthy(); got != 3 {
+		t.Fatalf("healthy = %d after heal, want 3", got)
+	}
+	before := f.stores["anon-2"].Total()
+	for i := 0; i < 6; i++ {
+		f.mustBump(fmt.Sprintf("post-%d", i))
+	}
+	if f.stores["anon-2"].Total() <= before {
+		t.Error("recovered replica received no traffic")
+	}
+}
+
+func TestAllReplicasDownThenRecover(t *testing.T) {
+	f := newFleet(t, 2, nil, nil)
+	f.part.Isolate("anon-1")
+	f.part.Isolate("anon-2")
+	err := f.bump("m1")
+	if !errors.Is(err, ErrNoReplicas) && !errors.Is(err, ErrExhausted) {
+		t.Fatalf("total outage: err = %v", err)
+	}
+	if err := f.bump("m2"); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("empty pool: err = %v", err)
+	}
+	f.part.HealAll()
+	f.pool.CheckNow()
+	if got := f.pool.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d after heal, want 2", got)
+	}
+	f.mustBump("m3")
+}
+
+func TestReplyLossWindowIsAtLeastOnce(t *testing.T) {
+	f := newFleet(t, 2, nil, nil)
+	// Cut only the reply direction: anon-1 receives and processes the
+	// request, but the caller never hears back — the in-flight window.
+	f.part.BlockLink("anon-1", "lb-anon-1")
+	f.mustBump("meter-7")
+	// The call failed over and succeeded elsewhere; the reading was never
+	// lost, but the partitioned replica also processed it. Delivery inside
+	// the window is at-least-once, and the duplicate is observable.
+	if got := f.stores["anon-2"].Count("meter-7"); got != 1 {
+		t.Errorf("anon-2 bumps = %d, want 1 (failover target)", got)
+	}
+	if got := f.stores["anon-1"].Count("meter-7"); got != 1 {
+		t.Errorf("anon-1 bumps = %d, want 1 (processed, reply lost)", got)
+	}
+	if ri := f.info("anon-1"); ri.State != StateDown {
+		t.Errorf("anon-1 state = %v, want down", ri.State)
+	}
+}
+
+func TestConsistentHashAffinity(t *testing.T) {
+	f := newFleet(t, 4, nil, func(c *Config) { c.Balancer = NewConsistentHash() })
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("meter-%03d", i)
+	}
+	for round := 0; round < 3; round++ {
+		for _, k := range keys {
+			f.mustBump(k)
+		}
+	}
+	// Every key sticks to exactly one replica across rounds.
+	used := map[string]bool{}
+	for _, k := range keys {
+		owners := 0
+		for name, s := range f.stores {
+			switch s.Count(k) {
+			case 0:
+			case 3:
+				owners++
+				used[name] = true
+			default:
+				t.Fatalf("key %s split: %s has %d bumps", k, name, s.Count(k))
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %s has %d owners, want 1", k, owners)
+		}
+	}
+	if len(used) < 3 {
+		t.Errorf("only %d replicas own keys, want a spread", len(used))
+	}
+}
+
+func TestConsistentHashFailoverMovesOnlyLostKeys(t *testing.T) {
+	f := newFleet(t, 4, nil, func(c *Config) { c.Balancer = NewConsistentHash() })
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("meter-%03d", i)
+	}
+	owner := map[string]string{}
+	for _, k := range keys {
+		f.mustBump(k)
+		for name, s := range f.stores {
+			if s.Count(k) == 1 {
+				owner[k] = name
+			}
+		}
+	}
+	victim := owner[keys[0]]
+	f.part.Isolate(victim)
+	for _, k := range keys {
+		f.mustBump(k)
+	}
+	for _, k := range keys {
+		if owner[k] == victim {
+			continue
+		}
+		// Keys owned by surviving replicas never moved.
+		if got := f.stores[owner[k]].Count(k); got != 2 {
+			t.Errorf("key %s left its live owner %s (count %d)", k, owner[k], got)
+		}
+	}
+}
+
+func TestLeastInflightPrefersIdleAndRotatesTies(t *testing.T) {
+	a := &Replica{name: "a"}
+	b := &Replica{name: "b"}
+	c := &Replica{name: "c"}
+	a.inflight.Add(2)
+	lb := NewLeastInflight()
+	if got := lb.Pick("", []*Replica{a, b, c}); got == a {
+		t.Error("picked the busiest replica")
+	}
+	// b and c are tied at zero: successive picks alternate.
+	seen := map[string]int{}
+	for i := 0; i < 4; i++ {
+		seen[lb.Pick("", []*Replica{a, b, c}).Name()]++
+	}
+	if seen["a"] != 0 || seen["b"] != 2 || seen["c"] != 2 {
+		t.Errorf("tie rotation = %v, want b:2 c:2", seen)
+	}
+}
+
+func TestBackoffIsExponentialWithBoundedJitter(t *testing.T) {
+	var sleeps []time.Duration
+	base := 200 * time.Microsecond
+	f := newFleet(t, 3, nil, func(c *Config) {
+		c.Sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	})
+	f.part.Isolate("anon-1")
+	f.part.Isolate("anon-2")
+	f.part.Isolate("anon-3")
+	err := f.bump("m")
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("total outage with healthy-looking pool: err = %v", err)
+	}
+	// MaxAttempts=3 → two backoffs: base+jitter, 2*base+jitter.
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 entries", sleeps)
+	}
+	if sleeps[0] < base || sleeps[0] >= 2*base {
+		t.Errorf("first backoff %v outside [base, 2*base)", sleeps[0])
+	}
+	if sleeps[1] < 2*base || sleeps[1] >= 3*base {
+		t.Errorf("second backoff %v outside [2*base, 3*base)", sleeps[1])
+	}
+	// Same jitter seed → identical backoff schedule (deterministic runs).
+	var sleeps2 []time.Duration
+	f2 := newFleet(t, 3, nil, func(c *Config) {
+		c.Sleep = func(d time.Duration) { sleeps2 = append(sleeps2, d) }
+	})
+	f2.part.Isolate("anon-1")
+	f2.part.Isolate("anon-2")
+	f2.part.Isolate("anon-3")
+	f2.bump("m")
+	if fmt.Sprint(sleeps) != fmt.Sprint(sleeps2) {
+		t.Errorf("same seed, different schedules: %v vs %v", sleeps, sleeps2)
+	}
+}
+
+func TestHealthIntervalPiggybacksOnCalls(t *testing.T) {
+	now := time.Unix(1000, 0)
+	f := newFleet(t, 2, nil, func(c *Config) {
+		c.HealthInterval = time.Minute
+		c.Clock = func() time.Time { return now }
+	})
+	f.part.Isolate("anon-2")
+	for i := 0; i < 4; i++ {
+		f.mustBump(fmt.Sprintf("m-%d", i))
+	}
+	if got := f.pool.Healthy(); got != 1 {
+		t.Fatalf("healthy = %d after crash, want 1", got)
+	}
+	f.part.Heal("anon-2")
+	// Interval not elapsed: traffic alone does not re-admit.
+	f.mustBump("m-x")
+	if got := f.pool.Healthy(); got != 1 {
+		t.Fatalf("healthy = %d before interval, want 1", got)
+	}
+	now = now.Add(2 * time.Minute)
+	f.mustBump("m-y")
+	if got := f.pool.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d after interval, want 2", got)
+	}
+}
+
+func TestPingTimeoutMarksSlowReplicaDown(t *testing.T) {
+	now := time.Unix(1000, 0)
+	step := time.Duration(0)
+	f := newFleet(t, 1, nil, func(c *Config) {
+		c.PingTimeout = time.Millisecond
+		c.Clock = func() time.Time { now = now.Add(step); return now }
+	})
+	// Fast pings keep the replica healthy.
+	f.pool.CheckNow()
+	if got := f.pool.Healthy(); got != 1 {
+		t.Fatalf("healthy = %d with fast pings, want 1", got)
+	}
+	// Every clock read now advances 5ms, so the probe misses its budget.
+	step = 5 * time.Millisecond
+	f.pool.CheckNow()
+	if got := f.pool.Healthy(); got != 0 {
+		t.Fatalf("healthy = %d with slow pings, want 0", got)
+	}
+	// Latency recovers: the next round reconnects and re-admits.
+	step = 0
+	f.pool.CheckNow()
+	if got := f.pool.Healthy(); got != 1 {
+		t.Fatalf("healthy = %d after recovery, want 1", got)
+	}
+}
+
+func TestTelemetryMonitorSeesFleetEvents(t *testing.T) {
+	m := telemetry.NewMetrics()
+	f := newFleet(t, 3, map[int]bool{3: true}, func(c *Config) { c.Monitor = m })
+	f.part.Isolate("anon-2")
+	for i := 0; i < 6; i++ {
+		f.mustBump(fmt.Sprintf("m-%d", i))
+	}
+	byName := map[string]telemetry.ReplicaSummary{}
+	for _, r := range m.Fleets() {
+		byName[r.Replica] = r
+	}
+	if r := byName["anon-1"]; !r.Healthy || r.Calls == 0 {
+		t.Errorf("anon-1 summary = %+v", r)
+	}
+	if r := byName["anon-2"]; r.Healthy || r.Failovers == 0 {
+		t.Errorf("anon-2 summary = %+v", r)
+	}
+	if r := byName["anon-3"]; !r.Quarantined || r.Calls != 0 {
+		t.Errorf("anon-3 summary = %+v", r)
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lateral_cluster_replica_healthy{fleet="anon",replica="anon-1"} 1`,
+		`lateral_cluster_replica_healthy{fleet="anon",replica="anon-2"} 0`,
+		`lateral_cluster_replica_quarantined{fleet="anon",replica="anon-3"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestSoakUnderChaos hammers the pool from several goroutines while a
+// chaos goroutine repeatedly crashes and heals one replica. Run with
+// -race; the invariants are: callers only ever see success or a total
+// outage error, no accepted call is lost (every success was processed at
+// least once), and the fleet fully recovers afterwards.
+func TestSoakUnderChaos(t *testing.T) {
+	f := newFleet(t, 4, nil, nil)
+	const workers, calls = 4, 30
+	var wg sync.WaitGroup
+	var successes, outages atomic64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				err := f.bump(fmt.Sprintf("w%d-m%d", w, i))
+				switch {
+				case err == nil:
+					successes.add(1)
+				case errors.Is(err, ErrNoReplicas) || errors.Is(err, ErrExhausted):
+					outages.add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			f.part.Isolate("anon-3")
+			f.pool.CheckNow()
+			f.part.Heal("anon-3")
+			f.pool.CheckNow()
+		}
+	}()
+	wg.Wait()
+	f.part.HealAll()
+	f.pool.CheckNow()
+	if got := f.pool.Healthy(); got != 4 {
+		t.Errorf("healthy = %d after soak, want 4", got)
+	}
+	if f.fleetTotal() < int(successes.load()) {
+		t.Errorf("fleet processed %d < %d successes: accepted calls lost",
+			f.fleetTotal(), successes.load())
+	}
+	t.Logf("soak: %d ok, %d outages, %d processed", successes.load(), outages.load(), f.fleetTotal())
+}
+
+// atomic64 avoids importing sync/atomic under a second name in tests.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+func TestConfigValidationAndDefaults(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	vendor := cryptoutil.NewSigner("v")
+	p, err := New(Config{RemoteName: "anon", VendorKey: vendor.Public()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Fleet != "anon" || p.cfg.MaxAttempts != 3 || p.cfg.Balancer == nil {
+		t.Errorf("defaults not applied: %+v", p.cfg)
+	}
+	if err := p.Admit(ReplicaSpec{}); err == nil {
+		t.Error("empty replica spec accepted")
+	}
+	if _, err := p.Do("k", core.Message{Op: "x"}); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("empty pool Do: %v", err)
+	}
+	var _ ed25519.PublicKey = p.cfg.VendorKey
+}
+
+func TestDuplicateReplicaNameRejected(t *testing.T) {
+	f := newFleet(t, 1, nil, nil)
+	err := f.pool.Admit(ReplicaSpec{
+		Name:           "anon-1",
+		RemoteEndpoint: "anon-1",
+		Endpoint:       f.net.Attach("lb-dup"),
+		Rand:           cryptoutil.NewPRNG("dup"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "already admitted") {
+		t.Errorf("duplicate admit: %v", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateHealthy:     "healthy",
+		StateDown:        "down",
+		StateQuarantined: "quarantined",
+		State(9):         "state(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

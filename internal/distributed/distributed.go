@@ -62,6 +62,16 @@ func decodeCall(b []byte) (string, []byte, error) {
 	return string(b[2 : 2+n]), b[2+n:], nil
 }
 
+// PingOp is the reserved liveness-probe operation. The Exporter answers
+// it from the channel layer without ever invoking the exported component,
+// so a health check costs one sealed round trip and cannot perturb
+// component state. The leading NUL keeps it out of any legitimate
+// component op namespace.
+const PingOp = "\x00ping"
+
+// PongOp is the reply operation to a PingOp probe.
+const PongOp = "\x00pong"
+
 // Request frames wrap encodeCall with a flags byte; when frameTraced is
 // set, 16 bytes of telemetry span context (trace ID, span ID, both
 // big-endian) follow so a trace crossing the wire reassembles into one
@@ -69,7 +79,10 @@ func decodeCall(b []byte) (string, []byte, error) {
 // rides inside the sealed channel and carries no payload information.
 const frameTraced = 1 << 0
 
-func encodeRequest(sp core.Span, op string, data []byte) []byte {
+// EncodeRequest builds one request frame. Exported for the repo-root fuzz
+// harness and for tooling that needs to speak the wire format; production
+// callers go through Stub/Exporter.
+func EncodeRequest(sp core.Span, op string, data []byte) []byte {
 	call := encodeCall(op, data)
 	if sp == (core.Span{}) {
 		return append([]byte{0}, call...)
@@ -81,7 +94,8 @@ func encodeRequest(sp core.Span, op string, data []byte) []byte {
 	return append(out, call...)
 }
 
-func decodeRequest(b []byte) (core.Span, string, []byte, error) {
+// DecodeRequest parses one request frame (see EncodeRequest).
+func DecodeRequest(b []byte) (core.Span, string, []byte, error) {
 	if len(b) < 1 {
 		return core.Span{}, "", nil, fmt.Errorf("empty request frame: %w", ErrTransport)
 	}
@@ -204,13 +218,27 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 		// Established: decrypt, invoke, reply.
 		plain, err := sess.Open(dg.Payload)
 		if err != nil {
-			return err
+			// Not a record for this session. A peer that crashed and
+			// restarted (or was failed over away and healed) reconnects
+			// from the same endpoint with a fresh hello; accept it as a
+			// session reset. Anything else stays dropped. An attacker can
+			// at worst reset the session — a denial of service it already
+			// has by dropping traffic — never decrypt or forge records.
+			return e.hello(dg)
 		}
-		parent, op, data, err := decodeRequest(plain)
+		parent, op, data, err := DecodeRequest(plain)
 		if err != nil {
 			return err
 		}
-		reply, herr := e.sys.DeliverSpan(e.target, core.Message{Op: op, Data: data}, parent)
+		var reply core.Message
+		var herr error
+		if op == PingOp {
+			// Liveness probe: answered by the channel layer itself, the
+			// component never runs.
+			reply = core.Message{Op: PongOp}
+		} else {
+			reply, herr = e.sys.DeliverSpan(e.target, core.Message{Op: op, Data: data}, parent)
+		}
 		var frame []byte
 		if herr != nil {
 			frame = append([]byte{statusErr}, []byte(herr.Error())...)
@@ -229,7 +257,9 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 			e.mu.Lock()
 			delete(e.pendings, dg.From)
 			e.mu.Unlock()
-			return err
+			// The peer may have abandoned the old handshake and started
+			// over; give the flight one chance to be a fresh hello.
+			return e.hello(dg)
 		}
 		e.mu.Lock()
 		e.sessions[dg.From] = s
@@ -238,23 +268,31 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 		return nil
 	default:
 		// New connection: client hello.
-		server, err := securechan.NewServer(securechan.ServerConfig{
-			Rand:     e.rand,
-			Identity: e.identity,
-			Evidence: e.evidence,
-		})
-		if err != nil {
-			return err
-		}
-		resp, p, err := server.Respond(dg.Payload)
-		if err != nil {
-			return err
-		}
-		e.mu.Lock()
-		e.pendings[dg.From] = p
-		e.mu.Unlock()
-		return e.ep.Send(dg.From, resp)
+		return e.hello(dg)
 	}
+}
+
+// hello treats the datagram as a client hello: on success the peer's old
+// session and pending handshake (if any) are discarded and a new pending
+// handshake replaces them.
+func (e *Exporter) hello(dg netsim.Datagram) error {
+	server, err := securechan.NewServer(securechan.ServerConfig{
+		Rand:     e.rand,
+		Identity: e.identity,
+		Evidence: e.evidence,
+	})
+	if err != nil {
+		return err
+	}
+	resp, p, err := server.Respond(dg.Payload)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	delete(e.sessions, dg.From)
+	e.pendings[dg.From] = p
+	e.mu.Unlock()
+	return e.ep.Send(dg.From, resp)
 }
 
 // Stub is the local proxy component. Load it into the importing system
@@ -334,8 +372,12 @@ func (s *Stub) recvOne() (netsim.Datagram, error) {
 	return dg, nil
 }
 
-// Connect runs the attested handshake with the remote exporter.
+// Connect runs the attested handshake with the remote exporter. It may be
+// called again after Close (or after the transport failed) to establish a
+// fresh session; stale datagrams from the previous session are discarded
+// first so they cannot be mistaken for handshake flights.
 func (s *Stub) Connect() error {
+	s.cfg.Endpoint.Drain()
 	client, err := securechan.NewClient(securechan.ClientConfig{
 		Rand:         s.cfg.Rand,
 		VerifyServer: s.cfg.VerifyServer,
@@ -366,6 +408,38 @@ func (s *Stub) Connect() error {
 	return nil
 }
 
+// Close drops the session; subsequent calls fail with ErrNotConnected
+// until Connect succeeds again. The remote exporter notices on the next
+// hello (session reset); no goodbye flight crosses the wire, mirroring a
+// crash.
+func (s *Stub) Close() {
+	s.mu.Lock()
+	s.sess = nil
+	s.mu.Unlock()
+}
+
+// Connected reports whether a session is established. A true result does
+// not promise the remote side is still alive — only Ping can.
+func (s *Stub) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess != nil
+}
+
+// Ping runs one liveness probe over the established session. The exporter
+// answers from its channel layer, so a healthy reply proves the remote
+// process and the session keys, not just the network.
+func (s *Stub) Ping() error {
+	reply, err := s.Handle(core.Envelope{Msg: core.Message{Op: PingOp}})
+	if err != nil {
+		return err
+	}
+	if reply.Op != PongOp {
+		return fmt.Errorf("ping answered with %q: %w", reply.Op, ErrTransport)
+	}
+	return nil
+}
+
 // Handle proxies one invocation across the channel.
 func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	s.mu.Lock()
@@ -374,7 +448,7 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	if sess == nil {
 		return core.Message{}, fmt.Errorf("stub %s: %w", s.name, ErrNotConnected)
 	}
-	rec, err := sess.Seal(encodeRequest(env.Span, env.Msg.Op, env.Msg.Data))
+	rec, err := sess.Seal(EncodeRequest(env.Span, env.Msg.Op, env.Msg.Data))
 	if err != nil {
 		return core.Message{}, err
 	}

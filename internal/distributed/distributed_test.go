@@ -359,24 +359,142 @@ func TestTraceStitchesAcrossMachines(t *testing.T) {
 // without span context, plus truncation handling.
 func TestRequestFrameRoundTrip(t *testing.T) {
 	sp := core.Span{Trace: 0xdead, ID: 0xbeef}
-	parent, op, data, err := decodeRequest(encodeRequest(sp, "put", []byte("k=v")))
+	parent, op, data, err := DecodeRequest(EncodeRequest(sp, "put", []byte("k=v")))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if parent != sp || op != "put" || string(data) != "k=v" {
 		t.Errorf("round trip = %+v %q %q", parent, op, data)
 	}
-	parent, op, _, err = decodeRequest(encodeRequest(core.Span{}, "get", nil))
+	parent, op, _, err = DecodeRequest(EncodeRequest(core.Span{}, "get", nil))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if parent != (core.Span{}) || op != "get" {
 		t.Errorf("untraced round trip = %+v %q", parent, op)
 	}
-	if _, _, _, err := decodeRequest(nil); !errors.Is(err, ErrTransport) {
-		t.Errorf("empty frame err = %v", err)
+}
+
+// TestDecodeFrameErrorPaths is the table-driven sweep over every way a
+// frame can be malformed, at both layers of the framing (call frame and
+// request wrapper). Every failure must wrap ErrTransport so callers can
+// distinguish wire damage from remote refusals.
+func TestDecodeFrameErrorPaths(t *testing.T) {
+	callCases := []struct {
+		name string
+		in   []byte
+		ok   bool
+		op   string
+		data string
+	}{
+		{name: "nil frame", in: nil},
+		{name: "short frame", in: []byte{0}},
+		{name: "truncated op", in: []byte{0, 9, 'x'}},
+		{name: "op length over frame", in: []byte{0xff, 0xff, 'a', 'b'}},
+		{name: "empty op empty data", in: []byte{0, 0}, ok: true},
+		{name: "happy path", in: encodeCall("op", []byte("d")), ok: true, op: "op", data: "d"},
 	}
-	if _, _, _, err := decodeRequest([]byte{frameTraced, 1, 2, 3}); !errors.Is(err, ErrTransport) {
-		t.Errorf("truncated span context err = %v", err)
+	for _, tc := range callCases {
+		t.Run("call/"+tc.name, func(t *testing.T) {
+			op, data, err := decodeCall(tc.in)
+			if !tc.ok {
+				if !errors.Is(err, ErrTransport) {
+					t.Fatalf("err = %v, want ErrTransport", err)
+				}
+				return
+			}
+			if err != nil || op != tc.op || string(data) != tc.data {
+				t.Fatalf("decode = %q %q %v", op, data, err)
+			}
+		})
+	}
+	reqCases := []struct {
+		name string
+		in   []byte
+		ok   bool
+	}{
+		{name: "empty frame", in: nil},
+		{name: "flags only, traced", in: []byte{frameTraced}},
+		{name: "truncated span context", in: []byte{frameTraced, 1, 2, 3}},
+		{name: "span context then short call", in: append(append([]byte{frameTraced}, make([]byte, 16)...), 0)},
+		{name: "untraced short call", in: []byte{0, 0}},
+		{name: "untraced valid", in: EncodeRequest(core.Span{}, "op", nil), ok: true},
+		{name: "traced valid", in: EncodeRequest(core.Span{Trace: 1, ID: 2}, "op", nil), ok: true},
+	}
+	for _, tc := range reqCases {
+		t.Run("request/"+tc.name, func(t *testing.T) {
+			_, _, _, err := DecodeRequest(tc.in)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected err %v", err)
+			}
+			if !tc.ok && !errors.Is(err, ErrTransport) {
+				t.Fatalf("err = %v, want ErrTransport", err)
+			}
+		})
+	}
+}
+
+// TestRemoteErrorWrapping pins the ErrRemote contract: a refusal executed
+// on the remote side arrives wrapped in ErrRemote carrying the remote
+// error text, and is NOT an ErrTransport.
+func TestRemoteErrorWrapping(t *testing.T) {
+	f := newFixture(t, nil, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.clientSys.Deliver("client", core.Message{Op: "no-such-op"})
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Error("remote refusal also claims to be a transport failure")
+	}
+	if !strings.Contains(err.Error(), "refused") {
+		t.Errorf("remote error text lost: %v", err)
+	}
+}
+
+func TestPingDoesNotInvokeComponent(t *testing.T) {
+	f := newFixture(t, nil, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.stub.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	// The store never saw the probe: its document map is untouched and a
+	// get for the ping op name fails like any other missing key.
+	if _, err := f.clientSys.Deliver("client", core.Message{Op: "get", Data: []byte(PingOp)}); !errors.Is(err, ErrRemote) {
+		t.Errorf("ping leaked into component state: %v", err)
+	}
+}
+
+func TestCloseThenReconnect(t *testing.T) {
+	f := newFixture(t, nil, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.clientSys.Deliver("client", core.Message{Op: "put", Data: []byte("k=v1")}); err != nil {
+		t.Fatal(err)
+	}
+	f.stub.Close()
+	if f.stub.Connected() {
+		t.Error("closed stub reports connected")
+	}
+	if _, err := f.clientSys.Deliver("client", core.Message{Op: "get", Data: []byte("k")}); !errors.Is(err, ErrNotConnected) {
+		t.Errorf("call after close: %v", err)
+	}
+	// Reconnect from the same endpoint: the exporter must accept the
+	// fresh hello as a session reset.
+	if err := f.stub.Connect(); err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	if err := f.stub.Ping(); err != nil {
+		t.Fatalf("ping after reconnect: %v", err)
+	}
+	// Server-side state survived the reset (the component never died).
+	reply, err := f.clientSys.Deliver("client", core.Message{Op: "get", Data: []byte("k")})
+	if err != nil || string(reply.Data) != "v1" {
+		t.Errorf("state after reconnect = %q, %v", reply.Data, err)
 	}
 }

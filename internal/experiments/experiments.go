@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's per-experiment index (E1–E18 plus the
+// per experiment in DESIGN.md's per-experiment index (E1–E19 plus the
 // ablations folded into their tables). Each returns a Table whose rows the
 // command-line harness prints and whose numbers the benchmark suite and
 // tests assert on.
@@ -119,6 +119,7 @@ func All() []Experiment {
 		{ID: "E16", Name: "IOMMU vs malicious device DMA", Run: E16IOMMU},
 		{ID: "E17", Name: "distributed confidence domains", Run: E17Distributed},
 		{ID: "E18", Name: "automatic partitioning", Run: E18AutoPartition},
+		{ID: "E19", Name: "attested replica fleet (cluster)", Run: E19Cluster},
 	}
 }
 

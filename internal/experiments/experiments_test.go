@@ -431,6 +431,45 @@ func TestE17Distributed(t *testing.T) {
 	}
 }
 
+func TestE19ClusterScalesAndSurvivesChaos(t *testing.T) {
+	tab, err := E19Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "PASS" {
+			t.Errorf("E19 %s: %v", r[0], r)
+		}
+		if r[2] != "0" {
+			t.Errorf("E19 %s lost %s readings", r[0], r[2])
+		}
+	}
+	// Throughput must grow monotonically with replica count.
+	var prev float64
+	for _, row := range []string{"1 replica", "2 replicas", "4 replicas", "8 replicas"} {
+		var thr float64
+		if _, err := fmt.Sscanf(cell(t, tab, row, 3), "%f", &thr); err != nil {
+			t.Fatalf("parse throughput for %s: %v", row, err)
+		}
+		if thr <= prev {
+			t.Errorf("throughput not monotonic at %s: %.3f after %.3f", row, thr, prev)
+		}
+		prev = thr
+	}
+	// The chaos fleet still beats a single replica despite losing one
+	// member mid-run and never admitting the tampered one.
+	var chaos float64
+	fmt.Sscanf(cell(t, tab, "4+1 chaos (crash + tampered)", 3), "%f", &chaos)
+	var single float64
+	fmt.Sscanf(cell(t, tab, "1 replica", 3), "%f", &single)
+	if chaos <= single {
+		t.Errorf("chaos fleet throughput %.3f not above single replica %.3f", chaos, single)
+	}
+}
+
 func TestE18AutoPartition(t *testing.T) {
 	tab, err := E18AutoPartition()
 	if err != nil {

@@ -1,0 +1,175 @@
+package netsim
+
+import "sync"
+
+// This file holds the fault-injection adversaries: unlike the classic
+// Dolev-Yao attackers in netsim.go (which target confidentiality and
+// integrity), Delayer and Partitioner model the network itself misbehaving
+// — congestion reordering flights and partitions cutting machines off.
+// Secure channels already survive them cryptographically; the cluster
+// layer must additionally survive them operationally (failover, retry,
+// reconnection).
+
+// Delayer holds back a seeded, deterministic fraction of datagrams and
+// releases each one only after Hold further datagrams have passed — the
+// network reordering traffic under congestion. Identical seeds replay
+// identical delay patterns, so failover tests are reproducible.
+type Delayer struct {
+	mu      sync.Mutex
+	prob    float64
+	hold    int
+	state   uint64
+	seen    int
+	held    []heldDatagram
+	delayed int64
+}
+
+type heldDatagram struct {
+	d       Datagram
+	release int // seen-count at which the datagram re-enters the wire
+}
+
+// NewDelayer builds a delayer that detains each datagram with probability
+// prob (0..1), releasing it after hold subsequent datagrams have passed.
+// The seed fixes the detention pattern.
+func NewDelayer(seed uint64, prob float64, hold int) *Delayer {
+	if hold < 1 {
+		hold = 1
+	}
+	return &Delayer{prob: prob, hold: hold, state: seed}
+}
+
+var _ Adversary = (*Delayer)(nil)
+
+// rand steps a splitmix64 generator; netsim stays stdlib-only.
+func (dl *Delayer) rand() float64 {
+	dl.state += 0x9e3779b97f4a7c15
+	z := dl.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Intercept detains or forwards the datagram and releases any detained
+// datagrams whose hold has expired (after the current one, preserving the
+// reordering).
+func (dl *Delayer) Intercept(d Datagram) []Datagram {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	dl.seen++
+	var out []Datagram
+	if dl.rand() < dl.prob {
+		dl.held = append(dl.held, heldDatagram{d: d, release: dl.seen + dl.hold})
+		dl.delayed++
+	} else {
+		out = append(out, d)
+	}
+	rest := dl.held[:0]
+	for _, h := range dl.held {
+		if h.release <= dl.seen {
+			out = append(out, h.d)
+		} else {
+			rest = append(rest, h)
+		}
+	}
+	dl.held = rest
+	return out
+}
+
+// Flush surrenders every still-detained datagram, oldest first. The caller
+// decides whether to re-inject them (Network.Inject) or drop them on the
+// floor (a delay that outlived the conversation).
+func (dl *Delayer) Flush() []Datagram {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	out := make([]Datagram, len(dl.held))
+	for i, h := range dl.held {
+		out[i] = h.d
+	}
+	dl.held = nil
+	return out
+}
+
+// Delayed reports how many datagrams were detained so far (flushed or not).
+func (dl *Delayer) Delayed() int64 {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	return dl.delayed
+}
+
+// Partitioner silently drops traffic crossing configured cuts: whole
+// endpoints (Isolate) or single directed links (BlockLink). Everything
+// else passes untouched. It is fully deterministic.
+type Partitioner struct {
+	mu       sync.Mutex
+	isolated map[string]bool
+	links    map[[2]string]bool
+	dropped  int64
+}
+
+// NewPartitioner builds a partitioner with no cuts.
+func NewPartitioner() *Partitioner {
+	return &Partitioner{
+		isolated: make(map[string]bool),
+		links:    make(map[[2]string]bool),
+	}
+}
+
+var _ Adversary = (*Partitioner)(nil)
+
+// Isolate cuts an endpoint off entirely: nothing in, nothing out — the
+// crashed-machine (or unplugged-cable) model.
+func (p *Partitioner) Isolate(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isolated[name] = true
+}
+
+// BlockLink cuts one directed link only; the reverse direction still
+// works. Blocking just the reply direction models a machine that receives
+// and processes a request whose answer then never arrives — the in-flight
+// window failover tests need.
+func (p *Partitioner) BlockLink(from, to string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.links[[2]string{from, to}] = true
+}
+
+// Heal removes every cut involving the endpoint.
+func (p *Partitioner) Heal(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.isolated, name)
+	for l := range p.links {
+		if l[0] == name || l[1] == name {
+			delete(p.links, l)
+		}
+	}
+}
+
+// HealAll removes every cut.
+func (p *Partitioner) HealAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isolated = make(map[string]bool)
+	p.links = make(map[[2]string]bool)
+}
+
+// Dropped reports how many datagrams the partition swallowed.
+func (p *Partitioner) Dropped() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Intercept drops datagrams crossing a cut and forwards the rest.
+func (p *Partitioner) Intercept(d Datagram) []Datagram {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.isolated[d.From] || p.isolated[d.To] || p.links[[2]string{d.From, d.To}] {
+		p.dropped++
+		return nil
+	}
+	return []Datagram{d}
+}

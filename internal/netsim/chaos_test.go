@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// drainPayloads pops every pending datagram at the endpoint.
+func drainPayloads(e *Endpoint) []string {
+	var out []string
+	for {
+		d, ok := e.Recv()
+		if !ok {
+			return out
+		}
+		out = append(out, string(d.Payload))
+	}
+}
+
+func TestDelayerIsDeterministic(t *testing.T) {
+	run := func() []string {
+		n := New()
+		a := n.Attach("a")
+		b := n.Attach("b")
+		n.SetAdversary(NewDelayer(42, 0.5, 2))
+		for i := 0; i < 20; i++ {
+			if err := a.Send("b", []byte(fmt.Sprintf("m%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return drainPayloads(b)
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("no datagrams delivered")
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Errorf("same seed, different delivery order:\n%v\n%v", first, second)
+	}
+}
+
+func TestDelayerReordersAndFlushes(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	dl := NewDelayer(7, 1.0, 3) // detain everything for 3 datagrams
+	n.SetAdversary(dl)
+	for i := 0; i < 4; i++ {
+		if err := a.Send("b", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// m0 was released when m3 passed; m1..m3 are still held.
+	got := drainPayloads(b)
+	if len(got) != 1 || got[0] != "m0" {
+		t.Fatalf("after 4 sends, delivered %v, want [m0]", got)
+	}
+	if dl.Delayed() != 4 {
+		t.Errorf("delayed = %d, want 4", dl.Delayed())
+	}
+	held := dl.Flush()
+	if len(held) != 3 {
+		t.Fatalf("flush returned %d datagrams, want 3", len(held))
+	}
+	for _, d := range held {
+		if err := n.Inject(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drainPayloads(b); len(got) != 3 {
+		t.Errorf("after flush+inject, delivered %v", got)
+	}
+	if extra := dl.Flush(); len(extra) != 0 {
+		t.Errorf("second flush returned %d datagrams", len(extra))
+	}
+}
+
+func TestDelayerZeroProbabilityIsTransparent(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	n.SetAdversary(NewDelayer(1, 0, 5))
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainPayloads(b)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d of 10", len(got))
+	}
+	for i, p := range got {
+		if p[0] != byte(i) {
+			t.Fatalf("order disturbed at %d: %v", i, []byte(p))
+		}
+	}
+}
+
+func TestPartitionerIsolateAndHeal(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	c := n.Attach("c")
+	pt := NewPartitioner()
+	n.SetAdversary(pt)
+	pt.Isolate("b")
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("a", []byte("also lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("c", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainPayloads(b); len(got) != 0 {
+		t.Errorf("isolated endpoint received %v", got)
+	}
+	if got := drainPayloads(a); len(got) != 0 {
+		t.Errorf("traffic escaped the isolated endpoint: %v", got)
+	}
+	if got := drainPayloads(c); len(got) != 1 || got[0] != "fine" {
+		t.Errorf("bystander traffic disturbed: %v", got)
+	}
+	if pt.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", pt.Dropped())
+	}
+	pt.Heal("b")
+	if err := a.Send("b", []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainPayloads(b); len(got) != 1 || got[0] != "back" {
+		t.Errorf("healed endpoint got %v", got)
+	}
+}
+
+func TestPartitionerDirectionalLink(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	pt := NewPartitioner()
+	n.SetAdversary(pt)
+	// Cut only the reply direction: requests arrive, answers vanish.
+	pt.BlockLink("b", "a")
+	if err := a.Send("b", []byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainPayloads(b); len(got) != 1 {
+		t.Fatalf("request lost: %v", got)
+	}
+	if err := b.Send("a", []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainPayloads(a); len(got) != 0 {
+		t.Errorf("blocked reply delivered: %v", got)
+	}
+	pt.HealAll()
+	if err := b.Send("a", []byte("reply2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainPayloads(a); len(got) != 1 || got[0] != "reply2" {
+		t.Errorf("healed link got %v", got)
+	}
+}

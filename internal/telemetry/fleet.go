@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Fleet metrics: per-replica gauges and counters for attested replica
+// fleets (internal/cluster). The collector implements cluster.Monitor
+// structurally — cluster declares the interface, telemetry never imports
+// it — mirroring how Metrics implements netsim.Monitor.
+//
+// Gauges (healthy, quarantined, inflight) snapshot the pool's view of each
+// replica; counters (calls, errors, retries, failovers) accumulate over
+// the run. Together they let an operator watch a fleet degrade — healthy
+// drops, failovers climb — and recover.
+
+// FleetStats is one replica's live cell.
+type FleetStats struct {
+	Fleet   string
+	Replica string
+
+	Healthy     atomic.Int64 // gauge: 1 when admitted and passing health checks
+	Quarantined atomic.Int64 // gauge: 1 when permanently expelled (attestation)
+	Inflight    atomic.Int64 // gauge: calls currently outstanding
+	Calls       atomic.Int64 // counter: calls dispatched to this replica
+	Errors      atomic.Int64 // counter: calls that failed on this replica
+	Retries     atomic.Int64 // counter: backoff retries charged to this replica
+	Failovers   atomic.Int64 // counter: calls re-routed away from this replica
+}
+
+// fleetMu/fleet live beside Metrics' other maps but in their own file; the
+// zero value of the embedded struct needs no initialization beyond the map.
+type fleetState struct {
+	mu    sync.RWMutex
+	cells map[string]map[string]*FleetStats // fleet → replica
+}
+
+func (f *fleetState) cell(fleet, replica string) *FleetStats {
+	f.mu.RLock()
+	fs := f.cells[fleet][replica]
+	f.mu.RUnlock()
+	if fs != nil {
+		return fs
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cells == nil {
+		f.cells = make(map[string]map[string]*FleetStats)
+	}
+	byReplica := f.cells[fleet]
+	if byReplica == nil {
+		byReplica = make(map[string]*FleetStats)
+		f.cells[fleet] = byReplica
+	}
+	if fs = byReplica[replica]; fs != nil {
+		return fs
+	}
+	fs = &FleetStats{Fleet: fleet, Replica: replica}
+	byReplica[replica] = fs
+	return fs
+}
+
+// ReplicaState records a replica's admission state transition.
+func (m *Metrics) ReplicaState(fleet, replica string, healthy, quarantined bool) {
+	fs := m.fleet.cell(fleet, replica)
+	fs.Healthy.Store(b2i(healthy))
+	fs.Quarantined.Store(b2i(quarantined))
+}
+
+// ReplicaInflight adjusts a replica's outstanding-call gauge.
+func (m *Metrics) ReplicaInflight(fleet, replica string, delta int) {
+	m.fleet.cell(fleet, replica).Inflight.Add(int64(delta))
+}
+
+// ReplicaCall records one dispatched call and whether it failed.
+func (m *Metrics) ReplicaCall(fleet, replica string, failed bool) {
+	fs := m.fleet.cell(fleet, replica)
+	fs.Calls.Add(1)
+	if failed {
+		fs.Errors.Add(1)
+	}
+}
+
+// ReplicaRetry records one backoff retry charged to the replica whose
+// failure caused it.
+func (m *Metrics) ReplicaRetry(fleet, replica string) {
+	m.fleet.cell(fleet, replica).Retries.Add(1)
+}
+
+// ReplicaFailover records one call re-routed away from the replica.
+func (m *Metrics) ReplicaFailover(fleet, replica string) {
+	m.fleet.cell(fleet, replica).Failovers.Add(1)
+}
+
+// ReplicaSummary is one replica's aggregate view.
+type ReplicaSummary struct {
+	Fleet, Replica string
+	Healthy        bool
+	Quarantined    bool
+	Inflight       int64
+	Calls          int64
+	Errors         int64
+	Retries        int64
+	Failovers      int64
+}
+
+// Fleets returns per-replica summaries, sorted by (Fleet, Replica).
+func (m *Metrics) Fleets() []ReplicaSummary {
+	m.fleet.mu.RLock()
+	var cells []*FleetStats
+	for _, byReplica := range m.fleet.cells {
+		for _, fs := range byReplica {
+			cells = append(cells, fs)
+		}
+	}
+	m.fleet.mu.RUnlock()
+	out := make([]ReplicaSummary, 0, len(cells))
+	for _, fs := range cells {
+		out = append(out, ReplicaSummary{
+			Fleet:       fs.Fleet,
+			Replica:     fs.Replica,
+			Healthy:     fs.Healthy.Load() != 0,
+			Quarantined: fs.Quarantined.Load() != 0,
+			Inflight:    fs.Inflight.Load(),
+			Calls:       fs.Calls.Load(),
+			Errors:      fs.Errors.Load(),
+			Retries:     fs.Retries.Load(),
+			Failovers:   fs.Failovers.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fleet != out[j].Fleet {
+			return out[i].Fleet < out[j].Fleet
+		}
+		return out[i].Replica < out[j].Replica
+	})
+	return out
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetGaugesAggregate(t *testing.T) {
+	m := NewMetrics()
+	m.ReplicaState("anon", "anon-1", true, false)
+	m.ReplicaState("anon", "anon-2", true, false)
+	m.ReplicaState("anon", "anon-3", false, true)
+	m.ReplicaInflight("anon", "anon-1", 1)
+	m.ReplicaCall("anon", "anon-1", false)
+	m.ReplicaInflight("anon", "anon-1", -1)
+	m.ReplicaCall("anon", "anon-2", true)
+	m.ReplicaFailover("anon", "anon-2")
+	m.ReplicaRetry("anon", "anon-2")
+	m.ReplicaState("anon", "anon-2", false, false)
+
+	got := m.Fleets()
+	if len(got) != 3 {
+		t.Fatalf("replicas = %d, want 3", len(got))
+	}
+	r1, r2, r3 := got[0], got[1], got[2]
+	if r1.Replica != "anon-1" || !r1.Healthy || r1.Calls != 1 || r1.Errors != 0 || r1.Inflight != 0 {
+		t.Errorf("anon-1 = %+v", r1)
+	}
+	if r2.Healthy || r2.Quarantined || r2.Errors != 1 || r2.Failovers != 1 || r2.Retries != 1 {
+		t.Errorf("anon-2 = %+v", r2)
+	}
+	if !r3.Quarantined || r3.Healthy {
+		t.Errorf("anon-3 = %+v", r3)
+	}
+}
+
+func TestFleetPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	var b strings.Builder
+	// With no fleet activity the cluster families are absent.
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "lateral_cluster_") {
+		t.Error("cluster metrics emitted without any fleet")
+	}
+	m.ReplicaState("anon", "anon-1", true, false)
+	m.ReplicaState("anon", "anon-2", false, true)
+	m.ReplicaCall("anon", "anon-1", false)
+	m.ReplicaFailover("anon", "anon-2")
+	b.Reset()
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lateral_cluster_replica_healthy{fleet="anon",replica="anon-1"} 1`,
+		`lateral_cluster_replica_healthy{fleet="anon",replica="anon-2"} 0`,
+		`lateral_cluster_replica_quarantined{fleet="anon",replica="anon-2"} 1`,
+		`lateral_cluster_replica_calls_total{fleet="anon",replica="anon-1"} 1`,
+		`lateral_cluster_replica_failovers_total{fleet="anon",replica="anon-2"} 1`,
+		"# TYPE lateral_cluster_replica_inflight gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The human summary includes the fleet table.
+	b.Reset()
+	m.WriteSummary(&b)
+	if !strings.Contains(b.String(), "anon/anon-1") {
+		t.Errorf("summary missing fleet rows:\n%s", b.String())
+	}
+}

@@ -22,6 +22,7 @@ type Metrics struct {
 	channels map[string]map[string]*ChannelStats // sender → channel key
 	domains  map[string]*DomainStats
 	links    map[string]map[string]*LinkStats // from endpoint → to endpoint
+	fleet    fleetState                       // replica-fleet gauges (fleet.go)
 }
 
 // NewMetrics returns an empty collector.

@@ -104,6 +104,42 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+
+	// Replica fleets.
+	fleets := m.Fleets()
+	if len(fleets) == 0 {
+		return nil
+	}
+	type fleetCol struct {
+		name, help, typ string
+		val             func(ReplicaSummary) int64
+	}
+	cols := []fleetCol{
+		{"lateral_cluster_replica_healthy", "Replica admitted and passing health checks (1) or not (0).", "gauge",
+			func(r ReplicaSummary) int64 { return b2i(r.Healthy) }},
+		{"lateral_cluster_replica_quarantined", "Replica permanently expelled after failed attestation (1) or not (0).", "gauge",
+			func(r ReplicaSummary) int64 { return b2i(r.Quarantined) }},
+		{"lateral_cluster_replica_inflight", "Calls currently outstanding against the replica.", "gauge",
+			func(r ReplicaSummary) int64 { return r.Inflight }},
+		{"lateral_cluster_replica_calls_total", "Calls dispatched to the replica.", "counter",
+			func(r ReplicaSummary) int64 { return r.Calls }},
+		{"lateral_cluster_replica_errors_total", "Calls that failed on the replica.", "counter",
+			func(r ReplicaSummary) int64 { return r.Errors }},
+		{"lateral_cluster_replica_retries_total", "Backoff retries charged to the replica.", "counter",
+			func(r ReplicaSummary) int64 { return r.Retries }},
+		{"lateral_cluster_replica_failovers_total", "Calls re-routed away from the replica.", "counter",
+			func(r ReplicaSummary) int64 { return r.Failovers }},
+	}
+	for _, c := range cols {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
+		for _, r := range fleets {
+			_, err := fmt.Fprintf(w, "%s{fleet=%q,replica=%q} %d\n",
+				c.name, escapeLabel(r.Fleet), escapeLabel(r.Replica), c.val(r))
+			if err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -132,14 +168,24 @@ func (m *Metrics) WriteSummary(w io.Writer) {
 			edgeLabel(c), c.Count, c.Errors, c.Mean, c.P50, c.P99, c.Max)
 	}
 	doms := m.Domains()
-	if len(doms) == 0 {
+	if len(doms) > 0 {
+		fmt.Fprintf(w, "\n%-16s %8s %7s %7s %7s %11s %8s\n",
+			"domain", "invocs", "faults", "stores", "loads", "asset-bytes", "trusted")
+		for _, d := range doms {
+			fmt.Fprintf(w, "%-16s %8d %7d %7d %7d %11d %8s\n",
+				d.Name, d.Invocations, d.Faults, d.AssetStores, d.AssetLoads, d.AssetBytes, boolLabel(d.Trusted))
+		}
+	}
+	fleets := m.Fleets()
+	if len(fleets) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "\n%-16s %8s %7s %7s %7s %11s %8s\n",
-		"domain", "invocs", "faults", "stores", "loads", "asset-bytes", "trusted")
-	for _, d := range doms {
-		fmt.Fprintf(w, "%-16s %8d %7d %7d %7d %11d %8s\n",
-			d.Name, d.Invocations, d.Faults, d.AssetStores, d.AssetLoads, d.AssetBytes, boolLabel(d.Trusted))
+	fmt.Fprintf(w, "\n%-24s %8s %12s %9s %7s %6s %8s %10s\n",
+		"fleet/replica", "healthy", "quarantined", "inflight", "calls", "errs", "retries", "failovers")
+	for _, r := range fleets {
+		fmt.Fprintf(w, "%-24s %8s %12s %9d %7d %6d %8d %10d\n",
+			r.Fleet+"/"+r.Replica, boolLabel(r.Healthy), boolLabel(r.Quarantined),
+			r.Inflight, r.Calls, r.Errors, r.Retries, r.Failovers)
 	}
 }
 
