@@ -52,17 +52,24 @@ func NewLeastInflight() *LeastInflight { return &LeastInflight{} }
 // Name implements Balancer.
 func (*LeastInflight) Name() string { return "least-inflight" }
 
-// Pick implements Balancer.
+// Pick implements Balancer. Inflight gauges move concurrently with Pick
+// (callers mutate them outside the pool lock), so each candidate's count is
+// read exactly once into a snapshot; computing min and collecting ties from
+// live re-reads could otherwise leave the tie set empty.
 func (b *LeastInflight) Pick(_ string, candidates []*Replica) *Replica {
-	min := candidates[0].InflightCount()
-	for _, r := range candidates[1:] {
-		if n := r.InflightCount(); n < min {
+	counts := make([]int64, len(candidates))
+	counts[0] = candidates[0].InflightCount()
+	min := counts[0]
+	for i, r := range candidates[1:] {
+		n := r.InflightCount()
+		counts[i+1] = n
+		if n < min {
 			min = n
 		}
 	}
 	var tied []*Replica
-	for _, r := range candidates {
-		if r.InflightCount() == min {
+	for i, r := range candidates {
+		if counts[i] == min {
 			tied = append(tied, r)
 		}
 	}

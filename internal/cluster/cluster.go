@@ -11,8 +11,9 @@
 // emulation without the fused key — is rejected at admission, recorded as
 // quarantined, and never retried into the pool. Crashes and partitions,
 // by contrast, are operational failures: the replica is marked down,
-// in-flight calls transparently fail over to a sibling (bounded retries
-// with exponential backoff and deterministic jitter), and periodic health
+// in-flight calls transparently fail over to a sibling at once (bounded
+// attempts; exponential backoff with deterministic jitter applies only
+// while no healthy replica remains), and periodic health
 // checks re-admit it once a fresh handshake — including re-attestation —
 // succeeds. Recovery and re-admission share one gate: the measurement.
 package cluster
@@ -152,8 +153,10 @@ type Config struct {
 	// (default 3).
 	MaxAttempts int
 
-	// BackoffBase is the first retry delay; it doubles per retry up to
-	// BackoffMax, plus jitter in [0, BackoffBase) (defaults 200µs / 20ms).
+	// BackoffBase is the first outage backoff; it doubles per consecutive
+	// empty-pool round up to BackoffMax, plus jitter in [0, BackoffBase)
+	// (defaults 200µs / 20ms). Failover to a healthy sibling is immediate
+	// and never backs off.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 
@@ -333,21 +336,34 @@ func (p *Pool) healthySnapshot() []*Replica {
 }
 
 // Do routes one call into the fleet. key is the caller identity (or any
-// affinity key) the balancer may shard on. Transport failures fail over to
-// a sibling replica under bounded retry with exponential backoff and
-// jitter; remote application errors (distributed.ErrRemote) are returned
-// as-is — the call reached an attested replica and was refused, so
-// retrying elsewhere would duplicate work, not fix anything.
+// affinity key) the balancer may shard on. Transport failures fail over
+// IMMEDIATELY to a healthy sibling — a single-replica crash must not tax
+// the call with a backoff sleep when the rest of the fleet can serve it.
+// Exponential backoff (with jitter) kicks in only once no healthy replica
+// remains mid-call: the pool sleeps, runs a health round so a recovered
+// replica can re-attest and re-admit, and tries again until the attempt
+// budget runs out. Remote application errors (distributed.ErrRemote) are
+// returned as-is — the call reached an attested replica and was refused,
+// so retrying elsewhere would duplicate work, not fix anything.
 func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 	p.maybeCheck()
 	var lastErr error
+	backoffs := 0
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
 		candidates := p.healthySnapshot()
 		if len(candidates) == 0 {
-			if lastErr != nil {
-				return core.Message{}, fmt.Errorf("%w after %d attempt(s): %v", ErrNoReplicas, attempt, lastErr)
+			if lastErr == nil {
+				return core.Message{}, ErrNoReplicas
 			}
-			return core.Message{}, ErrNoReplicas
+			if attempt+1 >= p.cfg.MaxAttempts {
+				break
+			}
+			// Total outage mid-call: back off, then let a health round
+			// re-attest a down replica before the next attempt.
+			p.cfg.Sleep(p.backoff(backoffs))
+			backoffs++
+			p.CheckNow()
+			continue
 		}
 		p.mu.Lock()
 		r := p.cfg.Balancer.Pick(key, candidates)
@@ -363,7 +379,7 @@ func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 			return reply, err
 		}
 		// Operational failure: the replica is down until a health check
-		// re-attests it. Fail the call over.
+		// re-attests it. Fail the call over without delay.
 		p.setState(r, StateDown)
 		r.stub.Close()
 		r.failovers.Add(1)
@@ -372,20 +388,23 @@ func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 		if attempt+1 < p.cfg.MaxAttempts {
 			r.retries.Add(1)
 			p.cfg.Monitor.ReplicaRetry(p.cfg.Fleet, r.name)
-			p.cfg.Sleep(p.backoff(attempt))
 		}
 	}
 	return core.Message{}, fmt.Errorf("%w (%d): %v", ErrExhausted, p.cfg.MaxAttempts, lastErr)
 }
 
 // callReplica runs one request/reply against one replica, maintaining the
-// inflight gauge and call counters.
+// inflight gauge and call counters. The gauge is raised BEFORE taking the
+// replica's stub lock: the lock serializes calls per replica, so callers
+// queued on it are exactly the load LeastInflight needs to see — counting
+// only the one holder would pin the gauge at 0/1 and blind the balancer to
+// queueing depth.
 func (p *Pool) callReplica(r *Replica, msg core.Message) (core.Message, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.inflight.Add(1)
 	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, 1)
+	r.mu.Lock()
 	reply, err := r.stub.Handle(core.Envelope{Msg: msg})
+	r.mu.Unlock()
 	r.inflight.Add(-1)
 	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, -1)
 	r.calls.Add(1)
@@ -396,11 +415,11 @@ func (p *Pool) callReplica(r *Replica, msg core.Message) (core.Message, error) {
 	return reply, err
 }
 
-// backoff computes the delay before retry attempt+1: BackoffBase doubling
-// per attempt, capped at BackoffMax, plus jitter in [0, BackoffBase) from
+// backoff computes the nth consecutive outage delay: BackoffBase doubling
+// per round, capped at BackoffMax, plus jitter in [0, BackoffBase) from
 // the seeded PRNG so concurrent retriers desynchronize reproducibly.
-func (p *Pool) backoff(attempt int) time.Duration {
-	d := p.cfg.BackoffBase << uint(attempt)
+func (p *Pool) backoff(n int) time.Duration {
+	d := p.cfg.BackoffBase << uint(n)
 	if d > p.cfg.BackoffMax || d <= 0 {
 		d = p.cfg.BackoffMax
 	}

@@ -401,38 +401,42 @@ func TestLeastInflightPrefersIdleAndRotatesTies(t *testing.T) {
 	}
 }
 
-func TestBackoffIsExponentialWithBoundedJitter(t *testing.T) {
-	var sleeps []time.Duration
+func TestFailoverIsImmediateAndOutageBackoffIsExponential(t *testing.T) {
 	base := 200 * time.Microsecond
-	f := newFleet(t, 3, nil, func(c *Config) {
-		c.Sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
-	})
-	f.part.Isolate("anon-1")
-	f.part.Isolate("anon-2")
-	f.part.Isolate("anon-3")
-	err := f.bump("m")
-	if !errors.Is(err, ErrExhausted) {
-		t.Fatalf("total outage with healthy-looking pool: err = %v", err)
+	run := func(record *[]time.Duration) {
+		f := newFleet(t, 3, nil, func(c *Config) {
+			c.MaxAttempts = 6
+			c.Sleep = func(d time.Duration) { *record = append(*record, d) }
+		})
+		// One crashed replica among healthy siblings: the failover retries
+		// immediately, without taxing the call with a backoff sleep.
+		f.part.Isolate("anon-1")
+		f.mustBump("m0")
+		if len(*record) != 0 {
+			t.Fatalf("failover with healthy siblings slept %v, want none", *record)
+		}
+		// Total outage: the remaining attempts back off exponentially.
+		f.part.Isolate("anon-2")
+		f.part.Isolate("anon-3")
+		if err := f.bump("m"); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("total outage: err = %v", err)
+		}
 	}
-	// MaxAttempts=3 → two backoffs: base+jitter, 2*base+jitter.
-	if len(sleeps) != 2 {
-		t.Fatalf("sleeps = %v, want 2 entries", sleeps)
+	var sleeps []time.Duration
+	run(&sleeps)
+	// Two healthy replicas burn attempts 0-1 (no sleep); MaxAttempts=6
+	// leaves three empty-pool rounds: base, 2*base, 4*base, each + jitter.
+	if len(sleeps) != 3 {
+		t.Fatalf("sleeps = %v, want 3 entries", sleeps)
 	}
-	if sleeps[0] < base || sleeps[0] >= 2*base {
-		t.Errorf("first backoff %v outside [base, 2*base)", sleeps[0])
-	}
-	if sleeps[1] < 2*base || sleeps[1] >= 3*base {
-		t.Errorf("second backoff %v outside [2*base, 3*base)", sleeps[1])
+	for i, lo := range []time.Duration{base, 2 * base, 4 * base} {
+		if sleeps[i] < lo || sleeps[i] >= lo+base {
+			t.Errorf("backoff %d = %v outside [%v, %v)", i, sleeps[i], lo, lo+base)
+		}
 	}
 	// Same jitter seed → identical backoff schedule (deterministic runs).
 	var sleeps2 []time.Duration
-	f2 := newFleet(t, 3, nil, func(c *Config) {
-		c.Sleep = func(d time.Duration) { sleeps2 = append(sleeps2, d) }
-	})
-	f2.part.Isolate("anon-1")
-	f2.part.Isolate("anon-2")
-	f2.part.Isolate("anon-3")
-	f2.bump("m")
+	run(&sleeps2)
 	if fmt.Sprint(sleeps) != fmt.Sprint(sleeps2) {
 		t.Errorf("same seed, different schedules: %v vs %v", sleeps, sleeps2)
 	}

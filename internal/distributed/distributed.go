@@ -220,11 +220,20 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 		if err != nil {
 			// Not a record for this session. A peer that crashed and
 			// restarted (or was failed over away and healed) reconnects
-			// from the same endpoint with a fresh hello; accept it as a
-			// session reset. Anything else stays dropped. An attacker can
-			// at worst reset the session — a denial of service it already
-			// has by dropping traffic — never decrypt or forge records.
-			return e.hello(dg)
+			// from the same endpoint with a fresh hello; accept that — and
+			// only that — as a session reset. Garbage or corrupted records
+			// are dropped with the decrypt failure preserved, so they cost
+			// no handshake attempt and cannot reset a live session; a
+			// replayed captured hello can at worst force a reset — a denial
+			// of service the attacker already has by dropping traffic —
+			// never decrypt or forge records.
+			if !securechan.HelloShaped(dg.Payload) {
+				return fmt.Errorf("distributed: undecryptable record from %s: %w", dg.From, err)
+			}
+			if herr := e.hello(dg); herr != nil {
+				return fmt.Errorf("distributed: session reset from %s failed: %v (record open: %w)", dg.From, herr, err)
+			}
+			return nil
 		}
 		parent, op, data, err := DecodeRequest(plain)
 		if err != nil {
@@ -254,12 +263,20 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 		// Client finish flight.
 		s, err := pending.Complete(dg.Payload)
 		if err != nil {
+			// The peer may have abandoned the old handshake and started
+			// over: a well-formed hello replaces the pending handshake.
+			// Anything else is dropped — with the original failure kept —
+			// without burning the handshake in progress.
+			if !securechan.HelloShaped(dg.Payload) {
+				return fmt.Errorf("distributed: handshake finish from %s: %w", dg.From, err)
+			}
 			e.mu.Lock()
 			delete(e.pendings, dg.From)
 			e.mu.Unlock()
-			// The peer may have abandoned the old handshake and started
-			// over; give the flight one chance to be a fresh hello.
-			return e.hello(dg)
+			if herr := e.hello(dg); herr != nil {
+				return fmt.Errorf("distributed: handshake restart from %s failed: %v (finish: %w)", dg.From, herr, err)
+			}
+			return nil
 		}
 		e.mu.Lock()
 		e.sessions[dg.From] = s

@@ -280,6 +280,32 @@ func TestGarbledHelloDoesNotKillExporter(t *testing.T) {
 	}
 }
 
+func TestGarbageOnEstablishedSessionPreservesIt(t *testing.T) {
+	f := newFixture(t, nil, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.clientSys.Deliver("client", core.Message{Op: "put", Data: []byte("k=v1")}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// Garbage from the client's own address is neither a decryptable record
+	// nor hello-shaped: it must be dropped with the decrypt failure kept —
+	// not treated as a session reset, which would burn a handshake attempt
+	// and kill the live session.
+	err := f.exporter.handle(netsim.Datagram{From: "laptop", To: "cloud", Payload: []byte("neither record nor hello")})
+	if err == nil {
+		t.Fatal("garbage on established session accepted")
+	}
+	if !strings.Contains(err.Error(), "undecryptable record") {
+		t.Errorf("decrypt failure not preserved: %v", err)
+	}
+	// The session survived: the next record decrypts under the same keys.
+	reply, err := f.clientSys.Deliver("client", core.Message{Op: "get", Data: []byte("k")})
+	if err != nil || string(reply.Data) != "v1" {
+		t.Fatalf("session lost after garbage: %q, %v", reply.Data, err)
+	}
+}
+
 // spanSink collects completed spans from both machines; it lives here
 // rather than importing internal/telemetry to keep this package's test
 // dependencies minimal.

@@ -138,6 +138,17 @@ func (c *Client) Hello() []byte {
 	return append([]byte(nil), c.hello...)
 }
 
+// HelloShaped cheaply reports whether b is structurally a ClientHello:
+// exactly two length-prefixed fields of X25519-key and nonce size. Servers
+// use it to decide whether an undecryptable datagram on an established
+// session deserves a handshake attempt at all — record frames (8-byte
+// big-endian sequence header + ciphertext) never match, so garbage cannot
+// buy a server handshake or reset a live session.
+func HelloShaped(b []byte) bool {
+	fields, err := splitLV(b, 2)
+	return err == nil && len(fields[0]) == 32 && len(fields[1]) == nonceLen
+}
+
 // Server accepts handshakes.
 type Server struct {
 	cfg ServerConfig

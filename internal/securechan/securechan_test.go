@@ -76,6 +76,38 @@ func TestHandshakeAndRecords(t *testing.T) {
 	}
 }
 
+func TestHelloShaped(t *testing.T) {
+	client, err := NewClient(ClientConfig{Rand: cryptoutil.NewPRNG("c"), VerifyServer: pinVerify(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HelloShaped(client.Hello()) {
+		t.Error("genuine hello not recognized")
+	}
+	id := cryptoutil.NewSigner("server-id")
+	cs, _, err := handshake(t,
+		ClientConfig{Rand: cryptoutil.NewPRNG("c2"), VerifyServer: pinVerify(id.Public())},
+		ServerConfig{Rand: cryptoutil.NewPRNG("s"), Identity: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cs.Seal([]byte("reading: 42kWh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string][]byte{
+		"sealed record":   rec,
+		"empty":           nil,
+		"garbage":         []byte("neither record nor hello"),
+		"truncated hello": client.Hello()[:10],
+		"padded hello":    append(client.Hello(), 0),
+	} {
+		if HelloShaped(b) {
+			t.Errorf("%s passes the hello shape check", name)
+		}
+	}
+}
+
 func TestWrongServerKeyRejected(t *testing.T) {
 	id := cryptoutil.NewSigner("server-id")
 	other := cryptoutil.NewSigner("other-id")
