@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench experiments fuzz cluster-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench experiments fuzz cluster-soak stall-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -18,10 +18,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The tracing hot path is lock-sensitive: run the instrumented packages
-# under the race detector on every tier-1 pass.
+# The invocation hot path is lock-sensitive end to end — tracing, the
+# deadline watchdog, the wire budget, and failover routing: run every
+# package on that path under the race detector on each tier-1 pass.
 race-hotpath:
-	$(GO) test -race ./internal/telemetry ./internal/core
+	$(GO) test -race ./internal/telemetry ./internal/core ./internal/distributed ./internal/cluster
 
 race:
 	$(GO) test -race ./...
@@ -53,6 +54,13 @@ fuzz:
 cluster-soak:
 	$(GO) test -race -count=5 -run TestSoakUnderChaos ./internal/cluster
 	$(GO) test -race -run TestE19ClusterScalesAndSurvivesChaos ./internal/experiments
+
+# Repeated stall-containment runs under the race detector: wedged replicas,
+# abandoned handlers, and Delayer chaos (E20) must stay bounded and leak
+# nothing across iterations.
+stall-soak:
+	$(GO) test -race -count=5 -run TestE20StallContainment ./internal/experiments
+	$(GO) test -race -count=5 -run 'TestWatchdog|TestFanInBoundedAdmission' ./internal/core
 
 examples:
 	$(GO) run ./examples/quickstart -substrate all

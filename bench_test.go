@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"lateral/internal/attack"
 	"lateral/internal/core"
@@ -432,4 +433,43 @@ func BenchmarkE18AutoPartition(b *testing.B) {
 func BenchmarkE19Cluster(b *testing.B) {
 	benchExperiment(b, experiments.E19Cluster, "8-replica-speedup-x",
 		func(t experiments.Table) float64 { return cellFloat(t, "8 replicas", 4) })
+}
+
+// BenchmarkE20Stall regenerates the stall-containment table each iteration
+// (healthy fleet, wedged replica, delayer chaos, leak check) and reports the
+// number of calls abandoned at the deadline in the wedged round.
+func BenchmarkE20Stall(b *testing.B) {
+	benchExperiment(b, experiments.E20Stall, "wedged-timeouts",
+		func(t experiments.Table) float64 { return cellFloat(t, "svc-1 wedged 4x budget", 3) })
+}
+
+// BenchmarkCall measures the single cross-domain call the deadline work
+// touches most directly: ui → net ("send", two domain hops) on the
+// microkernel substrate. The "no-deadline" variant is the regression guard
+// for the budget plumbing — an unbudgeted call must stay on the inline
+// fast path (the acceptance bound is ≤2% over the pre-deadline baseline;
+// EXPERIMENTS.md records the measured pair). "deadline" runs the same call
+// with a generous budget, paying for one clock read plus the watchdog
+// goroutine, timer, and deadline bookkeeping.
+func BenchmarkCall(b *testing.B) {
+	b.Run("no-deadline", func(b *testing.B) {
+		sys := benchMailSystem(b)
+		msg := core.Message{Op: "compose", Data: []byte("d")}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Deliver("ui", msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deadline", func(b *testing.B) {
+		sys := benchMailSystem(b)
+		msg := core.Message{Op: "compose", Data: []byte("d")}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.DeliverDeadline("ui", msg, core.Span{}, time.Now().Add(time.Hour)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -9,14 +9,19 @@
 //	go run ./cmd/lateralctl partition         # auto-partition an annotated monolith
 //	go run ./cmd/lateralctl trace [mail|smartmeter|distributed|cluster] [json|flame]
 //	                                          # causal span tree of a scenario workload
-//	go run ./cmd/lateralctl metrics [summary] # Prometheus text (or table) for all scenarios
-//	go run ./cmd/lateralctl cluster           # attested replica fleet demo (crash + tampered build)
+//	go run ./cmd/lateralctl metrics [summary] # Prometheus text (or table) for all scenarios,
+//	                                          # including per-channel timeout/cancel/overload counters
+//	go run ./cmd/lateralctl cluster [-deadline=50ms]
+//	                                          # attested replica fleet demo (crash + tampered build);
+//	                                          # -deadline bounds every reading by a call budget
 package main
 
 import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"lateral/internal/cluster"
 	"lateral/internal/core"
@@ -209,7 +214,27 @@ func run(args []string) error {
 	case "cluster":
 		// The E19 deployment, narrated: an attested anonymizer fleet that
 		// loses one replica mid-run (and gets it back after re-attestation)
-		// while a tampered build never makes it past admission.
+		// while a tampered build never makes it past admission. With
+		// -deadline, every reading carries a call budget: sends attempted
+		// into the partition window fail at the budget instead of hanging.
+		var budget time.Duration
+		for _, a := range args[1:] {
+			v, ok := strings.CutPrefix(a, "-deadline=")
+			if !ok {
+				return fmt.Errorf("cluster: unknown argument %q", a)
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return fmt.Errorf("cluster: bad -deadline: %v", err)
+			}
+			budget = d
+		}
+		send := func(demo *experiments.FleetDemo, meter string, kwh int) error {
+			if budget <= 0 {
+				return demo.Send(meter, kwh)
+			}
+			return demo.SendDeadline(meter, kwh, time.Now().Add(budget))
+		}
 		met := telemetry.NewMetrics()
 		demo, err := experiments.BuildFleetDemo(5, 5, met)
 		if err != nil {
@@ -230,7 +255,7 @@ func run(args []string) error {
 					demo.Part.Heal("anon-2")
 					demo.Pool.CheckNow()
 				}
-				if err := demo.Send(fmt.Sprintf("meter-%03d", m), 1+m%9); err == nil {
+				if err := send(demo, fmt.Sprintf("meter-%03d", m), 1+m%9); err == nil {
 					accepted++
 				}
 				i++

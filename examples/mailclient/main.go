@@ -1,9 +1,10 @@
 // Mailclient: the paper's §III-C email client example, deployed in both
 // architectures of Figure 1 and then attacked through the HTML renderer.
 //
-//	go run ./examples/mailclient          # run the demo
-//	go run ./examples/mailclient -dot     # print the component graph (Graphviz)
-//	go run ./examples/mailclient -trace   # append a causal span tree of the fetch flow
+//	go run ./examples/mailclient               # run the demo
+//	go run ./examples/mailclient -dot          # print the component graph (Graphviz)
+//	go run ./examples/mailclient -trace        # append a causal span tree of the fetch flow
+//	go run ./examples/mailclient -deadline 5ms # bound every fetch by a call budget
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"lateral/internal/attack"
 	"lateral/internal/core"
@@ -19,9 +21,20 @@ import (
 	"lateral/internal/telemetry"
 )
 
+// deadlineFlag bounds every fetch; fetchMail applies it fresh per call.
+var deadlineFlag time.Duration
+
+func fetchMail(sys *core.System) (string, error) {
+	if deadlineFlag <= 0 {
+		return mail.FetchMail(sys)
+	}
+	return mail.FetchMailDeadline(sys, time.Now().Add(deadlineFlag))
+}
+
 func main() {
 	dot := flag.Bool("dot", false, "print the horizontal manifest as Graphviz DOT and exit")
 	trace := flag.Bool("trace", false, "trace the horizontal fetch-mail flow and print the span tree")
+	flag.DurationVar(&deadlineFlag, "deadline", 0, "per-fetch call budget (0 = unbounded)")
 	flag.Parse()
 	if *dot {
 		fmt.Print(mail.HorizontalManifest().DOT())
@@ -47,7 +60,7 @@ func runTraced() error {
 	}
 	rec := telemetry.NewRecorder(0)
 	sys.SetTracer(rec)
-	if _, err := mail.FetchMail(sys); err != nil {
+	if _, err := fetchMail(sys); err != nil {
 		return err
 	}
 	telemetry.WriteTree(os.Stdout, rec.Trees())
@@ -72,7 +85,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		rendered, err := mail.FetchMail(sys)
+		rendered, err := fetchMail(sys)
 		if err != nil {
 			return err
 		}

@@ -3,7 +3,8 @@
 // network — including every attack variant the paper discusses.
 //
 //	go run ./examples/smartmeter
-//	go run ./examples/smartmeter -metrics   # append Prometheus metrics for the genuine run
+//	go run ./examples/smartmeter -metrics        # append Prometheus metrics for the genuine run
+//	go run ./examples/smartmeter -deadline 10ms  # bound each reading by a call budget
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"lateral/internal/attack"
 	"lateral/internal/core"
@@ -19,7 +21,18 @@ import (
 	"lateral/internal/telemetry"
 )
 
-var metricsFlag = flag.Bool("metrics", false, "dump Prometheus metrics for the genuine deployment")
+var (
+	metricsFlag  = flag.Bool("metrics", false, "dump Prometheus metrics for the genuine deployment")
+	deadlineFlag = flag.Duration("deadline", 0, "per-reading call budget (0 = unbounded)")
+)
+
+// sendReading ships one reading, bounded by -deadline when set.
+func sendReading(d *meter.Deployment, kwh int) error {
+	if *deadlineFlag <= 0 {
+		return d.SendReading(kwh)
+	}
+	return d.SendReadingDeadline(kwh, time.Now().Add(*deadlineFlag))
+}
 
 func main() {
 	flag.Parse()
@@ -48,7 +61,7 @@ func run() error {
 	fmt.Println("mutual attestation: meter verified the anonymizer enclave,")
 	fmt.Println("                    utility verified the fused meter key")
 	for _, kwh := range []int{12, 7, 9} {
-		if err := d.SendReading(kwh); err != nil {
+		if err := sendReading(d, kwh); err != nil {
 			return err
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"crypto/ed25519"
 	"testing"
+	"time"
 
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
@@ -120,30 +121,43 @@ func FuzzSessionOpen(f *testing.F) {
 // FuzzDistributedFrame covers the call-frame decoder behind the attested
 // channel: the plaintext the exporter parses after a record opens. The
 // invariant is no panic, and whatever decodes must re-encode to bytes that
-// decode to the same (span, op, data) triple.
+// decode to the same (span, budget, op, data) tuple. Seeds mix frame
+// versions: pre-budget frames (flags 0 / frameTraced only), budget-bearing
+// frames, truncated budgets, and unknown future flag bits.
 func FuzzDistributedFrame(f *testing.F) {
-	untraced := distributed.EncodeRequest(core.Span{}, "put", []byte("doc"))
-	traced := distributed.EncodeRequest(core.Span{Trace: 7, ID: 9}, "get", nil)
+	untraced := distributed.EncodeRequest(core.Span{}, 0, "put", []byte("doc"))
+	traced := distributed.EncodeRequest(core.Span{Trace: 7, ID: 9}, 0, "get", nil)
+	budgeted := distributed.EncodeRequest(core.Span{}, 250*time.Millisecond, "put", []byte("doc"))
+	both := distributed.EncodeRequest(core.Span{Trace: 7, ID: 9}, time.Second, "get", nil)
 	f.Add(untraced)
 	f.Add(traced)
+	f.Add(budgeted)
+	f.Add(both)
 	f.Add([]byte{})
-	f.Add(untraced[:1])          // flags only
-	f.Add(traced[:9])            // truncated span context
-	f.Add([]byte{0, 0, 9, 'o'})  // op length beyond frame
-	f.Add([]byte{1, 0, 0, 0, 0}) // traced flag, short span
+	f.Add(untraced[:1])                      // flags only
+	f.Add(traced[:9])                        // truncated span context
+	f.Add(budgeted[:5])                      // truncated budget
+	f.Add(both[:20])                         // span ok, budget cut short
+	f.Add([]byte{0, 0, 9, 'o'})              // op length beyond frame
+	f.Add([]byte{1, 0, 0, 0, 0})             // traced flag, short span
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0})    // budget flag, 7-byte budget
+	f.Add(append([]byte{4}, untraced[1:]...)) // unknown future flag bit
 	f.Fuzz(func(t *testing.T, data []byte) {
-		sp, op, payload, err := distributed.DecodeRequest(data)
+		req, err := distributed.DecodeRequest(data)
 		if err != nil {
 			return
 		}
-		again := distributed.EncodeRequest(sp, op, payload)
-		sp2, op2, payload2, err := distributed.DecodeRequest(again)
+		if req.Budget < 0 {
+			t.Fatalf("negative budget %v decoded", req.Budget)
+		}
+		again := distributed.EncodeRequest(req.Span, req.Budget, req.Op, req.Data)
+		req2, err := distributed.DecodeRequest(again)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if sp2 != sp || op2 != op || !bytes.Equal(payload2, payload) {
-			t.Fatalf("round trip unstable: (%v,%q,%q) vs (%v,%q,%q)",
-				sp, op, payload, sp2, op2, payload2)
+		if req2.Span != req.Span || req2.Budget != req.Budget ||
+			req2.Op != req.Op || !bytes.Equal(req2.Data, req.Data) {
+			t.Fatalf("round trip unstable: %+v vs %+v", req, req2)
 		}
 	})
 }

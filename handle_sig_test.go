@@ -1,0 +1,62 @@
+package lateral
+
+// The component contract deliberately has no context.Context: budgets and
+// cancellation ride in Envelope.Deadline, so a component compiled for one
+// substrate never learns whether its caller is a goroutine, an enclave
+// transition, or a wire frame. This vet-style check walks every Go file in
+// the repo and fails if any Handle / HandleCompromised method (the
+// component entry points) grows a context parameter — the usual way the
+// host's concurrency model leaks back into component code.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHandleSignaturesStayContextFree(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil {
+				continue
+			}
+			if name := fn.Name.Name; name != "Handle" && name != "HandleCompromised" {
+				continue
+			}
+			for _, param := range fn.Type.Params.List {
+				if sel, ok := param.Type.(*ast.SelectorExpr); ok {
+					if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "context" {
+						t.Errorf("%s: %s takes a %s.%s parameter; components must stay context-free (use Envelope.Deadline)",
+							fset.Position(fn.Pos()), fn.Name.Name, pkg.Name, sel.Sel.Name)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

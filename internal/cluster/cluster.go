@@ -346,10 +346,39 @@ func (p *Pool) healthySnapshot() []*Replica {
 // returned as-is — the call reached an attested replica and was refused,
 // so retrying elsewhere would duplicate work, not fix anything.
 func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
+	return p.DoDeadline(key, msg, time.Time{})
+}
+
+// DoDeadline is Do under a caller budget: every attempt — transmit,
+// remote execution, backoff sleep — is carved from the time remaining
+// until deadline, so bounded failover can never stretch a call past the
+// caller's deadline. The budget rides to each replica as the wire frame's
+// remaining-budget field (enforced server-side too). Failure routing on
+// top of Do's:
+//
+//   - core.ErrDeadline (locally expired or reported by the replica) ends
+//     the call immediately. The budget is spent; retrying a sibling would
+//     serve a reply the caller has already abandoned. The replica is NOT
+//     marked down — it was slow for this call, not dead.
+//   - core.ErrOverloaded from a replica fails over to a sibling at once,
+//     also WITHOUT marking the replica down: a full admission queue is
+//     transient load, and forcing a re-attestation round-trip on it would
+//     amplify exactly the overload being shed.
+//
+// A zero deadline is Do's unbounded behavior.
+func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (core.Message, error) {
 	p.maybeCheck()
 	var lastErr error
 	backoffs := 0
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if !deadline.IsZero() && !p.cfg.Clock().Before(deadline) {
+			// Budget spent between attempts: stop failing over.
+			if lastErr == nil {
+				return core.Message{}, fmt.Errorf("cluster %s: budget spent before dispatch: %w", p.cfg.Fleet, core.ErrDeadline)
+			}
+			return core.Message{}, fmt.Errorf("cluster %s: budget spent after %d attempts (last: %v): %w",
+				p.cfg.Fleet, attempt, lastErr, core.ErrDeadline)
+		}
 		candidates := p.healthySnapshot()
 		if len(candidates) == 0 {
 			if lastErr == nil {
@@ -358,9 +387,18 @@ func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 			if attempt+1 >= p.cfg.MaxAttempts {
 				break
 			}
-			// Total outage mid-call: back off, then let a health round
-			// re-attest a down replica before the next attempt.
-			p.cfg.Sleep(p.backoff(backoffs))
+			// Total outage mid-call: back off — never past the caller's
+			// deadline — then let a health round re-attest a down replica
+			// before the next attempt.
+			d := p.backoff(backoffs)
+			if !deadline.IsZero() {
+				if rem := deadline.Sub(p.cfg.Clock()); d > rem {
+					d = rem
+				}
+			}
+			if d > 0 {
+				p.cfg.Sleep(d)
+			}
 			backoffs++
 			p.CheckNow()
 			continue
@@ -371,9 +409,22 @@ func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 		if r == nil {
 			return core.Message{}, ErrNoReplicas
 		}
-		reply, err := p.callReplica(r, msg)
+		reply, err := p.callReplica(r, msg, deadline)
 		if err == nil {
 			return reply, nil
+		}
+		if errors.Is(err, core.ErrDeadline) {
+			return core.Message{}, err
+		}
+		if errors.Is(err, core.ErrOverloaded) {
+			// Shed by the replica's admission queue: try a sibling, leave
+			// the replica admitted.
+			lastErr = err
+			if attempt+1 < p.cfg.MaxAttempts {
+				r.retries.Add(1)
+				p.cfg.Monitor.ReplicaRetry(p.cfg.Fleet, r.name)
+			}
+			continue
 		}
 		if errors.Is(err, distributed.ErrRemote) {
 			return reply, err
@@ -398,12 +449,14 @@ func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 // replica's stub lock: the lock serializes calls per replica, so callers
 // queued on it are exactly the load LeastInflight needs to see — counting
 // only the one holder would pin the gauge at 0/1 and blind the balancer to
-// queueing depth.
-func (p *Pool) callReplica(r *Replica, msg core.Message) (core.Message, error) {
+// queueing depth. The deadline rides on the envelope; the stub turns it
+// into the wire budget (and refuses to transmit if it expired while the
+// call was queued on the replica lock).
+func (p *Pool) callReplica(r *Replica, msg core.Message, deadline time.Time) (core.Message, error) {
 	r.inflight.Add(1)
 	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, 1)
 	r.mu.Lock()
-	reply, err := r.stub.Handle(core.Envelope{Msg: msg})
+	reply, err := r.stub.Handle(core.Envelope{Msg: msg, Deadline: deadline})
 	r.mu.Unlock()
 	r.inflight.Add(-1)
 	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, -1)

@@ -45,6 +45,10 @@ func (s *fleetStore) Handle(env core.Envelope) (core.Message, error) {
 		s.total++
 		s.mu.Unlock()
 		return core.Message{Op: "ok", Data: []byte(fmt.Sprint(n))}, nil
+	case "stall":
+		// A hung replica; the server-side watchdog contains it.
+		time.Sleep(100 * time.Millisecond)
+		return core.Message{Op: "ok"}, nil
 	default:
 		return core.Message{}, core.ErrRefused
 	}
@@ -69,11 +73,12 @@ type tamperedStore struct{ fleetStore }
 func (t *tamperedStore) CompVersion() string { return "1.0-evil" }
 
 type fixture struct {
-	t      *testing.T
-	net    *netsim.Network
-	part   *netsim.Partitioner
-	pool   *Pool
-	stores map[string]*fleetStore
+	t       *testing.T
+	net     *netsim.Network
+	part    *netsim.Partitioner
+	pool    *Pool
+	stores  map[string]*fleetStore
+	systems map[string]*core.System
 }
 
 func replicaName(i int) string { return fmt.Sprintf("anon-%d", i) }
@@ -101,7 +106,8 @@ func newFleet(t *testing.T, n int, tampered map[int]bool, mutate func(*Config)) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &fixture{t: t, net: net, part: part, pool: pool, stores: make(map[string]*fleetStore)}
+	f := &fixture{t: t, net: net, part: part, pool: pool,
+		stores: make(map[string]*fleetStore), systems: make(map[string]*core.System)}
 	for i := 1; i <= n; i++ {
 		name := replicaName(i)
 		cpu, err := sgx.New(sgx.Config{DeviceSeed: "fleet-" + name, Vendor: vendor})
@@ -146,9 +152,33 @@ func newFleet(t *testing.T, n int, tampered map[int]bool, mutate func(*Config)) 
 				t.Fatal(err)
 			}
 			f.stores[name] = store
+			f.systems[name] = sys
 		}
 	}
 	return f
+}
+
+// scriptedBalancer picks replicas by name in a fixed order (repeating the
+// last name once the script runs out), making multi-replica failover
+// sequences deterministic in tests.
+type scriptedBalancer struct {
+	names []string
+	i     int
+}
+
+func (s *scriptedBalancer) Name() string { return "scripted" }
+
+func (s *scriptedBalancer) Pick(_ string, candidates []*Replica) *Replica {
+	name := s.names[s.i]
+	if s.i < len(s.names)-1 {
+		s.i++
+	}
+	for _, r := range candidates {
+		if r.name == name {
+			return r
+		}
+	}
+	return candidates[0]
 }
 
 func (f *fixture) bump(key string) error {
@@ -631,6 +661,112 @@ func TestStateString(t *testing.T) {
 	} {
 		if s.String() != want {
 			t.Errorf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+// TestDoDeadlineExpiredBeforeDispatch: a spent budget never reaches any
+// replica, and no failover happens.
+func TestDoDeadlineExpiredBeforeDispatch(t *testing.T) {
+	f := newFleet(t, 2, nil, nil)
+	_, err := f.pool.DoDeadline("k", core.Message{Op: "bump", Data: []byte("k")},
+		time.Now().Add(-time.Millisecond))
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("expired DoDeadline: got %v, want core.ErrDeadline", err)
+	}
+	if f.fleetTotal() != 0 {
+		t.Errorf("%d bumps served on a spent budget", f.fleetTotal())
+	}
+	for _, ri := range f.pool.Replicas() {
+		if ri.Failovers != 0 || ri.Retries != 0 {
+			t.Errorf("replica %s: failovers %d retries %d on a spent budget",
+				ri.Name, ri.Failovers, ri.Retries)
+		}
+	}
+}
+
+// TestDoDeadlineTimeoutDoesNotFailOver: a replica that blows the budget
+// ends the call with ErrDeadline — no sibling retry (the caller is gone)
+// and no down-marking (slow is not dead).
+func TestDoDeadlineTimeoutDoesNotFailOver(t *testing.T) {
+	f := newFleet(t, 2, nil, nil)
+	start := time.Now()
+	_, err := f.pool.DoDeadline("k", core.Message{Op: "stall"},
+		time.Now().Add(15*time.Millisecond))
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("stalled DoDeadline: got %v, want core.ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("caller blocked %v on a 15ms budget", elapsed)
+	}
+	if got := f.pool.Healthy(); got != 2 {
+		t.Errorf("Healthy() = %d after a timeout, want 2 (slow is not dead)", got)
+	}
+	for _, ri := range f.pool.Replicas() {
+		if ri.Failovers != 0 {
+			t.Errorf("replica %s failed over on a deadline error", ri.Name)
+		}
+	}
+	time.Sleep(120 * time.Millisecond) // drain the abandoned remote handler
+}
+
+// TestOverloadFailsOverWithoutMarkingDown: a replica shedding load with
+// ErrOverloaded is retried on a sibling immediately, and stays admitted —
+// transient overload must not force a re-attestation round trip.
+func TestOverloadFailsOverWithoutMarkingDown(t *testing.T) {
+	f := newFleet(t, 2, nil, func(c *Config) {
+		// The priming stall consumes the first entry; the bump then hits
+		// anon-1 (sheds) and fails over to anon-2.
+		c.Balancer = &scriptedBalancer{names: []string{"anon-1", "anon-1", "anon-2"}}
+	})
+	// Fill anon-1's single admission slot with an abandoned stall.
+	f.systems["anon-1"].SetAdmissionLimit(1)
+	if _, err := f.pool.DoDeadline("k", core.Message{Op: "stall"},
+		time.Now().Add(10*time.Millisecond)); !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("priming stall: %v", err)
+	}
+	// Scripted balancer sends the next call to anon-1 (sheds) then anon-2.
+	reply, err := f.pool.DoDeadline("k", core.Message{Op: "bump", Data: []byte("k")},
+		time.Now().Add(500*time.Millisecond))
+	if err != nil {
+		t.Fatalf("overload failover: %v", err)
+	}
+	if reply.Op != "ok" {
+		t.Errorf("reply = %+v", reply)
+	}
+	if got := f.pool.Healthy(); got != 2 {
+		t.Errorf("Healthy() = %d, want 2 (overload must not mark down)", got)
+	}
+	if f.stores["anon-2"].Total() != 1 {
+		t.Errorf("anon-2 served %d bumps, want 1", f.stores["anon-2"].Total())
+	}
+	if ri := f.info("anon-1"); ri.Retries != 1 || ri.Failovers != 0 {
+		t.Errorf("anon-1 retries %d failovers %d, want 1/0", ri.Retries, ri.Failovers)
+	}
+	time.Sleep(120 * time.Millisecond) // drain the abandoned remote handler
+}
+
+// TestDoDeadlineOutageBackoffCappedByBudget: with every replica down
+// mid-call, outage backoff sleeps never extend past the caller's deadline.
+func TestDoDeadlineOutageBackoffCappedByBudget(t *testing.T) {
+	var slept []time.Duration
+	f := newFleet(t, 1, nil, func(c *Config) {
+		c.MaxAttempts = 4
+		c.BackoffBase = 40 * time.Millisecond
+		c.BackoffMax = 400 * time.Millisecond
+		c.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	})
+	// Kill the only replica's link so every attempt is an operational
+	// failure and the pool hits the empty-pool backoff path.
+	f.part.Isolate("anon-1")
+	deadline := time.Now().Add(60 * time.Millisecond)
+	_, err := f.pool.DoDeadline("k", core.Message{Op: "bump", Data: []byte("k")}, deadline)
+	if err == nil {
+		t.Fatal("call succeeded with the only replica isolated")
+	}
+	for _, d := range slept {
+		if d > 70*time.Millisecond {
+			t.Errorf("backoff slept %v, past the 60ms caller budget", d)
 		}
 	}
 }

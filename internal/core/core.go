@@ -24,8 +24,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 )
 
 // Common errors.
@@ -50,6 +53,23 @@ var (
 
 	// ErrRefused is a component-level refusal (e.g. policy check failed).
 	ErrRefused = errors.New("core: request refused")
+
+	// ErrDeadline is returned when a call's budget is spent: either the
+	// deadline passed before the target could be invoked, or the watchdog
+	// abandoned a handler that ran past it. The abandoned handler keeps
+	// running to completion (Handle stays serialized per component); only
+	// the caller is released. See DESIGN.md "Deadlines and backpressure".
+	ErrDeadline = errors.New("core: call deadline exceeded")
+
+	// ErrOverloaded is returned when a component's bounded admission queue
+	// is full: the call is shed immediately instead of queueing forever
+	// behind a slow or hung handler. Load shedding is per target node, so
+	// one convoyed component cannot absorb every caller in the system.
+	ErrOverloaded = errors.New("core: component admission queue full")
+
+	// ErrCanceled is returned when the caller's context was canceled while
+	// the call was queued or executing.
+	ErrCanceled = errors.New("core: call canceled")
 )
 
 // Message is the unit of communication between components. Op selects the
@@ -81,6 +101,15 @@ type Envelope struct {
 	// across domains — and, via the distributed stub/exporter pair, across
 	// machines. Components may read it but never need to.
 	Span Span
+
+	// Deadline is the call budget: the instant after which the caller no
+	// longer waits for the reply (zero means unbounded). It propagates
+	// through the whole invocation chain — outbound calls a handler makes
+	// inherit the remaining budget, and the distributed layer carries it
+	// across machines as a remaining-budget wire field. Components may
+	// consult it to shed doomed work early but never need to; the system's
+	// watchdog enforces it either way.
+	Deadline time.Time
 }
 
 // Component is the unit of horizontal application design. Implementations
@@ -161,9 +190,20 @@ func (c *Ctx) DomainName() string { return c.node.domainName }
 func (c *Ctx) Substrate() Properties { return c.sys.props }
 
 // Call invokes a granted outbound channel and returns the reply. It fails
-// with ErrNoChannel if the manifest never granted the channel.
+// with ErrNoChannel if the manifest never granted the channel. When the
+// calling handler is itself executing under a deadline, the call inherits
+// the remaining budget automatically.
 func (c *Ctx) Call(channel string, msg Message) (Message, error) {
-	return c.sys.call(c.node, channel, msg)
+	return c.sys.call(nil, c.node, channel, msg)
+}
+
+// CallCtx is Call with an explicit context: the call fails with
+// ErrCanceled once ctx is canceled, and a ctx deadline tightens (never
+// loosens) any budget inherited from the calling handler. The component
+// API stays Envelope-based — Handle never sees a context; the budget
+// reaches the callee as Envelope.Deadline.
+func (c *Ctx) CallCtx(ctx context.Context, channel string, msg Message) (Message, error) {
+	return c.sys.call(ctx, c.node, channel, msg)
 }
 
 // HasChannel reports whether an outbound channel with this name was granted.
@@ -174,14 +214,16 @@ func (c *Ctx) HasChannel(channel string) bool {
 	return ok
 }
 
-// Channels returns the names of all granted outbound channels.
+// Channels returns the names of all granted outbound channels, sorted so
+// callers iterating over them behave deterministically.
 func (c *Ctx) Channels() []string {
 	c.sys.mu.Lock()
-	defer c.sys.mu.Unlock()
 	out := make([]string, 0, len(c.node.out))
 	for name := range c.node.out {
 		out = append(out, name)
 	}
+	c.sys.mu.Unlock()
+	sort.Strings(out)
 	return out
 }
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,18 +69,32 @@ type node struct {
 	out        map[string]*channel
 	assets     map[string]assetRef
 
-	// handleMu serializes invocations of this component, upholding the
+	// handleMu is the component's single execution slot, upholding the
 	// Component contract ("Handle is never invoked concurrently for the
 	// same component"). Like synchronous IPC on a real microkernel, a
 	// CYCLE of calls (A→B→A) therefore deadlocks; manifests must keep the
-	// call graph acyclic.
+	// call graph acyclic. Entry to the slot is bounded by the admission
+	// queue below: callers beyond the limit are shed with ErrOverloaded
+	// instead of convoying here forever.
 	handleMu sync.Mutex
 
+	// admitted counts callers currently waiting for or holding the
+	// execution slot — the admission queue depth. Bounded by
+	// System.admitLimit; see invoke.
+	admitted atomic.Int32
+
+	// deadline is the budget of the invocation the component is currently
+	// executing, guarded by handleMu: run installs it while holding the
+	// slot, and the only readers are the handler's own outbound calls,
+	// made while it still holds the slot. Outbound calls inherit it, so a
+	// budget set at the edge bounds the whole transitive call tree. A
+	// handler abandoned by the watchdog keeps its (expired) deadline, so
+	// its residual outbound calls fail fast instead of doing unbounded
+	// downstream work.
+	deadline time.Time
+
 	// span is the handler span the component is currently executing,
-	// guarded by System.mu. Outbound calls parent to it. Handle is
-	// serialized per component, so by the time a handler runs its span is
-	// current; concurrent Delivers to one component may briefly attribute
-	// a call to a sibling span, but never tear or race.
+	// guarded by handleMu like deadline. Outbound calls parent to it.
 	span Span
 }
 
@@ -94,6 +110,18 @@ type Stats struct {
 	// VirtualNs is the accumulated modeled time: one InvokeCostNs per
 	// invocation.
 	VirtualNs int64
+
+	// Timeouts counts calls whose budget was spent: refused pre-dispatch
+	// because the deadline had already passed, or abandoned mid-handler by
+	// the watchdog.
+	Timeouts int64
+
+	// Cancels counts calls released because the caller's context was
+	// canceled.
+	Cancels int64
+
+	// Overloads counts calls shed by a full per-component admission queue.
+	Overloads int64
 }
 
 // System loads components onto one substrate and runs the horizontal
@@ -121,12 +149,23 @@ type System struct {
 	// sampleCtr counts root delivers under mu.
 	sampleEvery uint64
 	sampleCtr   uint64
+
+	// admitLimit bounds each component's admission queue (waiters plus the
+	// executing handler); 0 disables the bound. Read lock-free on the
+	// invocation hot path.
+	admitLimit atomic.Int32
 }
+
+// DefaultAdmissionLimit is the per-component admission-queue bound a new
+// System starts with. It is deliberately generous — normal workloads never
+// come near it — while still guaranteeing that a hung handler convoys a
+// bounded number of callers instead of every goroutine in the process.
+const DefaultAdmissionLimit = 256
 
 // NewSystem creates an empty system on the given substrate.
 func NewSystem(sub Substrate) *System {
 	base := spanBase()
-	return &System{
+	s := &System{
 		sub:      sub,
 		props:    sub.Properties(),
 		nodes:    make(map[string]*node),
@@ -134,6 +173,19 @@ func NewSystem(sub Substrate) *System {
 		spanSeq:  base,
 		traceSeq: base,
 	}
+	s.admitLimit.Store(DefaultAdmissionLimit)
+	return s
+}
+
+// SetAdmissionLimit bounds every component's admission queue to n callers
+// (waiters plus the executing handler); callers beyond it are shed with
+// ErrOverloaded. n <= 0 removes the bound entirely — the pre-backpressure
+// queue-forever behavior, useful only in tests.
+func (s *System) SetAdmissionLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.admitLimit.Store(int32(n))
 }
 
 // Substrate returns the substrate the system runs on.
@@ -256,7 +308,7 @@ func (s *System) InitAll() error {
 // component, as if from the outside world. External input has no channel
 // identity.
 func (s *System) Deliver(target string, msg Message) (Message, error) {
-	return s.DeliverSpan(target, msg, Span{})
+	return s.deliver(nil, target, msg, Span{}, time.Time{})
 }
 
 // DeliverSpan injects an external stimulus while continuing a causal trace
@@ -264,6 +316,36 @@ func (s *System) Deliver(target string, msg Message) (Message, error) {
 // importing machine's trace onto the machine hosting the exported
 // component. A zero parent starts a fresh trace (Deliver's behavior).
 func (s *System) DeliverSpan(target string, msg Message, parent Span) (Message, error) {
+	return s.deliver(nil, target, msg, parent, time.Time{})
+}
+
+// DeliverDeadline injects an external stimulus under a call budget: the
+// call returns ErrDeadline once the deadline passes, whether it was still
+// queued or mid-handler (the watchdog abandons the handler). The budget
+// propagates to every transitive call the handler makes. A zero deadline
+// means unbounded (DeliverSpan's behavior). The distributed exporter uses
+// it to enforce the wire frame's remaining-budget field server-side.
+func (s *System) DeliverDeadline(target string, msg Message, parent Span, deadline time.Time) (Message, error) {
+	return s.deliver(nil, target, msg, parent, deadline)
+}
+
+// DeliverCtx injects an external stimulus bound to ctx: cancellation
+// releases the caller with ErrCanceled, and a ctx deadline is enforced
+// like DeliverDeadline's.
+func (s *System) DeliverCtx(ctx context.Context, target string, msg Message) (Message, error) {
+	var deadline time.Time
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	return s.deliver(ctx, target, msg, Span{}, deadline)
+}
+
+// deliver is the single entry point behind every Deliver variant. A nil
+// ctx is the internal spelling of "no cancellation source": entry points
+// without a context pass nil so the steady path never pays the
+// context.Context interface calls (Done, Deadline) that even a Background
+// context would cost on every hop.
+func (s *System) deliver(ctx context.Context, target string, msg Message, parent Span, deadline time.Time) (Message, error) {
 	s.mu.Lock()
 	n, ok := s.nodes[target]
 	if !ok {
@@ -271,6 +353,8 @@ func (s *System) DeliverSpan(target string, msg Message, parent Span) (Message, 
 		return Message{}, fmt.Errorf("deliver to %s: %w", target, ErrNoDomain)
 	}
 	s.account(n)
+	compromised := n.dom.compromised
+	obs := s.observer
 	tr := s.tracer
 	if tr != nil && parent == (Span{}) && s.sampleEvery > 1 {
 		// Head sampling: decide once at the trace root. An unsampled
@@ -296,28 +380,34 @@ func (s *System) DeliverSpan(target string, msg Message, parent Span) (Message, 
 		}
 	}
 	s.mu.Unlock()
-	env := Envelope{Msg: msg.Clone(), Span: sp}
+	env := Envelope{Msg: msg.Clone(), Span: sp, Deadline: deadline}
 	if tr == nil {
-		return s.dispatch(n, env)
+		return s.dispatch(ctx, n, &env, compromised, obs, nil)
 	}
 	start := time.Now()
 	tr.SpanStart(sp, info, start)
-	reply, err := s.dispatch(n, env)
+	reply, err := s.dispatch(ctx, n, &env, compromised, obs, tr)
 	tr.SpanEnd(sp, info, start, time.Since(start), err)
 	return reply, err
 }
 
-// call implements Ctx.Call.
-func (s *System) call(from *node, channelName string, msg Message) (Message, error) {
+// call implements Ctx.Call and Ctx.CallCtx. ctx may be nil (Ctx.Call); see
+// System.deliver for the convention.
+func (s *System) call(ctx context.Context, from *node, channelName string, msg Message) (Message, error) {
 	s.mu.Lock()
 	ch, ok := from.out[channelName]
 	if !ok {
 		s.mu.Unlock()
 		return Message{}, fmt.Errorf("%s calling %q: %w", from.comp.CompName(), channelName, ErrNoChannel)
 	}
+	deadline := from.deadline
+	if ctx != nil {
+		deadline = effectiveDeadline(from.deadline, ctx)
+	}
 	ch.uses++
 	s.account(ch.to)
 	fromCompromised := from.dom.compromised
+	toCompromised := ch.to.dom.compromised
 	obs := s.observer
 	tr := s.tracer
 	if tr != nil && from.span == (Span{}) {
@@ -342,7 +432,7 @@ func (s *System) call(from *node, channelName string, msg Message) (Message, err
 	}
 	s.mu.Unlock()
 
-	env := Envelope{Msg: msg.Clone(), Span: sp}
+	env := Envelope{Msg: msg.Clone(), Span: sp, Deadline: deadline}
 	if ch.spec.Badge != 0 {
 		env.From = from.comp.CompName()
 		env.Badge = ch.spec.Badge
@@ -356,7 +446,7 @@ func (s *System) call(from *node, channelName string, msg Message) (Message, err
 		start = time.Now()
 		tr.SpanStart(sp, info, start)
 	}
-	reply, err := s.dispatch(ch.to, env)
+	reply, err := s.dispatch(ctx, ch.to, &env, toCompromised, obs, tr)
 	if tr != nil {
 		tr.SpanEnd(sp, info, start, time.Since(start), err)
 	}
@@ -378,28 +468,35 @@ func (s *System) account(n *node) {
 }
 
 // dispatch routes an envelope to the node's benign or compromised behavior,
-// wrapping the execution in a handler span when tracing is on.
-func (s *System) dispatch(n *node, env Envelope) (Message, error) {
-	s.mu.Lock()
-	compromised := n.dom.compromised
-	obs := s.observer
-	tr := s.tracer
+// wrapping the execution in a handler span when tracing is on. A call whose
+// budget is already spent (or whose context is done) is refused here,
+// before any handler runs, so expired work never occupies the target.
+// compromised, obs, and tr are the caller's snapshots, read under s.mu in
+// call/deliver — dispatch itself takes no lock on the untraced path; the
+// node's budget/span bookkeeping happens under its execution slot in run.
+func (s *System) dispatch(ctx context.Context, n *node, env *Envelope, compromised bool, obs Observer, tr Tracer) (Message, error) {
+	// guarded: the call carries a budget or a cancelable context, so it
+	// must run under the watchdog. Computed once here; the unguarded path
+	// skips every budget check downstream.
+	guarded := !env.Deadline.IsZero() || (ctx != nil && ctx.Done() != nil)
+	if guarded {
+		if err := budgetErr(ctx, env.Deadline); err != nil {
+			s.noteBudgetErr(err)
+			return Message{}, fmt.Errorf("dispatch to %s: %w", n.comp.CompName(), err)
+		}
+	}
 	var sp Span
 	var info SpanInfo
 	if tr != nil && env.Span == (Span{}) {
 		// The enclosing request was sampled out (or predates the tracer):
-		// stay on the fast path, and clear any stale handler span so this
-		// handler's outbound calls don't attach to an old trace. The store
-		// is conditional to keep the steady unsampled path read-only.
-		if n.span != (Span{}) {
-			n.span = Span{}
-		}
+		// keep the whole subtree untraced.
 		tr = nil
 	}
 	if tr != nil {
+		s.mu.Lock()
 		sp = s.newSpan(env.Span)
-		n.span = sp   // outbound calls the handler makes parent here
-		env.Span = sp // proxies forwarding the envelope propagate the handler span
+		s.mu.Unlock()
+		env.Span = sp // run installs it; proxies forwarding the envelope propagate it
 		info = SpanInfo{
 			Kind:    SpanHandle,
 			From:    env.From,
@@ -410,24 +507,88 @@ func (s *System) dispatch(n *node, env Envelope) (Message, error) {
 			Bytes:   len(env.Msg.Data),
 		}
 	}
-	s.mu.Unlock()
-
 	if tr == nil {
-		return s.invoke(n, env, compromised, obs)
+		return s.invoke(ctx, n, env, guarded, compromised, obs)
 	}
 	start := time.Now()
 	tr.SpanStart(sp, info, start)
-	reply, err := s.invoke(n, env, compromised, obs)
+	reply, err := s.invoke(ctx, n, env, guarded, compromised, obs)
 	tr.SpanEnd(sp, info, start, time.Since(start), err)
 	return reply, err
 }
 
-// invoke runs the component's benign or compromised behavior. Invocations
-// of one component are serialized (see node.handleMu).
-func (s *System) invoke(n *node, env Envelope, compromised bool, obs Observer) (Message, error) {
+// invoke admits the call into the component's bounded queue and runs the
+// handler. Invocations of one component are serialized (node.handleMu);
+// entry is bounded (node.admitted vs System.admitLimit) so a hung handler
+// sheds excess callers with ErrOverloaded instead of convoying them
+// forever. Unguarded calls (no budget, no cancelable context) whose slot
+// is free bypass the admission counter entirely — an uncontended TryLock
+// proves the queue is empty, so there is nothing to bound; that keeps the
+// steady path at the cost of one mutex, same as before backpressure
+// existed. Everyone else is counted while queued or running:
+//   - unguarded but contended: count self as a waiter, shed when waiters
+//     would exceed limit-1 (the uncounted slot holder is the limit-th);
+//   - guarded: count self for the handler's whole lifetime (the watchdog
+//     decrements after the handler really finishes, even abandoned), shed
+//     when the count would exceed limit.
+//
+// Both sheds refuse the call at the same total occupancy: limit callers
+// inside or waiting on the component.
+func (s *System) invoke(ctx context.Context, n *node, env *Envelope, guarded, compromised bool, obs Observer) (Message, error) {
+	if !guarded {
+		if n.handleMu.TryLock() {
+			defer n.handleMu.Unlock()
+			return s.run(n, env, compromised, obs)
+		}
+		return s.invokeQueued(n, env, compromised, obs)
+	}
+	limit := s.admitLimit.Load()
+	if w := n.admitted.Add(1); limit > 0 && w > limit {
+		n.admitted.Add(-1)
+		err := fmt.Errorf("%s: %d callers queued: %w", n.comp.CompName(), w-1, ErrOverloaded)
+		s.noteBudgetErr(err)
+		return Message{}, err
+	}
+	return s.invokeGuarded(ctx, n, *env, compromised, obs)
+}
+
+// invokeQueued is invoke's contended unguarded path: the slot holder is
+// running, so count self into the admission queue and wait. Split out of
+// invoke so the uncontended path above keeps a single open-coded defer —
+// three defer sites across branches push invoke past the compiler's
+// open-coding budget and put heap defer records on every call.
+func (s *System) invokeQueued(n *node, env *Envelope, compromised bool, obs Observer) (Message, error) {
+	limit := s.admitLimit.Load()
+	if w := n.admitted.Add(1); limit > 0 && w >= limit {
+		n.admitted.Add(-1)
+		err := fmt.Errorf("%s: %d callers queued: %w", n.comp.CompName(), w, ErrOverloaded)
+		s.noteBudgetErr(err)
+		return Message{}, err
+	}
+	defer n.admitted.Add(-1)
 	n.handleMu.Lock()
 	defer n.handleMu.Unlock()
+	return s.run(n, env, compromised, obs)
+}
 
+// run executes the component's benign or compromised behavior. The caller
+// holds the component's execution slot (handleMu), which also guards the
+// node's inherited budget and handler span installed here: the handler's
+// outbound calls read them back from its own slot, so no system-wide lock
+// is needed on this path.
+func (s *System) run(n *node, env *Envelope, compromised bool, obs Observer) (Message, error) {
+	if !env.Deadline.IsZero() || !n.deadline.IsZero() {
+		// Record the handler's budget so its outbound calls inherit the
+		// remainder (and clear a stale one left by an earlier budgeted
+		// invocation). Conditional store to keep the steady path read-only.
+		n.deadline = env.Deadline
+	}
+	if env.Span != n.span {
+		// Same for the handler span: outbound calls parent to it; a zero
+		// span (untraced or sampled-out request) clears any stale one so
+		// this handler's calls don't attach to an old trace.
+		n.span = env.Span
+	}
 	if compromised {
 		// The adversary controls the whole domain: it reads the incoming
 		// message no matter which colocated component it addressed.
@@ -435,7 +596,7 @@ func (s *System) invoke(n *node, env Envelope, compromised bool, obs Observer) (
 			obs.Observe("recv:"+n.comp.CompName(), env.Msg.Data)
 		}
 		if sub, ok := n.comp.(Subvertible); ok {
-			reply, err := sub.HandleCompromised(env)
+			reply, err := sub.HandleCompromised(*env)
 			if obs != nil && err == nil {
 				obs.Observe("emit:"+n.comp.CompName(), reply.Data)
 			}
@@ -444,7 +605,7 @@ func (s *System) invoke(n *node, env Envelope, compromised bool, obs Observer) (
 		// Component has no modeled exploit payload; it limps on, but the
 		// adversary already observed the traffic above.
 	}
-	return n.comp.Handle(env)
+	return n.comp.Handle(*env)
 }
 
 // Compromise marks the domain hosting the named component as attacker

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
@@ -72,51 +73,123 @@ const PingOp = "\x00ping"
 // PongOp is the reply operation to a PingOp probe.
 const PongOp = "\x00pong"
 
-// Request frames wrap encodeCall with a flags byte; when frameTraced is
-// set, 16 bytes of telemetry span context (trace ID, span ID, both
-// big-endian) follow so a trace crossing the wire reassembles into one
-// causal tree on a shared recorder. The context is metadata only — it
-// rides inside the sealed channel and carries no payload information.
-const frameTraced = 1 << 0
+// Request frames wrap encodeCall with a flags byte. The flags byte is the
+// frame version: each bit gates one optional field, fields appear in bit
+// order, and unknown bits are rejected (a frame from a future version is
+// an error, never a misparse). Current fields:
+//
+//   - frameTraced: 16 bytes of telemetry span context (trace ID, span ID,
+//     both big-endian) so a trace crossing the wire reassembles into one
+//     causal tree on a shared recorder. Metadata only — it rides inside
+//     the sealed channel and carries no payload information.
+//   - frameBudget: 8 bytes of remaining call budget (big-endian
+//     nanoseconds), gRPC-style: the sender transmits how much of its
+//     deadline is left, the receiver re-anchors it against its own clock.
+//     A relative duration crosses machines safely; absolute deadlines
+//     would need synchronized clocks.
+//
+// A pre-budget peer emits frames without frameBudget and they decode fine
+// (budget 0 = unbounded) — the format is backward compatible by
+// construction.
+const (
+	frameTraced = 1 << 0
+	frameBudget = 1 << 1
+
+	frameKnown = frameTraced | frameBudget
+)
+
+// Request is one decoded invocation frame.
+type Request struct {
+	// Span is the caller's span context; zero when the call is untraced.
+	Span core.Span
+
+	// Budget is the remaining call budget the caller granted; 0 means
+	// unbounded. The receiving side anchors it to its own clock
+	// (time.Now().Add(Budget)) and enforces it server-side.
+	Budget time.Duration
+
+	// Op and Data are the invocation payload.
+	Op   string
+	Data []byte
+}
 
 // EncodeRequest builds one request frame. Exported for the repo-root fuzz
 // harness and for tooling that needs to speak the wire format; production
-// callers go through Stub/Exporter.
-func EncodeRequest(sp core.Span, op string, data []byte) []byte {
+// callers go through Stub/Exporter. A zero span and a non-positive budget
+// each elide their field entirely, so pre-budget decoders keep working
+// until a budget actually crosses the wire.
+func EncodeRequest(sp core.Span, budget time.Duration, op string, data []byte) []byte {
 	call := encodeCall(op, data)
-	if sp == (core.Span{}) {
-		return append([]byte{0}, call...)
+	var flags byte
+	n := 1
+	if sp != (core.Span{}) {
+		flags |= frameTraced
+		n += 16
 	}
-	out := make([]byte, 0, 1+16+len(call))
-	out = append(out, frameTraced)
-	out = binary.BigEndian.AppendUint64(out, sp.Trace)
-	out = binary.BigEndian.AppendUint64(out, sp.ID)
+	if budget > 0 {
+		flags |= frameBudget
+		n += 8
+	}
+	out := make([]byte, 0, n+len(call))
+	out = append(out, flags)
+	if flags&frameTraced != 0 {
+		out = binary.BigEndian.AppendUint64(out, sp.Trace)
+		out = binary.BigEndian.AppendUint64(out, sp.ID)
+	}
+	if flags&frameBudget != 0 {
+		out = binary.BigEndian.AppendUint64(out, uint64(budget))
+	}
 	return append(out, call...)
 }
 
-// DecodeRequest parses one request frame (see EncodeRequest).
-func DecodeRequest(b []byte) (core.Span, string, []byte, error) {
+// DecodeRequest parses one request frame (see EncodeRequest). Frames with
+// unknown flag bits, truncated span contexts, or truncated budgets are
+// rejected with ErrTransport.
+func DecodeRequest(b []byte) (Request, error) {
 	if len(b) < 1 {
-		return core.Span{}, "", nil, fmt.Errorf("empty request frame: %w", ErrTransport)
+		return Request{}, fmt.Errorf("empty request frame: %w", ErrTransport)
 	}
 	flags, b := b[0], b[1:]
-	var parent core.Span
+	if flags&^byte(frameKnown) != 0 {
+		return Request{}, fmt.Errorf("unknown frame version %#x: %w", flags, ErrTransport)
+	}
+	var req Request
 	if flags&frameTraced != 0 {
 		if len(b) < 16 {
-			return core.Span{}, "", nil, fmt.Errorf("truncated span context: %w", ErrTransport)
+			return Request{}, fmt.Errorf("truncated span context: %w", ErrTransport)
 		}
-		parent.Trace = binary.BigEndian.Uint64(b)
-		parent.ID = binary.BigEndian.Uint64(b[8:])
+		req.Span.Trace = binary.BigEndian.Uint64(b)
+		req.Span.ID = binary.BigEndian.Uint64(b[8:])
 		b = b[16:]
 	}
-	op, data, err := decodeCall(b)
-	return parent, op, data, err
+	if flags&frameBudget != 0 {
+		if len(b) < 8 {
+			return Request{}, fmt.Errorf("truncated budget: %w", ErrTransport)
+		}
+		ns := binary.BigEndian.Uint64(b)
+		if ns > uint64(1<<62) {
+			return Request{}, fmt.Errorf("budget overflow %d: %w", ns, ErrTransport)
+		}
+		req.Budget = time.Duration(ns)
+		b = b[8:]
+	}
+	var err error
+	req.Op, req.Data, err = decodeCall(b)
+	if err != nil {
+		return Request{}, err
+	}
+	return req, nil
 }
 
-// reply frames: status byte + payload (op or error text).
+// reply frames: status byte + payload (op or error text). Deadline and
+// overload failures get their own status codes so errors.Is(err,
+// core.ErrDeadline) / core.ErrOverloaded keep working across the wire —
+// the cluster layer routes on exactly that distinction.
 const (
-	statusOK  = 0
-	statusErr = 1
+	statusOK       = 0
+	statusErr      = 1
+	statusDeadline = 2
+	statusOverload = 3
 )
 
 // Exporter publishes one component of a local system on the network.
@@ -235,23 +308,37 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 			}
 			return nil
 		}
-		parent, op, data, err := DecodeRequest(plain)
+		req, err := DecodeRequest(plain)
 		if err != nil {
 			return err
 		}
 		var reply core.Message
 		var herr error
-		if op == PingOp {
+		if req.Op == PingOp {
 			// Liveness probe: answered by the channel layer itself, the
 			// component never runs.
 			reply = core.Message{Op: PongOp}
 		} else {
-			reply, herr = e.sys.DeliverSpan(e.target, core.Message{Op: op, Data: data}, parent)
+			// Enforce the caller's remaining budget server-side: re-anchor
+			// the relative budget against the local clock and let the core
+			// watchdog bound the handler. A malicious or broken client
+			// cannot buy unbounded server work by omitting the field — the
+			// server's own admission queue still bounds convoys.
+			var deadline time.Time
+			if req.Budget > 0 {
+				deadline = time.Now().Add(req.Budget)
+			}
+			reply, herr = e.sys.DeliverDeadline(e.target, core.Message{Op: req.Op, Data: req.Data}, req.Span, deadline)
 		}
 		var frame []byte
-		if herr != nil {
+		switch {
+		case errors.Is(herr, core.ErrDeadline):
+			frame = append([]byte{statusDeadline}, []byte(herr.Error())...)
+		case errors.Is(herr, core.ErrOverloaded):
+			frame = append([]byte{statusOverload}, []byte(herr.Error())...)
+		case herr != nil:
 			frame = append([]byte{statusErr}, []byte(herr.Error())...)
-		} else {
+		default:
 			frame = append([]byte{statusOK}, encodeCall(reply.Op, reply.Data)...)
 		}
 		rec, err := sess.Seal(frame)
@@ -457,7 +544,10 @@ func (s *Stub) Ping() error {
 	return nil
 }
 
-// Handle proxies one invocation across the channel.
+// Handle proxies one invocation across the channel. A deadline riding on
+// the envelope becomes the frame's remaining-budget field; a call whose
+// budget is already spent is refused here, before any bytes are sealed or
+// transmitted — the wire is never burned on doomed work.
 func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	s.mu.Lock()
 	sess := s.sess
@@ -465,7 +555,14 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	if sess == nil {
 		return core.Message{}, fmt.Errorf("stub %s: %w", s.name, ErrNotConnected)
 	}
-	rec, err := sess.Seal(EncodeRequest(env.Span, env.Msg.Op, env.Msg.Data))
+	var budget time.Duration
+	if !env.Deadline.IsZero() {
+		budget = time.Until(env.Deadline)
+		if budget <= 0 {
+			return core.Message{}, fmt.Errorf("stub %s: budget spent before transmit: %w", s.name, core.ErrDeadline)
+		}
+	}
+	rec, err := sess.Seal(EncodeRequest(env.Span, budget, env.Msg.Op, env.Msg.Data))
 	if err != nil {
 		return core.Message{}, err
 	}
@@ -483,7 +580,13 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	if len(plain) < 1 {
 		return core.Message{}, fmt.Errorf("empty reply frame: %w", ErrTransport)
 	}
-	if plain[0] == statusErr {
+	switch plain[0] {
+	case statusDeadline:
+		// Rehydrate the typed error so errors.Is works across the wire.
+		return core.Message{}, fmt.Errorf("remote: %s: %w", plain[1:], core.ErrDeadline)
+	case statusOverload:
+		return core.Message{}, fmt.Errorf("remote: %s: %w", plain[1:], core.ErrOverloaded)
+	case statusErr:
 		return core.Message{}, fmt.Errorf("%w: %s", ErrRemote, plain[1:])
 	}
 	op, data, err := decodeCall(plain[1:])

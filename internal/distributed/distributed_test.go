@@ -43,6 +43,10 @@ func (c *cloudStore) Handle(env core.Envelope) (core.Message, error) {
 			return core.Message{}, fmt.Errorf("no such doc: %w", core.ErrRefused)
 		}
 		return core.Message{Op: "doc", Data: doc}, nil
+	case "stall":
+		// Models a hung backend; the server-side watchdog must contain it.
+		time.Sleep(100 * time.Millisecond)
+		return core.Message{Op: "ok"}, nil
 	default:
 		return core.Message{}, core.ErrRefused
 	}
@@ -182,6 +186,84 @@ func TestRemoteErrorsPropagate(t *testing.T) {
 	// The channel survives an application-level error.
 	if _, err := f.clientSys.Deliver("client", core.Message{Op: "put", Data: []byte("a=b")}); err != nil {
 		t.Errorf("call after error: %v", err)
+	}
+}
+
+// TestBudgetEnforcedServerSide: the envelope deadline becomes a wire
+// budget, the exporter re-anchors and enforces it, and the typed failure
+// survives the round trip — errors.Is(err, core.ErrDeadline) on the client
+// for a handler that hung on the server.
+func TestBudgetEnforcedServerSide(t *testing.T) {
+	f := newFixture(t, nil, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := f.stub.Handle(core.Envelope{
+		Msg:      core.Message{Op: "stall"},
+		Deadline: time.Now().Add(20 * time.Millisecond),
+	})
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("stalled remote call: got %v, want core.ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("caller blocked %v on a 20ms budget", elapsed)
+	}
+	if st := f.cloudSys.Stats(); st.Timeouts == 0 {
+		t.Error("server never accounted the timeout")
+	}
+	// The session survives; an unbounded call still works once the
+	// abandoned handler drains.
+	time.Sleep(120 * time.Millisecond)
+	if _, err := f.stub.Handle(core.Envelope{Msg: core.Message{Op: "put", Data: []byte("a=b")}}); err != nil {
+		t.Errorf("call after remote timeout: %v", err)
+	}
+}
+
+// TestRemoteOverloadTyped: a shed call on the server arrives at the client
+// as core.ErrOverloaded, so the cluster layer can fail over on it.
+func TestRemoteOverloadTyped(t *testing.T) {
+	f := newFixture(t, nil, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	f.cloudSys.SetAdmissionLimit(1)
+	// First call abandons a 100ms stall after 10ms; its handler still holds
+	// the single admission slot, so the immediate second call is shed.
+	if _, err := f.stub.Handle(core.Envelope{
+		Msg:      core.Message{Op: "stall"},
+		Deadline: time.Now().Add(10 * time.Millisecond),
+	}); !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("first call: got %v, want core.ErrDeadline", err)
+	}
+	_, err := f.stub.Handle(core.Envelope{
+		Msg:      core.Message{Op: "get", Data: []byte("x")},
+		Deadline: time.Now().Add(10 * time.Millisecond),
+	})
+	if !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("call into full queue: got %v, want core.ErrOverloaded", err)
+	}
+	time.Sleep(120 * time.Millisecond) // let the abandoned handler drain
+}
+
+// TestStubRefusesExpiredCall: a call whose budget is already spent never
+// touches the wire.
+func TestStubRefusesExpiredCall(t *testing.T) {
+	rec := &netsim.Recorder{}
+	f := newFixture(t, rec, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	before := len(rec.Messages())
+	_, err := f.stub.Handle(core.Envelope{
+		Msg:      core.Message{Op: "get", Data: []byte("x")},
+		Deadline: time.Now().Add(-time.Millisecond),
+	})
+	if !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("expired call: got %v, want core.ErrDeadline", err)
+	}
+	if after := len(rec.Messages()); after != before {
+		t.Errorf("expired call burned %d wire flights", after-before)
 	}
 }
 
@@ -381,23 +463,40 @@ func TestTraceStitchesAcrossMachines(t *testing.T) {
 	}
 }
 
-// TestRequestFrameRoundTrip covers the trace-context framing both with and
-// without span context, plus truncation handling.
+// TestRequestFrameRoundTrip covers the framing across all field
+// combinations: span context and remaining budget, each present or absent.
 func TestRequestFrameRoundTrip(t *testing.T) {
 	sp := core.Span{Trace: 0xdead, ID: 0xbeef}
-	parent, op, data, err := DecodeRequest(EncodeRequest(sp, "put", []byte("k=v")))
+	for _, tc := range []struct {
+		name   string
+		span   core.Span
+		budget time.Duration
+	}{
+		{name: "bare", span: core.Span{}, budget: 0},
+		{name: "traced", span: sp, budget: 0},
+		{name: "budgeted", span: core.Span{}, budget: 750 * time.Millisecond},
+		{name: "traced+budgeted", span: sp, budget: 2 * time.Second},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := DecodeRequest(EncodeRequest(tc.span, tc.budget, "put", []byte("k=v")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if req.Span != tc.span || req.Budget != tc.budget || req.Op != "put" || string(req.Data) != "k=v" {
+				t.Errorf("round trip = %+v", req)
+			}
+		})
+	}
+	// A pre-budget frame (old wire version) still decodes: budget reads as
+	// unbounded.
+	old := append([]byte{frameTraced}, make([]byte, 16)...)
+	old = append(old, encodeCall("get", nil)...)
+	req, err := DecodeRequest(old)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if parent != sp || op != "put" || string(data) != "k=v" {
-		t.Errorf("round trip = %+v %q %q", parent, op, data)
-	}
-	parent, op, _, err = DecodeRequest(EncodeRequest(core.Span{}, "get", nil))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if parent != (core.Span{}) || op != "get" {
-		t.Errorf("untraced round trip = %+v %q", parent, op)
+	if req.Budget != 0 || req.Op != "get" {
+		t.Errorf("old-version frame = %+v", req)
 	}
 }
 
@@ -444,12 +543,18 @@ func TestDecodeFrameErrorPaths(t *testing.T) {
 		{name: "truncated span context", in: []byte{frameTraced, 1, 2, 3}},
 		{name: "span context then short call", in: append(append([]byte{frameTraced}, make([]byte, 16)...), 0)},
 		{name: "untraced short call", in: []byte{0, 0}},
-		{name: "untraced valid", in: EncodeRequest(core.Span{}, "op", nil), ok: true},
-		{name: "traced valid", in: EncodeRequest(core.Span{Trace: 1, ID: 2}, "op", nil), ok: true},
+		{name: "flags only, budgeted", in: []byte{frameBudget}},
+		{name: "truncated budget", in: []byte{frameBudget, 1, 2, 3}},
+		{name: "budget overflow", in: append(append([]byte{frameBudget}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff), encodeCall("op", nil)...)},
+		{name: "unknown future flag", in: append([]byte{1 << 5}, encodeCall("op", nil)...)},
+		{name: "untraced valid", in: EncodeRequest(core.Span{}, 0, "op", nil), ok: true},
+		{name: "traced valid", in: EncodeRequest(core.Span{Trace: 1, ID: 2}, 0, "op", nil), ok: true},
+		{name: "budgeted valid", in: EncodeRequest(core.Span{}, time.Second, "op", nil), ok: true},
+		{name: "traced budgeted valid", in: EncodeRequest(core.Span{Trace: 1, ID: 2}, time.Second, "op", nil), ok: true},
 	}
 	for _, tc := range reqCases {
 		t.Run("request/"+tc.name, func(t *testing.T) {
-			_, _, _, err := DecodeRequest(tc.in)
+			_, err := DecodeRequest(tc.in)
 			if tc.ok && err != nil {
 				t.Fatalf("unexpected err %v", err)
 			}

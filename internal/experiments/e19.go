@@ -151,10 +151,16 @@ func BuildFleetDemo(n, tamperedIdx int, mon cluster.Monitor) (*FleetDemo, error)
 
 // Send routes one meter reading into the fleet, sharded by meter identity.
 func (d *FleetDemo) Send(meter string, kwh int) error {
-	_, err := d.Pool.Do(meter, core.Message{
+	return d.SendDeadline(meter, kwh, time.Time{})
+}
+
+// SendDeadline is Send under a caller budget: transmit, remote execution,
+// and any failover must all finish before deadline. Zero is unbounded.
+func (d *FleetDemo) SendDeadline(meter string, kwh int, deadline time.Time) error {
+	_, err := d.Pool.DoDeadline(meter, core.Message{
 		Op:   "reading",
 		Data: append([]byte(meter+"="), byte(kwh)),
-	})
+	}, deadline)
 	return err
 }
 

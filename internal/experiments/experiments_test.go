@@ -489,3 +489,22 @@ func TestE18AutoPartition(t *testing.T) {
 		t.Errorf("partitioning gained too little: %.2f vs %.2f", part, mono)
 	}
 }
+
+func TestE20StallContainment(t *testing.T) {
+	tab, err := E20Stall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "PASS" {
+			t.Errorf("E20 %s: %v", r[0], r)
+		}
+	}
+	// The wedged round must actually have abandoned calls at the deadline.
+	if cell(t, tab, "svc-1 wedged 4x budget", 3) == "0" {
+		t.Error("wedged round recorded no timeouts")
+	}
+}

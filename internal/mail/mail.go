@@ -19,6 +19,7 @@ package mail
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"lateral/internal/core"
 	"lateral/internal/manifest"
@@ -395,7 +396,14 @@ func Build(sub core.Substrate, m *manifest.Manifest) (*core.System, map[string][
 // FetchMail drives the end-to-end mail-fetch flow (the E4 macro
 // benchmark unit of work) and returns the rendered message.
 func FetchMail(sys *core.System) (string, error) {
-	reply, err := sys.Deliver("ui", core.Message{Op: "fetch-mail"})
+	return FetchMailDeadline(sys, time.Time{})
+}
+
+// FetchMailDeadline is FetchMail under a caller budget: the whole fetch
+// flow — UI, network, parser, renderer — must finish before deadline or the
+// call returns core.ErrDeadline. A zero deadline is unbounded.
+func FetchMailDeadline(sys *core.System, deadline time.Time) (string, error) {
+	reply, err := sys.DeliverDeadline("ui", core.Message{Op: "fetch-mail"}, core.Span{}, deadline)
 	if err != nil {
 		return "", err
 	}

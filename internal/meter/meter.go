@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
@@ -422,12 +423,21 @@ func (d *Deployment) Connect() error {
 // the attested channel; the anonymizer's billing acknowledgment flows back
 // to the meter component for display.
 func (d *Deployment) SendReading(kwh int) error {
+	return d.SendReadingDeadline(kwh, time.Time{})
+}
+
+// SendReadingDeadline is SendReading under a caller budget: both on-device
+// handler executions (metering and the billing update) and the server-side
+// anonymizer execution are bounded by deadline; a stall anywhere surfaces
+// as core.ErrDeadline instead of a hung meter. A zero deadline is
+// unbounded.
+func (d *Deployment) SendReadingDeadline(kwh int, deadline time.Time) error {
 	if d.meterSess == nil {
 		return fmt.Errorf("send reading: not connected: %w", ErrRefusedPeer)
 	}
-	reading, err := d.Appliance.Deliver("meter", core.Message{
+	reading, err := d.Appliance.DeliverDeadline("meter", core.Message{
 		Op: "tick-usage", Data: []byte(strconv.Itoa(kwh)),
-	})
+	}, core.Span{}, deadline)
 	if err != nil {
 		return err
 	}
@@ -446,7 +456,7 @@ func (d *Deployment) SendReading(kwh int) error {
 	if err != nil {
 		return err
 	}
-	ack, err := d.Server.Deliver("anonymizer", core.Message{Op: "reading", Data: plain})
+	ack, err := d.Server.DeliverDeadline("anonymizer", core.Message{Op: "reading", Data: plain}, core.Span{}, deadline)
 	if err != nil {
 		return err
 	}
@@ -465,7 +475,7 @@ func (d *Deployment) SendReading(kwh int) error {
 	if err != nil {
 		return err
 	}
-	_, err = d.Appliance.Deliver("meter", core.Message{Op: "billing-update", Data: ackPlain})
+	_, err = d.Appliance.DeliverDeadline("meter", core.Message{Op: "billing-update", Data: ackPlain}, core.Span{}, deadline)
 	return err
 }
 

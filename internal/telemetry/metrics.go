@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,14 @@ type ChannelStats struct {
 
 	Hist   Histogram
 	Errors atomic.Int64
+
+	// Budget failures, counted separately from (and in addition to)
+	// Errors: a timeout, cancellation, or shed call is an error too, but
+	// operators alert on these three long before the generic error rate
+	// moves.
+	Timeouts  atomic.Int64 // core.ErrDeadline
+	Cancels   atomic.Int64 // core.ErrCanceled
+	Overloads atomic.Int64 // core.ErrOverloaded
 }
 
 // DomainStats aggregates per-domain handler executions and asset traffic.
@@ -83,12 +92,14 @@ func (m *Metrics) SpanEnd(sp core.Span, info core.SpanInfo, _ time.Time, elapsed
 		cs.Hist.Record(elapsed, sp.ID)
 		if err != nil {
 			cs.Errors.Add(1)
+			cs.noteBudgetErr(err)
 		}
 	case core.SpanDeliver:
 		cs := m.channel(info.From, info.To, info)
 		cs.Hist.Record(elapsed, sp.ID)
 		if err != nil {
 			cs.Errors.Add(1)
+			cs.noteBudgetErr(err)
 		}
 	case core.SpanHandle:
 		ds := m.domain(info)
@@ -104,6 +115,19 @@ func (m *Metrics) SpanEnd(sp core.Span, info core.SpanInfo, _ time.Time, elapsed
 		ds := m.domain(info)
 		ds.AssetLoads.Add(1)
 		ds.AssetBytes.Add(int64(info.Bytes))
+	}
+}
+
+// noteBudgetErr classifies a span error into the budget-failure counters.
+// Off the no-error fast path; errors.Is walks a short wrap chain.
+func (cs *ChannelStats) noteBudgetErr(err error) {
+	switch {
+	case errors.Is(err, core.ErrDeadline):
+		cs.Timeouts.Add(1)
+	case errors.Is(err, core.ErrCanceled):
+		cs.Cancels.Add(1)
+	case errors.Is(err, core.ErrOverloaded):
+		cs.Overloads.Add(1)
 	}
 }
 
@@ -186,6 +210,9 @@ type ChannelSummary struct {
 	Trusted           bool
 	Count             uint64
 	Errors            int64
+	Timeouts          int64
+	Cancels           int64
+	Overloads         int64
 	Mean              time.Duration
 	P50, P90, P99     time.Duration
 	Max               time.Duration
@@ -205,17 +232,20 @@ func (m *Metrics) Channels() []ChannelSummary {
 	for _, cs := range cells {
 		snap := cs.Hist.Snapshot()
 		out = append(out, ChannelSummary{
-			From:    cs.From,
-			Channel: cs.Channel,
-			To:      cs.To,
-			Trusted: cs.Trusted,
-			Count:   snap.Count,
-			Errors:  cs.Errors.Load(),
-			Mean:    time.Duration(snap.Mean()),
-			P50:     time.Duration(snap.Quantile(0.50)),
-			P90:     time.Duration(snap.Quantile(0.90)),
-			P99:     time.Duration(snap.Quantile(0.99)),
-			Max:     time.Duration(snap.MaxNs),
+			From:      cs.From,
+			Channel:   cs.Channel,
+			To:        cs.To,
+			Trusted:   cs.Trusted,
+			Count:     snap.Count,
+			Errors:    cs.Errors.Load(),
+			Timeouts:  cs.Timeouts.Load(),
+			Cancels:   cs.Cancels.Load(),
+			Overloads: cs.Overloads.Load(),
+			Mean:      time.Duration(snap.Mean()),
+			P50:       time.Duration(snap.Quantile(0.50)),
+			P90:       time.Duration(snap.Quantile(0.90)),
+			P99:       time.Duration(snap.Quantile(0.99)),
+			Max:       time.Duration(snap.MaxNs),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

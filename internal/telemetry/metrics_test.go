@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -187,5 +188,49 @@ func TestFanout(t *testing.T) {
 	}
 	if len(m.Domains()) != 1 {
 		t.Error("fanout did not reach metrics")
+	}
+}
+
+func TestBudgetFailureCounters(t *testing.T) {
+	m := NewMetrics()
+	info := core.SpanInfo{
+		Kind: core.SpanCall, Channel: "store", From: "gw", To: "store",
+		Domain: "store", Op: "put",
+	}
+	endSpan(m, 1, info, time.Millisecond, fmt.Errorf("slow replica: %w", core.ErrDeadline))
+	endSpan(m, 2, info, time.Millisecond, fmt.Errorf("caller gone: %w", core.ErrCanceled))
+	endSpan(m, 3, info, 0, fmt.Errorf("queue full: %w", core.ErrOverloaded))
+	endSpan(m, 4, info, 0, errors.New("ordinary failure"))
+	endSpan(m, 5, info, time.Microsecond, nil)
+
+	chans := m.Channels()
+	if len(chans) != 1 {
+		t.Fatalf("channels = %+v", chans)
+	}
+	c := chans[0]
+	if c.Errors != 4 || c.Timeouts != 1 || c.Cancels != 1 || c.Overloads != 1 {
+		t.Errorf("counters = errs %d tmout %d cancel %d shed %d, want 4/1/1/1",
+			c.Errors, c.Timeouts, c.Cancels, c.Overloads)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lateral_call_timeouts_total{channel="gw->store/store"} 1`,
+		`lateral_call_cancellations_total{channel="gw->store/store"} 1`,
+		`lateral_call_overloads_total{channel="gw->store/store"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	var sum bytes.Buffer
+	m.WriteSummary(&sum)
+	if !strings.Contains(sum.String(), "tmout") {
+		t.Errorf("summary header lacks budget columns:\n%s", sum.String())
 	}
 }

@@ -85,6 +85,27 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(w, "lateral_channel_errors_total{channel=%q} %d\n", escapeLabel(edgeLabel(c)), c.Errors)
 	}
 
+	// Budget failures. Subsets of errors_total, broken out so operators
+	// can alert on stalls and shedding before the generic error rate moves.
+	fmt.Fprint(w,
+		"# HELP lateral_call_timeouts_total Invocations abandoned at their deadline, per channel.\n",
+		"# TYPE lateral_call_timeouts_total counter\n")
+	for _, c := range chans {
+		fmt.Fprintf(w, "lateral_call_timeouts_total{channel=%q} %d\n", escapeLabel(edgeLabel(c)), c.Timeouts)
+	}
+	fmt.Fprint(w,
+		"# HELP lateral_call_cancellations_total Invocations abandoned because the caller went away, per channel.\n",
+		"# TYPE lateral_call_cancellations_total counter\n")
+	for _, c := range chans {
+		fmt.Fprintf(w, "lateral_call_cancellations_total{channel=%q} %d\n", escapeLabel(edgeLabel(c)), c.Cancels)
+	}
+	fmt.Fprint(w,
+		"# HELP lateral_call_overloads_total Invocations shed by the target's admission queue, per channel.\n",
+		"# TYPE lateral_call_overloads_total counter\n")
+	for _, c := range chans {
+		fmt.Fprintf(w, "lateral_call_overloads_total{channel=%q} %d\n", escapeLabel(edgeLabel(c)), c.Overloads)
+	}
+
 	// Wire traffic.
 	links := m.Links()
 	fmt.Fprint(w,
@@ -161,11 +182,12 @@ func (m *Metrics) channelCells() map[string]*ChannelStats {
 // like Channels().
 func (m *Metrics) WriteSummary(w io.Writer) {
 	chans := m.Channels()
-	fmt.Fprintf(w, "%-28s %8s %6s %10s %10s %10s %10s\n",
-		"channel", "count", "errs", "mean", "p50", "p99", "max")
+	fmt.Fprintf(w, "%-28s %8s %6s %6s %6s %6s %10s %10s %10s %10s\n",
+		"channel", "count", "errs", "tmout", "cancel", "shed", "mean", "p50", "p99", "max")
 	for _, c := range chans {
-		fmt.Fprintf(w, "%-28s %8d %6d %10s %10s %10s %10s\n",
-			edgeLabel(c), c.Count, c.Errors, c.Mean, c.P50, c.P99, c.Max)
+		fmt.Fprintf(w, "%-28s %8d %6d %6d %6d %6d %10s %10s %10s %10s\n",
+			edgeLabel(c), c.Count, c.Errors, c.Timeouts, c.Cancels, c.Overloads,
+			c.Mean, c.P50, c.P99, c.Max)
 	}
 	doms := m.Domains()
 	if len(doms) > 0 {

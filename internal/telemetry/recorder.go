@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ type SpanRecord struct {
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Err      string        `json:"err,omitempty"`
+	TimedOut bool          `json:"timed_out,omitempty"` // err chains to core.ErrDeadline
 }
 
 // Recorder is a core.Tracer that keeps every completed span for offline
@@ -78,6 +80,7 @@ func (r *Recorder) SpanEnd(sp core.Span, info core.SpanInfo, start time.Time, el
 	}
 	if err != nil {
 		rec.Err = err.Error()
+		rec.TimedOut = errors.Is(err, core.ErrDeadline)
 	}
 	r.mu.Lock()
 	if len(r.spans) < r.limit {

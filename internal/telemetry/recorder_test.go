@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -121,5 +122,27 @@ func TestWriteFlameSelfTime(t *testing.T) {
 	}
 	if !strings.Contains(out, "deliver:ui;handle:ui 80\n") {
 		t.Errorf("leaf stack wrong:\n%s", out)
+	}
+}
+
+func TestSpanRecordTimedOutFlag(t *testing.T) {
+	r := NewRecorder(0)
+	info := core.SpanInfo{Kind: core.SpanCall, Channel: "store", From: "gw", To: "store", Domain: "store"}
+	r.SpanEnd(core.Span{Trace: 1, ID: 1}, info, time.Time{}, time.Millisecond,
+		fmt.Errorf("abandoned: %w", core.ErrDeadline))
+	r.SpanEnd(core.Span{Trace: 1, ID: 2}, info, time.Time{}, time.Millisecond,
+		errors.New("ordinary failure"))
+	r.SpanEnd(core.Span{Trace: 1, ID: 3}, info, time.Time{}, time.Millisecond, nil)
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if !spans[0].TimedOut || spans[1].TimedOut || spans[2].TimedOut {
+		t.Errorf("timed_out flags = %v %v %v, want true false false",
+			spans[0].TimedOut, spans[1].TimedOut, spans[2].TimedOut)
+	}
+	b, _ := json.Marshal(spans[1])
+	if strings.Contains(string(b), "timed_out") {
+		t.Errorf("timed_out should be omitted when false: %s", b)
 	}
 }
