@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench experiments fuzz cluster-soak stall-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench experiments fuzz cluster-soak stall-soak sim-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -27,8 +27,22 @@ race-hotpath:
 race:
 	$(GO) test -race ./...
 
+# Coverage with checked-in floors for the invocation-path packages. Floors
+# sit ~5 points under measured coverage (core 93.0, cluster 94.7,
+# distributed 86.6 at the time they were set): they catch a test deletion
+# or a big untested addition without flaking on small refactors.
+COVER_FLOORS := core:88 cluster:89 distributed:81
+
 cover:
 	$(GO) test -cover ./...
+	@for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$($(GO) test -cover ./internal/$$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "cover: $$pkg at $$pct% is below the $$floor% floor"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% >= $$floor% floor"; \
+	done
 
 # Regenerate every experiment table (EXPERIMENTS.md's source of truth).
 experiments:
@@ -47,6 +61,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzVPFSRead      -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzLegacyFSNames -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzDistributedFrame -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzScheduleDecode -fuzztime=10s -run '^$$' .
 
 # Short soak of the attested replica fleet under the race detector:
 # concurrent callers, repeated crash/heal cycles, plus the full E19 chaos
@@ -61,6 +76,15 @@ cluster-soak:
 stall-soak:
 	$(GO) test -race -count=5 -run TestE20StallContainment ./internal/experiments
 	$(GO) test -race -count=5 -run 'TestWatchdog|TestFanInBoundedAdmission' ./internal/core
+
+# Deterministic simulation soak: many explorer seeds over the mixed-fault
+# schedule, with all four invariants checked after every step, then the
+# mutation smoke test under the race detector. Replay a failing seed with
+#   go test ./internal/simtest -run TestExploreSeeds -simtest.seed=<seed>
+sim-soak:
+	$(GO) test -count=1 ./internal/simtest -run TestExploreSeeds -simtest.soak=500
+	$(GO) test -race -count=1 -run 'TestMutationIsCaught|TestExploreReplayIsByteIdentical' ./internal/simtest
+	$(GO) test -race -count=3 -run TestE21Simulation ./internal/experiments
 
 examples:
 	$(GO) run ./examples/quickstart -substrate all

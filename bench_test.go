@@ -443,6 +443,14 @@ func BenchmarkE20Stall(b *testing.B) {
 		func(t experiments.Table) float64 { return cellFloat(t, "svc-1 wedged 4x budget", 3) })
 }
 
+// BenchmarkE21Simulation regenerates the deterministic-simulation table each
+// iteration (fault-free sweep, mixed-fault sweep, replay, quarantine) and
+// reports the number of faults injected across the mixed-fault round.
+func BenchmarkE21Simulation(b *testing.B) {
+	benchExperiment(b, experiments.E21Simulation, "mixed-faults-injected",
+		func(t experiments.Table) float64 { return cellFloat(t, "mixed-fault schedule", 3) })
+}
+
 // BenchmarkCall measures the single cross-domain call the deadline work
 // touches most directly: ui → net ("send", two domain hops) on the
 // microkernel substrate. The "no-deadline" variant is the regression guard

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lateral/internal/core"
+	"lateral/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestMetricsSummaryGolden pins the exact bytes of the `lateralctl
+// metrics summary` table. The scenario latencies in main.go are
+// wall-clock, so the test feeds the metrics collector a fixed synthetic
+// workload instead — including a timeout, a cancellation, and a shed, so
+// the tmout/cancel/shed columns render non-zero. Regenerate after an
+// intentional format change with:
+//
+//	go test ./cmd/lateralctl -run Golden -update
+func TestMetricsSummaryGolden(t *testing.T) {
+	m := telemetry.NewMetrics()
+	at := time.Unix(1000, 0)
+
+	call := func(id uint64, from, channel, to, op string, elapsed time.Duration, err error) {
+		info := core.SpanInfo{Kind: core.SpanCall, Channel: channel, From: from, To: to, Domain: to, Op: op}
+		m.SpanEnd(core.Span{Trace: 1, ID: id}, info, at, elapsed, err)
+	}
+	handle := func(id uint64, comp string, trusted bool, elapsed time.Duration, err error) {
+		info := core.SpanInfo{Kind: core.SpanHandle, To: comp, Domain: comp, Trusted: trusted}
+		m.SpanEnd(core.Span{Trace: 1, ID: id}, info, at, elapsed, err)
+	}
+
+	// A steady channel: five clean calls with fixed latencies.
+	for i, d := range []time.Duration{100, 120, 140, 160, 400} {
+		call(uint64(i+1), "gateway", "to-store", "store", "put", d*time.Microsecond, nil)
+		handle(uint64(i+100), "store", true, d*time.Microsecond/2, nil)
+	}
+	// A struggling channel: one of each budget failure plus a plain error.
+	call(11, "gateway", "to-meter", "meter", "read", 5*time.Millisecond, core.ErrDeadline)
+	call(12, "gateway", "to-meter", "meter", "read", time.Millisecond, core.ErrCanceled)
+	call(13, "gateway", "to-meter", "meter", "read", 50*time.Microsecond, core.ErrOverloaded)
+	call(14, "gateway", "to-meter", "meter", "read", 80*time.Microsecond, core.ErrRefused)
+	call(15, "gateway", "to-meter", "meter", "read", 90*time.Microsecond, nil)
+	handle(111, "meter", false, 40*time.Microsecond, core.ErrRefused)
+
+	// Asset traffic for the domain table's stores/loads/bytes columns.
+	m.SpanEnd(core.Span{Trace: 1, ID: 200},
+		core.SpanInfo{Kind: core.SpanAssetStore, To: "store", Domain: "store", Trusted: true, Op: "ledger", Bytes: 512},
+		at, 30*time.Microsecond, nil)
+	m.SpanEnd(core.Span{Trace: 1, ID: 201},
+		core.SpanInfo{Kind: core.SpanAssetLoad, To: "store", Domain: "store", Trusted: true, Op: "ledger", Bytes: 512},
+		at, 20*time.Microsecond, nil)
+
+	// Fleet state for the replica table: one healthy and loaded, one
+	// quarantined after a failover.
+	m.ReplicaState("svc", "svc-1", true, false)
+	m.ReplicaInflight("svc", "svc-1", 2)
+	m.ReplicaCall("svc", "svc-1", false)
+	m.ReplicaCall("svc", "svc-1", false)
+	m.ReplicaRetry("svc", "svc-1")
+	m.ReplicaState("svc", "svc-2", false, true)
+	m.ReplicaCall("svc", "svc-2", true)
+	m.ReplicaFailover("svc", "svc-2")
+
+	var buf bytes.Buffer
+	m.WriteSummary(&buf)
+
+	golden := filepath.Join("testdata", "metrics_summary.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary output drifted from golden file (run with -update if intentional):\n--- got\n%s--- want\n%s", buf.Bytes(), want)
+	}
+}

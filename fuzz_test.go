@@ -21,6 +21,7 @@ import (
 	"lateral/internal/hw"
 	"lateral/internal/legacy"
 	"lateral/internal/securechan"
+	"lateral/internal/simtest"
 	"lateral/internal/vpfs"
 )
 
@@ -134,14 +135,24 @@ func FuzzDistributedFrame(f *testing.F) {
 	f.Add(budgeted)
 	f.Add(both)
 	f.Add([]byte{})
-	f.Add(untraced[:1])                      // flags only
-	f.Add(traced[:9])                        // truncated span context
-	f.Add(budgeted[:5])                      // truncated budget
-	f.Add(both[:20])                         // span ok, budget cut short
-	f.Add([]byte{0, 0, 9, 'o'})              // op length beyond frame
-	f.Add([]byte{1, 0, 0, 0, 0})             // traced flag, short span
-	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0})    // budget flag, 7-byte budget
+	f.Add(untraced[:1])                       // flags only
+	f.Add(traced[:9])                         // truncated span context
+	f.Add(budgeted[:5])                       // truncated budget
+	f.Add(both[:20])                          // span ok, budget cut short
+	f.Add([]byte{0, 0, 9, 'o'})               // op length beyond frame
+	f.Add([]byte{1, 0, 0, 0, 0})              // traced flag, short span
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0})     // budget flag, 7-byte budget
 	f.Add(append([]byte{4}, untraced[1:]...)) // unknown future flag bit
+	// Mixed-fault shapes the simulation surfaces: ping frames (the health
+	// probe op), duplicated frames, bit-flipped budgets, and a frame whose
+	// every flag bit is set.
+	ping := distributed.EncodeRequest(core.Span{}, time.Millisecond, distributed.PingOp, nil)
+	f.Add(ping)
+	f.Add(append(append([]byte{}, ping...), ping...)) // duplicated datagram
+	flipped := append([]byte{}, budgeted...)
+	flipped[len(flipped)-1] ^= 0x01 // the linkTamperer mutation
+	f.Add(flipped)
+	f.Add(append([]byte{0xff}, both[1:]...)) // all flag bits set
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := distributed.DecodeRequest(data)
 		if err != nil {
@@ -158,6 +169,38 @@ func FuzzDistributedFrame(f *testing.F) {
 		if req2.Span != req.Span || req2.Budget != req.Budget ||
 			req2.Op != req.Op || !bytes.Equal(req2.Data, req.Data) {
 			t.Fatalf("round trip unstable: %+v vs %+v", req, req2)
+		}
+	})
+}
+
+// FuzzScheduleDecode covers the fault-schedule parser: schedules are
+// loaded from files and fuzz corpora, so the decoder must never panic and
+// must bound everything it allocates. Whatever decodes must re-encode to
+// text that decodes to the identical schedule (the codec's roundtrip
+// contract, also enforced by simtest.Validate).
+func FuzzScheduleDecode(f *testing.F) {
+	f.Add(simtest.EncodeSchedule(simtest.DefaultSchedule(3)))
+	f.Add("@150ms crash svc-2\n@200ms heal svc-2\n")
+	f.Add("@10ms partition lb-svc-1 svc-1\n@5ms delay 7 25 2ms 1\n")
+	f.Add("@2ms skew 250ms\n@0s dup svc-1 2\n@1ms tamper\n")
+	f.Add("# comment\n\n@5ms crash svc-1")
+	f.Add("")
+	f.Add("@\x00 crash x")
+	f.Add("@99999999999999999ns crash x")
+	f.Add("@5ms delay 18446744073709551615 100 24h 1048576")
+	f.Add("@5ms dup " + string(bytes.Repeat([]byte{'a'}, 200)) + " 1")
+	f.Fuzz(func(t *testing.T, text string) {
+		sched, err := simtest.DecodeSchedule(text)
+		if err != nil {
+			return
+		}
+		enc := simtest.EncodeSchedule(sched)
+		again, err := simtest.DecodeSchedule(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v\n%s", err, enc)
+		}
+		if enc2 := simtest.EncodeSchedule(again); enc2 != enc {
+			t.Fatalf("canonical form unstable:\n--- first\n%s--- second\n%s", enc, enc2)
 		}
 	})
 }

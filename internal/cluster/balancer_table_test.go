@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// balancerReplicas builds n bare replicas (no wire, no stub) — Pick only
+// reads names and inflight gauges, so policy behavior is testable as a
+// pure function of the candidate set.
+func balancerReplicas(n int) []*Replica {
+	out := make([]*Replica, n)
+	for i := range out {
+		out[i] = &Replica{name: fmt.Sprintf("svc-%d", i+1)}
+	}
+	return out
+}
+
+// pickCounts drives picks calls with distinct affinity keys through b and
+// tallies per-replica totals.
+func pickCounts(b Balancer, reps []*Replica, picks int) map[string]int {
+	counts := make(map[string]int)
+	for i := 0; i < picks; i++ {
+		r := b.Pick(fmt.Sprintf("key-%04d", i), reps)
+		counts[r.Name()]++
+	}
+	return counts
+}
+
+// TestBalancerDistributionBounds puts every policy under the identical
+// simulated load — the same candidate set, the same 3000 distinct-key
+// picks, all inflight gauges at zero — and asserts each stays inside its
+// distribution contract: the cursor policies split exactly evenly, the
+// hash policy splits within a statistical band.
+func TestBalancerDistributionBounds(t *testing.T) {
+	const replicas, picks = 3, 3000
+	cases := []struct {
+		name     string
+		balancer Balancer
+		min, max int // inclusive per-replica bounds
+	}{
+		{"round-robin", NewRoundRobin(), picks / replicas, picks / replicas},
+		{"least-inflight", NewLeastInflight(), picks / replicas, picks / replicas},
+		// 64 vnodes per replica: even-ish, not exact. The band is generous
+		// (half to double the fair share) but fails outright if hashing
+		// collapses (one replica owning nearly everything).
+		{"consistent-hash", NewConsistentHash(), picks / (2 * replicas), 2 * picks / replicas},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reps := balancerReplicas(replicas)
+			counts := pickCounts(tc.balancer, reps, picks)
+			total := 0
+			for _, r := range reps {
+				n := counts[r.Name()]
+				total += n
+				if n < tc.min || n > tc.max {
+					t.Errorf("%s got %d of %d picks, want within [%d, %d]",
+						r.Name(), n, picks, tc.min, tc.max)
+				}
+			}
+			if total != picks {
+				t.Errorf("accounted picks = %d, want %d", total, picks)
+			}
+		})
+	}
+}
+
+// TestRoundRobinExactRotation pins the cycling order: admission order,
+// with the global cursor keeping rotation fair across candidate-set
+// changes (a recovered replica does not reset the cycle).
+func TestRoundRobinExactRotation(t *testing.T) {
+	b := NewRoundRobin()
+	reps := balancerReplicas(3)
+	want := []string{"svc-1", "svc-2", "svc-3", "svc-1", "svc-2", "svc-3"}
+	for i, w := range want {
+		if got := b.Pick("k", reps).Name(); got != w {
+			t.Fatalf("pick %d = %s, want %s", i, got, w)
+		}
+	}
+	// svc-2 drops out: the cursor keeps advancing over the shrunken set
+	// rather than restarting at svc-1.
+	down := []*Replica{reps[0], reps[2]}
+	first := b.Pick("k", down).Name()
+	second := b.Pick("k", down).Name()
+	if first == second {
+		t.Errorf("degraded set did not alternate: %s then %s", first, second)
+	}
+}
+
+// TestLeastInflightAvoidsLoadedReplica: a replica with outstanding calls
+// is not picked while idle replicas exist, and equally-idle replicas share
+// via tie rotation instead of the first always winning.
+func TestLeastInflightAvoidsLoadedReplica(t *testing.T) {
+	b := NewLeastInflight()
+	reps := balancerReplicas(3)
+	reps[1].inflight.Add(5) // svc-2 is busy
+	counts := pickCounts(b, reps, 100)
+	if counts["svc-2"] != 0 {
+		t.Errorf("busy replica picked %d times, want 0", counts["svc-2"])
+	}
+	if counts["svc-1"] != 50 || counts["svc-3"] != 50 {
+		t.Errorf("idle replicas got %d/%d picks, want 50/50", counts["svc-1"], counts["svc-3"])
+	}
+	// The busy replica drains: it must immediately become the unique
+	// minimum and win the next pick.
+	reps[1].inflight.Add(-5)
+	reps[0].inflight.Add(1)
+	reps[2].inflight.Add(1)
+	if got := b.Pick("k", reps).Name(); got != "svc-2" {
+		t.Errorf("drained replica not picked: got %s", got)
+	}
+}
+
+// TestConsistentHashRingStability pins the two sharding properties:
+// repeated picks of one key always land on the same replica, and removing
+// a replica remaps only the keys it owned — every other key stays put.
+func TestConsistentHashRingStability(t *testing.T) {
+	b := NewConsistentHash()
+	reps := balancerReplicas(4)
+	const keys = 2000
+	owner := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		owner[k] = b.Pick(k, reps).Name()
+		// Stability: the same key re-picked lands on the same replica.
+		if again := b.Pick(k, reps).Name(); again != owner[k] {
+			t.Fatalf("key %s moved with no membership change: %s -> %s", k, owner[k], again)
+		}
+	}
+	// svc-3 fails. Keys it owned must move; no other key may.
+	lost := "svc-3"
+	survivors := []*Replica{reps[0], reps[1], reps[3]}
+	moved, kept := 0, 0
+	for k, prev := range owner {
+		now := b.Pick(k, survivors).Name()
+		if prev == lost {
+			moved++
+			if now == lost {
+				t.Fatalf("key %s still assigned to removed replica", k)
+			}
+			continue
+		}
+		if now != prev {
+			t.Errorf("key %s owned by survivor %s remapped to %s", k, prev, now)
+		} else {
+			kept++
+		}
+	}
+	if moved == 0 {
+		t.Error("removed replica owned no keys; test proves nothing")
+	}
+	if kept == 0 {
+		t.Error("no key stayed put after failover")
+	}
+}

@@ -281,6 +281,7 @@ func (p *Pool) Admit(spec ReplicaSpec) error {
 		Rand:           spec.Rand,
 		VerifyServer:   p.verifier(),
 		Pump:           spec.Pump,
+		Clock:          p.cfg.Clock,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,154 @@
+// Backoff and health timing on the simulated clock: the wall-clock seams
+// (Config.Sleep, Config.Clock) driven by simtest.Clock instead of recorder
+// stubs and hand-advanced fakes. These live in package cluster_test
+// because simtest imports cluster; the external package breaks the cycle.
+// Nothing here sleeps or races a scheduler — backoff delays and health
+// intervals elapse only when the test advances virtual time.
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"lateral/internal/cluster"
+	"lateral/internal/simtest"
+)
+
+// TestOutageBackoffElapsesOnVirtualClock: with the whole fleet crashed,
+// the pool's exponential backoff sleeps advance the virtual clock — and
+// the jittered schedule is a pure function of the seed, so two identical
+// deployments burn byte-identical amounts of virtual time.
+func TestOutageBackoffElapsesOnVirtualClock(t *testing.T) {
+	run := func() (time.Duration, error) {
+		h, err := simtest.NewHarness(simtest.HarnessConfig{Replicas: 1, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Apply(simtest.Fault{Kind: simtest.FaultCrash, Target: simtest.ReplicaName(1)})
+		before := h.Clock.Elapsed()
+		err = h.CallWork("op-1", "key-a", 0)
+		return h.Clock.Elapsed() - before, err
+	}
+	elapsed, err := run()
+	if err == nil {
+		t.Fatal("call against a fully crashed fleet succeeded")
+	}
+	// The lone replica burns attempt 0 without sleeping; attempt 1 sees an
+	// empty pool and backs off base + jitter, jitter in [0, base); the
+	// final attempt returns without sleeping. BackoffBase defaults to
+	// 200µs.
+	base := 200 * time.Microsecond
+	if elapsed < base || elapsed >= 2*base {
+		t.Errorf("outage backoff advanced %v, want within [%v, %v)", elapsed, base, 2*base)
+	}
+	elapsed2, _ := run()
+	if elapsed != elapsed2 {
+		t.Errorf("same seed, different backoff schedules: %v vs %v", elapsed, elapsed2)
+	}
+}
+
+// TestHealthIntervalElapsesOnVirtualClock converts the piggybacked
+// health-round test off the hand-rolled fake clock: a healed machine is
+// re-admitted only once the health interval has elapsed in virtual time,
+// no matter how much traffic flows before that.
+func TestHealthIntervalElapsesOnVirtualClock(t *testing.T) {
+	h, err := simtest.NewHarness(simtest.HarnessConfig{
+		Replicas:       2,
+		Seed:           12,
+		HealthInterval: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Apply(simtest.Fault{Kind: simtest.FaultCrash, Target: simtest.ReplicaName(2)})
+	for i := 0; i < 4; i++ {
+		if err := h.CallWork("op-crash", "key", 0); err != nil {
+			t.Fatalf("call with one healthy replica: %v", err)
+		}
+	}
+	if got := h.Pool.Healthy(); got != 1 {
+		t.Fatalf("healthy = %d after crash, want 1", got)
+	}
+	// The machine recovers, but the pool must not notice until its health
+	// interval elapses: traffic alone does not re-admit.
+	h.HealWire(simtest.ReplicaName(2))
+	if err := h.CallWork("op-early", "key", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Pool.Healthy(); got != 1 {
+		t.Fatalf("healthy = %d before interval, want 1", got)
+	}
+	h.Clock.Advance(2 * time.Minute)
+	if err := h.CallWork("op-late", "key", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Pool.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d after interval, want 2", got)
+	}
+	if v := h.CheckAll(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}
+
+// TestCongestedProbesMarkDownThenRecover: a delayer detaining every
+// datagram makes health probes miss, downing the fleet; removing it lets
+// the next health round reconnect and re-admit. All on virtual time.
+func TestCongestedProbesMarkDownThenRecover(t *testing.T) {
+	h, err := simtest.NewHarness(simtest.HarnessConfig{Replicas: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Pool.CheckNow()
+	if got := h.Pool.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d on a clean wire, want 2", got)
+	}
+	// 100% detention: pings leave but never arrive inside the probe.
+	h.Apply(simtest.Fault{Kind: simtest.FaultDelay, Seed: 9, Pct: 100, Dur: time.Second, N: 1})
+	h.Pool.CheckNow()
+	if got := h.Pool.Healthy(); got != 0 {
+		t.Fatalf("healthy = %d under full congestion, want 0", got)
+	}
+	// Congestion clears; the next round reconnects and re-admits.
+	h.Apply(simtest.Fault{Kind: simtest.FaultDelay, N: 0})
+	h.Pool.CheckNow()
+	if got := h.Pool.Healthy(); got != 2 {
+		t.Fatalf("healthy = %d after congestion cleared, want 2", got)
+	}
+	if got := h.Pool.Quarantined(); got != 0 {
+		t.Fatalf("quarantined = %d, want 0 (congestion is not tampering)", got)
+	}
+}
+
+// TestQuarantineSurvivesHealOnVirtualClock: tampering quarantines a
+// replica; healing the wire and forcing health rounds must never re-admit
+// it — quarantine is absorbing (checked here directly, and continuously by
+// the explorer's AbsorbChecker).
+func TestQuarantineSurvivesHealOnVirtualClock(t *testing.T) {
+	h, err := simtest.NewHarness(simtest.HarnessConfig{Replicas: 2, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Apply(simtest.Fault{Kind: simtest.FaultTamper, Target: simtest.ReplicaName(1)})
+	for i := 0; i < 4; i++ {
+		h.CallWork("op-t", "key", 0) // outcome depends on which replica serves; quarantine is the point
+		h.Pool.CheckNow()
+	}
+	if got := h.Pool.Quarantined(); got != 1 {
+		t.Fatalf("quarantined = %d under tampering, want 1", got)
+	}
+	h.Apply(simtest.Fault{Kind: simtest.FaultTamper}) // stop tampering
+	h.Apply(simtest.Fault{Kind: simtest.FaultHeal})   // heal + CheckNow
+	h.Clock.Advance(time.Hour)
+	h.Pool.CheckNow()
+	if got := h.Pool.Quarantined(); got != 1 {
+		t.Fatalf("quarantined = %d after heal, want 1 (absorbing)", got)
+	}
+	for _, r := range h.Pool.Replicas() {
+		if r.Name == simtest.ReplicaName(1) && r.State != cluster.StateQuarantined {
+			t.Errorf("replica %s state = %v, want quarantined", r.Name, r.State)
+		}
+	}
+	if v := h.CheckAll(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}

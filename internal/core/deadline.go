@@ -38,8 +38,9 @@ func effectiveDeadline(inherited time.Time, ctx context.Context) time.Time {
 // budgetErr reports whether the call must be refused before dispatch:
 // ErrCanceled when ctx is done, ErrDeadline when the budget is already
 // spent, nil otherwise. ctx may be nil (the internal spelling of "no
-// cancellation source" — see System.deliver).
-func budgetErr(ctx context.Context, deadline time.Time) error {
+// cancellation source" — see System.deliver). The deadline is judged
+// against the system clock, so a simulated clock controls expiry.
+func (s *System) budgetErr(ctx context.Context, deadline time.Time) error {
 	if ctx != nil && ctx.Done() != nil {
 		select {
 		case <-ctx.Done():
@@ -50,7 +51,7 @@ func budgetErr(ctx context.Context, deadline time.Time) error {
 		default:
 		}
 	}
-	if !deadline.IsZero() && !time.Now().Before(deadline) {
+	if !deadline.IsZero() && !s.now().Before(deadline) {
 		return ErrDeadline
 	}
 	return nil
@@ -102,9 +103,9 @@ func (s *System) invokeGuarded(ctx context.Context, n *node, env Envelope, compr
 	}()
 	var expire <-chan time.Time
 	if !env.Deadline.IsZero() {
-		t := time.NewTimer(time.Until(env.Deadline))
-		defer t.Stop()
-		expire = t.C
+		c, stop := s.clock.After(env.Deadline.Sub(s.now()))
+		defer stop()
+		expire = c
 	}
 	var canceled <-chan struct{}
 	if ctx != nil {

@@ -38,240 +38,6 @@ func (g *gateComp) Handle(env Envelope) (Message, error) {
 	return Message{Op: "ok"}, nil
 }
 
-// lagComp sleeps past its budget, then makes a downstream call and records
-// the error it got — the witness that an abandoned handler's residual
-// outbound calls inherit the expired deadline and fail fast.
-type lagComp struct {
-	name       string
-	lag        time.Duration
-	downstream string
-	ctx        *Ctx
-	gotErr     chan error
-}
-
-func (l *lagComp) CompName() string    { return l.name }
-func (l *lagComp) CompVersion() string { return "1.0" }
-func (l *lagComp) Init(ctx *Ctx) error { l.ctx = ctx; return nil }
-func (l *lagComp) Handle(env Envelope) (Message, error) {
-	time.Sleep(l.lag)
-	_, err := l.ctx.Call(l.downstream, Message{Op: "late"})
-	l.gotErr <- err
-	return Message{Op: "done"}, nil
-}
-
-// TestChannelsSorted is the regression test for the map-ordered Channels
-// bug: grants made in scrambled order must come back sorted.
-func TestChannelsSorted(t *testing.T) {
-	sys := newTestSystem(t)
-	a := &echoComp{name: "a"}
-	if err := sys.Launch(a, false, 1); err != nil {
-		t.Fatal(err)
-	}
-	names := []string{"zeta", "alpha", "mid", "beta", "omega", "gamma"}
-	for _, name := range names {
-		b := &echoComp{name: "to-" + name}
-		if err := sys.Launch(b, false, 1); err != nil {
-			t.Fatal(err)
-		}
-		if err := sys.Grant(ChannelSpec{Name: name, From: "a", To: "to-" + name}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := sys.InitAll(); err != nil {
-		t.Fatal(err)
-	}
-	want := []string{"alpha", "beta", "gamma", "mid", "omega", "zeta"}
-	for i := 0; i < 20; i++ {
-		got := a.ctx.Channels()
-		if len(got) != len(want) {
-			t.Fatalf("channels = %v", got)
-		}
-		for j := range want {
-			if got[j] != want[j] {
-				t.Fatalf("iteration %d: channels = %v, want %v", i, got, want)
-			}
-		}
-	}
-}
-
-// TestExpiredCallRefusedBeforeDispatch: a call whose budget is already
-// spent never reaches the handler.
-func TestExpiredCallRefusedBeforeDispatch(t *testing.T) {
-	sys := newTestSystem(t)
-	g := &gateComp{name: "g", gate: make(chan struct{})}
-	close(g.gate) // never block; it must not even get here
-	if err := sys.Launch(g, false, 1); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.InitAll(); err != nil {
-		t.Fatal(err)
-	}
-	_, err := sys.DeliverDeadline("g", Message{Op: "x"}, Span{}, time.Now().Add(-time.Millisecond))
-	if !errors.Is(err, ErrDeadline) {
-		t.Fatalf("expired deliver: got %v, want ErrDeadline", err)
-	}
-	if n := g.handled.Load(); n != 0 {
-		t.Errorf("handler ran %d times on an expired call", n)
-	}
-	if st := sys.Stats(); st.Timeouts != 1 {
-		t.Errorf("Timeouts = %d, want 1", st.Timeouts)
-	}
-}
-
-// TestWatchdogAbandonsHungHandler: a handler that outlives its budget is
-// abandoned — the caller gets ErrDeadline promptly, the handler keeps the
-// execution slot until it really finishes, and serialization holds.
-func TestWatchdogAbandonsHungHandler(t *testing.T) {
-	sys := newTestSystem(t)
-	g := &gateComp{name: "g", gate: make(chan struct{})}
-	if err := sys.Launch(g, false, 1); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.InitAll(); err != nil {
-		t.Fatal(err)
-	}
-	start := time.Now()
-	_, err := sys.DeliverDeadline("g", Message{Op: "hang"}, Span{}, time.Now().Add(20*time.Millisecond))
-	if !errors.Is(err, ErrDeadline) {
-		t.Fatalf("hung deliver: got %v, want ErrDeadline", err)
-	}
-	if wait := time.Since(start); wait > 2*time.Second {
-		t.Errorf("caller blocked %v past a 20ms budget", wait)
-	}
-	// The abandoned handler still occupies the slot: a fresh unbounded
-	// Deliver must wait for it, never run concurrently with it.
-	done := make(chan error, 1)
-	go func() {
-		_, err := sys.Deliver("g", Message{Op: "next"})
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		t.Fatalf("second deliver finished while abandoned handler held the slot: %v", err)
-	case <-time.After(50 * time.Millisecond):
-	}
-	close(g.gate) // release the abandoned handler (and every later one)
-	if err := <-done; err != nil {
-		t.Fatalf("deliver after release: %v", err)
-	}
-	if max := g.maxInside.Load(); max != 1 {
-		t.Errorf("max concurrent Handle = %d, want 1", max)
-	}
-	if st := sys.Stats(); st.Timeouts != 1 {
-		t.Errorf("Timeouts = %d, want 1", st.Timeouts)
-	}
-}
-
-// TestAbandonedHandlerResidualCallsFailFast: outbound calls an abandoned
-// handler makes after its budget expired are refused with ErrDeadline —
-// the budget bounds the whole transitive call tree, not just the first hop.
-func TestAbandonedHandlerResidualCallsFailFast(t *testing.T) {
-	sys := newTestSystem(t)
-	l := &lagComp{name: "lag", lag: 60 * time.Millisecond, downstream: "down", gotErr: make(chan error, 1)}
-	d := &gateComp{name: "down", gate: make(chan struct{})}
-	close(d.gate)
-	for _, c := range []Component{l, d} {
-		if err := sys.Launch(c, false, 1); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := sys.Grant(ChannelSpec{Name: "down", From: "lag", To: "down"}); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.InitAll(); err != nil {
-		t.Fatal(err)
-	}
-	_, err := sys.DeliverDeadline("lag", Message{Op: "x"}, Span{}, time.Now().Add(10*time.Millisecond))
-	if !errors.Is(err, ErrDeadline) {
-		t.Fatalf("deliver: got %v, want ErrDeadline", err)
-	}
-	select {
-	case residual := <-l.gotErr:
-		if !errors.Is(residual, ErrDeadline) {
-			t.Errorf("residual downstream call: got %v, want ErrDeadline", residual)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("abandoned handler never finished")
-	}
-	if n := d.handled.Load(); n != 0 {
-		t.Errorf("downstream handler ran %d times on an expired budget", n)
-	}
-}
-
-// TestDeadlineClearedAfterCompletion: a deadline-bearing call that finishes
-// in budget must not leave a stale deadline poisoning later unbounded work
-// on the same component.
-func TestDeadlineClearedAfterCompletion(t *testing.T) {
-	sys := newTestSystem(t)
-	l := &lagComp{name: "lag", lag: 0, downstream: "down", gotErr: make(chan error, 1)}
-	d := &gateComp{name: "down", gate: make(chan struct{})}
-	close(d.gate)
-	for _, c := range []Component{l, d} {
-		if err := sys.Launch(c, false, 1); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := sys.Grant(ChannelSpec{Name: "down", From: "lag", To: "down"}); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.InitAll(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := sys.DeliverDeadline("lag", Message{Op: "x"}, Span{}, time.Now().Add(time.Second)); err != nil {
-		t.Fatal(err)
-	}
-	<-l.gotErr
-	// Wait out the old budget, then drive the component directly with no
-	// deadline: its outbound call must not inherit the dead one.
-	time.Sleep(5 * time.Millisecond)
-	ctx, err := sys.CtxOf("lag")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := ctx.Call("down", Message{Op: "later"}); err != nil {
-		t.Errorf("unbounded call after completed deadline call: %v", err)
-	}
-}
-
-// TestCallCtxCancel: canceling the caller's context releases it with
-// ErrCanceled while the handler is still executing.
-func TestCallCtxCancel(t *testing.T) {
-	sys := newTestSystem(t)
-	g := &gateComp{name: "g", gate: make(chan struct{})}
-	if err := sys.Launch(g, false, 1); err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.InitAll(); err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() {
-		_, err := sys.DeliverCtx(ctx, "g", Message{Op: "hang"})
-		done <- err
-	}()
-	time.Sleep(10 * time.Millisecond)
-	cancel()
-	select {
-	case err := <-done:
-		if !errors.Is(err, ErrCanceled) {
-			t.Fatalf("canceled deliver: got %v, want ErrCanceled", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("cancellation did not release the caller")
-	}
-	close(g.gate)
-	if st := sys.Stats(); st.Cancels != 1 {
-		t.Errorf("Cancels = %d, want 1", st.Cancels)
-	}
-	// A pre-canceled context is refused before dispatch.
-	pre, cancel2 := context.WithCancel(context.Background())
-	cancel2()
-	if _, err := sys.DeliverCtx(pre, "g", Message{Op: "x"}); !errors.Is(err, ErrCanceled) {
-		t.Errorf("pre-canceled deliver: got %v, want ErrCanceled", err)
-	}
-}
-
 // TestCallCtxDeadlineTightensInherited: a ctx deadline on CallCtx bounds
 // the callee even when the calling handler has no budget of its own.
 func TestCallCtxDeadlineTightensInherited(t *testing.T) {

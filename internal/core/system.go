@@ -154,6 +154,11 @@ type System struct {
 	// executing handler); 0 disables the bound. Read lock-free on the
 	// invocation hot path.
 	admitLimit atomic.Int32
+
+	// clock is the time source for budget checks, the watchdog, and span
+	// timing. Defaults to the wall clock; SetClock swaps in a virtual one.
+	// Read lock-free on the hot path, so it must be set before traffic.
+	clock Clock
 }
 
 // DefaultAdmissionLimit is the per-component admission-queue bound a new
@@ -172,6 +177,7 @@ func NewSystem(sub Substrate) *System {
 		domains:  make(map[string]*domainState),
 		spanSeq:  base,
 		traceSeq: base,
+		clock:    realClock{},
 	}
 	s.admitLimit.Store(DefaultAdmissionLimit)
 	return s
@@ -384,10 +390,10 @@ func (s *System) deliver(ctx context.Context, target string, msg Message, parent
 	if tr == nil {
 		return s.dispatch(ctx, n, &env, compromised, obs, nil)
 	}
-	start := time.Now()
+	start := s.now()
 	tr.SpanStart(sp, info, start)
 	reply, err := s.dispatch(ctx, n, &env, compromised, obs, tr)
-	tr.SpanEnd(sp, info, start, time.Since(start), err)
+	tr.SpanEnd(sp, info, start, s.now().Sub(start), err)
 	return reply, err
 }
 
@@ -443,12 +449,12 @@ func (s *System) call(ctx context.Context, from *node, channelName string, msg M
 	}
 	var start time.Time
 	if tr != nil {
-		start = time.Now()
+		start = s.now()
 		tr.SpanStart(sp, info, start)
 	}
 	reply, err := s.dispatch(ctx, ch.to, &env, toCompromised, obs, tr)
 	if tr != nil {
-		tr.SpanEnd(sp, info, start, time.Since(start), err)
+		tr.SpanEnd(sp, info, start, s.now().Sub(start), err)
 	}
 	if fromCompromised && obs != nil && err == nil {
 		// ... and reads the reply.
@@ -480,7 +486,7 @@ func (s *System) dispatch(ctx context.Context, n *node, env *Envelope, compromis
 	// skips every budget check downstream.
 	guarded := !env.Deadline.IsZero() || (ctx != nil && ctx.Done() != nil)
 	if guarded {
-		if err := budgetErr(ctx, env.Deadline); err != nil {
+		if err := s.budgetErr(ctx, env.Deadline); err != nil {
 			s.noteBudgetErr(err)
 			return Message{}, fmt.Errorf("dispatch to %s: %w", n.comp.CompName(), err)
 		}
@@ -510,10 +516,10 @@ func (s *System) dispatch(ctx context.Context, n *node, env *Envelope, compromis
 	if tr == nil {
 		return s.invoke(ctx, n, env, guarded, compromised, obs)
 	}
-	start := time.Now()
+	start := s.now()
 	tr.SpanStart(sp, info, start)
 	reply, err := s.invoke(ctx, n, env, guarded, compromised, obs)
-	tr.SpanEnd(sp, info, start, time.Since(start), err)
+	tr.SpanEnd(sp, info, start, s.now().Sub(start), err)
 	return reply, err
 }
 
@@ -696,7 +702,7 @@ func (s *System) storeAsset(n *node, name string, secret []byte) error {
 	tr, sp, info, start := s.beginAssetSpan(n, SpanAssetStore, name, len(secret))
 	err := s.doStoreAsset(n, name, secret)
 	if tr != nil {
-		tr.SpanEnd(sp, info, start, time.Since(start), err)
+		tr.SpanEnd(sp, info, start, s.now().Sub(start), err)
 	}
 	return err
 }
@@ -735,7 +741,7 @@ func (s *System) loadAsset(n *node, name string) ([]byte, error) {
 	data, err := s.doLoadAsset(n, name)
 	if tr != nil {
 		info.Bytes = len(data)
-		tr.SpanEnd(sp, info, start, time.Since(start), err)
+		tr.SpanEnd(sp, info, start, s.now().Sub(start), err)
 	}
 	return data, err
 }

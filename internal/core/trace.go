@@ -160,7 +160,7 @@ func (s *System) beginAssetSpan(n *node, kind SpanKind, asset string, size int) 
 		Bytes:   size,
 	}
 	s.mu.Unlock()
-	start := time.Now()
+	start := s.now()
 	tr.SpanStart(sp, info, start)
 	return tr, sp, info, start
 }

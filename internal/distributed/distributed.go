@@ -199,6 +199,7 @@ type Exporter struct {
 	ep       *netsim.Endpoint
 	identity *cryptoutil.Signer
 	rand     *cryptoutil.PRNG
+	clock    func() time.Time
 
 	mu       sync.Mutex
 	sessions map[string]*securechan.Session // peer endpoint -> session
@@ -221,6 +222,11 @@ type ExportConfig struct {
 
 	// Rand seeds handshake randomness.
 	Rand *cryptoutil.PRNG
+
+	// Clock is the time source the wire budget is re-anchored against
+	// (default time.Now). Simulation harnesses inject a virtual clock so
+	// remote deadlines stay on the same timeline as the hosting system's.
+	Clock func() time.Time
 }
 
 // NewExporter validates the config and builds the exporter. Evidence for
@@ -233,12 +239,16 @@ func NewExporter(cfg ExportConfig) (*Exporter, error) {
 	if _, err := cfg.System.HandleOf(cfg.Component); err != nil {
 		return nil, err
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	return &Exporter{
 		sys:      cfg.System,
 		target:   cfg.Component,
 		ep:       cfg.Endpoint,
 		identity: cfg.Identity,
 		rand:     cfg.Rand,
+		clock:    cfg.Clock,
 		sessions: make(map[string]*securechan.Session),
 		pendings: make(map[string]*securechan.Pending),
 	}, nil
@@ -326,7 +336,7 @@ func (e *Exporter) handle(dg netsim.Datagram) error {
 			// server's own admission queue still bounds convoys.
 			var deadline time.Time
 			if req.Budget > 0 {
-				deadline = time.Now().Add(req.Budget)
+				deadline = e.clock().Add(req.Budget)
 			}
 			reply, herr = e.sys.DeliverDeadline(e.target, core.Message{Op: req.Op, Data: req.Data}, req.Span, deadline)
 		}
@@ -434,12 +444,19 @@ type StubConfig struct {
 	// to make progress (deliver + serve). The in-process tests wire it to
 	// the exporter's Serve; a real deployment has independent processes.
 	Pump func() error
+
+	// Clock is the time source remaining budgets are measured against
+	// (default time.Now). Simulation harnesses inject a virtual clock.
+	Clock func() time.Time
 }
 
 // NewStub validates the config.
 func NewStub(cfg StubConfig) (*Stub, error) {
 	if cfg.RemoteName == "" || cfg.Endpoint == nil || cfg.Rand == nil || cfg.VerifyServer == nil {
 		return nil, fmt.Errorf("distributed: stub config incomplete")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
 	}
 	return &Stub{name: cfg.RemoteName, cfg: cfg, pump: cfg.Pump}, nil
 }
@@ -557,7 +574,7 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	}
 	var budget time.Duration
 	if !env.Deadline.IsZero() {
-		budget = time.Until(env.Deadline)
+		budget = env.Deadline.Sub(s.cfg.Clock())
 		if budget <= 0 {
 			return core.Message{}, fmt.Errorf("stub %s: budget spent before transmit: %w", s.name, core.ErrDeadline)
 		}

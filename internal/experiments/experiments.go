@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's per-experiment index (E1–E20 plus the
+// per experiment in DESIGN.md's per-experiment index (E1–E21 plus the
 // ablations folded into their tables). Each returns a Table whose rows the
 // command-line harness prints and whose numbers the benchmark suite and
 // tests assert on.
@@ -121,6 +121,7 @@ func All() []Experiment {
 		{ID: "E18", Name: "automatic partitioning", Run: E18AutoPartition},
 		{ID: "E19", Name: "attested replica fleet (cluster)", Run: E19Cluster},
 		{ID: "E20", Name: "stall containment under deadlines", Run: E20Stall},
+		{ID: "E21", Name: "deterministic fleet simulation", Run: E21Simulation},
 	}
 }
 

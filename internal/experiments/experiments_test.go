@@ -508,3 +508,22 @@ func TestE20StallContainment(t *testing.T) {
 		t.Error("wedged round recorded no timeouts")
 	}
 }
+
+func TestE21Simulation(t *testing.T) {
+	tab, err := E21Simulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "PASS" {
+			t.Errorf("E21 %s: %v", r[0], r)
+		}
+	}
+	// The mixed-fault round must actually have injected faults.
+	if cell(t, tab, "mixed-fault schedule", 3) == "0" {
+		t.Error("mixed-fault round injected no faults")
+	}
+}

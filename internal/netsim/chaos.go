@@ -1,6 +1,17 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source the time-based chaos adversaries read.
+// It is consumer-defined (netsim never arms timers, it only stamps
+// datagrams), so both the wall clock and simtest's virtual clock satisfy
+// it structurally.
+type Clock interface {
+	Now() time.Time
+}
 
 // This file holds the fault-injection adversaries: unlike the classic
 // Dolev-Yao attackers in netsim.go (which target confidentiality and
@@ -22,11 +33,19 @@ type Delayer struct {
 	seen    int
 	held    []heldDatagram
 	delayed int64
+
+	// clock and holdFor select the time-based mode: a detained datagram is
+	// released once holdFor has elapsed on clock (instead of after hold
+	// further datagrams). With a virtual clock the detention pattern is a
+	// pure function of the seed and the advance schedule.
+	clock   Clock
+	holdFor time.Duration
 }
 
 type heldDatagram struct {
-	d       Datagram
-	release int // seen-count at which the datagram re-enters the wire
+	d         Datagram
+	release   int       // seen-count at which the datagram re-enters the wire
+	releaseAt time.Time // clock instant, in time-based mode
 }
 
 // NewDelayer builds a delayer that detains each datagram with probability
@@ -37,6 +56,17 @@ func NewDelayer(seed uint64, prob float64, hold int) *Delayer {
 		hold = 1
 	}
 	return &Delayer{prob: prob, hold: hold, state: seed}
+}
+
+// NewTimedDelayer builds a delayer whose detentions are time-based: each
+// detained datagram re-enters the wire on the first traffic after holdFor
+// has elapsed on clock. Driven by a simulated clock this makes congestion
+// a scheduled, replayable event rather than a traffic-count artifact.
+func NewTimedDelayer(seed uint64, prob float64, holdFor time.Duration, clock Clock) *Delayer {
+	if holdFor <= 0 {
+		holdFor = time.Millisecond
+	}
+	return &Delayer{prob: prob, hold: 1, state: seed, clock: clock, holdFor: holdFor}
 }
 
 var _ Adversary = (*Delayer)(nil)
@@ -58,16 +88,28 @@ func (dl *Delayer) Intercept(d Datagram) []Datagram {
 	dl.mu.Lock()
 	defer dl.mu.Unlock()
 	dl.seen++
+	var now time.Time
+	if dl.clock != nil {
+		now = dl.clock.Now()
+	}
 	var out []Datagram
 	if dl.rand() < dl.prob {
-		dl.held = append(dl.held, heldDatagram{d: d, release: dl.seen + dl.hold})
+		h := heldDatagram{d: d, release: dl.seen + dl.hold}
+		if dl.clock != nil {
+			h.releaseAt = now.Add(dl.holdFor)
+		}
+		dl.held = append(dl.held, h)
 		dl.delayed++
 	} else {
 		out = append(out, d)
 	}
 	rest := dl.held[:0]
 	for _, h := range dl.held {
-		if h.release <= dl.seen {
+		due := h.release <= dl.seen
+		if dl.clock != nil {
+			due = !h.releaseAt.After(now)
+		}
+		if due {
 			out = append(out, h.d)
 		} else {
 			rest = append(rest, h)
@@ -96,6 +138,56 @@ func (dl *Delayer) Delayed() int64 {
 	dl.mu.Lock()
 	defer dl.mu.Unlock()
 	return dl.delayed
+}
+
+// Chain composes adversaries in order: every datagram a link emits is fed
+// to the next link, so a partition, a delayer, and a tamperer can act on
+// the same wire simultaneously — the composition fault schedules need.
+// Links may be added while traffic flows (SetLinks replaces the list).
+type Chain struct {
+	mu    sync.Mutex
+	links []Adversary
+}
+
+// NewChain builds a chain over the given adversaries (nil links skipped).
+func NewChain(links ...Adversary) *Chain {
+	c := &Chain{}
+	c.SetLinks(links...)
+	return c
+}
+
+var _ Adversary = (*Chain)(nil)
+
+// SetLinks replaces the chain's adversaries.
+func (c *Chain) SetLinks(links ...Adversary) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.links = c.links[:0]
+	for _, l := range links {
+		if l != nil {
+			c.links = append(c.links, l)
+		}
+	}
+}
+
+// Intercept runs the datagram through every link in order.
+func (c *Chain) Intercept(d Datagram) []Datagram {
+	c.mu.Lock()
+	links := make([]Adversary, len(c.links))
+	copy(links, c.links)
+	c.mu.Unlock()
+	cur := []Datagram{d}
+	for _, l := range links {
+		var next []Datagram
+		for _, dg := range cur {
+			next = append(next, l.Intercept(dg)...)
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
 }
 
 // Partitioner silently drops traffic crossing configured cuts: whole

@@ -1,0 +1,183 @@
+package simtest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"lateral/internal/core"
+)
+
+// rng is a splitmix64 stream — the explorer's only randomness source, so
+// one seed is one exact operation sequence.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// ExploreConfig parameterizes one simulated run.
+type ExploreConfig struct {
+	// Seed fixes the deployment and the operation sequence.
+	Seed uint64
+
+	// Ops is how many operations the run executes (default 24).
+	Ops int
+
+	// Replicas sizes the fleet (default 3).
+	Replicas int
+
+	// Schedule is the scripted fault sequence (sorted by At; entries are
+	// applied once their At is reached). Nil runs fault-free.
+	Schedule []Schedule
+
+	// Buggy builds the harness with the deliberate serialization
+	// mutation, for the smoke test that proves checkers catch it.
+	Buggy bool
+}
+
+// Result is one run's outcome: the byte-exact event trace and every
+// invariant violation found.
+type Result struct {
+	Seed       uint64
+	Ops        int
+	Faults     int
+	Violations []Violation
+	Trace      []string
+}
+
+// TraceBytes returns the canonical trace rendering — the byte string the
+// replay determinism criterion compares.
+func (r *Result) TraceBytes() string { return strings.Join(r.Trace, "\n") + "\n" }
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Explore runs one seeded simulation: a fresh deployment, Ops random
+// operations interleaved with the scripted schedule, every invariant
+// checked after every step. Identical configs produce byte-identical
+// traces — the whole stack runs on the virtual clock and the operation
+// stream is a pure function of the seed.
+func Explore(cfg ExploreConfig) (*Result, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 24
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	sched := make([]Schedule, len(cfg.Schedule))
+	copy(sched, cfg.Schedule)
+	SortSchedule(sched)
+
+	h, err := NewHarness(HarnessConfig{Replicas: cfg.Replicas, Seed: cfg.Seed, Buggy: cfg.Buggy})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Seed: cfg.Seed, Ops: cfg.Ops}
+	r := &rng{state: cfg.Seed}
+	trace := func(format string, args ...any) {
+		line := fmt.Sprintf("t=%-8s %s", h.Clock.Elapsed(), fmt.Sprintf(format, args...))
+		res.Trace = append(res.Trace, line)
+	}
+	check := func(step string) {
+		if v := h.CheckAll(); len(v) > 0 && !res.Failed() {
+			for _, violation := range v {
+				trace("VIOLATION after %s: %s", step, violation)
+			}
+			res.Violations = v
+		}
+	}
+
+	trace("start seed=%d replicas=%d ops=%d faults=%d", cfg.Seed, cfg.Replicas, cfg.Ops, len(sched))
+	nextFault := 0
+	for i := 0; i < cfg.Ops; i++ {
+		// Apply every scheduled fault whose time has come.
+		for nextFault < len(sched) && sched[nextFault].At <= h.Clock.Elapsed() {
+			f := sched[nextFault].Fault
+			trace("fault %s target=%q peer=%q dur=%s n=%d", f.Kind, f.Target, f.Peer, f.Dur, f.N)
+			h.Apply(f)
+			res.Faults++
+			nextFault++
+		}
+
+		id := fmt.Sprintf("op-%04d", i)
+		key := fmt.Sprintf("key-%02d", r.intn(16))
+		switch r.intn(10) {
+		case 0, 1: // wedged handler under budget: watchdog must contain it
+			budget := time.Duration(1+r.intn(10)) * time.Millisecond
+			err := h.CallStall(id, key, budget)
+			trace("step=%d stall key=%s budget=%s -> %s", i, key, budget, outcome(err))
+		case 2: // unbounded call: the pre-backpressure fast path
+			err := h.CallWork(id, key, 0)
+			trace("step=%d call key=%s budget=none -> %s", i, key, outcome(err))
+		case 3: // idle time: health intervals and delayer holds elapse
+			d := time.Duration(1+r.intn(20)) * time.Millisecond
+			h.Clock.Advance(d)
+			trace("step=%d advance %s", i, d)
+		default: // budgeted call, the common case
+			budget := time.Duration(1+r.intn(20)) * time.Millisecond
+			err := h.CallWork(id, key, budget)
+			trace("step=%d call key=%s budget=%s -> %s", i, key, budget, outcome(err))
+		}
+		check(fmt.Sprintf("step %d", i))
+	}
+	// Fire any faults scheduled past the last op, then quiesce and do the
+	// final sweep so late schedule entries are still covered.
+	for nextFault < len(sched) {
+		f := sched[nextFault].Fault
+		trace("fault %s target=%q peer=%q dur=%s n=%d", f.Kind, f.Target, f.Peer, f.Dur, f.N)
+		h.Apply(f)
+		res.Faults++
+		nextFault++
+	}
+	h.Quiesce()
+	check("quiesce")
+	trace("end healthy=%d quarantined=%d", h.Pool.Healthy(), h.Pool.Quarantined())
+	return res, nil
+}
+
+// outcome maps an operation error to its stable trace label. Labels, not
+// error strings, go into the trace: they are the deterministic contract.
+func outcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, core.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, core.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, core.ErrOverloaded):
+		return "overloaded"
+	default:
+		return "failed"
+	}
+}
+
+// DefaultSchedule returns the mixed-fault script the soak and experiment
+// runs use when the caller does not bring one: a crash with heal, a
+// one-way partition with heal, congestion, tampering (which quarantines),
+// clock skew, and duplication — every fault kind, composed.
+func DefaultSchedule(replicas int) []Schedule {
+	if replicas < 2 {
+		replicas = 2
+	}
+	r1, r2 := ReplicaName(1), ReplicaName(2)
+	return []Schedule{
+		{At: 2 * time.Millisecond, Fault: Fault{Kind: FaultDup, Target: r1, N: 2}},
+		{At: 5 * time.Millisecond, Fault: Fault{Kind: FaultCrash, Target: r2}},
+		{At: 12 * time.Millisecond, Fault: Fault{Kind: FaultHeal, Target: r2}},
+		{At: 18 * time.Millisecond, Fault: Fault{Kind: FaultDelay, Seed: 7, Pct: 25, Dur: 3 * time.Millisecond, N: 1}},
+		{At: 30 * time.Millisecond, Fault: Fault{Kind: FaultDelay, N: 0}},
+		{At: 34 * time.Millisecond, Fault: Fault{Kind: FaultSkew, Dur: 250 * time.Millisecond}},
+		{At: 300 * time.Millisecond, Fault: Fault{Kind: FaultTamper, Target: r1}},
+		{At: 320 * time.Millisecond, Fault: Fault{Kind: FaultHeal, Target: r1}},
+		{At: 330 * time.Millisecond, Fault: Fault{Kind: FaultTamper}},
+	}
+}

@@ -1,0 +1,493 @@
+package simtest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lateral/internal/cluster"
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+	"lateral/internal/distributed"
+	"lateral/internal/netsim"
+	"lateral/internal/sgx"
+	"lateral/internal/telemetry"
+)
+
+// Harness is one simulated deployment: an attested replica fleet behind a
+// pool, every layer of it — core watchdogs, cluster backoff/health
+// timers, the distributed wire budget, and the chaos adversaries — driven
+// by one virtual clock. Faults are applied through the harness so the
+// explorer and scripted schedules share one implementation.
+type Harness struct {
+	Clock   *Clock
+	Net     *netsim.Network
+	Pool    *cluster.Pool
+	Metrics *telemetry.Metrics
+
+	// Invariant state.
+	Serial       *SerialChecker
+	Budget       *BudgetChecker
+	Absorb       *AbsorbChecker
+	Led          *Ledger
+	Conservation *ConservationChecker
+
+	chain       *netsim.Chain
+	partitioner *netsim.Partitioner
+	delayer     *netsim.Delayer
+	tamper      *linkTamperer
+	dup         *duplicator
+
+	svcs map[string]*simSvc
+	sys  map[string]*core.System
+
+	// Stall synchronization: gated handlers announce themselves on
+	// entered and block on gate until the driver releases them; they
+	// report completion on done. All three are sized so no handler can
+	// block the simulation by signaling.
+	entered chan string
+	gate    chan struct{}
+	done    chan string
+
+	// awaited holds the stall op ids a CallStall driver is currently
+	// managing. A stall frame that arrives when its id is not awaited — a
+	// delayed or duplicated datagram surfacing after its driver returned —
+	// acks immediately instead of gating a handler nobody will release.
+	stallMu sync.Mutex
+	awaited map[string]bool
+}
+
+// HarnessConfig sizes a simulated deployment.
+type HarnessConfig struct {
+	// Replicas is the fleet size (default 3).
+	Replicas int
+
+	// Seed names the deployment: substrate device seeds, handshake PRNGs,
+	// and backoff jitter all derive from it, so one seed is one exact
+	// deployment.
+	Seed uint64
+
+	// Balancer overrides the pool's balancer (default round-robin).
+	Balancer cluster.Balancer
+
+	// Buggy enables the deliberate serialization mutation in every
+	// replica's service component — the bug the mutation smoke test
+	// proves the checkers catch.
+	Buggy bool
+
+	// Skew offsets the virtual clock's start (FaultSkew arrives through
+	// schedules; this models a deployment born skewed).
+	Skew time.Duration
+
+	// HealthInterval enables the pool's piggybacked health rounds (0 keeps
+	// them off; the explorer heals via FaultHeal's explicit CheckNow). The
+	// interval elapses in virtual time — tests advance the clock to
+	// trigger it.
+	HealthInterval time.Duration
+}
+
+// ReplicaName returns the i-th (1-based) replica's endpoint name.
+func ReplicaName(i int) string { return fmt.Sprintf("svc-%d", i) }
+
+// NewHarness builds the simulated deployment: Replicas attested systems,
+// each hosting a front service component calling a backend store
+// component, exported over netsim to a pool whose every timer runs on the
+// harness clock.
+func NewHarness(cfg HarnessConfig) (*Harness, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	clk := NewClock(cfg.Skew)
+	h := &Harness{
+		Clock:   clk,
+		Net:     netsim.New(),
+		Metrics: telemetry.NewMetrics(),
+		Serial:  NewSerialChecker(),
+		Budget:  NewBudgetChecker(),
+		Led:     NewLedger(),
+		svcs:    make(map[string]*simSvc),
+		sys:     make(map[string]*core.System),
+		entered: make(chan string, 64),
+		gate:    make(chan struct{}, 64),
+		done:    make(chan string, 64),
+		awaited: make(map[string]bool),
+	}
+	h.partitioner = netsim.NewPartitioner()
+	h.tamper = &linkTamperer{}
+	h.dup = &duplicator{}
+	h.chain = netsim.NewChain(h.partitioner, h.tamper, h.dup)
+	h.Net.SetAdversary(h.chain)
+
+	vendor := cryptoutil.NewSigner("intel")
+	seedName := fmt.Sprintf("sim-%d", cfg.Seed)
+	pool, err := cluster.New(cluster.Config{
+		Fleet:          "svc",
+		RemoteName:     "svc",
+		VendorKey:      vendor.Public(),
+		Measurement:    cryptoutil.Hash(core.DomainImage(&simSvc{})),
+		JitterSeed:     seedName,
+		Balancer:       cfg.Balancer,
+		Monitor:        h.Metrics,
+		Sleep:          clk.Sleep,
+		Clock:          clk.Now,
+		HealthInterval: cfg.HealthInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.Pool = pool
+	h.Absorb = NewAbsorbChecker("quarantine", func() map[string]bool {
+		out := make(map[string]bool)
+		for _, r := range pool.Replicas() {
+			out[r.Name] = r.State == cluster.StateQuarantined
+		}
+		return out
+	})
+	h.Conservation = NewConservationChecker(h.Led, func() core.Stats {
+		var agg core.Stats
+		for _, s := range h.sys {
+			st := s.Stats()
+			agg.Invocations += st.Invocations
+			agg.Timeouts += st.Timeouts
+			agg.Cancels += st.Cancels
+			agg.Overloads += st.Overloads
+		}
+		return agg
+	})
+
+	for i := 1; i <= cfg.Replicas; i++ {
+		name := ReplicaName(i)
+		cpu, err := sgx.New(sgx.Config{DeviceSeed: seedName + "-" + name, Vendor: vendor})
+		if err != nil {
+			return nil, err
+		}
+		sys := core.NewSystem(cpu)
+		sys.SetClock(clk)
+		sys.SetTracer(h.Metrics)
+		svc := &simSvc{h: h, buggy: cfg.Buggy, guard: h.Serial.Guard(name + "/svc")}
+		store := &simStore{h: h, guard: h.Serial.Guard(name + "/store")}
+		if err := sys.Launch(svc, true, 1); err != nil {
+			return nil, err
+		}
+		if err := sys.Launch(store, true, 1); err != nil {
+			return nil, err
+		}
+		if err := sys.Grant(core.ChannelSpec{Name: "store", From: "svc", To: "store", Badge: 7}); err != nil {
+			return nil, err
+		}
+		if err := sys.InitAll(); err != nil {
+			return nil, err
+		}
+		exp, err := distributed.NewExporter(distributed.ExportConfig{
+			System:    sys,
+			Component: "svc",
+			Endpoint:  h.Net.Attach(name),
+			Identity:  cryptoutil.NewSigner(name + "-tls"),
+			Rand:      cryptoutil.NewPRNG(seedName + "-srv-" + name),
+			Clock:     clk.Now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := pool.Admit(cluster.ReplicaSpec{
+			Name:           name,
+			RemoteEndpoint: name,
+			Endpoint:       h.Net.Attach("lb-" + name),
+			Rand:           cryptoutil.NewPRNG(seedName + "-cli-" + name),
+			Pump:           exp.Serve,
+		}); err != nil {
+			return nil, err
+		}
+		h.svcs[name] = svc
+		h.sys[name] = sys
+	}
+	return h, nil
+}
+
+// Checkers returns every invariant checker in a stable order.
+func (h *Harness) Checkers() []Checker {
+	return []Checker{h.Serial, h.Budget, h.Absorb, h.Conservation}
+}
+
+// CheckAll runs every checker and returns the concatenated violations.
+func (h *Harness) CheckAll() []Violation {
+	var out []Violation
+	for _, c := range h.Checkers() {
+		out = append(out, c.Check()...)
+	}
+	return out
+}
+
+// Apply injects one fault. Faults compose: a partition, a delayer, a
+// tamperer, and a duplicator can all be active at once (netsim.Chain).
+func (h *Harness) Apply(f Fault) {
+	switch f.Kind {
+	case FaultCrash:
+		h.partitioner.Isolate(f.Target)
+	case FaultHeal:
+		if f.Target == "" {
+			h.partitioner.HealAll()
+		} else {
+			h.partitioner.Heal(f.Target)
+		}
+		// A healed machine is only useful once the pool re-admits it; a
+		// real deployment's health loop does this, the simulation does it
+		// synchronously.
+		h.Pool.CheckNow()
+	case FaultPartition:
+		h.partitioner.BlockLink(f.Target, f.Peer)
+	case FaultDelay:
+		if f.N == 0 {
+			h.delayer = nil
+		} else {
+			h.delayer = netsim.NewTimedDelayer(f.Seed, float64(f.Pct)/100, f.Dur, h.Clock)
+		}
+		h.rebuildChain()
+	case FaultTamper:
+		h.tamper.Set(f.Target)
+	case FaultSkew:
+		h.Clock.Advance(f.Dur)
+	case FaultDup:
+		h.dup.Arm(f.Target, f.N)
+	}
+}
+
+// HealWire lifts every partition cut involving target without forcing a
+// health round — unlike FaultHeal, the pool finds out only when its own
+// health timer elapses. Tests of health-interval behavior use this to
+// separate "the machine recovered" from "the pool noticed".
+func (h *Harness) HealWire(target string) {
+	if target == "" {
+		h.partitioner.HealAll()
+		return
+	}
+	h.partitioner.Heal(target)
+}
+
+// rebuildChain reinstalls the adversary chain after a slot changed.
+func (h *Harness) rebuildChain() {
+	links := []netsim.Adversary{h.partitioner}
+	if h.delayer != nil {
+		links = append(links, h.delayer)
+	}
+	links = append(links, h.tamper, h.dup)
+	h.chain.SetLinks(links...)
+}
+
+// ---- operations ------------------------------------------------------
+
+// CallWork drives one budgeted request through the pool and accounts it
+// in the ledger. id must be unique per operation (it keys the budget
+// checker's parent/child pairs).
+func (h *Harness) CallWork(id, key string, budget time.Duration) error {
+	h.Led.Start()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = h.Clock.Now().Add(budget)
+	}
+	var err error
+	if deadline.IsZero() {
+		_, err = h.Pool.Do(key, core.Message{Op: "work", Data: []byte(id)})
+	} else {
+		_, err = h.Pool.DoDeadline(key, core.Message{Op: "work", Data: []byte(id)}, deadline)
+	}
+	h.Led.Finish(err)
+	return err
+}
+
+// CallStall drives one budgeted request whose handler wedges: the request
+// is issued on its own goroutine, and as soon as a handler gates itself
+// the virtual clock is advanced past the deadline so the watchdog
+// abandons it. Abandoned handlers are then released and awaited, so the
+// harness is quiesced when CallStall returns. Returns the caller-visible
+// error (ErrDeadline when a handler gated).
+func (h *Harness) CallStall(id, key string, budget time.Duration) error {
+	h.Led.Start()
+	h.stallMu.Lock()
+	h.awaited[id] = true
+	h.stallMu.Unlock()
+	defer func() {
+		h.stallMu.Lock()
+		delete(h.awaited, id)
+		h.stallMu.Unlock()
+	}()
+	deadline := h.Clock.Now().Add(budget)
+	res := make(chan error, 1)
+	go func() {
+		_, err := h.Pool.DoDeadline(key, core.Message{Op: "stall", Data: []byte(id)}, deadline)
+		h.Led.Finish(err)
+		res <- err
+	}()
+	gated := 0
+	var err error
+	for {
+		select {
+		case <-h.entered:
+			gated++
+			// The handler holds its execution slot; the watchdog's expiry
+			// timer is armed by the delivering goroutine. Wait for it,
+			// then advance past the deadline to abandon the handler.
+			h.Clock.WaitTimers(1)
+			h.Clock.AdvanceTo(deadline.Add(time.Millisecond))
+			continue
+		case err = <-res:
+		}
+		break
+	}
+	for i := 0; i < gated; i++ {
+		h.gate <- struct{}{}
+	}
+	for i := 0; i < gated; i++ {
+		<-h.done
+	}
+	return err
+}
+
+// Quiesce verifies no operation is in flight (stall ops self-quiesce, so
+// this is a cheap assertion point before checking invariants).
+func (h *Harness) Quiesce() {
+	// All harness operations are synchronous by construction; nothing to
+	// wait for. The method exists so future asynchronous op types have a
+	// single place to drain.
+}
+
+// ---- components ------------------------------------------------------
+
+// simSvc is the front service: it records the budget it runs under,
+// calls the backend store (so every operation exercises a two-level call
+// tree), and can wedge on demand. With Buggy set it models an
+// async-completion bug: the critical section of each invocation is closed
+// only after the NEXT invocation has begun — the serialization mutation
+// the smoke test expects the checkers to catch.
+type simSvc struct {
+	h     *Harness
+	ctx   *core.Ctx
+	guard *SerialGuard
+	buggy bool
+	carry bool // buggy mode: an Enter from the previous invocation is still open
+}
+
+func (s *simSvc) CompName() string    { return "svc" }
+func (s *simSvc) CompVersion() string { return "1.0" }
+
+func (s *simSvc) Init(ctx *core.Ctx) error {
+	s.ctx = ctx
+	return nil
+}
+
+func (s *simSvc) Handle(env core.Envelope) (core.Message, error) {
+	s.guard.Enter()
+	if s.buggy {
+		if s.carry {
+			// Close the previous invocation's critical section only now —
+			// after this invocation already entered it.
+			s.guard.Exit()
+		}
+		s.carry = true
+	} else {
+		defer s.guard.Exit()
+	}
+	return s.serve(env)
+}
+
+func (s *simSvc) serve(env core.Envelope) (core.Message, error) {
+	id := string(env.Msg.Data)
+	switch env.Msg.Op {
+	case "work":
+		s.h.Budget.RecordParent(id, env.Deadline)
+		return s.ctx.Call("store", core.Message{Op: "get", Data: env.Msg.Data})
+	case "stall":
+		s.h.stallMu.Lock()
+		live := s.h.awaited[id]
+		s.h.stallMu.Unlock()
+		if !live {
+			// A delayed or duplicated stall frame surfacing after its
+			// driver returned (a 500-seed soak found this as a deadlock):
+			// nobody will release the gate, so ack immediately.
+			return core.Message{Op: "ack"}, nil
+		}
+		s.h.entered <- id
+		<-s.h.gate
+		s.h.done <- id
+		return core.Message{Op: "ack"}, nil
+	default:
+		return core.Message{}, core.ErrRefused
+	}
+}
+
+// simStore is the backend: it records the budget that arrived, proving
+// inheritance down the call tree.
+type simStore struct {
+	h     *Harness
+	guard *SerialGuard
+}
+
+func (s *simStore) CompName() string     { return "store" }
+func (s *simStore) CompVersion() string  { return "1.0" }
+func (s *simStore) Init(*core.Ctx) error { return nil }
+
+func (s *simStore) Handle(env core.Envelope) (core.Message, error) {
+	s.guard.Enter()
+	defer s.guard.Exit()
+	if env.Msg.Op != "get" {
+		return core.Message{}, core.ErrRefused
+	}
+	s.h.Budget.RecordChild(string(env.Msg.Data), env.Deadline)
+	return core.Message{Op: "ok", Data: env.Msg.Data}, nil
+}
+
+// ---- targeted adversaries -------------------------------------------
+
+// linkTamperer flips one bit in every payload the configured endpoint
+// sends (empty target = off). Unlike the stock netsim.Tamperer it targets
+// a single sender, so a schedule can corrupt exactly one replica's
+// traffic and watch attestation quarantine it.
+type linkTamperer struct {
+	mu   sync.Mutex
+	from string
+}
+
+func (t *linkTamperer) Set(from string) {
+	t.mu.Lock()
+	t.from = from
+	t.mu.Unlock()
+}
+
+func (t *linkTamperer) Intercept(d netsim.Datagram) []netsim.Datagram {
+	t.mu.Lock()
+	from := t.from
+	t.mu.Unlock()
+	if from == "" || d.From != from || len(d.Payload) == 0 {
+		return []netsim.Datagram{d}
+	}
+	p := make([]byte, len(d.Payload))
+	copy(p, d.Payload)
+	p[len(p)-1] ^= 0x01
+	d.Payload = p
+	return []netsim.Datagram{d}
+}
+
+// duplicator re-sends the next N datagrams the configured endpoint emits
+// — at-least-once delivery misbehavior the secure channel's replay
+// protection must absorb.
+type duplicator struct {
+	mu   sync.Mutex
+	from string
+	n    int
+}
+
+func (u *duplicator) Arm(from string, n int) {
+	u.mu.Lock()
+	u.from, u.n = from, n
+	u.mu.Unlock()
+}
+
+func (u *duplicator) Intercept(d netsim.Datagram) []netsim.Datagram {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.n <= 0 || u.from == "" || d.From != u.from {
+		return []netsim.Datagram{d}
+	}
+	u.n--
+	return []netsim.Datagram{d, d}
+}

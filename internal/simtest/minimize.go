@@ -1,0 +1,62 @@
+package simtest
+
+import "fmt"
+
+// Minimize shrinks a failing configuration: it greedily drops schedule
+// entries and halves the operation count, keeping each reduction only if
+// the run still violates an invariant. Because runs are deterministic,
+// "still fails" is an exact re-execution, not a probabilistic retry — the
+// ddmin property simulation testing buys for free.
+//
+// It returns the smallest failing config found and its result. The input
+// config must already fail; if it does not, Minimize returns an error.
+func Minimize(cfg ExploreConfig) (ExploreConfig, *Result, error) {
+	res, err := Explore(cfg)
+	if err != nil {
+		return cfg, nil, err
+	}
+	if !res.Failed() {
+		return cfg, res, fmt.Errorf("simtest: Minimize needs a failing config (seed %d passed)", cfg.Seed)
+	}
+
+	// Phase 1: drop schedule entries one at a time, rescanning after each
+	// successful removal until a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cfg.Schedule); i++ {
+			trial := cfg
+			trial.Schedule = make([]Schedule, 0, len(cfg.Schedule)-1)
+			trial.Schedule = append(trial.Schedule, cfg.Schedule[:i]...)
+			trial.Schedule = append(trial.Schedule, cfg.Schedule[i+1:]...)
+			r, err := Explore(trial)
+			if err != nil {
+				return cfg, res, err
+			}
+			if r.Failed() {
+				cfg, res = trial, r
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Phase 2: shrink the operation count by binary search — the smallest
+	// Ops that still fails.
+	lo, hi := 1, cfg.Ops
+	for lo < hi {
+		mid := (lo + hi) / 2
+		trial := cfg
+		trial.Ops = mid
+		r, err := Explore(trial)
+		if err != nil {
+			return cfg, res, err
+		}
+		if r.Failed() {
+			hi = mid
+			cfg, res = trial, r
+		} else {
+			lo = mid + 1
+		}
+	}
+	return cfg, res, nil
+}

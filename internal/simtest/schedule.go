@@ -1,0 +1,296 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FaultKind enumerates the faults a schedule can inject.
+type FaultKind uint8
+
+const (
+	// FaultCrash isolates a replica's machine endpoint: nothing in,
+	// nothing out (netsim.Partitioner.Isolate).
+	FaultCrash FaultKind = iota
+
+	// FaultHeal removes every cut involving the target (Partitioner.Heal);
+	// an empty target heals all cuts.
+	FaultHeal
+
+	// FaultPartition cuts the directed link Target→Peer only; the reverse
+	// direction keeps working (the in-flight-reply failure mode).
+	FaultPartition
+
+	// FaultDelay enables a seeded time-based Delayer: each datagram is
+	// detained with probability Pct% and re-enters the wire after Dur of
+	// virtual time. N=0 disables an active delayer.
+	FaultDelay
+
+	// FaultTamper flips a bit in every payload the target endpoint sends,
+	// modeling an on-path integrity attack against one replica. An empty
+	// target disables tampering.
+	FaultTamper
+
+	// FaultSkew jumps the virtual clock forward by Dur — the sudden-NTP-step
+	// event that expires every in-flight budget at once.
+	FaultSkew
+
+	// FaultDup duplicates the next N datagrams the target endpoint sends
+	// (at-least-once delivery misbehavior the secure channel must absorb).
+	FaultDup
+)
+
+// String returns the kind's schedule-text verb.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultHeal:
+		return "heal"
+	case FaultPartition:
+		return "partition"
+	case FaultDelay:
+		return "delay"
+	case FaultTamper:
+		return "tamper"
+	case FaultSkew:
+		return "skew"
+	case FaultDup:
+		return "dup"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one injectable event. Which fields matter depends on Kind; the
+// codec below is the authoritative field-per-kind map.
+type Fault struct {
+	Kind   FaultKind
+	Target string        // endpoint (crash/heal/tamper/dup) or link tail (partition)
+	Peer   string        // link head (partition)
+	Dur    time.Duration // skew jump, or delay detention time
+	N      int           // dup count, or delay on/off (0 disables)
+	Seed   uint64        // delay PRNG seed
+	Pct    int           // delay detention probability, percent
+}
+
+// Schedule places one fault at a virtual-time offset from simulation
+// start. The explorer applies every schedule entry whose At has been
+// reached before executing the next operation.
+type Schedule struct {
+	At    time.Duration
+	Fault Fault
+}
+
+// Codec limits: schedules are adversarial inputs (fuzzed, loaded from
+// files), so the decoder bounds everything it allocates or loops on.
+const (
+	maxScheduleLines = 4096
+	maxScheduleAt    = 24 * time.Hour
+	maxScheduleN     = 1 << 20
+	maxScheduleName  = 128
+)
+
+// EncodeSchedule renders a schedule in its line-oriented text form:
+//
+//	@150ms crash svc-2
+//	@200ms heal svc-2
+//	@10ms partition lb-svc-1 svc-1
+//	@5ms delay 7 25 2ms 1
+//	@1ms tamper svc-3
+//	@2ms skew 250ms
+//	@0s dup svc-1 2
+//
+// Decode(Encode(s)) is the identity for any schedule Validate accepts.
+func EncodeSchedule(sched []Schedule) string {
+	var b strings.Builder
+	for _, s := range sched {
+		f := s.Fault
+		fmt.Fprintf(&b, "@%s %s", s.At, f.Kind)
+		switch f.Kind {
+		case FaultCrash:
+			fmt.Fprintf(&b, " %s", f.Target)
+		case FaultHeal, FaultTamper:
+			if f.Target != "" {
+				fmt.Fprintf(&b, " %s", f.Target)
+			}
+		case FaultPartition:
+			fmt.Fprintf(&b, " %s %s", f.Target, f.Peer)
+		case FaultDelay:
+			fmt.Fprintf(&b, " %d %d %s %d", f.Seed, f.Pct, f.Dur, f.N)
+		case FaultSkew:
+			fmt.Fprintf(&b, " %s", f.Dur)
+		case FaultDup:
+			fmt.Fprintf(&b, " %s %d", f.Target, f.N)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DecodeSchedule parses the text form. Blank lines and #-comments are
+// skipped. Every numeric and duration field is bounds-checked, so the
+// decoder is safe on adversarial input (FuzzScheduleDecode's property).
+func DecodeSchedule(text string) ([]Schedule, error) {
+	var out []Schedule
+	lines := strings.Split(text, "\n")
+	if len(lines) > maxScheduleLines {
+		return nil, fmt.Errorf("simtest: schedule too long (%d lines > %d)", len(lines), maxScheduleLines)
+	}
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "@") {
+			return nil, fmt.Errorf("simtest: line %d: want '@<offset> <fault> ...'", ln+1)
+		}
+		at, err := parseDur(strings.TrimPrefix(fields[0], "@"), maxScheduleAt)
+		if err != nil {
+			return nil, fmt.Errorf("simtest: line %d: offset: %v", ln+1, err)
+		}
+		f := Fault{}
+		args := fields[2:]
+		switch fields[1] {
+		case "crash":
+			f.Kind = FaultCrash
+			if len(args) != 1 {
+				return nil, fmt.Errorf("simtest: line %d: crash wants 1 arg", ln+1)
+			}
+			if f.Target, err = parseName(args[0]); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+		case "heal", "tamper":
+			// Both take an optional target: bare heal lifts every cut,
+			// bare tamper turns tampering off.
+			if fields[1] == "heal" {
+				f.Kind = FaultHeal
+			} else {
+				f.Kind = FaultTamper
+			}
+			switch len(args) {
+			case 0:
+			case 1:
+				if f.Target, err = parseName(args[0]); err != nil {
+					return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+				}
+			default:
+				return nil, fmt.Errorf("simtest: line %d: %s wants 0 or 1 args", ln+1, fields[1])
+			}
+		case "partition":
+			f.Kind = FaultPartition
+			if len(args) != 2 {
+				return nil, fmt.Errorf("simtest: line %d: partition wants 2 args", ln+1)
+			}
+			if f.Target, err = parseName(args[0]); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+			if f.Peer, err = parseName(args[1]); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+		case "delay":
+			f.Kind = FaultDelay
+			if len(args) != 4 {
+				return nil, fmt.Errorf("simtest: line %d: delay wants 'seed pct dur n'", ln+1)
+			}
+			seed, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("simtest: line %d: seed: %v", ln+1, err)
+			}
+			f.Seed = seed
+			if f.Pct, err = parseInt(args[1], 100); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: pct: %v", ln+1, err)
+			}
+			if f.Dur, err = parseDur(args[2], maxScheduleAt); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: dur: %v", ln+1, err)
+			}
+			if f.N, err = parseInt(args[3], maxScheduleN); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: n: %v", ln+1, err)
+			}
+		case "skew":
+			f.Kind = FaultSkew
+			if len(args) != 1 {
+				return nil, fmt.Errorf("simtest: line %d: skew wants 1 arg", ln+1)
+			}
+			if f.Dur, err = parseDur(args[0], maxScheduleAt); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+		case "dup":
+			f.Kind = FaultDup
+			if len(args) != 2 {
+				return nil, fmt.Errorf("simtest: line %d: dup wants 2 args", ln+1)
+			}
+			if f.Target, err = parseName(args[0]); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+			if f.N, err = parseInt(args[1], maxScheduleN); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+		default:
+			return nil, fmt.Errorf("simtest: line %d: unknown fault %q", ln+1, fields[1])
+		}
+		out = append(out, Schedule{At: at, Fault: f})
+	}
+	return out, nil
+}
+
+// Validate checks a schedule built in code against the same bounds the
+// decoder enforces, so Encode/Decode roundtrips exactly.
+func Validate(sched []Schedule) error {
+	if len(sched) > maxScheduleLines {
+		return fmt.Errorf("simtest: schedule too long")
+	}
+	enc := EncodeSchedule(sched)
+	dec, err := DecodeSchedule(enc)
+	if err != nil {
+		return err
+	}
+	if EncodeSchedule(dec) != enc {
+		return fmt.Errorf("simtest: schedule does not roundtrip")
+	}
+	return nil
+}
+
+// SortSchedule orders entries by At (stable, so same-instant faults keep
+// their script order). The explorer requires sorted schedules.
+func SortSchedule(sched []Schedule) {
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+}
+
+func parseDur(s string, max time.Duration) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 || d > max {
+		return 0, fmt.Errorf("duration %s out of range [0, %s]", d, max)
+	}
+	return d, nil
+}
+
+func parseInt(s string, max int) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > max {
+		return 0, fmt.Errorf("count %d out of range [0, %d]", n, max)
+	}
+	return n, nil
+}
+
+func parseName(s string) (string, error) {
+	if len(s) > maxScheduleName {
+		return "", fmt.Errorf("name too long (%d > %d)", len(s), maxScheduleName)
+	}
+	for _, r := range s {
+		if r == '#' || r == '@' || r <= ' ' || r > '~' {
+			return "", fmt.Errorf("name %q has invalid characters", s)
+		}
+	}
+	return s, nil
+}
