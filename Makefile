@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench experiments fuzz cluster-soak stall-soak sim-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -52,6 +52,16 @@ experiments:
 # mechanism micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bench rot (compile errors,
+# panics, a broken fixture) in CI without paying full measurement time.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x -benchmem -run '^$$' ./...
+
+# Regenerate the checked-in E22 pipelining baseline (BENCH_e22.json).
+# Wire rounds and allocs/op are machine-independent; ops/sec is not.
+bench-baseline:
+	$(GO) run ./cmd/lateralbench -e22-json BENCH_e22.json
 
 # Short fuzzing pass over every parser that consumes attacker bytes.
 fuzz:

@@ -5,9 +5,12 @@
 //	go run ./cmd/lateralbench            # run everything
 //	go run ./cmd/lateralbench E1 E7      # run selected experiments
 //	go run ./cmd/lateralbench -list      # list experiment IDs
+//	go run ./cmd/lateralbench -e22-json BENCH_e22.json  # rewrite the
+//	                                     # pipelining trajectory baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,11 +21,44 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	e22JSON := flag.String("e22-json", "", "write the E22 pipelining baseline to this file and exit")
 	flag.Parse()
+	if *e22JSON != "" {
+		if err := writeE22Baseline(*e22JSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*list, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// writeE22Baseline regenerates the checked-in BENCH_e22.json: the wire
+// economics (rounds, calls/round) are deterministic and comparable across
+// machines; ops/sec is wall-clock and only comparable run-over-run on one
+// machine.
+func writeE22Baseline(path string) error {
+	depths, err := experiments.E22Baseline()
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string                 `json:"experiment"`
+		RTTMillis  int                    `json:"simulated_rtt_ms"`
+		Depths     []experiments.E22Depth `json:"depths"`
+	}{Experiment: "E22 pipelined secure-channel RPC", RTTMillis: 1, Depths: depths}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func run(list bool, args []string) error {

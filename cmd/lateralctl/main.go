@@ -263,10 +263,11 @@ func run(args []string) error {
 		}
 		fmt.Printf("%d/%d readings accepted; fleet processed %d (makespan %.2f ms of modeled enclave time)\n\n",
 			accepted, meters*rounds, demo.ProcessedTotal(), float64(demo.MakespanNs())/1e6)
-		fmt.Printf("%-8s %-12s %7s %6s %8s %10s\n", "replica", "state", "calls", "errs", "retries", "failovers")
+		fmt.Printf("%-8s %-12s %-16s %7s %6s %8s %10s %8s\n",
+			"replica", "state", "wire", "calls", "errs", "retries", "failovers", "orphans")
 		for _, ri := range demo.Pool.Replicas() {
-			fmt.Printf("%-8s %-12s %7d %6d %8d %10d\n",
-				ri.Name, ri.State, ri.Calls, ri.Errors, ri.Retries, ri.Failovers)
+			fmt.Printf("%-8s %-12s %-16s %7d %6d %8d %10d %8d\n",
+				ri.Name, ri.State, ri.Version, ri.Calls, ri.Errors, ri.Retries, ri.Failovers, ri.Stub.Orphans)
 		}
 		fmt.Println()
 		met.WriteSummary(os.Stdout)

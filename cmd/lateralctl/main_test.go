@@ -67,6 +67,15 @@ func TestMetricsSummaryGolden(t *testing.T) {
 	m.ReplicaCall("svc", "svc-2", true)
 	m.ReplicaFailover("svc", "svc-2")
 
+	// Stub pipelining for the stub table: three calls ramping to depth 3,
+	// all drained, plus one orphaned reply.
+	for depth := 1; depth <= 3; depth++ {
+		m.StubInflight("store", 1)
+		m.StubCall("store", depth)
+	}
+	m.StubInflight("store", -3)
+	m.StubOrphan("store")
+
 	var buf bytes.Buffer
 	m.WriteSummary(&buf)
 

@@ -12,6 +12,7 @@ package lateral
 import (
 	"bytes"
 	"crypto/ed25519"
+	"encoding/binary"
 	"testing"
 	"time"
 
@@ -122,9 +123,10 @@ func FuzzSessionOpen(f *testing.F) {
 // FuzzDistributedFrame covers the call-frame decoder behind the attested
 // channel: the plaintext the exporter parses after a record opens. The
 // invariant is no panic, and whatever decodes must re-encode to bytes that
-// decode to the same (span, budget, op, data) tuple. Seeds mix frame
+// decode to the same (span, budget, corr, op, data) tuple. Seeds mix frame
 // versions: pre-budget frames (flags 0 / frameTraced only), budget-bearing
-// frames, truncated budgets, and unknown future flag bits.
+// frames, correlation-tagged v3 frames, truncated fields, and unknown
+// future flag bits.
 func FuzzDistributedFrame(f *testing.F) {
 	untraced := distributed.EncodeRequest(core.Span{}, 0, "put", []byte("doc"))
 	traced := distributed.EncodeRequest(core.Span{Trace: 7, ID: 9}, 0, "get", nil)
@@ -153,6 +155,30 @@ func FuzzDistributedFrame(f *testing.F) {
 	flipped[len(flipped)-1] ^= 0x01 // the linkTamperer mutation
 	f.Add(flipped)
 	f.Add(append([]byte{0xff}, both[1:]...)) // all flag bits set
+	// Wire-v3 shapes: correlation-tagged requests. A zero ID is a real ID
+	// (HasCorr distinguishes it from a v2 frame); the truncation seeds cut
+	// inside the correlation field and at the span/budget/corr boundaries.
+	corr := distributed.AppendRequest(nil, distributed.Request{
+		Corr: 0x1122334455667788, HasCorr: true, Op: "put", Data: []byte("doc")})
+	vFull := distributed.AppendRequest(nil, distributed.Request{
+		Span: core.Span{Trace: 7, ID: 9}, Budget: time.Second,
+		Corr: ^uint64(0), HasCorr: true, Op: "get"})
+	zeroCorr := distributed.AppendRequest(nil, distributed.Request{HasCorr: true, Op: "get"})
+	f.Add(corr)
+	f.Add(vFull)
+	f.Add(zeroCorr)
+	f.Add(corr[:5])                                   // cut mid-correlation-id
+	f.Add(vFull[:17])                                 // span ok, budget+corr gone
+	f.Add(vFull[:25])                                 // span+budget ok, corr gone
+	f.Add(append(append([]byte{}, corr...), corr...)) // duplicated v3 datagram
+	// Reply-frame shapes fed to the request decoder: the 8-byte correlation
+	// prefix of a pipelined reply lands where flags belong, including an ID
+	// no caller is parked on — decoders must reject, never panic.
+	reply := append(binary.BigEndian.AppendUint64(nil, 0x1122334455667788), 0)
+	orphanReply := append(binary.BigEndian.AppendUint64(nil, ^uint64(0)), 0)
+	f.Add(append(append([]byte{}, reply...), []byte("ok")...))
+	f.Add(append(append([]byte{}, orphanReply...), []byte("doc")...))
+	f.Add(reply[:3]) // shorter than any reply prefix
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := distributed.DecodeRequest(data)
 		if err != nil {
@@ -161,12 +187,13 @@ func FuzzDistributedFrame(f *testing.F) {
 		if req.Budget < 0 {
 			t.Fatalf("negative budget %v decoded", req.Budget)
 		}
-		again := distributed.EncodeRequest(req.Span, req.Budget, req.Op, req.Data)
+		again := distributed.AppendRequest(nil, req)
 		req2, err := distributed.DecodeRequest(again)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if req2.Span != req.Span || req2.Budget != req.Budget ||
+			req2.Corr != req.Corr || req2.HasCorr != req.HasCorr ||
 			req2.Op != req.Op || !bytes.Equal(req2.Data, req.Data) {
 			t.Fatalf("round trip unstable: %+v vs %+v", req, req2)
 		}

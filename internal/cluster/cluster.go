@@ -98,8 +98,10 @@ type Replica struct {
 	name string
 	stub *distributed.Stub
 
-	// mu serializes use of the stub (one request/reply in flight per
-	// replica, like node.handleMu serializes a component).
+	// mu serializes connection management (Connect/Ping health probes) so
+	// health rounds never race each other on one replica. Calls do NOT
+	// take it: the stub pipelines, so any number of requests may be in
+	// flight per replica at once.
 	mu sync.Mutex
 
 	// state is guarded by the owning pool's mutex.
@@ -127,6 +129,16 @@ type ReplicaInfo struct {
 	Errors    int64
 	Retries   int64
 	Failovers int64
+
+	// Version is the replica stub's component version string, which names
+	// the wire frame version it speaks — `lateralctl cluster` surfaces it
+	// so a mixed-version rollout is visible at a glance.
+	Version string
+
+	// Stub is the stub's pipelining counter snapshot (correlation-ID
+	// bookkeeping: issued/completed/failed/orphaned calls and pipeline
+	// depth).
+	Stub distributed.StubStats
 }
 
 // Config configures a Pool.
@@ -170,6 +182,12 @@ type Config struct {
 	// PingTimeout fails a health probe that took longer than this
 	// (0 = only probe errors fail).
 	PingTimeout time.Duration
+
+	// HealthFanout bounds how many replicas one health round probes
+	// concurrently (default 4). 1 restores a fully sequential round —
+	// deterministic simulations pin it there so probe traffic stays
+	// replayable.
+	HealthFanout int
 
 	// Sleep and Clock are test seams (defaults time.Sleep / time.Now).
 	Sleep func(time.Duration)
@@ -241,6 +259,9 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.Monitor == nil {
 		cfg.Monitor = nopMonitor{}
 	}
+	if cfg.HealthFanout <= 0 {
+		cfg.HealthFanout = 4
+	}
 	p := &Pool{
 		cfg:    cfg,
 		byName: make(map[string]*Replica),
@@ -274,6 +295,9 @@ func (p *Pool) Admit(spec ReplicaSpec) error {
 	if spec.Name == "" || spec.Endpoint == nil || spec.Rand == nil {
 		return fmt.Errorf("cluster: replica spec needs Name, Endpoint, Rand")
 	}
+	// The fleet monitor doubles as the stub pipelining monitor when it
+	// implements that interface too (telemetry.Metrics does, structurally).
+	stubMon, _ := p.cfg.Monitor.(distributed.Monitor)
 	stub, err := distributed.NewStub(distributed.StubConfig{
 		RemoteName:     p.cfg.RemoteName,
 		RemoteEndpoint: spec.RemoteEndpoint,
@@ -282,6 +306,7 @@ func (p *Pool) Admit(spec ReplicaSpec) error {
 		VerifyServer:   p.verifier(),
 		Pump:           spec.Pump,
 		Clock:          p.cfg.Clock,
+		Monitor:        stubMon,
 	})
 	if err != nil {
 		return err
@@ -446,19 +471,17 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 }
 
 // callReplica runs one request/reply against one replica, maintaining the
-// inflight gauge and call counters. The gauge is raised BEFORE taking the
-// replica's stub lock: the lock serializes calls per replica, so callers
-// queued on it are exactly the load LeastInflight needs to see — counting
-// only the one holder would pin the gauge at 0/1 and blind the balancer to
-// queueing depth. The deadline rides on the envelope; the stub turns it
-// into the wire budget (and refuses to transmit if it expired while the
-// call was queued on the replica lock).
+// inflight gauge and call counters. Calls pipeline: the stub multiplexes
+// any number of concurrent requests over the replica's one attested
+// session (correlation IDs match the replies), so nothing serializes here
+// and the inflight gauge reports true concurrent depth — exactly the load
+// LeastInflight balances on. The deadline rides on the envelope; the stub
+// turns it into the wire budget (and refuses to transmit if it expired
+// before dispatch).
 func (p *Pool) callReplica(r *Replica, msg core.Message, deadline time.Time) (core.Message, error) {
 	r.inflight.Add(1)
 	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, 1)
-	r.mu.Lock()
 	reply, err := r.stub.Handle(core.Envelope{Msg: msg, Deadline: deadline})
-	r.mu.Unlock()
 	r.inflight.Add(-1)
 	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, -1)
 	r.calls.Add(1)
@@ -506,36 +529,88 @@ func (p *Pool) maybeCheck() {
 // only if both succeed. A down replica that comes back with the wrong
 // measurement (restarted as a tampered build) is quarantined for good.
 // Quarantined replicas are never touched.
+//
+// Probes run concurrently (bounded by HealthFanout): a fleet where one
+// replica's probe stalls for PingTimeout must not stretch the round by
+// N×timeout. Each probe touches only its own replica's endpoint and
+// session, so probes commute; the resulting state transitions are applied
+// sequentially in admission order afterwards, keeping rounds deterministic
+// for a given set of probe outcomes.
 func (p *Pool) CheckNow() {
 	p.mu.Lock()
 	replicas := make([]*Replica, len(p.replicas))
 	copy(replicas, p.replicas)
+	states := make([]State, len(replicas))
+	for i, r := range replicas {
+		states[i] = r.state
+	}
 	p.mu.Unlock()
-	for _, r := range replicas {
-		p.mu.Lock()
-		state := r.state
-		p.mu.Unlock()
-		switch state {
-		case StateQuarantined:
-			continue
+
+	type verdict struct {
+		probed bool
+		err    error
+		slow   bool
+	}
+	verdicts := make([]verdict, len(replicas))
+	probe := func(i int) {
+		r := replicas[i]
+		switch states[i] {
 		case StateHealthy:
 			r.mu.Lock()
 			start := p.cfg.Clock()
 			err := r.stub.Ping()
 			elapsed := p.cfg.Clock().Sub(start)
 			r.mu.Unlock()
-			if err != nil || (p.cfg.PingTimeout > 0 && elapsed > p.cfg.PingTimeout) {
-				p.setState(r, StateDown)
-				r.stub.Close()
+			verdicts[i] = verdict{
+				probed: true,
+				err:    err,
+				slow:   p.cfg.PingTimeout > 0 && elapsed > p.cfg.PingTimeout,
 			}
 		case StateDown:
 			r.mu.Lock()
 			err := r.stub.Connect()
 			r.mu.Unlock()
+			verdicts[i] = verdict{probed: true, err: err}
+		}
+	}
+	if p.cfg.HealthFanout == 1 || len(replicas) == 1 {
+		for i := range replicas {
+			probe(i)
+		}
+	} else {
+		sem := make(chan struct{}, p.cfg.HealthFanout)
+		var wg sync.WaitGroup
+		for i := range replicas {
+			if states[i] == StateQuarantined {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				probe(i)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	for i, r := range replicas {
+		v := verdicts[i]
+		if !v.probed {
+			continue
+		}
+		switch states[i] {
+		case StateHealthy:
+			if v.err != nil || v.slow {
+				p.setState(r, StateDown)
+				r.stub.Close()
+			}
+		case StateDown:
 			switch {
-			case err == nil:
+			case v.err == nil:
 				p.setState(r, StateHealthy)
-			case errors.Is(err, ErrAttestation):
+			case errors.Is(v.err, ErrAttestation):
 				p.setState(r, StateQuarantined)
 				// else: still down; next round tries again.
 			}
@@ -558,6 +633,8 @@ func (p *Pool) Replicas() []ReplicaInfo {
 			Errors:    r.errors.Load(),
 			Retries:   r.retries.Load(),
 			Failovers: r.failovers.Load(),
+			Version:   r.stub.CompVersion(),
+			Stub:      r.stub.Stats(),
 		})
 	}
 	return out

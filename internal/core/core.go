@@ -81,9 +81,14 @@ type Message struct {
 
 // Clone returns a deep copy so that senders and receivers never alias.
 func (m Message) Clone() Message {
+	return Message{Op: m.Op, Data: m.CloneData()}
+}
+
+// CloneData returns a deep copy of just the payload bytes.
+func (m Message) CloneData() []byte {
 	d := make([]byte, len(m.Data))
 	copy(d, m.Data)
-	return Message{Op: m.Op, Data: d}
+	return d
 }
 
 // Envelope is a delivered message together with the sender identity the

@@ -346,12 +346,30 @@ func (s *System) DeliverCtx(ctx context.Context, target string, msg Message) (Me
 	return s.deliver(ctx, target, msg, Span{}, deadline)
 }
 
+// DeliverShared is DeliverDeadline without the defensive message clone: the
+// envelope borrows msg.Data for the duration of the call. The caller must
+// keep the backing buffer untouched until the call returns, and the target
+// component must not retain Data beyond its Handle invocation (replies that
+// alias the request data are fine — the caller consumes the reply before
+// reusing the buffer). The distributed exporter uses it so a decrypted
+// request can be dispatched straight from a pooled record buffer.
+func (s *System) DeliverShared(target string, msg Message, parent Span, deadline time.Time) (Message, error) {
+	return s.deliverEnv(nil, target, msg, parent, deadline)
+}
+
 // deliver is the single entry point behind every Deliver variant. A nil
 // ctx is the internal spelling of "no cancellation source": entry points
 // without a context pass nil so the steady path never pays the
 // context.Context interface calls (Done, Deadline) that even a Background
 // context would cost on every hop.
 func (s *System) deliver(ctx context.Context, target string, msg Message, parent Span, deadline time.Time) (Message, error) {
+	return s.deliverEnv(ctx, target, Message{Op: msg.Op, Data: msg.CloneData()}, parent, deadline)
+}
+
+// deliverEnv is deliver after the ownership decision: msg is placed in the
+// envelope as-is. deliver clones; DeliverShared passes the caller's buffer
+// through under the borrow contract documented there.
+func (s *System) deliverEnv(ctx context.Context, target string, msg Message, parent Span, deadline time.Time) (Message, error) {
 	s.mu.Lock()
 	n, ok := s.nodes[target]
 	if !ok {
@@ -386,7 +404,7 @@ func (s *System) deliver(ctx context.Context, target string, msg Message, parent
 		}
 	}
 	s.mu.Unlock()
-	env := Envelope{Msg: msg.Clone(), Span: sp, Deadline: deadline}
+	env := Envelope{Msg: msg, Span: sp, Deadline: deadline}
 	if tr == nil {
 		return s.dispatch(ctx, n, &env, compromised, obs, nil)
 	}

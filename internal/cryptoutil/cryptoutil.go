@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Common errors.
@@ -41,13 +42,51 @@ func HashString(s string) [32]byte {
 	return Hash([]byte(s))
 }
 
+// hmacBlockSize is the SHA-256 block size RFC 2104 pads keys to.
+const hmacBlockSize = 64
+
+// hmacPool recycles the scratch block the one-shot HMAC assembles its
+// padded input in, so steady-state MAC and HKDF calls allocate nothing
+// beyond their outputs. The secure channel ratchets its record keys every
+// RatchetInterval records; with crypto/hmac's per-call hash-state
+// allocations that ratchet dominated the remote-call hot path's
+// allocation profile.
+var hmacPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// mac computes HMAC-SHA-256 over the concatenation of the parts using
+// one-shot digests on a pooled scratch buffer. The parts slice stays on
+// the caller's stack; nothing here escapes.
+func mac(key []byte, parts ...[]byte) [32]byte {
+	var kb [hmacBlockSize]byte
+	if len(key) > hmacBlockSize {
+		d := Hash(key)
+		copy(kb[:], d[:])
+	} else {
+		copy(kb[:], key)
+	}
+	bp := hmacPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for i := 0; i < hmacBlockSize; i++ {
+		buf = append(buf, kb[i]^0x36)
+	}
+	for _, p := range parts {
+		buf = append(buf, p...)
+	}
+	inner := sha256.Sum256(buf)
+	buf = buf[:0]
+	for i := 0; i < hmacBlockSize; i++ {
+		buf = append(buf, kb[i]^0x5c)
+	}
+	buf = append(buf, inner[:]...)
+	out := sha256.Sum256(buf)
+	*bp = buf
+	hmacPool.Put(bp)
+	return out
+}
+
 // MAC returns HMAC-SHA-256 of msg under key.
 func MAC(key, msg []byte) [32]byte {
-	m := hmac.New(sha256.New, key)
-	m.Write(msg)
-	var out [32]byte
-	copy(out[:], m.Sum(nil))
-	return out
+	return mac(key, msg)
 }
 
 // VerifyMAC reports whether mac is a valid HMAC-SHA-256 of msg under key,
@@ -57,24 +96,23 @@ func VerifyMAC(key, msg []byte, mac [32]byte) bool {
 	return hmac.Equal(want[:], mac[:])
 }
 
+// zeroSalt is the all-zero default salt RFC 5869 prescribes.
+var zeroSalt [sha256.Size]byte
+
 // HKDF derives n bytes from secret, salt, and info using the extract-and-
-// expand construction of RFC 5869 over HMAC-SHA-256.
+// expand construction of RFC 5869 over HMAC-SHA-256. The only allocation
+// is the returned key material.
 func HKDF(secret, salt, info []byte, n int) []byte {
 	if salt == nil {
-		salt = make([]byte, sha256.Size)
+		salt = zeroSalt[:]
 	}
-	prk := MAC(salt, secret)
-	var (
-		out  []byte
-		prev []byte
-	)
+	prk := mac(salt, secret)
+	out := make([]byte, 0, (n+sha256.Size-1)/sha256.Size*sha256.Size)
+	var prev []byte
 	for counter := byte(1); len(out) < n; counter++ {
-		m := hmac.New(sha256.New, prk[:])
-		m.Write(prev)
-		m.Write(info)
-		m.Write([]byte{counter})
-		prev = m.Sum(nil)
-		out = append(out, prev...)
+		t := mac(prk[:], prev, info, []byte{counter})
+		out = append(out, t[:]...)
+		prev = out[len(out)-sha256.Size:]
 	}
 	return out[:n]
 }
@@ -123,6 +161,36 @@ func newGCM(key []byte) (cipher.AEAD, error) {
 		return nil, err
 	}
 	return cipher.NewGCM(block)
+}
+
+// NewAEAD returns the AES-256-GCM AEAD for key. Callers that seal or open
+// many records under one key (securechan caches one per direction per
+// ratchet epoch) amortize the cipher key schedule instead of paying it per
+// record the way Seal/Open do.
+func NewAEAD(key []byte) (cipher.AEAD, error) { return newGCM(key) }
+
+// SealTo is Seal with a caller-cached AEAD and a caller-supplied
+// destination: nonce||ciphertext is appended to dst (allocation-free when
+// dst has spare capacity) and the extended slice returned. nonce must be
+// NonceSize bytes; it is passed as a slice so a caller-owned buffer can be
+// reused without escaping to the heap.
+func SealTo(dst []byte, aead cipher.AEAD, nonce, plaintext, ad []byte) []byte {
+	dst = append(dst, nonce...)
+	return aead.Seal(dst, nonce, plaintext, ad)
+}
+
+// OpenTo is Open with a caller-cached AEAD and a caller-supplied
+// destination: the plaintext is appended to dst and the extended slice
+// returned.
+func OpenTo(dst []byte, aead cipher.AEAD, sealed, ad []byte) ([]byte, error) {
+	if len(sealed) < NonceSize {
+		return nil, fmt.Errorf("open: ciphertext too short: %w", ErrAuth)
+	}
+	pt, err := aead.Open(dst, sealed[:NonceSize], sealed[NonceSize:], ad)
+	if err != nil {
+		return nil, fmt.Errorf("open: %w", ErrAuth)
+	}
+	return pt, nil
 }
 
 // DeriveNonce deterministically derives an AEAD nonce from a key-scoped

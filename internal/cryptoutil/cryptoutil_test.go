@@ -2,6 +2,8 @@ package cryptoutil
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -241,6 +243,61 @@ func TestQuickBitFlipDetected(t *testing.T) {
 			if _, err := Open(key, mod, nil); err == nil {
 				t.Fatalf("bit flip at byte %d bit %d not detected", i, bit)
 			}
+		}
+	}
+}
+
+// TestMACMatchesStdlib pins the pooled one-shot HMAC construction to
+// crypto/hmac across key lengths (short, block-size, beyond-block — the
+// last exercising the RFC 2104 key-hashing rule) and message sizes.
+func TestMACMatchesStdlib(t *testing.T) {
+	prng := NewPRNG("hmac-vectors")
+	for _, keyLen := range []int{0, 1, 31, 32, 63, 64, 65, 200} {
+		for _, msgLen := range []int{0, 1, 33, 64, 1000} {
+			key := prng.Bytes(keyLen)
+			msg := prng.Bytes(msgLen)
+			got := MAC(key, msg)
+			ref := hmac.New(sha256.New, key)
+			ref.Write(msg)
+			if !hmac.Equal(got[:], ref.Sum(nil)) {
+				t.Errorf("MAC(keyLen=%d, msgLen=%d) diverges from crypto/hmac", keyLen, msgLen)
+			}
+		}
+	}
+}
+
+// TestHKDFMatchesReference pins HKDF to a direct crypto/hmac RFC 5869
+// implementation, including multi-block expansion and the nil-salt
+// default.
+func TestHKDFMatchesReference(t *testing.T) {
+	ref := func(secret, salt, info []byte, n int) []byte {
+		if salt == nil {
+			salt = make([]byte, sha256.Size)
+		}
+		ext := hmac.New(sha256.New, salt)
+		ext.Write(secret)
+		prk := ext.Sum(nil)
+		var out, prev []byte
+		for counter := byte(1); len(out) < n; counter++ {
+			m := hmac.New(sha256.New, prk)
+			m.Write(prev)
+			m.Write(info)
+			m.Write([]byte{counter})
+			prev = m.Sum(nil)
+			out = append(out, prev...)
+		}
+		return out[:n]
+	}
+	prng := NewPRNG("hkdf-vectors")
+	for _, n := range []int{1, 16, 32, 33, 64, 100} {
+		secret := prng.Bytes(32)
+		salt := prng.Bytes(16)
+		info := prng.Bytes(10)
+		if got, want := HKDF(secret, salt, info, n), ref(secret, salt, info, n); !bytes.Equal(got, want) {
+			t.Errorf("HKDF(n=%d) diverges from reference", n)
+		}
+		if got, want := HKDF(secret, nil, info, n), ref(secret, nil, info, n); !bytes.Equal(got, want) {
+			t.Errorf("HKDF(n=%d, nil salt) diverges from reference", n)
 		}
 	}
 }

@@ -15,6 +15,13 @@
 // the expected code measurement of the remote component and the vendor key
 // of its substrate's trust anchor; connection setup fails closed when the
 // remote evidence does not match.
+//
+// Calls are pipelined: a Stub supports many concurrent in-flight
+// invocations over one attested session. Each request carries an 8-byte
+// correlation ID (wire frame v3) that the exporter echoes on the reply, so
+// replies may return in any order and a single receive loop matches each
+// one to the caller parked on it. See DESIGN.md "Wire format v3 and
+// pipelining" for the demux state machine.
 package distributed
 
 import (
@@ -22,7 +29,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lateral/internal/core"
@@ -43,16 +52,84 @@ var (
 	ErrTransport = errors.New("distributed: transport failure")
 )
 
-// encodeCall serializes (op, data); decodeCall parses it.
+// WireVersion is the request-frame version this package emits. Version 3
+// added the frameCorr correlation field; v2 frames (no correlation) still
+// decode, so a pre-pipelining peer interoperates per request.
+const WireVersion = 3
+
+// bufPool recycles the working buffers of the record hot path — request
+// frames, sealed records, and opened plaintexts — so a steady-state call
+// allocates nothing on either side of the wire. Buffers that grew beyond
+// maxPooledBuf are dropped rather than pinned in the pool.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const maxPooledBuf = 1 << 16
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// putBuf returns a buffer to the pool. b, when non-nil, is the (possibly
+// reallocated) slice that grew out of *p; its backing array is the one
+// worth keeping.
+func putBuf(p *[]byte, b []byte) {
+	if b != nil {
+		*p = b[:0]
+	} else {
+		*p = (*p)[:0]
+	}
+	if cap(*p) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(p)
+}
+
+// interner canonicalizes op strings decoded off the wire so the hot path
+// does not allocate a fresh string per request. The map is capped: an
+// adversary minting unbounded distinct ops degrades to per-call allocation,
+// never unbounded memory.
+type interner struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+const maxInternedOps = 256
+
+func (i *interner) intern(b []byte) string {
+	i.mu.Lock()
+	s, ok := i.m[string(b)] // compiler-recognized no-alloc lookup
+	if !ok {
+		s = string(b)
+		if i.m == nil {
+			i.m = make(map[string]string)
+		}
+		if len(i.m) < maxInternedOps {
+			i.m[s] = s
+		}
+	}
+	i.mu.Unlock()
+	return s
+}
+
+// appendCall serializes (op, data) onto dst; decodeCall parses it.
+func appendCall(dst []byte, op string, data []byte) []byte {
+	dst = append(dst, byte(len(op)>>8), byte(len(op)))
+	dst = append(dst, op...)
+	return append(dst, data...)
+}
+
 func encodeCall(op string, data []byte) []byte {
-	out := make([]byte, 0, 2+len(op)+len(data))
-	out = append(out, byte(len(op)>>8), byte(len(op)))
-	out = append(out, op...)
-	out = append(out, data...)
-	return out
+	return appendCall(make([]byte, 0, 2+len(op)+len(data)), op, data)
 }
 
 func decodeCall(b []byte) (string, []byte, error) {
+	return decodeCallInto(b, nil)
+}
+
+// decodeCallInto is decodeCall with an optional interner for the op
+// string. The returned data slice aliases b.
+func decodeCallInto(b []byte, ops *interner) (string, []byte, error) {
 	if len(b) < 2 {
 		return "", nil, fmt.Errorf("short call frame: %w", ErrTransport)
 	}
@@ -60,7 +137,13 @@ func decodeCall(b []byte) (string, []byte, error) {
 	if len(b) < 2+n {
 		return "", nil, fmt.Errorf("truncated op: %w", ErrTransport)
 	}
-	return string(b[2 : 2+n]), b[2+n:], nil
+	var op string
+	if ops != nil {
+		op = ops.intern(b[2 : 2+n])
+	} else {
+		op = string(b[2 : 2+n])
+	}
+	return op, b[2+n:], nil
 }
 
 // PingOp is the reserved liveness-probe operation. The Exporter answers
@@ -73,10 +156,10 @@ const PingOp = "\x00ping"
 // PongOp is the reply operation to a PingOp probe.
 const PongOp = "\x00pong"
 
-// Request frames wrap encodeCall with a flags byte. The flags byte is the
-// frame version: each bit gates one optional field, fields appear in bit
-// order, and unknown bits are rejected (a frame from a future version is
-// an error, never a misparse). Current fields:
+// Request frames wrap the call payload with a flags byte. The flags byte is
+// the frame version: each bit gates one optional field, fields appear in
+// bit order, and unknown bits are rejected (a frame from a future version
+// is an error, never a misparse). Current fields:
 //
 //   - frameTraced: 16 bytes of telemetry span context (trace ID, span ID,
 //     both big-endian) so a trace crossing the wire reassembles into one
@@ -87,15 +170,20 @@ const PongOp = "\x00pong"
 //     deadline is left, the receiver re-anchors it against its own clock.
 //     A relative duration crosses machines safely; absolute deadlines
 //     would need synchronized clocks.
+//   - frameCorr (v3): 8 bytes of caller-chosen correlation ID. The
+//     exporter echoes it as the reply frame's prefix, which is what lets
+//     replies complete out of order under pipelining. A request without
+//     the field gets an unprefixed reply, so a v2 peer talking to a v3
+//     exporter round-trips unchanged.
 //
-// A pre-budget peer emits frames without frameBudget and they decode fine
-// (budget 0 = unbounded) — the format is backward compatible by
-// construction.
+// A pre-budget or pre-correlation peer emits frames without those bits and
+// they decode fine — the format is backward compatible by construction.
 const (
 	frameTraced = 1 << 0
 	frameBudget = 1 << 1
+	frameCorr   = 1 << 2
 
-	frameKnown = frameTraced | frameBudget
+	frameKnown = frameTraced | frameBudget | frameCorr
 )
 
 // Request is one decoded invocation frame.
@@ -108,55 +196,77 @@ type Request struct {
 	// (time.Now().Add(Budget)) and enforces it server-side.
 	Budget time.Duration
 
+	// Corr is the caller-chosen correlation ID echoed on the reply;
+	// HasCorr distinguishes a real ID (which may be any value, zero
+	// included) from a v2 frame without the field.
+	Corr    uint64
+	HasCorr bool
+
 	// Op and Data are the invocation payload.
 	Op   string
 	Data []byte
 }
 
-// EncodeRequest builds one request frame. Exported for the repo-root fuzz
-// harness and for tooling that needs to speak the wire format; production
-// callers go through Stub/Exporter. A zero span and a non-positive budget
-// each elide their field entirely, so pre-budget decoders keep working
-// until a budget actually crosses the wire.
+// EncodeRequest builds one v2 request frame (no correlation ID). Exported
+// for the repo-root fuzz harness and for tooling that needs to speak the
+// wire format; production callers go through Stub/Exporter, which use
+// AppendRequest. A zero span and a non-positive budget each elide their
+// field entirely, so pre-budget decoders keep working until a budget
+// actually crosses the wire.
 func EncodeRequest(sp core.Span, budget time.Duration, op string, data []byte) []byte {
-	call := encodeCall(op, data)
-	var flags byte
-	n := 1
-	if sp != (core.Span{}) {
-		flags |= frameTraced
-		n += 16
-	}
-	if budget > 0 {
-		flags |= frameBudget
-		n += 8
-	}
-	out := make([]byte, 0, n+len(call))
-	out = append(out, flags)
-	if flags&frameTraced != 0 {
-		out = binary.BigEndian.AppendUint64(out, sp.Trace)
-		out = binary.BigEndian.AppendUint64(out, sp.ID)
-	}
-	if flags&frameBudget != 0 {
-		out = binary.BigEndian.AppendUint64(out, uint64(budget))
-	}
-	return append(out, call...)
+	return AppendRequest(nil, Request{Span: sp, Budget: budget, Op: op, Data: data})
 }
 
-// DecodeRequest parses one request frame (see EncodeRequest). Frames with
-// unknown flag bits, truncated span contexts, or truncated budgets are
-// rejected with ErrTransport.
+// AppendRequest appends one request frame to dst (allocation-free when dst
+// has spare capacity) and returns the extended slice. Fields are emitted
+// in flag-bit order; see the frame documentation above.
+func AppendRequest(dst []byte, req Request) []byte {
+	var flags byte
+	if req.Span != (core.Span{}) {
+		flags |= frameTraced
+	}
+	if req.Budget > 0 {
+		flags |= frameBudget
+	}
+	if req.HasCorr {
+		flags |= frameCorr
+	}
+	dst = append(dst, flags)
+	if flags&frameTraced != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, req.Span.Trace)
+		dst = binary.BigEndian.AppendUint64(dst, req.Span.ID)
+	}
+	if flags&frameBudget != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(req.Budget))
+	}
+	if flags&frameCorr != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, req.Corr)
+	}
+	return appendCall(dst, req.Op, req.Data)
+}
+
+// DecodeRequest parses one request frame (see AppendRequest). Frames with
+// unknown flag bits, truncated span contexts, budgets, or correlation IDs
+// are rejected with ErrTransport.
 func DecodeRequest(b []byte) (Request, error) {
+	var req Request
+	err := decodeRequestInto(b, &req, nil)
+	return req, err
+}
+
+// decodeRequestInto is DecodeRequest into caller storage with an optional
+// op interner. req.Data aliases b.
+func decodeRequestInto(b []byte, req *Request, ops *interner) error {
 	if len(b) < 1 {
-		return Request{}, fmt.Errorf("empty request frame: %w", ErrTransport)
+		return fmt.Errorf("empty request frame: %w", ErrTransport)
 	}
 	flags, b := b[0], b[1:]
 	if flags&^byte(frameKnown) != 0 {
-		return Request{}, fmt.Errorf("unknown frame version %#x: %w", flags, ErrTransport)
+		return fmt.Errorf("unknown frame version %#x: %w", flags, ErrTransport)
 	}
-	var req Request
 	if flags&frameTraced != 0 {
 		if len(b) < 16 {
-			return Request{}, fmt.Errorf("truncated span context: %w", ErrTransport)
+			return fmt.Errorf("truncated span context: %w", ErrTransport)
 		}
 		req.Span.Trace = binary.BigEndian.Uint64(b)
 		req.Span.ID = binary.BigEndian.Uint64(b[8:])
@@ -164,33 +274,84 @@ func DecodeRequest(b []byte) (Request, error) {
 	}
 	if flags&frameBudget != 0 {
 		if len(b) < 8 {
-			return Request{}, fmt.Errorf("truncated budget: %w", ErrTransport)
+			return fmt.Errorf("truncated budget: %w", ErrTransport)
 		}
 		ns := binary.BigEndian.Uint64(b)
 		if ns > uint64(1<<62) {
-			return Request{}, fmt.Errorf("budget overflow %d: %w", ns, ErrTransport)
+			return fmt.Errorf("budget overflow %d: %w", ns, ErrTransport)
 		}
 		req.Budget = time.Duration(ns)
 		b = b[8:]
 	}
-	var err error
-	req.Op, req.Data, err = decodeCall(b)
-	if err != nil {
-		return Request{}, err
+	if flags&frameCorr != 0 {
+		if len(b) < 8 {
+			return fmt.Errorf("truncated correlation id: %w", ErrTransport)
+		}
+		req.Corr = binary.BigEndian.Uint64(b)
+		req.HasCorr = true
+		b = b[8:]
 	}
-	return req, nil
+	var err error
+	req.Op, req.Data, err = decodeCallInto(b, ops)
+	return err
 }
 
-// reply frames: status byte + payload (op or error text). Deadline and
-// overload failures get their own status codes so errors.Is(err,
-// core.ErrDeadline) / core.ErrOverloaded keep working across the wire —
-// the cluster layer routes on exactly that distinction.
+// reply frames: when the request carried a correlation ID the reply is
+// prefixed with the same 8 bytes; then a status byte + payload (op or
+// error text). Deadline and overload failures get their own status codes
+// so errors.Is(err, core.ErrDeadline) / core.ErrOverloaded keep working
+// across the wire — the cluster layer routes on exactly that distinction.
 const (
 	statusOK       = 0
 	statusErr      = 1
 	statusDeadline = 2
 	statusOverload = 3
 )
+
+// Monitor receives stub pipelining telemetry. telemetry.Metrics implements
+// it structurally (the same pattern as cluster.Monitor); a nil Monitor is
+// silently replaced by a no-op.
+type Monitor interface {
+	// StubCall records one call at issue time together with the pipeline
+	// depth observed then (in-flight calls, this one included).
+	StubCall(stub string, depth int)
+	// StubInflight tracks the in-flight gauge (+1 at issue, -1 at
+	// completion).
+	StubInflight(stub string, delta int)
+	// StubOrphan records a reply whose correlation ID matched no parked
+	// caller — a duplicate, an unknown ID, or a reply that arrived after
+	// its caller unwound on a deadline.
+	StubOrphan(stub string)
+}
+
+type nopStubMonitor struct{}
+
+func (nopStubMonitor) StubCall(string, int)     {}
+func (nopStubMonitor) StubInflight(string, int) {}
+func (nopStubMonitor) StubOrphan(string)        {}
+
+// StubStats is a snapshot of one stub's pipelining counters. Every issued
+// call resolves exactly once: Issued == Completed + Failed once the stub is
+// quiescent, and Inflight is the difference while it is not. The
+// simulation harness checks exactly that invariant after every step.
+type StubStats struct {
+	// Issued counts calls that registered for a reply (refusals before
+	// transmit — spent budget, not connected — are not issued).
+	Issued uint64
+	// Completed counts calls resolved by their matched reply.
+	Completed uint64
+	// Failed counts calls resolved with an error: transport loss, session
+	// failure, deadline while awaiting, or a remote error status.
+	Failed uint64
+	// Orphans counts replies dropped because no caller was parked on their
+	// correlation ID (duplicates, unknown IDs, late replies).
+	Orphans uint64
+	// Inflight is the current number of calls awaiting replies.
+	Inflight int64
+	// MaxInflight is the high-water mark of Inflight — the deepest
+	// pipeline this stub has actually sustained.
+	MaxInflight int64
+}
 
 // Exporter publishes one component of a local system on the network.
 type Exporter struct {
@@ -200,10 +361,35 @@ type Exporter struct {
 	identity *cryptoutil.Signer
 	rand     *cryptoutil.PRNG
 	clock    func() time.Time
+	workers  int
 
 	mu       sync.Mutex
-	sessions map[string]*securechan.Session // peer endpoint -> session
+	sessions map[string]*sessState // peer endpoint -> session
 	pendings map[string]*securechan.Pending
+
+	ops interner
+}
+
+// sessState is one peer's established session plus the locks that keep the
+// secure channel's sequence discipline under concurrent dispatch: openMu
+// serializes decryption (arrival order fixes the receive sequence), sendMu
+// serializes seal+transmit so reply records hit the wire in seal (= send
+// sequence) order — the peer's channel rejects reordered sequences.
+type sessState struct {
+	openMu sync.Mutex
+	sendMu sync.Mutex
+	sess   *securechan.Session
+}
+
+// job is one decrypted invocation awaiting execution. buf is the pooled
+// buffer holding the decrypted frame; req.Data aliases raw, so the buffer
+// is released only after the reply has been sealed.
+type job struct {
+	ss   *sessState
+	from string
+	req  Request
+	buf  *[]byte
+	raw  []byte
 }
 
 // ExportConfig configures an Exporter.
@@ -227,7 +413,20 @@ type ExportConfig struct {
 	// (default time.Now). Simulation harnesses inject a virtual clock so
 	// remote deadlines stay on the same timeline as the hosting system's.
 	Clock func() time.Time
+
+	// Workers bounds concurrent component dispatch when one Serve pass
+	// finds several requests queued (default DefaultWorkers). A batch of
+	// one is always executed inline on the serving goroutine. The exported
+	// component itself stays serialized by core's per-component handler
+	// lock; workers buy concurrency across decrypt/seal and across
+	// colocated targets, and keep one slow request from convoying the
+	// replies behind it.
+	Workers int
 }
+
+// DefaultWorkers is the dispatch fan-out used when ExportConfig.Workers is
+// unset.
+const DefaultWorkers = 4
 
 // NewExporter validates the config and builds the exporter. Evidence for
 // remote verifiers is produced from the hosting substrate's trust anchor,
@@ -242,6 +441,9 @@ func NewExporter(cfg ExportConfig) (*Exporter, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
 	return &Exporter{
 		sys:      cfg.System,
 		target:   cfg.Component,
@@ -249,7 +451,8 @@ func NewExporter(cfg ExportConfig) (*Exporter, error) {
 		identity: cfg.Identity,
 		rand:     cfg.Rand,
 		clock:    cfg.Clock,
-		sessions: make(map[string]*securechan.Session),
+		workers:  cfg.Workers,
+		sessions: make(map[string]*sessState),
 		pendings: make(map[string]*securechan.Pending),
 	}, nil
 }
@@ -273,7 +476,11 @@ func (e *Exporter) evidence(transcript [32]byte) ([]byte, error) {
 }
 
 // Serve processes every pending datagram on the endpoint once: handshake
-// flights establish sessions, record flights carry invocations. Tests and
+// flights establish sessions, record flights carry invocations. A single
+// queued datagram — the lockstep test and simulation shape — is handled
+// inline and allocation-free; a deeper backlog (a pipelining client) is
+// decrypted in arrival order and dispatched across at most Workers
+// goroutines, with all replies on the wire before Serve returns. Tests and
 // the examples call it after each client step; a real deployment would
 // loop it.
 func (e *Exporter) Serve() error {
@@ -282,108 +489,235 @@ func (e *Exporter) Serve() error {
 		if !ok {
 			return nil
 		}
-		if err := e.handle(dg); err != nil {
+		if e.ep.Pending() == 0 {
 			// A hostile or garbled frame must not kill the service; drop
 			// it and keep serving (fail closed per connection).
+			_ = e.handle(dg)
 			continue
 		}
+		e.serveBatch(dg)
 	}
 }
 
+// serveBatch drains the backlog behind first and dispatches it. The
+// channel layer — handshakes, decrypt, ping — runs sequentially in arrival
+// order (the secure channel's receive sequence demands it); decrypted
+// component invocations then fan out to the worker pool.
+func (e *Exporter) serveBatch(first netsim.Datagram) {
+	var jobs []*job
+	channelLayer := func(dg netsim.Datagram) {
+		e.mu.Lock()
+		ss := e.sessions[dg.From]
+		pending := e.pendings[dg.From]
+		e.mu.Unlock()
+		switch {
+		case ss != nil:
+			j := new(job)
+			ok, err := e.openRequest(ss, dg, j)
+			if err == nil && ok {
+				jobs = append(jobs, j)
+			}
+		case pending != nil:
+			_ = e.complete(dg, pending)
+		default:
+			_ = e.hello(dg)
+		}
+	}
+	channelLayer(first)
+	for {
+		dg, ok := e.ep.Recv()
+		if !ok {
+			break
+		}
+		channelLayer(dg)
+	}
+	switch {
+	case len(jobs) == 0:
+	case len(jobs) == 1 || e.workers == 1:
+		for _, j := range jobs {
+			_ = e.execute(j)
+		}
+	default:
+		n := e.workers
+		if n > len(jobs) {
+			n = len(jobs)
+		}
+		work := make(chan *job)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func() {
+				defer wg.Done()
+				for j := range work {
+					_ = e.execute(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			work <- j
+		}
+		close(work)
+		// Serve's contract with lockstep pumps: every reply is on the
+		// wire before it returns.
+		wg.Wait()
+	}
+}
+
+// handle processes one datagram inline, start to finish.
 func (e *Exporter) handle(dg netsim.Datagram) error {
 	e.mu.Lock()
-	sess := e.sessions[dg.From]
+	ss := e.sessions[dg.From]
 	pending := e.pendings[dg.From]
 	e.mu.Unlock()
 
 	switch {
-	case sess != nil:
-		// Established: decrypt, invoke, reply.
-		plain, err := sess.Open(dg.Payload)
-		if err != nil {
-			// Not a record for this session. A peer that crashed and
-			// restarted (or was failed over away and healed) reconnects
-			// from the same endpoint with a fresh hello; accept that — and
-			// only that — as a session reset. Garbage or corrupted records
-			// are dropped with the decrypt failure preserved, so they cost
-			// no handshake attempt and cannot reset a live session; a
-			// replayed captured hello can at worst force a reset — a denial
-			// of service the attacker already has by dropping traffic —
-			// never decrypt or forge records.
-			if !securechan.HelloShaped(dg.Payload) {
-				return fmt.Errorf("distributed: undecryptable record from %s: %w", dg.From, err)
-			}
-			if herr := e.hello(dg); herr != nil {
-				return fmt.Errorf("distributed: session reset from %s failed: %v (record open: %w)", dg.From, herr, err)
-			}
-			return nil
-		}
-		req, err := DecodeRequest(plain)
-		if err != nil {
+	case ss != nil:
+		var j job
+		ok, err := e.openRequest(ss, dg, &j)
+		if err != nil || !ok {
 			return err
 		}
-		var reply core.Message
-		var herr error
-		if req.Op == PingOp {
-			// Liveness probe: answered by the channel layer itself, the
-			// component never runs.
-			reply = core.Message{Op: PongOp}
-		} else {
-			// Enforce the caller's remaining budget server-side: re-anchor
-			// the relative budget against the local clock and let the core
-			// watchdog bound the handler. A malicious or broken client
-			// cannot buy unbounded server work by omitting the field — the
-			// server's own admission queue still bounds convoys.
-			var deadline time.Time
-			if req.Budget > 0 {
-				deadline = e.clock().Add(req.Budget)
-			}
-			reply, herr = e.sys.DeliverDeadline(e.target, core.Message{Op: req.Op, Data: req.Data}, req.Span, deadline)
-		}
-		var frame []byte
-		switch {
-		case errors.Is(herr, core.ErrDeadline):
-			frame = append([]byte{statusDeadline}, []byte(herr.Error())...)
-		case errors.Is(herr, core.ErrOverloaded):
-			frame = append([]byte{statusOverload}, []byte(herr.Error())...)
-		case herr != nil:
-			frame = append([]byte{statusErr}, []byte(herr.Error())...)
-		default:
-			frame = append([]byte{statusOK}, encodeCall(reply.Op, reply.Data)...)
-		}
-		rec, err := sess.Seal(frame)
-		if err != nil {
-			return err
-		}
-		return e.ep.Send(dg.From, rec)
+		return e.execute(&j)
 	case pending != nil:
-		// Client finish flight.
-		s, err := pending.Complete(dg.Payload)
-		if err != nil {
-			// The peer may have abandoned the old handshake and started
-			// over: a well-formed hello replaces the pending handshake.
-			// Anything else is dropped — with the original failure kept —
-			// without burning the handshake in progress.
-			if !securechan.HelloShaped(dg.Payload) {
-				return fmt.Errorf("distributed: handshake finish from %s: %w", dg.From, err)
-			}
-			e.mu.Lock()
-			delete(e.pendings, dg.From)
-			e.mu.Unlock()
-			if herr := e.hello(dg); herr != nil {
-				return fmt.Errorf("distributed: handshake restart from %s failed: %v (finish: %w)", dg.From, herr, err)
-			}
-			return nil
-		}
-		e.mu.Lock()
-		e.sessions[dg.From] = s
-		delete(e.pendings, dg.From)
-		e.mu.Unlock()
-		return nil
+		return e.complete(dg, pending)
 	default:
 		// New connection: client hello.
 		return e.hello(dg)
 	}
+}
+
+// openRequest decrypts and decodes one record on an established session.
+// It returns (false, nil) when the datagram was fully consumed at the
+// channel layer (a ping, or a hello that reset the session) and
+// (true, nil) with j filled when a component invocation awaits execution.
+func (e *Exporter) openRequest(ss *sessState, dg netsim.Datagram, j *job) (bool, error) {
+	ob := getBuf()
+	ss.openMu.Lock()
+	plain, err := ss.sess.OpenTo((*ob)[:0], dg.Payload)
+	ss.openMu.Unlock()
+	if err != nil {
+		putBuf(ob, nil)
+		// Not a record for this session. A peer that crashed and
+		// restarted (or was failed over away and healed) reconnects
+		// from the same endpoint with a fresh hello; accept that — and
+		// only that — as a session reset. Garbage or corrupted records
+		// are dropped with the decrypt failure preserved, so they cost
+		// no handshake attempt and cannot reset a live session; a
+		// replayed captured hello can at worst force a reset — a denial
+		// of service the attacker already has by dropping traffic —
+		// never decrypt or forge records.
+		if !securechan.HelloShaped(dg.Payload) {
+			return false, fmt.Errorf("distributed: undecryptable record from %s: %w", dg.From, err)
+		}
+		if herr := e.hello(dg); herr != nil {
+			return false, fmt.Errorf("distributed: session reset from %s failed: %v (record open: %w)", dg.From, herr, err)
+		}
+		return false, nil
+	}
+	dg.Release()
+	var req Request
+	if derr := decodeRequestInto(plain, &req, &e.ops); derr != nil {
+		putBuf(ob, plain)
+		return false, derr
+	}
+	if req.Op == PingOp {
+		// Liveness probe: answered by the channel layer itself, the
+		// component never runs.
+		err := e.reply(ss, dg.From, req, core.Message{Op: PongOp}, nil)
+		putBuf(ob, plain)
+		return false, err
+	}
+	j.ss, j.from, j.req, j.buf, j.raw = ss, dg.From, req, ob, plain
+	return true, nil
+}
+
+// execute runs one decrypted invocation against the exported component and
+// sends the sealed reply. The request's pooled buffer is released only
+// after the reply is sealed, because the reply may alias the request data
+// (an echo) or the decrypted frame.
+func (e *Exporter) execute(j *job) error {
+	var reply core.Message
+	var herr error
+	if j.req.Budget > 0 {
+		// Enforce the caller's remaining budget server-side: re-anchor
+		// the relative budget against the local clock and let the core
+		// watchdog bound the handler. A malicious or broken client
+		// cannot buy unbounded server work by omitting the field — the
+		// server's own admission queue still bounds convoys. Guarded
+		// delivery clones the payload: the watchdog may abandon the
+		// handler, which would otherwise keep reading a pooled buffer
+		// about to be reused.
+		deadline := e.clock().Add(j.req.Budget)
+		reply, herr = e.sys.DeliverDeadline(e.target, core.Message{Op: j.req.Op, Data: j.req.Data}, j.req.Span, deadline)
+	} else {
+		// Unguarded delivery borrows the decrypted buffer for the
+		// synchronous duration of the handler (core.DeliverShared's
+		// contract) — the zero-allocation path.
+		reply, herr = e.sys.DeliverShared(e.target, core.Message{Op: j.req.Op, Data: j.req.Data}, j.req.Span, time.Time{})
+	}
+	err := e.reply(j.ss, j.from, j.req, reply, herr)
+	putBuf(j.buf, j.raw)
+	return err
+}
+
+// reply seals and transmits one reply frame, echoing the request's
+// correlation ID when it carried one.
+func (e *Exporter) reply(ss *sessState, to string, req Request, msg core.Message, herr error) error {
+	fp := getBuf()
+	frame := (*fp)[:0]
+	if req.HasCorr {
+		frame = binary.BigEndian.AppendUint64(frame, req.Corr)
+	}
+	switch {
+	case errors.Is(herr, core.ErrDeadline):
+		frame = append(frame, statusDeadline)
+		frame = append(frame, herr.Error()...)
+	case errors.Is(herr, core.ErrOverloaded):
+		frame = append(frame, statusOverload)
+		frame = append(frame, herr.Error()...)
+	case herr != nil:
+		frame = append(frame, statusErr)
+		frame = append(frame, herr.Error()...)
+	default:
+		frame = append(frame, statusOK)
+		frame = appendCall(frame, msg.Op, msg.Data)
+	}
+	rp := getBuf()
+	ss.sendMu.Lock()
+	rec, err := ss.sess.SealTo((*rp)[:0], frame)
+	if err == nil {
+		err = e.ep.Send(to, rec)
+	}
+	ss.sendMu.Unlock()
+	putBuf(fp, frame)
+	putBuf(rp, rec)
+	return err
+}
+
+// complete finishes a pending handshake with the client's finish flight.
+func (e *Exporter) complete(dg netsim.Datagram, pending *securechan.Pending) error {
+	s, err := pending.Complete(dg.Payload)
+	if err != nil {
+		// The peer may have abandoned the old handshake and started
+		// over: a well-formed hello replaces the pending handshake.
+		// Anything else is dropped — with the original failure kept —
+		// without burning the handshake in progress.
+		if !securechan.HelloShaped(dg.Payload) {
+			return fmt.Errorf("distributed: handshake finish from %s: %w", dg.From, err)
+		}
+		e.mu.Lock()
+		delete(e.pendings, dg.From)
+		e.mu.Unlock()
+		if herr := e.hello(dg); herr != nil {
+			return fmt.Errorf("distributed: handshake restart from %s failed: %v (finish: %w)", dg.From, herr, err)
+		}
+		return nil
+	}
+	e.mu.Lock()
+	e.sessions[dg.From] = &sessState{sess: s}
+	delete(e.pendings, dg.From)
+	e.mu.Unlock()
+	return nil
 }
 
 // hello treats the datagram as a client hello: on success the peer's old
@@ -409,15 +743,65 @@ func (e *Exporter) hello(dg netsim.Datagram) error {
 	return e.ep.Send(dg.From, resp)
 }
 
+// result is one resolved call.
+type result struct {
+	msg core.Message
+	err error
+}
+
+// waiter parks one caller until its reply (or a failure verdict) arrives.
+// The channel has capacity 1 and receives exactly one send per
+// registration — whoever deletes the registry entry owns the completion —
+// so waiters recycle through a pool without drains or resets.
+type waiter struct {
+	ch chan result
+}
+
+var waiterPool = sync.Pool{New: func() any {
+	return &waiter{ch: make(chan result, 1)}
+}}
+
 // Stub is the local proxy component. Load it into the importing system
 // under the remote component's name; calls flow across the attested
 // channel.
+//
+// A stub is safe for concurrent use and pipelines: any number of callers
+// may be in flight over the one session at once. Senders seal and transmit
+// under a short send lock; exactly one caller at a time holds the receive
+// token and pumps the wire, completing whichever parked caller each reply's
+// correlation ID names, until its own reply arrives and it hands the token
+// on. See DESIGN.md "Wire format v3 and pipelining".
 type Stub struct {
 	name string
 	cfg  StubConfig
-	mu   sync.Mutex
-	sess *securechan.Session
-	pump func() error // drives the remote exporter (test/network loop)
+	pump func() error
+	mon  Monitor
+
+	// mu guards the session identity and the waiter registry. gen
+	// increments whenever the session changes (Close, Connect, failure),
+	// invalidating completions aimed at a previous session's calls.
+	mu       sync.Mutex
+	sess     *securechan.Session
+	gen      uint64
+	nextCorr uint64
+	waiters  map[uint64]*waiter
+
+	// sendMu serializes seal+transmit so records hit the wire in send
+	// sequence order (the exporter's channel rejects reordered sequences).
+	sendMu sync.Mutex
+
+	// recvTok is the receive token: capacity 1, full when no caller is
+	// pumping. The holder is the demux loop.
+	recvTok chan struct{}
+
+	ops interner
+
+	issued    atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	orphans   atomic.Uint64
+	inflight  atomic.Int64
+	maxDepth  atomic.Int64
 }
 
 // StubConfig configures a Stub.
@@ -443,11 +827,15 @@ type StubConfig struct {
 	// Pump, when set, is called whenever the stub expects the remote side
 	// to make progress (deliver + serve). The in-process tests wire it to
 	// the exporter's Serve; a real deployment has independent processes.
+	// It must tolerate concurrent invocation once callers pipeline.
 	Pump func() error
 
 	// Clock is the time source remaining budgets are measured against
 	// (default time.Now). Simulation harnesses inject a virtual clock.
 	Clock func() time.Time
+
+	// Monitor receives pipelining telemetry (default: discard).
+	Monitor Monitor
 }
 
 // NewStub validates the config.
@@ -458,7 +846,19 @@ func NewStub(cfg StubConfig) (*Stub, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Stub{name: cfg.RemoteName, cfg: cfg, pump: cfg.Pump}, nil
+	if cfg.Monitor == nil {
+		cfg.Monitor = nopStubMonitor{}
+	}
+	s := &Stub{
+		name:    cfg.RemoteName,
+		cfg:     cfg,
+		pump:    cfg.Pump,
+		mon:     cfg.Monitor,
+		waiters: make(map[uint64]*waiter),
+		recvTok: make(chan struct{}, 1),
+	}
+	s.recvTok <- struct{}{}
+	return s, nil
 }
 
 var _ core.Component = (*Stub)(nil)
@@ -466,11 +866,26 @@ var _ core.Component = (*Stub)(nil)
 // CompName returns the remote component's name.
 func (s *Stub) CompName() string { return s.name }
 
-// CompVersion marks the stub as a proxy.
-func (s *Stub) CompVersion() string { return "stub-1.0" }
+// CompVersion marks the stub as a proxy and names the wire frame version
+// it speaks, so a fleet operator can spot a mixed-version rollout from
+// `lateralctl cluster` output (the version is part of the stub's measured
+// code identity, exactly like shipping a different proxy binary).
+func (s *Stub) CompVersion() string { return "stub-1.1+wire" + strconv.Itoa(WireVersion) }
 
 // Init is a no-op; Connect establishes the channel.
 func (s *Stub) Init(*core.Ctx) error { return nil }
+
+// Stats returns a snapshot of the pipelining counters.
+func (s *Stub) Stats() StubStats {
+	return StubStats{
+		Issued:      s.issued.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		Orphans:     s.orphans.Load(),
+		Inflight:    s.inflight.Load(),
+		MaxInflight: s.maxDepth.Load(),
+	}
+}
 
 // step lets the remote side run, if a pump is wired.
 func (s *Stub) step() error {
@@ -481,7 +896,8 @@ func (s *Stub) step() error {
 }
 
 // recvOne fetches the next datagram from the configured remote, pumping as
-// needed.
+// needed (handshake flights only; record flights go through the demux
+// loop).
 func (s *Stub) recvOne() (netsim.Datagram, error) {
 	if err := s.step(); err != nil {
 		return netsim.Datagram{}, err
@@ -496,7 +912,9 @@ func (s *Stub) recvOne() (netsim.Datagram, error) {
 // Connect runs the attested handshake with the remote exporter. It may be
 // called again after Close (or after the transport failed) to establish a
 // fresh session; stale datagrams from the previous session are discarded
-// first so they cannot be mistaken for handshake flights.
+// before the handshake (so they cannot be mistaken for handshake flights)
+// and again before the session is installed (so they cannot be mistaken
+// for replies on it).
 func (s *Stub) Connect() error {
 	s.cfg.Endpoint.Drain()
 	client, err := securechan.NewClient(securechan.ClientConfig{
@@ -523,20 +941,97 @@ func (s *Stub) Connect() error {
 	if err := s.step(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.sess = sess
-	s.mu.Unlock()
+	// No request has been issued on the new session yet, so anything queued
+	// now is leftover traffic from before it existed — e.g. a reply to a
+	// request that died with the previous session, flushed by the remote
+	// while the handshake was in flight. Discard it here; drained after
+	// install it would be undecryptable and fail the fresh session.
+	s.cfg.Endpoint.Drain()
+	s.install(sess)
 	return nil
 }
 
+// install swaps in a fresh session, bumping the generation and failing any
+// caller still parked on the previous one.
+func (s *Stub) install(sess *securechan.Session) {
+	s.mu.Lock()
+	s.sess = sess
+	s.gen++
+	old := s.waiters
+	if len(old) > 0 {
+		s.waiters = make(map[uint64]*waiter)
+	}
+	s.mu.Unlock()
+	for _, w := range old {
+		w.ch <- result{err: fmt.Errorf("stub %s: session replaced: %w", s.name, ErrNotConnected)}
+	}
+}
+
 // Close drops the session; subsequent calls fail with ErrNotConnected
-// until Connect succeeds again. The remote exporter notices on the next
+// until Connect succeeds again, and callers already parked for replies are
+// released with the same error. The remote exporter notices on the next
 // hello (session reset); no goodbye flight crosses the wire, mirroring a
 // crash.
 func (s *Stub) Close() {
 	s.mu.Lock()
 	s.sess = nil
+	s.gen++
+	old := s.waiters
+	if len(old) > 0 {
+		s.waiters = make(map[uint64]*waiter)
+	}
 	s.mu.Unlock()
+	for _, w := range old {
+		w.ch <- result{err: fmt.Errorf("stub %s: session closed: %w", s.name, ErrNotConnected)}
+	}
+}
+
+// failSession reacts to an unrecoverable receive failure on sess — an
+// undecryptable or garbled record means the channel's sequence state is
+// lost for good. The session is dropped and every parked caller fails with
+// the failure; the receiver's own call (ownCorr) is excluded and reported
+// back so the receiver returns it directly. Returns whether the receiver's
+// call was still registered (this session failure resolves it).
+func (s *Stub) failSession(sess *securechan.Session, gen, ownCorr uint64, err error) bool {
+	s.mu.Lock()
+	if s.gen != gen {
+		s.mu.Unlock()
+		return false
+	}
+	if s.sess == sess {
+		s.sess = nil
+	}
+	s.gen++
+	old := s.waiters
+	if len(old) > 0 {
+		s.waiters = make(map[uint64]*waiter)
+	}
+	s.mu.Unlock()
+	own := false
+	for corr, w := range old {
+		if corr == ownCorr {
+			own = true
+			continue
+		}
+		w.ch <- result{err: fmt.Errorf("stub %s: session failed: %w", s.name, err)}
+	}
+	return own
+}
+
+// unregister removes a waiter registration, claiming ownership of its
+// completion. False means another path (a demuxed reply, a broadcast)
+// already owns it and its verdict is in — or headed to — the channel.
+func (s *Stub) unregister(gen, corr uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != gen {
+		return false
+	}
+	if _, ok := s.waiters[corr]; !ok {
+		return false
+	}
+	delete(s.waiters, corr)
+	return true
 }
 
 // Connected reports whether a session is established. A true result does
@@ -565,13 +1060,12 @@ func (s *Stub) Ping() error {
 // the envelope becomes the frame's remaining-budget field; a call whose
 // budget is already spent is refused here, before any bytes are sealed or
 // transmitted — the wire is never burned on doomed work.
+//
+// Handle is safe for concurrent use: each call registers a correlation ID,
+// transmits under the send lock, and parks until the demux loop completes
+// it. The returned message's Data (when non-empty) is an owned copy the
+// caller may retain.
 func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
-	s.mu.Lock()
-	sess := s.sess
-	s.mu.Unlock()
-	if sess == nil {
-		return core.Message{}, fmt.Errorf("stub %s: %w", s.name, ErrNotConnected)
-	}
 	var budget time.Duration
 	if !env.Deadline.IsZero() {
 		budget = env.Deadline.Sub(s.cfg.Clock())
@@ -579,36 +1073,249 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 			return core.Message{}, fmt.Errorf("stub %s: budget spent before transmit: %w", s.name, core.ErrDeadline)
 		}
 	}
-	rec, err := sess.Seal(EncodeRequest(env.Span, budget, env.Msg.Op, env.Msg.Data))
-	if err != nil {
-		return core.Message{}, err
+
+	s.mu.Lock()
+	sess := s.sess
+	if sess == nil {
+		s.mu.Unlock()
+		return core.Message{}, fmt.Errorf("stub %s: %w", s.name, ErrNotConnected)
 	}
-	if err := s.cfg.Endpoint.Send(s.cfg.RemoteEndpoint, rec); err != nil {
-		return core.Message{}, err
+	gen := s.gen
+	s.nextCorr++
+	corr := s.nextCorr
+	w := waiterPool.Get().(*waiter)
+	s.waiters[corr] = w
+	s.mu.Unlock()
+
+	depth := s.inflight.Add(1)
+	for {
+		max := s.maxDepth.Load()
+		if depth <= max || s.maxDepth.CompareAndSwap(max, depth) {
+			break
+		}
 	}
-	dg, err := s.recvOne()
-	if err != nil {
-		return core.Message{}, err
+	s.issued.Add(1)
+	s.mon.StubInflight(s.name, 1)
+	s.mon.StubCall(s.name, int(depth))
+
+	// Seal and transmit under the short send lock; frame and record
+	// buffers come from the pool.
+	fp := getBuf()
+	frame := AppendRequest((*fp)[:0], Request{
+		Span:    env.Span,
+		Budget:  budget,
+		Corr:    corr,
+		HasCorr: true,
+		Op:      env.Msg.Op,
+		Data:    env.Msg.Data,
+	})
+	rp := getBuf()
+	s.sendMu.Lock()
+	rec, serr := sess.SealTo((*rp)[:0], frame)
+	if serr == nil {
+		serr = s.cfg.Endpoint.Send(s.cfg.RemoteEndpoint, rec)
 	}
-	plain, err := sess.Open(dg.Payload)
-	if err != nil {
-		return core.Message{}, err
+	s.sendMu.Unlock()
+	putBuf(fp, frame)
+	putBuf(rp, rec)
+	if serr != nil {
+		if s.unregister(gen, corr) {
+			return s.finish(w, result{err: serr})
+		}
+		// A concurrent broadcast resolved the call first; its verdict
+		// wins (it explains why the send failed too).
+		return s.finish(w, <-w.ch)
 	}
-	if len(plain) < 1 {
-		return core.Message{}, fmt.Errorf("empty reply frame: %w", ErrTransport)
+	return s.awaitReply(sess, gen, corr, w, env.Deadline)
+}
+
+// finish books one resolved call and recycles its waiter.
+func (s *Stub) finish(w *waiter, res result) (core.Message, error) {
+	if res.err == nil {
+		s.completed.Add(1)
+	} else {
+		s.failed.Add(1)
 	}
-	switch plain[0] {
+	s.inflight.Add(-1)
+	s.mon.StubInflight(s.name, -1)
+	waiterPool.Put(w)
+	return res.msg, res.err
+}
+
+// awaitReply parks until the call resolves: either another caller's demux
+// loop completes it through the waiter channel, or this caller wins the
+// receive token and runs the demux loop itself.
+func (s *Stub) awaitReply(sess *securechan.Session, gen, corr uint64, w *waiter, deadline time.Time) (core.Message, error) {
+	for {
+		select {
+		case res := <-w.ch:
+			return s.finish(w, res)
+		case <-s.recvTok:
+			res, done := s.receive(sess, gen, corr, deadline)
+			s.recvTok <- struct{}{}
+			if done {
+				return s.finish(w, res)
+			}
+			// Someone else owns this call's completion; loop back to
+			// collect it from the channel.
+		}
+	}
+}
+
+// receive is the demux loop. The caller holds the receive token. Each
+// round first drains replies already queued at the endpoint — a previous
+// round's pump batches replies for every request that had been sent, and
+// the receiver that ran it returns as soon as its own lands, leaving the
+// rest for the next token holder to collect for free. Only when the inbox
+// is dry does the receiver pay for a pump round. It returns the owning
+// call's verdict (done=true) or defers to a completion another path owns
+// (done=false):
+//
+//   - this call's reply arrives → its result;
+//   - a dry round (pump ran, nothing arrived) → transport loss, because a
+//     lockstep pump owes each request its reply within a round;
+//   - the call's deadline passes while other traffic keeps arriving → the
+//     caller unwinds with ErrDeadline and its late reply, if it ever
+//     lands, is dropped as an orphan;
+//   - an undecryptable record → the session's sequence state is lost:
+//     fail the session and broadcast to every parked caller;
+//   - replies naming no parked caller (duplicates, unknown or stale IDs)
+//     are counted and dropped, never misdelivered.
+func (s *Stub) receive(sess *securechan.Session, gen, ownCorr uint64, deadline time.Time) (result, bool) {
+	for {
+		s.mu.Lock()
+		stale := s.gen != gen
+		_, registered := s.waiters[ownCorr]
+		s.mu.Unlock()
+		if stale || !registered {
+			return result{}, false
+		}
+		if !deadline.IsZero() && !s.cfg.Clock().Before(deadline) {
+			if s.unregister(gen, ownCorr) {
+				return result{err: fmt.Errorf("stub %s: budget spent awaiting reply: %w", s.name, core.ErrDeadline)}, true
+			}
+			return result{}, false
+		}
+		// Collect already-delivered traffic before paying for a round.
+		res, done, deferred, drained := s.drain(sess, gen, ownCorr)
+		if done {
+			return res, true
+		}
+		if deferred {
+			return result{}, false
+		}
+		if drained > 0 {
+			continue
+		}
+		if err := s.step(); err != nil {
+			if s.unregister(gen, ownCorr) {
+				return result{err: err}, true
+			}
+			return result{}, false
+		}
+		res, done, deferred, drained = s.drain(sess, gen, ownCorr)
+		if done {
+			return res, true
+		}
+		if deferred {
+			return result{}, false
+		}
+		if drained == 0 {
+			if s.unregister(gen, ownCorr) {
+				return result{err: fmt.Errorf("no response from %s: %w", s.cfg.RemoteEndpoint, ErrTransport)}, true
+			}
+			return result{}, false
+		}
+	}
+}
+
+// drain demuxes every datagram queued at the endpoint. done reports that
+// the receiver's own call resolved (res is its verdict); deferred reports
+// a session failure whose broadcast already resolved it elsewhere. The
+// count of drained datagrams lets the caller distinguish a dry round from
+// a round that made progress for other callers.
+func (s *Stub) drain(sess *securechan.Session, gen, ownCorr uint64) (res result, done, deferred bool, drained int) {
+	for {
+		dg, ok := s.cfg.Endpoint.Recv()
+		if !ok {
+			return result{}, false, false, drained
+		}
+		drained++
+		r, mine, err := s.demux(sess, gen, ownCorr, dg)
+		if err != nil {
+			if s.failSession(sess, gen, ownCorr, err) {
+				return result{err: err}, true, false, drained
+			}
+			return result{}, false, true, drained
+		}
+		if mine {
+			return r, true, false, drained
+		}
+	}
+}
+
+// demux opens one record and routes the reply it carries. mine reports
+// that the reply resolved the receiver's own call (res is its verdict); a
+// non-nil error is a session-level failure the caller must escalate.
+func (s *Stub) demux(sess *securechan.Session, gen, ownCorr uint64, dg netsim.Datagram) (res result, mine bool, err error) {
+	ob := getBuf()
+	plain, oerr := sess.OpenTo((*ob)[:0], dg.Payload)
+	dg.Release()
+	if oerr != nil {
+		putBuf(ob, nil)
+		return result{}, false, oerr
+	}
+	if len(plain) < 9 {
+		putBuf(ob, plain)
+		return result{}, false, fmt.Errorf("short reply frame: %w", ErrTransport)
+	}
+	corr := binary.BigEndian.Uint64(plain)
+	res = s.decodeReply(plain[8:])
+	putBuf(ob, plain)
+
+	s.mu.Lock()
+	var w *waiter
+	if s.gen == gen {
+		if ww, ok := s.waiters[corr]; ok {
+			delete(s.waiters, corr)
+			w = ww
+		}
+	}
+	s.mu.Unlock()
+	if w == nil {
+		// Duplicate, unknown, or late (the caller already unwound on
+		// its deadline): drop and count, never misdeliver.
+		s.orphans.Add(1)
+		s.mon.StubOrphan(s.name)
+		return result{}, false, nil
+	}
+	if corr == ownCorr {
+		return res, true, nil
+	}
+	w.ch <- res
+	return result{}, false, nil
+}
+
+// decodeReply parses a reply frame body (after the correlation prefix).
+// Everything it keeps is owned: error texts are copied by formatting and a
+// non-empty payload is copied out of the pooled buffer.
+func (s *Stub) decodeReply(b []byte) result {
+	switch b[0] {
 	case statusDeadline:
 		// Rehydrate the typed error so errors.Is works across the wire.
-		return core.Message{}, fmt.Errorf("remote: %s: %w", plain[1:], core.ErrDeadline)
+		return result{err: fmt.Errorf("remote: %s: %w", b[1:], core.ErrDeadline)}
 	case statusOverload:
-		return core.Message{}, fmt.Errorf("remote: %s: %w", plain[1:], core.ErrOverloaded)
+		return result{err: fmt.Errorf("remote: %s: %w", b[1:], core.ErrOverloaded)}
 	case statusErr:
-		return core.Message{}, fmt.Errorf("%w: %s", ErrRemote, plain[1:])
+		return result{err: fmt.Errorf("%w: %s", ErrRemote, b[1:])}
 	}
-	op, data, err := decodeCall(plain[1:])
+	op, data, err := decodeCallInto(b[1:], &s.ops)
 	if err != nil {
-		return core.Message{}, err
+		return result{err: err}
 	}
-	return core.Message{Op: op, Data: data}, nil
+	msg := core.Message{Op: op}
+	if len(data) > 0 {
+		msg.Data = append([]byte(nil), data...)
+	}
+	return result{msg: msg}
 }

@@ -88,7 +88,7 @@ func E21Simulation() (Table, error) {
 		passFail(!res.Failed()))
 
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("invariants checked after every step: %d per run", 4),
+		fmt.Sprintf("invariants checked after every step: %d per run", 5),
 		"replay any failure with: go test ./internal/simtest/ -run TestExploreSeeds -simtest.seed=<seed>",
 	)
 	return t, nil

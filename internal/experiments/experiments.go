@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's per-experiment index (E1–E21 plus the
+// per experiment in DESIGN.md's per-experiment index (E1–E22 plus the
 // ablations folded into their tables). Each returns a Table whose rows the
 // command-line harness prints and whose numbers the benchmark suite and
 // tests assert on.
@@ -122,6 +122,7 @@ func All() []Experiment {
 		{ID: "E19", Name: "attested replica fleet (cluster)", Run: E19Cluster},
 		{ID: "E20", Name: "stall containment under deadlines", Run: E20Stall},
 		{ID: "E21", Name: "deterministic fleet simulation", Run: E21Simulation},
+		{ID: "E22", Name: "pipelined secure-channel RPC", Run: E22Pipelining},
 	}
 }
 

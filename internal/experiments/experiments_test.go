@@ -527,3 +527,22 @@ func TestE21Simulation(t *testing.T) {
 		t.Error("mixed-fault round injected no faults")
 	}
 }
+
+func TestE22Pipelining(t *testing.T) {
+	tab, err := E22Pipelining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[5] != "PASS" {
+			t.Errorf("E22 %s: %v", r[0], r)
+		}
+	}
+	// Depth 16 must actually have pipelined: high-water mark above 1.
+	if cell(t, tab, "16", 4) == "1" {
+		t.Error("depth-16 round never had more than one call in flight")
+	}
+}

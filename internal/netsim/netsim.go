@@ -23,9 +23,37 @@ type Datagram struct {
 	From    string
 	To      string
 	Payload []byte
+
+	// buf, when non-nil, is the pooled buffer backing Payload; Release
+	// returns it. Clones and injected datagrams carry none.
+	buf *[]byte
 }
 
-// clone deep-copies a datagram.
+// payloadPool recycles wire payload buffers so the record hot path (seal →
+// Send → Recv → open) allocates nothing at steady state. Buffers start at
+// pooledBufCap and grow in place for larger payloads.
+var payloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, pooledBufCap)
+	return &b
+}}
+
+const pooledBufCap = 4096
+
+// Release returns the datagram's payload buffer to the transport pool.
+// Only a consumer that owns the datagram outright (popped it with Recv and
+// finished reading Payload) may call it; Payload must not be touched
+// afterwards. On a datagram without a pooled buffer — adversary clones,
+// injected frames — it is a no-op, so calling it unconditionally is safe.
+func (d *Datagram) Release() {
+	if d.buf == nil {
+		return
+	}
+	*d.buf = (*d.buf)[:0]
+	payloadPool.Put(d.buf)
+	d.buf, d.Payload = nil, nil
+}
+
+// clone deep-copies a datagram into unpooled memory.
 func (d Datagram) clone() Datagram {
 	p := make([]byte, len(d.Payload))
 	copy(p, d.Payload)
@@ -130,10 +158,14 @@ func (n *Network) send(d Datagram) error {
 	if mon != nil {
 		mon.Datagram(d.From, d.To, len(d.Payload))
 	}
-	outs := []Datagram{d}
-	if adv != nil {
-		outs = adv.Intercept(d.clone())
+	if adv == nil {
+		return n.deliver(d)
 	}
+	// The adversary works on an unpooled clone (it may hold the datagram
+	// hostage indefinitely — the Delayer does); the original's buffer goes
+	// straight back to the pool.
+	outs := adv.Intercept(d.clone())
+	d.Release()
 	var firstErr error
 	for _, out := range outs {
 		if err := n.deliver(out); err != nil && firstErr == nil {
@@ -169,26 +201,38 @@ type Endpoint struct {
 
 	mu    sync.Mutex
 	inbox []Datagram
+	head  int // index of the oldest pending datagram in inbox
 }
 
 // Name returns the endpoint name.
 func (e *Endpoint) Name() string { return e.name }
 
-// Send transmits payload to a peer endpoint.
+// Send transmits payload to a peer endpoint. The payload is copied into a
+// pooled buffer, so the caller keeps ownership of its slice and the wire
+// costs no allocation at steady state.
 func (e *Endpoint) Send(to string, payload []byte) error {
-	return e.net.send(Datagram{From: e.name, To: to, Payload: append([]byte(nil), payload...)})
+	bp := payloadPool.Get().(*[]byte)
+	*bp = append((*bp)[:0], payload...)
+	return e.net.send(Datagram{From: e.name, To: to, Payload: *bp, buf: bp})
 }
 
 // Recv pops the oldest pending datagram, reporting false when the inbox is
-// empty.
+// empty. The inbox keeps its backing array across pop/append cycles (a head
+// index instead of re-slicing), so a ping-pong workload never reallocates
+// it.
 func (e *Endpoint) Recv() (Datagram, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.inbox) == 0 {
+	if e.head >= len(e.inbox) {
 		return Datagram{}, false
 	}
-	d := e.inbox[0]
-	e.inbox = e.inbox[1:]
+	d := e.inbox[e.head]
+	e.inbox[e.head] = Datagram{} // no stale payload reference
+	e.head++
+	if e.head == len(e.inbox) {
+		e.inbox = e.inbox[:0]
+		e.head = 0
+	}
 	return d, true
 }
 
@@ -197,15 +241,16 @@ func (e *Endpoint) Recv() (Datagram, bool) {
 func (e *Endpoint) Pending() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.inbox)
+	return len(e.inbox) - e.head
 }
 
 // Drain discards and returns all pending datagrams.
 func (e *Endpoint) Drain() []Datagram {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	out := e.inbox
+	out := e.inbox[e.head:]
 	e.inbox = nil
+	e.head = 0
 	return out
 }
 

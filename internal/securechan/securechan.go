@@ -15,10 +15,13 @@
 package securechan
 
 import (
+	"crypto/cipher"
 	"crypto/ecdh"
 	"crypto/ed25519"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"lateral/internal/cryptoutil"
 )
@@ -283,6 +286,12 @@ func (p *Pending) Transcript() [32]byte { return p.transcript }
 const RatchetInterval = 64
 
 // Session is one direction-aware record channel endpoint.
+//
+// Sessions are not safe for unsynchronized concurrent use: callers that
+// pipeline (internal/distributed) serialize Seal under a send lock and Open
+// under a receive lock. The cached AEADs and scratch buffers below exist for
+// that hot path — record sealing must not pay an AES key schedule, a
+// fmt.Sprintf, or a SHA-256 per record.
 type Session struct {
 	initiator bool
 	sendKey   []byte
@@ -291,16 +300,59 @@ type Session struct {
 	recvSeq   uint64
 	sendEpoch uint64
 	recvEpoch uint64
+
+	// Cached AEADs for the current epoch keys, rebuilt lazily after a
+	// ratchet. recvAEAD always corresponds to recvKey — trial-ratchets that
+	// fail to authenticate commit neither.
+	sendAEAD cipher.AEAD
+	recvAEAD cipher.AEAD
+
+	// Cached 4-byte nonce prefixes (SHA-256 of the direction label); the
+	// full nonce is prefix || big-endian seq, byte-identical to
+	// cryptoutil.DeriveNonce.
+	sendPrefix [4]byte
+	recvPrefix [4]byte
+
+	// Reusable scratch for the per-record associated data and nonce, one
+	// per direction: pipelined stubs serialize sealing and opening under
+	// different locks (the send mutex vs. the receive token), so the two
+	// halves of a session run concurrently and must not share scratch.
+	sendAD [32]byte
+	recvAD [32]byte
+	nonce  [cryptoutil.NonceSize]byte
 }
 
 func deriveSession(shared, clientNonce, serverNonce []byte, initiator bool) *Session {
 	salt := append(append([]byte(nil), clientNonce...), serverNonce...)
 	keys := cryptoutil.HKDF(shared, salt, []byte("lateral-record-keys"), 2*cryptoutil.KeySize)
 	c2s, s2c := keys[:cryptoutil.KeySize], keys[cryptoutil.KeySize:]
+	s := &Session{initiator: initiator}
 	if initiator {
-		return &Session{initiator: true, sendKey: c2s, recvKey: s2c}
+		s.sendKey, s.recvKey = c2s, s2c
+	} else {
+		s.sendKey, s.recvKey = s2c, c2s
 	}
-	return &Session{sendKey: s2c, recvKey: c2s}
+	s.sendPrefix = noncePrefix(s.dir(true))
+	s.recvPrefix = noncePrefix(s.dir(false))
+	return s
+}
+
+// noncePrefix caches the context half of cryptoutil.DeriveNonce: the first
+// four bytes of SHA-256(dir).
+func noncePrefix(dir string) (p [4]byte) {
+	d := cryptoutil.Hash([]byte(dir))
+	copy(p[:], d[:4])
+	return p
+}
+
+// appendAD encodes the per-record associated data "dir:seq" — byte-identical
+// to the fmt.Sprintf("%s:%d", dir, seq) encoding earlier wire versions used
+// (TestADEncodingMatchesLegacy pins the equivalence), without the
+// formatting machinery or its allocations.
+func appendAD(dst []byte, dir string, seq uint64) []byte {
+	dst = append(dst, dir...)
+	dst = append(dst, ':')
+	return strconv.AppendUint(dst, seq, 10)
 }
 
 func (s *Session) dir(sending bool) string {
@@ -328,32 +380,50 @@ func epochFor(seq uint64) uint64 {
 // Seal encrypts one record with the next sequence number, ratcheting the
 // send key at epoch boundaries.
 func (s *Session) Seal(plaintext []byte) ([]byte, error) {
+	return s.SealTo(nil, plaintext)
+}
+
+// SealTo is Seal with a caller-supplied destination: the record (8-byte
+// big-endian sequence header, nonce, ciphertext) is appended to dst and the
+// extended slice returned. With enough spare capacity in dst the record
+// layer allocates nothing.
+func (s *Session) SealTo(dst, plaintext []byte) ([]byte, error) {
 	s.sendSeq++
 	seq := s.sendSeq
 	for s.sendEpoch < epochFor(seq) {
 		s.sendEpoch++
 		s.sendKey = ratchet(s.sendKey, s.sendEpoch)
+		s.sendAEAD = nil
 	}
-	ad := fmt.Sprintf("%s:%d", s.dir(true), seq)
-	ct, err := cryptoutil.Seal(s.sendKey, cryptoutil.DeriveNonce(s.dir(true), seq), plaintext, []byte(ad))
-	if err != nil {
-		return nil, err
+	if s.sendAEAD == nil {
+		aead, err := cryptoutil.NewAEAD(s.sendKey)
+		if err != nil {
+			return nil, err
+		}
+		s.sendAEAD = aead
 	}
-	hdr := []byte{byte(seq >> 56), byte(seq >> 48), byte(seq >> 40), byte(seq >> 32),
-		byte(seq >> 24), byte(seq >> 16), byte(seq >> 8), byte(seq)}
-	return append(hdr, ct...), nil
+	ad := appendAD(s.sendAD[:0], s.dir(true), seq)
+	copy(s.nonce[:4], s.sendPrefix[:])
+	binary.BigEndian.PutUint64(s.nonce[4:], seq)
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], seq)
+	dst = append(dst, hdr[:]...)
+	return cryptoutil.SealTo(dst, s.sendAEAD, s.nonce[:], plaintext, ad), nil
 }
 
 // Open decrypts one record, enforcing strictly increasing sequence
 // numbers: replays and reordering are rejected.
 func (s *Session) Open(record []byte) ([]byte, error) {
+	return s.OpenTo(nil, record)
+}
+
+// OpenTo is Open with a caller-supplied destination: the plaintext is
+// appended to dst and the extended slice returned.
+func (s *Session) OpenTo(dst, record []byte) ([]byte, error) {
 	if len(record) < 8 {
 		return nil, fmt.Errorf("short record: %w", ErrHandshake)
 	}
-	var seq uint64
-	for _, b := range record[:8] {
-		seq = seq<<8 | uint64(b)
-	}
+	seq := binary.BigEndian.Uint64(record[:8])
 	if seq <= s.recvSeq {
 		return nil, fmt.Errorf("sequence %d after %d: %w", seq, s.recvSeq, ErrReplay)
 	}
@@ -361,7 +431,7 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	// record claiming a far-future sequence must not advance (and thereby
 	// destroy) the receive key. maxEpochSkip caps the attacker-driven work.
 	const maxEpochSkip = 1 << 14
-	key, epoch := s.recvKey, s.recvEpoch
+	key, epoch, aead := s.recvKey, s.recvEpoch, s.recvAEAD
 	target := epochFor(seq)
 	if target > epoch+maxEpochSkip {
 		return nil, fmt.Errorf("sequence %d skips %d epochs: %w", seq, target-epoch, ErrReplay)
@@ -369,12 +439,20 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	for epoch < target {
 		epoch++
 		key = ratchet(key, epoch)
+		aead = nil
 	}
-	ad := fmt.Sprintf("%s:%d", s.dir(false), seq)
-	pt, err := cryptoutil.Open(key, record[8:], []byte(ad))
+	if aead == nil {
+		a, err := cryptoutil.NewAEAD(key)
+		if err != nil {
+			return nil, err
+		}
+		aead = a
+	}
+	ad := appendAD(s.recvAD[:0], s.dir(false), seq)
+	pt, err := cryptoutil.OpenTo(dst, aead, record[8:], ad)
 	if err != nil {
 		return nil, err
 	}
-	s.recvKey, s.recvEpoch, s.recvSeq = key, epoch, seq
+	s.recvKey, s.recvEpoch, s.recvSeq, s.recvAEAD = key, epoch, seq, aead
 	return pt, nil
 }

@@ -439,3 +439,22 @@ func TestForgedFutureSequenceDoesNotBrickSession(t *testing.T) {
 		t.Fatalf("session bricked by forged record: %q, %v", got, err)
 	}
 }
+
+// TestADEncodingMatchesLegacy pins the append-based associated-data
+// encoding to the fmt.Sprintf("%s:%d") form the record layer used before
+// the zero-allocation rewrite. The AD is authenticated by every record's
+// AEAD tag, so any divergence would break interop between old and new
+// peers silently — sequence numbers near every base-10 digit-length
+// boundary are the risk spots.
+func TestADEncodingMatchesLegacy(t *testing.T) {
+	seqs := []uint64{0, 1, 9, 10, 99, 100, 1<<32 - 1, 1 << 32, 1<<64 - 1}
+	for _, dir := range []string{"c2s", "s2c"} {
+		for _, seq := range seqs {
+			got := appendAD(nil, dir, seq)
+			want := fmt.Sprintf("%s:%d", dir, seq)
+			if string(got) != want {
+				t.Errorf("appendAD(%q, %d) = %q, want %q", dir, seq, got, want)
+			}
+		}
+	}
+}

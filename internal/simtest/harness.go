@@ -29,6 +29,7 @@ type Harness struct {
 	Serial       *SerialChecker
 	Budget       *BudgetChecker
 	Absorb       *AbsorbChecker
+	Pipeline     *PipelineChecker
 	Led          *Ledger
 	Conservation *ConservationChecker
 
@@ -131,11 +132,16 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		Sleep:          clk.Sleep,
 		Clock:          clk.Now,
 		HealthInterval: cfg.HealthInterval,
+		// Sequential health rounds: concurrent probes would interleave
+		// netsim traffic nondeterministically and break byte-identical
+		// replay of recorded schedules.
+		HealthFanout: 1,
 	})
 	if err != nil {
 		return nil, err
 	}
 	h.Pool = pool
+	h.Pipeline = NewPipelineChecker(pool.Replicas)
 	h.Absorb = NewAbsorbChecker("quarantine", func() map[string]bool {
 		out := make(map[string]bool)
 		for _, r := range pool.Replicas() {
@@ -206,7 +212,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 
 // Checkers returns every invariant checker in a stable order.
 func (h *Harness) Checkers() []Checker {
-	return []Checker{h.Serial, h.Budget, h.Absorb, h.Conservation}
+	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation}
 }
 
 // CheckAll runs every checker and returns the concatenated violations.

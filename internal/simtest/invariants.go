@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lateral/internal/cluster"
 	"lateral/internal/core"
 )
 
@@ -220,7 +221,53 @@ func (c *AbsorbChecker) Check() []Violation {
 	return out
 }
 
-// ---- Invariant 4: telemetry conservation -----------------------------
+// ---- Invariant 4: pipelined calls complete exactly once --------------
+
+// PipelineChecker verifies the distributed stubs' correlation-ID
+// accounting: every call a stub issued resolved exactly once — issued =
+// completed + failed — and no caller is still parked awaiting a reply at
+// a quiesce point. Orphan replies (duplicates, unknown IDs, replies
+// landing after their caller unwound) are dropped and counted, never
+// delivered, so a replaying or reordering wire can raise the orphan
+// counter but can never double-complete or leak a call. Harness
+// operations are synchronous, so the books must balance at every check.
+type PipelineChecker struct {
+	snapshot func() []cluster.ReplicaInfo
+}
+
+// NewPipelineChecker builds the checker over a fleet snapshot function
+// (typically pool.Replicas).
+func NewPipelineChecker(snapshot func() []cluster.ReplicaInfo) *PipelineChecker {
+	return &PipelineChecker{snapshot: snapshot}
+}
+
+// Name implements Checker.
+func (c *PipelineChecker) Name() string { return "pipeline-exactly-once" }
+
+// Check implements Checker.
+func (c *PipelineChecker) Check() []Violation {
+	var out []Violation
+	for _, r := range c.snapshot() {
+		st := r.Stub
+		if st.Inflight != 0 {
+			out = append(out, Violation{
+				Invariant: c.Name(),
+				Detail: fmt.Sprintf("replica %s: %d calls still awaiting replies at quiesce",
+					r.Name, st.Inflight),
+			})
+		}
+		if st.Issued != st.Completed+st.Failed {
+			out = append(out, Violation{
+				Invariant: c.Name(),
+				Detail: fmt.Sprintf("replica %s: issued %d != completed %d + failed %d",
+					r.Name, st.Issued, st.Completed, st.Failed),
+			})
+		}
+	}
+	return out
+}
+
+// ---- Invariant 5: telemetry conservation -----------------------------
 
 // Ledger accounts every operation the driver starts against exactly one
 // outcome bucket. Conservation is the bucket equation: nothing the driver

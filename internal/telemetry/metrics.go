@@ -24,6 +24,7 @@ type Metrics struct {
 	domains  map[string]*DomainStats
 	links    map[string]map[string]*LinkStats // from endpoint → to endpoint
 	fleet    fleetState                       // replica-fleet gauges (fleet.go)
+	stub     stubState                        // stub pipelining gauges (stub.go)
 }
 
 // NewMetrics returns an empty collector.

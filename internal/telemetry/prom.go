@@ -126,6 +126,37 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	// Stub pipelining. Emitted only when a stub actually reported — most
+	// scenarios have no distributed edge and their exposition stays
+	// unchanged.
+	if stubs := m.Stubs(); len(stubs) > 0 {
+		type stubCol struct {
+			name, help, typ string
+			val             func(StubSummary) int64
+		}
+		scols := []stubCol{
+			{"lateral_stub_inflight", "Pipelined calls currently awaiting replies on the stub's session.", "gauge",
+				func(s StubSummary) int64 { return s.Inflight }},
+			{"lateral_stub_pipeline_depth_max", "High-water mark of concurrent in-flight calls on the stub.", "gauge",
+				func(s StubSummary) int64 { return s.DepthMax }},
+			{"lateral_stub_calls_total", "Calls issued over the stub's attested session.", "counter",
+				func(s StubSummary) int64 { return s.Calls }},
+			{"lateral_stub_pipeline_depth_sum", "Sum of pipeline depth observed at each call's issue (divide by calls for the mean).", "counter",
+				func(s StubSummary) int64 { return s.DepthSum }},
+			{"lateral_stub_orphan_replies_total", "Replies dropped because no caller was parked on their correlation ID.", "counter",
+				func(s StubSummary) int64 { return s.Orphans }},
+		}
+		for _, c := range scols {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
+			for _, s := range stubs {
+				_, err := fmt.Fprintf(w, "%s{stub=%q} %d\n", c.name, escapeLabel(s.Stub), c.val(s))
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+
 	// Replica fleets.
 	fleets := m.Fleets()
 	if len(fleets) == 0 {
@@ -196,6 +227,18 @@ func (m *Metrics) WriteSummary(w io.Writer) {
 		for _, d := range doms {
 			fmt.Fprintf(w, "%-16s %8d %7d %7d %7d %11d %8s\n",
 				d.Name, d.Invocations, d.Faults, d.AssetStores, d.AssetLoads, d.AssetBytes, boolLabel(d.Trusted))
+		}
+	}
+	if stubs := m.Stubs(); len(stubs) > 0 {
+		fmt.Fprintf(w, "\n%-16s %9s %10s %7s %11s %8s\n",
+			"stub", "inflight", "depth-max", "calls", "mean-depth", "orphans")
+		for _, s := range stubs {
+			mean := float64(0)
+			if s.Calls > 0 {
+				mean = float64(s.DepthSum) / float64(s.Calls)
+			}
+			fmt.Fprintf(w, "%-16s %9d %10d %7d %11.2f %8d\n",
+				s.Stub, s.Inflight, s.DepthMax, s.Calls, mean, s.Orphans)
 		}
 	}
 	fleets := m.Fleets()
