@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -29,9 +29,10 @@ race:
 
 # Coverage with checked-in floors for the invocation-path packages. Floors
 # sit ~5 points under measured coverage (core 93.0, cluster 94.7,
-# distributed 86.6 at the time they were set): they catch a test deletion
-# or a big untested addition without flaking on small refactors.
-COVER_FLOORS := core:88 cluster:89 distributed:81
+# distributed 86.6, journal 97.9 at the time they were set): they catch a
+# test deletion or a big untested addition without flaking on small
+# refactors.
+COVER_FLOORS := core:88 cluster:89 distributed:81 journal:85
 
 cover:
 	$(GO) test -cover ./...
@@ -72,6 +73,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLegacyFSNames -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzDistributedFrame -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzScheduleDecode -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzJournalDecode -fuzztime=10s -run '^$$' .
 
 # Short soak of the attested replica fleet under the race detector:
 # concurrent callers, repeated crash/heal cycles, plus the full E19 chaos
@@ -95,6 +97,15 @@ sim-soak:
 	$(GO) test -count=1 ./internal/simtest -run TestExploreSeeds -simtest.soak=500
 	$(GO) test -race -count=1 -run 'TestMutationIsCaught|TestExploreReplayIsByteIdentical' ./internal/simtest
 	$(GO) test -race -count=3 -run TestE21Simulation ./internal/experiments
+
+# Fleet black-box soak: 500 seeds where a journal-tamper fault mutates a
+# recorded entry mid-run — the auditor invariant must detect every one —
+# plus the exactly-once quarantine journaling race test and the E24
+# auditor-replay experiment under the race detector.
+audit-soak:
+	$(GO) test -count=1 ./internal/simtest -run TestAuditTamperSoak -simtest.soak=500
+	$(GO) test -race -count=3 -run TestQuarantineJournaledExactlyOnce ./internal/cluster
+	$(GO) test -race -count=1 -run TestE24 ./internal/experiments
 
 examples:
 	$(GO) run ./examples/quickstart -substrate all

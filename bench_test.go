@@ -19,11 +19,13 @@ import (
 	"time"
 
 	"lateral/internal/attack"
+	"lateral/internal/cluster"
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
 	"lateral/internal/distributed"
 	"lateral/internal/experiments"
 	"lateral/internal/hw"
+	"lateral/internal/journal"
 	"lateral/internal/kernel"
 	"lateral/internal/legacy"
 	"lateral/internal/mail"
@@ -556,6 +558,58 @@ func BenchmarkCall(b *testing.B) {
 			if _, err := sys.DeliverDeadline("ui", msg, core.Span{}, time.Now().Add(time.Hour)); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkJournalOverhead pins the fleet black box's cost contract on the
+// call path. "off" is the baseline fleet with no journal wired; "on" runs
+// the same calls with every admission, transition, and shed journaled into
+// the hash chain. The steady-state call path journals NOTHING (events fire
+// only on trust transitions and budget sheds), so off and on must stay
+// within noise of each other — the journal-off fast path is a nil check.
+// "record-event" is the cost of one journaled event itself: one canonical
+// encode plus one SHA-256 chain link.
+func BenchmarkJournalOverhead(b *testing.B) {
+	drive := func(b *testing.B, rec cluster.EventRecorder) {
+		b.Helper()
+		d, err := experiments.BuildJournaledFleetDemo(2, 0, nil, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.Send("meter-007", 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { drive(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		jnl, err := journal.New(journal.Config{
+			Signer:  cryptoutil.NewSigner("bench-journal"),
+			Counter: &journal.MemCounter{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drive(b, jnl)
+	})
+	b.Run("record-event", func(b *testing.B) {
+		jnl, err := journal.New(journal.Config{
+			Signer:          cryptoutil.NewSigner("bench-journal"),
+			Counter:         &journal.MemCounter{},
+			CheckpointEvery: -1,
+			MaxEntries:      1 << 22,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			jnl.RecordEvent(journal.KindDeadline, "anon/anon-1", "budget expired", uint64(i), uint64(i))
 		}
 	})
 }

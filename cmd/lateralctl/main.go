@@ -14,6 +14,9 @@
 //	go run ./cmd/lateralctl cluster [-deadline=50ms]
 //	                                          # attested replica fleet demo (crash + tampered build);
 //	                                          # -deadline bounds every reading by a call budget
+//	go run ./cmd/lateralctl events            # fleet black box: hash-chained journal of a chaos run
+//	go run ./cmd/lateralctl audit             # auditor replay of that journal: re-derive trust state,
+//	                                          # then prove tamper/rollback detection (exit 1 on failure)
 package main
 
 import (
@@ -25,7 +28,9 @@ import (
 
 	"lateral/internal/cluster"
 	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
 	"lateral/internal/experiments"
+	"lateral/internal/journal"
 	"lateral/internal/kernel"
 	"lateral/internal/mail"
 	"lateral/internal/manifest"
@@ -45,7 +50,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition|trace|metrics|cluster")
+		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition|trace|metrics|cluster|events|audit")
 	}
 	switch args[0] {
 	case "substrates":
@@ -272,9 +277,138 @@ func run(args []string) error {
 		fmt.Println()
 		met.WriteSummary(os.Stdout)
 		return nil
+	case "events":
+		run, err := journaledChaosRun()
+		if err != nil {
+			return err
+		}
+		entries := run.jnl.Entries()
+		fmt.Printf("fleet black box after chaos run: %d entries, %d checkpoints, %d dropped\n\n",
+			len(entries), len(run.jnl.Checkpoints()), run.jnl.Dropped())
+		fmt.Printf("%4s  %-12s %-22s %-10s %s\n", "seq", "kind", "actor", "trace", "detail")
+		for _, e := range entries {
+			trace := "-"
+			if e.Trace != 0 || e.Span != 0 {
+				trace = fmt.Sprintf("%d/%d", e.Trace, e.Span)
+			}
+			fmt.Printf("%4d  %-12s %-22s %-10s %s\n", e.Seq, e.Kind, e.Actor, trace, e.Detail)
+		}
+		fmt.Println()
+		for _, ck := range run.jnl.Checkpoints() {
+			fmt.Printf("checkpoint seq=%d counter=%d head=%x\n", ck.Seq, ck.Counter, ck.Head[:8])
+		}
+		for _, dump := range run.flight.Dumps() {
+			fmt.Printf("flight dump trigger=%s detail=%q spans=%d\n", dump.Trigger, dump.Detail, len(dump.Spans))
+		}
+		return nil
+	case "audit":
+		// The auditor's position: only the exported journal bytes, the
+		// checkpoint public key, and the trusted monotonic counter. Replay
+		// must re-derive the live fleet's exact trust state, and the
+		// self-checks must prove the black box is tamper- and
+		// rollback-evident. Any failure exits non-zero.
+		run, err := journaledChaosRun()
+		if err != nil {
+			return err
+		}
+		export := run.jnl.Export()
+		trusted, err := run.counter.Value()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("audit inputs: %d-byte export, checkpoint key, trusted counter=%d\n", len(export), trusted)
+		audit, err := journal.Replay(export, run.signer.Public(), trusted)
+		if err != nil {
+			return fmt.Errorf("audit: replay failed: %w", err)
+		}
+		fmt.Printf("replay: %d entries verified, chain head %x, %d checkpoints anchored\n",
+			len(audit.Entries), audit.Head[:8], len(audit.Checkpoints))
+		fmt.Println("re-derived trust state:")
+		actors := make([]string, 0, len(audit.States))
+		for a := range audit.States {
+			actors = append(actors, a)
+		}
+		sort.Strings(actors)
+		for _, a := range actors {
+			fmt.Printf("  %-22s %s\n", a, audit.States[a])
+		}
+		if diff := audit.Diff(run.demo.Pool.States()); len(diff) > 0 {
+			return fmt.Errorf("audit: journal diverges from live fleet: %v", diff)
+		}
+		fmt.Println("live fleet comparison: no divergence")
+
+		// Self-check 1: every single-byte corruption of the export must be
+		// detected.
+		for i := range export {
+			mut := append([]byte(nil), export...)
+			mut[i] ^= 0x55
+			if _, err := journal.Replay(mut, run.signer.Public(), trusted); err == nil {
+				return fmt.Errorf("audit: byte flip at offset %d passed verification", i)
+			}
+		}
+		fmt.Printf("self-check: all %d single-byte flips detected\n", len(export))
+		// Self-check 2: a regressed trusted counter (rollback) must be
+		// detected.
+		if _, err := journal.Replay(export, run.signer.Public(), trusted-1); err == nil {
+			return fmt.Errorf("audit: counter regression passed verification")
+		}
+		fmt.Println("self-check: counter regression detected")
+		fmt.Println("AUDIT OK")
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// chaosRun bundles the journaled fleet the events and audit commands share.
+type chaosRun struct {
+	demo    *experiments.FleetDemo
+	jnl     *journal.Journal
+	signer  *cryptoutil.Signer
+	counter *journal.MemCounter
+	flight  *journal.FlightRecorder
+}
+
+// journaledChaosRun deploys a journaled anonymizer fleet and drives the
+// E19 chaos narrative through it: a tampered build refused at admission
+// (quarantine + flight dump), a mid-run crash with failover, and a
+// re-attested recovery — leaving a black box with every kind of fleet
+// event on record, closed by a signed checkpoint.
+func journaledChaosRun() (*chaosRun, error) {
+	signer := cryptoutil.NewSigner("lateralctl-audit")
+	counter := &journal.MemCounter{}
+	flight := journal.NewFlightRecorder(journal.FlightConfig{Spans: 16})
+	jnl, err := journal.New(journal.Config{
+		Name:            "anonymizer",
+		Signer:          signer,
+		Counter:         counter,
+		CheckpointEvery: 8,
+		Flight:          flight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	demo, err := experiments.BuildJournaledFleetDemo(3, 3, nil, jnl)
+	if err != nil {
+		return nil, err
+	}
+	demo.SetTracer(flight)
+	for i := 0; i < 12; i++ {
+		switch i {
+		case 4:
+			demo.Part.Isolate("anon-2")
+		case 8:
+			demo.Part.Heal("anon-2")
+			demo.Pool.CheckNow()
+		}
+		if err := demo.Send(fmt.Sprintf("meter-%02d", i%4), 2+i%5); err != nil {
+			return nil, err
+		}
+	}
+	if err := jnl.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return &chaosRun{demo: demo, jnl: jnl, signer: signer, counter: counter, flight: flight}, nil
 }
 
 // runScenario drives one instrumented workload: every involved system gets

@@ -23,6 +23,50 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files with current
 //
 //	go test ./cmd/lateralctl -run Golden -update
 func TestMetricsSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenMetrics().WriteSummary(&buf)
+	compareGolden(t, "metrics_summary.golden", buf.Bytes())
+}
+
+// TestMetricsPrometheusGolden pins the full Prometheus exposition for the
+// same synthetic workload — every family, including the lateral_stub_*
+// pipelining counters and the lateral_journal_* black-box counters.
+func TestMetricsPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenMetrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"lateral_stub_calls_total", "lateral_journal_events_total",
+		"lateral_journal_checkpoint_counter", "lateral_journal_flight_dumps_total"} {
+		if !bytes.Contains(buf.Bytes(), []byte(family)) {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
+	compareGolden(t, "metrics_prom.golden", buf.Bytes())
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from golden file (run with -update if intentional):\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// goldenMetrics builds the fixed synthetic workload both golden tests pin.
+func goldenMetrics() *telemetry.Metrics {
 	m := telemetry.NewMetrics()
 	at := time.Unix(1000, 0)
 
@@ -76,23 +120,17 @@ func TestMetricsSummaryGolden(t *testing.T) {
 	m.StubInflight("store", -3)
 	m.StubOrphan("store")
 
-	var buf bytes.Buffer
-	m.WriteSummary(&buf)
+	// Fleet black box for the journal table: a short honest run — admit,
+	// up, one quarantine with its flight dump — closed by two checkpoints.
+	for _, kind := range []string{"admit", "replica-up", "quarantine", "deadline"} {
+		m.JournalEvent("svc", kind)
+	}
+	m.JournalEvent("svc", "deadline")
+	m.JournalCheckpoint("svc", 3, 1)
+	m.JournalCheckpoint("svc", 5, 2)
+	m.JournalDropped("svc")
+	m.JournalFlightDump("svc", "quarantine")
+	m.JournalFlightDump("svc", "deadline-storm")
 
-	golden := filepath.Join("testdata", "metrics_summary.golden")
-	if *updateGolden {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with -update to regenerate)", err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("summary output drifted from golden file (run with -update if intentional):\n--- got\n%s--- want\n%s", buf.Bytes(), want)
-	}
+	return m
 }

@@ -20,6 +20,7 @@ import (
 	"lateral/internal/cryptoutil"
 	"lateral/internal/distributed"
 	"lateral/internal/hw"
+	"lateral/internal/journal"
 	"lateral/internal/legacy"
 	"lateral/internal/securechan"
 	"lateral/internal/simtest"
@@ -280,6 +281,62 @@ func FuzzLegacyFSNames(f *testing.F) {
 		}
 		if !bytes.Equal(got, content) {
 			t.Fatalf("round trip mismatch for %q", name)
+		}
+	})
+}
+
+// FuzzJournalDecode covers the fleet black box's export parser and chain
+// verifier: an auditor replays journals it fetched from possibly-hostile
+// storage, so truncated entries, bit flips, spliced chains, and
+// checkpoint/counter mismatches must all yield typed errors — never a
+// panic, and never a "verified" verdict on bytes the journal did not
+// produce. When Replay does accept an input, re-encoding what it decoded
+// must reproduce the input byte-for-byte (the canonical-form oracle).
+func FuzzJournalDecode(f *testing.F) {
+	signer := cryptoutil.NewSigner("fuzz-journal")
+	counter := &journal.MemCounter{}
+	clk := time.Unix(1_700_000_000, 0)
+	jnl, err := journal.New(journal.Config{
+		Signer:          signer,
+		Counter:         counter,
+		CheckpointEvery: 3,
+		Clock:           func() time.Time { clk = clk.Add(time.Millisecond); return clk },
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	jnl.RecordEvent(journal.KindAdmit, "svc/a", "", 0, 0)
+	jnl.RecordEvent(journal.KindReplicaUp, "svc/a", "", 1, 2)
+	jnl.RecordEvent(journal.KindAdmit, "svc/b", "", 0, 0)
+	jnl.RecordEvent(journal.KindQuarantine, "svc/b", "measurement mismatch", 3, 4)
+	jnl.RecordEvent(journal.KindDeadline, "anon", "core: deadline exceeded", 5, 6)
+	export := jnl.Export()
+	pub := signer.Public()
+
+	f.Add(export)
+	f.Add(export[:len(export)/2])             // truncated mid-stream
+	f.Add(append([]byte(nil), export[5:]...)) // missing magic
+	spliced := append([]byte(nil), export...)
+	spliced = append(spliced, export[5:]...) // foreign records appended
+	f.Add(spliced)
+	flipped := append([]byte(nil), export...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	f.Add([]byte("LATJ\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, trusted := range []uint64{0, 1, 2} {
+			audit, err := journal.Replay(data, pub, trusted)
+			if err != nil {
+				continue
+			}
+			// Accepted input must be in canonical form: what the auditor
+			// decoded re-encodes to the exact bytes it verified.
+			re := journal.Reencode(audit.Entries, audit.Checkpoints)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("accepted non-canonical journal (trusted=%d):\n in: %x\nout: %x", trusted, data, re)
+			}
 		}
 	})
 }

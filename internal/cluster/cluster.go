@@ -93,6 +93,17 @@ func (nopMonitor) ReplicaCall(string, string, bool)        {}
 func (nopMonitor) ReplicaRetry(string, string)             {}
 func (nopMonitor) ReplicaFailover(string, string)          {}
 
+// EventRecorder is the structural hook into the fleet's black box
+// (internal/journal): admission, health transitions, quarantine, and
+// failover become durable journal entries. Declared here rather than
+// imported, same as Monitor. Implementations must be safe for concurrent
+// use and must NOT call back into the Pool: state-transition events are
+// emitted while the pool's mutex is held, so journal order always equals
+// commit order.
+type EventRecorder interface {
+	RecordEvent(kind, actor, detail string, trace, span uint64)
+}
+
 // Replica is one fleet member.
 type Replica struct {
 	name string
@@ -195,6 +206,12 @@ type Config struct {
 
 	// Monitor receives fleet telemetry (default: discard).
 	Monitor Monitor
+
+	// Journal, when set, receives trust-relevant fleet events (admission,
+	// health transitions, quarantine, failover) and is handed to each
+	// replica's stub for session lifecycle events. Nil leaves the fleet
+	// unjournaled.
+	Journal EventRecorder
 }
 
 // ReplicaSpec describes one replica to admit.
@@ -307,11 +324,18 @@ func (p *Pool) Admit(spec ReplicaSpec) error {
 		Pump:           spec.Pump,
 		Clock:          p.cfg.Clock,
 		Monitor:        stubMon,
+		Journal:        p.cfg.Journal,
+		Actor:          p.cfg.Fleet + "/" + spec.Name,
 	})
 	if err != nil {
 		return err
 	}
-	r := &Replica{name: spec.Name, stub: stub}
+	// The replica enters the pool DOWN: a pre-handshake replica must never
+	// be dispatchable, and the journaled admit event records exactly that
+	// not-yet-trusted state. (Relying on the zero value here would admit
+	// it healthy — State's zero value — for the window until Connect
+	// resolves.)
+	r := &Replica{name: spec.Name, stub: stub, state: StateDown}
 	p.mu.Lock()
 	if _, dup := p.byName[spec.Name]; dup {
 		p.mu.Unlock()
@@ -319,32 +343,66 @@ func (p *Pool) Admit(spec ReplicaSpec) error {
 	}
 	p.replicas = append(p.replicas, r)
 	p.byName[spec.Name] = r
+	p.record(KindAdmit, r.name, "")
 	p.mu.Unlock()
+	// Visible in fleet telemetry from admission, not first transition.
+	p.cfg.Monitor.ReplicaState(p.cfg.Fleet, r.name, false, false)
 
 	err = stub.Connect()
 	switch {
 	case err == nil:
-		p.setState(r, StateHealthy)
+		p.setState(r, StateHealthy, "")
 		return nil
 	case errors.Is(err, ErrAttestation):
-		p.setState(r, StateQuarantined)
+		p.setState(r, StateQuarantined, err.Error())
 		return fmt.Errorf("admit %s: %w", spec.Name, err)
 	default:
-		p.setState(r, StateDown)
+		p.setState(r, StateDown, err.Error())
 		return fmt.Errorf("admit %s: %w", spec.Name, err)
 	}
 }
 
-// setState transitions a replica and reports it to telemetry. Quarantine
-// is absorbing: no transition leaves it.
-func (p *Pool) setState(r *Replica, s State) {
+// Journal event kinds the pool emits; the journal package's canonical
+// vocabulary, restated here because the dependency points the other way.
+const (
+	KindAdmit       = "admit"
+	KindReplicaUp   = "replica-up"
+	KindReplicaDown = "replica-down"
+	KindQuarantine  = "quarantine"
+	KindFailover    = "failover"
+)
+
+// record journals one fleet event. Caller holds p.mu (that is the point:
+// journal order equals commit order).
+func (p *Pool) record(kind, replica, detail string) {
+	if p.cfg.Journal != nil {
+		p.cfg.Journal.RecordEvent(kind, p.cfg.Fleet+"/"+replica, detail, 0, 0)
+	}
+}
+
+// setState transitions a replica, journals the transition, and reports it
+// to telemetry. Quarantine is absorbing: no transition leaves it. The
+// state commit, the journal entry, and the Monitor callback all happen
+// under p.mu, so no observer can ever record a transition the pool then
+// reorders or rolls back — concurrent failover and health rounds
+// serialize here, which is what makes "quarantine is journaled exactly
+// once" a theorem rather than a race. A no-op transition (old == new)
+// emits nothing.
+func (p *Pool) setState(r *Replica, s State, detail string) {
 	p.mu.Lock()
-	if r.state == StateQuarantined {
-		p.mu.Unlock()
+	defer p.mu.Unlock()
+	if r.state == StateQuarantined || r.state == s {
 		return
 	}
 	r.state = s
-	p.mu.Unlock()
+	switch s {
+	case StateHealthy:
+		p.record(KindReplicaUp, r.name, detail)
+	case StateDown:
+		p.record(KindReplicaDown, r.name, detail)
+	case StateQuarantined:
+		p.record(KindQuarantine, r.name, detail)
+	}
 	p.cfg.Monitor.ReplicaState(p.cfg.Fleet, r.name, s == StateHealthy, s == StateQuarantined)
 }
 
@@ -456,10 +514,15 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 			return reply, err
 		}
 		// Operational failure: the replica is down until a health check
-		// re-attests it. Fail the call over without delay.
-		p.setState(r, StateDown)
+		// re-attests it. Fail the call over without delay. The down
+		// transition commits (and journals) first; the failover event
+		// refers to an already-recorded state.
+		p.setState(r, StateDown, err.Error())
 		r.stub.Close()
 		r.failovers.Add(1)
+		p.mu.Lock()
+		p.record(KindFailover, r.name, err.Error())
+		p.mu.Unlock()
 		p.cfg.Monitor.ReplicaFailover(p.cfg.Fleet, r.name)
 		lastErr = err
 		if attempt+1 < p.cfg.MaxAttempts {
@@ -603,15 +666,19 @@ func (p *Pool) CheckNow() {
 		switch states[i] {
 		case StateHealthy:
 			if v.err != nil || v.slow {
-				p.setState(r, StateDown)
+				detail := "probe slow"
+				if v.err != nil {
+					detail = v.err.Error()
+				}
+				p.setState(r, StateDown, detail)
 				r.stub.Close()
 			}
 		case StateDown:
 			switch {
 			case v.err == nil:
-				p.setState(r, StateHealthy)
+				p.setState(r, StateHealthy, "")
 			case errors.Is(v.err, ErrAttestation):
-				p.setState(r, StateQuarantined)
+				p.setState(r, StateQuarantined, v.err.Error())
 				// else: still down; next round tries again.
 			}
 		}
@@ -636,6 +703,19 @@ func (p *Pool) Replicas() []ReplicaInfo {
 			Version:   r.stub.CompVersion(),
 			Stub:      r.stub.Stats(),
 		})
+	}
+	return out
+}
+
+// States returns the live trust-state view keyed the way the journal
+// names actors (fleet/replica) — the map `lateralctl audit` and the
+// simulation's auditor invariant diff against a journal replay.
+func (p *Pool) States() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.replicas))
+	for _, r := range p.replicas {
+		out[p.cfg.Fleet+"/"+r.name] = r.state.String()
 	}
 	return out
 }

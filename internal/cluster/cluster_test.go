@@ -770,3 +770,101 @@ func TestDoDeadlineOutageBackoffCappedByBudget(t *testing.T) {
 		}
 	}
 }
+
+// journalCounter is a test EventRecorder counting events per kind/actor.
+type journalCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (j *journalCounter) RecordEvent(kind, actor, detail string, trace, span uint64) {
+	j.mu.Lock()
+	if j.counts == nil {
+		j.counts = make(map[string]int)
+	}
+	j.counts[kind+"|"+actor]++
+	j.mu.Unlock()
+}
+
+func (j *journalCounter) count(kind, actor string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.counts[kind+"|"+actor]
+}
+
+// targetTamperer flips a byte in every payload the target endpoint sends —
+// the on-path integrity attack that makes re-attestation refuse a replica.
+type targetTamperer struct{ target string }
+
+func (a targetTamperer) Intercept(d netsim.Datagram) []netsim.Datagram {
+	if d.From != a.target || len(d.Payload) == 0 {
+		return []netsim.Datagram{d}
+	}
+	c := d.Payload // in-path attacker may mutate in place
+	c[len(c)/2] ^= 0x40
+	return []netsim.Datagram{d}
+}
+
+// TestQuarantineJournaledExactlyOnceUnderConcurrentFailover drives the
+// exactly-once property the setState refactor guarantees: a replica that
+// fails re-attestation while concurrent health rounds, failovers, and
+// callers all race on it produces exactly ONE quarantine journal entry —
+// the state commit, the journal append, and the Monitor callback are one
+// critical section, and quarantine is absorbing. Run with -race.
+func TestQuarantineJournaledExactlyOnceUnderConcurrentFailover(t *testing.T) {
+	jc := &journalCounter{}
+	f := newFleet(t, 3, nil, func(c *Config) { c.Journal = jc })
+
+	// Take anon-2 down, then bring its network back tampered: every
+	// reconnect now presents corrupt evidence and fails attestation.
+	f.part.Isolate("anon-2")
+	f.pool.CheckNow()
+	if got := f.info("anon-2").State; got != StateDown {
+		t.Fatalf("anon-2 = %v before tamper, want down", got)
+	}
+	f.part.Heal("anon-2")
+	f.net.SetAdversary(netsim.NewChain(f.part, targetTamperer{target: "anon-2"}))
+
+	// Race health rounds (each re-attests the down replica) against a
+	// caller storm; every path that can touch anon-2's state runs at once.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				f.pool.CheckNow()
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = f.bump(fmt.Sprintf("storm-%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := f.info("anon-2").State; got != StateQuarantined {
+		t.Fatalf("anon-2 = %v after tampered re-attestation, want quarantined", got)
+	}
+	if got := jc.count(KindQuarantine, "anon/anon-2"); got != 1 {
+		t.Fatalf("quarantine journaled %d times, want exactly 1", got)
+	}
+	if got := jc.count(KindAdmit, "anon/anon-2"); got != 1 {
+		t.Fatalf("admit journaled %d times, want exactly 1", got)
+	}
+	// Quarantine is absorbing: later health rounds must not resurrect or
+	// re-journal the replica.
+	f.net.SetAdversary(f.part)
+	f.pool.CheckNow()
+	if got := jc.count(KindQuarantine, "anon/anon-2"); got != 1 {
+		t.Fatalf("quarantine re-journaled after heal: %d entries", got)
+	}
+	if got := jc.count(KindReplicaUp, "anon/anon-2"); got != 1 {
+		t.Fatalf("anon-2 replica-up count = %d, want 1 (initial admission only)", got)
+	}
+}

@@ -57,20 +57,30 @@ func (s *System) budgetErr(ctx context.Context, deadline time.Time) error {
 	return nil
 }
 
-// noteBudgetErr accounts a budget failure in the system's cost counters.
-// Off the fast path: only refused, abandoned, canceled, or shed calls pay
-// for the lock.
-func (s *System) noteBudgetErr(err error) {
+// noteBudgetErr accounts a budget failure in the system's cost counters
+// and journals it against the component it hit and the span it happened
+// under. Off the fast path: only refused, abandoned, canceled, or shed
+// calls pay for the lock, and the journal emission happens after it is
+// released so recorders never run under s.mu.
+func (s *System) noteBudgetErr(err error, actor string, sp Span) {
+	var kind string
 	s.mu.Lock()
 	switch {
 	case errors.Is(err, ErrDeadline):
 		s.stats.Timeouts++
+		kind = "deadline"
 	case errors.Is(err, ErrCanceled):
 		s.stats.Cancels++
+		kind = "cancel"
 	case errors.Is(err, ErrOverloaded):
 		s.stats.Overloads++
+		kind = "overload"
 	}
+	rec := s.events
 	s.mu.Unlock()
+	if rec != nil && kind != "" {
+		rec.RecordEvent(kind, actor, err.Error(), sp.Trace, sp.ID)
+	}
 }
 
 // invokeGuarded runs the handler under the watchdog: the handler executes
@@ -116,7 +126,7 @@ func (s *System) invokeGuarded(ctx context.Context, n *node, env Envelope, compr
 		return r.reply, r.err
 	case <-expire:
 		err := fmt.Errorf("%s: handler abandoned past deadline: %w", n.comp.CompName(), ErrDeadline)
-		s.noteBudgetErr(err)
+		s.noteBudgetErr(err, n.comp.CompName(), env.Span)
 		return Message{}, err
 	case <-canceled:
 		base := ErrCanceled
@@ -124,7 +134,7 @@ func (s *System) invokeGuarded(ctx context.Context, n *node, env Envelope, compr
 			base = ErrDeadline
 		}
 		err := fmt.Errorf("%s: caller gone while call in flight: %w", n.comp.CompName(), base)
-		s.noteBudgetErr(err)
+		s.noteBudgetErr(err, n.comp.CompName(), env.Span)
 		return Message{}, err
 	}
 }

@@ -144,6 +144,10 @@ type System struct {
 	spanSeq  uint64
 	traceSeq uint64
 
+	// events is the journal hook (see events.go); nil means budget sheds
+	// go unjournaled. Only error branches read it, never the steady path.
+	events EventRecorder
+
 	// sampleEvery enables head sampling: only one in every sampleEvery
 	// externally delivered requests is traced (0 or 1 = trace all).
 	// sampleCtr counts root delivers under mu.
@@ -505,7 +509,7 @@ func (s *System) dispatch(ctx context.Context, n *node, env *Envelope, compromis
 	guarded := !env.Deadline.IsZero() || (ctx != nil && ctx.Done() != nil)
 	if guarded {
 		if err := s.budgetErr(ctx, env.Deadline); err != nil {
-			s.noteBudgetErr(err)
+			s.noteBudgetErr(err, n.comp.CompName(), env.Span)
 			return Message{}, fmt.Errorf("dispatch to %s: %w", n.comp.CompName(), err)
 		}
 	}
@@ -570,7 +574,7 @@ func (s *System) invoke(ctx context.Context, n *node, env *Envelope, guarded, co
 	if w := n.admitted.Add(1); limit > 0 && w > limit {
 		n.admitted.Add(-1)
 		err := fmt.Errorf("%s: %d callers queued: %w", n.comp.CompName(), w-1, ErrOverloaded)
-		s.noteBudgetErr(err)
+		s.noteBudgetErr(err, n.comp.CompName(), env.Span)
 		return Message{}, err
 	}
 	return s.invokeGuarded(ctx, n, *env, compromised, obs)
@@ -586,7 +590,7 @@ func (s *System) invokeQueued(n *node, env *Envelope, compromised bool, obs Obse
 	if w := n.admitted.Add(1); limit > 0 && w >= limit {
 		n.admitted.Add(-1)
 		err := fmt.Errorf("%s: %d callers queued: %w", n.comp.CompName(), w, ErrOverloaded)
-		s.noteBudgetErr(err)
+		s.noteBudgetErr(err, n.comp.CompName(), env.Span)
 		return Message{}, err
 	}
 	defer n.admitted.Add(-1)

@@ -836,6 +836,21 @@ type StubConfig struct {
 
 	// Monitor receives pipelining telemetry (default: discard).
 	Monitor Monitor
+
+	// Journal, when set, receives secure-channel session lifecycle events
+	// ("session-up" on an attested handshake, "session-fail" on handshake
+	// or channel failure). Actor labels the events; it defaults to
+	// RemoteEndpoint, and a pool admitting the stub sets it to the
+	// replica's fleet/name.
+	Journal EventRecorder
+	Actor   string
+}
+
+// EventRecorder is the structural journal hook (see internal/journal),
+// declared here rather than imported — the same pattern as Monitor.
+// Implementations must be safe for concurrent use.
+type EventRecorder interface {
+	RecordEvent(kind, actor, detail string, trace, span uint64)
 }
 
 // NewStub validates the config.
@@ -848,6 +863,9 @@ func NewStub(cfg StubConfig) (*Stub, error) {
 	}
 	if cfg.Monitor == nil {
 		cfg.Monitor = nopStubMonitor{}
+	}
+	if cfg.Actor == "" {
+		cfg.Actor = cfg.RemoteEndpoint
 	}
 	s := &Stub{
 		name:    cfg.RemoteName,
@@ -914,8 +932,27 @@ func (s *Stub) recvOne() (netsim.Datagram, error) {
 // fresh session; stale datagrams from the previous session are discarded
 // before the handshake (so they cannot be mistaken for handshake flights)
 // and again before the session is installed (so they cannot be mistaken
-// for replies on it).
+// for replies on it). The outcome is journaled as a session lifecycle
+// event when a Journal is wired.
 func (s *Stub) Connect() error {
+	err := s.connect()
+	s.recordSession(err)
+	return err
+}
+
+// recordSession journals a session lifecycle outcome.
+func (s *Stub) recordSession(err error) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err != nil {
+		s.cfg.Journal.RecordEvent("session-fail", s.cfg.Actor, err.Error(), 0, 0)
+		return
+	}
+	s.cfg.Journal.RecordEvent("session-up", s.cfg.Actor, "", 0, 0)
+}
+
+func (s *Stub) connect() error {
 	s.cfg.Endpoint.Drain()
 	client, err := securechan.NewClient(securechan.ClientConfig{
 		Rand:         s.cfg.Rand,
@@ -1015,6 +1052,7 @@ func (s *Stub) failSession(sess *securechan.Session, gen, ownCorr uint64, err er
 		}
 		w.ch <- result{err: fmt.Errorf("stub %s: session failed: %w", s.name, err)}
 	}
+	s.recordSession(fmt.Errorf("session failed: %w", err))
 	return own
 }
 

@@ -75,6 +75,15 @@ type FleetDemo struct {
 // build; its admission must fail and is recorded in TamperedAdmitErr.
 // mon (may be nil) receives per-replica fleet telemetry.
 func BuildFleetDemo(n, tamperedIdx int, mon cluster.Monitor) (*FleetDemo, error) {
+	return BuildJournaledFleetDemo(n, tamperedIdx, mon, nil)
+}
+
+// BuildJournaledFleetDemo is BuildFleetDemo with a fleet black box wired
+// in: rec journals every admission, state transition, failover, and
+// secure-channel session event from the pool, plus every deadline,
+// overload, and cancel shed inside each replica system (E24, lateralctl
+// events/audit). A nil rec is the journal-off fast path.
+func BuildJournaledFleetDemo(n, tamperedIdx int, mon cluster.Monitor, rec cluster.EventRecorder) (*FleetDemo, error) {
 	net := netsim.New()
 	part := netsim.NewPartitioner()
 	net.SetAdversary(part)
@@ -87,6 +96,7 @@ func BuildFleetDemo(n, tamperedIdx int, mon cluster.Monitor) (*FleetDemo, error)
 		JitterSeed:  "e19",
 		Sleep:       func(time.Duration) {}, // virtual time only
 		Monitor:     mon,
+		Journal:     rec,
 	})
 	if err != nil {
 		return nil, err
@@ -117,6 +127,9 @@ func BuildFleetDemo(n, tamperedIdx int, mon cluster.Monitor) (*FleetDemo, error)
 		}
 		if err := sys.InitAll(); err != nil {
 			return nil, err
+		}
+		if rec != nil {
+			sys.SetEventRecorder(rec)
 		}
 		exp, err := distributed.NewExporter(distributed.ExportConfig{
 			System:    sys,

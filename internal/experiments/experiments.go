@@ -123,6 +123,7 @@ func All() []Experiment {
 		{ID: "E20", Name: "stall containment under deadlines", Run: E20Stall},
 		{ID: "E21", Name: "deterministic fleet simulation", Run: E21Simulation},
 		{ID: "E22", Name: "pipelined secure-channel RPC", Run: E22Pipelining},
+		{ID: "E24", Name: "fleet black box (auditor replay)", Run: E24Audit},
 	}
 }
 

@@ -546,3 +546,22 @@ func TestE22Pipelining(t *testing.T) {
 		t.Error("depth-16 round never had more than one call in flight")
 	}
 }
+
+func TestE24AuditorReplayAndTamperEvidence(t *testing.T) {
+	tab, err := E24Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[4] != "PASS" {
+			t.Errorf("E24 %s: %v", r[0], r)
+		}
+	}
+	// The tamper sweep must actually have exercised a non-trivial export.
+	if tab.Rows[1][1] == "0" || tab.Rows[1][3] == "0/0" {
+		t.Error("chaos run journaled no entries")
+	}
+}

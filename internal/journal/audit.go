@@ -1,0 +1,163 @@
+package journal
+
+// The auditor: Replay walks an exported journal from genesis and
+// independently re-derives the fleet's trust state, trusting nothing but
+// the checkpoint signing key and the monotonic counter's current value.
+// Any of the following fails the audit with a typed error:
+//
+//   - framing violations (ErrTruncated / ErrBadRecord)
+//   - a sequence gap, duplicate, or hash mismatch (ErrChainBreak)
+//   - a checkpoint whose signature, chain head, position, or counter
+//     ordering is wrong (ErrBadCheckpoint)
+//   - a final checkpoint that does not match the trusted counter — the
+//     log was rolled back, truncated, or the counter regressed
+//     (ErrRollback)
+//   - an event sequence no honest pool could have produced, e.g. a
+//     quarantined replica transitioning again (ErrDivergence)
+//
+// There is deliberately no "mostly verified" result: the first violation
+// aborts the replay.
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+)
+
+// Trust-state values Replay derives — chosen to match the live pool's
+// State.String() so the two views diff textually.
+const (
+	TrustHealthy     = "healthy"
+	TrustDown        = "down"
+	TrustQuarantined = "quarantined"
+)
+
+// Audit is the result of a successful replay.
+type Audit struct {
+	Entries     []Event
+	Checkpoints []Checkpoint
+
+	// States is the re-derived trust state per admitted actor:
+	// TrustHealthy, TrustDown, or TrustQuarantined.
+	States map[string]string
+
+	// LastSeq and Head are the verified chain position.
+	LastSeq uint64
+	Head    [32]byte
+}
+
+// Replay verifies an exported journal against the checkpoint public key
+// and the trusted counter's current value, and re-derives trust state.
+func Replay(data []byte, pub ed25519.PublicKey, trustedCounter uint64) (*Audit, error) {
+	recs, err := decodeExport(data)
+	if err != nil {
+		return nil, err
+	}
+	a := &Audit{States: make(map[string]string), Head: genesisHead()}
+	var lastCkpt *Checkpoint
+	for i := range recs {
+		r := &recs[i]
+		if r.ckpt {
+			ck := r.ck
+			if ck.Seq != a.LastSeq {
+				return nil, fmt.Errorf("checkpoint for seq %d placed at seq %d: %w", ck.Seq, a.LastSeq, ErrBadCheckpoint)
+			}
+			if !ck.verifySig(pub) {
+				return nil, fmt.Errorf("checkpoint at seq %d: bad signature: %w", ck.Seq, ErrBadCheckpoint)
+			}
+			if ck.Head != a.Head {
+				return nil, fmt.Errorf("checkpoint at seq %d: head mismatch: %w", ck.Seq, ErrBadCheckpoint)
+			}
+			if lastCkpt != nil && ck.Counter <= lastCkpt.Counter {
+				return nil, fmt.Errorf("checkpoint counter %d after %d: %w", ck.Counter, lastCkpt.Counter, ErrBadCheckpoint)
+			}
+			a.Checkpoints = append(a.Checkpoints, ck)
+			lastCkpt = &a.Checkpoints[len(a.Checkpoints)-1]
+			continue
+		}
+		e := r.ev
+		if e.Seq != a.LastSeq+1 {
+			return nil, fmt.Errorf("entry seq %d after %d: %w", e.Seq, a.LastSeq, ErrChainBreak)
+		}
+		next := chainNext(a.Head, r.enc)
+		if e.Hash != next {
+			return nil, fmt.Errorf("entry %d: stored hash does not extend chain: %w", e.Seq, ErrChainBreak)
+		}
+		a.Head = next
+		a.LastSeq = e.Seq
+		if err := applyTrust(a.States, &e); err != nil {
+			return nil, err
+		}
+		a.Entries = append(a.Entries, e)
+	}
+	// Rollback anchor: the newest checkpoint must speak for the trusted
+	// counter's current value. A counter ahead of the log means entries
+	// (or whole checkpoints) were discarded; a counter behind it means
+	// the counter itself regressed. Both are fatal.
+	switch {
+	case lastCkpt == nil && trustedCounter != 0:
+		return nil, fmt.Errorf("no checkpoints but trusted counter is %d: %w", trustedCounter, ErrRollback)
+	case lastCkpt != nil && lastCkpt.Counter != trustedCounter:
+		return nil, fmt.Errorf("last checkpoint counter %d, trusted counter %d: %w", lastCkpt.Counter, trustedCounter, ErrRollback)
+	}
+	return a, nil
+}
+
+// applyTrust folds one event into the derived trust state, rejecting
+// sequences no honest pool produces. Quarantine is absorbing and
+// exactly-once: a second quarantine for an actor, or any transition out,
+// is a divergence.
+func applyTrust(states map[string]string, e *Event) error {
+	switch e.Kind {
+	case KindAdmit, KindReplicaUp, KindReplicaDown, KindQuarantine:
+	default:
+		return nil // ops events carry no trust-state transition
+	}
+	cur, known := states[e.Actor]
+	if known && cur == TrustQuarantined {
+		return fmt.Errorf("entry %d: %s for quarantined %s: %w", e.Seq, e.Kind, e.Actor, ErrDivergence)
+	}
+	switch e.Kind {
+	case KindAdmit:
+		states[e.Actor] = TrustDown
+	case KindReplicaUp:
+		if !known {
+			return fmt.Errorf("entry %d: %s for unadmitted %s: %w", e.Seq, e.Kind, e.Actor, ErrDivergence)
+		}
+		states[e.Actor] = TrustHealthy
+	case KindReplicaDown:
+		if !known {
+			return fmt.Errorf("entry %d: %s for unadmitted %s: %w", e.Seq, e.Kind, e.Actor, ErrDivergence)
+		}
+		states[e.Actor] = TrustDown
+	case KindQuarantine:
+		if !known {
+			return fmt.Errorf("entry %d: quarantine for unadmitted %s: %w", e.Seq, e.Actor, ErrDivergence)
+		}
+		states[e.Actor] = TrustQuarantined
+	}
+	return nil
+}
+
+// Diff compares the replayed trust state against a live view and returns
+// one line per disagreement, sorted — empty means the audit matches the
+// running fleet exactly.
+func (a *Audit) Diff(live map[string]string) []string {
+	var out []string
+	for actor, want := range a.States {
+		got, ok := live[actor]
+		switch {
+		case !ok:
+			out = append(out, fmt.Sprintf("%s: journal=%s live=<absent>", actor, want))
+		case got != want:
+			out = append(out, fmt.Sprintf("%s: journal=%s live=%s", actor, want, got))
+		}
+	}
+	for actor, got := range live {
+		if _, ok := a.States[actor]; !ok {
+			out = append(out, fmt.Sprintf("%s: journal=<absent> live=%s", actor, got))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

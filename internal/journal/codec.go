@@ -1,0 +1,294 @@
+package journal
+
+// Canonical binary format of an exported journal, shared by Export,
+// Replay, and the fuzzer. The encoding is strict: decoders reject any
+// non-canonical framing (oversized lengths, trailing bytes inside a
+// record body, truncated streams) with typed errors, never a panic and
+// never a silent "verified". That strictness buys the fuzz property
+// Replay success ⇒ re-encode == input, the same discipline as the
+// distributed frame and schedule codecs.
+//
+//	export  := magic record*
+//	magic   := "LATJ" 0x01
+//	record  := tag(1) len(u32) body
+//	tag     := 0x01 (entry) | 0x02 (checkpoint)
+//	entry   := seq(u64) at(i64 unix-ns) trace(u64) span(u64)
+//	           str(kind) str(actor) str(detail) hash(32)
+//	ckpt    := seq(u64) counter(u64) head(32) sig(64)
+//	str     := len(u16) bytes
+//
+// All integers big-endian. The entry hash is the chain head AFTER the
+// entry — SHA256(prev || entry-bytes-without-hash) — so verification
+// pins a flipped byte to the exact entry it hit, even in the tail past
+// the last signed checkpoint.
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"lateral/internal/cryptoutil"
+)
+
+var (
+	// errConfig rejects a Journal built without signer or counter.
+	errConfig = errors.New("journal: config requires Signer and Counter")
+
+	// ErrTruncated: the export ends mid-record or mid-header.
+	ErrTruncated = errors.New("journal: truncated export")
+
+	// ErrBadRecord: a record violates the canonical framing.
+	ErrBadRecord = errors.New("journal: malformed record")
+
+	// ErrChainBreak: an entry's stored hash does not extend the chain.
+	ErrChainBreak = errors.New("journal: hash chain break")
+
+	// ErrBadCheckpoint: a checkpoint signature or head fails to verify.
+	ErrBadCheckpoint = errors.New("journal: checkpoint verification failed")
+
+	// ErrRollback: the journal's checkpoints do not reach the trusted
+	// counter value — the log was rolled back or truncated.
+	ErrRollback = errors.New("journal: rollback detected")
+
+	// ErrDivergence: replayed trust state is internally inconsistent or
+	// disagrees with the live view (e.g. a quarantined replica coming
+	// back, or a duplicated quarantine event).
+	ErrDivergence = errors.New("journal: trust state divergence")
+)
+
+const (
+	tagEntry      = 0x01
+	tagCheckpoint = 0x02
+
+	maxRecordLen = 1 << 20
+	maxStrLen    = 1 << 12
+
+	ckptBodyLen = 8 + 8 + 32 + 64
+)
+
+var exportMagic = []byte{'L', 'A', 'T', 'J', 0x01}
+
+// genesisHead is the fixed chain head before the first entry.
+func genesisHead() [32]byte {
+	return cryptoutil.Hash([]byte("lateral-journal-genesis-v1"))
+}
+
+// chainNext extends the chain over one canonical entry encoding.
+func chainNext(prev [32]byte, enc []byte) [32]byte {
+	return cryptoutil.Hash(prev[:], enc)
+}
+
+// checkpointMsg is the domain-separated byte string checkpoints sign.
+func checkpointMsg(seq, counter uint64, head [32]byte) []byte {
+	msg := make([]byte, 0, 28+16+32)
+	msg = append(msg, []byte("lateral-journal-checkpoint-v1")...)
+	msg = binary.BigEndian.AppendUint64(msg, seq)
+	msg = binary.BigEndian.AppendUint64(msg, counter)
+	msg = append(msg, head[:]...)
+	return msg
+}
+
+// appendStr appends a length-prefixed string.
+func appendStr(b []byte, s string) []byte {
+	if len(s) > maxStrLen {
+		s = s[:maxStrLen]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// appendEntry appends the canonical hash-chained bytes of e (everything
+// except the stored hash).
+func appendEntry(b []byte, e *Event) []byte {
+	b = binary.BigEndian.AppendUint64(b, e.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(e.At.UnixNano()))
+	b = binary.BigEndian.AppendUint64(b, e.Trace)
+	b = binary.BigEndian.AppendUint64(b, e.Span)
+	b = appendStr(b, e.Kind)
+	b = appendStr(b, e.Actor)
+	return appendStr(b, e.Detail)
+}
+
+// Export serialises the journal — entries and checkpoints interleaved in
+// chain order — into the canonical byte stream Replay consumes.
+func (j *Journal) Export() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := append([]byte(nil), exportMagic...)
+	ci := 0
+	emitCkpts := func(upto uint64) {
+		for ci < len(j.ckpts) && j.ckpts[ci].Seq <= upto {
+			ck := j.ckpts[ci]
+			out = append(out, tagCheckpoint)
+			out = binary.BigEndian.AppendUint32(out, ckptBodyLen)
+			out = binary.BigEndian.AppendUint64(out, ck.Seq)
+			out = binary.BigEndian.AppendUint64(out, ck.Counter)
+			out = append(out, ck.Head[:]...)
+			out = append(out, ck.Sig...)
+			ci++
+		}
+	}
+	for i, enc := range j.enc {
+		emitCkpts(j.entries[i].Seq - 1)
+		out = append(out, tagEntry)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(enc)+32))
+		out = append(out, enc...)
+		out = append(out, j.entries[i].Hash[:]...)
+		emitCkpts(j.entries[i].Seq)
+	}
+	emitCkpts(^uint64(0))
+	return out
+}
+
+// decodeEntry parses one entry record body (canonical, fully consumed).
+func decodeEntry(body []byte) (Event, []byte, error) {
+	var e Event
+	if len(body) < 32+32+6 { // fixed ints + hash + three empty strings
+		return e, nil, fmt.Errorf("entry body %d bytes: %w", len(body), ErrBadRecord)
+	}
+	enc := body[:len(body)-32]
+	copy(e.Hash[:], body[len(body)-32:])
+	b := enc
+	e.Seq = binary.BigEndian.Uint64(b[0:8])
+	e.At = time.Unix(0, int64(binary.BigEndian.Uint64(b[8:16])))
+	e.Trace = binary.BigEndian.Uint64(b[16:24])
+	e.Span = binary.BigEndian.Uint64(b[24:32])
+	b = b[32:]
+	str := func() (string, error) {
+		if len(b) < 2 {
+			return "", fmt.Errorf("string header: %w", ErrBadRecord)
+		}
+		n := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if n > maxStrLen || len(b) < n {
+			return "", fmt.Errorf("string length %d: %w", n, ErrBadRecord)
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, nil
+	}
+	var err error
+	if e.Kind, err = str(); err != nil {
+		return e, nil, err
+	}
+	if e.Actor, err = str(); err != nil {
+		return e, nil, err
+	}
+	if e.Detail, err = str(); err != nil {
+		return e, nil, err
+	}
+	if len(b) != 0 {
+		return e, nil, fmt.Errorf("%d trailing bytes in entry: %w", len(b), ErrBadRecord)
+	}
+	return e, enc, nil
+}
+
+// decodeCheckpoint parses one checkpoint record body.
+func decodeCheckpoint(body []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	if len(body) != ckptBodyLen {
+		return ck, fmt.Errorf("checkpoint body %d bytes: %w", len(body), ErrBadRecord)
+	}
+	ck.Seq = binary.BigEndian.Uint64(body[0:8])
+	ck.Counter = binary.BigEndian.Uint64(body[8:16])
+	copy(ck.Head[:], body[16:48])
+	ck.Sig = append([]byte(nil), body[48:]...)
+	return ck, nil
+}
+
+// record is one decoded export record in stream order.
+type record struct {
+	ckpt bool
+	ev   Event
+	enc  []byte // canonical entry bytes (hash excluded)
+	ck   Checkpoint
+}
+
+// decodeExport parses a full export stream into stream-ordered records
+// without verifying the chain. Verification is Replay's job, so the
+// fuzzer can separate framing errors from integrity errors.
+func decodeExport(data []byte) ([]record, error) {
+	if len(data) < len(exportMagic) {
+		return nil, fmt.Errorf("missing magic: %w", ErrTruncated)
+	}
+	for i, m := range exportMagic {
+		if data[i] != m {
+			return nil, fmt.Errorf("bad magic: %w", ErrBadRecord)
+		}
+	}
+	data = data[len(exportMagic):]
+	var recs []record
+	for len(data) > 0 {
+		if len(data) < 5 {
+			return nil, fmt.Errorf("record header: %w", ErrTruncated)
+		}
+		tag := data[0]
+		n := binary.BigEndian.Uint32(data[1:5])
+		if n > maxRecordLen {
+			return nil, fmt.Errorf("record length %d: %w", n, ErrBadRecord)
+		}
+		data = data[5:]
+		if uint32(len(data)) < n {
+			return nil, fmt.Errorf("record body: %w", ErrTruncated)
+		}
+		body := data[:n]
+		data = data[n:]
+		switch tag {
+		case tagEntry:
+			e, enc, err := decodeEntry(body)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, record{ev: e, enc: enc})
+		case tagCheckpoint:
+			ck, err := decodeCheckpoint(body)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, record{ckpt: true, ck: ck})
+		default:
+			return nil, fmt.Errorf("record tag 0x%02x: %w", tag, ErrBadRecord)
+		}
+	}
+	return recs, nil
+}
+
+// Reencode rebuilds the canonical export stream from replayed entries and
+// checkpoints — the fuzzer's roundtrip oracle: for any input Replay
+// accepts, Reencode(audit.Entries, audit.Checkpoints) must reproduce the
+// input byte for byte.
+func Reencode(entries []Event, ckpts []Checkpoint) []byte {
+	out := append([]byte(nil), exportMagic...)
+	ci := 0
+	emitCkpts := func(upto uint64) {
+		for ci < len(ckpts) && ckpts[ci].Seq <= upto {
+			ck := ckpts[ci]
+			out = append(out, tagCheckpoint)
+			out = binary.BigEndian.AppendUint32(out, ckptBodyLen)
+			out = binary.BigEndian.AppendUint64(out, ck.Seq)
+			out = binary.BigEndian.AppendUint64(out, ck.Counter)
+			out = append(out, ck.Head[:]...)
+			out = append(out, ck.Sig...)
+			ci++
+		}
+	}
+	for i := range entries {
+		e := &entries[i]
+		emitCkpts(e.Seq - 1)
+		enc := appendEntry(nil, e)
+		out = append(out, tagEntry)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(enc)+32))
+		out = append(out, enc...)
+		out = append(out, e.Hash[:]...)
+		emitCkpts(e.Seq)
+	}
+	emitCkpts(^uint64(0))
+	return out
+}
+
+// verifySig reports whether ck's signature verifies under pub.
+func (ck *Checkpoint) verifySig(pub ed25519.PublicKey) bool {
+	return cryptoutil.Verify(pub, checkpointMsg(ck.Seq, ck.Counter, ck.Head), ck.Sig)
+}

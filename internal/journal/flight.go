@@ -1,0 +1,141 @@
+package journal
+
+// The flight recorder: a bounded ring of recently completed spans that is
+// normally write-only and nearly free, dumped only when the journal sees
+// an anomaly — a quarantine, a secure-channel session failure, or a
+// deadline storm. Each dump freezes the last N spans plus a caller-
+// supplied metrics snapshot, timestamped and labelled with its trigger,
+// so a post-mortem has the request-level context the journal entry alone
+// cannot carry.
+//
+// FlightRecorder implements core.Tracer structurally, so it plugs into
+// System.SetTracer directly or fans in behind a composite tracer.
+
+import (
+	"sync"
+	"time"
+
+	"lateral/internal/core"
+)
+
+// FlightSpan is one completed span retained in the ring.
+type FlightSpan struct {
+	Trace   uint64
+	Span    uint64
+	Parent  uint64
+	Kind    string
+	From    string
+	To      string
+	Op      string
+	Elapsed time.Duration
+	Err     string
+}
+
+// Dump is one frozen anomaly snapshot.
+type Dump struct {
+	At      time.Time
+	Trigger string // "quarantine", "session-fail", "deadline-storm"
+	Detail  string
+	Spans   []FlightSpan // oldest first
+	Metrics string       // snapshot text, if a Snapshot hook was wired
+}
+
+// FlightConfig configures a FlightRecorder.
+type FlightConfig struct {
+	// Spans bounds the ring (default 64).
+	Spans int
+	// Dumps bounds retained dumps; older dumps are discarded (default 8).
+	Dumps int
+	// Snapshot, when set, is invoked at dump time for a metrics snapshot
+	// (e.g. telemetry's WriteSummary into a buffer). It must not call
+	// back into the journal.
+	Snapshot func() string
+	// Clock timestamps dumps (default time.Now).
+	Clock func() time.Time
+}
+
+// FlightRecorder retains the last N spans and freezes them on demand.
+type FlightRecorder struct {
+	cfg FlightConfig
+
+	mu    sync.Mutex
+	ring  []FlightSpan
+	next  int
+	count int
+	dumps []Dump
+}
+
+// NewFlightRecorder builds a recorder with bounded ring and dump storage.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.Spans <= 0 {
+		cfg.Spans = 64
+	}
+	if cfg.Dumps <= 0 {
+		cfg.Dumps = 8
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &FlightRecorder{cfg: cfg, ring: make([]FlightSpan, cfg.Spans)}
+}
+
+// SpanStart implements core.Tracer; only completed spans are retained.
+func (f *FlightRecorder) SpanStart(core.Span, core.SpanInfo, time.Time) {}
+
+// SpanEnd implements core.Tracer: append the completed span to the ring.
+func (f *FlightRecorder) SpanEnd(sp core.Span, info core.SpanInfo, _ time.Time, elapsed time.Duration, err error) {
+	fs := FlightSpan{
+		Trace:   sp.Trace,
+		Span:    sp.ID,
+		Parent:  sp.Parent,
+		Kind:    info.Kind.String(),
+		From:    info.From,
+		To:      info.To,
+		Op:      info.Op,
+		Elapsed: elapsed,
+	}
+	if err != nil {
+		fs.Err = err.Error()
+	}
+	f.mu.Lock()
+	f.ring[f.next] = fs
+	f.next = (f.next + 1) % len(f.ring)
+	if f.count < len(f.ring) {
+		f.count++
+	}
+	f.mu.Unlock()
+}
+
+// Trigger freezes the current ring into a dump. The journal calls this on
+// anomalies; tests and tools may trigger manually.
+func (f *FlightRecorder) Trigger(trigger, detail string) Dump {
+	var snap string
+	if f.cfg.Snapshot != nil {
+		snap = f.cfg.Snapshot()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	spans := make([]FlightSpan, 0, f.count)
+	start := f.next - f.count
+	if start < 0 {
+		start += len(f.ring)
+	}
+	for i := 0; i < f.count; i++ {
+		spans = append(spans, f.ring[(start+i)%len(f.ring)])
+	}
+	d := Dump{At: f.cfg.Clock(), Trigger: trigger, Detail: detail, Spans: spans, Metrics: snap}
+	f.dumps = append(f.dumps, d)
+	if len(f.dumps) > f.cfg.Dumps {
+		f.dumps = f.dumps[len(f.dumps)-f.cfg.Dumps:]
+	}
+	return d
+}
+
+// Dumps returns the retained dumps, oldest first.
+func (f *FlightRecorder) Dumps() []Dump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Dump, len(f.dumps))
+	copy(out, f.dumps)
+	return out
+}

@@ -1,0 +1,532 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lateral/internal/core"
+	"lateral/internal/cryptoutil"
+)
+
+// testClock is a deterministic time source.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// countMonitor counts Monitor callbacks.
+type countMonitor struct {
+	mu          sync.Mutex
+	events      map[string]int
+	checkpoints int
+	dropped     int
+	dumps       map[string]int
+}
+
+func newCountMonitor() *countMonitor {
+	return &countMonitor{events: make(map[string]int), dumps: make(map[string]int)}
+}
+
+func (m *countMonitor) JournalEvent(_, kind string) {
+	m.mu.Lock()
+	m.events[kind]++
+	m.mu.Unlock()
+}
+
+func (m *countMonitor) JournalCheckpoint(string, uint64, uint64) {
+	m.mu.Lock()
+	m.checkpoints++
+	m.mu.Unlock()
+}
+
+func (m *countMonitor) JournalDropped(string) {
+	m.mu.Lock()
+	m.dropped++
+	m.mu.Unlock()
+}
+
+func (m *countMonitor) JournalFlightDump(_, trigger string) {
+	m.mu.Lock()
+	m.dumps[trigger]++
+	m.mu.Unlock()
+}
+
+func newTestJournal(t *testing.T, cfg Config) (*Journal, *cryptoutil.Signer, *MemCounter) {
+	t.Helper()
+	signer := cryptoutil.NewSigner("journal-test")
+	counter := &MemCounter{}
+	cfg.Signer = signer
+	cfg.Counter = counter
+	if cfg.Clock == nil {
+		cfg.Clock = newTestClock().Now
+	}
+	j, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, signer, counter
+}
+
+// driveFleet records the canonical honest event sequence: three replicas
+// admitted, one quarantined, one crashing and recovering.
+func driveFleet(j *Journal) {
+	for i := 1; i <= 3; i++ {
+		j.RecordEvent(KindAdmit, fmt.Sprintf("svc/svc-%d", i), "", 0, 0)
+	}
+	j.RecordEvent(KindReplicaUp, "svc/svc-1", "", 0, 0)
+	j.RecordEvent(KindReplicaUp, "svc/svc-2", "", 0, 0)
+	j.RecordEvent(KindQuarantine, "svc/svc-3", "attestation refused", 0, 0)
+	j.RecordEvent(KindSessionUp, "svc/svc-1", "", 0, 0)
+	j.RecordEvent(KindReplicaDown, "svc/svc-2", "transport lost", 7, 9)
+	j.RecordEvent(KindFailover, "svc/svc-2", "transport lost", 7, 9)
+	j.RecordEvent(KindReplicaUp, "svc/svc-2", "", 0, 0)
+}
+
+func TestReplayRederivesTrustState(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: -1})
+	driveFleet(j)
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	trusted, _ := counter.Value()
+	a, err := Replay(j.Export(), signer.Public(), trusted)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	want := map[string]string{
+		"svc/svc-1": TrustHealthy,
+		"svc/svc-2": TrustHealthy,
+		"svc/svc-3": TrustQuarantined,
+	}
+	if diff := a.Diff(want); len(diff) != 0 {
+		t.Fatalf("trust state diverges: %v", diff)
+	}
+	if len(a.Entries) != 10 || len(a.Checkpoints) != 1 {
+		t.Fatalf("got %d entries, %d checkpoints", len(a.Entries), len(a.Checkpoints))
+	}
+	if a.Entries[7].Trace != 7 || a.Entries[7].Span != 9 {
+		t.Fatalf("trace/span not preserved: %+v", a.Entries[7])
+	}
+	if seq, head := j.Head(); seq != a.LastSeq || head != a.Head {
+		t.Fatalf("replayed head differs from live head")
+	}
+}
+
+func TestDiffReportsDivergence(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: -1})
+	j.RecordEvent(KindAdmit, "svc/a", "", 0, 0)
+	j.RecordEvent(KindReplicaUp, "svc/a", "", 0, 0)
+	trusted, _ := counter.Value()
+	a, err := Replay(j.Export(), signer.Public(), trusted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := a.Diff(map[string]string{"svc/a": TrustDown, "svc/b": TrustHealthy})
+	if len(diff) != 2 {
+		t.Fatalf("want 2 diff lines, got %v", diff)
+	}
+	a2, _ := Replay(j.Export(), signer.Public(), trusted)
+	if d := a2.Diff(map[string]string{}); len(d) != 1 {
+		t.Fatalf("want absent-live diff, got %v", d)
+	}
+}
+
+// TestEveryByteFlipDetected is the E24 tamper property at full strength:
+// no single corrupted byte anywhere in an exported journal — entries,
+// hashes, checkpoints, framing — may replay cleanly.
+func TestEveryByteFlipDetected(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: 4})
+	driveFleet(j)
+	trusted, _ := counter.Value()
+	export := j.Export()
+	if _, err := Replay(export, signer.Public(), trusted); err != nil {
+		t.Fatalf("clean replay: %v", err)
+	}
+	for i := range export {
+		for _, mask := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), export...)
+			mut[i] ^= mask
+			if _, err := Replay(mut, signer.Public(), trusted); err == nil {
+				t.Fatalf("flip of byte %d (mask %#x) replayed clean", i, mask)
+			}
+		}
+	}
+}
+
+func TestTamperEntryDetected(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: -1})
+	driveFleet(j)
+	if ok := j.TamperEntry(len(j.Entries()) + 5); ok {
+		t.Fatal("tampering past the end claimed success")
+	}
+	if ok := j.TamperEntry(3); !ok {
+		t.Fatal("tamper failed")
+	}
+	trusted, _ := counter.Value()
+	_, err := Replay(j.Export(), signer.Public(), trusted)
+	if !errors.Is(err, ErrChainBreak) {
+		t.Fatalf("want ErrChainBreak, got %v", err)
+	}
+	// Tampering the same entry again must not XOR-restore it: the flip
+	// position rotates, so the chain stays broken.
+	if ok := j.TamperEntry(3); !ok {
+		t.Fatal("second tamper failed")
+	}
+	if _, err := Replay(j.Export(), signer.Public(), trusted); !errors.Is(err, ErrChainBreak) {
+		t.Fatalf("double tamper self-canceled: %v", err)
+	}
+}
+
+func TestRollbackDetected(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: 4})
+	driveFleet(j)
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	trusted, _ := counter.Value()
+	export := j.Export()
+
+	// Counter regression: the trusted counter says fewer (or more)
+	// checkpoints than the journal carries.
+	for _, wrong := range []uint64{trusted - 1, trusted + 1, 0} {
+		if _, err := Replay(export, signer.Public(), wrong); !errors.Is(err, ErrRollback) {
+			t.Fatalf("trusted=%d: want ErrRollback, got %v", wrong, err)
+		}
+	}
+
+	// Rolled-back journal: an attacker serves an old export against the
+	// current counter.
+	j2, signer2, counter2 := newTestJournal(t, Config{CheckpointEvery: -1})
+	j2.RecordEvent(KindAdmit, "svc/a", "", 0, 0)
+	if err := j2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	old := j2.Export()
+	j2.RecordEvent(KindReplicaUp, "svc/a", "", 0, 0)
+	if err := j2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	trusted2, _ := counter2.Value()
+	if _, err := Replay(old, signer2.Public(), trusted2); !errors.Is(err, ErrRollback) {
+		t.Fatalf("stale export: want ErrRollback, got %v", err)
+	}
+
+	// An entirely discarded journal cannot hide from a non-zero counter.
+	empty, _, _ := newTestJournal(t, Config{CheckpointEvery: -1})
+	if _, err := Replay(empty.Export(), signer2.Public(), trusted2); !errors.Is(err, ErrRollback) {
+		t.Fatalf("empty export vs counter: want ErrRollback, got %v", err)
+	}
+	_ = counter
+}
+
+func TestTypedDecodeErrors(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: 4})
+	driveFleet(j)
+	trusted, _ := counter.Value()
+	export := j.Export()
+	pub := signer.Public()
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"magic-only-prefix", export[:3], ErrTruncated},
+		{"bad-magic", append([]byte("XXXXX"), export[5:]...), ErrBadRecord},
+		{"truncated-mid-record", export[:len(export)-10], ErrTruncated},
+		{"truncated-header", export[:6], ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, err := Replay(tc.data, pub, trusted); !errors.Is(err, tc.want) {
+			t.Errorf("%s: want %v, got %v", tc.name, tc.want, err)
+		}
+	}
+
+	// Spliced chain: records from a foreign journal appended to ours must
+	// break the chain, not extend it.
+	other, _, _ := newTestJournal(t, Config{CheckpointEvery: -1})
+	other.RecordEvent(KindAdmit, "svc/evil", "", 0, 0)
+	foreign := other.Export()[len(exportMagic):]
+	if _, err := Replay(append(append([]byte(nil), export...), foreign...), pub, trusted); err == nil {
+		t.Error("spliced chain replayed clean")
+	}
+
+	// Checkpoint signed by the wrong key.
+	wrongCounter := &MemCounter{}
+	wrongKey, err := New(Config{
+		Signer:          cryptoutil.NewSigner("journal-test-foreign"),
+		Counter:         wrongCounter,
+		CheckpointEvery: -1,
+		Clock:           newTestClock().Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey.RecordEvent(KindAdmit, "svc/a", "", 0, 0)
+	if err := wrongKey.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wc, _ := wrongCounter.Value()
+	if _, err := Replay(wrongKey.Export(), pub, wc); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("foreign signer: want ErrBadCheckpoint, got %v", err)
+	}
+}
+
+func TestReplayRejectsDishonestSequences(t *testing.T) {
+	mk := func() (*Journal, *cryptoutil.Signer, *MemCounter) {
+		return newTestJournal(t, Config{CheckpointEvery: -1})
+	}
+	cases := []struct {
+		name  string
+		drive func(j *Journal)
+	}{
+		{"up-without-admit", func(j *Journal) {
+			j.RecordEvent(KindReplicaUp, "svc/ghost", "", 0, 0)
+		}},
+		{"down-without-admit", func(j *Journal) {
+			j.RecordEvent(KindReplicaDown, "svc/ghost", "", 0, 0)
+		}},
+		{"quarantine-without-admit", func(j *Journal) {
+			j.RecordEvent(KindQuarantine, "svc/ghost", "", 0, 0)
+		}},
+		{"quarantine-twice", func(j *Journal) {
+			j.RecordEvent(KindAdmit, "svc/a", "", 0, 0)
+			j.RecordEvent(KindQuarantine, "svc/a", "", 0, 0)
+			j.RecordEvent(KindQuarantine, "svc/a", "", 0, 0)
+		}},
+		{"resurrected-quarantine", func(j *Journal) {
+			j.RecordEvent(KindAdmit, "svc/a", "", 0, 0)
+			j.RecordEvent(KindQuarantine, "svc/a", "", 0, 0)
+			j.RecordEvent(KindReplicaUp, "svc/a", "", 0, 0)
+		}},
+	}
+	for _, tc := range cases {
+		j, signer, counter := mk()
+		tc.drive(j)
+		trusted, _ := counter.Value()
+		if _, err := Replay(j.Export(), signer.Public(), trusted); !errors.Is(err, ErrDivergence) {
+			t.Errorf("%s: want ErrDivergence, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestAutoCheckpointAndMonitor(t *testing.T) {
+	mon := newCountMonitor()
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: 4, Monitor: mon})
+	driveFleet(j) // 10 events → 2 auto checkpoints
+	if got := len(j.Checkpoints()); got != 2 {
+		t.Fatalf("want 2 auto checkpoints, got %d", got)
+	}
+	if mon.checkpoints != 2 {
+		t.Fatalf("monitor saw %d checkpoints", mon.checkpoints)
+	}
+	if mon.events[KindAdmit] != 3 || mon.events[KindQuarantine] != 1 {
+		t.Fatalf("monitor events: %v", mon.events)
+	}
+	trusted, _ := counter.Value()
+	if trusted != 2 {
+		t.Fatalf("counter at %d after 2 checkpoints", trusted)
+	}
+	if _, err := Replay(j.Export(), signer.Public(), trusted); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestBoundedJournalCountsDropped(t *testing.T) {
+	mon := newCountMonitor()
+	j, _, _ := newTestJournal(t, Config{CheckpointEvery: -1, MaxEntries: 4, Monitor: mon})
+	driveFleet(j)
+	if got := len(j.Entries()); got != 4 {
+		t.Fatalf("want 4 retained entries, got %d", got)
+	}
+	if j.Dropped() != 6 || mon.dropped != 6 {
+		t.Fatalf("dropped accounting: journal=%d monitor=%d", j.Dropped(), mon.dropped)
+	}
+}
+
+func TestConcurrentRecordAndCheckpointStayAuditable(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: 8, Clock: time.Now})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			actor := fmt.Sprintf("svc/r-%d", g)
+			j.RecordEvent(KindAdmit, actor, "", 0, 0)
+			for i := 0; i < 50; i++ {
+				j.RecordEvent(KindSessionUp, actor, "", 0, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	trusted, _ := counter.Value()
+	if _, err := Replay(j.Export(), signer.Public(), trusted); err != nil {
+		t.Fatalf("concurrent journal failed its own audit: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want config error")
+	}
+	if _, err := New(Config{Signer: cryptoutil.NewSigner("x")}); err == nil {
+		t.Fatal("want config error without counter")
+	}
+}
+
+func TestReencodeIsReplayInverse(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: 3})
+	driveFleet(j)
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	trusted, _ := counter.Value()
+	export := j.Export()
+	a, err := Replay(export, signer.Public(), trusted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := Reencode(a.Entries, a.Checkpoints)
+	if string(re) != string(export) {
+		t.Fatal("Reencode(Replay(export)) != export")
+	}
+}
+
+func TestOversizeStringsStayCanonical(t *testing.T) {
+	// Encode-side truncation must still produce a journal that replays and
+	// roundtrips: the canonical bytes are what the chain commits to.
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: -1})
+	long := strings.Repeat("x", maxStrLen+100)
+	j.RecordEvent(KindAdmit, "svc/a", long, 0, 0)
+	trusted, _ := counter.Value()
+	export := j.Export()
+	a, err := Replay(export, signer.Public(), trusted)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := len(a.Entries[0].Detail); got != maxStrLen {
+		t.Fatalf("detail length %d, want truncation to %d", got, maxStrLen)
+	}
+	if string(Reencode(a.Entries, a.Checkpoints)) != string(export) {
+		t.Fatal("truncated entry does not roundtrip")
+	}
+}
+
+func TestFlightRecorderRingAndDumpBounds(t *testing.T) {
+	clk := newTestClock()
+	fr := NewFlightRecorder(FlightConfig{
+		Spans:    4,
+		Dumps:    2,
+		Snapshot: func() string { return "metrics-snapshot" },
+		Clock:    clk.Now,
+	})
+	fr.SpanStart(core.Span{}, core.SpanInfo{}, clk.Now()) // retained only on end
+	for i := 1; i <= 6; i++ {
+		var err error
+		if i == 6 {
+			err = errors.New("boom")
+		}
+		fr.SpanEnd(core.Span{Trace: uint64(i), ID: uint64(i)}, core.SpanInfo{Op: fmt.Sprintf("op-%d", i)},
+			clk.Now(), time.Millisecond, err)
+	}
+	d := fr.Trigger("quarantine", "svc-3")
+	if len(d.Spans) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(d.Spans))
+	}
+	// Oldest-first: spans 3..6 survive the wrap.
+	if d.Spans[0].Trace != 3 || d.Spans[3].Trace != 6 {
+		t.Fatalf("ring order wrong: first=%d last=%d", d.Spans[0].Trace, d.Spans[3].Trace)
+	}
+	if d.Spans[3].Err != "boom" || d.Metrics != "metrics-snapshot" || d.Trigger != "quarantine" {
+		t.Fatalf("dump fields: %+v", d)
+	}
+	fr.Trigger("session-fail", "")
+	fr.Trigger("deadline-storm", "")
+	dumps := fr.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("retained %d dumps, want bound 2", len(dumps))
+	}
+	if dumps[0].Trigger != "session-fail" || dumps[1].Trigger != "deadline-storm" {
+		t.Fatalf("dump eviction order wrong: %s, %s", dumps[0].Trigger, dumps[1].Trigger)
+	}
+}
+
+func TestAnomaliesTriggerFlightDumps(t *testing.T) {
+	clk := newTestClock()
+	mon := newCountMonitor()
+	fr := NewFlightRecorder(FlightConfig{Clock: clk.Now})
+	j, _, _ := newTestJournal(t, Config{
+		CheckpointEvery: -1,
+		Clock:           clk.Now,
+		Flight:          fr,
+		Monitor:         mon,
+		StormThreshold:  3,
+		StormWindow:     50 * time.Millisecond,
+	})
+	j.RecordEvent(KindAdmit, "svc/a", "", 0, 0)
+	j.RecordEvent(KindQuarantine, "svc/a", "pcr mismatch", 0, 0)
+	j.RecordEvent(KindSessionFail, "svc/b", "handshake", 0, 0)
+	if got := len(fr.Dumps()); got != 2 {
+		t.Fatalf("want quarantine+session-fail dumps, got %d", got)
+	}
+
+	// Two sheds, a gap wider than the window, then three in-window sheds:
+	// only the dense burst is a storm.
+	j.RecordEvent(KindDeadline, "comp", "d", 0, 0)
+	j.RecordEvent(KindOverload, "comp", "o", 0, 0)
+	clk.Advance(60 * time.Millisecond)
+	j.RecordEvent(KindDeadline, "comp", "d", 0, 0)
+	j.RecordEvent(KindDeadline, "comp", "d", 0, 0)
+	if got := len(fr.Dumps()); got != 2 {
+		t.Fatalf("storm fired early: %d dumps", got)
+	}
+	j.RecordEvent(KindOverload, "comp", "o", 0, 0)
+	dumps := fr.Dumps()
+	if got := len(dumps); got != 3 {
+		t.Fatalf("storm did not fire: %d dumps", got)
+	}
+	if dumps[2].Trigger != "deadline-storm" {
+		t.Fatalf("trigger = %s", dumps[2].Trigger)
+	}
+	if mon.dumps["deadline-storm"] != 1 || mon.dumps["quarantine"] != 1 || mon.dumps["session-fail"] != 1 {
+		t.Fatalf("monitor dump counts: %v", mon.dumps)
+	}
+}
+
+func TestMemCounter(t *testing.T) {
+	c := &MemCounter{}
+	if v, _ := c.Value(); v != 0 {
+		t.Fatal("fresh counter non-zero")
+	}
+	if v, _ := c.Increment(); v != 1 {
+		t.Fatal("increment")
+	}
+	if v, _ := c.Value(); v != 1 {
+		t.Fatal("value after increment")
+	}
+}

@@ -94,6 +94,12 @@ type ClientConfig struct {
 	// Evidence, when non-nil, produces the client's own attestation
 	// evidence bound to the transcript (password-less client auth).
 	Evidence func(transcript [32]byte) ([]byte, error)
+
+	// Events, when non-nil, observes the handshake outcome: fired once
+	// from Finish with kind "handshake-ok" or "handshake-fail" (detail
+	// carries the failure text). Journaling layers hang off this without
+	// the channel knowing about them.
+	Events func(kind, detail string)
 }
 
 // ServerConfig configures the responding side.
@@ -112,6 +118,10 @@ type ServerConfig struct {
 	// VerifyClient, when non-nil, demands and checks client evidence —
 	// connections without acceptable evidence fail.
 	VerifyClient func(evidence []byte, transcript [32]byte) error
+
+	// Events, when non-nil, observes handshake outcomes: fired once per
+	// Pending.Complete with kind "handshake-ok" or "handshake-fail".
+	Events func(kind, detail string)
 }
 
 // Client is an in-flight initiator handshake.
@@ -214,9 +224,27 @@ func (s *Server) Respond(hello []byte) ([]byte, *Pending, error) {
 	return resp, &Pending{srv: s, transcript: transcript, sess: sess}, nil
 }
 
+// notify reports a handshake outcome to the configured Events hook.
+func notify(events func(kind, detail string), err error) {
+	if events == nil {
+		return
+	}
+	if err != nil {
+		events("handshake-fail", err.Error())
+		return
+	}
+	events("handshake-ok", "")
+}
+
 // Finish consumes the server's response, authenticates it, and returns the
 // client session plus the third message (client → server).
 func (c *Client) Finish(resp []byte) (*Session, []byte, error) {
+	sess, finish, err := c.finish(resp)
+	notify(c.cfg.Events, err)
+	return sess, finish, err
+}
+
+func (c *Client) finish(resp []byte) (*Session, []byte, error) {
 	fields, err := splitLV(resp, 5)
 	if err != nil {
 		return nil, nil, err
@@ -263,6 +291,12 @@ func (c *Client) Finish(resp []byte) (*Session, []byte, error) {
 // Complete consumes the client's finish message, enforcing client
 // attestation when the server demands it, and returns the server session.
 func (p *Pending) Complete(finish []byte) (*Session, error) {
+	sess, err := p.complete(finish)
+	notify(p.srv.cfg.Events, err)
+	return sess, err
+}
+
+func (p *Pending) complete(finish []byte) (*Session, error) {
 	evidence, err := p.sess.Open(finish)
 	if err != nil {
 		return nil, fmt.Errorf("finish: %w", err)

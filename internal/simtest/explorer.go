@@ -179,5 +179,6 @@ func DefaultSchedule(replicas int) []Schedule {
 		{At: 300 * time.Millisecond, Fault: Fault{Kind: FaultTamper, Target: r1}},
 		{At: 320 * time.Millisecond, Fault: Fault{Kind: FaultHeal, Target: r1}},
 		{At: 330 * time.Millisecond, Fault: Fault{Kind: FaultTamper}},
+		{At: 340 * time.Millisecond, Fault: Fault{Kind: FaultJournalTamper, N: 3}},
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
 	"lateral/internal/distributed"
+	"lateral/internal/journal"
 	"lateral/internal/netsim"
 	"lateral/internal/sgx"
 	"lateral/internal/telemetry"
@@ -25,6 +26,12 @@ type Harness struct {
 	Pool    *cluster.Pool
 	Metrics *telemetry.Metrics
 
+	// Journal is the deployment's black box: every trust transition the
+	// pool commits, every session event, and every budget shed lands here,
+	// hash-chained and checkpointed against Counter on the virtual clock.
+	Journal *journal.Journal
+	Counter *journal.MemCounter
+
 	// Invariant state.
 	Serial       *SerialChecker
 	Budget       *BudgetChecker
@@ -32,6 +39,7 @@ type Harness struct {
 	Pipeline     *PipelineChecker
 	Led          *Ledger
 	Conservation *ConservationChecker
+	Audit        *JournalChecker
 
 	chain       *netsim.Chain
 	partitioner *netsim.Partitioner
@@ -121,6 +129,20 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 
 	vendor := cryptoutil.NewSigner("intel")
 	seedName := fmt.Sprintf("sim-%d", cfg.Seed)
+	jsigner := cryptoutil.NewSigner(seedName + "-journal")
+	h.Counter = &journal.MemCounter{}
+	jnl, err := journal.New(journal.Config{
+		Name:            "svc",
+		Signer:          jsigner,
+		Counter:         h.Counter,
+		CheckpointEvery: 8,
+		Clock:           clk.Now,
+		Monitor:         h.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.Journal = jnl
 	pool, err := cluster.New(cluster.Config{
 		Fleet:          "svc",
 		RemoteName:     "svc",
@@ -131,6 +153,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		Monitor:        h.Metrics,
 		Sleep:          clk.Sleep,
 		Clock:          clk.Now,
+		Journal:        h.Journal,
 		HealthInterval: cfg.HealthInterval,
 		// Sequential health rounds: concurrent probes would interleave
 		// netsim traffic nondeterministically and break byte-identical
@@ -141,6 +164,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		return nil, err
 	}
 	h.Pool = pool
+	h.Audit = NewJournalChecker(h.Journal, jsigner.Public(), h.Counter, pool.States)
 	h.Pipeline = NewPipelineChecker(pool.Replicas)
 	h.Absorb = NewAbsorbChecker("quarantine", func() map[string]bool {
 		out := make(map[string]bool)
@@ -170,6 +194,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		sys := core.NewSystem(cpu)
 		sys.SetClock(clk)
 		sys.SetTracer(h.Metrics)
+		sys.SetEventRecorder(h.Journal)
 		svc := &simSvc{h: h, buggy: cfg.Buggy, guard: h.Serial.Guard(name + "/svc")}
 		store := &simStore{h: h, guard: h.Serial.Guard(name + "/store")}
 		if err := sys.Launch(svc, true, 1); err != nil {
@@ -212,7 +237,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 
 // Checkers returns every invariant checker in a stable order.
 func (h *Harness) Checkers() []Checker {
-	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation}
+	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit}
 }
 
 // CheckAll runs every checker and returns the concatenated violations.
@@ -255,6 +280,13 @@ func (h *Harness) Apply(f Fault) {
 		h.Clock.Advance(f.Dur)
 	case FaultDup:
 		h.dup.Arm(f.Target, f.N)
+	case FaultJournalTamper:
+		// Mutate the black box at rest. The auditor invariant flips to
+		// "replay must fail" only if an entry was actually hit — tampering
+		// an index past the journal's end attacks nothing.
+		if h.Journal.TamperEntry(f.N) {
+			h.Audit.MarkTampered()
+		}
 	}
 }
 

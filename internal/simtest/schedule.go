@@ -41,6 +41,12 @@ const (
 	// FaultDup duplicates the next N datagrams the target endpoint sends
 	// (at-least-once delivery misbehavior the secure channel must absorb).
 	FaultDup
+
+	// FaultJournalTamper flips one byte in the N-th recorded journal entry
+	// (0-based) — an attacker mutating the black box at rest. The auditor
+	// invariant must detect it on every subsequent replay; a no-op when
+	// the journal has no such entry yet.
+	FaultJournalTamper
 )
 
 // String returns the kind's schedule-text verb.
@@ -60,6 +66,8 @@ func (k FaultKind) String() string {
 		return "skew"
 	case FaultDup:
 		return "dup"
+	case FaultJournalTamper:
+		return "journal-tamper"
 	default:
 		return "unknown"
 	}
@@ -125,6 +133,8 @@ func EncodeSchedule(sched []Schedule) string {
 			fmt.Fprintf(&b, " %s", f.Dur)
 		case FaultDup:
 			fmt.Fprintf(&b, " %s %d", f.Target, f.N)
+		case FaultJournalTamper:
+			fmt.Fprintf(&b, " %d", f.N)
 		}
 		b.WriteByte('\n')
 	}
@@ -228,6 +238,14 @@ func DecodeSchedule(text string) ([]Schedule, error) {
 				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
 			}
 			if f.N, err = parseInt(args[1], maxScheduleN); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+		case "journal-tamper":
+			f.Kind = FaultJournalTamper
+			if len(args) != 1 {
+				return nil, fmt.Errorf("simtest: line %d: journal-tamper wants 1 arg", ln+1)
+			}
+			if f.N, err = parseInt(args[0], maxScheduleN); err != nil {
 				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
 			}
 		default:

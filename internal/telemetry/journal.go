@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Journal metrics: per-journal counters for the fleet black box. The
+// collector implements journal.Monitor structurally — journal declares
+// the interface, telemetry never imports it — the same pattern as
+// cluster.Monitor and distributed.Monitor.
+//
+// Events are counted per kind, so a dashboard distinguishes a deadline
+// storm from a quarantine wave without parsing the journal itself;
+// CheckpointSeq/CheckpointCounter expose the latest anchor, which an
+// external prober can compare against the trusted counter; Dropped
+// counts events refused by the journal's bound — any non-zero value
+// means the black box is no longer complete and an audit will only cover
+// the recorded prefix.
+
+// JournalStats is one journal's live cell.
+type JournalStats struct {
+	Journal string
+
+	Events            map[string]int64 // by kind
+	Checkpoints       int64
+	CheckpointSeq     uint64 // chain position of the latest checkpoint
+	CheckpointCounter uint64 // trusted counter value it anchors to
+	Dropped           int64
+	FlightDumps       map[string]int64 // by trigger
+}
+
+type journalState struct {
+	mu    sync.Mutex
+	cells map[string]*JournalStats
+}
+
+// cell returns (creating if needed) the named journal's cell. Caller
+// holds s.mu.
+func (s *journalState) cell(name string) *JournalStats {
+	if s.cells == nil {
+		s.cells = make(map[string]*JournalStats)
+	}
+	js := s.cells[name]
+	if js == nil {
+		js = &JournalStats{
+			Journal:     name,
+			Events:      make(map[string]int64),
+			FlightDumps: make(map[string]int64),
+		}
+		s.cells[name] = js
+	}
+	return js
+}
+
+// JournalEvent implements journal.Monitor: one appended entry, by kind.
+func (m *Metrics) JournalEvent(journal, kind string) {
+	m.journal.mu.Lock()
+	defer m.journal.mu.Unlock()
+	m.journal.cell(journal).Events[kind]++
+}
+
+// JournalCheckpoint implements journal.Monitor: one signed checkpoint.
+func (m *Metrics) JournalCheckpoint(journal string, seq, counter uint64) {
+	m.journal.mu.Lock()
+	defer m.journal.mu.Unlock()
+	js := m.journal.cell(journal)
+	js.Checkpoints++
+	js.CheckpointSeq = seq
+	js.CheckpointCounter = counter
+}
+
+// JournalDropped implements journal.Monitor: one event refused by the
+// journal's bound.
+func (m *Metrics) JournalDropped(journal string) {
+	m.journal.mu.Lock()
+	defer m.journal.mu.Unlock()
+	m.journal.cell(journal).Dropped++
+}
+
+// JournalFlightDump implements journal.Monitor: one anomaly-triggered
+// flight dump, by trigger.
+func (m *Metrics) JournalFlightDump(journal, trigger string) {
+	m.journal.mu.Lock()
+	defer m.journal.mu.Unlock()
+	m.journal.cell(journal).FlightDumps[trigger]++
+}
+
+// JournalSummary is one journal's aggregate view.
+type JournalSummary struct {
+	Journal           string
+	Events            int64            // total entries across kinds
+	ByKind            map[string]int64 // copy, keyed by kind
+	Checkpoints       int64
+	CheckpointSeq     uint64
+	CheckpointCounter uint64
+	Dropped           int64
+	FlightDumps       map[string]int64 // copy, keyed by trigger
+}
+
+// Journals returns per-journal summaries, sorted by journal name.
+func (m *Metrics) Journals() []JournalSummary {
+	m.journal.mu.Lock()
+	defer m.journal.mu.Unlock()
+	out := make([]JournalSummary, 0, len(m.journal.cells))
+	for _, js := range m.journal.cells {
+		s := JournalSummary{
+			Journal:           js.Journal,
+			ByKind:            make(map[string]int64, len(js.Events)),
+			Checkpoints:       js.Checkpoints,
+			CheckpointSeq:     js.CheckpointSeq,
+			CheckpointCounter: js.CheckpointCounter,
+			Dropped:           js.Dropped,
+			FlightDumps:       make(map[string]int64, len(js.FlightDumps)),
+		}
+		for k, v := range js.Events {
+			s.ByKind[k] = v
+			s.Events += v
+		}
+		for k, v := range js.FlightDumps {
+			s.FlightDumps[k] = v
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Journal < out[j].Journal })
+	return out
+}
+
+// sortedKeys returns a map's keys in sorted order (deterministic
+// exposition).
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -25,6 +25,7 @@ type Metrics struct {
 	links    map[string]map[string]*LinkStats // from endpoint → to endpoint
 	fleet    fleetState                       // replica-fleet gauges (fleet.go)
 	stub     stubState                        // stub pipelining gauges (stub.go)
+	journal  journalState                     // fleet black-box counters (journal.go)
 }
 
 // NewMetrics returns an empty collector.

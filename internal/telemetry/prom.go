@@ -157,6 +157,56 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	// Journal (fleet black box). Emitted only when a journal reported —
+	// unjournaled runs keep their exposition byte-identical.
+	if journals := m.Journals(); len(journals) > 0 {
+		fmt.Fprint(w,
+			"# HELP lateral_journal_events_total Entries appended to the hash-chained event journal, per kind.\n",
+			"# TYPE lateral_journal_events_total counter\n")
+		for _, j := range journals {
+			for _, kind := range sortedKeys(j.ByKind) {
+				fmt.Fprintf(w, "lateral_journal_events_total{journal=%q,kind=%q} %d\n",
+					escapeLabel(j.Journal), escapeLabel(kind), j.ByKind[kind])
+			}
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_journal_checkpoints_total Signed checkpoints anchoring the chain head to the trusted counter.\n",
+			"# TYPE lateral_journal_checkpoints_total counter\n")
+		for _, j := range journals {
+			fmt.Fprintf(w, "lateral_journal_checkpoints_total{journal=%q} %d\n", escapeLabel(j.Journal), j.Checkpoints)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_journal_checkpoint_seq Chain position covered by the latest signed checkpoint.\n",
+			"# TYPE lateral_journal_checkpoint_seq gauge\n")
+		for _, j := range journals {
+			fmt.Fprintf(w, "lateral_journal_checkpoint_seq{journal=%q} %d\n", escapeLabel(j.Journal), j.CheckpointSeq)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_journal_checkpoint_counter Trusted monotonic counter value the latest checkpoint anchors to.\n",
+			"# TYPE lateral_journal_checkpoint_counter gauge\n")
+		for _, j := range journals {
+			fmt.Fprintf(w, "lateral_journal_checkpoint_counter{journal=%q} %d\n", escapeLabel(j.Journal), j.CheckpointCounter)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_journal_dropped_total Events refused because the journal bound was reached (non-zero = incomplete black box).\n",
+			"# TYPE lateral_journal_dropped_total counter\n")
+		for _, j := range journals {
+			fmt.Fprintf(w, "lateral_journal_dropped_total{journal=%q} %d\n", escapeLabel(j.Journal), j.Dropped)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_journal_flight_dumps_total Anomaly-triggered flight-recorder dumps, per trigger.\n",
+			"# TYPE lateral_journal_flight_dumps_total counter\n")
+		for _, j := range journals {
+			for _, trig := range sortedKeys(j.FlightDumps) {
+				_, err := fmt.Fprintf(w, "lateral_journal_flight_dumps_total{journal=%q,trigger=%q} %d\n",
+					escapeLabel(j.Journal), escapeLabel(trig), j.FlightDumps[trig])
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+
 	// Replica fleets.
 	fleets := m.Fleets()
 	if len(fleets) == 0 {
@@ -239,6 +289,18 @@ func (m *Metrics) WriteSummary(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%-16s %9d %10d %7d %11.2f %8d\n",
 				s.Stub, s.Inflight, s.DepthMax, s.Calls, mean, s.Orphans)
+		}
+	}
+	if journals := m.Journals(); len(journals) > 0 {
+		fmt.Fprintf(w, "\n%-16s %7s %12s %9s %9s %8s %6s\n",
+			"journal", "events", "checkpoints", "ckpt-seq", "ckpt-ctr", "dropped", "dumps")
+		for _, j := range journals {
+			var dumps int64
+			for _, v := range j.FlightDumps {
+				dumps += v
+			}
+			fmt.Fprintf(w, "%-16s %7d %12d %9d %9d %8d %6d\n",
+				j.Journal, j.Events, j.Checkpoints, j.CheckpointSeq, j.CheckpointCounter, j.Dropped, dumps)
 		}
 	}
 	fleets := m.Fleets()
