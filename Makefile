@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak policy-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -29,10 +29,10 @@ race:
 
 # Coverage with checked-in floors for the invocation-path packages. Floors
 # sit ~5 points under measured coverage (core 93.0, cluster 94.7,
-# distributed 86.6, journal 97.9 at the time they were set): they catch a
-# test deletion or a big untested addition without flaking on small
-# refactors.
-COVER_FLOORS := core:88 cluster:89 distributed:81 journal:85
+# distributed 86.6, journal 97.9, cap 98.7, policy 91.9 at the time they
+# were set): they catch a test deletion or a big untested addition without
+# flaking on small refactors.
+COVER_FLOORS := core:88 cluster:89 distributed:81 journal:85 cap:93 policy:86
 
 cover:
 	$(GO) test -cover ./...
@@ -74,6 +74,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDistributedFrame -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzScheduleDecode -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzJournalDecode -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzPolicyDecode  -fuzztime=10s -run '^$$' .
 
 # Short soak of the attested replica fleet under the race detector:
 # concurrent callers, repeated crash/heal cycles, plus the full E19 chaos
@@ -106,6 +107,14 @@ audit-soak:
 	$(GO) test -count=1 ./internal/simtest -run TestAuditTamperSoak -simtest.soak=500
 	$(GO) test -race -count=3 -run TestQuarantineJournaledExactlyOnce ./internal/cluster
 	$(GO) test -race -count=1 -run TestE24 ./internal/experiments
+
+# Chain-aware policy soak: 500 seeds where the explorer's operation mix
+# includes mosaic exfiltration attempts under the full mixed-fault
+# schedule — the no-tainted-egress invariant must hold on every seed —
+# plus the E25 confused-deputy experiment under the race detector.
+policy-soak:
+	$(GO) test -count=1 ./internal/simtest -run TestPolicyExfilSoak -simtest.soak=500
+	$(GO) test -race -count=1 -run TestE25 ./internal/experiments
 
 examples:
 	$(GO) run ./examples/quickstart -substrate all

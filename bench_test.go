@@ -30,6 +30,7 @@ import (
 	"lateral/internal/legacy"
 	"lateral/internal/mail"
 	"lateral/internal/netsim"
+	"lateral/internal/policy"
 	"lateral/internal/securechan"
 	"lateral/internal/sgx"
 	"lateral/internal/telemetry"
@@ -610,6 +611,59 @@ func BenchmarkJournalOverhead(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			jnl.RecordEvent(journal.KindDeadline, "anon/anon-1", "budget expired", uint64(i), uint64(i))
+		}
+	})
+}
+
+// BenchmarkPolicyOverhead pins the chain-aware policy layer's cost
+// contract on the invocation path. "off" is the baseline mail flow with no
+// policy installed — the nil-hook fast path the whole design hinges on: no
+// taint is computed, no interface call is made, so off must stay within
+// noise of the pre-policy numbers. "on" runs the same flow under an engine
+// whose rules never match the workload (a realistic deployment: taint and
+// deny rules targeting other channels, a trailing allow) — the full
+// per-invocation check plus taint bookkeeping. "check" is one rule-set
+// evaluation by itself.
+func BenchmarkPolicyOverhead(b *testing.B) {
+	drive := func(b *testing.B, sys *core.System) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mail.FetchMail(sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	rules, err := policy.Decode([]byte(
+		"taint vault ids meter-identities\ndeny no-exfil to-net * when meter-identities\nallow rest * *\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		drive(b, benchMailSystem(b))
+	})
+	b.Run("on", func(b *testing.B) {
+		eng, err := policy.New(policy.Config{Name: "bench", Rules: rules})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := benchMailSystem(b)
+		sys.SetPolicy(eng)
+		drive(b, sys)
+	})
+	b.Run("check", func(b *testing.B) {
+		eng, err := policy.New(policy.Config{Name: "bench", Rules: rules})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := core.PolicyRequest{From: "imap", Channel: "to-parse", To: "parse", Op: "parse"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.CheckInvoke(req); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

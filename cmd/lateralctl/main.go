@@ -17,9 +17,12 @@
 //	go run ./cmd/lateralctl events            # fleet black box: hash-chained journal of a chaos run
 //	go run ./cmd/lateralctl audit             # auditor replay of that journal: re-derive trust state,
 //	                                          # then prove tamper/rollback detection (exit 1 on failure)
+//	go run ./cmd/lateralctl policy            # chain-aware policy demo: mosaic exfiltration denied,
+//	                                          # approval grants decaying on TTL, denies journaled
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -38,6 +41,7 @@ import (
 	"lateral/internal/metrics"
 	"lateral/internal/netsim"
 	"lateral/internal/partition"
+	"lateral/internal/policy"
 	"lateral/internal/telemetry"
 )
 
@@ -50,7 +54,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition|trace|metrics|cluster|events|audit")
+		return fmt.Errorf("usage: lateralctl substrates|analyze|dot|tcb|prune|partition|trace|metrics|cluster|events|audit|policy")
 	}
 	switch args[0] {
 	case "substrates":
@@ -355,9 +359,173 @@ func run(args []string) error {
 		fmt.Println("self-check: counter regression detected")
 		fmt.Println("AUDIT OK")
 		return nil
+	case "policy":
+		return policyDemo()
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// policyDemoText is the demo's rule set in the policy DSL: reading the
+// vault's identifying data taints the chain; tainted chains may never hit
+// the network channel, and may hit the export channel only with a live
+// (TTL-decaying) approval grant.
+const policyDemoText = `# mosaic rule: ids taint the chain
+taint vault ids meter-identities
+deny no-exfil to-net * when meter-identities
+approve ops-export to-export * when meter-identities
+allow rest * *
+`
+
+// policyDemo narrates chain-aware enforcement on a live system: the same
+// component reads identifying data and then tries to egress it, and the
+// system — not the component — refuses. Approval-gated exports show grant
+// reuse and TTL decay; every verdict lands in the journal and telemetry.
+func policyDemo() error {
+	met := telemetry.NewMetrics()
+	signer := cryptoutil.NewSigner("lateralctl-policy")
+	counter := &journal.MemCounter{}
+	jnl, err := journal.New(journal.Config{
+		Name: "meter", Signer: signer, Counter: counter, CheckpointEvery: 8, Monitor: met,
+	})
+	if err != nil {
+		return err
+	}
+	rules, err := policy.Decode([]byte(policyDemoText))
+	if err != nil {
+		return err
+	}
+	fmt.Println("policy (canonical form):")
+	for _, line := range strings.Split(strings.TrimRight(string(policy.Encode(rules)), "\n"), "\n") {
+		fmt.Println("  " + line)
+	}
+	now := time.Now()
+	approvals := 0
+	eng, err := policy.New(policy.Config{
+		Name:  "meter",
+		Rules: rules,
+		Approver: policy.ApproverFunc(func(rule string, req core.PolicyRequest) bool {
+			approvals++
+			fmt.Printf("... approver consulted: rule %s, %s wants %s op %q\n", rule, req.From, req.Channel, req.Op)
+			return true
+		}),
+		GrantTTL: 45 * time.Second,
+		Clock:    func() time.Time { return now },
+		Recorder: jnl,
+		Monitor:  met,
+	})
+	if err != nil {
+		return err
+	}
+	sys := core.NewSystem(kernel.New(kernel.Config{}))
+	sys.SetEventRecorder(jnl)
+	sys.SetPolicy(eng)
+	sys.SetTracer(met)
+	for _, c := range []core.Component{&polApp{}, polVault{}, &polSink{}} {
+		if err := sys.Launch(c, false, 1); err != nil {
+			return err
+		}
+	}
+	for _, ch := range []core.ChannelSpec{
+		{Name: "vault", From: "app", To: "vault", Badge: 1},
+		{Name: "to-net", From: "app", To: "net", Badge: 2},
+		{Name: "to-export", From: "app", To: "net", Badge: 3},
+	} {
+		if err := sys.Grant(ch); err != nil {
+			return err
+		}
+	}
+	if err := sys.InitAll(); err != nil {
+		return err
+	}
+
+	drive := func(op, label string) {
+		_, err := sys.Deliver("app", core.Message{Op: op, Data: []byte(label)})
+		switch {
+		case err == nil:
+			fmt.Printf("%-34s -> ok\n", label)
+		case errors.Is(err, core.ErrPolicy):
+			fmt.Printf("%-34s -> DENIED: %v\n", label, err)
+		default:
+			fmt.Printf("%-34s -> error: %v\n", label, err)
+		}
+	}
+	fmt.Println("\nuntainted workload (allowed by the trailing allow rule):")
+	drive("send", "send telemetry")
+	drive("send", "send telemetry again")
+	fmt.Println("\nmosaic attack (read ids, then egress — each step individually fine):")
+	drive("exfil", "exfil ids via to-net")
+	fmt.Println("\nsanctioned export (approval minted, then reused under the live grant):")
+	drive("export", "export report #1")
+	drive("export", "export report #2")
+	now = now.Add(time.Minute) // the 45s grant decays
+	fmt.Println("\nafter 1m (grant TTL 45s elapsed — next export re-approves):")
+	drive("export", "export report #3")
+
+	fmt.Printf("\njournal: %d entries, policy verdicts on record:\n", len(jnl.Entries()))
+	for _, e := range jnl.Entries() {
+		if e.Kind == journal.KindPolicyDeny || e.Kind == journal.KindPolicyApprove {
+			fmt.Printf("  seq=%d %-14s %s\n", e.Seq, e.Kind, e.Detail)
+		}
+	}
+	fmt.Printf("\nstats: %d denies, %d approvals\n\n", sys.Stats().PolicyDenies, approvals)
+	met.WriteSummary(os.Stdout)
+	return nil
+}
+
+// ---- policy demo components -----------------------------------------
+
+// polApp reads identifying data on demand and pushes bytes out — a
+// deliberately unscrupulous component; containment is the system's job.
+type polApp struct{ ctx *core.Ctx }
+
+func (a *polApp) CompName() string         { return "app" }
+func (a *polApp) CompVersion() string      { return "1.0" }
+func (a *polApp) Init(ctx *core.Ctx) error { a.ctx = ctx; return nil }
+
+func (a *polApp) Handle(env core.Envelope) (core.Message, error) {
+	switch env.Msg.Op {
+	case "send":
+		return a.ctx.Call("to-net", core.Message{Op: "send", Data: env.Msg.Data})
+	case "exfil":
+		if _, err := a.ctx.Call("vault", core.Message{Op: "ids"}); err != nil {
+			return core.Message{}, err
+		}
+		return a.ctx.Call("to-net", core.Message{Op: "send", Data: env.Msg.Data})
+	case "export":
+		if _, err := a.ctx.Call("vault", core.Message{Op: "ids"}); err != nil {
+			return core.Message{}, err
+		}
+		return a.ctx.Call("to-export", core.Message{Op: "send", Data: env.Msg.Data})
+	default:
+		return core.Message{}, core.ErrRefused
+	}
+}
+
+// polVault holds the identifying data whose channel taints the chain.
+type polVault struct{}
+
+func (polVault) CompName() string     { return "vault" }
+func (polVault) CompVersion() string  { return "1.0" }
+func (polVault) Init(*core.Ctx) error { return nil }
+func (polVault) Handle(env core.Envelope) (core.Message, error) {
+	if env.Msg.Op != "ids" {
+		return core.Message{}, core.ErrRefused
+	}
+	return core.Message{Op: "ok", Data: []byte("meter-identities")}, nil
+}
+
+// polSink models the network boundary.
+type polSink struct{}
+
+func (*polSink) CompName() string     { return "net" }
+func (*polSink) CompVersion() string  { return "1.0" }
+func (*polSink) Init(*core.Ctx) error { return nil }
+func (*polSink) Handle(env core.Envelope) (core.Message, error) {
+	if env.Msg.Op != "send" {
+		return core.Message{}, core.ErrRefused
+	}
+	return core.Message{Op: "sent"}, nil
 }
 
 // chaosRun bundles the journaled fleet the events and audit commands share.

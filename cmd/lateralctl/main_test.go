@@ -37,7 +37,9 @@ func TestMetricsPrometheusGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, family := range []string{"lateral_stub_calls_total", "lateral_journal_events_total",
-		"lateral_journal_checkpoint_counter", "lateral_journal_flight_dumps_total"} {
+		"lateral_journal_checkpoint_counter", "lateral_journal_flight_dumps_total",
+		"lateral_policy_decisions_total", "lateral_policy_rule_hits_total",
+		"lateral_policy_grants_total"} {
 		if !bytes.Contains(buf.Bytes(), []byte(family)) {
 			t.Errorf("exposition missing family %s", family)
 		}
@@ -131,6 +133,20 @@ func goldenMetrics() *telemetry.Metrics {
 	m.JournalDropped("svc")
 	m.JournalFlightDump("svc", "quarantine")
 	m.JournalFlightDump("svc", "deadline-storm")
+
+	// Policy engine for the policy table: a mostly-allowed workload with
+	// one mosaic deny and an approval grant that is minted, reused, and
+	// later found expired.
+	for i := 0; i < 4; i++ {
+		m.PolicyDecision("meter", "allow", "rest")
+	}
+	m.PolicyDecision("meter", "allow", "(default)")
+	m.PolicyDecision("meter", "deny", "no-exfil")
+	m.PolicyDecision("meter", "approve", "ops-export")
+	m.PolicyDecision("meter", "approve", "ops-export")
+	m.PolicyGrant("meter", "ops-export", "mint")
+	m.PolicyGrant("meter", "ops-export", "reuse")
+	m.PolicyGrant("meter", "ops-export", "expire")
 
 	return m
 }

@@ -13,6 +13,8 @@ import (
 	"bytes"
 	"crypto/ed25519"
 	"encoding/binary"
+	"slices"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"lateral/internal/hw"
 	"lateral/internal/journal"
 	"lateral/internal/legacy"
+	"lateral/internal/policy"
 	"lateral/internal/securechan"
 	"lateral/internal/simtest"
 	"lateral/internal/vpfs"
@@ -172,6 +175,22 @@ func FuzzDistributedFrame(f *testing.F) {
 	f.Add(vFull[:17])                                 // span ok, budget+corr gone
 	f.Add(vFull[:25])                                 // span+budget ok, corr gone
 	f.Add(append(append([]byte{}, corr...), corr...)) // duplicated v3 datagram
+	// Taint-bearing frames: the chain's label set rides the wire, and the
+	// decoder demands canonical form (sorted, deduplicated, bounded) — a
+	// shuffled or duplicated label list must be rejected, never normalized.
+	tainted := distributed.AppendRequest(nil, distributed.Request{
+		Taint: []string{"ingress", "meter-identities"}, Op: "put", Data: []byte("doc")})
+	taintedFull := distributed.AppendRequest(nil, distributed.Request{
+		Span: core.Span{Trace: 7, ID: 9}, Budget: time.Second, Corr: 3, HasCorr: true,
+		Taint: []string{"a", "b", "c"}, Op: "get"})
+	f.Add(tainted)
+	f.Add(taintedFull)
+	f.Add(tainted[:2])                        // taint flag, count cut off
+	f.Add(tainted[:4])                        // cut inside the first label
+	f.Add(append([]byte{8}, 0))               // taint flag, zero label count
+	f.Add(append([]byte{8}, 17))              // count beyond maxTaintLabels
+	f.Add(append([]byte{8}, 2, 1, 'b', 1, 'a')) // unsorted labels
+	f.Add(append([]byte{8}, 2, 1, 'a', 1, 'a')) // duplicated labels
 	// Reply-frame shapes fed to the request decoder: the 8-byte correlation
 	// prefix of a pipelined reply lands where flags belong, including an ID
 	// no caller is parked on — decoders must reject, never panic.
@@ -197,6 +216,46 @@ func FuzzDistributedFrame(f *testing.F) {
 			req2.Corr != req.Corr || req2.HasCorr != req.HasCorr ||
 			req2.Op != req.Op || !bytes.Equal(req2.Data, req.Data) {
 			t.Fatalf("round trip unstable: %+v vs %+v", req, req2)
+		}
+		if !slices.Equal(req2.Taint, req.Taint) {
+			t.Fatalf("taint round trip unstable: %v vs %v", req.Taint, req2.Taint)
+		}
+	})
+}
+
+// FuzzPolicyDecode covers the policy DSL parser: rule sets are loaded
+// from operator-written files, so the decoder must never panic, must
+// bound everything it accepts (labels, rule counts, token lengths), and
+// must canonicalize: whatever decodes must re-encode to text that decodes
+// and re-encodes byte-identically (policy.Reencode is the oracle — one
+// rule set, exactly one canonical text form).
+func FuzzPolicyDecode(f *testing.F) {
+	f.Add("taint to-store ids meter-identities\ndeny no-exfil to-net * when meter-identities\nallow rest * *\n")
+	f.Add("approve ops to-export put when a,b,c\n")
+	f.Add("# comment\n\ntaint ch op x\n")
+	f.Add("taint ch op b,a,b\ndeny  r  ch  op  when  z,a\n") // messy spacing, unsorted labels
+	f.Add("")
+	f.Add("allow")
+	f.Add("deny r ch\n")
+	f.Add("taint ch op\n")
+	f.Add("allow r ch op when\n")
+	f.Add("frobnicate r ch op\n")
+	f.Add("taint ch op A,B\n")                                  // uppercase labels refused
+	f.Add("deny r ch op when " + strings.Repeat("a,", 20) + "a\n") // over MaxLabels
+	f.Add("allow " + strings.Repeat("x", 100) + " ch op\n")        // over MaxTokenLen
+	f.Add(strings.Repeat("allow r ch op\n", 300))                  // over MaxRules (dup names too)
+	f.Add("taint ch op a\x00b\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		canon, err := policy.Reencode([]byte(text))
+		if err != nil {
+			return
+		}
+		again, err := policy.Reencode(canon)
+		if err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v\n%s", err, canon)
+		}
+		if !bytes.Equal(again, canon) {
+			t.Fatalf("canonical form unstable:\n--- first\n%s--- second\n%s", canon, again)
 		}
 	})
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Rights is the access bit mask carried by a capability.
@@ -58,6 +59,12 @@ var (
 
 	// ErrNoCap is returned when a slot holds no capability.
 	ErrNoCap = errors.New("cap: empty slot")
+
+	// ErrExpired is returned when using a capability past its TTL. Decay
+	// fails closed: an expired capability behaves like a revoked one for
+	// every operation, it is just not (yet) removed from the derivation
+	// tree.
+	ErrExpired = errors.New("cap: capability expired")
 )
 
 // Object is anything a capability can designate (an IPC gate, a file, a
@@ -74,6 +81,15 @@ type Cap struct {
 	rights Rights
 	badge  uint64
 
+	// expiry, when nonzero, is the instant this capability decays, judged
+	// by clock (injected, so a virtual clock drives expiry
+	// deterministically in tests and simulations). Both are stamped at
+	// mint time and immutable afterwards; a zero expiry never decays.
+	// Decay is monotonic like rights diminution: children never outlive
+	// their parent.
+	expiry time.Time
+	clock  func() time.Time
+
 	mu       sync.Mutex
 	revoked  bool
 	children []*Cap
@@ -87,10 +103,13 @@ func NewRoot(obj Object, rights Rights) *Cap {
 }
 
 // Object returns the designated object, failing if the capability has been
-// revoked.
+// revoked or has decayed.
 func (c *Cap) Object() (Object, error) {
 	if c.isRevoked() {
 		return nil, fmt.Errorf("cap to %s: %w", c.obj.ObjectName(), ErrRevoked)
+	}
+	if c.expired() {
+		return nil, fmt.Errorf("cap to %s: %w", c.obj.ObjectName(), ErrExpired)
 	}
 	return c.obj, nil
 }
@@ -103,10 +122,14 @@ func (c *Cap) Rights() Rights { return c.rights }
 // for the receiver.
 func (c *Cap) Badge() uint64 { return c.badge }
 
-// Demand verifies the capability is live and carries the needed rights.
+// Demand verifies the capability is live — not revoked, not decayed — and
+// carries the needed rights.
 func (c *Cap) Demand(need Rights) error {
 	if c.isRevoked() {
 		return fmt.Errorf("cap to %s: %w", c.obj.ObjectName(), ErrRevoked)
+	}
+	if c.expired() {
+		return fmt.Errorf("cap to %s: %w", c.obj.ObjectName(), ErrExpired)
 	}
 	if !c.rights.Has(need) {
 		return fmt.Errorf("cap to %s: need %v, have %v: %w", c.obj.ObjectName(), need, c.rights, ErrRights)
@@ -116,10 +139,36 @@ func (c *Cap) Demand(need Rights) error {
 
 // Mint derives a child capability with a subset of this capability's
 // rights and a new badge. Minting requires Grant; rights can only shrink.
-// Revoking the parent revokes every mint transitively.
+// Revoking the parent revokes every mint transitively, and a child minted
+// from a decaying capability inherits its expiry — lifetime, like rights,
+// only ever diminishes.
 func (c *Cap) Mint(rights Rights, badge uint64) (*Cap, error) {
+	return c.mint(rights, badge, c.expiry, c.clock)
+}
+
+// MintTTL is Mint for a decaying grant: the child fails closed — every
+// operation returns ErrExpired — once ttl has elapsed on the supplied
+// clock. A nil clock uses the wall clock; tests and simulations inject a
+// virtual one so decay is deterministic. If the parent itself decays
+// sooner, the child's expiry is clipped to the parent's: a grant cannot
+// extend the trust that backs it.
+func (c *Cap) MintTTL(rights Rights, badge uint64, ttl time.Duration, clock func() time.Time) (*Cap, error) {
+	if clock == nil {
+		clock = time.Now
+	}
+	expiry := clock().Add(ttl)
+	if !c.expiry.IsZero() && c.expiry.Before(expiry) {
+		expiry = c.expiry
+	}
+	return c.mint(rights, badge, expiry, clock)
+}
+
+func (c *Cap) mint(rights Rights, badge uint64, expiry time.Time, clock func() time.Time) (*Cap, error) {
 	if c.isRevoked() {
 		return nil, fmt.Errorf("mint from %s: %w", c.obj.ObjectName(), ErrRevoked)
+	}
+	if c.expired() {
+		return nil, fmt.Errorf("mint from %s: %w", c.obj.ObjectName(), ErrExpired)
 	}
 	if !c.rights.Has(Grant) {
 		return nil, fmt.Errorf("mint from %s: %w", c.obj.ObjectName(), ErrRights)
@@ -128,7 +177,7 @@ func (c *Cap) Mint(rights Rights, badge uint64) (*Cap, error) {
 		return nil, fmt.Errorf("mint from %s: child rights %v exceed parent %v: %w",
 			c.obj.ObjectName(), rights, c.rights, ErrRights)
 	}
-	child := &Cap{obj: c.obj, rights: rights, badge: badge}
+	child := &Cap{obj: c.obj, rights: rights, badge: badge, expiry: expiry, clock: clock}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.revoked {
@@ -136,6 +185,15 @@ func (c *Cap) Mint(rights Rights, badge uint64) (*Cap, error) {
 	}
 	c.children = append(c.children, child)
 	return child, nil
+}
+
+// Expiry returns the instant the capability decays (zero = never).
+func (c *Cap) Expiry() time.Time { return c.expiry }
+
+// expired reports whether the capability's TTL has elapsed. Expiry and
+// clock are immutable after mint, so no lock is needed.
+func (c *Cap) expired() bool {
+	return !c.expiry.IsZero() && !c.clock().Before(c.expiry)
 }
 
 // Revoke invalidates this capability and, recursively, everything minted

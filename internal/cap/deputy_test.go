@@ -1,0 +1,65 @@
+package cap
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSessionTableResolvesByBadge(t *testing.T) {
+	tbl := NewSessionTable[string]()
+	tbl.Register(7, "alice")
+	tbl.Register(9, "bob")
+	if got, err := tbl.ForBadge(7); err != nil || got != "alice" {
+		t.Fatalf("ForBadge(7) = %q, %v", got, err)
+	}
+	if got, err := tbl.ForBadge(9); err != nil || got != "bob" {
+		t.Fatalf("ForBadge(9) = %q, %v", got, err)
+	}
+	if n := tbl.Len(); n != 2 {
+		t.Errorf("Len = %d, want 2", n)
+	}
+}
+
+func TestSessionTableRefusesAmbientBadge(t *testing.T) {
+	tbl := NewSessionTable[string]()
+	// Even a (buggy) registration under badge 0 must never resolve: an
+	// ambient invocation carries no kernel-stamped identity, and a deputy
+	// that guesses is a confused deputy.
+	tbl.Register(0, "anonymous")
+	if _, err := tbl.ForBadge(0); !errors.Is(err, ErrNoSession) {
+		t.Errorf("ForBadge(0) = %v, want ErrNoSession", err)
+	}
+}
+
+func TestSessionTableUnknownBadge(t *testing.T) {
+	tbl := NewSessionTable[int]()
+	if _, err := tbl.ForBadge(42); !errors.Is(err, ErrNoSession) {
+		t.Errorf("unknown badge = %v, want ErrNoSession", err)
+	}
+}
+
+func TestSessionTableDropRevokes(t *testing.T) {
+	tbl := NewSessionTable[string]()
+	tbl.Register(7, "alice")
+	tbl.Drop(7)
+	if _, err := tbl.ForBadge(7); !errors.Is(err, ErrNoSession) {
+		t.Errorf("dropped badge = %v, want ErrNoSession", err)
+	}
+	if n := tbl.Len(); n != 0 {
+		t.Errorf("Len after drop = %d", n)
+	}
+	// Dropping an absent badge is a no-op, not a panic.
+	tbl.Drop(99)
+}
+
+func TestSessionTableReRegisterReplaces(t *testing.T) {
+	tbl := NewSessionTable[string]()
+	tbl.Register(7, "alice")
+	tbl.Register(7, "alice-v2")
+	if got, _ := tbl.ForBadge(7); got != "alice-v2" {
+		t.Errorf("re-registered session = %q", got)
+	}
+	if n := tbl.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+}

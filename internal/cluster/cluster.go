@@ -448,6 +448,11 @@ func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 //     also WITHOUT marking the replica down: a full admission queue is
 //     transient load, and forcing a re-attestation round-trip on it would
 //     amplify exactly the overload being shed.
+//   - core.ErrPolicy (the replica's policy refused the invocation) is
+//     returned as-is, like distributed.ErrRemote: the deny is a verdict
+//     about the request's chain taint, not the replica's health, and
+//     every sibling enforces the same policy — failing over would just
+//     collect N identical denies.
 //
 // A zero deadline is Do's unbounded behavior.
 func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (core.Message, error) {
@@ -510,7 +515,7 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 			}
 			continue
 		}
-		if errors.Is(err, distributed.ErrRemote) {
+		if errors.Is(err, distributed.ErrRemote) || errors.Is(err, core.ErrPolicy) {
 			return reply, err
 		}
 		// Operational failure: the replica is down until a health check

@@ -115,6 +115,13 @@ type Envelope struct {
 	// consult it to shed doomed work early but never need to; the system's
 	// watchdog enforces it either way.
 	Deadline time.Time
+
+	// Taint is the invocation chain's accumulated label set: every label
+	// the chain acquired from channels and assets it touched before
+	// reaching this handler, on this machine or upstream of the wire
+	// (policy.go). Sorted, read-only, nil on an untainted chain.
+	// Components may consult it but enforcement is the system's job.
+	Taint []string
 }
 
 // Component is the unit of horizontal application design. Implementations

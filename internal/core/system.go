@@ -96,6 +96,14 @@ type node struct {
 	// span is the handler span the component is currently executing,
 	// guarded by handleMu like deadline. Outbound calls parent to it.
 	span Span
+
+	// taint is the accumulated chain taint of the invocation the component
+	// is currently executing, guarded by handleMu like deadline and span.
+	// run installs the envelope's taint; outbound calls inherit it and
+	// grow it with labels the policy hook says the touched channel or
+	// asset confers. Sorted; treated as immutable once installed (merges
+	// allocate a new slice), so envelopes on other goroutines may alias it.
+	taint []string
 }
 
 // Stats are the system's virtual cost counters, used by the experiment
@@ -122,6 +130,9 @@ type Stats struct {
 
 	// Overloads counts calls shed by a full per-component admission queue.
 	Overloads int64
+
+	// PolicyDenies counts invocations refused by the installed Policy.
+	PolicyDenies int64
 }
 
 // System loads components onto one substrate and runs the horizontal
@@ -147,6 +158,11 @@ type System struct {
 	// events is the journal hook (see events.go); nil means budget sheds
 	// go unjournaled. Only error branches read it, never the steady path.
 	events EventRecorder
+
+	// policy is the chain-aware enforcement hook (see policy.go); nil is
+	// the fast path — no taint computed, no check made. Snapshotted under
+	// mu in call/deliver alongside observer and tracer.
+	policy Policy
 
 	// sampleEvery enables head sampling: only one in every sampleEvery
 	// externally delivered requests is traced (0 or 1 = trace all).
@@ -358,7 +374,18 @@ func (s *System) DeliverCtx(ctx context.Context, target string, msg Message) (Me
 // reusing the buffer). The distributed exporter uses it so a decrypted
 // request can be dispatched straight from a pooled record buffer.
 func (s *System) DeliverShared(target string, msg Message, parent Span, deadline time.Time) (Message, error) {
-	return s.deliverEnv(nil, target, msg, parent, deadline)
+	return s.deliverEnv(nil, target, msg, parent, deadline, nil)
+}
+
+// DeliverEnvelope injects an external stimulus described by a prebuilt
+// envelope: span, deadline, and imported chain taint all travel together.
+// Like DeliverShared it does not clone the payload — the borrow contract
+// documented there applies. The distributed exporter uses it to deliver a
+// decoded wire frame whose taint field continues a chain started on
+// another machine; the installed Policy judges that taint at this deliver
+// boundary before the target runs.
+func (s *System) DeliverEnvelope(target string, env Envelope) (Message, error) {
+	return s.deliverEnv(nil, target, env.Msg, env.Span, env.Deadline, env.Taint)
 }
 
 // deliver is the single entry point behind every Deliver variant. A nil
@@ -367,13 +394,13 @@ func (s *System) DeliverShared(target string, msg Message, parent Span, deadline
 // context.Context interface calls (Done, Deadline) that even a Background
 // context would cost on every hop.
 func (s *System) deliver(ctx context.Context, target string, msg Message, parent Span, deadline time.Time) (Message, error) {
-	return s.deliverEnv(ctx, target, Message{Op: msg.Op, Data: msg.CloneData()}, parent, deadline)
+	return s.deliverEnv(ctx, target, Message{Op: msg.Op, Data: msg.CloneData()}, parent, deadline, nil)
 }
 
 // deliverEnv is deliver after the ownership decision: msg is placed in the
 // envelope as-is. deliver clones; DeliverShared passes the caller's buffer
 // through under the borrow contract documented there.
-func (s *System) deliverEnv(ctx context.Context, target string, msg Message, parent Span, deadline time.Time) (Message, error) {
+func (s *System) deliverEnv(ctx context.Context, target string, msg Message, parent Span, deadline time.Time, taint []string) (Message, error) {
 	s.mu.Lock()
 	n, ok := s.nodes[target]
 	if !ok {
@@ -384,6 +411,7 @@ func (s *System) deliverEnv(ctx context.Context, target string, msg Message, par
 	compromised := n.dom.compromised
 	obs := s.observer
 	tr := s.tracer
+	pol := s.policy
 	if tr != nil && parent == (Span{}) && s.sampleEvery > 1 {
 		// Head sampling: decide once at the trace root. An unsampled
 		// request runs the untraced fast path end to end; continuations
@@ -408,7 +436,23 @@ func (s *System) deliverEnv(ctx context.Context, target string, msg Message, par
 		}
 	}
 	s.mu.Unlock()
-	env := Envelope{Msg: msg, Span: sp, Deadline: deadline}
+	env := Envelope{Msg: msg, Span: sp, Deadline: deadline, Taint: taint}
+	if pol != nil {
+		// The deliver boundary is where wire-imported taint is judged:
+		// the chain continuing here already touched whatever the taint
+		// names, possibly on another machine.
+		acquire, perr := pol.CheckInvoke(PolicyRequest{
+			Taint: taint, Channel: PolicyDeliver, To: target, Op: msg.Op,
+		})
+		if perr != nil {
+			perr = fmt.Errorf("deliver to %s: %w", target, perr)
+			s.notePolicyDeny(perr, target, sp)
+			return Message{}, perr
+		}
+		if len(acquire) > 0 {
+			env.Taint = MergeTaint(taint, acquire)
+		}
+	}
 	if tr == nil {
 		return s.dispatch(ctx, n, &env, compromised, obs, nil)
 	}
@@ -432,12 +476,14 @@ func (s *System) call(ctx context.Context, from *node, channelName string, msg M
 	if ctx != nil {
 		deadline = effectiveDeadline(from.deadline, ctx)
 	}
+	taint := from.taint
 	ch.uses++
 	s.account(ch.to)
 	fromCompromised := from.dom.compromised
 	toCompromised := ch.to.dom.compromised
 	obs := s.observer
 	tr := s.tracer
+	pol := s.policy
 	if tr != nil && from.span == (Span{}) {
 		// Caller is executing outside a traced request (sampled out, or
 		// running at Init time): keep the whole subtree untraced.
@@ -460,10 +506,30 @@ func (s *System) call(ctx context.Context, from *node, channelName string, msg M
 	}
 	s.mu.Unlock()
 
-	env := Envelope{Msg: msg.Clone(), Span: sp, Deadline: deadline}
+	env := Envelope{Msg: msg.Clone(), Span: sp, Deadline: deadline, Taint: taint}
 	if ch.spec.Badge != 0 {
 		env.From = from.comp.CompName()
 		env.Badge = ch.spec.Badge
+	}
+	if pol != nil {
+		acquire, perr := pol.CheckInvoke(PolicyRequest{
+			Taint: taint, From: from.comp.CompName(), Channel: channelName,
+			To: ch.to.comp.CompName(), Op: msg.Op,
+		})
+		if perr != nil {
+			perr = fmt.Errorf("%s calling %q: %w", from.comp.CompName(), channelName, perr)
+			s.notePolicyDeny(perr, from.comp.CompName(), sp)
+			return Message{}, perr
+		}
+		if len(acquire) > 0 {
+			// Touching this channel taints the whole chain, not just the
+			// callee: the caller's residual work carries the labels too.
+			// from.taint is guarded by the caller's execution slot, the
+			// same discipline as the inherited deadline and span.
+			taint = MergeTaint(taint, acquire)
+			from.taint = taint
+			env.Taint = taint
+		}
 	}
 	if fromCompromised && obs != nil {
 		// The adversary inside the sender knows what it sent.
@@ -617,6 +683,13 @@ func (s *System) run(n *node, env *Envelope, compromised bool, obs Observer) (Me
 		// this handler's calls don't attach to an old trace.
 		n.span = env.Span
 	}
+	if len(env.Taint) != 0 || len(n.taint) != 0 {
+		// And for the chain taint: the handler's outbound calls inherit the
+		// labels this invocation arrived with (an untainted invocation
+		// clears a stale set). Conditional store keeps the steady path
+		// read-only, like the budget above.
+		n.taint = env.Taint
+	}
 	if compromised {
 		// The adversary controls the whole domain: it reads the incoming
 		// message no matter which colocated component it addressed.
@@ -757,8 +830,29 @@ func (s *System) doStoreAsset(n *node, name string, secret []byte) error {
 	return nil
 }
 
-// loadAsset implements Ctx.LoadAsset.
+// loadAsset implements Ctx.LoadAsset. Reading an asset is a chain event:
+// the installed policy may refuse it outright, and the labels it confers
+// (e.g. reading stored meter identities) taint the executing handler's
+// chain from here on. Stores are not policy-gated — writing a secret
+// reveals nothing to the writer.
 func (s *System) loadAsset(n *node, name string) ([]byte, error) {
+	s.mu.Lock()
+	pol := s.policy
+	s.mu.Unlock()
+	if pol != nil {
+		comp := n.comp.CompName()
+		acquire, perr := pol.CheckInvoke(PolicyRequest{
+			Taint: n.taint, From: comp, Channel: PolicyAsset, To: comp, Op: name,
+		})
+		if perr != nil {
+			perr = fmt.Errorf("asset %s/%s: %w", comp, name, perr)
+			s.notePolicyDeny(perr, comp, n.span)
+			return nil, perr
+		}
+		if len(acquire) > 0 {
+			n.taint = MergeTaint(n.taint, acquire)
+		}
+	}
 	tr, sp, info, start := s.beginAssetSpan(n, SpanAssetLoad, name, 0)
 	data, err := s.doLoadAsset(n, name)
 	if tr != nil {

@@ -175,6 +175,14 @@ const PongOp = "\x00pong"
 //     replies complete out of order under pipelining. A request without
 //     the field gets an unprefixed reply, so a v2 peer talking to a v3
 //     exporter round-trips unchanged.
+//   - frameTaint (v3): the invocation chain's accumulated policy taint —
+//     a count byte followed by length-prefixed labels, strictly
+//     increasing (sorted, deduplicated: the canonical form core's
+//     MergeTaint maintains; anything else is rejected, so a frame has
+//     exactly one encoding). The receiving system judges the imported
+//     taint at its deliver boundary, which is what keeps a chain's
+//     history enforceable across machines — a hop through the wire must
+//     not launder it.
 //
 // A pre-budget or pre-correlation peer emits frames without those bits and
 // they decode fine — the format is backward compatible by construction.
@@ -182,8 +190,16 @@ const (
 	frameTraced = 1 << 0
 	frameBudget = 1 << 1
 	frameCorr   = 1 << 2
+	frameTaint  = 1 << 3
 
-	frameKnown = frameTraced | frameBudget | frameCorr
+	frameKnown = frameTraced | frameBudget | frameCorr | frameTaint
+)
+
+// Taint field bounds, matching internal/policy's rule-set bounds: a label
+// a rule can confer is a label the frame can carry.
+const (
+	maxTaintLabels   = 16
+	maxTaintLabelLen = 64
 )
 
 // Request is one decoded invocation frame.
@@ -201,6 +217,11 @@ type Request struct {
 	// included) from a v2 frame without the field.
 	Corr    uint64
 	HasCorr bool
+
+	// Taint is the chain's accumulated policy label set, sorted and
+	// deduplicated; nil on an untainted chain (the field is then elided
+	// from the frame entirely).
+	Taint []string
 
 	// Op and Data are the invocation payload.
 	Op   string
@@ -231,6 +252,9 @@ func AppendRequest(dst []byte, req Request) []byte {
 	if req.HasCorr {
 		flags |= frameCorr
 	}
+	if len(req.Taint) > 0 {
+		flags |= frameTaint
+	}
 	dst = append(dst, flags)
 	if flags&frameTraced != 0 {
 		dst = binary.BigEndian.AppendUint64(dst, req.Span.Trace)
@@ -241,6 +265,13 @@ func AppendRequest(dst []byte, req Request) []byte {
 	}
 	if flags&frameCorr != 0 {
 		dst = binary.BigEndian.AppendUint64(dst, req.Corr)
+	}
+	if flags&frameTaint != 0 {
+		dst = append(dst, byte(len(req.Taint)))
+		for _, l := range req.Taint {
+			dst = append(dst, byte(len(l)))
+			dst = append(dst, l...)
+		}
 	}
 	return appendCall(dst, req.Op, req.Data)
 }
@@ -291,9 +322,55 @@ func decodeRequestInto(b []byte, req *Request, ops *interner) error {
 		req.HasCorr = true
 		b = b[8:]
 	}
+	if flags&frameTaint != 0 {
+		var err error
+		req.Taint, b, err = decodeTaint(b)
+		if err != nil {
+			return err
+		}
+	}
 	var err error
 	req.Op, req.Data, err = decodeCallInto(b, ops)
 	return err
+}
+
+// decodeTaint parses the frame's taint field. The field is canonical or
+// rejected: one to maxTaintLabels labels, each one to maxTaintLabelLen
+// bytes, in strictly increasing order — exactly what core.MergeTaint
+// maintains, so a frame has a single valid encoding and a forged
+// duplicate-or-shuffled taint set never parses.
+func decodeTaint(b []byte) ([]string, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("truncated taint count: %w", ErrTransport)
+	}
+	n := int(b[0])
+	b = b[1:]
+	if n == 0 || n > maxTaintLabels {
+		return nil, nil, fmt.Errorf("taint count %d out of range: %w", n, ErrTransport)
+	}
+	taint := make([]string, 0, n)
+	prev := ""
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("truncated taint label length: %w", ErrTransport)
+		}
+		ln := int(b[0])
+		b = b[1:]
+		if ln == 0 || ln > maxTaintLabelLen {
+			return nil, nil, fmt.Errorf("taint label length %d out of range: %w", ln, ErrTransport)
+		}
+		if len(b) < ln {
+			return nil, nil, fmt.Errorf("truncated taint label: %w", ErrTransport)
+		}
+		l := string(b[:ln])
+		b = b[ln:]
+		if i > 0 && l <= prev {
+			return nil, nil, fmt.Errorf("taint labels not strictly sorted: %w", ErrTransport)
+		}
+		prev = l
+		taint = append(taint, l)
+	}
+	return taint, b, nil
 }
 
 // reply frames: when the request carried a correlation ID the reply is
@@ -301,11 +378,14 @@ func decodeRequestInto(b []byte, req *Request, ops *interner) error {
 // error text). Deadline and overload failures get their own status codes
 // so errors.Is(err, core.ErrDeadline) / core.ErrOverloaded keep working
 // across the wire — the cluster layer routes on exactly that distinction.
+// Policy refusals likewise: a remote deny rehydrates as core.ErrPolicy, a
+// verdict about the request that the cluster layer must not fail over.
 const (
 	statusOK       = 0
 	statusErr      = 1
 	statusDeadline = 2
 	statusOverload = 3
+	statusPolicy   = 4
 )
 
 // Monitor receives stub pipelining telemetry. telemetry.Metrics implements
@@ -636,8 +716,11 @@ func (e *Exporter) openRequest(ss *sessState, dg netsim.Datagram, j *job) (bool,
 // after the reply is sealed, because the reply may alias the request data
 // (an echo) or the decrypted frame.
 func (e *Exporter) execute(j *job) error {
-	var reply core.Message
-	var herr error
+	env := core.Envelope{
+		Msg:   core.Message{Op: j.req.Op, Data: j.req.Data},
+		Span:  j.req.Span,
+		Taint: j.req.Taint,
+	}
 	if j.req.Budget > 0 {
 		// Enforce the caller's remaining budget server-side: re-anchor
 		// the relative budget against the local clock and let the core
@@ -647,14 +730,15 @@ func (e *Exporter) execute(j *job) error {
 		// delivery clones the payload: the watchdog may abandon the
 		// handler, which would otherwise keep reading a pooled buffer
 		// about to be reused.
-		deadline := e.clock().Add(j.req.Budget)
-		reply, herr = e.sys.DeliverDeadline(e.target, core.Message{Op: j.req.Op, Data: j.req.Data}, j.req.Span, deadline)
-	} else {
-		// Unguarded delivery borrows the decrypted buffer for the
-		// synchronous duration of the handler (core.DeliverShared's
-		// contract) — the zero-allocation path.
-		reply, herr = e.sys.DeliverShared(e.target, core.Message{Op: j.req.Op, Data: j.req.Data}, j.req.Span, time.Time{})
+		env.Deadline = e.clock().Add(j.req.Budget)
+		env.Msg.Data = env.Msg.CloneData()
 	}
+	// An unguarded delivery borrows the decrypted buffer for the
+	// synchronous duration of the handler (the DeliverEnvelope /
+	// DeliverShared borrow contract) — the zero-allocation path. Either
+	// way the frame's taint rides in, so the hosting system's policy
+	// judges the imported chain at its deliver boundary.
+	reply, herr := e.sys.DeliverEnvelope(e.target, env)
 	err := e.reply(j.ss, j.from, j.req, reply, herr)
 	putBuf(j.buf, j.raw)
 	return err
@@ -674,6 +758,9 @@ func (e *Exporter) reply(ss *sessState, to string, req Request, msg core.Message
 		frame = append(frame, herr.Error()...)
 	case errors.Is(herr, core.ErrOverloaded):
 		frame = append(frame, statusOverload)
+		frame = append(frame, herr.Error()...)
+	case errors.Is(herr, core.ErrPolicy):
+		frame = append(frame, statusPolicy)
 		frame = append(frame, herr.Error()...)
 	case herr != nil:
 		frame = append(frame, statusErr)
@@ -1144,6 +1231,7 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 		Budget:  budget,
 		Corr:    corr,
 		HasCorr: true,
+		Taint:   env.Taint,
 		Op:      env.Msg.Op,
 		Data:    env.Msg.Data,
 	})
@@ -1344,6 +1432,8 @@ func (s *Stub) decodeReply(b []byte) result {
 		return result{err: fmt.Errorf("remote: %s: %w", b[1:], core.ErrDeadline)}
 	case statusOverload:
 		return result{err: fmt.Errorf("remote: %s: %w", b[1:], core.ErrOverloaded)}
+	case statusPolicy:
+		return result{err: fmt.Errorf("remote: %s: %w", b[1:], core.ErrPolicy)}
 	case statusErr:
 		return result{err: fmt.Errorf("%w: %s", ErrRemote, b[1:])}
 	}

@@ -47,6 +47,9 @@ func (c *cloudStore) Handle(env core.Envelope) (core.Message, error) {
 		// Models a hung backend; the server-side watchdog must contain it.
 		time.Sleep(100 * time.Millisecond)
 		return core.Message{Op: "ok"}, nil
+	case "taint":
+		// Reports the chain taint the invocation arrived with.
+		return core.Message{Op: "taint", Data: []byte(strings.Join(env.Taint, ","))}, nil
 	default:
 		return core.Message{}, core.ErrRefused
 	}
@@ -498,6 +501,23 @@ func TestRequestFrameRoundTrip(t *testing.T) {
 	if req.Budget != 0 || req.Op != "get" {
 		t.Errorf("old-version frame = %+v", req)
 	}
+	// Taint rides the frame and round-trips with every other field.
+	t.Run("tainted", func(t *testing.T) {
+		in := Request{
+			Span: sp, Budget: time.Second, Corr: 7, HasCorr: true,
+			Taint: []string{"ingress", "meter-identities"},
+			Op:    "put", Data: []byte("k=v"),
+		}
+		req, err := DecodeRequest(AppendRequest(nil, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Span != in.Span || req.Budget != in.Budget || req.Corr != in.Corr ||
+			strings.Join(req.Taint, ",") != "ingress,meter-identities" ||
+			req.Op != in.Op || string(req.Data) != "k=v" {
+			t.Errorf("round trip = %+v", req)
+		}
+	})
 }
 
 // TestDecodeFrameErrorPaths is the table-driven sweep over every way a
@@ -547,6 +567,14 @@ func TestDecodeFrameErrorPaths(t *testing.T) {
 		{name: "truncated budget", in: []byte{frameBudget, 1, 2, 3}},
 		{name: "budget overflow", in: append(append([]byte{frameBudget}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff), encodeCall("op", nil)...)},
 		{name: "unknown future flag", in: append([]byte{1 << 5}, encodeCall("op", nil)...)},
+		{name: "flags only, tainted", in: []byte{frameTaint}},
+		{name: "taint count zero", in: append([]byte{frameTaint, 0}, encodeCall("op", nil)...)},
+		{name: "taint count over max", in: append([]byte{frameTaint, maxTaintLabels + 1}, encodeCall("op", nil)...)},
+		{name: "taint label empty", in: append([]byte{frameTaint, 1, 0}, encodeCall("op", nil)...)},
+		{name: "taint label truncated", in: []byte{frameTaint, 1, 3, 'a'}},
+		{name: "taint labels unsorted", in: append([]byte{frameTaint, 2, 1, 'b', 1, 'a'}, encodeCall("op", nil)...)},
+		{name: "taint label duplicated", in: append([]byte{frameTaint, 2, 1, 'a', 1, 'a'}, encodeCall("op", nil)...)},
+		{name: "tainted valid", in: AppendRequest(nil, Request{Taint: []string{"a", "b"}, Op: "op"}), ok: true},
 		{name: "untraced valid", in: EncodeRequest(core.Span{}, 0, "op", nil), ok: true},
 		{name: "traced valid", in: EncodeRequest(core.Span{Trace: 1, ID: 2}, 0, "op", nil), ok: true},
 		{name: "budgeted valid", in: EncodeRequest(core.Span{}, time.Second, "op", nil), ok: true},
@@ -627,5 +655,58 @@ func TestCloseThenReconnect(t *testing.T) {
 	reply, err := f.clientSys.Deliver("client", core.Message{Op: "get", Data: []byte("k")})
 	if err != nil || string(reply.Data) != "v1" {
 		t.Errorf("state after reconnect = %q, %v", reply.Data, err)
+	}
+}
+
+// denyTainted is a minimal policy for the wire tests: refuse any external
+// delivery whose imported chain taint contains the label.
+type denyTainted struct{ label string }
+
+func (d *denyTainted) CheckInvoke(req core.PolicyRequest) ([]string, error) {
+	if req.Channel == core.PolicyDeliver && core.HasTaint(req.Taint, d.label) {
+		return nil, fmt.Errorf("tainted by %s: %w", d.label, core.ErrPolicy)
+	}
+	return nil, nil
+}
+
+// TestTaintCrossesWire: the chain's taint set rides the request frame,
+// the receiving system's policy judges it at the deliver boundary before
+// the component runs, and a remote deny rehydrates as core.ErrPolicy on
+// the client. A machine without a policy engine still forwards the labels
+// into the handler — the wire never launders a chain.
+func TestTaintCrossesWire(t *testing.T) {
+	f := newFixture(t, nil, false)
+	if err := f.stub.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	// No policy on the cloud machine: taint propagates into the handler.
+	reply, err := f.stub.Handle(core.Envelope{
+		Msg:   core.Message{Op: "taint"},
+		Taint: []string{"ingress", "meter-identities"},
+	})
+	if err != nil {
+		t.Fatalf("tainted call without policy: %v", err)
+	}
+	if string(reply.Data) != "ingress,meter-identities" {
+		t.Errorf("remote handler saw taint %q", reply.Data)
+	}
+
+	// With a policy installed, the imported taint is judged at the cloud
+	// machine's deliver boundary and the typed deny crosses back.
+	f.cloudSys.SetPolicy(&denyTainted{label: "meter-identities"})
+	_, err = f.stub.Handle(core.Envelope{
+		Msg:   core.Message{Op: "get", Data: []byte("report")},
+		Taint: []string{"meter-identities"},
+	})
+	if !errors.Is(err, core.ErrPolicy) {
+		t.Fatalf("tainted remote call: got %v, want core.ErrPolicy", err)
+	}
+	if denies := f.cloudSys.Stats().PolicyDenies; denies != 1 {
+		t.Errorf("cloud PolicyDenies = %d, want 1", denies)
+	}
+	// An untainted call on the same session is unaffected, and the deny
+	// did not poison the channel.
+	if _, err := f.stub.Handle(core.Envelope{Msg: core.Message{Op: "put", Data: []byte("a=b")}}); err != nil {
+		t.Errorf("untainted call after deny: %v", err)
 	}
 }

@@ -124,6 +124,7 @@ func All() []Experiment {
 		{ID: "E21", Name: "deterministic fleet simulation", Run: E21Simulation},
 		{ID: "E22", Name: "pipelined secure-channel RPC", Run: E22Pipelining},
 		{ID: "E24", Name: "fleet black box (auditor replay)", Run: E24Audit},
+		{ID: "E25", Name: "chain-aware policy (mosaic denial)", Run: E25Policy},
 	}
 }
 

@@ -565,3 +565,26 @@ func TestE24AuditorReplayAndTamperEvidence(t *testing.T) {
 		t.Error("chaos run journaled no entries")
 	}
 }
+
+func TestE25PolicyMosaicDenial(t *testing.T) {
+	tab, err := E25Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[3] != "PASS" {
+			t.Errorf("E25 %s: %v", r[0], r)
+		}
+	}
+	// The untainted workload must be genuinely unaffected, and the mosaic
+	// genuinely denied — not both vacuously green.
+	if cell(t, tab, "untainted egress ×10", 1) != "10 ok" {
+		t.Errorf("untainted workload was affected: %v", tab.Rows[0])
+	}
+	if cell(t, tab, "mosaic exfil (ids→net)", 1) != "denied" {
+		t.Errorf("mosaic exfil not denied: %v", tab.Rows[1])
+	}
+}

@@ -70,6 +70,13 @@ const (
 	// KindSessionUp / KindSessionFail: secure-channel session lifecycle.
 	KindSessionUp   = "session-up"
 	KindSessionFail = "session-fail"
+
+	// KindPolicyDeny / KindPolicyApprove: chain-aware policy verdicts.
+	// Trust-state neutral — a deny judges one request, not the actor's
+	// admission — but durable: an auditor replaying the journal sees
+	// every refused egress and every approval grant with its TTL.
+	KindPolicyDeny    = "policy-deny"
+	KindPolicyApprove = "policy-approve"
 )
 
 // Event is one journal entry.

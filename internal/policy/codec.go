@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Text codec for rule sets. One directive per line:
+//
+//	taint <channel> <op> <label>[,<label>...]
+//	allow|deny|approve <name> <channel> <op> [when <label>[,<label>...]]
+//
+// '#' starts a comment (whole line or trailing); blank lines are ignored.
+// Channel and op are exact names or "*". Decode is strict about structure
+// (unknown directives, missing fields, bad charsets, exceeded bounds all
+// fail with ErrSyntax or ErrRule) but lenient about whitespace and label
+// order; it normalizes as it parses. Encode emits the canonical form —
+// single spaces, sorted deduplicated labels, no comments — so the codec
+// has the same oracle as the journal's binary codec: any accepted input,
+// once encoded, decodes and re-encodes byte-identically (FuzzPolicyDecode
+// pins this).
+
+// ErrSyntax is returned for malformed policy text.
+var ErrSyntax = errors.New("policy: syntax error")
+
+// Decode parses policy text into a validated, normalized rule set.
+// Directive order is preserved: verdict matching is first-match-wins.
+func Decode(data []byte) (*RuleSet, error) {
+	rs := &RuleSet{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := decodeDirective(rs, fields); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	rs.Normalize()
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+func decodeDirective(rs *RuleSet, fields []string) error {
+	switch fields[0] {
+	case "taint":
+		if len(fields) != 4 {
+			return fmt.Errorf("taint wants <channel> <op> <labels>, got %d fields: %w", len(fields)-1, ErrSyntax)
+		}
+		labels, err := splitLabels(fields[3])
+		if err != nil {
+			return err
+		}
+		rs.Taints = append(rs.Taints, TaintRule{Channel: fields[1], Op: fields[2], Labels: labels})
+		return nil
+	case "allow", "deny", "approve":
+		effect := map[string]Effect{"allow": Allow, "deny": Deny, "approve": Approve}[fields[0]]
+		r := Rule{Effect: effect}
+		switch len(fields) {
+		case 4:
+		case 6:
+			if fields[4] != "when" {
+				return fmt.Errorf("%s: expected 'when', got %q: %w", fields[0], fields[4], ErrSyntax)
+			}
+			when, err := splitLabels(fields[5])
+			if err != nil {
+				return err
+			}
+			r.When = when
+		default:
+			return fmt.Errorf("%s wants <name> <channel> <op> [when <labels>], got %d fields: %w",
+				fields[0], len(fields)-1, ErrSyntax)
+		}
+		r.Name, r.Channel, r.Op = fields[1], fields[2], fields[3]
+		rs.Rules = append(rs.Rules, r)
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q: %w", fields[0], ErrSyntax)
+}
+
+// splitLabels parses a comma-separated label list. Empty elements are a
+// syntax error; charset and bounds are checked by Validate after parse.
+func splitLabels(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("empty label in %q: %w", s, ErrSyntax)
+		}
+	}
+	return parts, nil
+}
+
+// Encode renders the canonical text form of a rule set. The set must be
+// normalized (Decode output always is; hand-built sets call Normalize).
+func Encode(rs *RuleSet) []byte {
+	var b strings.Builder
+	for i := range rs.Taints {
+		t := &rs.Taints[i]
+		fmt.Fprintf(&b, "taint %s %s %s\n", t.Channel, t.Op, strings.Join(t.Labels, ","))
+	}
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		fmt.Fprintf(&b, "%s %s %s %s", r.Effect, r.Name, r.Channel, r.Op)
+		if len(r.When) > 0 {
+			fmt.Fprintf(&b, " when %s", strings.Join(r.When, ","))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Reencode is the fuzz oracle: it decodes text and returns its canonical
+// encoding, so accepted-input stability is a one-liner for callers.
+func Reencode(data []byte) ([]byte, error) {
+	rs, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(rs), nil
+}

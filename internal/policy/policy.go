@@ -1,0 +1,276 @@
+// Package policy is the chain-aware runtime policy engine: declarative
+// rules evaluated over the *accumulated context* of an invocation chain,
+// not just its next hop. Each chain carries a taint set — labels conferred
+// by the channels and assets it has touched, on this machine or upstream
+// of the wire — and rules decide what a chain so labelled may still do:
+//
+//	taint to-store ids meter-identities
+//	deny no-exfil to-net * when meter-identities
+//
+// reads "touching the id store taints the chain with meter-identities, and
+// a chain so tainted may never invoke the network channel". This closes
+// the mosaic/confused-deputy gap that per-hop capability checks leave
+// open: every individual hop can be authorized while the *sequence* is
+// what leaks (paper §III-D).
+//
+// The package provides the rule model and matching (this file), a
+// canonical text codec (codec.go), and the Engine that enforces a RuleSet
+// as a core.Policy with approval grants that decay on a TTL (engine.go).
+// core declares the Policy interface and never imports this package — the
+// same structural-interface pattern as Tracer and EventRecorder.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lateral/internal/core"
+)
+
+// ErrRule is returned when a rule or rule set is structurally invalid:
+// bad effect, malformed token, or a bound exceeded.
+var ErrRule = errors.New("policy: invalid rule")
+
+// Bounds on rule sets. MaxLabels and MaxTokenLen match the wire frame's
+// taint field limits (distributed codec): a label a rule can confer is a
+// label the frame can carry.
+const (
+	// MaxLabels bounds the labels one directive may name and the taint
+	// set a chain may accumulate on the wire.
+	MaxLabels = 16
+
+	// MaxTokenLen bounds every token: labels, rule names, channels, ops.
+	MaxTokenLen = 64
+
+	// MaxRules bounds the total directives (taint + verdict) in one set.
+	MaxRules = 256
+)
+
+// Effect is a rule's verdict.
+type Effect uint8
+
+// Effects, in severity order.
+const (
+	// Allow permits the invocation (useful as a carve-out ahead of a
+	// broader deny, since matching is first-match-wins).
+	Allow Effect = iota
+
+	// Deny refuses the invocation with core.ErrPolicy.
+	Deny
+
+	// Approve requires a live approval grant: the engine consults its
+	// Approver, and a granted approval is a TTL'd capability that decays —
+	// the invocation must be re-approved once it expires.
+	Approve
+)
+
+func (e Effect) String() string {
+	switch e {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	case Approve:
+		return "approve"
+	}
+	return fmt.Sprintf("effect(%d)", uint8(e))
+}
+
+// TaintRule confers labels: a chain invoking a matching channel/op
+// acquires Labels into its taint set. Channel and Op are exact matches or
+// "*"; the core pseudo-channels "@deliver" and "@asset" are matched like
+// any other (for "@asset", the asset name is the op).
+type TaintRule struct {
+	Channel string
+	Op      string
+	Labels  []string // sorted, deduplicated
+}
+
+// Rule is one verdict: the first rule whose Channel, Op, and When all
+// match decides the invocation. When lists labels that must ALL be
+// present in the chain's taint (empty = matches any chain). A request no
+// rule matches is allowed — the rule set is a restriction on an otherwise
+// capability-governed system, not the source of authority.
+type Rule struct {
+	Name    string // unique within the set; journaled and metered
+	Effect  Effect
+	Channel string
+	Op      string
+	When    []string // sorted, deduplicated
+}
+
+// RuleSet is an ordered policy: taint rules (label acquisition) plus
+// verdict rules (first match wins).
+type RuleSet struct {
+	Taints []TaintRule
+	Rules  []Rule
+}
+
+// match is the one pattern operator rules support: exact or "*".
+func match(pat, s string) bool { return pat == "*" || pat == s }
+
+// Acquired returns the labels a chain gains by invoking channel/op: the
+// sorted, deduplicated union over all matching taint rules. Nil when no
+// rule matches — the common case allocates nothing.
+func (rs *RuleSet) Acquired(channel, op string) []string {
+	var out []string
+	for i := range rs.Taints {
+		t := &rs.Taints[i]
+		if match(t.Channel, channel) && match(t.Op, op) {
+			out = append(out, t.Labels...)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Strings(out)
+	return dedupSorted(out)
+}
+
+// Match returns the first verdict rule matching the request, or nil (the
+// default-allow case).
+func (rs *RuleSet) Match(req core.PolicyRequest) *Rule {
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		if !match(r.Channel, req.Channel) || !match(r.Op, req.Op) {
+			continue
+		}
+		if !taintedBy(req.Taint, r.When) {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// taintedBy reports whether every label in when is present in taint.
+func taintedBy(taint, when []string) bool {
+	for _, l := range when {
+		if !core.HasTaint(taint, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize sorts and deduplicates every label list in place. Decode
+// normalizes automatically; hand-built sets should call it before use so
+// Encode emits canonical form.
+func (rs *RuleSet) Normalize() {
+	for i := range rs.Taints {
+		sort.Strings(rs.Taints[i].Labels)
+		rs.Taints[i].Labels = dedupSorted(rs.Taints[i].Labels)
+	}
+	for i := range rs.Rules {
+		sort.Strings(rs.Rules[i].When)
+		rs.Rules[i].When = dedupSorted(rs.Rules[i].When)
+	}
+}
+
+// Validate checks structural bounds: token charsets and lengths, label
+// counts, rule count, effect validity, and rule-name uniqueness.
+func (rs *RuleSet) Validate() error {
+	if n := len(rs.Taints) + len(rs.Rules); n > MaxRules {
+		return fmt.Errorf("%d directives exceed %d: %w", n, MaxRules, ErrRule)
+	}
+	for i := range rs.Taints {
+		t := &rs.Taints[i]
+		if err := checkPattern(t.Channel); err != nil {
+			return fmt.Errorf("taint %d channel: %w", i, err)
+		}
+		if err := checkPattern(t.Op); err != nil {
+			return fmt.Errorf("taint %d op: %w", i, err)
+		}
+		if err := checkLabels(t.Labels); err != nil {
+			return fmt.Errorf("taint %d: %w", i, err)
+		}
+		if len(t.Labels) == 0 {
+			return fmt.Errorf("taint %d confers no labels: %w", i, ErrRule)
+		}
+	}
+	seen := make(map[string]bool, len(rs.Rules))
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		if r.Effect > Approve {
+			return fmt.Errorf("rule %d: %v: %w", i, r.Effect, ErrRule)
+		}
+		if err := checkLabel(r.Name); err != nil {
+			return fmt.Errorf("rule %d name: %w", i, err)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("rule %d: duplicate name %q: %w", i, r.Name, ErrRule)
+		}
+		seen[r.Name] = true
+		if err := checkPattern(r.Channel); err != nil {
+			return fmt.Errorf("rule %q channel: %w", r.Name, err)
+		}
+		if err := checkPattern(r.Op); err != nil {
+			return fmt.Errorf("rule %q op: %w", r.Name, err)
+		}
+		if err := checkLabels(r.When); err != nil {
+			return fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+// checkLabel enforces the label/name charset: lowercase alphanumerics,
+// '-' and '_', nonempty, bounded length.
+func checkLabel(s string) error {
+	if s == "" || len(s) > MaxTokenLen {
+		return fmt.Errorf("label %q: bad length: %w", s, ErrRule)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_' {
+			continue
+		}
+		return fmt.Errorf("label %q: bad byte %q: %w", s, c, ErrRule)
+	}
+	return nil
+}
+
+// checkPattern enforces the channel/op charset: "*" alone, or printable
+// names (alphanumerics of either case plus '@', '.', '-', '_'), so the
+// core pseudo-channels "@deliver" and "@asset" and typical op names fit.
+func checkPattern(s string) error {
+	if s == "*" {
+		return nil
+	}
+	if s == "" || len(s) > MaxTokenLen {
+		return fmt.Errorf("pattern %q: bad length: %w", s, ErrRule)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '@' || c == '.' || c == '-' || c == '_' {
+			continue
+		}
+		return fmt.Errorf("pattern %q: bad byte %q: %w", s, c, ErrRule)
+	}
+	return nil
+}
+
+func checkLabels(labels []string) error {
+	if len(labels) > MaxLabels {
+		return fmt.Errorf("%d labels exceed %d: %w", len(labels), MaxLabels, ErrRule)
+	}
+	for _, l := range labels {
+		if err := checkLabel(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice, in place.
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -109,7 +109,7 @@ func Explore(cfg ExploreConfig) (*Result, error) {
 
 		id := fmt.Sprintf("op-%04d", i)
 		key := fmt.Sprintf("key-%02d", r.intn(16))
-		switch r.intn(10) {
+		switch r.intn(12) {
 		case 0, 1: // wedged handler under budget: watchdog must contain it
 			budget := time.Duration(1+r.intn(10)) * time.Millisecond
 			err := h.CallStall(id, key, budget)
@@ -117,6 +117,9 @@ func Explore(cfg ExploreConfig) (*Result, error) {
 		case 2: // unbounded call: the pre-backpressure fast path
 			err := h.CallWork(id, key, 0)
 			trace("step=%d call key=%s budget=none -> %s", i, key, outcome(err))
+		case 10, 11: // mosaic attack: tainted egress, the policy must deny
+			err := h.CallExfil(id, key)
+			trace("step=%d exfil key=%s -> %s", i, key, outcome(err))
 		case 3: // idle time: health intervals and delayer holds elapse
 			d := time.Duration(1+r.intn(20)) * time.Millisecond
 			h.Clock.Advance(d)
@@ -155,6 +158,8 @@ func outcome(err error) string {
 		return "canceled"
 	case errors.Is(err, core.ErrOverloaded):
 		return "overloaded"
+	case errors.Is(err, core.ErrPolicy):
+		return "denied"
 	default:
 		return "failed"
 	}

@@ -11,6 +11,7 @@ import (
 	"lateral/internal/distributed"
 	"lateral/internal/journal"
 	"lateral/internal/netsim"
+	"lateral/internal/policy"
 	"lateral/internal/sgx"
 	"lateral/internal/telemetry"
 )
@@ -40,6 +41,7 @@ type Harness struct {
 	Led          *Ledger
 	Conservation *ConservationChecker
 	Audit        *JournalChecker
+	Policy       *PolicyChecker
 
 	chain       *netsim.Chain
 	partitioner *netsim.Partitioner
@@ -97,6 +99,20 @@ type HarnessConfig struct {
 
 // ReplicaName returns the i-th (1-based) replica's endpoint name.
 func ReplicaName(i int) string { return fmt.Sprintf("svc-%d", i) }
+
+// TaintLabel is the identifying-data label the harness policy confers on
+// the store's ids op; the no-tainted-egress invariant forbids any chain
+// carrying it from completing an egress.
+const TaintLabel = "meter-identities"
+
+// simPolicyText is every replica's chain-aware policy: touching the
+// store's identifying data taints the chain, tainted chains may not
+// egress, everything else is allowed. The mosaic pattern from the paper —
+// each access is individually fine, the combination is not.
+const simPolicyText = `taint store ids ` + TaintLabel + `
+deny no-exfil to-net * when ` + TaintLabel + `
+allow rest * *
+`
 
 // NewHarness builds the simulated deployment: Replicas attested systems,
 // each hosting a front service component calling a backend store
@@ -173,6 +189,11 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		}
 		return out
 	})
+	h.Policy = NewPolicyChecker(TaintLabel)
+	rules, err := policy.Decode([]byte(simPolicyText))
+	if err != nil {
+		return nil, err
+	}
 	h.Conservation = NewConservationChecker(h.Led, func() core.Stats {
 		var agg core.Stats
 		for _, s := range h.sys {
@@ -195,15 +216,33 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		sys.SetClock(clk)
 		sys.SetTracer(h.Metrics)
 		sys.SetEventRecorder(h.Journal)
+		eng, err := policy.New(policy.Config{
+			Name:     name,
+			Rules:    rules,
+			Clock:    clk.Now,
+			Recorder: h.Journal,
+			Monitor:  h.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.SetPolicy(eng)
 		svc := &simSvc{h: h, buggy: cfg.Buggy, guard: h.Serial.Guard(name + "/svc")}
 		store := &simStore{h: h, guard: h.Serial.Guard(name + "/store")}
+		egress := &simEgress{h: h, replica: name, guard: h.Serial.Guard(name + "/egress")}
 		if err := sys.Launch(svc, true, 1); err != nil {
 			return nil, err
 		}
 		if err := sys.Launch(store, true, 1); err != nil {
 			return nil, err
 		}
+		if err := sys.Launch(egress, true, 1); err != nil {
+			return nil, err
+		}
 		if err := sys.Grant(core.ChannelSpec{Name: "store", From: "svc", To: "store", Badge: 7}); err != nil {
+			return nil, err
+		}
+		if err := sys.Grant(core.ChannelSpec{Name: "to-net", From: "svc", To: "egress", Badge: 8}); err != nil {
 			return nil, err
 		}
 		if err := sys.InitAll(); err != nil {
@@ -237,7 +276,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 
 // Checkers returns every invariant checker in a stable order.
 func (h *Harness) Checkers() []Checker {
-	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit}
+	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit, h.Policy}
 }
 
 // CheckAll runs every checker and returns the concatenated violations.
@@ -330,6 +369,18 @@ func (h *Harness) CallWork(id, key string, budget time.Duration) error {
 		_, err = h.Pool.DoDeadline(key, core.Message{Op: "work", Data: []byte(id)}, deadline)
 	}
 	h.Led.Finish(err)
+	return err
+}
+
+// CallExfil drives one mosaic attack through the pool: the service reads
+// identifying data from the store (tainting the chain) and then tries to
+// egress it. The policy engine on every replica must refuse the egress —
+// the no-tainted-egress invariant records any outcome where it did not.
+func (h *Harness) CallExfil(id, key string) error {
+	h.Led.Start()
+	_, err := h.Pool.Do(key, core.Message{Op: "exfil", Data: []byte(id)})
+	h.Led.Finish(err)
+	h.Policy.RecordExfil(id, err)
 	return err
 }
 
@@ -434,6 +485,14 @@ func (s *simSvc) serve(env core.Envelope) (core.Message, error) {
 	case "work":
 		s.h.Budget.RecordParent(id, env.Deadline)
 		return s.ctx.Call("store", core.Message{Op: "get", Data: env.Msg.Data})
+	case "exfil":
+		// Mosaic attack: each step is individually permitted — reading ids
+		// taints the chain, and the egress call must then be refused by the
+		// system, not by this (deliberately unscrupulous) component.
+		if _, err := s.ctx.Call("store", core.Message{Op: "ids", Data: env.Msg.Data}); err != nil {
+			return core.Message{}, err
+		}
+		return s.ctx.Call("to-net", core.Message{Op: "send", Data: env.Msg.Data})
 	case "stall":
 		s.h.stallMu.Lock()
 		live := s.h.awaited[id]
@@ -467,11 +526,40 @@ func (s *simStore) Init(*core.Ctx) error { return nil }
 func (s *simStore) Handle(env core.Envelope) (core.Message, error) {
 	s.guard.Enter()
 	defer s.guard.Exit()
-	if env.Msg.Op != "get" {
+	switch env.Msg.Op {
+	case "get":
+		s.h.Budget.RecordChild(string(env.Msg.Data), env.Deadline)
+		return core.Message{Op: "ok", Data: env.Msg.Data}, nil
+	case "ids":
+		// Identifying data: the channel's taint rule marks the chain.
+		return core.Message{Op: "ok", Data: []byte("meter-ids")}, nil
+	default:
 		return core.Message{}, core.ErrRefused
 	}
-	s.h.Budget.RecordChild(string(env.Msg.Data), env.Deadline)
-	return core.Message{Op: "ok", Data: env.Msg.Data}, nil
+}
+
+// simEgress models the network boundary: any invocation reaching it has
+// left the deployment. It reports every arrival (with the chain taint it
+// came with) to the policy checker — if enforcement works, no tainted
+// chain ever gets this far.
+type simEgress struct {
+	h       *Harness
+	replica string
+	guard   *SerialGuard
+}
+
+func (e *simEgress) CompName() string     { return "egress" }
+func (e *simEgress) CompVersion() string  { return "1.0" }
+func (e *simEgress) Init(*core.Ctx) error { return nil }
+
+func (e *simEgress) Handle(env core.Envelope) (core.Message, error) {
+	e.guard.Enter()
+	defer e.guard.Exit()
+	e.h.Policy.RecordEgress(e.replica, env.Taint)
+	if env.Msg.Op != "send" {
+		return core.Message{}, core.ErrRefused
+	}
+	return core.Message{Op: "sent"}, nil
 }
 
 // ---- targeted adversaries -------------------------------------------

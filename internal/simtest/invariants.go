@@ -320,6 +320,66 @@ func (l *Ledger) Counts() (started, ok, timeouts, cancels, sheds, failed, inflig
 	return l.started, l.ok, l.timeouts, l.cancels, l.sheds, l.failed, l.inflight
 }
 
+// ---- Invariant 6: no post-taint egress --------------------------------
+
+// PolicyChecker verifies the chain-aware policy end to end: once a chain
+// has touched identifying data (the "meter-identities" taint the harness
+// policy confers on the store's ids op), no egress ever completes. Two
+// observation points, either of which catches a breach independently:
+// the egress component records every invocation that actually reached it
+// (a tainted arrival means enforcement failed at the caller), and the
+// driver records every exfil operation's outcome (a nil error means a
+// tainted chain's egress succeeded end to end, wherever enforcement
+// leaked). Denied is the only acceptable exfil outcome besides transport
+// failure.
+type PolicyChecker struct {
+	label string
+	mu    sync.Mutex
+	viols []Violation
+}
+
+// NewPolicyChecker builds the checker for one forbidden taint label.
+func NewPolicyChecker(label string) *PolicyChecker {
+	return &PolicyChecker{label: label}
+}
+
+// RecordEgress notes one invocation that reached an egress component.
+func (c *PolicyChecker) RecordEgress(replica string, taint []string) {
+	if !core.HasTaint(taint, c.label) {
+		return
+	}
+	c.mu.Lock()
+	c.viols = append(c.viols, Violation{
+		Invariant: c.Name(),
+		Detail: fmt.Sprintf("egress handler on %s ran with taint %v",
+			replica, taint),
+	})
+	c.mu.Unlock()
+}
+
+// RecordExfil notes one driver-level exfil operation's outcome.
+func (c *PolicyChecker) RecordExfil(id string, err error) {
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.viols = append(c.viols, Violation{
+		Invariant: c.Name(),
+		Detail:    fmt.Sprintf("exfil op %s completed without a deny", id),
+	})
+	c.mu.Unlock()
+}
+
+// Name implements Checker.
+func (c *PolicyChecker) Name() string { return "no-tainted-egress" }
+
+// Check implements Checker.
+func (c *PolicyChecker) Check() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.viols...)
+}
+
 // ConservationChecker verifies the ledger equation
 //
 //	started = completions + timeouts + cancellations + sheds + failures

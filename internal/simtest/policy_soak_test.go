@@ -1,0 +1,45 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyExfilSoak is the chain-aware policy soak: across many seeds,
+// the explorer's operation mix includes mosaic attacks (read identifying
+// data, then egress it) under the full mixed-fault schedule — crashes,
+// partitions, delays, duplication, tampering, skew. The no-tainted-egress
+// invariant must hold on every seed: no exfil ever completes, and no
+// tainted chain ever reaches an egress handler, whatever the wire does.
+// The test also demands the attack actually fired: at least one exfil was
+// denied across the batch, so a vacuously green run (policy never
+// exercised) fails loudly instead of passing silently. `make policy-soak`
+// runs this over 500 seeds (-simtest.soak); plain `go test` covers a
+// smaller batch.
+func TestPolicyExfilSoak(t *testing.T) {
+	seeds := 25
+	if *soakFlag > 0 {
+		seeds = *soakFlag
+	} else if testing.Short() {
+		seeds = 5
+	}
+	denied := 0
+	for seed := 1; seed <= seeds; seed++ {
+		res, err := Explore(ExploreConfig{Seed: uint64(seed), Ops: 24, Replicas: 3, Schedule: DefaultSchedule(3)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: policy invariant violated (replay with -simtest.seed=%d):\n%s",
+				seed, seed, res.TraceBytes())
+		}
+		for _, line := range res.Trace {
+			if strings.Contains(line, "exfil") && strings.HasSuffix(line, "-> denied") {
+				denied++
+			}
+		}
+	}
+	if denied == 0 {
+		t.Fatalf("no exfil op was denied across %d seeds — the soak proved nothing", seeds)
+	}
+}

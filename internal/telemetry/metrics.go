@@ -26,6 +26,7 @@ type Metrics struct {
 	fleet    fleetState                       // replica-fleet gauges (fleet.go)
 	stub     stubState                        // stub pipelining gauges (stub.go)
 	journal  journalState                     // fleet black-box counters (journal.go)
+	policy   policyState                      // policy-engine counters (policy.go)
 }
 
 // NewMetrics returns an empty collector.

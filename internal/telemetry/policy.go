@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Policy metrics: per-engine counters for chain-aware policy enforcement.
+// The collector implements policy.Monitor structurally — policy declares
+// the interface, telemetry never imports it — the same pattern as
+// journal.Monitor and cluster.Monitor.
+//
+// Decisions are counted per effect (allow/deny/approve) and per matched
+// rule, so a dashboard shows which rule is firing when denies spike; a
+// request matching no rule counts under the "(default)" rule. Grants
+// track the approval-capability cache: mint (approver consulted), reuse
+// (live grant, no approver round-trip), expire (TTL decayed, grant
+// dropped).
+
+// PolicyStats is one engine's live cell.
+type PolicyStats struct {
+	Engine string
+
+	Decisions map[string]int64 // by effect
+	RuleHits  map[string]int64 // by matched rule name
+	Grants    map[string]int64 // by grant event: mint, reuse, expire
+}
+
+type policyState struct {
+	mu    sync.Mutex
+	cells map[string]*PolicyStats
+}
+
+// cell returns (creating if needed) the named engine's cell. Caller
+// holds s.mu.
+func (s *policyState) cell(name string) *PolicyStats {
+	if s.cells == nil {
+		s.cells = make(map[string]*PolicyStats)
+	}
+	ps := s.cells[name]
+	if ps == nil {
+		ps = &PolicyStats{
+			Engine:    name,
+			Decisions: make(map[string]int64),
+			RuleHits:  make(map[string]int64),
+			Grants:    make(map[string]int64),
+		}
+		s.cells[name] = ps
+	}
+	return ps
+}
+
+// PolicyDecision implements policy.Monitor: one verdict, by effect and
+// matched rule.
+func (m *Metrics) PolicyDecision(engine, effect, rule string) {
+	m.policy.mu.Lock()
+	defer m.policy.mu.Unlock()
+	ps := m.policy.cell(engine)
+	ps.Decisions[effect]++
+	ps.RuleHits[rule]++
+}
+
+// PolicyGrant implements policy.Monitor: one approval-grant lifecycle
+// event, by rule.
+func (m *Metrics) PolicyGrant(engine, rule, event string) {
+	m.policy.mu.Lock()
+	defer m.policy.mu.Unlock()
+	m.policy.cell(engine).Grants[event]++
+}
+
+// PolicySummary is one engine's aggregate view.
+type PolicySummary struct {
+	Engine    string
+	Decisions map[string]int64 // copy, keyed by effect
+	RuleHits  map[string]int64 // copy, keyed by rule name
+	Grants    map[string]int64 // copy, keyed by grant event
+}
+
+// Policies returns per-engine summaries, sorted by engine name.
+func (m *Metrics) Policies() []PolicySummary {
+	m.policy.mu.Lock()
+	defer m.policy.mu.Unlock()
+	out := make([]PolicySummary, 0, len(m.policy.cells))
+	for _, ps := range m.policy.cells {
+		s := PolicySummary{
+			Engine:    ps.Engine,
+			Decisions: make(map[string]int64, len(ps.Decisions)),
+			RuleHits:  make(map[string]int64, len(ps.RuleHits)),
+			Grants:    make(map[string]int64, len(ps.Grants)),
+		}
+		for k, v := range ps.Decisions {
+			s.Decisions[k] = v
+		}
+		for k, v := range ps.RuleHits {
+			s.RuleHits[k] = v
+		}
+		for k, v := range ps.Grants {
+			s.Grants[k] = v
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Engine < out[j].Engine })
+	return out
+}

@@ -207,6 +207,41 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	// Policy engines. Emitted only when an engine reported a decision —
+	// unpoliced runs keep their exposition byte-identical.
+	if policies := m.Policies(); len(policies) > 0 {
+		fmt.Fprint(w,
+			"# HELP lateral_policy_decisions_total Chain-aware policy verdicts, per effect.\n",
+			"# TYPE lateral_policy_decisions_total counter\n")
+		for _, p := range policies {
+			for _, effect := range sortedKeys(p.Decisions) {
+				fmt.Fprintf(w, "lateral_policy_decisions_total{engine=%q,effect=%q} %d\n",
+					escapeLabel(p.Engine), escapeLabel(effect), p.Decisions[effect])
+			}
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_policy_rule_hits_total Policy verdicts per matched rule; \"(default)\" is the implicit allow.\n",
+			"# TYPE lateral_policy_rule_hits_total counter\n")
+		for _, p := range policies {
+			for _, rule := range sortedKeys(p.RuleHits) {
+				fmt.Fprintf(w, "lateral_policy_rule_hits_total{engine=%q,rule=%q} %d\n",
+					escapeLabel(p.Engine), escapeLabel(rule), p.RuleHits[rule])
+			}
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_policy_grants_total Approval-grant lifecycle events (mint, reuse, expire).\n",
+			"# TYPE lateral_policy_grants_total counter\n")
+		for _, p := range policies {
+			for _, event := range sortedKeys(p.Grants) {
+				_, err := fmt.Fprintf(w, "lateral_policy_grants_total{engine=%q,event=%q} %d\n",
+					escapeLabel(p.Engine), escapeLabel(event), p.Grants[event])
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+
 	// Replica fleets.
 	fleets := m.Fleets()
 	if len(fleets) == 0 {
@@ -301,6 +336,15 @@ func (m *Metrics) WriteSummary(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%-16s %7d %12d %9d %9d %8d %6d\n",
 				j.Journal, j.Events, j.Checkpoints, j.CheckpointSeq, j.CheckpointCounter, j.Dropped, dumps)
+		}
+	}
+	if policies := m.Policies(); len(policies) > 0 {
+		fmt.Fprintf(w, "\n%-16s %7s %7s %8s %6s %7s %8s\n",
+			"policy", "allows", "denies", "approves", "mints", "reuses", "expires")
+		for _, p := range policies {
+			fmt.Fprintf(w, "%-16s %7d %7d %8d %6d %7d %8d\n",
+				p.Engine, p.Decisions["allow"], p.Decisions["deny"], p.Decisions["approve"],
+				p.Grants["mint"], p.Grants["reuse"], p.Grants["expire"])
 		}
 	}
 	fleets := m.Fleets()
