@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak policy-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak policy-soak epoch-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -59,10 +59,12 @@ bench:
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -benchmem -run '^$$' ./...
 
-# Regenerate the checked-in E22 pipelining baseline (BENCH_e22.json).
-# Wire rounds and allocs/op are machine-independent; ops/sec is not.
+# Regenerate the checked-in baselines: E22 pipelining (BENCH_e22.json)
+# and E26 rolling replace (BENCH_e26.json). Wire rounds, allocs/op, and
+# epoch/healthy counts are machine-independent; ops/sec is not.
 bench-baseline:
 	$(GO) run ./cmd/lateralbench -e22-json BENCH_e22.json
+	$(GO) run ./cmd/lateralbench -e26-json BENCH_e26.json
 
 # Short fuzzing pass over every parser that consumes attacker bytes.
 fuzz:
@@ -107,6 +109,16 @@ audit-soak:
 	$(GO) test -count=1 ./internal/simtest -run TestAuditTamperSoak -simtest.soak=500
 	$(GO) test -race -count=3 -run TestQuarantineJournaledExactlyOnce ./internal/cluster
 	$(GO) test -race -count=1 -run TestE24 ./internal/experiments
+
+# Dynamic-membership soak: 500 seeds where the fault schedule includes
+# join/leave transitions — the eighth invariant (no call completes against
+# an evicted or stale-keyed replica) must hold on every seed — plus the
+# epoch-schedule unit and the E26 rolling-replace experiment under the
+# race detector.
+epoch-soak:
+	$(GO) test -count=1 ./internal/simtest -run TestEpochSoak -simtest.soak=500
+	$(GO) test -race -count=1 -run TestEpochScheduleTransitions ./internal/simtest
+	$(GO) test -race -count=1 -run 'TestE26RollingReplace|TestE26BaselinePhases' ./internal/experiments
 
 # Chain-aware policy soak: 500 seeds where the explorer's operation mix
 # includes mosaic exfiltration attempts under the full mixed-fault

@@ -467,6 +467,15 @@ func BenchmarkE22Pipeline(b *testing.B) {
 		func(t experiments.Table) float64 { return cellFloat(t, "16", 3) })
 }
 
+// BenchmarkE26Rolling regenerates the rolling-replace table each iteration
+// (two joins, two drained leaves under partition chaos, the stale-key
+// adversary rows, and the auditor's membership replay) and reports the
+// final config epoch — 4 transitions is the acceptance value.
+func BenchmarkE26Rolling(b *testing.B) {
+	benchExperiment(b, experiments.E26Rolling, "final-epoch",
+		func(t experiments.Table) float64 { return cellFloat(t, "rolling replace, zero loss", 1) })
+}
+
 // benchSink is the remote component for the stub round-trip benchmark: it
 // consumes the request and replies without a payload, which keeps the
 // whole round trip on the pooled zero-allocation path.

@@ -22,9 +22,17 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	e22JSON := flag.String("e22-json", "", "write the E22 pipelining baseline to this file and exit")
+	e26JSON := flag.String("e26-json", "", "write the E26 rolling-replace baseline to this file and exit")
 	flag.Parse()
 	if *e22JSON != "" {
 		if err := writeE22Baseline(*e22JSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *e26JSON != "" {
+		if err := writeE26Baseline(*e26JSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -50,6 +58,30 @@ func writeE22Baseline(path string) error {
 		RTTMillis  int                    `json:"simulated_rtt_ms"`
 		Depths     []experiments.E22Depth `json:"depths"`
 	}{Experiment: "E22 pipelined secure-channel RPC", RTTMillis: 1, Depths: depths}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeE26Baseline regenerates the checked-in BENCH_e26.json: per-phase
+// throughput through a rolling replace — the transition phases carry the
+// drain-and-rekey cost, so the dip and the recovery are both on record.
+// Epoch and healthy counts are deterministic; ops/sec is wall-clock.
+func writeE26Baseline(path string) error {
+	phases, err := experiments.E26Baseline()
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string                 `json:"experiment"`
+		Phases     []experiments.E26Phase `json:"phases"`
+	}{Experiment: "E26 rolling replace under config epochs", Phases: phases}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -223,9 +223,11 @@ func run(args []string) error {
 	case "cluster":
 		// The E19 deployment, narrated: an attested anonymizer fleet that
 		// loses one replica mid-run (and gets it back after re-attestation)
-		// while a tampered build never makes it past admission. With
-		// -deadline, every reading carries a call budget: sends attempted
-		// into the partition window fail at the budget instead of hanging.
+		// while a tampered build never makes it past admission, then rolls
+		// one member (join anon-6, drain and retire anon-1) through two
+		// config epochs without dropping a reading. With -deadline, every
+		// reading carries a call budget: sends attempted into the partition
+		// window fail at the budget instead of hanging.
 		var budget time.Duration
 		for _, a := range args[1:] {
 			v, ok := strings.CutPrefix(a, "-deadline=")
@@ -259,10 +261,20 @@ func run(args []string) error {
 				case 80:
 					fmt.Println("... crashing anon-2 mid-run (partition)")
 					demo.Part.Isolate("anon-2")
+				case 120:
+					fmt.Println("... rolling replace begins: anon-6 attests and joins (fleet rekeys into a new epoch)")
+					if err := demo.Join("anon-6"); err != nil {
+						return fmt.Errorf("cluster: join anon-6: %v", err)
+					}
 				case 160:
 					fmt.Println("... anon-2 restarts: health check re-attests and re-admits it")
 					demo.Part.Heal("anon-2")
 					demo.Pool.CheckNow()
+				case 200:
+					fmt.Println("... anon-1 drains and leaves: survivors rekey, its session keys die with the epoch")
+					if err := demo.Pool.Leave("anon-1"); err != nil {
+						return fmt.Errorf("cluster: leave anon-1: %v", err)
+					}
 				}
 				if err := send(demo, fmt.Sprintf("meter-%03d", m), 1+m%9); err == nil {
 					accepted++
@@ -270,13 +282,14 @@ func run(args []string) error {
 				i++
 			}
 		}
-		fmt.Printf("%d/%d readings accepted; fleet processed %d (makespan %.2f ms of modeled enclave time)\n\n",
+		fmt.Printf("%d/%d readings accepted; fleet processed %d (makespan %.2f ms of modeled enclave time)\n",
 			accepted, meters*rounds, demo.ProcessedTotal(), float64(demo.MakespanNs())/1e6)
-		fmt.Printf("%-8s %-12s %-16s %7s %6s %8s %10s %8s\n",
-			"replica", "state", "wire", "calls", "errs", "retries", "failovers", "orphans")
+		fmt.Printf("fleet at config epoch %d after the rolling replace\n\n", demo.Pool.Epoch())
+		fmt.Printf("%-8s %-12s %-16s %6s %7s %6s %8s %10s %8s\n",
+			"replica", "state", "wire", "epoch", "calls", "errs", "retries", "failovers", "orphans")
 		for _, ri := range demo.Pool.Replicas() {
-			fmt.Printf("%-8s %-12s %-16s %7d %6d %8d %10d %8d\n",
-				ri.Name, ri.State, ri.Version, ri.Calls, ri.Errors, ri.Retries, ri.Failovers, ri.Stub.Orphans)
+			fmt.Printf("%-8s %-12s %-16s %6d %7d %6d %8d %10d %8d\n",
+				ri.Name, ri.State, ri.Version, ri.Epoch, ri.Calls, ri.Errors, ri.Retries, ri.Failovers, ri.Stub.Orphans)
 		}
 		fmt.Println()
 		met.WriteSummary(os.Stdout)

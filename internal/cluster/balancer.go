@@ -80,11 +80,27 @@ func (b *LeastInflight) Pick(_ string, candidates []*Replica) *Replica {
 
 // ConsistentHash shards calls by key on a hash ring of virtual nodes, so
 // one caller's traffic sticks to one replica (cache affinity, per-caller
-// rate state) yet redistributes minimally when a replica fails: only the
-// keys owned by the lost replica move.
+// rate state) yet redistributes minimally when membership changes: only
+// the keys owned by a departed replica (or claimed by a joiner's points)
+// move — ~K/N of the keyspace per single-replica change.
 type ConsistentHash struct {
 	// Vnodes is the number of ring points per replica (default 64).
 	Vnodes int
+
+	// Cached ring state, maintained incrementally as the candidate set
+	// churns (join, leave, failover, recovery). Pick runs under the pool
+	// lock, so none of this needs its own synchronization. points caches
+	// each ever-seen member's hashed vnode positions — hashing is the
+	// expensive part of a rebuild, and a replica's points never change,
+	// so churn costs hash work proportional only to never-seen joiners.
+	ring    []ringPoint
+	members map[string]*Replica
+	points  map[string][]uint64
+}
+
+type ringPoint struct {
+	h uint64
+	r *Replica
 }
 
 // NewConsistentHash returns a consistent-hash policy with the default
@@ -94,32 +110,115 @@ func NewConsistentHash() *ConsistentHash { return &ConsistentHash{Vnodes: 64} }
 // Name implements Balancer.
 func (*ConsistentHash) Name() string { return "consistent-hash" }
 
-// Pick implements Balancer. The ring is rebuilt from the candidate set on
-// every call: candidate churn is exactly the failover case where ring
-// membership must change, and fleet sizes here are small enough that the
-// rebuild is cheap and keeps the policy stateless and deterministic.
+// Pick implements Balancer. The cached ring is reconciled against the
+// candidate set incrementally: departed members' points are filtered out
+// in one pass, joiners' (cached or freshly hashed) points are merged in
+// sorted position. An unchanged candidate set — the overwhelmingly common
+// case — costs one membership comparison and a binary search.
 func (b *ConsistentHash) Pick(key string, candidates []*Replica) *Replica {
+	b.reconcile(candidates)
+	if len(b.ring) == 0 {
+		return nil
+	}
+	kh := hash64(key)
+	i := sort.Search(len(b.ring), func(i int) bool { return b.ring[i].h >= kh })
+	if i == len(b.ring) {
+		i = 0
+	}
+	return b.ring[i].r
+}
+
+// reconcile updates the cached ring to match the candidate set.
+func (b *ConsistentHash) reconcile(candidates []*Replica) {
+	if b.members == nil {
+		b.members = make(map[string]*Replica)
+		b.points = make(map[string][]uint64)
+	}
+	same := len(candidates) == len(b.members)
+	if same {
+		for _, r := range candidates {
+			if b.members[r.Name()] != r {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return
+	}
+
+	// Removals: one filtering pass drops every point owned by a member no
+	// longer in the candidate set (order among survivors is preserved).
+	next := make(map[string]*Replica, len(candidates))
+	for _, r := range candidates {
+		next[r.Name()] = r
+	}
+	kept := b.ring[:0]
+	for _, pt := range b.ring {
+		if cur, ok := next[pt.r.Name()]; ok {
+			pt.r = cur // same name may be a reconnected *Replica
+			kept = append(kept, pt)
+		}
+	}
+	b.ring = kept
+
+	// Additions: gather the joiners' points (cached across membership
+	// flaps — a name's positions are a pure function of the name), sort
+	// just those, and merge two sorted runs in place.
+	var added []ringPoint
+	for _, r := range candidates {
+		if _, ok := b.members[r.Name()]; ok {
+			continue
+		}
+		for _, h := range b.pointsFor(r.Name()) {
+			added = append(added, ringPoint{h, r})
+		}
+	}
+	if len(added) > 0 {
+		sort.Slice(added, func(i, j int) bool { return added[i].h < added[j].h })
+		b.ring = mergeRings(b.ring, added)
+	}
+	b.members = next
+}
+
+// pointsFor returns (computing and caching on first use) the sorted vnode
+// hashes for a member name.
+func (b *ConsistentHash) pointsFor(name string) []uint64 {
+	if pts, ok := b.points[name]; ok {
+		return pts
+	}
 	vnodes := b.Vnodes
 	if vnodes <= 0 {
 		vnodes = 64
 	}
-	type point struct {
-		h uint64
-		r *Replica
+	pts := make([]uint64, vnodes)
+	for v := 0; v < vnodes; v++ {
+		pts[v] = hash64(name + "#" + strconv.Itoa(v))
 	}
-	ring := make([]point, 0, len(candidates)*vnodes)
-	for _, r := range candidates {
-		for v := 0; v < vnodes; v++ {
-			ring = append(ring, point{hash64(r.Name() + "#" + strconv.Itoa(v)), r})
+	b.points[name] = pts
+	return pts
+}
+
+// mergeRings merges two hash-sorted point runs, extending ring in place.
+// Ties (hash collisions across names) keep the existing ring's point
+// first — deterministic regardless of join order history.
+func mergeRings(ring, added []ringPoint) []ringPoint {
+	n, m := len(ring), len(added)
+	ring = append(ring, added...)
+	// Backwards merge: fill from the end so the in-place extension never
+	// overwrites an unconsumed element.
+	i, j, k := n-1, m-1, n+m-1
+	for j >= 0 {
+		if i >= 0 && ring[i].h > added[j].h {
+			ring[k] = ring[i]
+			i--
+		} else {
+			ring[k] = added[j]
+			j--
 		}
+		k--
 	}
-	sort.Slice(ring, func(i, j int) bool { return ring[i].h < ring[j].h })
-	kh := hash64(key)
-	i := sort.Search(len(ring), func(i int) bool { return ring[i].h >= kh })
-	if i == len(ring) {
-		i = 0
-	}
-	return ring[i].r
+	return ring
 }
 
 // hash64 is FNV-1a with a splitmix64 finalizer. The finalizer matters:

@@ -154,3 +154,63 @@ func TestConsistentHashRingStability(t *testing.T) {
 		t.Error("no key stayed put after failover")
 	}
 }
+
+// TestConsistentHashMembershipMovesBoundedKeys is the incremental-rebuild
+// contract under dynamic membership, table-driven over join and leave: a
+// join moves only keys that land on the joiner, a leave moves only keys
+// the departed member owned, and either way the movement stays near the
+// fair share K/N — the ring reconciles point by point, it is never
+// rebuilt from scratch with fresh placements.
+func TestConsistentHashMembershipMovesBoundedKeys(t *testing.T) {
+	const keys = 2000
+	base := balancerReplicas(4)
+	cases := []struct {
+		name  string
+		after []*Replica
+		// gained is the member that may receive moved keys on join
+		// (empty for a leave, where survivors split the departed share).
+		gained string
+		// lost is the member whose keys must all move on leave.
+		lost string
+	}{
+		{name: "join svc-5", after: append(append([]*Replica(nil), base...), &Replica{name: "svc-5"}), gained: "svc-5"},
+		{name: "leave svc-2", after: []*Replica{base[0], base[2], base[3]}, lost: "svc-2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewConsistentHash()
+			owner := make(map[string]string, keys)
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("key-%04d", i)
+				owner[k] = b.Pick(k, base).Name()
+			}
+			n := len(tc.after)
+			moved := 0
+			for k, prev := range owner {
+				now := b.Pick(k, tc.after).Name()
+				if now == prev {
+					continue
+				}
+				moved++
+				if tc.gained != "" && now != tc.gained {
+					t.Errorf("key %s moved %s -> %s, not to the joiner", k, prev, now)
+				}
+				if tc.lost != "" && prev != tc.lost {
+					t.Errorf("key %s moved off surviving member %s", k, prev)
+				}
+			}
+			// The fair share is keys/n; allow double for vnode variance.
+			// Zero movement would mean the membership change was ignored.
+			if bound := 2 * keys / n; moved == 0 || moved > bound {
+				t.Errorf("membership change moved %d of %d keys, want within (0, %d]", moved, keys, bound)
+			}
+			// Reconciling back to the original set restores the exact
+			// original assignment: placements are a pure function of names.
+			for k, prev := range owner {
+				if again := b.Pick(k, base).Name(); again != prev {
+					t.Errorf("key %s did not return to %s after membership restored (got %s)", k, prev, again)
+				}
+			}
+		})
+	}
+}

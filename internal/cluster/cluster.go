@@ -44,6 +44,12 @@ var (
 
 	// ErrExhausted wraps the last failure after bounded failover gave up.
 	ErrExhausted = errors.New("cluster: retry attempts exhausted")
+
+	// ErrQuarantined is returned by Admit/Join/Leave for a name that has
+	// been quarantined: expulsion is permanent, and the tombstone outlives
+	// the replica's membership, so a tampered build cannot re-enter the
+	// fleet by leaving and knocking again under the same name.
+	ErrQuarantined = errors.New("cluster: replica quarantined")
 )
 
 // State is a replica's admission state.
@@ -58,6 +64,12 @@ const (
 	StateDown
 	// StateQuarantined: attestation failed; permanently expelled.
 	StateQuarantined
+	// StateDraining: excluded from dispatch while in-flight calls run to
+	// completion — the transient phase of an epoch rekey or a Leave. Not
+	// a trust transition: the journal never records it, and the replica
+	// returns to its pre-drain trust state (or a journaled real
+	// transition) before the epoch activates.
+	StateDraining
 )
 
 // String names the state.
@@ -69,6 +81,8 @@ func (s State) String() string {
 		return "down"
 	case StateQuarantined:
 		return "quarantined"
+	case StateDraining:
+		return "draining"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -106,8 +120,9 @@ type EventRecorder interface {
 
 // Replica is one fleet member.
 type Replica struct {
-	name string
-	stub *distributed.Stub
+	name     string
+	stub     *distributed.Stub
+	setEpoch func(uint64) // pushes a new config epoch to the replica's exporter
 
 	// mu serializes connection management (Connect/Ping health probes) so
 	// health rounds never race each other on one replica. Calls do NOT
@@ -145,6 +160,12 @@ type ReplicaInfo struct {
 	// the wire frame version it speaks — `lateralctl cluster` surfaces it
 	// so a mixed-version rollout is visible at a glance.
 	Version string
+
+	// Epoch is the fleet config epoch the replica's live session was
+	// keyed at (0 when disconnected or pre-epoch). A healthy replica
+	// whose Epoch lags the pool's active epoch is stale-keyed — the
+	// condition the simulation's eighth invariant forbids.
+	Epoch uint64
 
 	// Stub is the stub's pipelining counter snapshot (correlation-ID
 	// bookkeeping: issued/completed/failed/orphaned calls and pipeline
@@ -231,15 +252,32 @@ type ReplicaSpec struct {
 
 	// Pump drives the remote exporter, as in distributed.StubConfig.
 	Pump func() error
+
+	// SetEpoch, when set, is the control-plane hook that moves the
+	// replica's exporter to a new fleet config epoch (typically
+	// Exporter.SetEpoch). The pool pushes every epoch transition through
+	// it so the replica refuses hellos — and evicts sessions — from
+	// older epochs. Nil leaves the replica ungated (pre-epoch behavior).
+	SetEpoch func(uint64)
 }
 
 // Pool is the attested replica fleet.
 type Pool struct {
 	cfg Config
 
+	// epoch is the active fleet config epoch (0 = static pre-epoch
+	// fleet); hsEpoch is the epoch new handshakes bind, which runs ahead
+	// of epoch for the duration of a transition so every rekey lands on
+	// the incoming configuration. epochMu serializes transitions
+	// (Join/Leave) end to end.
+	epoch   atomic.Uint64
+	hsEpoch atomic.Uint64
+	epochMu sync.Mutex
+
 	mu        sync.Mutex
 	replicas  []*Replica
 	byName    map[string]*Replica
+	tombstone map[string]string // quarantined names -> detail; survives Leave
 	rng       *cryptoutil.PRNG
 	lastCheck time.Time
 }
@@ -280,9 +318,10 @@ func New(cfg Config) (*Pool, error) {
 		cfg.HealthFanout = 4
 	}
 	p := &Pool{
-		cfg:    cfg,
-		byName: make(map[string]*Replica),
-		rng:    cryptoutil.NewPRNG("cluster-jitter-" + cfg.JitterSeed),
+		cfg:       cfg,
+		byName:    make(map[string]*Replica),
+		tombstone: make(map[string]string),
+		rng:       cryptoutil.NewPRNG("cluster-jitter-" + cfg.JitterSeed),
 	}
 	p.lastCheck = cfg.Clock()
 	return p, nil
@@ -307,7 +346,9 @@ func (p *Pool) verifier() func(ed25519.PublicKey, [32]byte, []byte) error {
 // mismatch quarantines the replica permanently and returns ErrAttestation;
 // operational failures admit it as down (health checks will keep trying);
 // success admits it healthy. The replica is recorded — and visible in
-// telemetry — in all three cases.
+// telemetry — in all three cases. A name that was ever quarantined is
+// refused outright with ErrQuarantined: re-admission under a poisoned
+// name is never silent.
 func (p *Pool) Admit(spec ReplicaSpec) error {
 	if spec.Name == "" || spec.Endpoint == nil || spec.Rand == nil {
 		return fmt.Errorf("cluster: replica spec needs Name, Endpoint, Rand")
@@ -326,6 +367,7 @@ func (p *Pool) Admit(spec ReplicaSpec) error {
 		Monitor:        stubMon,
 		Journal:        p.cfg.Journal,
 		Actor:          p.cfg.Fleet + "/" + spec.Name,
+		Epoch:          p.hsEpoch.Load,
 	})
 	if err != nil {
 		return err
@@ -335,8 +377,12 @@ func (p *Pool) Admit(spec ReplicaSpec) error {
 	// not-yet-trusted state. (Relying on the zero value here would admit
 	// it healthy — State's zero value — for the window until Connect
 	// resolves.)
-	r := &Replica{name: spec.Name, stub: stub, state: StateDown}
+	r := &Replica{name: spec.Name, stub: stub, setEpoch: spec.SetEpoch, state: StateDown}
 	p.mu.Lock()
+	if detail, dead := p.tombstone[spec.Name]; dead {
+		p.mu.Unlock()
+		return fmt.Errorf("admit %s: %s: %w", spec.Name, detail, ErrQuarantined)
+	}
 	if _, dup := p.byName[spec.Name]; dup {
 		p.mu.Unlock()
 		return fmt.Errorf("cluster: replica %q already admitted", spec.Name)
@@ -370,6 +416,9 @@ const (
 	KindReplicaDown = "replica-down"
 	KindQuarantine  = "quarantine"
 	KindFailover    = "failover"
+	KindLeave       = "leave"
+	KindEpochBegin  = "epoch-begin"
+	KindEpochMember = "epoch-member"
 )
 
 // record journals one fleet event. Caller holds p.mu (that is the point:
@@ -402,6 +451,9 @@ func (p *Pool) setState(r *Replica, s State, detail string) {
 		p.record(KindReplicaDown, r.name, detail)
 	case StateQuarantined:
 		p.record(KindQuarantine, r.name, detail)
+		// The tombstone outlives membership: Leave cannot launder a
+		// quarantined name back into admissibility.
+		p.tombstone[r.name] = detail
 	}
 	p.cfg.Monitor.ReplicaState(p.cfg.Fleet, r.name, s == StateHealthy, s == StateQuarantined)
 }
@@ -492,11 +544,30 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 			p.CheckNow()
 			continue
 		}
+		// Pick and charge the inflight gauge in ONE p.mu critical section,
+		// re-checking the state after the pick: an epoch transition marks a
+		// replica draining under the same lock, so either this call's charge
+		// is visible before the drain starts counting, or this call observes
+		// the drain and routes elsewhere. No call can slip onto a replica
+		// after its drain began — that is what lets a rekey wait for
+		// inflight==0 and know it is final.
 		p.mu.Lock()
 		r := p.cfg.Balancer.Pick(key, candidates)
+		stale := r != nil && r.state != StateHealthy
+		if r != nil && !stale {
+			r.inflight.Add(1)
+			p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, 1)
+		}
 		p.mu.Unlock()
 		if r == nil {
 			return core.Message{}, ErrNoReplicas
+		}
+		if stale {
+			// The snapshot raced a transition (drain, failover): the
+			// replica is no longer dispatchable. Route the next attempt
+			// from a fresh snapshot.
+			lastErr = fmt.Errorf("cluster %s: replica %s left dispatch mid-pick", p.cfg.Fleet, r.name)
+			continue
 		}
 		reply, err := p.callReplica(r, msg, deadline)
 		if err == nil {
@@ -539,16 +610,16 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 }
 
 // callReplica runs one request/reply against one replica, maintaining the
-// inflight gauge and call counters. Calls pipeline: the stub multiplexes
-// any number of concurrent requests over the replica's one attested
-// session (correlation IDs match the replies), so nothing serializes here
-// and the inflight gauge reports true concurrent depth — exactly the load
+// call counters. The caller has already charged the inflight gauge under
+// p.mu at pick time (the drain happens-before edge); this function owns
+// the discharge. Calls pipeline: the stub multiplexes any number of
+// concurrent requests over the replica's one attested session
+// (correlation IDs match the replies), so nothing serializes here and the
+// inflight gauge reports true concurrent depth — exactly the load
 // LeastInflight balances on. The deadline rides on the envelope; the stub
 // turns it into the wire budget (and refuses to transmit if it expired
 // before dispatch).
 func (p *Pool) callReplica(r *Replica, msg core.Message, deadline time.Time) (core.Message, error) {
-	r.inflight.Add(1)
-	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, 1)
 	reply, err := r.stub.Handle(core.Envelope{Msg: msg, Deadline: deadline})
 	r.inflight.Add(-1)
 	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, -1)
@@ -706,6 +777,7 @@ func (p *Pool) Replicas() []ReplicaInfo {
 			Retries:   r.retries.Load(),
 			Failovers: r.failovers.Load(),
 			Version:   r.stub.CompVersion(),
+			Epoch:     r.stub.SessionEpoch(),
 			Stub:      r.stub.Stats(),
 		})
 	}

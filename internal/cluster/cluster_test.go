@@ -73,12 +73,14 @@ type tamperedStore struct{ fleetStore }
 func (t *tamperedStore) CompVersion() string { return "1.0-evil" }
 
 type fixture struct {
-	t       *testing.T
-	net     *netsim.Network
-	part    *netsim.Partitioner
-	pool    *Pool
-	stores  map[string]*fleetStore
-	systems map[string]*core.System
+	t         *testing.T
+	net       *netsim.Network
+	part      *netsim.Partitioner
+	pool      *Pool
+	vendor    *cryptoutil.Signer
+	stores    map[string]*fleetStore
+	systems   map[string]*core.System
+	exporters map[string]*distributed.Exporter
 }
 
 func replicaName(i int) string { return fmt.Sprintf("anon-%d", i) }
@@ -106,56 +108,68 @@ func newFleet(t *testing.T, n int, tampered map[int]bool, mutate func(*Config)) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &fixture{t: t, net: net, part: part, pool: pool,
-		stores: make(map[string]*fleetStore), systems: make(map[string]*core.System)}
+	f := &fixture{t: t, net: net, part: part, pool: pool, vendor: vendor,
+		stores: make(map[string]*fleetStore), systems: make(map[string]*core.System),
+		exporters: make(map[string]*distributed.Exporter)}
 	for i := 1; i <= n; i++ {
 		name := replicaName(i)
-		cpu, err := sgx.New(sgx.Config{DeviceSeed: "fleet-" + name, Vendor: vendor})
-		if err != nil {
-			t.Fatal(err)
-		}
-		sys := core.NewSystem(cpu)
-		store := &fleetStore{}
-		var comp core.Component = store
-		if tampered[i] {
-			comp = &tamperedStore{}
-		}
-		if err := sys.Launch(comp, true, 1); err != nil {
-			t.Fatal(err)
-		}
-		if err := sys.InitAll(); err != nil {
-			t.Fatal(err)
-		}
-		exp, err := distributed.NewExporter(distributed.ExportConfig{
-			System:    sys,
-			Component: "anon",
-			Endpoint:  net.Attach(name),
-			Identity:  cryptoutil.NewSigner(name + "-tls"),
-			Rand:      cryptoutil.NewPRNG(name + "-srv"),
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = pool.Admit(ReplicaSpec{
-			Name:           name,
-			RemoteEndpoint: name,
-			Endpoint:       net.Attach("lb-" + name),
-			Rand:           cryptoutil.NewPRNG(name + "-cli"),
-			Pump:           exp.Serve,
-		})
+		err := pool.Admit(f.buildReplica(name, tampered[i]))
 		if tampered[i] {
 			if !errors.Is(err, ErrAttestation) {
 				t.Fatalf("tampered %s admitted: %v", name, err)
 			}
-		} else {
-			if err != nil {
-				t.Fatal(err)
-			}
-			f.stores[name] = store
-			f.systems[name] = sys
+		} else if err != nil {
+			t.Fatal(err)
 		}
 	}
 	return f
+}
+
+// buildReplica stands up one replica machine — enclave, system, exporter —
+// and returns its admission spec with the exporter's epoch gate wired, so
+// tests can Admit (static) or Join (epoch transition) it. Tampered deploys
+// run the modified build, whose measurement admission must refuse.
+func (f *fixture) buildReplica(name string, tampered bool) ReplicaSpec {
+	f.t.Helper()
+	cpu, err := sgx.New(sgx.Config{DeviceSeed: "fleet-" + name, Vendor: f.vendor})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	sys := core.NewSystem(cpu)
+	store := &fleetStore{}
+	var comp core.Component = store
+	if tampered {
+		comp = &tamperedStore{}
+	}
+	if err := sys.Launch(comp, true, 1); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := sys.InitAll(); err != nil {
+		f.t.Fatal(err)
+	}
+	exp, err := distributed.NewExporter(distributed.ExportConfig{
+		System:    sys,
+		Component: "anon",
+		Endpoint:  f.net.Attach(name),
+		Identity:  cryptoutil.NewSigner(name + "-tls"),
+		Rand:      cryptoutil.NewPRNG(name + "-srv"),
+	})
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if !tampered {
+		f.stores[name] = store
+		f.systems[name] = sys
+	}
+	f.exporters[name] = exp
+	return ReplicaSpec{
+		Name:           name,
+		RemoteEndpoint: name,
+		Endpoint:       f.net.Attach("lb-" + name),
+		Rand:           cryptoutil.NewPRNG(name + "-cli"),
+		Pump:           exp.Serve,
+		SetEpoch:       exp.SetEpoch,
+	}
 }
 
 // scriptedBalancer picks replicas by name in a fixed order (repeating the

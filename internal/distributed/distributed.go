@@ -443,11 +443,25 @@ type Exporter struct {
 	clock    func() time.Time
 	workers  int
 
+	// epoch is the fleet config epoch the exporter currently serves.
+	// Zero (the default) leaves admission ungated — any hello is
+	// accepted, as before dynamic membership. Non-zero demands hellos
+	// stamped with exactly this epoch and evicts sessions keyed at
+	// older ones.
+	epoch atomic.Uint64
+
 	mu       sync.Mutex
 	sessions map[string]*sessState // peer endpoint -> session
-	pendings map[string]*securechan.Pending
+	pendings map[string]*pendState
 
 	ops interner
+}
+
+// pendState is a handshake in flight plus the config epoch it was gated
+// at, so the session it completes into remembers its epoch.
+type pendState struct {
+	p     *securechan.Pending
+	epoch uint64
 }
 
 // sessState is one peer's established session plus the locks that keep the
@@ -459,6 +473,7 @@ type sessState struct {
 	openMu sync.Mutex
 	sendMu sync.Mutex
 	sess   *securechan.Session
+	epoch  uint64 // config epoch the session was keyed at
 }
 
 // job is one decrypted invocation awaiting execution. buf is the pooled
@@ -471,6 +486,17 @@ type job struct {
 	buf  *[]byte
 	raw  []byte
 }
+
+// jobPool recycles job structs across serveBatch passes. A pipelining
+// client lands one job per in-flight call per wire round; without the
+// pool each of those was a fresh heap allocation, which is exactly the
+// allocs/op regression BENCH_e22.json showed growing with pipeline depth.
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// batchPool recycles the per-batch job slice (capacity included), so a
+// steady pipelining load reuses one backing array per concurrent batch
+// instead of regrowing it every wire round.
+var batchPool = sync.Pool{New: func() any { s := make([]*job, 0, 16); return &s }}
 
 // ExportConfig configures an Exporter.
 type ExportConfig struct {
@@ -508,6 +534,10 @@ type ExportConfig struct {
 // unset.
 const DefaultWorkers = 4
 
+// smallBatch is the backlog size at or below which serveBatch dispatches
+// inline rather than fanning out worker goroutines.
+const smallBatch = 4
+
 // NewExporter validates the config and builds the exporter. Evidence for
 // remote verifiers is produced from the hosting substrate's trust anchor,
 // quoting the exported component's domain bound to each handshake.
@@ -533,9 +563,37 @@ func NewExporter(cfg ExportConfig) (*Exporter, error) {
 		clock:    cfg.Clock,
 		workers:  cfg.Workers,
 		sessions: make(map[string]*sessState),
-		pendings: make(map[string]*securechan.Pending),
+		pendings: make(map[string]*pendState),
 	}, nil
 }
+
+// SetEpoch moves the exporter to a new fleet config epoch: hellos must
+// now stamp exactly this epoch, and every session or pending handshake
+// keyed at an older epoch is evicted — a client holding pre-rekey keys
+// cannot authenticate another record, it must re-handshake (and an
+// epoch-gating pool will only hand it the new epoch after re-attesting
+// it). SetEpoch(0) removes the gate without evicting anyone.
+func (e *Exporter) SetEpoch(n uint64) {
+	e.epoch.Store(n)
+	if n == 0 {
+		return
+	}
+	e.mu.Lock()
+	for from, ss := range e.sessions {
+		if ss.epoch < n {
+			delete(e.sessions, from)
+		}
+	}
+	for from, p := range e.pendings {
+		if p.epoch < n {
+			delete(e.pendings, from)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Epoch returns the config epoch the exporter currently serves.
+func (e *Exporter) Epoch() uint64 { return e.epoch.Load() }
 
 // evidence quotes the exported component's domain, bound to the handshake
 // transcript.
@@ -584,7 +642,9 @@ func (e *Exporter) Serve() error {
 // order (the secure channel's receive sequence demands it); decrypted
 // component invocations then fan out to the worker pool.
 func (e *Exporter) serveBatch(first netsim.Datagram) {
-	var jobs []*job
+	// The batch slice travels by pointer so the accumulating closure does
+	// not box a fresh slice header per wire round.
+	jobsp := batchPool.Get().(*[]*job)
 	channelLayer := func(dg netsim.Datagram) {
 		e.mu.Lock()
 		ss := e.sessions[dg.From]
@@ -592,10 +652,12 @@ func (e *Exporter) serveBatch(first netsim.Datagram) {
 		e.mu.Unlock()
 		switch {
 		case ss != nil:
-			j := new(job)
+			j := jobPool.Get().(*job)
 			ok, err := e.openRequest(ss, dg, j)
 			if err == nil && ok {
-				jobs = append(jobs, j)
+				*jobsp = append(*jobsp, j)
+			} else {
+				jobPool.Put(j)
 			}
 		case pending != nil:
 			_ = e.complete(dg, pending)
@@ -611,36 +673,46 @@ func (e *Exporter) serveBatch(first netsim.Datagram) {
 		}
 		channelLayer(dg)
 	}
+	jobs := *jobsp
 	switch {
 	case len(jobs) == 0:
-	case len(jobs) == 1 || e.workers == 1:
+	case len(jobs) <= smallBatch || e.workers == 1:
+		// A shallow batch executes inline: spawning one goroutine per job
+		// costs more than it overlaps (the component handler is serialized
+		// by core regardless), and it was the allocs/op bump pipelined
+		// benchmarks showed at modest depths.
 		for _, j := range jobs {
 			_ = e.execute(j)
+			*j = job{}
+			jobPool.Put(j)
 		}
 	default:
 		n := e.workers
 		if n > len(jobs) {
 			n = len(jobs)
 		}
-		work := make(chan *job)
+		// Strided partition instead of a feed channel: each worker owns
+		// jobs[w], jobs[w+n], … so the fan-out allocates nothing beyond
+		// the goroutines themselves.
 		var wg sync.WaitGroup
 		wg.Add(n)
-		for i := 0; i < n; i++ {
-			go func() {
+		for w := 0; w < n; w++ {
+			go func(w int) {
 				defer wg.Done()
-				for j := range work {
+				for i := w; i < len(jobs); i += n {
+					j := jobs[i]
 					_ = e.execute(j)
+					*j = job{}
+					jobPool.Put(j)
 				}
-			}()
+			}(w)
 		}
-		for _, j := range jobs {
-			work <- j
-		}
-		close(work)
 		// Serve's contract with lockstep pumps: every reply is on the
 		// wire before it returns.
 		wg.Wait()
 	}
+	*jobsp = jobs[:0]
+	batchPool.Put(jobsp)
 }
 
 // handle processes one datagram inline, start to finish.
@@ -782,8 +854,8 @@ func (e *Exporter) reply(ss *sessState, to string, req Request, msg core.Message
 }
 
 // complete finishes a pending handshake with the client's finish flight.
-func (e *Exporter) complete(dg netsim.Datagram, pending *securechan.Pending) error {
-	s, err := pending.Complete(dg.Payload)
+func (e *Exporter) complete(dg netsim.Datagram, pending *pendState) error {
+	s, err := pending.p.Complete(dg.Payload)
 	if err != nil {
 		// The peer may have abandoned the old handshake and started
 		// over: a well-formed hello replaces the pending handshake.
@@ -801,7 +873,7 @@ func (e *Exporter) complete(dg netsim.Datagram, pending *securechan.Pending) err
 		return nil
 	}
 	e.mu.Lock()
-	e.sessions[dg.From] = &sessState{sess: s}
+	e.sessions[dg.From] = &sessState{sess: s, epoch: pending.epoch}
 	delete(e.pendings, dg.From)
 	e.mu.Unlock()
 	return nil
@@ -811,10 +883,12 @@ func (e *Exporter) complete(dg netsim.Datagram, pending *securechan.Pending) err
 // session and pending handshake (if any) are discarded and a new pending
 // handshake replaces them.
 func (e *Exporter) hello(dg netsim.Datagram) error {
+	cur := e.epoch.Load()
 	server, err := securechan.NewServer(securechan.ServerConfig{
-		Rand:     e.rand,
-		Identity: e.identity,
-		Evidence: e.evidence,
+		Rand:        e.rand,
+		Identity:    e.identity,
+		Evidence:    e.evidence,
+		ConfigEpoch: cur,
 	})
 	if err != nil {
 		return err
@@ -825,7 +899,11 @@ func (e *Exporter) hello(dg netsim.Datagram) error {
 	}
 	e.mu.Lock()
 	delete(e.sessions, dg.From)
-	e.pendings[dg.From] = p
+	// The pending remembers the epoch the keys were derived at — the
+	// hello's stamp, not the gate: an ungated (epoch-0) exporter accepts a
+	// hello keyed ahead of it, and that session must survive the gate
+	// catching up to the same epoch.
+	e.pendings[dg.From] = &pendState{p: p, epoch: p.Epoch()}
 	e.mu.Unlock()
 	return e.ep.Send(dg.From, resp)
 }
@@ -867,11 +945,12 @@ type Stub struct {
 	// mu guards the session identity and the waiter registry. gen
 	// increments whenever the session changes (Close, Connect, failure),
 	// invalidating completions aimed at a previous session's calls.
-	mu       sync.Mutex
-	sess     *securechan.Session
-	gen      uint64
-	nextCorr uint64
-	waiters  map[uint64]*waiter
+	mu        sync.Mutex
+	sess      *securechan.Session
+	sessEpoch uint64 // config epoch the live session was keyed at
+	gen       uint64
+	nextCorr  uint64
+	waiters   map[uint64]*waiter
 
 	// sendMu serializes seal+transmit so records hit the wire in send
 	// sequence order (the exporter's channel rejects reordered sequences).
@@ -931,6 +1010,13 @@ type StubConfig struct {
 	// replica's fleet/name.
 	Journal EventRecorder
 	Actor   string
+
+	// Epoch, when set, supplies the fleet config epoch each handshake is
+	// keyed at: Connect reads it once, stamps it into the hello, and folds
+	// it into the session key schedule. A pool wires this to its handshake
+	// epoch so reconnects always bind the epoch in force at that moment.
+	// Nil (or a 0 return) keeps the pre-epoch wire format.
+	Epoch func() uint64
 }
 
 // EventRecorder is the structural journal hook (see internal/journal),
@@ -1041,9 +1127,14 @@ func (s *Stub) recordSession(err error) {
 
 func (s *Stub) connect() error {
 	s.cfg.Endpoint.Drain()
+	var epoch uint64
+	if s.cfg.Epoch != nil {
+		epoch = s.cfg.Epoch()
+	}
 	client, err := securechan.NewClient(securechan.ClientConfig{
 		Rand:         s.cfg.Rand,
 		VerifyServer: s.cfg.VerifyServer,
+		ConfigEpoch:  epoch,
 	})
 	if err != nil {
 		return err
@@ -1071,15 +1162,27 @@ func (s *Stub) connect() error {
 	// while the handshake was in flight. Discard it here; drained after
 	// install it would be undecryptable and fail the fresh session.
 	s.cfg.Endpoint.Drain()
-	s.install(sess)
+	s.install(sess, epoch)
 	return nil
+}
+
+// SessionEpoch returns the fleet config epoch the live session was keyed
+// at, or 0 when disconnected (or keyed pre-epoch).
+func (s *Stub) SessionEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess == nil {
+		return 0
+	}
+	return s.sessEpoch
 }
 
 // install swaps in a fresh session, bumping the generation and failing any
 // caller still parked on the previous one.
-func (s *Stub) install(sess *securechan.Session) {
+func (s *Stub) install(sess *securechan.Session, epoch uint64) {
 	s.mu.Lock()
 	s.sess = sess
+	s.sessEpoch = epoch
 	s.gen++
 	old := s.waiters
 	if len(old) > 0 {

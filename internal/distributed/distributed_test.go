@@ -710,3 +710,76 @@ func TestTaintCrossesWire(t *testing.T) {
 		t.Errorf("untainted call after deny: %v", err)
 	}
 }
+
+// TestExporterEpochGateAndEviction pins the exporter half of config-epoch
+// rekeying. An ungated exporter accepts both legacy (epoch-less) clients
+// and clients keyed ahead of it; once the gate moves, sessions keyed at
+// older epochs are evicted and stale hellos are refused — but a session
+// already keyed AT the new epoch survives the gate catching up to it
+// (regression: the pending used to record the gate's epoch instead of the
+// hello's, so a joiner admitted mid-transition lost its fresh session).
+func TestExporterEpochGateAndEviction(t *testing.T) {
+	f := newFixture(t, nil, false)
+	dial := func(client string, epoch uint64) *Stub {
+		t.Helper()
+		s, err := NewStub(StubConfig{
+			RemoteName:     "store",
+			RemoteEndpoint: "cloud",
+			Endpoint:       f.net.Attach(client),
+			Rand:           cryptoutil.NewPRNG(client + "-hs"),
+			VerifyServer: func(_ ed25519.PublicKey, tr [32]byte, evidence []byte) error {
+				q, err := core.DecodeQuote(evidence)
+				if err != nil {
+					return err
+				}
+				return core.VerifyQuote(q, tr[:], f.vendor.Public(), f.storeMeas)
+			},
+			Pump:  func() error { return f.exporter.Serve() },
+			Epoch: func() uint64 { return epoch },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	put := func(s *Stub, kv string) error {
+		_, err := s.Handle(core.Envelope{Msg: core.Message{Op: "put", Data: []byte(kv)}})
+		return err
+	}
+
+	if err := f.stub.Connect(); err != nil {
+		t.Fatalf("legacy client: %v", err)
+	}
+	if err := put(f.stub, "a=1"); err != nil {
+		t.Fatalf("legacy put: %v", err)
+	}
+	ahead := dial("laptop-ahead", 1)
+	if err := ahead.Connect(); err != nil {
+		t.Fatalf("epoch-1 client against ungated exporter: %v", err)
+	}
+	if got := ahead.SessionEpoch(); got != 1 {
+		t.Fatalf("ahead session epoch = %d, want 1", got)
+	}
+
+	f.exporter.SetEpoch(1)
+	if got := f.exporter.Epoch(); got != 1 {
+		t.Fatalf("exporter epoch = %d, want 1", got)
+	}
+	if err := put(ahead, "b=2"); err != nil {
+		t.Fatalf("epoch-1 session evicted by SetEpoch(1): %v", err)
+	}
+	if err := put(f.stub, "c=3"); err == nil {
+		t.Fatal("epoch-0 session survived SetEpoch(1)")
+	}
+	if err := dial("laptop-replay", 0).Connect(); err == nil {
+		t.Fatal("epoch-0 hello accepted by epoch-1 exporter")
+	}
+	if err := dial("laptop-cur", 1).Connect(); err != nil {
+		t.Fatalf("epoch-1 hello refused by epoch-1 exporter: %v", err)
+	}
+	// SetEpoch(0) removes the gate without evicting the live session.
+	f.exporter.SetEpoch(0)
+	if err := put(ahead, "d=4"); err != nil {
+		t.Fatalf("gate removal evicted a live session: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"crypto/ed25519"
 	"fmt"
 	"time"
 
@@ -65,8 +66,12 @@ type FleetDemo struct {
 	// when one was deployed (nil otherwise).
 	TamperedAdmitErr error
 
-	anons   map[string]*e19Anon
-	systems map[string]*core.System
+	anons     map[string]*e19Anon
+	systems   map[string]*core.System
+	exporters map[string]*distributed.Exporter
+	vendor    *cryptoutil.Signer
+	meas      [32]byte
+	rec       cluster.EventRecorder
 }
 
 // BuildFleetDemo deploys an anonymizer fleet of n replicas named
@@ -102,52 +107,23 @@ func BuildJournaledFleetDemo(n, tamperedIdx int, mon cluster.Monitor, rec cluste
 		return nil, err
 	}
 	d := &FleetDemo{
-		Pool:    pool,
-		Net:     net,
-		Part:    part,
-		anons:   make(map[string]*e19Anon),
-		systems: make(map[string]*core.System),
+		Pool:      pool,
+		Net:       net,
+		Part:      part,
+		anons:     make(map[string]*e19Anon),
+		systems:   make(map[string]*core.System),
+		exporters: make(map[string]*distributed.Exporter),
+		vendor:    vendor,
+		meas:      cryptoutil.Hash(core.DomainImage(&e19Anon{})),
+		rec:       rec,
 	}
 	for i := 1; i <= n; i++ {
 		name := fmt.Sprintf("anon-%d", i)
-		cpu, err := sgx.New(sgx.Config{DeviceSeed: "e19-" + name, Vendor: vendor})
+		spec, err := d.buildReplica(name, i == tamperedIdx)
 		if err != nil {
 			return nil, err
 		}
-		sys := core.NewSystem(cpu)
-		anon := &e19Anon{}
-		var comp core.Component = anon
-		if i == tamperedIdx {
-			tam := &e19TamperedAnon{}
-			anon = &tam.e19Anon
-			comp = tam
-		}
-		if err := sys.Launch(comp, true, 1); err != nil {
-			return nil, err
-		}
-		if err := sys.InitAll(); err != nil {
-			return nil, err
-		}
-		if rec != nil {
-			sys.SetEventRecorder(rec)
-		}
-		exp, err := distributed.NewExporter(distributed.ExportConfig{
-			System:    sys,
-			Component: "anonymizer",
-			Endpoint:  net.Attach(name),
-			Identity:  cryptoutil.NewSigner(name + "-tls"),
-			Rand:      cryptoutil.NewPRNG("e19-srv-" + name),
-		})
-		if err != nil {
-			return nil, err
-		}
-		err = pool.Admit(cluster.ReplicaSpec{
-			Name:           name,
-			RemoteEndpoint: name,
-			Endpoint:       net.Attach("lb-" + name),
-			Rand:           cryptoutil.NewPRNG("e19-cli-" + name),
-			Pump:           exp.Serve,
-		})
+		err = pool.Admit(spec)
 		if i == tamperedIdx {
 			if err == nil {
 				return nil, fmt.Errorf("e19: tampered replica %s was admitted", name)
@@ -156,10 +132,95 @@ func BuildJournaledFleetDemo(n, tamperedIdx int, mon cluster.Monitor, rec cluste
 		} else if err != nil {
 			return nil, err
 		}
-		d.anons[name] = anon
-		d.systems[name] = sys
 	}
 	return d, nil
+}
+
+// buildReplica stands up one replica machine — enclave, system, exporter —
+// and returns the admission spec for it, with the exporter's epoch gate
+// wired so the pool can rekey it through config transitions. It does not
+// admit; the caller picks Admit (static build) or Join (epoch transition).
+func (d *FleetDemo) buildReplica(name string, tampered bool) (cluster.ReplicaSpec, error) {
+	cpu, err := sgx.New(sgx.Config{DeviceSeed: "e19-" + name, Vendor: d.vendor})
+	if err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	sys := core.NewSystem(cpu)
+	anon := &e19Anon{}
+	var comp core.Component = anon
+	if tampered {
+		tam := &e19TamperedAnon{}
+		anon = &tam.e19Anon
+		comp = tam
+	}
+	if err := sys.Launch(comp, true, 1); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	if err := sys.InitAll(); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	if d.rec != nil {
+		sys.SetEventRecorder(d.rec)
+	}
+	exp, err := distributed.NewExporter(distributed.ExportConfig{
+		System:    sys,
+		Component: "anonymizer",
+		Endpoint:  d.Net.Attach(name),
+		Identity:  cryptoutil.NewSigner(name + "-tls"),
+		Rand:      cryptoutil.NewPRNG("e19-srv-" + name),
+	})
+	if err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	d.anons[name] = anon
+	d.systems[name] = sys
+	d.exporters[name] = exp
+	return cluster.ReplicaSpec{
+		Name:           name,
+		RemoteEndpoint: name,
+		Endpoint:       d.Net.Attach("lb-" + name),
+		Rand:           cryptoutil.NewPRNG("e19-cli-" + name),
+		Pump:           exp.Serve,
+		SetEpoch:       exp.SetEpoch,
+	}, nil
+}
+
+// Join stands up a fresh honest replica named name and admits it through a
+// full config-epoch transition: the whole fleet re-attests and rekeys at
+// the new epoch (E26 rolling replace).
+func (d *FleetDemo) Join(name string) error {
+	spec, err := d.buildReplica(name, false)
+	if err != nil {
+		return err
+	}
+	return d.Pool.Join(spec)
+}
+
+// Dial connects a side-channel stub straight to one replica's exporter,
+// outside the pool, with the handshake stamping whatever epoch fn reports.
+// E26 uses it to prove the epoch gate: a client keyed to a stale config
+// must be refused once the fleet has moved on.
+func (d *FleetDemo) Dial(replica, client string, epoch func() uint64) (*distributed.Stub, error) {
+	exp := d.exporters[replica]
+	if exp == nil {
+		return nil, fmt.Errorf("e19: no exporter for %q", replica)
+	}
+	vendor, meas := d.vendor, d.meas
+	return distributed.NewStub(distributed.StubConfig{
+		RemoteName:     "anonymizer",
+		RemoteEndpoint: replica,
+		Endpoint:       d.Net.Attach(client),
+		Rand:           cryptoutil.NewPRNG("e19-side-" + client),
+		VerifyServer: func(_ ed25519.PublicKey, tr [32]byte, evidence []byte) error {
+			q, err := core.DecodeQuote(evidence)
+			if err != nil {
+				return err
+			}
+			return core.VerifyQuote(q, tr[:], vendor.Public(), meas)
+		},
+		Pump:  exp.Serve,
+		Epoch: epoch,
+	})
 }
 
 // Send routes one meter reading into the fleet, sharded by meter identity.

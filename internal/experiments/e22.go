@@ -148,7 +148,7 @@ func E22Pipelining() (Table, error) {
 		ID:     "E22",
 		Title:  "pipelined secure-channel RPC",
 		Anchor: "§III-B trustworthy invocation across machines; latency of attested channels",
-		Header: []string{"depth", "calls", "rounds", "calls/round", "max-inflight", "verdict"},
+		Header: []string{"depth", "calls", "rounds", "calls/round", "allocs/op", "verdict"},
 	}
 
 	const calls = 64
@@ -161,10 +161,12 @@ func E22Pipelining() (Table, error) {
 		}
 		st := r.stats
 		rounds[depth] = r.pumps
+		allocs := float64(r.mallocs) / float64(calls)
 		balanced := st.Issued == st.Completed+st.Failed &&
-			st.Failed == 0 && st.Inflight == 0 && st.Orphans == 0
-		t.AddRow(depth, calls, r.pumps, float64(calls)/float64(r.pumps), st.MaxInflight,
-			passFail(balanced))
+			st.Failed == 0 && st.Inflight == 0 && st.Orphans == 0 &&
+			allocs <= e22AllocCap(depth, calls)
+		t.AddRow(depth, calls, r.pumps, float64(calls)/float64(r.pumps),
+			fmt.Sprintf("%.2f", allocs), passFail(balanced))
 	}
 
 	// The headline claim: depth-16 pipelining needs at least 3x fewer
@@ -177,6 +179,25 @@ func E22Pipelining() (Table, error) {
 		"rounds exclude the handshake; each round costs one simulated RTT",
 	)
 	return t, nil
+}
+
+// e22AllocCap bounds steady-state heap allocations per call at each
+// pipeline depth — the regression gate for the demux hot path, where a
+// stray per-ID waiter or job allocation shows up as +1 or more at every
+// depth. Allocations are whole-process mallocs over the call phase, so
+// per-batch fixed costs (driver goroutines, pump accounting) amortize
+// over the call count: the short pipelining sweep (calls=64) gets looser
+// caps than the checked-in calls=256 baseline, whose steady state runs
+// about 2.3-5.2 allocs/op across the depth sweep.
+func e22AllocCap(depth, calls int) float64 {
+	caps := map[int]float64{1: 5, 4: 6, 16: 9, 64: 18}
+	if calls >= 256 {
+		caps = map[int]float64{1: 4.5, 4: 4.5, 16: 5.5, 64: 6}
+	}
+	if c, ok := caps[depth]; ok {
+		return c
+	}
+	return 18
 }
 
 // E22Depth is one row of the checked-in BENCH_e22.json baseline: the wire
@@ -206,6 +227,10 @@ func E22Baseline() ([]E22Depth, error) {
 		r, err := e22Run(depth, calls, rtt)
 		if err != nil {
 			return nil, err
+		}
+		if a := float64(r.mallocs) / float64(calls); a > e22AllocCap(depth, calls) {
+			return nil, fmt.Errorf("E22: %.2f allocs/op at depth %d exceeds regression cap %.2f",
+				a, depth, e22AllocCap(depth, calls))
 		}
 		out = append(out, E22Depth{
 			Depth:         depth,

@@ -125,6 +125,7 @@ func All() []Experiment {
 		{ID: "E22", Name: "pipelined secure-channel RPC", Run: E22Pipelining},
 		{ID: "E24", Name: "fleet black box (auditor replay)", Run: E24Audit},
 		{ID: "E25", Name: "chain-aware policy (mosaic denial)", Run: E25Policy},
+		{ID: "E26", Name: "rolling replace under config epochs", Run: E26Rolling},
 	}
 }
 

@@ -588,3 +588,41 @@ func TestE25PolicyMosaicDenial(t *testing.T) {
 		t.Errorf("mosaic exfil not denied: %v", tab.Rows[1])
 	}
 }
+
+func TestE26RollingReplace(t *testing.T) {
+	tab, err := E26Rolling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[3] != "PASS" {
+			t.Errorf("E26 %s: %v", r[0], r)
+		}
+	}
+	// The fleet must have genuinely rotated: four epochs, not zero.
+	if cell(t, tab, "rolling replace, zero loss", 1) != "4" {
+		t.Errorf("rolling replace did not reach epoch 4: %v", tab.Rows[0])
+	}
+}
+
+func TestE26BaselinePhases(t *testing.T) {
+	phases, err := E26Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 6 {
+		t.Fatalf("phases = %d, want 6", len(phases))
+	}
+	last := phases[len(phases)-1]
+	if last.Epoch != 4 || last.Healthy != 3 {
+		t.Fatalf("post-replace fleet at epoch %d with %d healthy, want 4/3", last.Epoch, last.Healthy)
+	}
+	for _, p := range phases {
+		if p.Accepted != p.Readings {
+			t.Errorf("phase %s accepted %d of %d readings", p.Phase, p.Accepted, p.Readings)
+		}
+	}
+}

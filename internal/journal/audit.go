@@ -22,6 +22,7 @@ import (
 	"crypto/ed25519"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Trust-state values Replay derives — chosen to match the live pool's
@@ -41,9 +42,29 @@ type Audit struct {
 	// TrustHealthy, TrustDown, or TrustQuarantined.
 	States map[string]string
 
+	// Epochs is the re-derived membership history: one record per config
+	// epoch the fleet transitioned through, in order, each carrying the
+	// membership (actor -> state) journaled at activation. Empty for a
+	// static fleet that never transitioned.
+	Epochs []EpochRecord
+
 	// LastSeq and Head are the verified chain position.
 	LastSeq uint64
 	Head    [32]byte
+}
+
+// EpochRecord is one replayed config-epoch transition.
+type EpochRecord struct {
+	// Epoch is the config epoch number (strictly increasing).
+	Epoch uint64
+
+	// Reason is the transition's cause as journaled, e.g. "join svc-4".
+	Reason string
+
+	// Members maps each member actor to the state journaled for it when
+	// the epoch activated. Replay has already checked every entry against
+	// its independently derived trust state.
+	Members map[string]string
 }
 
 // Replay verifies an exported journal against the checkpoint public key
@@ -85,7 +106,7 @@ func Replay(data []byte, pub ed25519.PublicKey, trustedCounter uint64) (*Audit, 
 		}
 		a.Head = next
 		a.LastSeq = e.Seq
-		if err := applyTrust(a.States, &e); err != nil {
+		if err := applyTrust(a, &e); err != nil {
 			return nil, err
 		}
 		a.Entries = append(a.Entries, e)
@@ -105,11 +126,54 @@ func Replay(data []byte, pub ed25519.PublicKey, trustedCounter uint64) (*Audit, 
 
 // applyTrust folds one event into the derived trust state, rejecting
 // sequences no honest pool produces. Quarantine is absorbing and
-// exactly-once: a second quarantine for an actor, or any transition out,
-// is a divergence.
-func applyTrust(states map[string]string, e *Event) error {
+// exactly-once: a second quarantine for an actor, or any transition out
+// (including leaving the fleet), is a divergence.
+func applyTrust(a *Audit, e *Event) error {
+	states := a.States
 	switch e.Kind {
-	case KindAdmit, KindReplicaUp, KindReplicaDown, KindQuarantine:
+	case KindEpochBegin:
+		epoch, reason, ok := parseEpoch(e.Detail)
+		if !ok {
+			return fmt.Errorf("entry %d: malformed epoch-begin %q: %w", e.Seq, e.Detail, ErrDivergence)
+		}
+		last := uint64(0)
+		if n := len(a.Epochs); n > 0 {
+			last = a.Epochs[n-1].Epoch
+		}
+		if epoch <= last {
+			return fmt.Errorf("entry %d: epoch %d after %d: %w", e.Seq, epoch, last, ErrDivergence)
+		}
+		a.Epochs = append(a.Epochs, EpochRecord{
+			Epoch:   epoch,
+			Reason:  reason,
+			Members: make(map[string]string),
+		})
+		return nil
+	case KindEpochMember:
+		epoch, rest, ok := parseEpoch(e.Detail)
+		state, stOK := strings.CutPrefix(rest, "state=")
+		if !ok || !stOK {
+			return fmt.Errorf("entry %d: malformed epoch-member %q: %w", e.Seq, e.Detail, ErrDivergence)
+		}
+		n := len(a.Epochs)
+		if n == 0 || a.Epochs[n-1].Epoch != epoch {
+			return fmt.Errorf("entry %d: epoch-member for unopened epoch %d: %w", e.Seq, epoch, ErrDivergence)
+		}
+		// The membership record must agree with the trust state replay
+		// derived on its own from the transition events — a journal that
+		// claims a healthy member the event stream says is down (or never
+		// admitted) has been doctored.
+		if cur, known := states[e.Actor]; !known || cur != state {
+			got := "<unadmitted>"
+			if _, known := states[e.Actor]; known {
+				got = states[e.Actor]
+			}
+			return fmt.Errorf("entry %d: epoch %d claims %s %s, replay derives %s: %w",
+				e.Seq, epoch, e.Actor, state, got, ErrDivergence)
+		}
+		a.Epochs[n-1].Members[e.Actor] = state
+		return nil
+	case KindAdmit, KindReplicaUp, KindReplicaDown, KindQuarantine, KindLeave:
 	default:
 		return nil // ops events carry no trust-state transition
 	}
@@ -135,8 +199,34 @@ func applyTrust(states map[string]string, e *Event) error {
 			return fmt.Errorf("entry %d: quarantine for unadmitted %s: %w", e.Seq, e.Actor, ErrDivergence)
 		}
 		states[e.Actor] = TrustQuarantined
+	case KindLeave:
+		if !known {
+			return fmt.Errorf("entry %d: leave for unadmitted %s: %w", e.Seq, e.Actor, ErrDivergence)
+		}
+		delete(states, e.Actor)
 	}
 	return nil
+}
+
+// parseEpoch extracts the leading "epoch=N" token from an epoch event's
+// detail, returning N and the remainder after the separating space.
+func parseEpoch(detail string) (uint64, string, bool) {
+	rest, ok := strings.CutPrefix(detail, "epoch=")
+	if !ok {
+		return 0, "", false
+	}
+	i := 0
+	var n uint64
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		n = n*10 + uint64(rest[i]-'0')
+		i++
+	}
+	if i == 0 {
+		return 0, "", false
+	}
+	rest = rest[i:]
+	rest = strings.TrimPrefix(rest, " ")
+	return n, rest, true
 }
 
 // Diff compares the replayed trust state against a live view and returns

@@ -77,6 +77,21 @@ const (
 	// every refused egress and every approval grant with its TTL.
 	KindPolicyDeny    = "policy-deny"
 	KindPolicyApprove = "policy-approve"
+
+	// KindLeave: a replica departed the fleet through an epoch
+	// transition. Replay removes the actor from the derived state; a
+	// leave for an unadmitted or quarantined actor is a divergence
+	// (quarantine records are the fleet's memory and may not be shed).
+	KindLeave = "leave"
+
+	// KindEpochBegin / KindEpochMember: config-epoch anchor points. An
+	// epoch-begin (actor = the fleet, detail "epoch=N <reason>") opens
+	// transition N — epoch numbers must be strictly increasing — and the
+	// epoch-member records that follow activation (detail
+	// "epoch=N state=S") enumerate the membership the fleet settled on,
+	// each checked against the trust state replay derived independently.
+	KindEpochBegin  = "epoch-begin"
+	KindEpochMember = "epoch-member"
 )
 
 // Event is one journal entry.

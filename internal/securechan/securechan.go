@@ -35,11 +35,17 @@ var (
 	// ErrReplay is returned when a record's sequence number goes
 	// backwards or repeats.
 	ErrReplay = errors.New("securechan: replay detected")
+
+	// ErrEpoch is returned when a ClientHello carries a fleet config
+	// epoch that does not match the responder's current epoch: stale
+	// members (and replayed pre-rekey hellos) are refused at the door.
+	ErrEpoch = errors.New("securechan: config epoch mismatch")
 )
 
 const (
 	nonceLen = 16
 	protoTag = "lateral-hs-v1"
+	epochLen = 8
 )
 
 // randReader adapts the deterministic PRNG to io.Reader for key
@@ -80,6 +86,39 @@ func splitLV(b []byte, n int) ([][]byte, error) {
 	return out, nil
 }
 
+// splitHello parses a ClientHello: two mandatory fields (X25519 public
+// key, nonce) plus an optional third — the 8-byte big-endian fleet
+// config epoch the client was keyed at. Epoch-less hellos (the wire
+// format before dynamic membership) decode as epoch 0.
+func splitHello(hello []byte) (fields [][]byte, epoch uint64, err error) {
+	b := hello
+	for len(b) > 0 {
+		if len(fields) == 3 {
+			return nil, 0, fmt.Errorf("trailing bytes: %w", ErrHandshake)
+		}
+		if len(b) < 2 {
+			return nil, 0, fmt.Errorf("truncated field %d: %w", len(fields), ErrHandshake)
+		}
+		l := int(b[0])<<8 | int(b[1])
+		b = b[2:]
+		if len(b) < l {
+			return nil, 0, fmt.Errorf("short field %d: %w", len(fields), ErrHandshake)
+		}
+		fields = append(fields, b[:l])
+		b = b[l:]
+	}
+	if len(fields) < 2 {
+		return nil, 0, fmt.Errorf("hello needs 2 fields, got %d: %w", len(fields), ErrHandshake)
+	}
+	if len(fields) == 3 {
+		if len(fields[2]) != epochLen {
+			return nil, 0, fmt.Errorf("epoch field size %d: %w", len(fields[2]), ErrHandshake)
+		}
+		epoch = binary.BigEndian.Uint64(fields[2])
+	}
+	return fields, epoch, nil
+}
+
 // ClientConfig configures the initiating side.
 type ClientConfig struct {
 	// Rand provides handshake randomness (deterministic in experiments).
@@ -100,6 +139,14 @@ type ClientConfig struct {
 	// carries the failure text). Journaling layers hang off this without
 	// the channel knowing about them.
 	Events func(kind, detail string)
+
+	// ConfigEpoch, when non-zero, is the fleet configuration epoch this
+	// client was keyed at. It is stamped into the hello (inside the
+	// transcript, so quotes bind it), checked by epoch-gated servers, and
+	// folded into the HKDF salt so session keys from one epoch cannot
+	// authenticate traffic in another. Zero keeps the pre-epoch wire
+	// format and key schedule byte-identical.
+	ConfigEpoch uint64
 }
 
 // ServerConfig configures the responding side.
@@ -122,6 +169,12 @@ type ServerConfig struct {
 	// Events, when non-nil, observes handshake outcomes: fired once per
 	// Pending.Complete with kind "handshake-ok" or "handshake-fail".
 	Events func(kind, detail string)
+
+	// ConfigEpoch, when non-zero, gates admission: a hello whose stamped
+	// epoch differs (including epoch-less legacy hellos) is refused with
+	// ErrEpoch. Zero accepts any hello and derives keys at whatever epoch
+	// the client stamped, preserving pre-epoch interop.
+	ConfigEpoch uint64
 }
 
 // Client is an in-flight initiator handshake.
@@ -143,6 +196,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{cfg: cfg, priv: priv, nonce: cfg.Rand.Bytes(nonceLen)}
 	c.hello = append(lv(priv.PublicKey().Bytes()), lv(c.nonce)...)
+	if cfg.ConfigEpoch > 0 {
+		var e [epochLen]byte
+		binary.BigEndian.PutUint64(e[:], cfg.ConfigEpoch)
+		c.hello = append(c.hello, lv(e[:])...)
+	}
 	return c, nil
 }
 
@@ -152,14 +210,22 @@ func (c *Client) Hello() []byte {
 }
 
 // HelloShaped cheaply reports whether b is structurally a ClientHello:
-// exactly two length-prefixed fields of X25519-key and nonce size. Servers
-// use it to decide whether an undecryptable datagram on an established
-// session deserves a handshake attempt at all — record frames (8-byte
-// big-endian sequence header + ciphertext) never match, so garbage cannot
-// buy a server handshake or reset a live session.
+// two length-prefixed fields of X25519-key and nonce size, optionally
+// followed by an 8-byte config-epoch field. Servers use it to decide
+// whether an undecryptable datagram on an established session deserves a
+// handshake attempt at all — record frames (8-byte big-endian sequence
+// header + ciphertext) never match, so garbage cannot buy a server
+// handshake or reset a live session.
 func HelloShaped(b []byte) bool {
-	fields, err := splitLV(b, 2)
+	fields, _, err := splitHello(b)
 	return err == nil && len(fields[0]) == 32 && len(fields[1]) == nonceLen
+}
+
+// HelloEpoch returns the fleet config epoch stamped into a ClientHello
+// (0 for epoch-less hellos) and whether b parses as a hello at all.
+func HelloEpoch(b []byte) (uint64, bool) {
+	_, epoch, err := splitHello(b)
+	return epoch, err == nil
 }
 
 // Server accepts handshakes.
@@ -180,14 +246,26 @@ type Pending struct {
 	srv        *Server
 	transcript [32]byte
 	sess       *Session
+	epoch      uint64
 }
+
+// Epoch returns the fleet config epoch the pending session's keys were
+// derived at — the hello's stamp, which an epoch-0 (ungated) server
+// accepts verbatim. Epoch-aware servers track sessions by this value, not
+// by their own gate: a gate still at 0 says nothing about what epoch the
+// client keyed itself to.
+func (p *Pending) Epoch() uint64 { return p.epoch }
 
 // Respond consumes a ClientHello and produces the second message
 // (server → client) plus the pending state.
 func (s *Server) Respond(hello []byte) ([]byte, *Pending, error) {
-	fields, err := splitLV(hello, 2)
+	fields, helloEpoch, err := splitHello(hello)
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.cfg.ConfigEpoch > 0 && helloEpoch != s.cfg.ConfigEpoch {
+		return nil, nil, fmt.Errorf("hello at epoch %d, fleet at %d: %w",
+			helloEpoch, s.cfg.ConfigEpoch, ErrEpoch)
 	}
 	clientPub, err := ecdh.X25519().NewPublicKey(fields[0])
 	if err != nil {
@@ -220,8 +298,8 @@ func (s *Server) Respond(hello []byte) ([]byte, *Pending, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("ecdh: %w", ErrHandshake)
 	}
-	sess := deriveSession(shared, clientNonce, serverNonce, false)
-	return resp, &Pending{srv: s, transcript: transcript, sess: sess}, nil
+	sess := deriveSession(shared, clientNonce, serverNonce, helloEpoch, false)
+	return resp, &Pending{srv: s, transcript: transcript, sess: sess, epoch: helloEpoch}, nil
 }
 
 // notify reports a handshake outcome to the configured Events hook.
@@ -270,7 +348,7 @@ func (c *Client) finish(resp []byte) (*Session, []byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("ecdh: %w", ErrHandshake)
 	}
-	sess := deriveSession(shared, c.nonce, serverNonce, true)
+	sess := deriveSession(shared, c.nonce, serverNonce, c.cfg.ConfigEpoch, true)
 
 	var clientEvidence []byte
 	if c.cfg.Evidence != nil {
@@ -356,8 +434,18 @@ type Session struct {
 	nonce  [cryptoutil.NonceSize]byte
 }
 
-func deriveSession(shared, clientNonce, serverNonce []byte, initiator bool) *Session {
+// deriveSession derives the record keys. When cfgEpoch is non-zero the
+// fleet config epoch is folded into the HKDF salt, so the same ECDH
+// shared secret yields unrelated keys in different epochs — a session
+// keyed before a rekey cannot produce records that authenticate after
+// it. Epoch 0 keeps the derivation byte-identical to the pre-epoch wire.
+func deriveSession(shared, clientNonce, serverNonce []byte, cfgEpoch uint64, initiator bool) *Session {
 	salt := append(append([]byte(nil), clientNonce...), serverNonce...)
+	if cfgEpoch > 0 {
+		var e [epochLen]byte
+		binary.BigEndian.PutUint64(e[:], cfgEpoch)
+		salt = append(salt, e[:]...)
+	}
 	keys := cryptoutil.HKDF(shared, salt, []byte("lateral-record-keys"), 2*cryptoutil.KeySize)
 	c2s, s2c := keys[:cryptoutil.KeySize], keys[cryptoutil.KeySize:]
 	s := &Session{initiator: initiator}

@@ -458,3 +458,107 @@ func TestADEncodingMatchesLegacy(t *testing.T) {
 		}
 	}
 }
+
+// TestHelloEpochStamp pins the config-epoch wire extension: an epoch-0
+// client emits the legacy 2-field hello (byte-identical pre-epoch wire),
+// a non-zero epoch adds the 8-byte stamp, and HelloEpoch reads it back.
+func TestHelloEpochStamp(t *testing.T) {
+	legacy, err := NewClient(ClientConfig{Rand: cryptoutil.NewPRNG("c0"), VerifyServer: pinVerify(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := HelloEpoch(legacy.Hello()); !ok || e != 0 {
+		t.Fatalf("legacy hello epoch = %d, %v; want 0, true", e, ok)
+	}
+	stamped, err := NewClient(ClientConfig{Rand: cryptoutil.NewPRNG("c7"), VerifyServer: pinVerify(nil), ConfigEpoch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := HelloEpoch(stamped.Hello()); !ok || e != 7 {
+		t.Fatalf("stamped hello epoch = %d, %v; want 7, true", e, ok)
+	}
+	if _, ok := HelloEpoch([]byte("not a hello")); ok {
+		t.Fatal("garbage parsed as a hello")
+	}
+}
+
+// TestEpochGateRefusesStaleHello: a server pinned to an epoch refuses
+// hellos stamped with any other epoch — including legacy epoch-less ones
+// — with the typed ErrEpoch, and the pending it does accept remembers
+// the epoch the keys were derived at.
+func TestEpochGateRefusesStaleHello(t *testing.T) {
+	id := cryptoutil.NewSigner("server-id")
+	for _, stale := range []uint64{0, 2, 4} {
+		_, _, err := handshake(t,
+			ClientConfig{Rand: cryptoutil.NewPRNG("c"), VerifyServer: pinVerify(id.Public()), ConfigEpoch: stale},
+			ServerConfig{Rand: cryptoutil.NewPRNG("s"), Identity: id, ConfigEpoch: 3})
+		if !errors.Is(err, ErrEpoch) {
+			t.Errorf("hello at epoch %d against gate 3 = %v, want ErrEpoch", stale, err)
+		}
+	}
+	server, err := NewServer(ServerConfig{Rand: cryptoutil.NewPRNG("s"), Identity: id, ConfigEpoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{Rand: cryptoutil.NewPRNG("c"), VerifyServer: pinVerify(id.Public()), ConfigEpoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pending, err := server.Respond(client.Hello())
+	if err != nil {
+		t.Fatalf("matching epoch refused: %v", err)
+	}
+	if got := pending.Epoch(); got != 3 {
+		t.Fatalf("pending epoch = %d, want 3", got)
+	}
+	// An ungated server accepts a stamped hello and records the client's
+	// epoch — the value session eviction keys on.
+	open, err := NewServer(ServerConfig{Rand: cryptoutil.NewPRNG("s2"), Identity: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := open.Respond(client.Hello())
+	if err != nil {
+		t.Fatalf("ungated server refused stamped hello: %v", err)
+	}
+	if got := p2.Epoch(); got != 3 {
+		t.Fatalf("ungated pending epoch = %d, want 3 (the hello's stamp)", got)
+	}
+}
+
+// TestEpochBoundKeysCannotCrossEpochs: sessions handshaken at different
+// epochs from identical randomness derive unrelated record keys — the
+// HKDF salt binds the epoch — so records sealed under one epoch's keys
+// never authenticate under another's.
+func TestEpochBoundKeysCannotCrossEpochs(t *testing.T) {
+	id := cryptoutil.NewSigner("server-id")
+	session := func(epoch uint64) (*Session, *Session) {
+		// Identical PRNG seeds per epoch: same ECDH keys, same nonces —
+		// the only difference between runs is the epoch in the salt.
+		cs, ss, err := handshake(t,
+			ClientConfig{Rand: cryptoutil.NewPRNG("c-fixed"), VerifyServer: pinVerify(id.Public()), ConfigEpoch: epoch},
+			ServerConfig{Rand: cryptoutil.NewPRNG("s-fixed"), Identity: id, ConfigEpoch: epoch})
+		if err != nil {
+			t.Fatalf("handshake at epoch %d: %v", epoch, err)
+		}
+		return cs, ss
+	}
+	cs1, _ := session(1)
+	_, ss2 := session(2)
+	rec, err := cs1.Seal([]byte("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss2.Open(rec); err == nil {
+		t.Fatal("record sealed at epoch 1 opened by epoch-2 session")
+	}
+	// Same-epoch rerun still works, so the refusal above is the epoch.
+	cs1b, ss1b := session(1)
+	rec2, err := cs1b.Seal([]byte("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss1b.Open(rec2); err != nil {
+		t.Fatalf("same-epoch record refused: %v", err)
+	}
+}

@@ -187,3 +187,31 @@ func DefaultSchedule(replicas int) []Schedule {
 		{At: 340 * time.Millisecond, Fault: Fault{Kind: FaultJournalTamper, N: 3}},
 	}
 }
+
+// EpochSchedule returns the dynamic-membership script the epoch soak
+// runs: a rolling replace (join a fresh member, drain an original out)
+// threaded through crashes, duplication, congestion, and clock skew, then
+// a tamper-quarantine followed by a leave the pool must refuse — the
+// quarantine record is fleet memory, and the epoch-membership invariant
+// watches every step for calls reaching evicted or stale-keyed members.
+func EpochSchedule(replicas int) []Schedule {
+	if replicas < 2 {
+		replicas = 2
+	}
+	r1, r2 := ReplicaName(1), ReplicaName(2)
+	joiner := ReplicaName(replicas + 1)
+	return []Schedule{
+		{At: 2 * time.Millisecond, Fault: Fault{Kind: FaultDup, Target: r1, N: 2}},
+		{At: 6 * time.Millisecond, Fault: Fault{Kind: FaultJoin, Target: joiner}},
+		{At: 10 * time.Millisecond, Fault: Fault{Kind: FaultCrash, Target: r2}},
+		{At: 16 * time.Millisecond, Fault: Fault{Kind: FaultHeal, Target: r2}},
+		{At: 22 * time.Millisecond, Fault: Fault{Kind: FaultLeave, Target: r1}},
+		{At: 26 * time.Millisecond, Fault: Fault{Kind: FaultDelay, Seed: 11, Pct: 25, Dur: 3 * time.Millisecond, N: 1}},
+		{At: 38 * time.Millisecond, Fault: Fault{Kind: FaultDelay, N: 0}},
+		{At: 42 * time.Millisecond, Fault: Fault{Kind: FaultSkew, Dur: 250 * time.Millisecond}},
+		{At: 300 * time.Millisecond, Fault: Fault{Kind: FaultTamper, Target: r2}},
+		{At: 320 * time.Millisecond, Fault: Fault{Kind: FaultHeal, Target: r2}},
+		{At: 330 * time.Millisecond, Fault: Fault{Kind: FaultTamper}},
+		{At: 335 * time.Millisecond, Fault: Fault{Kind: FaultLeave, Target: r2}},
+	}
+}

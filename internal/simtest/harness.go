@@ -42,6 +42,7 @@ type Harness struct {
 	Conservation *ConservationChecker
 	Audit        *JournalChecker
 	Policy       *PolicyChecker
+	Epochs       *EpochChecker
 
 	chain       *netsim.Chain
 	partitioner *netsim.Partitioner
@@ -51,6 +52,13 @@ type Harness struct {
 
 	svcs map[string]*simSvc
 	sys  map[string]*core.System
+
+	// Replica build inputs, kept so FaultJoin can construct a new attested
+	// machine mid-run exactly the way NewHarness built the originals.
+	vendor   *cryptoutil.Signer
+	seedName string
+	rules    *policy.RuleSet
+	buggy    bool
 
 	// Stall synchronization: gated handlers announce themselves on
 	// entered and block on gate until the driver releases them; they
@@ -142,9 +150,12 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	h.dup = &duplicator{}
 	h.chain = netsim.NewChain(h.partitioner, h.tamper, h.dup)
 	h.Net.SetAdversary(h.chain)
+	h.Epochs = NewEpochChecker()
 
-	vendor := cryptoutil.NewSigner("intel")
-	seedName := fmt.Sprintf("sim-%d", cfg.Seed)
+	h.vendor = cryptoutil.NewSigner("intel")
+	h.seedName = fmt.Sprintf("sim-%d", cfg.Seed)
+	h.buggy = cfg.Buggy
+	vendor, seedName := h.vendor, h.seedName
 	jsigner := cryptoutil.NewSigner(seedName + "-journal")
 	h.Counter = &journal.MemCounter{}
 	jnl, err := journal.New(journal.Config{
@@ -166,7 +177,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		Measurement:    cryptoutil.Hash(core.DomainImage(&simSvc{})),
 		JitterSeed:     seedName,
 		Balancer:       cfg.Balancer,
-		Monitor:        h.Metrics,
+		Monitor:        &epochTee{Metrics: h.Metrics, ck: h.Epochs},
 		Sleep:          clk.Sleep,
 		Clock:          clk.Now,
 		Journal:        h.Journal,
@@ -180,6 +191,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		return nil, err
 	}
 	h.Pool = pool
+	h.Epochs.Bind(pool.Epoch, pool.Replicas)
 	h.Audit = NewJournalChecker(h.Journal, jsigner.Public(), h.Counter, pool.States)
 	h.Pipeline = NewPipelineChecker(pool.Replicas)
 	h.Absorb = NewAbsorbChecker("quarantine", func() map[string]bool {
@@ -190,7 +202,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		return out
 	})
 	h.Policy = NewPolicyChecker(TaintLabel)
-	rules, err := policy.Decode([]byte(simPolicyText))
+	h.rules, err = policy.Decode([]byte(simPolicyText))
 	if err != nil {
 		return nil, err
 	}
@@ -207,76 +219,104 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	})
 
 	for i := 1; i <= cfg.Replicas; i++ {
-		name := ReplicaName(i)
-		cpu, err := sgx.New(sgx.Config{DeviceSeed: seedName + "-" + name, Vendor: vendor})
+		spec, err := h.buildReplica(ReplicaName(i))
 		if err != nil {
 			return nil, err
 		}
-		sys := core.NewSystem(cpu)
-		sys.SetClock(clk)
-		sys.SetTracer(h.Metrics)
-		sys.SetEventRecorder(h.Journal)
-		eng, err := policy.New(policy.Config{
-			Name:     name,
-			Rules:    rules,
-			Clock:    clk.Now,
-			Recorder: h.Journal,
-			Monitor:  h.Metrics,
-		})
-		if err != nil {
+		if err := pool.Admit(spec); err != nil {
 			return nil, err
 		}
-		sys.SetPolicy(eng)
-		svc := &simSvc{h: h, buggy: cfg.Buggy, guard: h.Serial.Guard(name + "/svc")}
-		store := &simStore{h: h, guard: h.Serial.Guard(name + "/store")}
-		egress := &simEgress{h: h, replica: name, guard: h.Serial.Guard(name + "/egress")}
-		if err := sys.Launch(svc, true, 1); err != nil {
-			return nil, err
-		}
-		if err := sys.Launch(store, true, 1); err != nil {
-			return nil, err
-		}
-		if err := sys.Launch(egress, true, 1); err != nil {
-			return nil, err
-		}
-		if err := sys.Grant(core.ChannelSpec{Name: "store", From: "svc", To: "store", Badge: 7}); err != nil {
-			return nil, err
-		}
-		if err := sys.Grant(core.ChannelSpec{Name: "to-net", From: "svc", To: "egress", Badge: 8}); err != nil {
-			return nil, err
-		}
-		if err := sys.InitAll(); err != nil {
-			return nil, err
-		}
-		exp, err := distributed.NewExporter(distributed.ExportConfig{
-			System:    sys,
-			Component: "svc",
-			Endpoint:  h.Net.Attach(name),
-			Identity:  cryptoutil.NewSigner(name + "-tls"),
-			Rand:      cryptoutil.NewPRNG(seedName + "-srv-" + name),
-			Clock:     clk.Now,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := pool.Admit(cluster.ReplicaSpec{
-			Name:           name,
-			RemoteEndpoint: name,
-			Endpoint:       h.Net.Attach("lb-" + name),
-			Rand:           cryptoutil.NewPRNG(seedName + "-cli-" + name),
-			Pump:           exp.Serve,
-		}); err != nil {
-			return nil, err
-		}
-		h.svcs[name] = svc
-		h.sys[name] = sys
 	}
 	return h, nil
 }
 
+// buildReplica constructs one attested replica machine — system, policy
+// engine, components, exporter — and returns the spec that admits it.
+// NewHarness admits the seed fleet through Pool.Admit; FaultJoin admits a
+// mid-run joiner through Pool.Join. Both build here, so a joiner is the
+// same audited binary as the originals.
+func (h *Harness) buildReplica(name string) (cluster.ReplicaSpec, error) {
+	cpu, err := sgx.New(sgx.Config{DeviceSeed: h.seedName + "-" + name, Vendor: h.vendor})
+	if err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	sys := core.NewSystem(cpu)
+	sys.SetClock(h.Clock)
+	sys.SetTracer(h.Metrics)
+	sys.SetEventRecorder(h.Journal)
+	eng, err := policy.New(policy.Config{
+		Name:     name,
+		Rules:    h.rules,
+		Clock:    h.Clock.Now,
+		Recorder: h.Journal,
+		Monitor:  h.Metrics,
+	})
+	if err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	sys.SetPolicy(eng)
+	svc := &simSvc{h: h, buggy: h.buggy, guard: h.Serial.Guard(name + "/svc")}
+	store := &simStore{h: h, guard: h.Serial.Guard(name + "/store")}
+	egress := &simEgress{h: h, replica: name, guard: h.Serial.Guard(name + "/egress")}
+	if err := sys.Launch(svc, true, 1); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	if err := sys.Launch(store, true, 1); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	if err := sys.Launch(egress, true, 1); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	if err := sys.Grant(core.ChannelSpec{Name: "store", From: "svc", To: "store", Badge: 7}); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	if err := sys.Grant(core.ChannelSpec{Name: "to-net", From: "svc", To: "egress", Badge: 8}); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	if err := sys.InitAll(); err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	exp, err := distributed.NewExporter(distributed.ExportConfig{
+		System:    sys,
+		Component: "svc",
+		Endpoint:  h.Net.Attach(name),
+		Identity:  cryptoutil.NewSigner(name + "-tls"),
+		Rand:      cryptoutil.NewPRNG(h.seedName + "-srv-" + name),
+		Clock:     h.Clock.Now,
+	})
+	if err != nil {
+		return cluster.ReplicaSpec{}, err
+	}
+	h.svcs[name] = svc
+	h.sys[name] = sys
+	return cluster.ReplicaSpec{
+		Name:           name,
+		RemoteEndpoint: name,
+		Endpoint:       h.Net.Attach("lb-" + name),
+		Rand:           cryptoutil.NewPRNG(h.seedName + "-cli-" + name),
+		Pump:           exp.Serve,
+		SetEpoch:       exp.SetEpoch,
+	}, nil
+}
+
+// epochTee is the harness's cluster monitor: everything flows to the
+// shared telemetry collector (embedding keeps the structural
+// cluster.EpochMonitor and distributed.Monitor matches intact), and
+// per-replica call outcomes additionally feed the epoch-membership
+// invariant.
+type epochTee struct {
+	*telemetry.Metrics
+	ck *EpochChecker
+}
+
+func (t *epochTee) ReplicaCall(fleet, replica string, failed bool) {
+	t.ck.RecordCall(replica, failed)
+	t.Metrics.ReplicaCall(fleet, replica, failed)
+}
+
 // Checkers returns every invariant checker in a stable order.
 func (h *Harness) Checkers() []Checker {
-	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit, h.Policy}
+	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit, h.Policy, h.Epochs}
 }
 
 // CheckAll runs every checker and returns the concatenated violations.
@@ -325,6 +365,28 @@ func (h *Harness) Apply(f Fault) {
 		// an index past the journal's end attacks nothing.
 		if h.Journal.TamperEntry(f.N) {
 			h.Audit.MarkTampered()
+		}
+	case FaultJoin:
+		// Names are single-use per run: the netsim endpoint and the serial
+		// guards are keyed by name, so a rejoin (or joining a seed member)
+		// is a scripted no-op rather than a second machine behind one wire.
+		if _, exists := h.sys[f.Target]; exists {
+			return
+		}
+		spec, err := h.buildReplica(f.Target)
+		if err != nil {
+			// Replica construction is pure local work on bounded names; an
+			// error here is a harness bug, not a simulated outcome.
+			panic("simtest: build joiner: " + err.Error())
+		}
+		// A failed joiner handshake is a legal outcome (admitted Down, the
+		// health loop retries); the epoch transition completed either way.
+		_ = h.Pool.Join(spec)
+	case FaultLeave:
+		// The pool refuses unknown and quarantined names; only a committed
+		// leave arms the evicted-replica half of the epoch invariant.
+		if err := h.Pool.Leave(f.Target); err == nil {
+			h.Epochs.MarkEvicted(f.Target)
 		}
 	}
 }

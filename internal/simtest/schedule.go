@@ -47,6 +47,19 @@ const (
 	// invariant must detect it on every subsequent replay; a no-op when
 	// the journal has no such entry yet.
 	FaultJournalTamper
+
+	// FaultJoin admits a freshly built replica under the target name as a
+	// full config-epoch transition (Pool.Join: propose, admit, rekey every
+	// member, activate). Names are single-use within one run — joining a
+	// name that already has a machine (admitted, left, or quarantined) is
+	// a scripted no-op, so schedules stay safe to fuzz.
+	FaultJoin
+
+	// FaultLeave removes the target replica as a full config-epoch
+	// transition (Pool.Leave: drain, evict, rekey the survivors). Leaving
+	// an unknown or quarantined name is refused by the pool and the fault
+	// is a no-op — the quarantine record is the fleet's memory.
+	FaultLeave
 )
 
 // String returns the kind's schedule-text verb.
@@ -68,6 +81,10 @@ func (k FaultKind) String() string {
 		return "dup"
 	case FaultJournalTamper:
 		return "journal-tamper"
+	case FaultJoin:
+		return "join"
+	case FaultLeave:
+		return "leave"
 	default:
 		return "unknown"
 	}
@@ -111,6 +128,8 @@ const (
 //	@1ms tamper svc-3
 //	@2ms skew 250ms
 //	@0s dup svc-1 2
+//	@40ms join svc-4
+//	@60ms leave svc-1
 //
 // Decode(Encode(s)) is the identity for any schedule Validate accepts.
 func EncodeSchedule(sched []Schedule) string {
@@ -119,7 +138,7 @@ func EncodeSchedule(sched []Schedule) string {
 		f := s.Fault
 		fmt.Fprintf(&b, "@%s %s", s.At, f.Kind)
 		switch f.Kind {
-		case FaultCrash:
+		case FaultCrash, FaultJoin, FaultLeave:
 			fmt.Fprintf(&b, " %s", f.Target)
 		case FaultHeal, FaultTamper:
 			if f.Target != "" {
@@ -166,10 +185,17 @@ func DecodeSchedule(text string) ([]Schedule, error) {
 		f := Fault{}
 		args := fields[2:]
 		switch fields[1] {
-		case "crash":
-			f.Kind = FaultCrash
+		case "crash", "join", "leave":
+			switch fields[1] {
+			case "crash":
+				f.Kind = FaultCrash
+			case "join":
+				f.Kind = FaultJoin
+			case "leave":
+				f.Kind = FaultLeave
+			}
 			if len(args) != 1 {
-				return nil, fmt.Errorf("simtest: line %d: crash wants 1 arg", ln+1)
+				return nil, fmt.Errorf("simtest: line %d: %s wants 1 arg", ln+1, fields[1])
 			}
 			if f.Target, err = parseName(args[0]); err != nil {
 				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)

@@ -63,6 +63,7 @@ func TestClockTimers(t *testing.T) {
 // identity for every fault kind.
 func TestScheduleRoundtrip(t *testing.T) {
 	sched := DefaultSchedule(3)
+	sched = append(sched, EpochSchedule(3)...)
 	sched = append(sched,
 		Schedule{At: 0, Fault: Fault{Kind: FaultPartition, Target: "lb-svc-1", Peer: "svc-1"}},
 		Schedule{At: time.Second, Fault: Fault{Kind: FaultHeal}},

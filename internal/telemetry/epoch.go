@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config-epoch metrics: the dynamic-membership view of a fleet. The
+// collector implements cluster.EpochMonitor structurally (cluster
+// type-asserts it off the regular Monitor), so fleets with static
+// membership never touch this file and the lateral_epoch_* families are
+// emitted only once a fleet has transitioned.
+
+// EpochStats is one fleet's live epoch cell.
+type EpochStats struct {
+	Fleet string
+
+	Epoch       atomic.Uint64 // gauge: active config epoch
+	Transitions atomic.Int64  // counter: epoch transitions completed
+	Rekeys      atomic.Int64  // counter: member rekeys that succeeded
+	RekeyFails  atomic.Int64  // counter: member rekeys that failed
+	LastReason  atomic.Value  // string: most recent transition's cause
+}
+
+type epochState struct {
+	mu    sync.RWMutex
+	cells map[string]*EpochStats // fleet
+}
+
+func (e *epochState) cell(fleet string) *EpochStats {
+	e.mu.RLock()
+	es := e.cells[fleet]
+	e.mu.RUnlock()
+	if es != nil {
+		return es
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cells == nil {
+		e.cells = make(map[string]*EpochStats)
+	}
+	if es = e.cells[fleet]; es != nil {
+		return es
+	}
+	es = &EpochStats{Fleet: fleet}
+	e.cells[fleet] = es
+	return es
+}
+
+// EpochTransition records a completed config-epoch transition.
+func (m *Metrics) EpochTransition(fleet string, epoch uint64, reason string) {
+	es := m.epoch.cell(fleet)
+	es.Epoch.Store(epoch)
+	es.Transitions.Add(1)
+	es.LastReason.Store(reason)
+}
+
+// ReplicaRekey records one member's epoch rekey outcome.
+func (m *Metrics) ReplicaRekey(fleet, _ string, ok bool) {
+	es := m.epoch.cell(fleet)
+	if ok {
+		es.Rekeys.Add(1)
+	} else {
+		es.RekeyFails.Add(1)
+	}
+}
+
+// EpochSummary is one fleet's aggregate epoch view.
+type EpochSummary struct {
+	Fleet       string
+	Epoch       uint64
+	Transitions int64
+	Rekeys      int64
+	RekeyFails  int64
+	LastReason  string
+}
+
+// Epochs returns per-fleet epoch summaries, sorted by fleet. Empty until
+// some fleet completes a transition.
+func (m *Metrics) Epochs() []EpochSummary {
+	m.epoch.mu.RLock()
+	var cells []*EpochStats
+	for _, es := range m.epoch.cells {
+		cells = append(cells, es)
+	}
+	m.epoch.mu.RUnlock()
+	out := make([]EpochSummary, 0, len(cells))
+	for _, es := range cells {
+		reason, _ := es.LastReason.Load().(string)
+		out = append(out, EpochSummary{
+			Fleet:       es.Fleet,
+			Epoch:       es.Epoch.Load(),
+			Transitions: es.Transitions.Load(),
+			Rekeys:      es.Rekeys.Load(),
+			RekeyFails:  es.RekeyFails.Load(),
+			LastReason:  reason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fleet < out[j].Fleet })
+	return out
+}

@@ -24,6 +24,7 @@ type Metrics struct {
 	domains  map[string]*DomainStats
 	links    map[string]map[string]*LinkStats // from endpoint → to endpoint
 	fleet    fleetState                       // replica-fleet gauges (fleet.go)
+	epoch    epochState                       // config-epoch gauges (epoch.go)
 	stub     stubState                        // stub pipelining gauges (stub.go)
 	journal  journalState                     // fleet black-box counters (journal.go)
 	policy   policyState                      // policy-engine counters (policy.go)

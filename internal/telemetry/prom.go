@@ -242,6 +242,33 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	// Config epochs. Emitted only once a fleet has completed a membership
+	// transition — static fleets keep their exposition byte-identical.
+	if epochs := m.Epochs(); len(epochs) > 0 {
+		fmt.Fprint(w,
+			"# HELP lateral_epoch_number Active fleet config epoch.\n",
+			"# TYPE lateral_epoch_number gauge\n")
+		for _, e := range epochs {
+			fmt.Fprintf(w, "lateral_epoch_number{fleet=%q} %d\n", escapeLabel(e.Fleet), e.Epoch)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_epoch_transitions_total Config-epoch transitions completed (join/leave).\n",
+			"# TYPE lateral_epoch_transitions_total counter\n")
+		for _, e := range epochs {
+			fmt.Fprintf(w, "lateral_epoch_transitions_total{fleet=%q} %d\n", escapeLabel(e.Fleet), e.Transitions)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_epoch_rekeys_total Member session rekeys across epoch transitions, by outcome.\n",
+			"# TYPE lateral_epoch_rekeys_total counter\n")
+		for _, e := range epochs {
+			_, err := fmt.Fprintf(w, "lateral_epoch_rekeys_total{fleet=%q,outcome=\"ok\"} %d\nlateral_epoch_rekeys_total{fleet=%q,outcome=\"fail\"} %d\n",
+				escapeLabel(e.Fleet), e.Rekeys, escapeLabel(e.Fleet), e.RekeyFails)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
 	// Replica fleets.
 	fleets := m.Fleets()
 	if len(fleets) == 0 {
@@ -345,6 +372,14 @@ func (m *Metrics) WriteSummary(w io.Writer) {
 			fmt.Fprintf(w, "%-16s %7d %7d %8d %6d %7d %8d\n",
 				p.Engine, p.Decisions["allow"], p.Decisions["deny"], p.Decisions["approve"],
 				p.Grants["mint"], p.Grants["reuse"], p.Grants["expire"])
+		}
+	}
+	if epochs := m.Epochs(); len(epochs) > 0 {
+		fmt.Fprintf(w, "\n%-16s %6s %12s %7s %11s %-24s\n",
+			"fleet", "epoch", "transitions", "rekeys", "rekey-fails", "last-reason")
+		for _, e := range epochs {
+			fmt.Fprintf(w, "%-16s %6d %12d %7d %11d %-24s\n",
+				e.Fleet, e.Epoch, e.Transitions, e.Rekeys, e.RekeyFails, e.LastReason)
 		}
 	}
 	fleets := m.Fleets()
