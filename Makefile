@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak policy-soak epoch-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak policy-soak epoch-soak shard-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -29,10 +29,10 @@ race:
 
 # Coverage with checked-in floors for the invocation-path packages. Floors
 # sit ~5 points under measured coverage (core 93.0, cluster 94.7,
-# distributed 86.6, journal 97.9, cap 98.7, policy 91.9 at the time they
-# were set): they catch a test deletion or a big untested addition without
-# flaking on small refactors.
-COVER_FLOORS := core:88 cluster:89 distributed:81 journal:85 cap:93 policy:86
+# distributed 86.6, journal 97.9, cap 98.7, policy 91.9, shard 93.9 at
+# the time they were set): they catch a test deletion or a big untested
+# addition without flaking on small refactors.
+COVER_FLOORS := core:88 cluster:89 distributed:81 journal:85 cap:93 policy:86 shard:85
 
 cover:
 	$(GO) test -cover ./...
@@ -56,14 +56,19 @@ bench:
 
 # One iteration of every benchmark: catches bench rot (compile errors,
 # panics, a broken fixture) in CI without paying full measurement time.
+# The zero-alloc gate rides along: the batched-ingest hot path must stay
+# at 0 allocs/op per reading, asserted, not just measured.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -benchmem -run '^$$' ./...
+	$(GO) test -count=1 -run TestBatchIngestZeroAllocPerReading ./internal/distributed
 
-# Regenerate the checked-in baselines: E22 pipelining (BENCH_e22.json)
-# and E26 rolling replace (BENCH_e26.json). Wire rounds, allocs/op, and
-# epoch/healthy counts are machine-independent; ops/sec is not.
+# Regenerate the checked-in baselines: E22 pipelining (BENCH_e22.json),
+# E23 sharded fleet (BENCH_e23.json), and E26 rolling replace
+# (BENCH_e26.json). Wire rounds, frame counts, allocs/op, and
+# epoch/healthy counts are machine-independent; ops/sec and p99 are not.
 bench-baseline:
 	$(GO) run ./cmd/lateralbench -e22-json BENCH_e22.json
+	$(GO) run ./cmd/lateralbench -e23-json BENCH_e23.json
 	$(GO) run ./cmd/lateralbench -e26-json BENCH_e26.json
 
 # Short fuzzing pass over every parser that consumes attacker bytes.
@@ -74,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzVPFSRead      -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzLegacyFSNames -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzDistributedFrame -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzBatchFrameDecode -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzScheduleDecode -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzJournalDecode -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzPolicyDecode  -fuzztime=10s -run '^$$' .
@@ -119,6 +125,18 @@ epoch-soak:
 	$(GO) test -count=1 ./internal/simtest -run TestEpochSoak -simtest.soak=500
 	$(GO) test -race -count=1 -run TestEpochScheduleTransitions ./internal/simtest
 	$(GO) test -race -count=1 -run 'TestE26RollingReplace|TestE26BaselinePhases' ./internal/experiments
+
+# Sharded-fabric soak: 500 seeds where the fault schedule splits and
+# merges shard cells under crashes, duplication, and skew while single
+# and batched readings stream through the router — the ninth invariant
+# (every reading routes where the current epoch's shard map assigns it,
+# none double-counted across a rebalance) must hold on every seed — plus
+# the pinned transition/mutation/codec tests and the E23 million-client
+# experiment under the race detector.
+shard-soak:
+	$(GO) test -count=1 ./internal/simtest -run TestShardSoak -simtest.soak=500
+	$(GO) test -race -count=1 -run 'TestShardScheduleTransitions|TestShardCheckerCatchesMisrouting|TestShardFaultCodecRoundTrips' ./internal/simtest
+	$(GO) test -race -count=1 -run TestE23ShardedFleet ./internal/experiments
 
 # Chain-aware policy soak: 500 seeds where the explorer's operation mix
 # includes mosaic exfiltration attempts under the full mixed-fault

@@ -467,6 +467,17 @@ func BenchmarkE22Pipeline(b *testing.B) {
 		func(t experiments.Table) float64 { return cellFloat(t, "16", 3) })
 }
 
+// BenchmarkE23Shard regenerates the million-client sharded-fleet table
+// each iteration (16→17 shards, 1,048,576 batched readings, quota and
+// placement-audit rows) and reports the final shard-map epoch — 17 (16
+// seed joins plus the mid-stream rebalance) is the acceptance value.
+func BenchmarkE23Shard(b *testing.B) {
+	benchExperiment(b, experiments.E23Sharding, "final-shard-epoch",
+		func(t experiments.Table) float64 {
+			return cellFloat(t, "1048576 clients, 64 tenants, 17 shards", 1)
+		})
+}
+
 // BenchmarkE26Rolling regenerates the rolling-replace table each iteration
 // (two joins, two drained leaves under partition chaos, the stale-key
 // adversary rows, and the auditor's membership replay) and reports the

@@ -22,10 +22,18 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	e22JSON := flag.String("e22-json", "", "write the E22 pipelining baseline to this file and exit")
+	e23JSON := flag.String("e23-json", "", "write the E23 sharded-fleet baseline to this file and exit")
 	e26JSON := flag.String("e26-json", "", "write the E26 rolling-replace baseline to this file and exit")
 	flag.Parse()
 	if *e22JSON != "" {
 		if err := writeE22Baseline(*e22JSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *e23JSON != "" {
+		if err := writeE23Baseline(*e23JSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -58,6 +66,30 @@ func writeE22Baseline(path string) error {
 		RTTMillis  int                    `json:"simulated_rtt_ms"`
 		Depths     []experiments.E22Depth `json:"depths"`
 	}{Experiment: "E22 pipelined secure-channel RPC", RTTMillis: 1, Depths: depths}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeE23Baseline regenerates the checked-in BENCH_e23.json: the
+// clients-vs-p99/throughput curve of the sharded fabric at 16 shards and
+// 256-reading frames. Frame and acceptance counts are deterministic and
+// comparable across machines; p99 and throughput are wall-clock.
+func writeE23Baseline(path string) error {
+	points, err := experiments.E23Baseline()
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string                 `json:"experiment"`
+		Points     []experiments.E23Point `json:"points"`
+	}{Experiment: "E23 million-client sharded fleet", Points: points}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -12,7 +12,9 @@
 //	go run ./cmd/lateralctl metrics [summary] # Prometheus text (or table) for all scenarios,
 //	                                          # including per-channel timeout/cancel/overload counters
 //	go run ./cmd/lateralctl cluster [-deadline=50ms]
-//	                                          # attested replica fleet demo (crash + tampered build);
+//	                                          # attested replica fleet demo (crash + tampered build),
+//	                                          # then the same pattern sharded: a consistent-hash fabric
+//	                                          # with batched frames and per-tenant quotas;
 //	                                          # -deadline bounds every reading by a call budget
 //	go run ./cmd/lateralctl events            # fleet black box: hash-chained journal of a chaos run
 //	go run ./cmd/lateralctl audit             # auditor replay of that journal: re-derive trust state,
@@ -32,6 +34,7 @@ import (
 	"lateral/internal/cluster"
 	"lateral/internal/core"
 	"lateral/internal/cryptoutil"
+	"lateral/internal/distributed"
 	"lateral/internal/experiments"
 	"lateral/internal/journal"
 	"lateral/internal/kernel"
@@ -42,6 +45,7 @@ import (
 	"lateral/internal/netsim"
 	"lateral/internal/partition"
 	"lateral/internal/policy"
+	"lateral/internal/shard"
 	"lateral/internal/telemetry"
 )
 
@@ -290,6 +294,57 @@ func run(args []string) error {
 		for _, ri := range demo.Pool.Replicas() {
 			fmt.Printf("%-8s %-12s %-16s %6d %7d %6d %8d %10d %8d\n",
 				ri.Name, ri.State, ri.Version, ri.Epoch, ri.Calls, ri.Errors, ri.Retries, ri.Failovers, ri.Stub.Orphans)
+		}
+
+		// The same fleet pattern at population scale: independent cells
+		// behind a consistent-hash shard map, batched sealed frames, and a
+		// per-tenant quota that refuses a burst before it reaches any cell.
+		fmt.Println("\nsharded fabric (E23 pattern, 4 cells):")
+		rt := shard.NewRouter(shard.Config{Fleet: "cells", TenantQuota: 8, Monitor: met})
+		for c := 1; c <= 4; c++ {
+			cd, err := experiments.BuildFleetDemo(1, 0, nil)
+			if err != nil {
+				return err
+			}
+			if err := rt.Join(fmt.Sprintf("cell-%d", c), cd.Pool); err != nil {
+				return err
+			}
+		}
+		for m := 0; m < 24; m++ {
+			tenant := fmt.Sprintf("tenant-%d", m%3)
+			key := fmt.Sprintf("%s/meter-%02d", tenant, m)
+			if _, err := rt.Do(tenant, key, core.Message{
+				Op: "reading", Data: append([]byte(key), '=', byte(1+m%9)),
+			}); err != nil {
+				return fmt.Errorf("cluster: shard route %s: %v", key, err)
+			}
+		}
+		frame := make([]distributed.Reading, 6)
+		for i := range frame {
+			frame[i] = distributed.Reading{
+				Op: "reading", Data: append([]byte(fmt.Sprintf("tenant-0/batch-%02d", i)), '=', 3),
+			}
+		}
+		if _, err := rt.DoBatch("tenant-0", "tenant-0/frame", frame, nil, time.Time{}); err != nil {
+			return fmt.Errorf("cluster: shard batch: %v", err)
+		}
+		burst := make([]distributed.Reading, 12)
+		for i := range burst {
+			burst[i] = distributed.Reading{
+				Op: "reading", Data: append([]byte(fmt.Sprintf("tenant-1/burst-%02d", i)), '=', 1),
+			}
+		}
+		if _, err := rt.DoBatch("tenant-1", "tenant-1/burst", burst, nil, time.Time{}); !errors.Is(err, core.ErrOverloaded) {
+			return fmt.Errorf("cluster: 12-reading burst vs quota 8 not refused: %v", err)
+		}
+		fmt.Printf("shard epoch %d; 24 readings routed by key, one 6-reading sealed frame, one 12-reading burst refused at quota 8\n", rt.Epoch())
+		fmt.Printf("%-8s %8s %9s %7s\n", "cell", "healthy", "replicas", "routed")
+		for _, s := range rt.Shards() {
+			fmt.Printf("%-8s %8d %9d %7d\n", s.Name, s.Healthy, s.Replicas, s.Routed)
+		}
+		fmt.Printf("%-10s %9s %7s\n", "tenant", "inflight", "denied")
+		for _, ts := range rt.Tenants() {
+			fmt.Printf("%-10s %9d %7d\n", ts.Tenant, ts.Inflight, ts.Denied)
 		}
 		fmt.Println()
 		met.WriteSummary(os.Stdout)

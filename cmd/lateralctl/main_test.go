@@ -39,7 +39,9 @@ func TestMetricsPrometheusGolden(t *testing.T) {
 	for _, family := range []string{"lateral_stub_calls_total", "lateral_journal_events_total",
 		"lateral_journal_checkpoint_counter", "lateral_journal_flight_dumps_total",
 		"lateral_policy_decisions_total", "lateral_policy_rule_hits_total",
-		"lateral_policy_grants_total"} {
+		"lateral_policy_grants_total", "lateral_shard_epoch", "lateral_shard_count",
+		"lateral_shard_rebalances_total", "lateral_shard_readings_routed_total",
+		"lateral_shard_batches_total", "lateral_shard_quota_denies_total"} {
 		if !bytes.Contains(buf.Bytes(), []byte(family)) {
 			t.Errorf("exposition missing family %s", family)
 		}
@@ -133,6 +135,18 @@ func goldenMetrics() *telemetry.Metrics {
 	m.JournalDropped("svc")
 	m.JournalFlightDump("svc", "quarantine")
 	m.JournalFlightDump("svc", "deadline-storm")
+
+	// Shard fabric for the fabric table: three cells joined (the third a
+	// rebalance mid-traffic), single and batched readings routed, and one
+	// tenant refused at its quota.
+	m.ShardMembership("cells", 1, 1)
+	m.ShardMembership("cells", 2, 2)
+	m.ShardRoute("cells", "cell-1", 1)
+	m.ShardRoute("cells", "cell-2", 1)
+	m.ShardMembership("cells", 3, 3)
+	m.ShardRoute("cells", "cell-3", 4)
+	m.ShardBatch("cells", "cell-3", 4)
+	m.ShardQuotaDeny("cells", "tenant-9")
 
 	// Policy engine for the policy table: a mostly-allowed workload with
 	// one mosaic deny and an approval grant that is minted, reused, and

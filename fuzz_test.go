@@ -223,6 +223,63 @@ func FuzzDistributedFrame(f *testing.F) {
 	})
 }
 
+// FuzzBatchFrameDecode covers the batched-ingestion payload codec: the
+// batch a sealed datagram carries through one AEAD pass. The invariant is
+// the canonical-form oracle the policy and journal fuzzers use: whatever
+// DecodeBatch accepts, ReencodeBatch must reproduce byte-identically
+// (the codec admits exactly one encoding per batch), and reencoding the
+// canonical form is the identity. Seeds mix well-formed batches,
+// truncations at every field boundary, duplicate readings, reserved ops,
+// and whole v2/v3 request frames fed in as batch payloads.
+func FuzzBatchFrameDecode(f *testing.F) {
+	one, _ := distributed.EncodeBatch([]distributed.Reading{{Op: "reading", Data: []byte("meter-1=\x05")}})
+	many, _ := distributed.EncodeBatch([]distributed.Reading{
+		{Op: "put", Data: []byte("a=1")},
+		{Op: "put", Data: []byte("b=2")},
+		{Op: "get", Data: []byte("a")},
+		{Op: "noop"},
+	})
+	dup, _ := distributed.EncodeBatch([]distributed.Reading{ // duplicate readings are legal payload
+		{Op: "reading", Data: []byte("meter-7=\x03")},
+		{Op: "reading", Data: []byte("meter-7=\x03")},
+	})
+	f.Add(one)
+	f.Add(many)
+	f.Add(dup)
+	f.Add([]byte{})
+	f.Add([]byte{0})                   // short count
+	f.Add([]byte{0, 0})                // zero count
+	f.Add([]byte{0xff, 0xff})          // count beyond MaxBatchReadings
+	f.Add([]byte{0, 2, 0, 1, 'x', 0, 0}) // count not backed by payload
+	f.Add(one[:3])                     // truncated at op length
+	f.Add(one[:5])                     // truncated mid-op
+	f.Add(many[:len(many)-1])          // truncated mid-data
+	f.Add(append(append([]byte{}, one...), 0))    // trailing byte
+	f.Add(append(append([]byte{}, many...), many...)) // duplicated batch payload
+	f.Add([]byte{0, 1, 0, 5, 0, 'b', 'a', 't', 'c', 'h', 0, 0}) // reserved op
+	// Mixed-version confusion: whole request frames (v2 without and v3
+	// with correlation) fed where a batch payload belongs.
+	f.Add(distributed.EncodeRequest(core.Span{Trace: 7, ID: 9}, time.Second, "put", []byte("doc")))
+	f.Add(distributed.AppendRequest(nil, distributed.Request{
+		Corr: 42, HasCorr: true, Op: distributed.BatchOp, Data: one}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		canon, err := distributed.ReencodeBatch(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(canon, data) {
+			t.Fatalf("accepted batch not canonical: %x reencoded to %x", data, canon)
+		}
+		again, err := distributed.ReencodeBatch(canon)
+		if err != nil {
+			t.Fatalf("canonical batch rejected on reencode: %v", err)
+		}
+		if !bytes.Equal(again, canon) {
+			t.Fatalf("canonical form unstable: %x vs %x", canon, again)
+		}
+	})
+}
+
 // FuzzPolicyDecode covers the policy DSL parser: rule sets are loaded
 // from operator-written files, so the decoder must never panic, must
 // bound everything it accepts (labels, rule counts, token lengths), and

@@ -508,6 +508,52 @@ func (p *Pool) Do(key string, msg core.Message) (core.Message, error) {
 //
 // A zero deadline is Do's unbounded behavior.
 func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (core.Message, error) {
+	var reply core.Message
+	err := p.dispatch(key, deadline, func(r *Replica) error {
+		var cerr error
+		reply, cerr = p.callReplica(r, msg, deadline)
+		return cerr
+	})
+	if err != nil && !errors.Is(err, distributed.ErrRemote) && !errors.Is(err, core.ErrPolicy) {
+		return core.Message{}, err
+	}
+	return reply, err
+}
+
+// DoBatch routes one batched-ingestion frame into the fleet: the whole
+// batch rides a single sealed datagram to the replica the balancer picks
+// for key (a shard router batches readings per shard, so one affinity key
+// covers them all), and the reply carries per-reading status — N readings
+// through one AEAD pass each way. Frame-level failures follow
+// DoDeadline's routing exactly: immediate failover on transport failure,
+// typed deadline handling, overload retried against a sibling. Once the
+// batch reached an attested replica, per-reading errors come back inside
+// results and never trigger failover — re-sending the frame elsewhere
+// would double-deliver the readings that succeeded. Results are appended
+// to the caller's slice (pass results[:0] to reuse its backing array);
+// on success it carries exactly one entry per reading, in order.
+func (p *Pool) DoBatch(key string, readings []distributed.Reading, results []distributed.BatchResult, deadline time.Time) ([]distributed.BatchResult, error) {
+	base := len(results)
+	err := p.dispatch(key, deadline, func(r *Replica) error {
+		// A retried attempt replays the whole batch: drop any partial
+		// results a failed frame left behind.
+		results = results[:base]
+		var cerr error
+		results, cerr = p.callReplicaBatch(r, readings, results, deadline)
+		return cerr
+	})
+	if err != nil {
+		return results[:base], err
+	}
+	return results, nil
+}
+
+// dispatch is the shared attempt loop under Do, DoDeadline, and DoBatch:
+// balancer pick, inflight charge, bounded failover, outage backoff, and
+// the typed-error routing documented on DoDeadline. call runs one attempt
+// against the picked replica and owns the inflight discharge (via
+// callReplica/callReplicaBatch).
+func (p *Pool) dispatch(key string, deadline time.Time, call func(*Replica) error) error {
 	p.maybeCheck()
 	var lastErr error
 	backoffs := 0
@@ -515,15 +561,15 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 		if !deadline.IsZero() && !p.cfg.Clock().Before(deadline) {
 			// Budget spent between attempts: stop failing over.
 			if lastErr == nil {
-				return core.Message{}, fmt.Errorf("cluster %s: budget spent before dispatch: %w", p.cfg.Fleet, core.ErrDeadline)
+				return fmt.Errorf("cluster %s: budget spent before dispatch: %w", p.cfg.Fleet, core.ErrDeadline)
 			}
-			return core.Message{}, fmt.Errorf("cluster %s: budget spent after %d attempts (last: %v): %w",
+			return fmt.Errorf("cluster %s: budget spent after %d attempts (last: %v): %w",
 				p.cfg.Fleet, attempt, lastErr, core.ErrDeadline)
 		}
 		candidates := p.healthySnapshot()
 		if len(candidates) == 0 {
 			if lastErr == nil {
-				return core.Message{}, ErrNoReplicas
+				return ErrNoReplicas
 			}
 			if attempt+1 >= p.cfg.MaxAttempts {
 				break
@@ -560,7 +606,7 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 		}
 		p.mu.Unlock()
 		if r == nil {
-			return core.Message{}, ErrNoReplicas
+			return ErrNoReplicas
 		}
 		if stale {
 			// The snapshot raced a transition (drain, failover): the
@@ -569,12 +615,12 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 			lastErr = fmt.Errorf("cluster %s: replica %s left dispatch mid-pick", p.cfg.Fleet, r.name)
 			continue
 		}
-		reply, err := p.callReplica(r, msg, deadline)
+		err := call(r)
 		if err == nil {
-			return reply, nil
+			return nil
 		}
 		if errors.Is(err, core.ErrDeadline) {
-			return core.Message{}, err
+			return err
 		}
 		if errors.Is(err, core.ErrOverloaded) {
 			// Shed by the replica's admission queue: try a sibling, leave
@@ -587,7 +633,7 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 			continue
 		}
 		if errors.Is(err, distributed.ErrRemote) || errors.Is(err, core.ErrPolicy) {
-			return reply, err
+			return err
 		}
 		// Operational failure: the replica is down until a health check
 		// re-attests it. Fail the call over without delay. The down
@@ -606,7 +652,7 @@ func (p *Pool) DoDeadline(key string, msg core.Message, deadline time.Time) (cor
 			p.cfg.Monitor.ReplicaRetry(p.cfg.Fleet, r.name)
 		}
 	}
-	return core.Message{}, fmt.Errorf("%w (%d): %v", ErrExhausted, p.cfg.MaxAttempts, lastErr)
+	return fmt.Errorf("%w (%d): %v", ErrExhausted, p.cfg.MaxAttempts, lastErr)
 }
 
 // callReplica runs one request/reply against one replica, maintaining the
@@ -629,6 +675,22 @@ func (p *Pool) callReplica(r *Replica, msg core.Message, deadline time.Time) (co
 	}
 	p.cfg.Monitor.ReplicaCall(p.cfg.Fleet, r.name, err != nil)
 	return reply, err
+}
+
+// callReplicaBatch is callReplica for one batched-ingestion frame: one
+// sealed request/reply round against one replica, counted as one call on
+// the inflight gauge and call counters (the wire sees one record, and
+// that is what the balancer and drains account in).
+func (p *Pool) callReplicaBatch(r *Replica, readings []distributed.Reading, results []distributed.BatchResult, deadline time.Time) ([]distributed.BatchResult, error) {
+	results, err := r.stub.HandleBatch(core.Envelope{Deadline: deadline}, readings, results)
+	r.inflight.Add(-1)
+	p.cfg.Monitor.ReplicaInflight(p.cfg.Fleet, r.name, -1)
+	r.calls.Add(1)
+	if err != nil {
+		r.errors.Add(1)
+	}
+	p.cfg.Monitor.ReplicaCall(p.cfg.Fleet, r.name, err != nil)
+	return results, err
 }
 
 // backoff computes the nth consecutive outage delay: BackoffBase doubling

@@ -1,0 +1,368 @@
+// Batched ingestion: one sealed datagram carries many meter readings
+// through a single AEAD pass. A batch request is an ordinary v3 request
+// frame whose op is the reserved BatchOp and whose data is the batch
+// payload — so it rides every existing mechanism unchanged: correlation
+// IDs (a batch pipelines like any other call), the budget field (one
+// deadline governs the whole batch), and the taint field (the chain's
+// labels apply to every reading it carries). The exporter unpacks the
+// batch server-side, fans the readings into the component one by one, and
+// seals a single reply carrying per-reading status — N invocations, two
+// AEAD passes total instead of 2N.
+//
+// Wire format of the batch payload (all integers big-endian):
+//
+//	count   uint16                 1..MaxBatchReadings
+//	repeat count times:
+//	  opLen  uint16; op   [opLen]byte    must not start with NUL
+//	  dataLen uint16; data [dataLen]byte
+//
+// No trailing bytes are allowed and the count must match exactly, so a
+// batch payload has exactly one encoding — ReencodeBatch is the identity
+// on every valid input, which is what the fuzz oracle checks.
+//
+// The reply payload (inside a statusOK reply whose op is BatchOp):
+//
+//	count   uint16                 echoes the request count
+//	repeat count times:
+//	  status  byte                 the per-reading status code
+//	  bodyLen uint16; body [bodyLen]byte
+//
+// where an OK body is a call frame (op + data) and an error body is the
+// error text. Per-reading statuses reuse the reply status codes, so
+// errors.Is(err, core.ErrDeadline/ErrOverloaded/ErrPolicy) keeps working
+// per reading across the wire.
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lateral/internal/core"
+)
+
+// BatchOp is the reserved batched-ingestion operation. Like PingOp, the
+// leading NUL keeps it out of any legitimate component op namespace: the
+// exporter unpacks it at the channel layer's dispatch point, the exported
+// component only ever sees the individual readings.
+const BatchOp = "\x00batch"
+
+// MaxBatchReadings bounds the readings one batch frame may carry. The
+// bound keeps a hostile count from forcing large allocations before the
+// payload bytes back it up.
+const MaxBatchReadings = 4096
+
+// maxBatchBody bounds one per-reading reply body (a uint16 length field).
+const maxBatchBody = 1 << 16
+
+// Reading is one (op, data) invocation inside a batch.
+type Reading struct {
+	Op   string
+	Data []byte
+}
+
+// BatchResult is one reading's outcome from a HandleBatch call. Msg.Data,
+// when non-empty, aliases the batch reply buffer — owned by the caller of
+// HandleBatch, valid until the results slice is reused.
+type BatchResult struct {
+	Msg core.Message
+	Err error
+}
+
+// AppendBatch appends the batch payload for readings onto dst
+// (allocation-free when dst has spare capacity) and returns the extended
+// slice. The caller must respect the codec bounds (reading count, op and
+// data lengths); EncodeBatch validates them.
+func AppendBatch(dst []byte, readings []Reading) []byte {
+	dst = append(dst, byte(len(readings)>>8), byte(len(readings)))
+	for _, r := range readings {
+		dst = append(dst, byte(len(r.Op)>>8), byte(len(r.Op)))
+		dst = append(dst, r.Op...)
+		dst = append(dst, byte(len(r.Data)>>8), byte(len(r.Data)))
+		dst = append(dst, r.Data...)
+	}
+	return dst
+}
+
+// EncodeBatch validates the readings against the codec bounds and builds
+// the batch payload.
+func EncodeBatch(readings []Reading) ([]byte, error) {
+	if err := validateReadings(readings); err != nil {
+		return nil, err
+	}
+	size := 2
+	for _, r := range readings {
+		size += 4 + len(r.Op) + len(r.Data)
+	}
+	return AppendBatch(make([]byte, 0, size), readings), nil
+}
+
+func validateReadings(readings []Reading) error {
+	if len(readings) == 0 {
+		return fmt.Errorf("empty batch: %w", ErrTransport)
+	}
+	if len(readings) > MaxBatchReadings {
+		return fmt.Errorf("batch of %d exceeds %d readings: %w", len(readings), MaxBatchReadings, ErrTransport)
+	}
+	for _, r := range readings {
+		if len(r.Op) > 0xffff || len(r.Data) > 0xffff {
+			return fmt.Errorf("reading op/data exceeds field bounds: %w", ErrTransport)
+		}
+		if len(r.Op) > 0 && r.Op[0] == 0 {
+			return fmt.Errorf("reading op %q is reserved: %w", r.Op, ErrTransport)
+		}
+	}
+	return nil
+}
+
+// cutBatchCount parses and bounds the leading reading count. Beyond the
+// static MaxBatchReadings bound, the count must be backed by at least the
+// minimum bytes per reading, so a forged count cannot force an allocation
+// the payload doesn't pay for.
+func cutBatchCount(b []byte) (int, []byte, error) {
+	if len(b) < 2 {
+		return 0, nil, fmt.Errorf("truncated batch count: %w", ErrTransport)
+	}
+	n := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if n == 0 || n > MaxBatchReadings {
+		return 0, nil, fmt.Errorf("batch count %d out of range: %w", n, ErrTransport)
+	}
+	if len(b) < 4*n {
+		return 0, nil, fmt.Errorf("batch count %d not backed by payload: %w", n, ErrTransport)
+	}
+	return n, b, nil
+}
+
+// cutReading parses one reading off the front of b. The returned op bytes
+// and data alias b; ops, when non-nil, interns the op string.
+func cutReading(b []byte, ops *interner) (op string, data, rest []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, nil, fmt.Errorf("truncated reading op length: %w", ErrTransport)
+	}
+	on := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if len(b) < on {
+		return "", nil, nil, fmt.Errorf("truncated reading op: %w", ErrTransport)
+	}
+	if on > 0 && b[0] == 0 {
+		return "", nil, nil, fmt.Errorf("reserved op in batch: %w", ErrTransport)
+	}
+	if ops != nil {
+		op = ops.intern(b[:on])
+	} else {
+		op = string(b[:on])
+	}
+	b = b[on:]
+	if len(b) < 2 {
+		return "", nil, nil, fmt.Errorf("truncated reading data length: %w", ErrTransport)
+	}
+	dn := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if len(b) < dn {
+		return "", nil, nil, fmt.Errorf("truncated reading data: %w", ErrTransport)
+	}
+	return op, b[:dn], b[dn:], nil
+}
+
+// DecodeBatch parses one batch payload (see AppendBatch). The readings'
+// ops and data alias b. Truncated payloads, out-of-range counts, reserved
+// ops, and trailing bytes are all rejected with ErrTransport.
+func DecodeBatch(b []byte) ([]Reading, error) {
+	n, rest, err := cutBatchCount(b)
+	if err != nil {
+		return nil, err
+	}
+	readings := make([]Reading, 0, n)
+	for i := 0; i < n; i++ {
+		var op string
+		var data []byte
+		op, data, rest, err = cutReading(rest, nil)
+		if err != nil {
+			return nil, err
+		}
+		readings = append(readings, Reading{Op: op, Data: data})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after batch: %w", len(rest), ErrTransport)
+	}
+	return readings, nil
+}
+
+// ReencodeBatch decodes a batch payload and re-emits it in canonical form.
+// Because the codec admits exactly one encoding per batch, the output is
+// byte-identical to every valid input — the fuzz harness asserts exactly
+// that.
+func ReencodeBatch(b []byte) ([]byte, error) {
+	readings, err := DecodeBatch(b)
+	if err != nil {
+		return nil, err
+	}
+	return AppendBatch(make([]byte, 0, len(b)), readings), nil
+}
+
+// executeBatch unpacks one decrypted batch invocation, fans its readings
+// into the exported component one at a time (the per-component handler
+// lock serializes them regardless), and seals a single reply carrying
+// per-reading status. A malformed batch payload fails the whole frame
+// with statusErr; once the payload parses, each reading succeeds or fails
+// on its own. The caller releases j's pooled buffer.
+func (e *Exporter) executeBatch(j *job) error {
+	n, rest, err := cutBatchCount(j.req.Data)
+	if err != nil {
+		return e.reply(j.ss, j.from, j.req, core.Message{}, err)
+	}
+	var deadline time.Time
+	if j.req.Budget > 0 {
+		// One budget governs the whole batch: every reading is delivered
+		// against the same re-anchored deadline, so a batch cannot buy
+		// more server time than the single call it replaces.
+		deadline = e.clock().Add(j.req.Budget)
+	}
+	fp := getBuf()
+	out := append((*fp)[:0], byte(n>>8), byte(n))
+	for i := 0; i < n; i++ {
+		var op string
+		var data []byte
+		op, data, rest, err = cutReading(rest, &e.ops)
+		if err != nil {
+			putBuf(fp, out)
+			return e.reply(j.ss, j.from, j.req, core.Message{}, err)
+		}
+		env := core.Envelope{
+			Msg:   core.Message{Op: op, Data: data},
+			Span:  j.req.Span,
+			Taint: j.req.Taint,
+		}
+		if !deadline.IsZero() {
+			// Guarded delivery clones the payload, same as execute: the
+			// watchdog may abandon the handler mid-read of a pooled buffer.
+			env.Deadline = deadline
+			env.Msg.Data = env.Msg.CloneData()
+		}
+		reply, herr := e.sys.DeliverEnvelope(e.target, env)
+		out = appendBatchEntry(out, reply, herr)
+	}
+	if len(rest) != 0 {
+		putBuf(fp, out)
+		return e.reply(j.ss, j.from, j.req, core.Message{},
+			fmt.Errorf("%d trailing bytes after batch: %w", len(rest), ErrTransport))
+	}
+	err = e.reply(j.ss, j.from, j.req, core.Message{Op: BatchOp, Data: out}, nil)
+	putBuf(fp, out)
+	return err
+}
+
+// appendBatchEntry appends one per-reading reply entry, mapping the
+// handler error to the same status codes the single-call reply uses.
+func appendBatchEntry(dst []byte, msg core.Message, herr error) []byte {
+	if herr == nil && 2+len(msg.Op)+len(msg.Data) >= maxBatchBody {
+		herr = fmt.Errorf("reading reply exceeds batch entry bounds: %w", ErrTransport)
+	}
+	var status byte
+	switch {
+	case herr == nil:
+		status = statusOK
+	case errors.Is(herr, core.ErrDeadline):
+		status = statusDeadline
+	case errors.Is(herr, core.ErrOverloaded):
+		status = statusOverload
+	case errors.Is(herr, core.ErrPolicy):
+		status = statusPolicy
+	default:
+		status = statusErr
+	}
+	dst = append(dst, status)
+	mark := len(dst)
+	dst = append(dst, 0, 0) // body length, patched below
+	if herr != nil {
+		text := herr.Error()
+		if len(text) >= maxBatchBody {
+			text = text[:maxBatchBody-1]
+		}
+		dst = append(dst, text...)
+	} else {
+		dst = appendCall(dst, msg.Op, msg.Data)
+	}
+	bn := len(dst) - mark - 2
+	dst[mark], dst[mark+1] = byte(bn>>8), byte(bn)
+	return dst
+}
+
+// HandleBatch proxies many readings across the channel in one sealed
+// round trip: the whole batch costs one AEAD pass in each direction
+// instead of one per reading. The envelope's span, taint, and deadline
+// apply batch-wide (env.Msg is ignored); results are appended to the
+// caller's slice — pass results[:0] to reuse its backing array across
+// batches, the zero-allocation shape. A frame-level failure (transport,
+// session, whole-batch deadline) returns an error with no results;
+// otherwise results carries exactly one entry per reading, in order, with
+// per-reading errors rehydrated to their typed forms.
+func (s *Stub) HandleBatch(env core.Envelope, readings []Reading, results []BatchResult) ([]BatchResult, error) {
+	if err := validateReadings(readings); err != nil {
+		return results, err
+	}
+	bp := getBuf()
+	payload := AppendBatch((*bp)[:0], readings)
+	env.Msg = core.Message{Op: BatchOp, Data: payload}
+	msg, err := s.Handle(env)
+	putBuf(bp, payload)
+	if err != nil {
+		return results, err
+	}
+	if msg.Op != BatchOp {
+		return results, fmt.Errorf("batch answered with %q: %w", msg.Op, ErrTransport)
+	}
+	return s.decodeBatchReply(msg.Data, len(readings), results)
+}
+
+// decodeBatchReply parses the batch reply payload into per-reading
+// results. OK payload data aliases b (the owned reply copy Handle made).
+func (s *Stub) decodeBatchReply(b []byte, want int, results []BatchResult) ([]BatchResult, error) {
+	if len(b) < 2 {
+		return results, fmt.Errorf("truncated batch reply count: %w", ErrTransport)
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if n != want {
+		return results, fmt.Errorf("batch reply carries %d entries for %d readings: %w", n, want, ErrTransport)
+	}
+	rest := b[2:]
+	for i := 0; i < n; i++ {
+		if len(rest) < 3 {
+			return results, fmt.Errorf("truncated batch reply entry: %w", ErrTransport)
+		}
+		status := rest[0]
+		bn := int(rest[1])<<8 | int(rest[2])
+		rest = rest[3:]
+		if len(rest) < bn {
+			return results, fmt.Errorf("truncated batch reply body: %w", ErrTransport)
+		}
+		body := rest[:bn]
+		rest = rest[bn:]
+		switch status {
+		case statusOK:
+			op, data, err := decodeCallInto(body, &s.ops)
+			if err != nil {
+				results = append(results, BatchResult{Err: err})
+				continue
+			}
+			m := core.Message{Op: op}
+			if len(data) > 0 {
+				m.Data = data
+			}
+			results = append(results, BatchResult{Msg: m})
+		case statusDeadline:
+			results = append(results, BatchResult{Err: fmt.Errorf("remote: %s: %w", body, core.ErrDeadline)})
+		case statusOverload:
+			results = append(results, BatchResult{Err: fmt.Errorf("remote: %s: %w", body, core.ErrOverloaded)})
+		case statusPolicy:
+			results = append(results, BatchResult{Err: fmt.Errorf("remote: %s: %w", body, core.ErrPolicy)})
+		default:
+			results = append(results, BatchResult{Err: fmt.Errorf("%w: %s", ErrRemote, body)})
+		}
+	}
+	if len(rest) != 0 {
+		return results, fmt.Errorf("%d trailing bytes after batch reply: %w", len(rest), ErrTransport)
+	}
+	return results, nil
+}

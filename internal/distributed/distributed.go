@@ -788,6 +788,13 @@ func (e *Exporter) openRequest(ss *sessState, dg netsim.Datagram, j *job) (bool,
 // after the reply is sealed, because the reply may alias the request data
 // (an echo) or the decrypted frame.
 func (e *Exporter) execute(j *job) error {
+	if j.req.Op == BatchOp {
+		// Batched ingestion: unpack the readings and fan them into the
+		// component, one sealed reply for the lot (see batch.go).
+		err := e.executeBatch(j)
+		putBuf(j.buf, j.raw)
+		return err
+	}
 	env := core.Envelope{
 		Msg:   core.Message{Op: j.req.Op, Data: j.req.Data},
 		Span:  j.req.Span,
@@ -1184,8 +1191,12 @@ func (s *Stub) install(sess *securechan.Session, epoch uint64) {
 	s.sess = sess
 	s.sessEpoch = epoch
 	s.gen++
-	old := s.waiters
-	if len(old) > 0 {
+	// Detach the waiter map before iterating outside the lock; when it is
+	// empty, leave it in place and iterate nothing — an aliased empty map
+	// would race with Handle's registration.
+	var old map[uint64]*waiter
+	if len(s.waiters) > 0 {
+		old = s.waiters
 		s.waiters = make(map[uint64]*waiter)
 	}
 	s.mu.Unlock()
@@ -1203,8 +1214,9 @@ func (s *Stub) Close() {
 	s.mu.Lock()
 	s.sess = nil
 	s.gen++
-	old := s.waiters
-	if len(old) > 0 {
+	var old map[uint64]*waiter
+	if len(s.waiters) > 0 {
+		old = s.waiters
 		s.waiters = make(map[uint64]*waiter)
 	}
 	s.mu.Unlock()
@@ -1229,8 +1241,9 @@ func (s *Stub) failSession(sess *securechan.Session, gen, ownCorr uint64, err er
 		s.sess = nil
 	}
 	s.gen++
-	old := s.waiters
-	if len(old) > 0 {
+	var old map[uint64]*waiter
+	if len(s.waiters) > 0 {
+		old = s.waiters
 		s.waiters = make(map[uint64]*waiter)
 	}
 	s.mu.Unlock()

@@ -80,7 +80,7 @@ type fixture struct {
 	storeMeas [32]byte
 }
 
-func newFixture(t *testing.T, adversary netsim.Adversary, tamperRemote bool) *fixture {
+func newFixture(t testing.TB, adversary netsim.Adversary, tamperRemote bool) *fixture {
 	t.Helper()
 	f := &fixture{net: netsim.New(), vendor: cryptoutil.NewSigner("intel")}
 	if adversary != nil {

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's per-experiment index (E1–E22 plus the
+// per experiment in DESIGN.md's per-experiment index (E1–E26 plus the
 // ablations folded into their tables). Each returns a Table whose rows the
 // command-line harness prints and whose numbers the benchmark suite and
 // tests assert on.
@@ -123,6 +123,7 @@ func All() []Experiment {
 		{ID: "E20", Name: "stall containment under deadlines", Run: E20Stall},
 		{ID: "E21", Name: "deterministic fleet simulation", Run: E21Simulation},
 		{ID: "E22", Name: "pipelined secure-channel RPC", Run: E22Pipelining},
+		{ID: "E23", Name: "million-client sharded fleet", Run: E23Sharding},
 		{ID: "E24", Name: "fleet black box (auditor replay)", Run: E24Audit},
 		{ID: "E25", Name: "chain-aware policy (mosaic denial)", Run: E25Policy},
 		{ID: "E26", Name: "rolling replace under config epochs", Run: E26Rolling},

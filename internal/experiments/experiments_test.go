@@ -547,6 +547,54 @@ func TestE22Pipelining(t *testing.T) {
 	}
 }
 
+func TestE23ShardedFleet(t *testing.T) {
+	tab, err := E23Sharding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[3] != "PASS" {
+			t.Errorf("E23 %s: %v", r[0], r)
+		}
+	}
+	// The headline numbers must be genuine: a full million accepted
+	// through a 17-cell fabric, batched 256:1.
+	if cell(t, tab, "1048576 clients, 64 tenants, 17 shards", 1) != "17" {
+		t.Errorf("fabric did not reach shard epoch 17: %v", tab.Rows[0])
+	}
+	if got := cell(t, tab, "batched ingestion amortizes AEAD", 2); !strings.Contains(got, "256x") {
+		t.Errorf("amortization factor not 256x: %q", got)
+	}
+}
+
+func TestE23BaselineCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full million-client curve skipped in -short")
+	}
+	points, err := E23Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	last := points[len(points)-1]
+	if last.Clients != 1048576 || last.Accepted != last.Clients || last.Lost != 0 {
+		t.Fatalf("million-client point = %+v", last)
+	}
+	for _, p := range points {
+		if p.Frames != p.Clients/p.Batch {
+			t.Errorf("%d clients: %d frames, want %d", p.Clients, p.Frames, p.Clients/p.Batch)
+		}
+		if p.Throughput <= 0 || p.P99Millis <= 0 {
+			t.Errorf("%d clients: non-positive timing %+v", p.Clients, p)
+		}
+	}
+}
+
 func TestE24AuditorReplayAndTamperEvidence(t *testing.T) {
 	tab, err := E24Audit()
 	if err != nil {

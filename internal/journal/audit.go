@@ -48,9 +48,37 @@ type Audit struct {
 	// static fleet that never transitioned.
 	Epochs []EpochRecord
 
+	// Shards is the re-derived shard-placement history: one record per
+	// shard-map transition (join/leave) any sharded fabric journaled, in
+	// order, each carrying the fabric's full member set after the
+	// transition. Empty when no shard router wrote to the journal.
+	Shards []ShardRecord
+
 	// LastSeq and Head are the verified chain position.
 	LastSeq uint64
 	Head    [32]byte
+
+	// shardLive is the running placement per fabric during replay.
+	shardLive map[string]map[string]bool
+}
+
+// ShardRecord is one replayed shard-map transition.
+type ShardRecord struct {
+	// Fabric and Shard split the event actor "fabric/shard".
+	Fabric string
+	Shard  string
+
+	// Epoch is the shard-map epoch the transition produced (strictly
+	// increasing per fabric).
+	Epoch uint64
+
+	// Action is "join" or "leave".
+	Action string
+
+	// Members is the fabric's mapped shard set after the transition,
+	// sorted — replaying the records therefore reproduces the exact
+	// placement map active at any epoch.
+	Members []string
 }
 
 // EpochRecord is one replayed config-epoch transition.
@@ -173,6 +201,8 @@ func applyTrust(a *Audit, e *Event) error {
 		}
 		a.Epochs[n-1].Members[e.Actor] = state
 		return nil
+	case KindShardAssign:
+		return applyShardAssign(a, e)
 	case KindAdmit, KindReplicaUp, KindReplicaDown, KindQuarantine, KindLeave:
 	default:
 		return nil // ops events carry no trust-state transition
@@ -205,6 +235,67 @@ func applyTrust(a *Audit, e *Event) error {
 		}
 		delete(states, e.Actor)
 	}
+	return nil
+}
+
+// applyShardAssign folds one shard-map transition into the replayed
+// placement history, rejecting sequences no honest router produces.
+func applyShardAssign(a *Audit, e *Event) error {
+	epoch, action, ok := parseEpoch(e.Detail)
+	if !ok || (action != "join" && action != "leave") {
+		return fmt.Errorf("entry %d: malformed shard-assign %q: %w", e.Seq, e.Detail, ErrDivergence)
+	}
+	fabric, shard := "", e.Actor
+	if i := strings.LastIndex(e.Actor, "/"); i >= 0 {
+		fabric, shard = e.Actor[:i], e.Actor[i+1:]
+	}
+	if shard == "" {
+		return fmt.Errorf("entry %d: shard-assign with empty shard %q: %w", e.Seq, e.Actor, ErrDivergence)
+	}
+	// Per-fabric epochs are strictly increasing: a transition may never be
+	// reordered or replayed at an old epoch.
+	for i := len(a.Shards) - 1; i >= 0; i-- {
+		if a.Shards[i].Fabric != fabric {
+			continue
+		}
+		if epoch <= a.Shards[i].Epoch {
+			return fmt.Errorf("entry %d: fabric %s shard epoch %d after %d: %w",
+				e.Seq, fabric, epoch, a.Shards[i].Epoch, ErrDivergence)
+		}
+		break
+	}
+	if a.shardLive == nil {
+		a.shardLive = make(map[string]map[string]bool)
+	}
+	live := a.shardLive[fabric]
+	if live == nil {
+		live = make(map[string]bool)
+		a.shardLive[fabric] = live
+	}
+	switch action {
+	case "join":
+		if live[shard] {
+			return fmt.Errorf("entry %d: fabric %s join of mapped shard %s: %w", e.Seq, fabric, shard, ErrDivergence)
+		}
+		live[shard] = true
+	case "leave":
+		if !live[shard] {
+			return fmt.Errorf("entry %d: fabric %s leave of unmapped shard %s: %w", e.Seq, fabric, shard, ErrDivergence)
+		}
+		delete(live, shard)
+	}
+	members := make([]string, 0, len(live))
+	for s := range live {
+		members = append(members, s)
+	}
+	sort.Strings(members)
+	a.Shards = append(a.Shards, ShardRecord{
+		Fabric:  fabric,
+		Shard:   shard,
+		Epoch:   epoch,
+		Action:  action,
+		Members: members,
+	})
 	return nil
 }
 

@@ -92,6 +92,13 @@ const (
 	// each checked against the trust state replay derived independently.
 	KindEpochBegin  = "epoch-begin"
 	KindEpochMember = "epoch-member"
+
+	// KindShardAssign: a shard-map transition in a sharded fabric (actor =
+	// "fabric/shard", detail "epoch=N join|leave"). Replay rebuilds the
+	// placement history per fabric; a non-increasing epoch, a join for a
+	// shard already mapped, or a leave for an unmapped shard is a
+	// divergence — placement cannot be rewritten after the fact.
+	KindShardAssign = "shard-assign"
 )
 
 // Event is one journal entry.

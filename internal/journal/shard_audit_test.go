@@ -1,0 +1,102 @@
+package journal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestReplayRederivesShardPlacement: the auditor reproduces a sharded
+// fabric's full placement history — epochs, actions, and the member set
+// active after every transition — from the export alone.
+func TestReplayRederivesShardPlacement(t *testing.T) {
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: -1})
+	j.RecordEvent(KindShardAssign, "shards/shard-00", "epoch=1 join", 0, 0)
+	j.RecordEvent(KindShardAssign, "shards/shard-01", "epoch=2 join", 0, 0)
+	j.RecordEvent(KindShardAssign, "shards/shard-02", "epoch=3 join", 0, 0)
+	j.RecordEvent(KindShardAssign, "shards/shard-01", "epoch=4 leave", 0, 0)
+	// A second fabric interleaves with its own epoch line.
+	j.RecordEvent(KindShardAssign, "edge/cache-a", "epoch=1 join", 0, 0)
+	trusted, _ := counter.Value()
+	a, err := Replay(j.Export(), signer.Public(), trusted)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(a.Shards) != 5 {
+		t.Fatalf("replayed %d shard records, want 5", len(a.Shards))
+	}
+	last := a.Shards[3]
+	if last.Fabric != "shards" || last.Shard != "shard-01" || last.Epoch != 4 || last.Action != "leave" {
+		t.Fatalf("record 3 = %+v", last)
+	}
+	if want := []string{"shard-00", "shard-02"}; !reflect.DeepEqual(last.Members, want) {
+		t.Fatalf("members after leave = %v, want %v", last.Members, want)
+	}
+	if got := a.Shards[4]; got.Fabric != "edge" || !reflect.DeepEqual(got.Members, []string{"cache-a"}) {
+		t.Fatalf("second fabric record = %+v", got)
+	}
+}
+
+// TestReplayRejectsDoctoredPlacement: placement history no honest router
+// produces — rewound epochs, double assignment, phantom leaves — fails
+// the audit with ErrDivergence.
+func TestReplayRejectsDoctoredPlacement(t *testing.T) {
+	cases := []struct {
+		name   string
+		events [][2]string // actor, detail
+	}{
+		{"epoch rewound", [][2]string{
+			{"shards/a", "epoch=2 join"},
+			{"shards/b", "epoch=1 join"},
+		}},
+		{"epoch repeated", [][2]string{
+			{"shards/a", "epoch=1 join"},
+			{"shards/b", "epoch=1 join"},
+		}},
+		{"double join in epoch history", [][2]string{
+			{"shards/a", "epoch=1 join"},
+			{"shards/a", "epoch=2 join"},
+		}},
+		{"leave of unmapped shard", [][2]string{
+			{"shards/a", "epoch=1 join"},
+			{"shards/b", "epoch=2 leave"},
+		}},
+		{"malformed action", [][2]string{
+			{"shards/a", "epoch=1 rebalance"},
+		}},
+		{"missing epoch", [][2]string{
+			{"shards/a", "join"},
+		}},
+		{"empty shard name", [][2]string{
+			{"shards/", "epoch=1 join"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j, signer, counter := newTestJournal(t, Config{CheckpointEvery: -1})
+			for _, ev := range tc.events {
+				j.RecordEvent(KindShardAssign, ev[0], ev[1], 0, 0)
+			}
+			trusted, _ := counter.Value()
+			if _, err := Replay(j.Export(), signer.Public(), trusted); !errors.Is(err, ErrDivergence) {
+				t.Fatalf("got %v, want ErrDivergence", err)
+			}
+		})
+	}
+	// A shard that left may rejoin at a later epoch — that is honest churn,
+	// not divergence.
+	j, signer, counter := newTestJournal(t, Config{CheckpointEvery: -1})
+	j.RecordEvent(KindShardAssign, "shards/a", "epoch=1 join", 0, 0)
+	j.RecordEvent(KindShardAssign, "shards/b", "epoch=2 join", 0, 0)
+	j.RecordEvent(KindShardAssign, "shards/a", "epoch=3 leave", 0, 0)
+	j.RecordEvent(KindShardAssign, "shards/a", "epoch=4 join", 0, 0)
+	trusted, _ := counter.Value()
+	a, err := Replay(j.Export(), signer.Public(), trusted)
+	if err != nil {
+		t.Fatalf("rejoin replay: %v", err)
+	}
+	final := a.Shards[len(a.Shards)-1]
+	if !reflect.DeepEqual(final.Members, []string{"a", "b"}) {
+		t.Fatalf("members after rejoin = %v", final.Members)
+	}
+}

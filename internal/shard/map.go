@@ -1,0 +1,222 @@
+// Package shard scales the attested replica fleet past a single flat
+// pool: a consistent-hash shard map assigns every tenant/meter key to one
+// of many cluster.Pools, per-tenant admission quotas bound what any one
+// tenant may have in flight across the fabric, and batched ingestion
+// (distributed's batch frame) carries many readings per sealed datagram.
+// This is the shape the paper's anonymizer argument needs at population
+// scale — millions of meters cannot terminate on one pool's balancer.
+//
+// The shard map is epoch-versioned exactly like fleet membership
+// (internal/cluster's config epochs): every Add/Remove bumps the map
+// epoch, moves only ~K/N of the keyspace (the consistent-hash property,
+// maintained with the same incremental reconcile the cluster balancer
+// uses), and is journaled as a shard-assign event so an auditor holding
+// only the export can replay placement history.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"lateral/internal/core"
+)
+
+// Errors.
+var (
+	// ErrNoShards is returned when routing with an empty shard map.
+	ErrNoShards = fmt.Errorf("shard: no shards in map")
+
+	// ErrUnknownShard is returned for operations naming an absent shard.
+	ErrUnknownShard = fmt.Errorf("shard: unknown shard")
+
+	// ErrDuplicateShard is returned when adding a name already mapped.
+	ErrDuplicateShard = fmt.Errorf("shard: shard already mapped")
+
+	// ErrLastShard refuses removing the final shard: a fabric with zero
+	// shards routes nothing, and a transition must never strand the keys
+	// it is supposed to move.
+	ErrLastShard = fmt.Errorf("shard: cannot remove the last shard")
+)
+
+// ErrOverloaded re-exports the typed overload error tenant-quota refusals
+// wrap, so callers can errors.Is against either package.
+var ErrOverloaded = core.ErrOverloaded
+
+// DefaultVnodes is the ring points per shard when unset. More vnodes
+// flatten the keyspace split and tighten the ~K/N movement bound's
+// constant at the cost of a longer (still binary-searched) ring.
+const DefaultVnodes = 64
+
+// Map is an epoch-versioned consistent-hash shard map over shard names.
+// Every membership change bumps the epoch and reshuffles only the keys
+// the change itself owns: a joiner claims ~K/N keys from across the ring,
+// a leaver's keys redistribute to its ring successors, and every other
+// key keeps its owner (the table tests pin the bound). A Map is not
+// safe for concurrent use; Router wraps it in a lock, and the simulation
+// harness drives it single-threaded.
+type Map struct {
+	vnodes  int
+	epoch   uint64
+	ring    []point
+	members map[string]bool
+	points  map[string][]uint64 // per-name vnode hashes, pure in the name
+}
+
+type point struct {
+	h    uint64
+	name string
+}
+
+// NewMap builds a shard map over the given shards at epoch 0 (the initial
+// configuration is not a transition). vnodes <= 0 selects DefaultVnodes.
+// The resulting assignment is a pure function of the member set — build
+// order does not matter — which is what lets an independent checker
+// rebuild the map from a membership snapshot and demand agreement.
+func NewMap(vnodes int, shards ...string) *Map {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	m := &Map{
+		vnodes:  vnodes,
+		members: make(map[string]bool),
+		points:  make(map[string][]uint64),
+	}
+	for _, s := range shards {
+		if !m.members[s] {
+			m.insert(s)
+		}
+	}
+	return m
+}
+
+// Epoch returns the map's configuration epoch: 0 at construction, +1 per
+// Add/Remove.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// Size returns the number of shards mapped.
+func (m *Map) Size() int { return len(m.members) }
+
+// Members returns the mapped shard names, sorted.
+func (m *Map) Members() []string {
+	out := make([]string, 0, len(m.members))
+	for s := range m.members {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether shard is mapped.
+func (m *Map) Contains(shard string) bool { return m.members[shard] }
+
+// Add maps a new shard, bumping the epoch. Only keys the joiner's ring
+// points claim move to it; every other assignment is untouched.
+func (m *Map) Add(shard string) error {
+	if shard == "" {
+		return fmt.Errorf("shard: empty shard name")
+	}
+	if m.members[shard] {
+		return fmt.Errorf("%w: %s", ErrDuplicateShard, shard)
+	}
+	m.insert(shard)
+	m.epoch++
+	return nil
+}
+
+// Remove unmaps a shard, bumping the epoch. Its keys redistribute to the
+// ring successors of its points; all other assignments are untouched.
+// The last shard cannot be removed.
+func (m *Map) Remove(shard string) error {
+	if !m.members[shard] {
+		return fmt.Errorf("%w: %s", ErrUnknownShard, shard)
+	}
+	if len(m.members) == 1 {
+		return fmt.Errorf("%w: %s", ErrLastShard, shard)
+	}
+	// Removal is one filtering pass over the ring, order among survivors
+	// preserved — the same incremental reconcile the cluster balancer
+	// runs on membership churn.
+	kept := m.ring[:0]
+	for _, pt := range m.ring {
+		if pt.name != shard {
+			kept = append(kept, pt)
+		}
+	}
+	m.ring = kept
+	delete(m.members, shard)
+	m.epoch++
+	return nil
+}
+
+// Owner returns the shard the current epoch assigns key to, or "" when
+// the map is empty.
+func (m *Map) Owner(key string) string {
+	if len(m.ring) == 0 {
+		return ""
+	}
+	kh := hash64(key)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].h >= kh })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return m.ring[i].name
+}
+
+// insert merges one shard's (cached or freshly hashed) points into the
+// sorted ring: sort just the additions, then one backwards in-place merge.
+func (m *Map) insert(shard string) {
+	pts := m.pointsFor(shard)
+	added := make([]point, len(pts))
+	for i, h := range pts {
+		added[i] = point{h, shard}
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i].h < added[j].h })
+	n, a := len(m.ring), len(added)
+	m.ring = append(m.ring, added...)
+	i, j, k := n-1, a-1, n+a-1
+	for j >= 0 {
+		if i >= 0 && m.ring[i].h > added[j].h {
+			m.ring[k] = m.ring[i]
+			i--
+		} else {
+			m.ring[k] = added[j]
+			j--
+		}
+		k--
+	}
+	m.members[shard] = true
+}
+
+// pointsFor returns (computing and caching on first use) the vnode hashes
+// for a shard name. A name's points never change, so a shard that leaves
+// and rejoins reclaims exactly its old keyspace.
+func (m *Map) pointsFor(name string) []uint64 {
+	if pts, ok := m.points[name]; ok {
+		return pts
+	}
+	pts := make([]uint64, m.vnodes)
+	for v := 0; v < m.vnodes; v++ {
+		pts[v] = hash64(name + "#" + strconv.Itoa(v))
+	}
+	m.points[name] = pts
+	return pts
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer, the same construction the
+// cluster balancer uses (restated here: the ring layout is part of this
+// package's contract, not an import of a balancer detail). The finalizer
+// keeps near-identical short keys ("tenant-001/…", "tenant-002/…") from
+// clustering in one ring gap.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func shardNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%02d", i)
+	}
+	return out
+}
+
+func meterKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%03d/meter-%04d", i%64, i)
+	}
+	return out
+}
+
+// TestShardMapMembershipMovesBoundedKeys pins the rebalancing contract
+// across fabric sizes: a Join moves ~K/N keys (all onto the joiner), a
+// Leave moves only the departed shard's keys, and reversing the change
+// restores the exact prior assignment.
+func TestShardMapMembershipMovesBoundedKeys(t *testing.T) {
+	const nkeys = 2000
+	keys := meterKeys(nkeys)
+	cases := []struct {
+		name   string
+		shards int
+	}{
+		{"pair", 2},
+		{"small fabric", 4},
+		{"e23 fabric", 16},
+		{"large fabric", 48},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+" join", func(t *testing.T) {
+			m := NewMap(0, shardNames(tc.shards)...)
+			before := make(map[string]string, nkeys)
+			for _, k := range keys {
+				before[k] = m.Owner(k)
+			}
+			joiner := fmt.Sprintf("shard-%02d", tc.shards)
+			if err := m.Add(joiner); err != nil {
+				t.Fatal(err)
+			}
+			if m.Epoch() != 1 {
+				t.Fatalf("epoch after join = %d, want 1", m.Epoch())
+			}
+			moved := 0
+			for _, k := range keys {
+				now := m.Owner(k)
+				if now == before[k] {
+					continue
+				}
+				moved++
+				if now != joiner {
+					t.Fatalf("key %s moved %s -> %s, not to the joiner", k, before[k], now)
+				}
+			}
+			// ~K/N movement: expect about nkeys/(shards+1), allow 2x slack
+			// for vnode placement variance. Zero movement means the joiner
+			// got no keyspace at all.
+			bound := 2 * nkeys / (tc.shards + 1)
+			if moved == 0 || moved > bound {
+				t.Fatalf("join moved %d of %d keys, want (0, %d]", moved, nkeys, bound)
+			}
+			// Reversing the join restores the prior assignment exactly.
+			if err := m.Remove(joiner); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				if m.Owner(k) != before[k] {
+					t.Fatalf("key %s not restored after join+leave", k)
+				}
+			}
+		})
+		t.Run(tc.name+" leave", func(t *testing.T) {
+			m := NewMap(0, shardNames(tc.shards)...)
+			before := make(map[string]string, nkeys)
+			for _, k := range keys {
+				before[k] = m.Owner(k)
+			}
+			departed := "shard-00"
+			if err := m.Remove(departed); err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for _, k := range keys {
+				now := m.Owner(k)
+				if now == departed {
+					t.Fatalf("key %s still owned by departed shard", k)
+				}
+				if now != before[k] {
+					moved++
+					if before[k] != departed {
+						t.Fatalf("key %s moved %s -> %s though its shard stayed", k, before[k], now)
+					}
+				}
+			}
+			bound := 2 * nkeys / tc.shards
+			if moved > bound {
+				t.Fatalf("leave moved %d of %d keys, want <= %d", moved, nkeys, bound)
+			}
+			if tc.shards > 1 && moved == 0 {
+				t.Fatal("leave moved no keys; departed shard owned nothing")
+			}
+		})
+	}
+}
+
+// TestShardMapMatchesScratchRebuild is the property the simulation
+// checker leans on: after any incremental Add/Remove history, the map
+// agrees everywhere with a from-scratch build over the same member set.
+func TestShardMapMatchesScratchRebuild(t *testing.T) {
+	m := NewMap(0, shardNames(4)...)
+	ops := []struct {
+		add   bool
+		shard string
+	}{
+		{true, "shard-04"}, {true, "shard-05"}, {false, "shard-01"},
+		{true, "shard-06"}, {false, "shard-04"}, {false, "shard-00"},
+		{true, "shard-01"}, // rejoin reclaims its old keyspace
+	}
+	for _, op := range ops {
+		var err error
+		if op.add {
+			err = m.Add(op.shard)
+		} else {
+			err = m.Remove(op.shard)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewMap(0, m.Members()...)
+		for _, k := range meterKeys(500) {
+			if got, want := m.Owner(k), fresh.Owner(k); got != want {
+				t.Fatalf("after %+v: incremental owner %s != scratch owner %s for %s",
+					op, got, want, k)
+			}
+		}
+	}
+	if m.Epoch() != uint64(len(ops)) {
+		t.Fatalf("epoch = %d after %d transitions", m.Epoch(), len(ops))
+	}
+}
+
+func TestShardMapEdges(t *testing.T) {
+	t.Run("empty map owns nothing", func(t *testing.T) {
+		m := NewMap(0)
+		if got := m.Owner("tenant-0/meter-0"); got != "" {
+			t.Fatalf("empty map assigned owner %q", got)
+		}
+		if m.Size() != 0 || m.Epoch() != 0 {
+			t.Fatalf("empty map size=%d epoch=%d", m.Size(), m.Epoch())
+		}
+	})
+	t.Run("single shard owns everything", func(t *testing.T) {
+		m := NewMap(0, "only")
+		for _, k := range meterKeys(200) {
+			if m.Owner(k) != "only" {
+				t.Fatalf("single-shard map sent %s elsewhere", k)
+			}
+		}
+		if err := m.Remove("only"); !errors.Is(err, ErrLastShard) {
+			t.Fatalf("removing last shard: got %v, want ErrLastShard", err)
+		}
+	})
+	t.Run("duplicate and unknown refused", func(t *testing.T) {
+		m := NewMap(0, "a", "b")
+		if err := m.Add("a"); !errors.Is(err, ErrDuplicateShard) {
+			t.Fatalf("duplicate add: %v", err)
+		}
+		if err := m.Add(""); err == nil {
+			t.Fatal("empty shard name accepted")
+		}
+		if err := m.Remove("ghost"); !errors.Is(err, ErrUnknownShard) {
+			t.Fatalf("unknown remove: %v", err)
+		}
+		if m.Epoch() != 0 {
+			t.Fatalf("refused transitions bumped epoch to %d", m.Epoch())
+		}
+	})
+	t.Run("construction is order independent", func(t *testing.T) {
+		a := NewMap(0, "s0", "s1", "s2", "s3")
+		b := NewMap(0, "s3", "s1", "s0", "s2", "s1")
+		for _, k := range meterKeys(500) {
+			if a.Owner(k) != b.Owner(k) {
+				t.Fatalf("build order changed owner of %s", k)
+			}
+		}
+	})
+}

@@ -41,6 +41,12 @@ type ExploreConfig struct {
 	// Buggy builds the harness with the deliberate serialization
 	// mutation, for the smoke test that proves checkers catch it.
 	Buggy bool
+
+	// Sharded routes the operation mix through the harness's shard
+	// router — single readings and batch frames against tenant/meter
+	// keys — so the shard-placement invariant sees live traffic across
+	// shard-split/shard-merge rebalances.
+	Sharded bool
 }
 
 // Result is one run's outcome: the byte-exact event trace and every
@@ -109,6 +115,31 @@ func Explore(cfg ExploreConfig) (*Result, error) {
 
 		id := fmt.Sprintf("op-%04d", i)
 		key := fmt.Sprintf("key-%02d", r.intn(16))
+		if cfg.Sharded {
+			// Sharded mix: tenant/meter-keyed readings through the router.
+			tenant := fmt.Sprintf("tenant-%d", r.intn(4))
+			key = fmt.Sprintf("%s/meter-%02d", tenant, r.intn(16))
+			switch r.intn(12) {
+			case 0, 1: // batch frame: many readings, one sealed datagram
+				n := 2 + r.intn(7)
+				budget := time.Duration(5+r.intn(20)) * time.Millisecond
+				err := h.CallShardBatch(id, tenant, key, n, budget)
+				trace("step=%d shard-batch key=%s n=%d budget=%s -> %s", i, key, n, budget, outcome(err))
+			case 2: // unbounded reading
+				err := h.CallShardWork(id, tenant, key, 0)
+				trace("step=%d shard-call key=%s budget=none -> %s", i, key, outcome(err))
+			case 3: // idle time: health intervals and delayer holds elapse
+				d := time.Duration(1+r.intn(20)) * time.Millisecond
+				h.Clock.Advance(d)
+				trace("step=%d advance %s", i, d)
+			default: // budgeted reading, the common case
+				budget := time.Duration(1+r.intn(20)) * time.Millisecond
+				err := h.CallShardWork(id, tenant, key, budget)
+				trace("step=%d shard-call key=%s budget=%s -> %s", i, key, budget, outcome(err))
+			}
+			check(fmt.Sprintf("step %d", i))
+			continue
+		}
 		switch r.intn(12) {
 		case 0, 1: // wedged handler under budget: watchdog must contain it
 			budget := time.Duration(1+r.intn(10)) * time.Millisecond
@@ -185,6 +216,34 @@ func DefaultSchedule(replicas int) []Schedule {
 		{At: 320 * time.Millisecond, Fault: Fault{Kind: FaultHeal, Target: r1}},
 		{At: 330 * time.Millisecond, Fault: Fault{Kind: FaultTamper}},
 		{At: 340 * time.Millisecond, Fault: Fault{Kind: FaultJournalTamper, N: 3}},
+	}
+}
+
+// ShardSchedule returns the sharded-fabric script the shard soak runs:
+// splits growing the fabric and merges shrinking it, threaded through
+// crashes, duplication, congestion, and clock skew — every reading in
+// flight across each rebalance is audited by the shard-placement
+// invariant (routed where the current map says, never double-counted).
+func ShardSchedule(replicas int) []Schedule {
+	if replicas < 2 {
+		replicas = 2
+	}
+	r1, r2 := ReplicaName(1), ReplicaName(2)
+	return []Schedule{
+		{At: 2 * time.Millisecond, Fault: Fault{Kind: FaultDup, Target: r1, N: 2}},
+		{At: 6 * time.Millisecond, Fault: Fault{Kind: FaultShardSplit, Target: CellName(3)}},
+		{At: 10 * time.Millisecond, Fault: Fault{Kind: FaultCrash, Target: r2}},
+		{At: 16 * time.Millisecond, Fault: Fault{Kind: FaultHeal, Target: r2}},
+		{At: 22 * time.Millisecond, Fault: Fault{Kind: FaultShardMerge, Target: CellName(1)}},
+		{At: 26 * time.Millisecond, Fault: Fault{Kind: FaultDelay, Seed: 13, Pct: 25, Dur: 3 * time.Millisecond, N: 1}},
+		{At: 38 * time.Millisecond, Fault: Fault{Kind: FaultDelay, N: 0}},
+		{At: 42 * time.Millisecond, Fault: Fault{Kind: FaultSkew, Dur: 250 * time.Millisecond}},
+		{At: 60 * time.Millisecond, Fault: Fault{Kind: FaultShardSplit, Target: CellName(4)}},
+		// Refused transitions must be no-ops on both the router and the
+		// checker's shadow: a duplicate split and a merge of an unmapped cell.
+		{At: 70 * time.Millisecond, Fault: Fault{Kind: FaultShardSplit, Target: CellName(3)}},
+		{At: 80 * time.Millisecond, Fault: Fault{Kind: FaultShardMerge, Target: CellName(1)}},
+		{At: 300 * time.Millisecond, Fault: Fault{Kind: FaultShardMerge, Target: CellName(2)}},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"lateral/internal/netsim"
 	"lateral/internal/policy"
 	"lateral/internal/sgx"
+	"lateral/internal/shard"
 	"lateral/internal/telemetry"
 )
 
@@ -33,6 +34,12 @@ type Harness struct {
 	Journal *journal.Journal
 	Counter *journal.MemCounter
 
+	// Router is the sharded ingestion fabric: logical shard cells behind a
+	// consistent-hash shard map, each cell's backend dispatching into the
+	// (single simulated) pool. Shard-split/shard-merge faults rebalance it
+	// mid-run; the shard-placement invariant audits every dispatch.
+	Router *shard.Router
+
 	// Invariant state.
 	Serial       *SerialChecker
 	Budget       *BudgetChecker
@@ -43,6 +50,7 @@ type Harness struct {
 	Audit        *JournalChecker
 	Policy       *PolicyChecker
 	Epochs       *EpochChecker
+	Sharding     *ShardChecker
 
 	chain       *netsim.Chain
 	partitioner *netsim.Partitioner
@@ -107,6 +115,9 @@ type HarnessConfig struct {
 
 // ReplicaName returns the i-th (1-based) replica's endpoint name.
 func ReplicaName(i int) string { return fmt.Sprintf("svc-%d", i) }
+
+// CellName returns the i-th (1-based) shard cell's name.
+func CellName(i int) string { return fmt.Sprintf("cell-%d", i) }
 
 // TaintLabel is the identifying-data label the harness policy confers on
 // the store's ids op; the no-tainted-egress invariant forbids any chain
@@ -218,6 +229,23 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		return agg
 	})
 
+	// The shard fabric: two seed cells over the pool. Cells are logical —
+	// every backend dispatches into the same simulated fleet — so the
+	// shard map, quotas, and rebalancing run for real while the
+	// deployment stays one virtual-clocked pool.
+	h.Sharding = NewShardChecker(0)
+	h.Router = shard.NewRouter(shard.Config{
+		Fleet:   "cells",
+		Monitor: h.Metrics,
+		Journal: h.Journal,
+	})
+	for _, cell := range []string{CellName(1), CellName(2)} {
+		if err := h.Router.Join(cell, &cellBackend{h: h, name: cell}); err != nil {
+			return nil, err
+		}
+		h.Sharding.MarkSplit(cell)
+	}
+
 	for i := 1; i <= cfg.Replicas; i++ {
 		spec, err := h.buildReplica(ReplicaName(i))
 		if err != nil {
@@ -316,7 +344,7 @@ func (t *epochTee) ReplicaCall(fleet, replica string, failed bool) {
 
 // Checkers returns every invariant checker in a stable order.
 func (h *Harness) Checkers() []Checker {
-	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit, h.Policy, h.Epochs}
+	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit, h.Policy, h.Epochs, h.Sharding}
 }
 
 // CheckAll runs every checker and returns the concatenated violations.
@@ -388,6 +416,17 @@ func (h *Harness) Apply(f Fault) {
 		if err := h.Pool.Leave(f.Target); err == nil {
 			h.Epochs.MarkEvicted(f.Target)
 		}
+	case FaultShardSplit:
+		// The checker's shadow membership moves only on a committed
+		// transition — a refused join (duplicate name) changes nothing on
+		// either side.
+		if err := h.Router.Join(f.Target, &cellBackend{h: h, name: f.Target}); err == nil {
+			h.Sharding.MarkSplit(f.Target)
+		}
+	case FaultShardMerge:
+		if _, err := h.Router.Leave(f.Target); err == nil {
+			h.Sharding.MarkMerge(f.Target)
+		}
 	}
 }
 
@@ -429,6 +468,49 @@ func (h *Harness) CallWork(id, key string, budget time.Duration) error {
 		_, err = h.Pool.Do(key, core.Message{Op: "work", Data: []byte(id)})
 	} else {
 		_, err = h.Pool.DoDeadline(key, core.Message{Op: "work", Data: []byte(id)}, deadline)
+	}
+	h.Led.Finish(err)
+	return err
+}
+
+// CallShardWork drives one budgeted reading through the shard router:
+// quota, shard-map lookup, then the owning cell's backend dispatches into
+// the pool. The placement invariant audits the dispatch.
+func (h *Harness) CallShardWork(id, tenant, key string, budget time.Duration) error {
+	h.Led.Start()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = h.Clock.Now().Add(budget)
+	}
+	_, err := h.Router.DoDeadline(tenant, key, core.Message{Op: "work", Data: []byte(id)}, deadline)
+	h.Led.Finish(err)
+	return err
+}
+
+// CallShardBatch drives n readings through the router as one batch frame
+// (one ledger operation, one sealed datagram into the owning cell's
+// pool). Reading ids derive from id so the placement invariant can prove
+// none is double-counted.
+func (h *Harness) CallShardBatch(id, tenant, key string, n int, budget time.Duration) error {
+	h.Led.Start()
+	var deadline time.Time
+	if budget > 0 {
+		deadline = h.Clock.Now().Add(budget)
+	}
+	readings := make([]distributed.Reading, n)
+	for i := range readings {
+		readings[i] = distributed.Reading{Op: "work", Data: []byte(fmt.Sprintf("%s/%d", id, i))}
+	}
+	results, err := h.Router.DoBatch(tenant, key, readings, nil, deadline)
+	if err == nil {
+		// The frame landed; surface the worst per-reading outcome so the
+		// ledger classifies partial failures the same way single calls do.
+		for _, r := range results {
+			if r.Err != nil {
+				err = r.Err
+				break
+			}
+		}
 	}
 	h.Led.Finish(err)
 	return err
@@ -623,6 +705,32 @@ func (e *simEgress) Handle(env core.Envelope) (core.Message, error) {
 	}
 	return core.Message{Op: "sent"}, nil
 }
+
+// cellBackend is one logical shard cell's dispatch surface: it reports
+// every arriving reading to the placement invariant, then dispatches into
+// the simulated pool. (*shard.Router's Backend contract.)
+type cellBackend struct {
+	h    *Harness
+	name string
+}
+
+func (b *cellBackend) DoDeadline(key string, msg core.Message, deadline time.Time) (core.Message, error) {
+	b.h.Sharding.RecordDispatch(string(msg.Data), key, b.name)
+	if deadline.IsZero() {
+		return b.h.Pool.Do(key, msg)
+	}
+	return b.h.Pool.DoDeadline(key, msg, deadline)
+}
+
+func (b *cellBackend) DoBatch(key string, readings []distributed.Reading, results []distributed.BatchResult, deadline time.Time) ([]distributed.BatchResult, error) {
+	for _, r := range readings {
+		b.h.Sharding.RecordDispatch(string(r.Data), key, b.name)
+	}
+	return b.h.Pool.DoBatch(key, readings, results, deadline)
+}
+
+func (b *cellBackend) Healthy() int                    { return b.h.Pool.Healthy() }
+func (b *cellBackend) Replicas() []cluster.ReplicaInfo { return b.h.Pool.Replicas() }
 
 // ---- targeted adversaries -------------------------------------------
 

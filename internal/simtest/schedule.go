@@ -60,6 +60,17 @@ const (
 	// an unknown or quarantined name is refused by the pool and the fault
 	// is a no-op — the quarantine record is the fleet's memory.
 	FaultLeave
+
+	// FaultShardSplit joins a new shard cell to the harness's shard
+	// router, bumping the shard-map epoch and pulling ~K/N of the keyspace
+	// onto the joiner. Joining a name already mapped is refused by the
+	// router and the fault is a no-op, so schedules stay safe to fuzz.
+	FaultShardSplit
+
+	// FaultShardMerge removes a shard cell from the router, folding its
+	// keyspace back into the ring successors. Merging an unmapped cell or
+	// the last remaining cell is refused and the fault is a no-op.
+	FaultShardMerge
 )
 
 // String returns the kind's schedule-text verb.
@@ -85,6 +96,10 @@ func (k FaultKind) String() string {
 		return "join"
 	case FaultLeave:
 		return "leave"
+	case FaultShardSplit:
+		return "shard-split"
+	case FaultShardMerge:
+		return "shard-merge"
 	default:
 		return "unknown"
 	}
@@ -138,7 +153,7 @@ func EncodeSchedule(sched []Schedule) string {
 		f := s.Fault
 		fmt.Fprintf(&b, "@%s %s", s.At, f.Kind)
 		switch f.Kind {
-		case FaultCrash, FaultJoin, FaultLeave:
+		case FaultCrash, FaultJoin, FaultLeave, FaultShardSplit, FaultShardMerge:
 			fmt.Fprintf(&b, " %s", f.Target)
 		case FaultHeal, FaultTamper:
 			if f.Target != "" {
@@ -185,7 +200,7 @@ func DecodeSchedule(text string) ([]Schedule, error) {
 		f := Fault{}
 		args := fields[2:]
 		switch fields[1] {
-		case "crash", "join", "leave":
+		case "crash", "join", "leave", "shard-split", "shard-merge":
 			switch fields[1] {
 			case "crash":
 				f.Kind = FaultCrash
@@ -193,6 +208,10 @@ func DecodeSchedule(text string) ([]Schedule, error) {
 				f.Kind = FaultJoin
 			case "leave":
 				f.Kind = FaultLeave
+			case "shard-split":
+				f.Kind = FaultShardSplit
+			case "shard-merge":
+				f.Kind = FaultShardMerge
 			}
 			if len(args) != 1 {
 				return nil, fmt.Errorf("simtest: line %d: %s wants 1 arg", ln+1, fields[1])

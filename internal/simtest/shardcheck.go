@@ -1,0 +1,108 @@
+package simtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lateral/internal/shard"
+)
+
+// ---- Invariant 9: shard placement is enforced ------------------------
+
+// ShardChecker verifies the sharded-routing contract: every reading lands
+// on the shard the current epoch's shard map assigns its key, and no
+// reading is dispatched twice across a rebalance. Independence comes from
+// recomputation: the checker maintains its own shadow member list —
+// updated only by the fault applications the harness performs — and
+// rebuilds a from-scratch shard.Map on every change, while the live
+// router reconciles its ring incrementally. A router whose incremental
+// reconcile drifts from the pure function of the member set, routes
+// through a stale map, or double-dispatches a reading during a
+// split/merge is caught at the next record. Findings are sticky: a
+// transient breach still fails the run at quiesce.
+type ShardChecker struct {
+	vnodes int
+
+	mu      sync.Mutex
+	members []string
+	scratch *shard.Map
+	counts  map[string]int // reading id -> dispatch count
+	viols   []Violation
+}
+
+// NewShardChecker builds the checker; vnodes must match the live router's
+// ring density (<= 0 selects the shared default).
+func NewShardChecker(vnodes int) *ShardChecker {
+	return &ShardChecker{vnodes: vnodes, counts: make(map[string]int)}
+}
+
+// MarkSplit records that a shard cell joined the fabric (the harness
+// calls this only after the router committed the join).
+func (c *ShardChecker) MarkSplit(cell string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members = append(c.members, cell)
+	c.rebuild()
+}
+
+// MarkMerge records that a shard cell left the fabric.
+func (c *ShardChecker) MarkMerge(cell string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.members[:0]
+	for _, m := range c.members {
+		if m != cell {
+			kept = append(kept, m)
+		}
+	}
+	c.members = kept
+	c.rebuild()
+}
+
+// rebuild recomputes the shadow map from scratch (caller holds mu). Sort
+// first: shard.Map is order-independent by contract, sorting here keeps
+// the shadow's own build history out of the equation entirely.
+func (c *ShardChecker) rebuild() {
+	members := append([]string(nil), c.members...)
+	sort.Strings(members)
+	c.scratch = shard.NewMap(c.vnodes, members...)
+}
+
+// RecordDispatch notes one reading arriving at a shard cell's backend.
+// id must be unique per reading across the run.
+func (c *ShardChecker) RecordDispatch(id, key, cell string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[id]++
+	if n := c.counts[id]; n > 1 {
+		c.viols = append(c.viols, Violation{
+			Invariant: c.Name(),
+			Detail:    fmt.Sprintf("reading %s dispatched %d times (double-counted across rebalance)", id, n),
+		})
+	}
+	if c.scratch == nil {
+		c.viols = append(c.viols, Violation{
+			Invariant: c.Name(),
+			Detail:    fmt.Sprintf("reading %s dispatched to %s with no shards mapped", id, cell),
+		})
+		return
+	}
+	if want := c.scratch.Owner(key); cell != want {
+		c.viols = append(c.viols, Violation{
+			Invariant: c.Name(),
+			Detail: fmt.Sprintf("reading %s (key %s) routed to %s, current shard map assigns %s",
+				id, key, cell, want),
+		})
+	}
+}
+
+// Name implements Checker.
+func (c *ShardChecker) Name() string { return "shard-placement" }
+
+// Check implements Checker.
+func (c *ShardChecker) Check() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.viols...)
+}

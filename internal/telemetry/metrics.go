@@ -28,6 +28,7 @@ type Metrics struct {
 	stub     stubState                        // stub pipelining gauges (stub.go)
 	journal  journalState                     // fleet black-box counters (journal.go)
 	policy   policyState                      // policy-engine counters (policy.go)
+	shard    shardState                       // shard-fabric gauges (shard.go)
 }
 
 // NewMetrics returns an empty collector.

@@ -269,6 +269,50 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	// Shard fabrics. Emitted only once a shard router reports.
+	if fabrics := m.ShardFabrics(); len(fabrics) > 0 {
+		fmt.Fprint(w,
+			"# HELP lateral_shard_epoch Active shard-map epoch.\n",
+			"# TYPE lateral_shard_epoch gauge\n")
+		for _, f := range fabrics {
+			fmt.Fprintf(w, "lateral_shard_epoch{fleet=%q} %d\n", escapeLabel(f.Fleet), f.Epoch)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_shard_count Shards currently mapped in the fabric.\n",
+			"# TYPE lateral_shard_count gauge\n")
+		for _, f := range fabrics {
+			fmt.Fprintf(w, "lateral_shard_count{fleet=%q} %d\n", escapeLabel(f.Fleet), f.Shards)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_shard_rebalances_total Shard-map transitions (join/leave) completed.\n",
+			"# TYPE lateral_shard_rebalances_total counter\n")
+		for _, f := range fabrics {
+			fmt.Fprintf(w, "lateral_shard_rebalances_total{fleet=%q} %d\n", escapeLabel(f.Fleet), f.Rebalances)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_shard_readings_routed_total Readings routed through the shard map.\n",
+			"# TYPE lateral_shard_readings_routed_total counter\n")
+		for _, f := range fabrics {
+			fmt.Fprintf(w, "lateral_shard_readings_routed_total{fleet=%q} %d\n", escapeLabel(f.Fleet), f.Routed)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_shard_batches_total Batched dispatches and the readings they carried.\n",
+			"# TYPE lateral_shard_batches_total counter\n")
+		for _, f := range fabrics {
+			fmt.Fprintf(w, "lateral_shard_batches_total{fleet=%q,unit=\"frames\"} %d\nlateral_shard_batches_total{fleet=%q,unit=\"readings\"} %d\n",
+				escapeLabel(f.Fleet), f.Batches, escapeLabel(f.Fleet), f.BatchedIn)
+		}
+		fmt.Fprint(w,
+			"# HELP lateral_shard_quota_denies_total Tenant admissions refused at the per-tenant quota.\n",
+			"# TYPE lateral_shard_quota_denies_total counter\n")
+		for _, f := range fabrics {
+			_, err := fmt.Fprintf(w, "lateral_shard_quota_denies_total{fleet=%q} %d\n", escapeLabel(f.Fleet), f.QuotaDenies)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
 	// Replica fleets.
 	fleets := m.Fleets()
 	if len(fleets) == 0 {
@@ -380,6 +424,14 @@ func (m *Metrics) WriteSummary(w io.Writer) {
 		for _, e := range epochs {
 			fmt.Fprintf(w, "%-16s %6d %12d %7d %11d %-24s\n",
 				e.Fleet, e.Epoch, e.Transitions, e.Rekeys, e.RekeyFails, e.LastReason)
+		}
+	}
+	if fabrics := m.ShardFabrics(); len(fabrics) > 0 {
+		fmt.Fprintf(w, "\n%-16s %6s %7s %11s %8s %8s %10s %7s\n",
+			"fabric", "epoch", "shards", "rebalances", "routed", "batches", "batched-in", "denies")
+		for _, f := range fabrics {
+			fmt.Fprintf(w, "%-16s %6d %7d %11d %8d %8d %10d %7d\n",
+				f.Fleet, f.Epoch, f.Shards, f.Rebalances, f.Routed, f.Batches, f.BatchedIn, f.QuotaDenies)
 		}
 	}
 	fleets := m.Fleets()

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Shard-fabric metrics: the million-client view of a sharded fleet. The
+// collector implements shard.Monitor structurally, so processes without a
+// shard router never touch this file and the lateral_shard_* families are
+// emitted only once a fabric reports.
+
+// ShardFabricStats is one shard fabric's live cell.
+type ShardFabricStats struct {
+	Fleet string
+
+	Epoch       atomic.Uint64 // gauge: active shard-map epoch
+	Shards      atomic.Int64  // gauge: shards currently mapped
+	Rebalances  atomic.Int64  // counter: shard-map transitions (join/leave)
+	Routed      atomic.Int64  // counter: readings routed through the map
+	Batches     atomic.Int64  // counter: batched dispatches
+	BatchedIn   atomic.Int64  // counter: readings carried inside batches
+	QuotaDenies atomic.Int64  // counter: tenant admissions refused at quota
+}
+
+type shardState struct {
+	mu    sync.RWMutex
+	cells map[string]*ShardFabricStats // fleet
+}
+
+func (s *shardState) cell(fleet string) *ShardFabricStats {
+	s.mu.RLock()
+	ss := s.cells[fleet]
+	s.mu.RUnlock()
+	if ss != nil {
+		return ss
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cells == nil {
+		s.cells = make(map[string]*ShardFabricStats)
+	}
+	if ss = s.cells[fleet]; ss != nil {
+		return ss
+	}
+	ss = &ShardFabricStats{Fleet: fleet}
+	s.cells[fleet] = ss
+	return ss
+}
+
+// ShardMembership records a shard-map transition (join or leave).
+func (m *Metrics) ShardMembership(fleet string, epoch uint64, shards int) {
+	ss := m.shard.cell(fleet)
+	ss.Epoch.Store(epoch)
+	ss.Shards.Store(int64(shards))
+	ss.Rebalances.Add(1)
+}
+
+// ShardRoute records readings routed to a shard.
+func (m *Metrics) ShardRoute(fleet, _ string, readings int) {
+	m.shard.cell(fleet).Routed.Add(int64(readings))
+}
+
+// ShardBatch records one batched dispatch carrying readings.
+func (m *Metrics) ShardBatch(fleet, _ string, readings int) {
+	ss := m.shard.cell(fleet)
+	ss.Batches.Add(1)
+	ss.BatchedIn.Add(int64(readings))
+}
+
+// ShardQuotaDeny records a tenant refused at its admission quota.
+func (m *Metrics) ShardQuotaDeny(fleet, _ string) {
+	m.shard.cell(fleet).QuotaDenies.Add(1)
+}
+
+// ShardSummary is one shard fabric's aggregate view.
+type ShardSummary struct {
+	Fleet       string
+	Epoch       uint64
+	Shards      int64
+	Rebalances  int64
+	Routed      int64
+	Batches     int64
+	BatchedIn   int64
+	QuotaDenies int64
+}
+
+// ShardFabrics returns per-fabric summaries, sorted by fleet. Empty until
+// some router reports a membership transition or routes a reading.
+func (m *Metrics) ShardFabrics() []ShardSummary {
+	m.shard.mu.RLock()
+	var cells []*ShardFabricStats
+	for _, ss := range m.shard.cells {
+		cells = append(cells, ss)
+	}
+	m.shard.mu.RUnlock()
+	out := make([]ShardSummary, 0, len(cells))
+	for _, ss := range cells {
+		out = append(out, ShardSummary{
+			Fleet:       ss.Fleet,
+			Epoch:       ss.Epoch.Load(),
+			Shards:      ss.Shards.Load(),
+			Rebalances:  ss.Rebalances.Load(),
+			Routed:      ss.Routed.Load(),
+			Batches:     ss.Batches.Load(),
+			BatchedIn:   ss.BatchedIn.Load(),
+			QuotaDenies: ss.QuotaDenies.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fleet < out[j].Fleet })
+	return out
+}
