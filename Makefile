@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak policy-soak epoch-soak shard-soak examples clean
+.PHONY: all verify build vet test race-hotpath race cover bench bench-smoke bench-baseline experiments fuzz cluster-soak stall-soak sim-soak audit-soak policy-soak epoch-soak shard-soak coalesce-soak examples clean
 
 all: build vet test race-hotpath
 
@@ -56,20 +56,23 @@ bench:
 
 # One iteration of every benchmark: catches bench rot (compile errors,
 # panics, a broken fixture) in CI without paying full measurement time.
-# The zero-alloc gate rides along: the batched-ingest hot path must stay
-# at 0 allocs/op per reading, asserted, not just measured.
+# The zero-alloc gates ride along: the batched-ingest hot path must stay
+# at 0 allocs/op per reading and the coalesced sealed-record hot path at
+# 0 allocs/op per sub-frame at depth 16 — asserted, not just measured.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -benchmem -run '^$$' ./...
-	$(GO) test -count=1 -run TestBatchIngestZeroAllocPerReading ./internal/distributed
+	$(GO) test -count=1 -run 'TestBatchIngestZeroAllocPerReading|TestCoalescedZeroAllocPerSubFrame' ./internal/distributed
 
 # Regenerate the checked-in baselines: E22 pipelining (BENCH_e22.json),
-# E23 sharded fleet (BENCH_e23.json), and E26 rolling replace
-# (BENCH_e26.json). Wire rounds, frame counts, allocs/op, and
-# epoch/healthy counts are machine-independent; ops/sec and p99 are not.
+# E23 sharded fleet (BENCH_e23.json), E26 rolling replace
+# (BENCH_e26.json), and E27 frame coalescing (BENCH_e27.json). Wire
+# rounds, frame/record counts, allocs/op, and epoch/healthy counts are
+# machine-independent; ops/sec and p99 are not.
 bench-baseline:
 	$(GO) run ./cmd/lateralbench -e22-json BENCH_e22.json
 	$(GO) run ./cmd/lateralbench -e23-json BENCH_e23.json
 	$(GO) run ./cmd/lateralbench -e26-json BENCH_e26.json
+	$(GO) run ./cmd/lateralbench -e27-json BENCH_e27.json
 
 # Short fuzzing pass over every parser that consumes attacker bytes.
 fuzz:
@@ -80,6 +83,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLegacyFSNames -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzDistributedFrame -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzBatchFrameDecode -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzCoalescedRecord -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzScheduleDecode -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzJournalDecode -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzPolicyDecode  -fuzztime=10s -run '^$$' .
@@ -137,6 +141,17 @@ shard-soak:
 	$(GO) test -count=1 ./internal/simtest -run TestShardSoak -simtest.soak=500
 	$(GO) test -race -count=1 -run 'TestShardScheduleTransitions|TestShardCheckerCatchesMisrouting|TestShardFaultCodecRoundTrips' ./internal/simtest
 	$(GO) test -race -count=1 -run TestE23ShardedFleet ./internal/experiments
+
+# Coalesced-record soak: 500 seeds of concurrent callers racing their
+# request frames into shared sealed records on every replica stub while
+# one-shot coalesce faults drop or tamper individual sub-frames — the
+# tenth invariant (every sub-frame of a coalesced record completes
+# exactly once or its caller sees a typed error) must hold at every
+# quiesce and every caller outcome must be typed — plus the fault-codec
+# and checker-mutation pins under the race detector.
+coalesce-soak:
+	$(GO) test -count=1 ./internal/simtest -run TestCoalesceSoak -simtest.soak=500
+	$(GO) test -race -count=1 -run 'TestCoalesceSoak|TestCoalesceFaultCodecRoundTrips|TestCoalesceCheckerCatchesMisaccounting' ./internal/simtest
 
 # Chain-aware policy soak: 500 seeds where the explorer's operation mix
 # includes mosaic exfiltration attempts under the full mixed-fault

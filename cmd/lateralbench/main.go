@@ -24,6 +24,7 @@ func main() {
 	e22JSON := flag.String("e22-json", "", "write the E22 pipelining baseline to this file and exit")
 	e23JSON := flag.String("e23-json", "", "write the E23 sharded-fleet baseline to this file and exit")
 	e26JSON := flag.String("e26-json", "", "write the E26 rolling-replace baseline to this file and exit")
+	e27JSON := flag.String("e27-json", "", "write the E27 frame-coalescing baseline to this file and exit")
 	flag.Parse()
 	if *e22JSON != "" {
 		if err := writeE22Baseline(*e22JSON); err != nil {
@@ -41,6 +42,13 @@ func main() {
 	}
 	if *e26JSON != "" {
 		if err := writeE26Baseline(*e26JSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *e27JSON != "" {
+		if err := writeE27Baseline(*e27JSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -114,6 +122,31 @@ func writeE26Baseline(path string) error {
 		Experiment string                 `json:"experiment"`
 		Phases     []experiments.E26Phase `json:"phases"`
 	}{Experiment: "E26 rolling replace under config epochs", Phases: phases}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeE27Baseline regenerates the checked-in BENCH_e27.json: the
+// coalesce-window curve at depth 64 — sealed records (AEAD passes on the
+// request path), sub-frames per record, and wire rounds are deterministic
+// and comparable across machines; ops/sec and p99 are wall-clock.
+func writeE27Baseline(path string) error {
+	points, err := experiments.E27Baseline()
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string                 `json:"experiment"`
+		RTTMillis  int                    `json:"simulated_rtt_ms"`
+		Points     []experiments.E27Point `json:"points"`
+	}{Experiment: "E27 wire-level frame coalescing", RTTMillis: 1, Points: points}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

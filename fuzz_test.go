@@ -199,6 +199,14 @@ func FuzzDistributedFrame(f *testing.F) {
 	f.Add(append(append([]byte{}, reply...), []byte("ok")...))
 	f.Add(append(append([]byte{}, orphanReply...), []byte("doc")...))
 	f.Add(reply[:3]) // shorter than any reply prefix
+	// Coalesced-record shapes fed to the request decoder: the 0xC3 magic
+	// lands where flags belong (its high bits are no known frame version, so
+	// decode must reject), whole coalesced headers, and one sub-frame cut
+	// out of its record — which IS a valid v3 frame and must round-trip.
+	coalHdr := distributed.AppendCoalHeader(nil, []uint64{1, 2, 3})
+	f.Add(coalHdr)
+	f.Add(append(append([]byte{}, coalHdr...), corr...)) // header backed by a frame
+	f.Add(corr) // the sub-frame format IS the plain v3 frame format (interop)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := distributed.DecodeRequest(data)
 		if err != nil {
@@ -276,6 +284,70 @@ func FuzzBatchFrameDecode(f *testing.F) {
 		}
 		if !bytes.Equal(again, canon) {
 			t.Fatalf("canonical form unstable: %x vs %x", canon, again)
+		}
+	})
+}
+
+// FuzzCoalescedRecord covers the wire-v3 coalesced record codec: the
+// cleartext header (magic, count, strictly increasing correlation table —
+// also the sealed record's extra AD) and the decrypted body (count,
+// length-prefixed sub-frames). Both use the canonical-form oracle:
+// whatever decodes must reencode byte-identically, so a duplicate or
+// shuffled correlation table has no accepted encoding and no sub-frame can
+// be accounted twice. Seeds mix well-formed records, truncated sub-frame
+// tables, duplicate correlation IDs, and v3-plain↔coalesced confusion —
+// plain frames fed to the coalesced parsers and vice versa.
+func FuzzCoalescedRecord(f *testing.F) {
+	plain := distributed.AppendRequest(nil, distributed.Request{
+		Corr: 7, HasCorr: true, Op: "put", Data: []byte("doc")})
+	record := make([]byte, 40) // stand-in for sealed bytes behind the header
+	hdr1 := append(distributed.AppendCoalHeader(nil, []uint64{7}), record...)
+	hdrN := append(distributed.AppendCoalHeader(nil, []uint64{1, 2, 1 << 56}), record...)
+	body1 := distributed.AppendCoalBody(nil, [][]byte{plain})
+	bodyN := distributed.AppendCoalBody(nil, [][]byte{plain, plain, []byte{0}})
+	f.Add(hdr1)
+	f.Add(hdrN)
+	f.Add(body1)
+	f.Add(bodyN)
+	f.Add([]byte{})
+	f.Add([]byte{0xC3})                    // magic, no count
+	f.Add([]byte{0xC3, 0, 0})              // zero count
+	f.Add([]byte{0xC3, 0xff, 0xff})        // count beyond MaxCoalesce
+	f.Add(hdrN[:11])                       // truncated correlation table
+	f.Add(hdrN[:3+24])                     // table complete, record missing
+	dup := append(distributed.AppendCoalHeader(nil, []uint64{5, 9}), record...)
+	binary.BigEndian.PutUint64(dup[3+8:], 5) // duplicate correlation IDs
+	f.Add(dup)
+	unsorted := append(distributed.AppendCoalHeader(nil, []uint64{5, 9}), record...)
+	binary.BigEndian.PutUint64(unsorted[3:], 10) // 10, 9: out of order
+	f.Add(unsorted)
+	f.Add(bodyN[:7])                             // truncated sub-frame length
+	f.Add(bodyN[:len(bodyN)-2])                  // truncated final sub-frame
+	f.Add(append(append([]byte{}, body1...), 0)) // trailing byte
+	f.Add([]byte{0, 1, 0, 0, 0, 0})              // zero-length sub-frame
+	// Version confusion both ways: a plain v3 frame where a coalesced
+	// record belongs, and a coalesced header where a body belongs.
+	f.Add(plain)
+	f.Add(hdr1[:3+8])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if hdr, rest, err := distributed.ReencodeCoalHeader(data); err == nil {
+			if !bytes.Equal(hdr, data[:len(hdr)]) {
+				t.Fatalf("accepted header not canonical: %x reencoded to %x", data[:len(hdr)], hdr)
+			}
+			if len(hdr)+len(rest) != len(data) {
+				t.Fatalf("header+record do not partition the input: %d+%d != %d", len(hdr), len(rest), len(data))
+			}
+		}
+		canon, err := distributed.ReencodeCoalBody(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(canon, data) {
+			t.Fatalf("accepted body not canonical: %x reencoded to %x", data, canon)
+		}
+		again, err := distributed.ReencodeCoalBody(canon)
+		if err != nil || !bytes.Equal(again, canon) {
+			t.Fatalf("canonical body unstable: %v, %x vs %x", err, canon, again)
 		}
 	})
 }

@@ -208,16 +208,30 @@ func ReencodeBatch(b []byte) ([]byte, error) {
 // with statusErr; once the payload parses, each reading succeeds or fails
 // on its own. The caller releases j's pooled buffer.
 func (e *Exporter) executeBatch(j *job) error {
-	n, rest, err := cutBatchCount(j.req.Data)
+	msg, fp, herr := e.runBatch(j.req)
+	err := e.reply(j.ss, j.from, j.req, msg, herr)
+	if fp != nil {
+		putBuf(fp, msg.Data)
+	}
+	return err
+}
+
+// runBatch runs one batch request's readings and builds the reply payload
+// into a pooled buffer (returned for the caller to release after the reply
+// is sealed); a malformed payload returns the whole-frame error instead.
+// The single-record path (executeBatch) and coalesced sub-frames
+// (executeSub) share it.
+func (e *Exporter) runBatch(req Request) (core.Message, *[]byte, error) {
+	n, rest, err := cutBatchCount(req.Data)
 	if err != nil {
-		return e.reply(j.ss, j.from, j.req, core.Message{}, err)
+		return core.Message{}, nil, err
 	}
 	var deadline time.Time
-	if j.req.Budget > 0 {
+	if req.Budget > 0 {
 		// One budget governs the whole batch: every reading is delivered
 		// against the same re-anchored deadline, so a batch cannot buy
 		// more server time than the single call it replaces.
-		deadline = e.clock().Add(j.req.Budget)
+		deadline = e.clock().Add(req.Budget)
 	}
 	fp := getBuf()
 	out := append((*fp)[:0], byte(n>>8), byte(n))
@@ -227,12 +241,12 @@ func (e *Exporter) executeBatch(j *job) error {
 		op, data, rest, err = cutReading(rest, &e.ops)
 		if err != nil {
 			putBuf(fp, out)
-			return e.reply(j.ss, j.from, j.req, core.Message{}, err)
+			return core.Message{}, nil, err
 		}
 		env := core.Envelope{
 			Msg:   core.Message{Op: op, Data: data},
-			Span:  j.req.Span,
-			Taint: j.req.Taint,
+			Span:  req.Span,
+			Taint: req.Taint,
 		}
 		if !deadline.IsZero() {
 			// Guarded delivery clones the payload, same as execute: the
@@ -245,12 +259,9 @@ func (e *Exporter) executeBatch(j *job) error {
 	}
 	if len(rest) != 0 {
 		putBuf(fp, out)
-		return e.reply(j.ss, j.from, j.req, core.Message{},
-			fmt.Errorf("%d trailing bytes after batch: %w", len(rest), ErrTransport))
+		return core.Message{}, nil, fmt.Errorf("%d trailing bytes after batch: %w", len(rest), ErrTransport)
 	}
-	err = e.reply(j.ss, j.from, j.req, core.Message{Op: BatchOp, Data: out}, nil)
-	putBuf(fp, out)
-	return err
+	return core.Message{Op: BatchOp, Data: out}, fp, nil
 }
 
 // appendBatchEntry appends one per-reading reply entry, mapping the

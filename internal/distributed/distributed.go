@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -431,6 +432,24 @@ type StubStats struct {
 	// MaxInflight is the high-water mark of Inflight — the deepest
 	// pipeline this stub has actually sustained.
 	MaxInflight int64
+
+	// Records counts sealed request records actually transmitted — the
+	// AEAD passes paid on the send path. Without coalescing this equals
+	// Issued; with it, concurrent calls share records and the gap is the
+	// savings.
+	Records uint64
+	// CoalescedRecords and CoalescedSubs count coalesced records (≥ 2
+	// sub-frames each) and the sub-frames they carried; the AEAD passes
+	// coalescing saved is CoalescedSubs - CoalescedRecords.
+	CoalescedRecords uint64
+	CoalescedSubs    uint64
+	// CoalesceWindow is the adaptive controller's current window;
+	// CoalesceGrows/CoalesceShrinks its AIMD adaptation counts, and
+	// CoalesceState its last move ("idle", "grow", "shrink", "steady").
+	CoalesceWindow  int
+	CoalesceGrows   uint64
+	CoalesceShrinks uint64
+	CoalesceState   string
 }
 
 // Exporter publishes one component of a local system on the network.
@@ -455,6 +474,10 @@ type Exporter struct {
 	pendings map[string]*pendState
 
 	ops interner
+
+	// fault is the simulation harness's coalesce fault injector (see
+	// coalesce.go); disarmed in production.
+	fault coalFault
 }
 
 // pendState is a handshake in flight plus the config epoch it was gated
@@ -478,13 +501,18 @@ type sessState struct {
 
 // job is one decrypted invocation awaiting execution. buf is the pooled
 // buffer holding the decrypted frame; req.Data aliases raw, so the buffer
-// is released only after the reply has been sealed.
+// is released only after the reply has been sealed. A sub-frame of a
+// coalesced record instead points at its assembly (asm/idx): the assembly
+// owns the shared decrypted buffer, and the job's reply goes into slot idx
+// rather than its own sealed record.
 type job struct {
 	ss   *sessState
 	from string
 	req  Request
 	buf  *[]byte
 	raw  []byte
+	asm  *coalAssembly
+	idx  int
 }
 
 // jobPool recycles job structs across serveBatch passes. A pipelining
@@ -640,39 +668,56 @@ func (e *Exporter) Serve() error {
 // serveBatch drains the backlog behind first and dispatches it. The
 // channel layer — handshakes, decrypt, ping — runs sequentially in arrival
 // order (the secure channel's receive sequence demands it); decrypted
-// component invocations then fan out to the worker pool.
+// component invocations, including the sub-frames of coalesced records,
+// then fan out to the worker pool.
 func (e *Exporter) serveBatch(first netsim.Datagram) {
-	// The batch slice travels by pointer so the accumulating closure does
-	// not box a fresh slice header per wire round.
+	// The batch slice travels by pointer so the accumulating collect calls
+	// do not box a fresh slice header per wire round.
 	jobsp := batchPool.Get().(*[]*job)
-	channelLayer := func(dg netsim.Datagram) {
-		e.mu.Lock()
-		ss := e.sessions[dg.From]
-		pending := e.pendings[dg.From]
-		e.mu.Unlock()
-		switch {
-		case ss != nil:
-			j := jobPool.Get().(*job)
-			ok, err := e.openRequest(ss, dg, j)
-			if err == nil && ok {
-				*jobsp = append(*jobsp, j)
-			} else {
-				jobPool.Put(j)
-			}
-		case pending != nil:
-			_ = e.complete(dg, pending)
-		default:
-			_ = e.hello(dg)
-		}
-	}
-	channelLayer(first)
+	_ = e.collect(first, jobsp)
 	for {
 		dg, ok := e.ep.Recv()
 		if !ok {
 			break
 		}
-		channelLayer(dg)
+		_ = e.collect(dg, jobsp)
 	}
+	e.dispatch(jobsp)
+	batchPool.Put(jobsp)
+}
+
+// collect runs one datagram through the channel layer: handshake flights
+// complete inline, record flights decrypt and append their invocation —
+// or, for a coalesced record, one invocation per sub-frame — to jobs.
+func (e *Exporter) collect(dg netsim.Datagram, jobs *[]*job) error {
+	e.mu.Lock()
+	ss := e.sessions[dg.From]
+	pending := e.pendings[dg.From]
+	e.mu.Unlock()
+	switch {
+	case ss != nil && IsCoalesced(dg.Payload):
+		return e.openCoalesced(ss, dg, jobs)
+	case ss != nil:
+		j := jobPool.Get().(*job)
+		ok, err := e.openRequest(ss, dg, j)
+		if err == nil && ok {
+			*jobs = append(*jobs, j)
+		} else {
+			jobPool.Put(j)
+		}
+		return err
+	case pending != nil:
+		return e.complete(dg, pending)
+	default:
+		// New connection: client hello.
+		return e.hello(dg)
+	}
+}
+
+// dispatch executes the collected jobs and recycles them, leaving the
+// slice empty. Every reply is on the wire before it returns — Serve's
+// contract with lockstep pumps.
+func (e *Exporter) dispatch(jobsp *[]*job) {
 	jobs := *jobsp
 	switch {
 	case len(jobs) == 0:
@@ -707,35 +752,18 @@ func (e *Exporter) serveBatch(first netsim.Datagram) {
 				}
 			}(w)
 		}
-		// Serve's contract with lockstep pumps: every reply is on the
-		// wire before it returns.
 		wg.Wait()
 	}
 	*jobsp = jobs[:0]
-	batchPool.Put(jobsp)
 }
 
 // handle processes one datagram inline, start to finish.
 func (e *Exporter) handle(dg netsim.Datagram) error {
-	e.mu.Lock()
-	ss := e.sessions[dg.From]
-	pending := e.pendings[dg.From]
-	e.mu.Unlock()
-
-	switch {
-	case ss != nil:
-		var j job
-		ok, err := e.openRequest(ss, dg, &j)
-		if err != nil || !ok {
-			return err
-		}
-		return e.execute(&j)
-	case pending != nil:
-		return e.complete(dg, pending)
-	default:
-		// New connection: client hello.
-		return e.hello(dg)
-	}
+	jobsp := batchPool.Get().(*[]*job)
+	err := e.collect(dg, jobsp)
+	e.dispatch(jobsp)
+	batchPool.Put(jobsp)
+	return err
 }
 
 // openRequest decrypts and decodes one record on an established session.
@@ -788,6 +816,11 @@ func (e *Exporter) openRequest(ss *sessState, dg netsim.Datagram, j *job) (bool,
 // after the reply is sealed, because the reply may alias the request data
 // (an echo) or the decrypted frame.
 func (e *Exporter) execute(j *job) error {
+	if j.asm != nil {
+		// A coalesced sub-frame replies into its assembly slot; the last
+		// one to finish seals the single coalesced reply (see coalesce.go).
+		return e.executeSub(j)
+	}
 	if j.req.Op == BatchOp {
 		// Batched ingestion: unpack the readings and fan them into the
 		// component, one sealed reply for the lot (see batch.go).
@@ -827,27 +860,7 @@ func (e *Exporter) execute(j *job) error {
 // correlation ID when it carried one.
 func (e *Exporter) reply(ss *sessState, to string, req Request, msg core.Message, herr error) error {
 	fp := getBuf()
-	frame := (*fp)[:0]
-	if req.HasCorr {
-		frame = binary.BigEndian.AppendUint64(frame, req.Corr)
-	}
-	switch {
-	case errors.Is(herr, core.ErrDeadline):
-		frame = append(frame, statusDeadline)
-		frame = append(frame, herr.Error()...)
-	case errors.Is(herr, core.ErrOverloaded):
-		frame = append(frame, statusOverload)
-		frame = append(frame, herr.Error()...)
-	case errors.Is(herr, core.ErrPolicy):
-		frame = append(frame, statusPolicy)
-		frame = append(frame, herr.Error()...)
-	case herr != nil:
-		frame = append(frame, statusErr)
-		frame = append(frame, herr.Error()...)
-	default:
-		frame = append(frame, statusOK)
-		frame = appendCall(frame, msg.Op, msg.Data)
-	}
+	frame := appendReplyFrame((*fp)[:0], req, msg, herr)
 	rp := getBuf()
 	ss.sendMu.Lock()
 	rec, err := ss.sess.SealTo((*rp)[:0], frame)
@@ -967,14 +980,31 @@ type Stub struct {
 	// pumping. The holder is the demux loop.
 	recvTok chan struct{}
 
+	// coal is the flush queue concurrent senders coalesce through, and win
+	// the adaptive controller sizing its drains (see coalesce.go).
+	coal coalescer
+	win  *WindowController
+	cmon CoalesceMonitor
+
+	// pumping is set while the token holder is inside a wire round
+	// (s.step in the demux loop). A caller that submits during that
+	// window self-flushes instead of waiting out the round: its record
+	// still reaches the remote before the round's serve, so late
+	// arrivals ride the in-flight round instead of doubling the round
+	// count — coalescing must never cost wire rounds.
+	pumping atomic.Bool
+
 	ops interner
 
-	issued    atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	orphans   atomic.Uint64
-	inflight  atomic.Int64
-	maxDepth  atomic.Int64
+	issued      atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	orphans     atomic.Uint64
+	inflight    atomic.Int64
+	maxDepth    atomic.Int64
+	records     atomic.Uint64
+	coalRecords atomic.Uint64
+	coalSubs    atomic.Uint64
 }
 
 // StubConfig configures a Stub.
@@ -1024,6 +1054,13 @@ type StubConfig struct {
 	// epoch so reconnects always bind the epoch in force at that moment.
 	// Nil (or a 0 return) keeps the pre-epoch wire format.
 	Epoch func() uint64
+
+	// CoalesceMax caps the adaptive coalescing window — the most
+	// concurrent requests one sealed record may carry. 0 means
+	// DefaultCoalesceMax; 1 disables coalescing (every request seals its
+	// own plain record, the pre-coalescing wire behavior); values above
+	// MaxCoalesce are clamped.
+	CoalesceMax int
 }
 
 // EventRecorder is the structural journal hook (see internal/journal),
@@ -1054,6 +1091,11 @@ func NewStub(cfg StubConfig) (*Stub, error) {
 		mon:     cfg.Monitor,
 		waiters: make(map[uint64]*waiter),
 		recvTok: make(chan struct{}, 1),
+		win:     NewWindowController(cfg.CoalesceMax, cfg.Clock),
+		cmon:    nopCoalesceMonitor{},
+	}
+	if cm, ok := cfg.Monitor.(CoalesceMonitor); ok {
+		s.cmon = cm
 	}
 	s.recvTok <- struct{}{}
 	return s, nil
@@ -1068,20 +1110,28 @@ func (s *Stub) CompName() string { return s.name }
 // it speaks, so a fleet operator can spot a mixed-version rollout from
 // `lateralctl cluster` output (the version is part of the stub's measured
 // code identity, exactly like shipping a different proxy binary).
-func (s *Stub) CompVersion() string { return "stub-1.1+wire" + strconv.Itoa(WireVersion) }
+func (s *Stub) CompVersion() string { return "stub-1.2+wire" + strconv.Itoa(WireVersion) }
 
 // Init is a no-op; Connect establishes the channel.
 func (s *Stub) Init(*core.Ctx) error { return nil }
 
 // Stats returns a snapshot of the pipelining counters.
 func (s *Stub) Stats() StubStats {
+	ws := s.win.Stats()
 	return StubStats{
-		Issued:      s.issued.Load(),
-		Completed:   s.completed.Load(),
-		Failed:      s.failed.Load(),
-		Orphans:     s.orphans.Load(),
-		Inflight:    s.inflight.Load(),
-		MaxInflight: s.maxDepth.Load(),
+		Issued:           s.issued.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failed.Load(),
+		Orphans:          s.orphans.Load(),
+		Inflight:         s.inflight.Load(),
+		MaxInflight:      s.maxDepth.Load(),
+		Records:          s.records.Load(),
+		CoalescedRecords: s.coalRecords.Load(),
+		CoalescedSubs:    s.coalSubs.Load(),
+		CoalesceWindow:   ws.Window,
+		CoalesceGrows:    ws.Grows,
+		CoalesceShrinks:  ws.Shrinks,
+		CoalesceState:    ws.State,
 	}
 }
 
@@ -1339,8 +1389,12 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 	s.mon.StubInflight(s.name, 1)
 	s.mon.StubCall(s.name, int(depth))
 
-	// Seal and transmit under the short send lock; frame and record
-	// buffers come from the pool.
+	// Build the request frame into a pooled buffer and hand it to the
+	// coalescer: concurrent callers behind the flush leader share one
+	// sealed record (one AEAD pass for the lot), a lone caller seals a
+	// plain record. Seal and send errors — including this call's own —
+	// resolve through the waiters, so every outcome arrives on w.ch or is
+	// demuxed like any reply.
 	fp := getBuf()
 	frame := AppendRequest((*fp)[:0], Request{
 		Span:    env.Span,
@@ -1351,24 +1405,10 @@ func (s *Stub) Handle(env core.Envelope) (core.Message, error) {
 		Op:      env.Msg.Op,
 		Data:    env.Msg.Data,
 	})
-	rp := getBuf()
-	s.sendMu.Lock()
-	rec, serr := sess.SealTo((*rp)[:0], frame)
-	if serr == nil {
-		serr = s.cfg.Endpoint.Send(s.cfg.RemoteEndpoint, rec)
-	}
-	s.sendMu.Unlock()
-	putBuf(fp, frame)
-	putBuf(rp, rec)
-	if serr != nil {
-		if s.unregister(gen, corr) {
-			return s.finish(w, result{err: serr})
-		}
-		// A concurrent broadcast resolved the call first; its verdict
-		// wins (it explains why the send failed too).
-		return s.finish(w, <-w.ch)
-	}
-	return s.awaitReply(sess, gen, corr, w, env.Deadline)
+	sub := s.submit(gen, corr, w, fp, frame)
+	msg, err := s.awaitReply(sess, gen, corr, w, env.Deadline, sub)
+	s.subDone(sub)
+	return msg, err
 }
 
 // finish books one resolved call and recycles its waiter.
@@ -1377,6 +1417,14 @@ func (s *Stub) finish(w *waiter, res result) (core.Message, error) {
 		s.completed.Add(1)
 	} else {
 		s.failed.Add(1)
+		if errors.Is(res.err, core.ErrDeadline) || errors.Is(res.err, core.ErrOverloaded) {
+			// A shed verdict is the adaptive controller's shrink signal:
+			// the pipeline was deeper than the remote side (or the budget)
+			// could absorb.
+			if win, changed := s.win.ObserveShed(); changed {
+				s.cmon.StubCoalesceWindow(s.name, win)
+			}
+		}
 	}
 	s.inflight.Add(-1)
 	s.mon.StubInflight(s.name, -1)
@@ -1387,13 +1435,13 @@ func (s *Stub) finish(w *waiter, res result) (core.Message, error) {
 // awaitReply parks until the call resolves: either another caller's demux
 // loop completes it through the waiter channel, or this caller wins the
 // receive token and runs the demux loop itself.
-func (s *Stub) awaitReply(sess *securechan.Session, gen, corr uint64, w *waiter, deadline time.Time) (core.Message, error) {
+func (s *Stub) awaitReply(sess *securechan.Session, gen, corr uint64, w *waiter, deadline time.Time, sub *pendingSub) (core.Message, error) {
 	for {
 		select {
 		case res := <-w.ch:
 			return s.finish(w, res)
 		case <-s.recvTok:
-			res, done := s.receive(sess, gen, corr, deadline)
+			res, done := s.receive(sess, gen, corr, deadline, sub)
 			s.recvTok <- struct{}{}
 			if done {
 				return s.finish(w, res)
@@ -1423,7 +1471,7 @@ func (s *Stub) awaitReply(sess *securechan.Session, gen, corr uint64, w *waiter,
 //     fail the session and broadcast to every parked caller;
 //   - replies naming no parked caller (duplicates, unknown or stale IDs)
 //     are counted and dropped, never misdelivered.
-func (s *Stub) receive(sess *securechan.Session, gen, ownCorr uint64, deadline time.Time) (result, bool) {
+func (s *Stub) receive(sess *securechan.Session, gen, ownCorr uint64, deadline time.Time, sub *pendingSub) (result, bool) {
 	for {
 		s.mu.Lock()
 		stale := s.gen != gen
@@ -1438,6 +1486,20 @@ func (s *Stub) receive(sess *securechan.Session, gen, ownCorr uint64, deadline t
 			}
 			return result{}, false
 		}
+		if sub != nil && !sub.flushed.Load() {
+			// This call's frame is still queued behind the flush leader.
+			// The token holder is the leader: flushing here — immediately
+			// before paying for a wire round — is what coalesces every
+			// frame that arrived during the previous round into one sealed
+			// record. If another flusher beat us to the flag, yield until
+			// it disposes of our frame: a dry round before then would be a
+			// false transport verdict (the remote side owes nothing yet).
+			s.flushQueue()
+			if !sub.flushed.Load() {
+				runtime.Gosched()
+				continue
+			}
+		}
 		// Collect already-delivered traffic before paying for a round.
 		res, done, deferred, drained := s.drain(sess, gen, ownCorr)
 		if done {
@@ -1449,7 +1511,18 @@ func (s *Stub) receive(sess *securechan.Session, gen, ownCorr uint64, deadline t
 		if drained > 0 {
 			continue
 		}
-		if err := s.step(); err != nil {
+		// About to pay for a wire round: gather the in-flight wave, then
+		// put every frame queued at the coalescer on the wire first, so
+		// the round carries their replies too instead of leaving them for
+		// the next token holder. pumping stays set across the round so
+		// frames submitted mid-round self-flush onto the in-flight round
+		// (see submit).
+		s.gatherWave()
+		s.flushQueue()
+		s.pumping.Store(true)
+		err := s.step()
+		s.pumping.Store(false)
+		if err != nil {
 			if s.unregister(gen, ownCorr) {
 				return result{err: err}, true
 			}
@@ -1500,6 +1573,9 @@ func (s *Stub) drain(sess *securechan.Session, gen, ownCorr uint64) (res result,
 // that the reply resolved the receiver's own call (res is its verdict); a
 // non-nil error is a session-level failure the caller must escalate.
 func (s *Stub) demux(sess *securechan.Session, gen, ownCorr uint64, dg netsim.Datagram) (res result, mine bool, err error) {
+	if IsCoalesced(dg.Payload) {
+		return s.demuxCoalesced(sess, gen, ownCorr, dg)
+	}
 	ob := getBuf()
 	plain, oerr := sess.OpenTo((*ob)[:0], dg.Payload)
 	dg.Release()

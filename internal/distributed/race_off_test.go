@@ -1,0 +1,8 @@
+//go:build !race
+
+package distributed
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates on paths that are
+// allocation-free in a plain build.
+const raceEnabled = false

@@ -41,7 +41,16 @@ type e22Result struct {
 // pipeline depth (concurrent callers, each issuing its share
 // sequentially) and reports how many pump rounds — wire round trips — the
 // workload consumed, plus the stub's accounting snapshot.
-func e22Run(depth, calls int, rtt time.Duration) (res e22Result, err error) {
+func e22Run(depth, calls int, rtt time.Duration) (e22Result, error) {
+	return e22RunCfg(depth, calls, rtt, 0, nil)
+}
+
+// e22RunCfg is e22Run with the knobs E27 sweeps: coalesceMax is handed to
+// the stub verbatim (0 = adaptive default, 1 = coalescing off, else the
+// window ceiling), and when lat is non-nil it must hold `calls` slots —
+// worker w stores its i-th call's latency at lat[w*(calls/depth)+i], so
+// the slice is written race-free and p99 can be cut from it afterwards.
+func e22RunCfg(depth, calls int, rtt time.Duration, coalesceMax int, lat []time.Duration) (res e22Result, err error) {
 	vendor := cryptoutil.NewSigner("intel")
 	net := netsim.New()
 
@@ -80,6 +89,7 @@ func e22Run(depth, calls int, rtt time.Duration) (res e22Result, err error) {
 		RemoteEndpoint: "cloud",
 		Endpoint:       net.Attach("laptop"),
 		Rand:           cryptoutil.NewPRNG("e22-cli"),
+		CoalesceMax:    coalesceMax,
 		VerifyServer: func(_ ed25519.PublicKey, tr [32]byte, evidence []byte) error {
 			q, err := core.DecodeQuote(evidence)
 			if err != nil {
@@ -114,8 +124,12 @@ func e22Run(depth, calls int, rtt time.Duration) (res e22Result, err error) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				req := core.Message{Op: "echo", Data: []byte(fmt.Sprintf("w%d-%d", w, i))}
+				callStart := time.Now()
 				if _, err := stub.Handle(core.Envelope{Msg: req}); err != nil {
 					failures.Add(1)
+				}
+				if lat != nil {
+					lat[w*per+i] = time.Since(callStart)
 				}
 			}
 		}(w)

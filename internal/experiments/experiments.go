@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md's per-experiment index (E1–E26 plus the
+// per experiment in DESIGN.md's per-experiment index (E1–E27 plus the
 // ablations folded into their tables). Each returns a Table whose rows the
 // command-line harness prints and whose numbers the benchmark suite and
 // tests assert on.
@@ -127,6 +127,7 @@ func All() []Experiment {
 		{ID: "E24", Name: "fleet black box (auditor replay)", Run: E24Audit},
 		{ID: "E25", Name: "chain-aware policy (mosaic denial)", Run: E25Policy},
 		{ID: "E26", Name: "rolling replace under config epochs", Run: E26Rolling},
+		{ID: "E27", Name: "wire-level frame coalescing + adaptive window", Run: E27Coalescing},
 	}
 }
 

@@ -674,3 +674,43 @@ func TestE26BaselinePhases(t *testing.T) {
 		}
 	}
 }
+
+func TestE27Coalescing(t *testing.T) {
+	tab, err := E27Coalescing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, r := range tab.Rows {
+		if r[6] != "PASS" {
+			t.Errorf("E27 %s: %v", r[0], r)
+		}
+	}
+	// The uncoalesced wire must pay one sealed record per call; the
+	// adaptive window must beat it by the headline factor.
+	if cell(t, tab, "off", 2) != "256" {
+		t.Errorf("uncoalesced wire did not seal one record per call: %v", tab.Rows[0])
+	}
+}
+
+func TestE27BaselinePoints(t *testing.T) {
+	points, err := E27Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d, want 5", len(points))
+	}
+	off, adaptive := points[0], points[len(points)-1]
+	if off.Window != "off" || off.SealedRecords != uint64(off.Calls) {
+		t.Fatalf("uncoalesced point off: %+v", off)
+	}
+	if adaptive.Window != "adaptive" || adaptive.SealedRecords*8 > off.SealedRecords {
+		t.Fatalf("adaptive window saved < 8x AEAD passes: %+v vs %+v", adaptive, off)
+	}
+	if adaptive.SubsPerRecord < 2 {
+		t.Fatalf("adaptive window packed %.2f subs/record, want >= 2", adaptive.SubsPerRecord)
+	}
+}

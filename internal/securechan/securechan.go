@@ -429,8 +429,12 @@ type Session struct {
 	// per direction: pipelined stubs serialize sealing and opening under
 	// different locks (the send mutex vs. the receive token), so the two
 	// halves of a session run concurrently and must not share scratch.
-	sendAD [32]byte
-	recvAD [32]byte
+	// The AD scratch is a slice, not a fixed array, because coalesced
+	// records (SealToAD/OpenToAD) extend the AD with a caller header of up
+	// to a few hundred bytes; the slice keeps its grown capacity so the
+	// deep-pipeline path still allocates nothing after warmup.
+	sendAD []byte
+	recvAD []byte
 	nonce  [cryptoutil.NonceSize]byte
 }
 
@@ -510,6 +514,16 @@ func (s *Session) Seal(plaintext []byte) ([]byte, error) {
 // extended slice returned. With enough spare capacity in dst the record
 // layer allocates nothing.
 func (s *Session) SealTo(dst, plaintext []byte) ([]byte, error) {
+	return s.SealToAD(dst, plaintext, nil)
+}
+
+// SealToAD is SealTo with extra associated data: the record authenticates
+// extraAD in addition to the usual "dir:seq" binding without transmitting
+// it, so the peer must present the identical bytes to OpenToAD or the open
+// fails. Coalesced wire records bind their cleartext header (sub-frame
+// count and every correlation ID) this way — a tampered header cannot
+// survive the AEAD pass. An empty extraAD is byte-identical to SealTo.
+func (s *Session) SealToAD(dst, plaintext, extraAD []byte) ([]byte, error) {
 	s.sendSeq++
 	seq := s.sendSeq
 	for s.sendEpoch < epochFor(seq) {
@@ -525,6 +539,8 @@ func (s *Session) SealTo(dst, plaintext []byte) ([]byte, error) {
 		s.sendAEAD = aead
 	}
 	ad := appendAD(s.sendAD[:0], s.dir(true), seq)
+	ad = append(ad, extraAD...)
+	s.sendAD = ad[:0] // keep grown capacity for the next record
 	copy(s.nonce[:4], s.sendPrefix[:])
 	binary.BigEndian.PutUint64(s.nonce[4:], seq)
 	var hdr [8]byte
@@ -542,6 +558,13 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 // OpenTo is Open with a caller-supplied destination: the plaintext is
 // appended to dst and the extended slice returned.
 func (s *Session) OpenTo(dst, record []byte) ([]byte, error) {
+	return s.OpenToAD(dst, record, nil)
+}
+
+// OpenToAD is OpenTo with extra associated data, the receiving half of
+// SealToAD: the open succeeds only if extraAD matches the bytes the sender
+// bound. An empty extraAD is byte-identical to OpenTo.
+func (s *Session) OpenToAD(dst, record, extraAD []byte) ([]byte, error) {
 	if len(record) < 8 {
 		return nil, fmt.Errorf("short record: %w", ErrHandshake)
 	}
@@ -571,6 +594,8 @@ func (s *Session) OpenTo(dst, record []byte) ([]byte, error) {
 		aead = a
 	}
 	ad := appendAD(s.recvAD[:0], s.dir(false), seq)
+	ad = append(ad, extraAD...)
+	s.recvAD = ad[:0] // keep grown capacity for the next record
 	pt, err := cryptoutil.OpenTo(dst, aead, record[8:], ad)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,176 @@
+package shard
+
+// Tests for the adaptive ingestion batcher: frame sizes must grow with the
+// observed arrival rate (AIMD additive increase while frames saturate the
+// window) and halve on a shed verdict, all pinned on a virtual clock.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lateral/internal/core"
+	"lateral/internal/distributed"
+)
+
+// shedBackend answers batches OK until armed, then refuses one frame with
+// a typed overload error — the fabric's shed verdict.
+type shedBackend struct {
+	fakeBackend
+	shedNext bool
+	frames   []int
+}
+
+func (s *shedBackend) DoBatch(key string, readings []distributed.Reading, results []distributed.BatchResult, deadline time.Time) ([]distributed.BatchResult, error) {
+	s.mu.Lock()
+	s.frames = append(s.frames, len(readings))
+	shed := s.shedNext
+	s.shedNext = false
+	s.mu.Unlock()
+	if shed {
+		return results, fmt.Errorf("replica refusing: %w", core.ErrOverloaded)
+	}
+	return s.fakeBackend.DoBatch(key, readings, results, deadline)
+}
+
+func (s *shedBackend) frameSizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.frames...)
+}
+
+func newBatcherFixture(t *testing.T, max int, clock func() time.Time) (*Batcher, *shedBackend) {
+	t.Helper()
+	rt := NewRouter(Config{})
+	b := &shedBackend{}
+	if err := rt.Join("cell-0", b); err != nil {
+		t.Fatal(err)
+	}
+	return NewBatcher(rt, "t00", max, clock), b
+}
+
+var _ Backend = (*shedBackend)(nil)
+
+// TestBatcherGrowsWithArrivalRate feeds a steady stream through one key
+// and pins the frame-size trajectory: every frame saturates the window, so
+// the controller adds one each flush — 1, 2, 3, 4, ... — instead of
+// holding a fixed 256.
+func TestBatcherGrowsWithArrivalRate(t *testing.T) {
+	now := time.Unix(2000, 0)
+	clock := func() time.Time { return now }
+	ba, be := newBatcherFixture(t, 8, clock)
+
+	reading := distributed.Reading{Op: "reading", Data: []byte("m=1")}
+	for i := 0; i < 1+2+3+4+5; i++ {
+		now = now.Add(10 * time.Millisecond)
+		if _, err := ba.Add("t00/b0", reading, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{1, 2, 3, 4, 5}
+	got := be.frameSizes()
+	if len(got) != len(want) {
+		t.Fatalf("frames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frames = %v, want %v", got, want)
+		}
+	}
+	st := ba.Stats()
+	if st.Window != 6 || st.Grows != 5 || st.Shrinks != 0 {
+		t.Errorf("stats = %+v, want window 6 after 5 grows", st)
+	}
+	// 15 readings between the first flush (t+10ms) and the fifth (t+150ms).
+	if want := 15.0 / 0.14; st.RateHz < want-0.01 || st.RateHz > want+0.01 {
+		t.Errorf("rate = %.2f Hz, want %.2f", st.RateHz, want)
+	}
+	if ba.Frames() != 5 {
+		t.Errorf("frames dispatched = %d, want 5", ba.Frames())
+	}
+}
+
+// TestBatcherShrinksOnShed halves the window when the fabric sheds a
+// frame, then re-grows additively — the AIMD sawtooth.
+func TestBatcherShrinksOnShed(t *testing.T) {
+	ba, be := newBatcherFixture(t, 8, nil)
+	reading := distributed.Reading{Op: "reading", Data: []byte("m=1")}
+
+	// Grow the window to 4: frames of 1, 2, 3.
+	for i := 0; i < 1+2+3; i++ {
+		if _, err := ba.Add("t00/b0", reading, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if win := ba.Stats().Window; win != 4 {
+		t.Fatalf("window = %d after warm-up, want 4", win)
+	}
+
+	// The next frame is shed: its readings are consumed, the window halves.
+	be.mu.Lock()
+	be.shedNext = true
+	be.mu.Unlock()
+	var err error
+	for i := 0; i < 4; i++ {
+		if _, err = ba.Add("t00/b0", reading, time.Time{}); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("shed frame err = %v, want ErrOverloaded", err)
+	}
+	st := ba.Stats()
+	if st.Window != 2 || st.Shrinks != 1 {
+		t.Errorf("stats after shed = %+v, want window 2, 1 shrink", st)
+	}
+
+	// Service recovers; the very next saturated frame grows again.
+	for i := 0; i < 2; i++ {
+		if _, err := ba.Add("t00/b0", reading, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if win := ba.Stats().Window; win != 3 {
+		t.Errorf("window = %d after recovery, want 3", win)
+	}
+}
+
+// TestBatcherFlushesOnKeyChange pins that frames never mix routing keys:
+// a key change flushes the partial frame so every sealed frame lands on
+// exactly one shard.
+func TestBatcherFlushesOnKeyChange(t *testing.T) {
+	ba, be := newBatcherFixture(t, 8, nil)
+	reading := distributed.Reading{Op: "reading", Data: []byte("m=1")}
+
+	// Window is 1: first Add flushes. Grow to 2, then change key with one
+	// reading pending.
+	if _, err := ba.Add("t00/b0", reading, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ba.Add("t00/b0", reading, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ba.Add("t00/b1", reading, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ba.Flush(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("final flush returned %d results, want 1", len(res))
+	}
+	// Frames: [1] (window 1), [1] (partial, key change), [1] (flush).
+	got := be.frameSizes()
+	if len(got) != 3 {
+		t.Fatalf("frames = %v, want 3 single-reading frames", got)
+	}
+	total := 0
+	for _, n := range got {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("readings dispatched = %d, want 3", total)
+	}
+}

@@ -1,0 +1,208 @@
+package simtest
+
+// The coalesced-record soak and its pinned unit tests. Coalescing only
+// happens when callers actually race — the deterministic explorer's
+// synchronous operations seal single-sub plain records, which is exactly
+// why its traces stay byte-identical with the coalescer in the stack — so
+// this soak runs real concurrent drivers against the virtual-clocked
+// deployment and checks every invariant at quiesce instead of replaying a
+// trace. The tenth invariant (every sub-frame of a coalesced record
+// completes exactly once or its caller sees a typed error) is the
+// headline assertion; the drop/tamper coalesce faults are what put it
+// under attack.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lateral/internal/cluster"
+	"lateral/internal/core"
+	"lateral/internal/distributed"
+)
+
+// typedCoalesceOutcome reports whether a caller-visible error is one of
+// the typed sentinels the stack promises. A dropped sub-frame must
+// surface as ErrTransport (the caller's reply never arrives), a tampered
+// one as a remote error status — anything unclassifiable is an invariant
+// breach in its own right.
+func typedCoalesceOutcome(err error) bool {
+	for _, sentinel := range []error{
+		core.ErrDeadline, core.ErrCanceled, core.ErrOverloaded, core.ErrPolicy,
+		distributed.ErrTransport, distributed.ErrRemote, distributed.ErrNotConnected,
+		cluster.ErrNoReplicas, cluster.ErrExhausted,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// runCoalesceSeed drives one seeded deployment: rounds of concurrent
+// callers racing through the pool (so stubs coalesce for real), each
+// round with one one-shot drop or tamper fault armed on a random
+// replica's exporter. After every round the fleet is quiesced, all ten
+// invariants checked, and the wire healed (a drop marks its replica Down;
+// healing keeps the next round on a full fleet so a mid-call total outage
+// can never park a backoff on the un-advanced virtual clock).
+func runCoalesceSeed(t *testing.T, seed uint64) {
+	t.Helper()
+	h, err := NewHarness(HarnessConfig{Replicas: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, callsPer, rounds = 12, 12, 3
+	r := &rng{state: seed}
+	for round := 0; round < rounds; round++ {
+		mode := "drop"
+		if r.next()%2 == 0 {
+			mode = "tamper"
+		}
+		h.Apply(Fault{Kind: FaultCoalesce, Target: ReplicaName(1 + r.intn(3)), Peer: mode, N: r.intn(4)})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start // all workers fire together: maximum racing
+				for i := 0; i < callsPer; i++ {
+					id := fmt.Sprintf("op-%d-%d-%d", round, w, i)
+					key := fmt.Sprintf("key-%02d", (w*callsPer+i)%16)
+					var err error
+					if i%2 == 0 {
+						// Slow ops hold a replica for real service time, so
+						// the other workers' frames pile up behind the flush
+						// leader and coalesce.
+						err = h.CallSlowWork(id, key)
+					} else {
+						err = h.CallWork(id, key, 0)
+					}
+					if err != nil && !typedCoalesceOutcome(err) {
+						t.Errorf("seed %d round %d %s: untyped caller error: %v", seed, round, id, err)
+					}
+				}
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+		h.Quiesce()
+		if v := h.CheckAll(); len(v) != 0 {
+			t.Fatalf("seed %d round %d (mode %s): invariant violations: %v", seed, round, mode, v)
+		}
+		h.Apply(Fault{Kind: FaultHeal})
+	}
+	// The soak is only a soak if records actually coalesced: across
+	// workers*callsPer*rounds racing calls over three stubs, at least some
+	// must have shared a sealed record.
+	var coalesced uint64
+	for _, rep := range h.Pool.Replicas() {
+		coalesced += rep.Stub.CoalescedRecords
+	}
+	if coalesced == 0 {
+		t.Fatalf("seed %d: no coalesced records across the fleet — the soak exercised nothing", seed)
+	}
+}
+
+// TestCoalesceSoak is the coalesced-record soak: many seeds of concurrent
+// callers whose frames share sealed records while one-shot coalesce
+// faults drop or tamper individual sub-frames — the tenth invariant must
+// hold at every quiesce, and every caller outcome must be nil or typed.
+// `make coalesce-soak` runs this over 500 seeds (-simtest.soak); plain
+// `go test` covers a smaller batch.
+func TestCoalesceSoak(t *testing.T) {
+	seeds := 25
+	if *soakFlag > 0 {
+		seeds = *soakFlag
+	} else if testing.Short() {
+		seeds = 5
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		runCoalesceSeed(t, uint64(seed))
+	}
+}
+
+// TestCoalesceFaultCodecRoundTrips pins the DSL: the coalesce verb
+// encodes, decodes, and validates like every other fault, and the decoder
+// rejects malformed modes, counts, and arity.
+func TestCoalesceFaultCodecRoundTrips(t *testing.T) {
+	sched := []Schedule{
+		{At: 0, Fault: Fault{Kind: FaultCoalesce, Target: "svc-1", Peer: "drop", N: 0}},
+		{At: 9 * time.Millisecond, Fault: Fault{Kind: FaultCoalesce, Target: "svc-2", Peer: "tamper", N: 3}},
+	}
+	if err := Validate(sched); err != nil {
+		t.Fatalf("coalesce schedule does not validate: %v", err)
+	}
+	text := EncodeSchedule(sched)
+	for _, verb := range []string{"coalesce svc-1 drop 0", "coalesce svc-2 tamper 3"} {
+		if !strings.Contains(text, verb) {
+			t.Fatalf("encoded schedule missing %q:\n%s", verb, text)
+		}
+	}
+	dec, err := DecodeSchedule("@5ms coalesce svc-3 drop 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 1 || dec[0].Fault.Kind != FaultCoalesce ||
+		dec[0].Fault.Target != "svc-3" || dec[0].Fault.Peer != "drop" || dec[0].Fault.N != 2 {
+		t.Fatalf("decoded %+v", dec)
+	}
+	for _, bad := range []string{
+		"@5ms coalesce svc-1 drop\n",        // missing index
+		"@5ms coalesce svc-1 explode 0\n",   // unknown mode
+		"@5ms coalesce svc-1 drop 0 9\n",    // too many args
+		"@5ms coalesce svc-1 drop -1\n",     // negative index
+		"@5ms coalesce sv c-1 drop 0 0 0\n", // mangled name splits into extra args
+	} {
+		if _, err := DecodeSchedule(bad); err == nil {
+			t.Fatalf("decoder accepted %q", bad)
+		}
+	}
+}
+
+// TestCoalesceCheckerCatchesMisaccounting is the mutation smoke test for
+// the tenth invariant: cooked stub counters for a double-flushed frame, a
+// completion without a sealed sub-frame, a single-sub "coalesced" record,
+// and coalesced records exceeding total records must each be flagged,
+// while balanced books and mid-flight snapshots must not.
+func TestCoalesceCheckerCatchesMisaccounting(t *testing.T) {
+	check := func(st distributed.StubStats) []Violation {
+		snap := func() []cluster.ReplicaInfo {
+			return []cluster.ReplicaInfo{{Name: "svc-1", Stub: st}}
+		}
+		return NewCoalesceChecker(snap).Check()
+	}
+	good := distributed.StubStats{Issued: 10, Completed: 10, Records: 4, CoalescedRecords: 2, CoalescedSubs: 8}
+	if v := check(good); len(v) != 0 {
+		t.Fatalf("balanced books flagged: %v", v)
+	}
+	inflight := good
+	inflight.Inflight = 1
+	inflight.Issued = 3 // wildly unbalanced, but mid-flight: must be skipped
+	if v := check(inflight); len(v) != 0 {
+		t.Fatalf("mid-flight snapshot flagged: %v", v)
+	}
+	bad := []struct {
+		st   distributed.StubStats
+		want string
+	}{
+		{distributed.StubStats{Issued: 5, Completed: 5, Records: 4, CoalescedRecords: 2, CoalescedSubs: 8}, "flushed twice"},
+		{distributed.StubStats{Issued: 10, Completed: 9, Records: 2, CoalescedRecords: 1, CoalescedSubs: 2}, "were ever sealed"},
+		{distributed.StubStats{Issued: 10, Completed: 5, Records: 4, CoalescedRecords: 2, CoalescedSubs: 3}, "want >= 2 each"},
+		{distributed.StubStats{Issued: 4, Completed: 4, Records: 1, CoalescedRecords: 2, CoalescedSubs: 4}, "exceed"},
+	}
+	for _, tc := range bad {
+		v := check(tc.st)
+		if len(v) == 0 {
+			t.Errorf("misaccounting %+v not flagged", tc.st)
+			continue
+		}
+		if !strings.Contains(v[0].Detail, tc.want) {
+			t.Errorf("misaccounting %+v flagged as %q, want detail containing %q", tc.st, v[0].Detail, tc.want)
+		}
+	}
+}

@@ -45,6 +45,7 @@ type Harness struct {
 	Budget       *BudgetChecker
 	Absorb       *AbsorbChecker
 	Pipeline     *PipelineChecker
+	Coalesce     *CoalesceChecker
 	Led          *Ledger
 	Conservation *ConservationChecker
 	Audit        *JournalChecker
@@ -60,6 +61,10 @@ type Harness struct {
 
 	svcs map[string]*simSvc
 	sys  map[string]*core.System
+
+	// exps holds each replica's exporter so FaultCoalesce can arm the
+	// one-shot coalesced-record fault on the right server.
+	exps map[string]*distributed.Exporter
 
 	// Replica build inputs, kept so FaultJoin can construct a new attested
 	// machine mid-run exactly the way NewHarness built the originals.
@@ -151,6 +156,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		Led:     NewLedger(),
 		svcs:    make(map[string]*simSvc),
 		sys:     make(map[string]*core.System),
+		exps:    make(map[string]*distributed.Exporter),
 		entered: make(chan string, 64),
 		gate:    make(chan struct{}, 64),
 		done:    make(chan string, 64),
@@ -205,6 +211,7 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 	h.Epochs.Bind(pool.Epoch, pool.Replicas)
 	h.Audit = NewJournalChecker(h.Journal, jsigner.Public(), h.Counter, pool.States)
 	h.Pipeline = NewPipelineChecker(pool.Replicas)
+	h.Coalesce = NewCoalesceChecker(pool.Replicas)
 	h.Absorb = NewAbsorbChecker("quarantine", func() map[string]bool {
 		out := make(map[string]bool)
 		for _, r := range pool.Replicas() {
@@ -317,6 +324,7 @@ func (h *Harness) buildReplica(name string) (cluster.ReplicaSpec, error) {
 	}
 	h.svcs[name] = svc
 	h.sys[name] = sys
+	h.exps[name] = exp
 	return cluster.ReplicaSpec{
 		Name:           name,
 		RemoteEndpoint: name,
@@ -344,7 +352,7 @@ func (t *epochTee) ReplicaCall(fleet, replica string, failed bool) {
 
 // Checkers returns every invariant checker in a stable order.
 func (h *Harness) Checkers() []Checker {
-	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Conservation, h.Audit, h.Policy, h.Epochs, h.Sharding}
+	return []Checker{h.Serial, h.Budget, h.Absorb, h.Pipeline, h.Coalesce, h.Conservation, h.Audit, h.Policy, h.Epochs, h.Sharding}
 }
 
 // CheckAll runs every checker and returns the concatenated violations.
@@ -427,6 +435,13 @@ func (h *Harness) Apply(f Fault) {
 		if _, err := h.Router.Leave(f.Target); err == nil {
 			h.Sharding.MarkMerge(f.Target)
 		}
+	case FaultCoalesce:
+		// Arm the one-shot sub-frame fault on the target's exporter (mode
+		// rides in Peer: "drop" or "tamper"); an unknown name attacks
+		// nothing, so schedules stay safe to fuzz.
+		if exp := h.exps[f.Target]; exp != nil {
+			exp.FaultNextCoalesced(f.Peer, f.N)
+		}
 	}
 }
 
@@ -469,6 +484,15 @@ func (h *Harness) CallWork(id, key string, budget time.Duration) error {
 	} else {
 		_, err = h.Pool.DoDeadline(key, core.Message{Op: "work", Data: []byte(id)}, deadline)
 	}
+	h.Led.Finish(err)
+	return err
+}
+
+// CallSlowWork drives one unbounded request whose handler takes real
+// service time (the "slow" op) — the coalesce soak's overlap window.
+func (h *Harness) CallSlowWork(id, key string) error {
+	h.Led.Start()
+	_, err := h.Pool.Do(key, core.Message{Op: "slow", Data: []byte(id)})
 	h.Led.Finish(err)
 	return err
 }
@@ -626,7 +650,15 @@ func (s *simSvc) Handle(env core.Envelope) (core.Message, error) {
 func (s *simSvc) serve(env core.Envelope) (core.Message, error) {
 	id := string(env.Msg.Data)
 	switch env.Msg.Op {
-	case "work":
+	case "work", "slow":
+		if env.Msg.Op == "slow" {
+			// Real — not virtual — service time. The coalesce soak races
+			// concurrent callers against one stub, and coalescing needs a
+			// window during which later arrivals can pile onto the queue
+			// behind the flush leader; the virtual clock never moves here,
+			// so the window has to be wall time.
+			time.Sleep(50 * time.Microsecond)
+		}
 		s.h.Budget.RecordParent(id, env.Deadline)
 		return s.ctx.Call("store", core.Message{Op: "get", Data: env.Msg.Data})
 	case "exfil":

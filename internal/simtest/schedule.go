@@ -71,6 +71,14 @@ const (
 	// keyspace back into the ring successors. Merging an unmapped cell or
 	// the last remaining cell is refused and the fault is a no-op.
 	FaultShardMerge
+
+	// FaultCoalesce arms a one-shot coalesce fault on the target replica's
+	// exporter: the next coalesced record it opens has the sub-frame
+	// selected by N dropped from the reply (Peer carries mode "drop") or
+	// tampered before dispatch (mode "tamper"). Sibling sub-frames must be
+	// unaffected — the coalesce invariant and the affected caller's typed
+	// error are the assertions. Unknown replica names attack nothing.
+	FaultCoalesce
 )
 
 // String returns the kind's schedule-text verb.
@@ -100,6 +108,8 @@ func (k FaultKind) String() string {
 		return "shard-split"
 	case FaultShardMerge:
 		return "shard-merge"
+	case FaultCoalesce:
+		return "coalesce"
 	default:
 		return "unknown"
 	}
@@ -110,9 +120,9 @@ func (k FaultKind) String() string {
 type Fault struct {
 	Kind   FaultKind
 	Target string        // endpoint (crash/heal/tamper/dup) or link tail (partition)
-	Peer   string        // link head (partition)
+	Peer   string        // link head (partition), or coalesce mode (drop/tamper)
 	Dur    time.Duration // skew jump, or delay detention time
-	N      int           // dup count, or delay on/off (0 disables)
+	N      int           // dup count, delay on/off (0 disables), or coalesce sub-frame index
 	Seed   uint64        // delay PRNG seed
 	Pct    int           // delay detention probability, percent
 }
@@ -169,6 +179,8 @@ func EncodeSchedule(sched []Schedule) string {
 			fmt.Fprintf(&b, " %s %d", f.Target, f.N)
 		case FaultJournalTamper:
 			fmt.Fprintf(&b, " %d", f.N)
+		case FaultCoalesce:
+			fmt.Fprintf(&b, " %s %s %d", f.Target, f.Peer, f.N)
 		}
 		b.WriteByte('\n')
 	}
@@ -291,6 +303,21 @@ func DecodeSchedule(text string) ([]Schedule, error) {
 				return nil, fmt.Errorf("simtest: line %d: journal-tamper wants 1 arg", ln+1)
 			}
 			if f.N, err = parseInt(args[0], maxScheduleN); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+		case "coalesce":
+			f.Kind = FaultCoalesce
+			if len(args) != 3 {
+				return nil, fmt.Errorf("simtest: line %d: coalesce wants 'target mode n'", ln+1)
+			}
+			if f.Target, err = parseName(args[0]); err != nil {
+				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
+			}
+			if args[1] != "drop" && args[1] != "tamper" {
+				return nil, fmt.Errorf("simtest: line %d: coalesce mode %q (want drop or tamper)", ln+1, args[1])
+			}
+			f.Peer = args[1]
+			if f.N, err = parseInt(args[2], maxScheduleN); err != nil {
 				return nil, fmt.Errorf("simtest: line %d: %v", ln+1, err)
 			}
 		default:

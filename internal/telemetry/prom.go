@@ -155,6 +155,38 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 				}
 			}
 		}
+
+		// Coalescing. Emitted only when some stub coalesced (or its window
+		// controller adapted): purely sequential workloads keep their
+		// exposition byte-identical.
+		coalesced := false
+		for _, s := range stubs {
+			if s.CoalRecords > 0 || s.CoalWindow > 0 {
+				coalesced = true
+				break
+			}
+		}
+		if coalesced {
+			ccols := []stubCol{
+				{"lateral_stub_coalesce_records_total", "Coalesced records sealed (two or more sub-frames sharing one AEAD pass).", "counter",
+					func(s StubSummary) int64 { return s.CoalRecords }},
+				{"lateral_stub_coalesce_subframes_total", "Sub-frames carried by coalesced records.", "counter",
+					func(s StubSummary) int64 { return s.CoalSubs }},
+				{"lateral_stub_coalesce_saved_total", "AEAD passes saved by coalescing (sub-frames minus records).", "counter",
+					func(s StubSummary) int64 { return s.CoalSubs - s.CoalRecords }},
+				{"lateral_stub_coalesce_window", "Adaptive coalescing window chosen by the AIMD controller.", "gauge",
+					func(s StubSummary) int64 { return s.CoalWindow }},
+			}
+			for _, c := range ccols {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.typ)
+				for _, s := range stubs {
+					_, err := fmt.Fprintf(w, "%s{stub=%q} %d\n", c.name, escapeLabel(s.Stub), c.val(s))
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
 	}
 
 	// Journal (fleet black box). Emitted only when a journal reported —
@@ -395,6 +427,25 @@ func (m *Metrics) WriteSummary(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%-16s %9d %10d %7d %11.2f %8d\n",
 				s.Stub, s.Inflight, s.DepthMax, s.Calls, mean, s.Orphans)
+		}
+		coalesced := false
+		for _, s := range stubs {
+			if s.CoalRecords > 0 || s.CoalWindow > 0 {
+				coalesced = true
+				break
+			}
+		}
+		if coalesced {
+			fmt.Fprintf(w, "\n%-16s %9s %10s %11s %11s %7s\n",
+				"stub", "coalesced", "subframes", "avg-window", "aead-saved", "window")
+			for _, s := range stubs {
+				avg := float64(0)
+				if s.CoalRecords > 0 {
+					avg = float64(s.CoalSubs) / float64(s.CoalRecords)
+				}
+				fmt.Fprintf(w, "%-16s %9d %10d %11.2f %11d %7d\n",
+					s.Stub, s.CoalRecords, s.CoalSubs, avg, s.CoalSubs-s.CoalRecords, s.CoalWindow)
+			}
 		}
 	}
 	if journals := m.Journals(); len(journals) > 0 {

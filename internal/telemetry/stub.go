@@ -29,6 +29,14 @@ type StubStats struct {
 	Calls    atomic.Int64 // counter: calls issued over the session
 	DepthSum atomic.Int64 // counter: sum of pipeline depth at issue time
 	Orphans  atomic.Int64 // counter: replies dropped for want of a waiter
+
+	// Coalescing (distributed.CoalesceMonitor, also structural): records
+	// sealed carrying ≥2 sub-frames, the sub-frames they carried, and the
+	// adaptive controller's current window. AEAD passes saved is
+	// CoalSubs - CoalRecords.
+	CoalRecords atomic.Int64 // counter: coalesced records sealed
+	CoalSubs    atomic.Int64 // counter: sub-frames those records carried
+	CoalWindow  atomic.Int64 // gauge: adaptive coalescing window
 }
 
 type stubState struct {
@@ -81,6 +89,20 @@ func (m *Metrics) StubOrphan(stub string) {
 	m.stub.cell(stub).Orphans.Add(1)
 }
 
+// StubCoalesce records one coalesced record sealed carrying subframes
+// sub-frames (distributed.CoalesceMonitor).
+func (m *Metrics) StubCoalesce(stub string, subframes int) {
+	ss := m.stub.cell(stub)
+	ss.CoalRecords.Add(1)
+	ss.CoalSubs.Add(int64(subframes))
+}
+
+// StubCoalesceWindow reports the adaptive coalescing window after a
+// controller adaptation.
+func (m *Metrics) StubCoalesceWindow(stub string, window int) {
+	m.stub.cell(stub).CoalWindow.Store(int64(window))
+}
+
 // StubSummary is one stub's aggregate view.
 type StubSummary struct {
 	Stub     string
@@ -89,6 +111,10 @@ type StubSummary struct {
 	Calls    int64
 	DepthSum int64
 	Orphans  int64
+
+	CoalRecords int64
+	CoalSubs    int64
+	CoalWindow  int64
 }
 
 // Stubs returns per-stub summaries, sorted by stub name.
@@ -102,12 +128,15 @@ func (m *Metrics) Stubs() []StubSummary {
 	out := make([]StubSummary, 0, len(cells))
 	for _, ss := range cells {
 		out = append(out, StubSummary{
-			Stub:     ss.Stub,
-			Inflight: ss.Inflight.Load(),
-			DepthMax: ss.DepthMax.Load(),
-			Calls:    ss.Calls.Load(),
-			DepthSum: ss.DepthSum.Load(),
-			Orphans:  ss.Orphans.Load(),
+			Stub:        ss.Stub,
+			Inflight:    ss.Inflight.Load(),
+			DepthMax:    ss.DepthMax.Load(),
+			Calls:       ss.Calls.Load(),
+			DepthSum:    ss.DepthSum.Load(),
+			Orphans:     ss.Orphans.Load(),
+			CoalRecords: ss.CoalRecords.Load(),
+			CoalSubs:    ss.CoalSubs.Load(),
+			CoalWindow:  ss.CoalWindow.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Stub < out[j].Stub })
